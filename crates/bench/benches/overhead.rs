@@ -1,0 +1,34 @@
+//! Criterion benches for Fig. 7(a)/(b): one end-to-end transaction of the
+//! motivation scenario per implementation (OO baseline + the three
+//! generation modes). The paper's claim to check: SOLEIL ≈ a few percent
+//! above OO, MERGE-ALL between, ULTRA-MERGE on par with (or below) OO.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soleil::generator::generate;
+use soleil::prelude::*;
+use soleil::scenario::{motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe};
+
+fn bench_transaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_transaction");
+
+    let probe = ScenarioProbe::new();
+    let mut oo = OoSystem::new(&probe).expect("OO baseline builds");
+    group.bench_function("OO", |b| {
+        b.iter(|| oo.run_transaction().expect("transaction"));
+    });
+
+    let arch = motivation_architecture().expect("fixture parses");
+    for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+        let probe = ScenarioProbe::new();
+        let mut sys =
+            generate(&arch, mode, &registry_with_probe(&probe)).expect("system builds");
+        let head = sys.slot_of("ProductionLine").expect("head exists");
+        group.bench_function(mode.to_string(), |b| {
+            b.iter(|| sys.run_transaction(head).expect("transaction"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transaction);
+criterion_main!(benches);

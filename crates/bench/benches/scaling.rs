@@ -1,0 +1,31 @@
+//! Ablation: how framework overhead scales with pipeline depth.
+//!
+//! DESIGN.md's design-choice question: the SOLEIL membrane cost is
+//! per-invocation, so a transaction through an N-stage pipeline pays it N
+//! times — the gap to ULTRA-MERGE should widen linearly with N while both
+//! stay linear overall.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soleil::prelude::*;
+use soleil_bench::build_relay_pipeline;
+
+fn bench_pipeline_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_depth");
+    for stages in [1usize, 4, 16] {
+        for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+            let mut sys = build_relay_pipeline(stages, mode).expect("pipeline builds");
+            let head = sys.slot_of("stage0").expect("head");
+            group.bench_with_input(
+                BenchmarkId::new(mode.to_string(), stages),
+                &stages,
+                |b, _| {
+                    b.iter(|| sys.run_transaction(head).expect("transaction"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_depth);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p soleil-bench --release --bin reproduce            # everything
+//! cargo run -p soleil-bench --release --bin reproduce -- fig7a   # one artifact
+//! ```
+//!
+//! Artifacts: `fig7a`, `fig7b`, `fig7c`, `codegen` (E4), `determinism`
+//! (E5), `all` (default). Raw observation CSVs are written to
+//! `target/experiments/`.
+
+use std::error::Error;
+use std::fs;
+use std::path::Path;
+
+use soleil_bench::{
+    codegen_table, determinism_table, fig7a_report, fig7b_table, fig7c_table, run_codegen,
+    run_determinism, run_footprint, run_overhead,
+};
+
+const OBSERVATIONS: usize = 10_000;
+const WARMUP: usize = 2_000;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let out_dir = Path::new("target/experiments");
+    fs::create_dir_all(out_dir)?;
+
+    let wants = |k: &str| what == "all" || what == k;
+    let mut ran = false;
+
+    if wants("fig7a") || wants("fig7b") {
+        eprintln!("running overhead benchmark ({OBSERVATIONS} observations x 4 implementations)...");
+        let rows = run_overhead(WARMUP, OBSERVATIONS)?;
+        if wants("fig7a") {
+            let report = fig7a_report(&rows, 24);
+            println!("{report}");
+            fs::write(out_dir.join("fig7a.txt"), &report)?;
+            for r in &rows {
+                let name = format!("fig7a_{}.csv", r.label.to_lowercase().replace('-', "_"));
+                fs::write(out_dir.join(name), r.samples.to_csv())?;
+            }
+            ran = true;
+        }
+        if wants("fig7b") {
+            let table = fig7b_table(&rows);
+            println!("{table}");
+            fs::write(out_dir.join("fig7b.txt"), &table)?;
+            ran = true;
+        }
+    }
+
+    if wants("fig7c") {
+        let reports = run_footprint()?;
+        let table = fig7c_table(&reports);
+        println!("{table}");
+        fs::write(out_dir.join("fig7c.txt"), &table)?;
+        ran = true;
+    }
+
+    if wants("codegen") {
+        let rows = run_codegen()?;
+        let table = codegen_table(&rows);
+        println!("{table}");
+        fs::write(out_dir.join("codegen.txt"), &table)?;
+        // Full generated-source listings per mode (the E4 artifact).
+        let arch = soleil::scenario::motivation_architecture()?;
+        let spec = soleil::generator::compile(&arch)?;
+        for mode in [
+            soleil::runtime::Mode::Soleil,
+            soleil::runtime::Mode::MergeAll,
+            soleil::runtime::Mode::UltraMerge,
+        ] {
+            let listing = soleil::generator::emit_source(&spec, mode).render();
+            let name = format!(
+                "generated_{}.rs.txt",
+                mode.to_string().to_lowercase().replace('-', "_")
+            );
+            fs::write(out_dir.join(name), listing)?;
+        }
+        ran = true;
+    }
+
+    if wants("determinism") {
+        let rows = run_determinism(2_000)?;
+        let table = determinism_table(&rows);
+        println!("{table}");
+        fs::write(out_dir.join("determinism.txt"), &table)?;
+        ran = true;
+    }
+
+    if !ran {
+        eprintln!(
+            "unknown artifact '{what}'; expected fig7a | fig7b | fig7c | codegen | determinism | all"
+        );
+        std::process::exit(2);
+    }
+    eprintln!("raw data written to {}", out_dir.display());
+    Ok(())
+}

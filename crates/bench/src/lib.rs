@@ -1,0 +1,486 @@
+//! # soleil-bench — the evaluation harness (§5 / Fig. 7)
+//!
+//! One runner per table/figure of the paper's evaluation, shared by the
+//! `reproduce` binary, the Criterion benches and the integration tests:
+//!
+//! | Experiment | Paper artifact | Runner |
+//! |---|---|---|
+//! | E1 | Fig. 7(a) execution-time distribution | [`run_overhead`] + [`fig7a_report`] |
+//! | E2 | Fig. 7(b) median + jitter table | [`run_overhead`] + [`fig7b_table`] |
+//! | E3 | Fig. 7(c) memory footprint | [`run_footprint`] + [`fig7c_table`] |
+//! | E4 | §5.2 code-generation metrics | [`run_codegen`] + [`codegen_table`] |
+//! | E5 | §5.1 determinism claim (GC immunity) | [`run_determinism`] + [`determinism_table`] |
+//!
+//! The harness reproduces the paper's *shape* — who wins and by roughly
+//! what factor — not its absolute 2007-era numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt::Write as _;
+
+use rtsj::gc::GcConfig;
+use rtsj::thread::ThreadKind;
+use rtsj::time::{AbsoluteTime, RelativeTime};
+use soleil::generator::{compile, emit_source, generate};
+use soleil::prelude::*;
+use soleil::runtime::instrument::{measure_steady, LatencySamples};
+use soleil::runtime::sim::{deploy, SimCosts, SimOptions};
+use soleil::scenario::{
+    motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe,
+};
+
+/// Convenience alias for harness results.
+pub type HarnessResult<T> = Result<T, Box<dyn Error>>;
+
+/// Latency samples for one implementation of the scenario.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Implementation label (`OO`, `SOLEIL`, `MERGE-ALL`, `ULTRA-MERGE`).
+    pub label: String,
+    /// Steady-state observations.
+    pub samples: LatencySamples,
+}
+
+/// Runs the Fig. 7(a)/(b) benchmark: `observations` steady-state end-to-end
+/// iterations of the motivation scenario for the OO baseline and the three
+/// generation modes.
+///
+/// # Errors
+///
+/// Propagates substrate/framework errors (none expected for the fixture).
+pub fn run_overhead(warmup: usize, observations: usize) -> HarnessResult<Vec<OverheadRow>> {
+    let mut rows = Vec::with_capacity(4);
+
+    // OO baseline.
+    let probe = ScenarioProbe::new();
+    let mut oo = OoSystem::new(&probe)?;
+    let samples = measure_steady(warmup, observations, || oo.run_transaction())?;
+    rows.push(OverheadRow {
+        label: "OO".into(),
+        samples,
+    });
+
+    // Framework modes.
+    let arch = motivation_architecture()?;
+    for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+        let probe = ScenarioProbe::new();
+        let mut sys = generate(&arch, mode, &registry_with_probe(&probe))?;
+        let head = sys.slot_of("ProductionLine")?;
+        let samples = measure_steady(warmup, observations, || sys.run_transaction(head))?;
+        rows.push(OverheadRow {
+            label: mode.to_string(),
+            samples,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the Fig. 7(a) execution-time distributions as ASCII histograms.
+pub fn fig7a_report(rows: &[OverheadRow], buckets: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 7(a) — execution time distribution ({} observations each)\n",
+        rows.first().map(|r| r.samples.len()).unwrap_or(0)
+    );
+    for r in rows {
+        let _ = writeln!(out, "--- {} ---", r.label);
+        out.push_str(&r.samples.histogram(buckets, 50));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Fig. 7(b) median/jitter table.
+pub fn fig7b_table(rows: &[OverheadRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 7(b) — execution time median and jitter");
+    let _ = writeln!(out, "{:<12} {:>12} {:>12} {:>12}", "impl", "median(us)", "jitter(us)", "max(us)");
+    let baseline = rows
+        .first()
+        .and_then(|r| r.samples.summary())
+        .map(|s| s.median.as_micros_f64());
+    for r in rows {
+        if let Some(s) = r.samples.summary() {
+            let _ = write!(
+                out,
+                "{:<12} {:>12.2} {:>12.3} {:>12.2}",
+                r.label,
+                s.median.as_micros_f64(),
+                s.jitter.as_micros_f64(),
+                s.max.as_micros_f64()
+            );
+            if let Some(b) = baseline {
+                let _ = writeln!(out, "   ({:+.1}% vs OO)", (s.median.as_micros_f64() / b - 1.0) * 100.0);
+            } else {
+                let _ = writeln!(out);
+            }
+        }
+    }
+    out
+}
+
+/// Footprint reports for the OO baseline and the three generation modes
+/// (Fig. 7(c)).
+///
+/// # Errors
+///
+/// Propagates build errors.
+pub fn run_footprint() -> HarnessResult<Vec<FootprintReport>> {
+    let mut reports = Vec::with_capacity(4);
+    let probe = ScenarioProbe::new();
+    let mut oo = OoSystem::new(&probe)?;
+    // Steady state: footprint after the pipeline has run.
+    for _ in 0..100 {
+        oo.run_transaction()?;
+    }
+    reports.push(oo.footprint());
+
+    let arch = motivation_architecture()?;
+    for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+        let probe = ScenarioProbe::new();
+        let mut sys = generate(&arch, mode, &registry_with_probe(&probe))?;
+        let head = sys.slot_of("ProductionLine")?;
+        for _ in 0..100 {
+            sys.run_transaction(head)?;
+        }
+        reports.push(sys.footprint());
+    }
+    Ok(reports)
+}
+
+/// Renders the Fig. 7(c) footprint table (application + framework bytes,
+/// overhead vs. the OO baseline).
+pub fn fig7c_table(reports: &[FootprintReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 7(c) — memory footprint");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>14} {:>14} {:>16}",
+        "impl", "app bytes", "framework B", "total B", "overhead vs OO"
+    );
+    let baseline = reports.first();
+    for r in reports {
+        let overhead = baseline.map(|b| r.overhead_vs(b)).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14} {:>14} {:>14} {:>16}",
+            r.label,
+            r.application_bytes(),
+            r.framework_bytes,
+            r.total_bytes(),
+            overhead
+        );
+    }
+    out
+}
+
+/// One row of the §5.2 code-generation study.
+#[derive(Debug, Clone)]
+pub struct CodegenRow {
+    /// Mode label.
+    pub label: String,
+    /// Generated compilation units.
+    pub units: usize,
+    /// Generated source lines.
+    pub lines: usize,
+    /// Dispatch indirections per invocation.
+    pub indirections: usize,
+    /// Reconfigurability at membrane level.
+    pub membrane_reconfig: bool,
+    /// Reconfigurability at functional level.
+    pub functional_reconfig: bool,
+}
+
+/// Runs the E4 code-generation metrics over the motivation architecture.
+///
+/// # Errors
+///
+/// Propagates compilation errors.
+pub fn run_codegen() -> HarnessResult<Vec<CodegenRow>> {
+    let arch = motivation_architecture()?;
+    let spec = compile(&arch)?;
+    Ok([Mode::Soleil, Mode::MergeAll, Mode::UltraMerge]
+        .into_iter()
+        .map(|mode| {
+            let m = emit_source(&spec, mode).metrics();
+            CodegenRow {
+                label: mode.to_string(),
+                units: m.units,
+                lines: m.lines,
+                indirections: m.indirections_per_call,
+                membrane_reconfig: m.membrane_reconfigurable,
+                functional_reconfig: m.functional_reconfigurable,
+            }
+        })
+        .collect())
+}
+
+/// Renders the E4 table.
+pub fn codegen_table(rows: &[CodegenRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "§5.2 — code generation metrics (E4)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>8} {:>14} {:>18} {:>20}",
+        "mode", "units", "lines", "indirections", "membrane-reconf", "functional-reconf"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>8} {:>14} {:>18} {:>20}",
+            r.label, r.units, r.lines, r.indirections, r.membrane_reconfig, r.functional_reconfig
+        );
+    }
+    out
+}
+
+/// One row of the determinism experiment: a real-time pipeline stage under
+/// one deployment.
+#[derive(Debug, Clone)]
+pub struct DeterminismRow {
+    /// Deployment label.
+    pub label: String,
+    /// Pipeline stage (component name).
+    pub stage: String,
+    /// Median response time of the stage (virtual time).
+    pub median: RelativeTime,
+    /// Response jitter (mean absolute deviation).
+    pub jitter: RelativeTime,
+    /// Worst-case response observed.
+    pub max: RelativeTime,
+    /// Deadline misses of the stage.
+    pub deadline_misses: u64,
+}
+
+/// Runs the E5 determinism experiment: the motivation pipeline deployed in
+/// virtual time under an aggressive collector, once as designed (the
+/// real-time stages on NHRT domains, immune to GC) and once with every
+/// domain forced onto regular threads. The paper's claim: the NHRT stages
+/// show flat response times and zero misses; the regular deployment is at
+/// the collector's mercy.
+///
+/// # Errors
+///
+/// Propagates compilation errors.
+pub fn run_determinism(horizon_ms: u64) -> HarnessResult<Vec<DeterminismRow>> {
+    let arch = motivation_architecture()?;
+    let spec = compile(&arch)?;
+    let costs = SimCosts::uniform(RelativeTime::from_micros(50))
+        .with("ProductionLine", RelativeTime::from_micros(40))
+        .with("MonitoringSystem", RelativeTime::from_micros(80))
+        .with("AuditLog", RelativeTime::from_micros(40));
+    // A collector aggressive enough that a stage stalled by a full pause
+    // blows its 10 ms deadline.
+    let gc = GcConfig::periodic(RelativeTime::from_millis(40), RelativeTime::from_millis(12));
+
+    let mut rows = Vec::new();
+    for (label, force) in [
+        ("NHRT (as designed)", None),
+        ("Regular threads", Some(ThreadKind::Regular)),
+    ] {
+        let mut d = deploy(
+            &spec,
+            &costs,
+            &SimOptions {
+                force_thread_kind: force,
+                gc: Some(gc),
+            },
+        );
+        d.simulator.run_until(AbsoluteTime::from_millis(horizon_ms));
+        for stage in ["ProductionLine", "MonitoringSystem"] {
+            let task = *d
+                .tasks
+                .get(stage)
+                .ok_or_else(|| format!("stage '{stage}' not deployed"))?;
+            let stats = d.simulator.stats(task)?;
+            let summary = stats
+                .response_summary()
+                .ok_or("stage completed no jobs")?;
+            rows.push(DeterminismRow {
+                label: label.to_string(),
+                stage: stage.to_string(),
+                median: summary.median,
+                jitter: summary.jitter,
+                max: summary.max,
+                deadline_misses: stats.deadline_misses,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the E5 table.
+pub fn determinism_table(rows: &[DeterminismRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "§5.1 determinism (E5) — real-time stages under GC (virtual time)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:<18} {:>12} {:>12} {:>12} {:>8}",
+        "deployment", "stage", "median(us)", "jitter(us)", "max(us)", "misses"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:<18} {:>12.1} {:>12.1} {:>12.1} {:>8}",
+            r.label,
+            r.stage,
+            r.median.as_micros_f64(),
+            r.jitter.as_micros_f64(),
+            r.max.as_micros_f64(),
+            r.deadline_misses
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic pipelines (ablation: overhead vs. pipeline depth)
+// ---------------------------------------------------------------------------
+
+/// Builds an `stages`-deep asynchronous relay pipeline (periodic head, then
+/// `stages` sporadic relays, all NHRT in immortal memory) and returns the
+/// running system. Used by the scaling ablation bench and tests.
+///
+/// # Errors
+///
+/// Propagates design or build errors (none expected for valid inputs).
+pub fn build_relay_pipeline(
+    stages: usize,
+    mode: Mode,
+) -> HarnessResult<soleil::runtime::System<u64>> {
+    use soleil::prelude::*;
+
+    let mut b = BusinessView::new(format!("relay-{stages}"));
+    b.active_periodic("stage0", "10ms")?;
+    b.content("stage0", "Relay")?;
+    for i in 1..=stages {
+        let name = format!("stage{i}");
+        b.active_sporadic(&name)?;
+        b.content(&name, "Relay")?;
+    }
+    for i in 0..stages {
+        let (from, to) = (format!("stage{i}"), format!("stage{}", i + 1));
+        b.require(&from, "out", "I")?;
+        b.provide(&to, "in", "I")?;
+        b.bind_async(&from, "out", &to, "in", 4)?;
+    }
+    let mut flow = DesignFlow::new(b);
+    let members: Vec<String> = (0..=stages).map(|i| format!("stage{i}")).collect();
+    let member_refs: Vec<&str> = members.iter().map(String::as_str).collect();
+    flow.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 30, &member_refs)?;
+    flow.memory_area("imm", MemoryKind::Immortal, Some(1 << 20), &["nhrt"])?;
+    let arch = flow.merge()?;
+
+    #[derive(Debug, Default)]
+    struct Relay;
+    impl Content<u64> for Relay {
+        fn on_invoke(&mut self, _p: &str, msg: &mut u64, out: &mut dyn Ports<u64>) -> InvokeResult {
+            *msg = msg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match out.send("out", *msg) {
+                Ok(()) => Ok(()),
+                // The tail stage has no outgoing binding.
+                Err(FrameworkError::Binding(_)) => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+    }
+    let mut registry: ContentRegistry<u64> = ContentRegistry::new();
+    registry.register("Relay", || Box::new(Relay));
+    Ok(generate(&arch, mode, &registry)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_runner_produces_all_rows() {
+        let rows = run_overhead(50, 200).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].label, "OO");
+        for r in &rows {
+            assert_eq!(r.samples.len(), 200);
+            assert!(r.samples.summary().is_some());
+        }
+        let table = fig7b_table(&rows);
+        assert!(table.contains("SOLEIL"));
+        assert!(table.contains("median"));
+        let hist = fig7a_report(&rows, 10);
+        assert!(hist.contains("ULTRA-MERGE"));
+    }
+
+    #[test]
+    fn footprint_runner_matches_paper_shape() {
+        let reports = run_footprint().unwrap();
+        assert_eq!(reports.len(), 4);
+        let by_label = |l: &str| {
+            reports
+                .iter()
+                .find(|r| r.label == l)
+                .unwrap_or_else(|| panic!("missing {l}"))
+        };
+        let oo = by_label("OO");
+        let soleil = by_label("SOLEIL");
+        let merge = by_label("MERGE-ALL");
+        let ultra = by_label("ULTRA-MERGE");
+        // Shape: SOLEIL >> MERGE-ALL > ULTRA-MERGE; SOLEIL biggest overhead.
+        assert!(soleil.framework_bytes > merge.framework_bytes);
+        assert!(merge.framework_bytes > ultra.framework_bytes);
+        assert!(soleil.overhead_vs(oo) > merge.overhead_vs(oo));
+        let table = fig7c_table(&reports);
+        assert!(table.contains("overhead vs OO"));
+    }
+
+    #[test]
+    fn codegen_runner_matches_paper_claims() {
+        let rows = run_codegen().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].units > rows[1].units && rows[1].units > rows[2].units);
+        assert_eq!(rows[2].units, 1, "ULTRA-MERGE is one unit");
+        assert!(rows[0].membrane_reconfig && !rows[1].membrane_reconfig);
+        assert!(rows[1].functional_reconfig && !rows[2].functional_reconfig);
+        let table = codegen_table(&rows);
+        assert!(table.contains("indirections"));
+    }
+
+    #[test]
+    fn relay_pipeline_runs_at_every_depth_and_mode() {
+        for stages in [1usize, 3, 8] {
+            for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+                let mut sys = build_relay_pipeline(stages, mode).unwrap();
+                let head = sys.slot_of("stage0").unwrap();
+                for _ in 0..10 {
+                    sys.run_transaction(head).unwrap();
+                }
+                let st = sys.stats();
+                assert_eq!(st.transactions, 10);
+                // One activation per stage (head + N relays) per transaction.
+                assert_eq!(st.activations, 10 * (stages as u64 + 1));
+                assert_eq!(st.dropped_messages, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_runner_shows_gc_contrast() {
+        let rows = run_determinism(1_000).unwrap();
+        assert_eq!(rows.len(), 4);
+        let nhrt: Vec<_> = rows.iter().filter(|r| r.label.contains("NHRT")).collect();
+        let reg: Vec<_> = rows.iter().filter(|r| r.label.contains("Regular")).collect();
+        for r in &nhrt {
+            assert_eq!(r.deadline_misses, 0, "NHRT stage {} immune to GC", r.stage);
+            assert_eq!(r.jitter, RelativeTime::ZERO, "NHRT stage {} is flat", r.stage);
+        }
+        let reg_misses: u64 = reg.iter().map(|r| r.deadline_misses).sum();
+        assert!(reg_misses > 0, "regular deployment must miss deadlines under GC");
+        let reg_worst = reg.iter().map(|r| r.max).max().unwrap();
+        let nhrt_worst = nhrt.iter().map(|r| r.max).max().unwrap();
+        assert!(reg_worst > nhrt_worst * 10, "GC dominates the regular worst case");
+    }
+}

@@ -1,0 +1,636 @@
+//! The [`Architecture`] container: a component DAG with sharing, a binding
+//! table, and the queries the validator and generator build on.
+//!
+//! The metamodel supports **component sharing** (a component may have
+//! several super-components — the feature the paper credits to Fractal), so
+//! the containment structure is a DAG, not a tree. A functional component is
+//! typically shared between one ThreadDomain (fixing its thread) and one
+//! MemoryArea (fixing its allocation region), or reaches them transitively.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{
+    ActivationKind, Binding, Component, ComponentId, ComponentKind, Endpoint, InterfaceDecl,
+    MemoryAreaDesc, Protocol, Role, ThreadDomainDesc,
+};
+use crate::{ModelError, Result};
+
+/// A complete (or in-progress) component architecture.
+///
+/// Construction is incremental: add components, connect hierarchy edges,
+/// declare interfaces, add bindings. Structural well-formedness (unique
+/// names, acyclic hierarchy, endpoint existence) is enforced eagerly;
+/// RTSJ conformance is checked separately by [`crate::validate::validate`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Architecture {
+    /// Architecture name (diagnostics, generated-code headers).
+    pub name: String,
+    components: Vec<Component>,
+    /// children[parent] = list of sub-component ids.
+    children: Vec<Vec<ComponentId>>,
+    /// parents[child] = list of super-component ids (sharing!).
+    parents: Vec<Vec<ComponentId>>,
+    bindings: Vec<Binding>,
+    #[serde(skip)]
+    by_name: HashMap<String, ComponentId>,
+}
+
+impl Architecture {
+    /// Creates an empty architecture.
+    pub fn new(name: impl Into<String>) -> Self {
+        Architecture {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Rebuilds the name index (needed after deserialization).
+    pub fn reindex(&mut self) {
+        self.by_name = self
+            .components
+            .iter()
+            .map(|c| (c.name.clone(), c.id))
+            .collect();
+    }
+
+    // -----------------------------------------------------------------
+    // Construction
+    // -----------------------------------------------------------------
+
+    /// Adds a component of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::DuplicateName`] if the name is taken.
+    pub fn add_component(&mut self, name: impl Into<String>, kind: ComponentKind) -> Result<ComponentId> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(ModelError::DuplicateName(name));
+        }
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(Component {
+            id,
+            name: name.clone(),
+            kind,
+            interfaces: Vec::new(),
+            content_class: None,
+        });
+        self.children.push(Vec::new());
+        self.parents.push(Vec::new());
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Sets the content class of a functional component.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::KindMismatch`] for non-functional components — the
+    /// paper is explicit that ThreadDomain and MemoryArea are *exclusively
+    /// composite* and carry no functional behaviour.
+    pub fn set_content_class(&mut self, id: ComponentId, class: impl Into<String>) -> Result<()> {
+        let c = self.component_mut(id)?;
+        if !c.kind.is_functional() {
+            return Err(ModelError::KindMismatch {
+                component: c.name.clone(),
+                detail: "non-functional components cannot have a content class".into(),
+            });
+        }
+        c.content_class = Some(class.into());
+        Ok(())
+    }
+
+    /// Declares an interface on a component.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::DuplicateName`] if the interface name is taken on
+    ///   this component.
+    /// * [`ModelError::KindMismatch`] for non-functional components.
+    pub fn add_interface(
+        &mut self,
+        id: ComponentId,
+        name: impl Into<String>,
+        role: Role,
+        signature: impl Into<String>,
+    ) -> Result<()> {
+        let c = self.component_mut(id)?;
+        if !c.kind.is_functional() {
+            return Err(ModelError::KindMismatch {
+                component: c.name.clone(),
+                detail: "non-functional components expose no functional interfaces".into(),
+            });
+        }
+        let name = name.into();
+        if c.interface(&name).is_some() {
+            return Err(ModelError::DuplicateName(format!("{}.{}", c.name, name)));
+        }
+        c.interfaces.push(InterfaceDecl {
+            name,
+            role,
+            signature: signature.into(),
+        });
+        Ok(())
+    }
+
+    /// Adds a containment edge `parent -> child`. Sharing is allowed: a
+    /// child may gain several parents.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::HierarchyCycle`] if the edge would make the DAG
+    ///   cyclic (or `parent == child`).
+    /// * [`ModelError::KindMismatch`] if `parent` is Active or Passive
+    ///   (only composites contain).
+    pub fn add_child(&mut self, parent: ComponentId, child: ComponentId) -> Result<()> {
+        let pc = self.component(parent)?;
+        if matches!(pc.kind, ComponentKind::Active(_) | ComponentKind::Passive) {
+            return Err(ModelError::KindMismatch {
+                component: pc.name.clone(),
+                detail: "active/passive components cannot contain sub-components".into(),
+            });
+        }
+        self.component(child)?;
+        if parent == child || self.is_reachable(child, parent) {
+            return Err(ModelError::HierarchyCycle(
+                self.components[child.0 as usize].name.clone(),
+            ));
+        }
+        if !self.children[parent.0 as usize].contains(&child) {
+            self.children[parent.0 as usize].push(child);
+            self.parents[child.0 as usize].push(parent);
+        }
+        Ok(())
+    }
+
+    /// Removes the containment edge `parent -> child`, if present.
+    pub fn remove_child(&mut self, parent: ComponentId, child: ComponentId) {
+        if let Some(v) = self.children.get_mut(parent.0 as usize) {
+            v.retain(|&c| c != child);
+        }
+        if let Some(v) = self.parents.get_mut(child.0 as usize) {
+            v.retain(|&p| p != parent);
+        }
+    }
+
+    /// Adds a binding between a client interface and a server interface.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnknownInterface`] if either endpoint names a
+    ///   missing interface.
+    /// * [`ModelError::KindMismatch`] if the endpoint roles are wrong or
+    ///   the signatures disagree.
+    pub fn bind(
+        &mut self,
+        client: ComponentId,
+        client_if: &str,
+        server: ComponentId,
+        server_if: &str,
+        protocol: Protocol,
+    ) -> Result<()> {
+        let (c, s) = (self.component(client)?, self.component(server)?);
+        let ci = c.interface(client_if).ok_or_else(|| ModelError::UnknownInterface {
+            component: c.name.clone(),
+            interface: client_if.to_string(),
+        })?;
+        let si = s.interface(server_if).ok_or_else(|| ModelError::UnknownInterface {
+            component: s.name.clone(),
+            interface: server_if.to_string(),
+        })?;
+        if ci.role != Role::Client {
+            return Err(ModelError::KindMismatch {
+                component: c.name.clone(),
+                detail: format!("interface '{client_if}' is not a client interface"),
+            });
+        }
+        if si.role != Role::Server {
+            return Err(ModelError::KindMismatch {
+                component: s.name.clone(),
+                detail: format!("interface '{server_if}' is not a server interface"),
+            });
+        }
+        if ci.signature != si.signature {
+            return Err(ModelError::KindMismatch {
+                component: c.name.clone(),
+                detail: format!(
+                    "signature mismatch: {}.{client_if}: {} vs {}.{server_if}: {}",
+                    c.name, ci.signature, s.name, si.signature
+                ),
+            });
+        }
+        self.bindings.push(Binding {
+            client: Endpoint {
+                component: client,
+                interface: client_if.to_string(),
+            },
+            server: Endpoint {
+                component: server,
+                interface: server_if.to_string(),
+            },
+            protocol,
+        });
+        Ok(())
+    }
+
+    /// Removes a binding by exact endpoints; returns whether one was removed.
+    pub fn unbind(&mut self, client: ComponentId, client_if: &str) -> bool {
+        let before = self.bindings.len();
+        self.bindings
+            .retain(|b| !(b.client.component == client && b.client.interface == client_if));
+        self.bindings.len() != before
+    }
+
+    // -----------------------------------------------------------------
+    // Lookup and traversal
+    // -----------------------------------------------------------------
+
+    /// The component with the given id.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownComponent`] for an out-of-range id.
+    pub fn component(&self, id: ComponentId) -> Result<&Component> {
+        self.components
+            .get(id.0 as usize)
+            .ok_or_else(|| ModelError::UnknownComponent(format!("{id}")))
+    }
+
+    fn component_mut(&mut self, id: ComponentId) -> Result<&mut Component> {
+        self.components
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| ModelError::UnknownComponent(format!("{id}")))
+    }
+
+    /// Looks a component up by name.
+    pub fn by_name(&self, name: &str) -> Option<&Component> {
+        self.by_name.get(name).map(|&id| &self.components[id.0 as usize])
+    }
+
+    /// Id of the component with the given name.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownComponent`] when absent.
+    pub fn id_of(&self, name: &str) -> Result<ComponentId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownComponent(name.to_string()))
+    }
+
+    /// All components, in insertion order.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// All bindings, in insertion order.
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    /// Direct sub-components of `id`.
+    pub fn children_of(&self, id: ComponentId) -> &[ComponentId] {
+        &self.children[id.0 as usize]
+    }
+
+    /// Direct super-components of `id` (more than one under sharing).
+    pub fn parents_of(&self, id: ComponentId) -> &[ComponentId] {
+        &self.parents[id.0 as usize]
+    }
+
+    /// Components with no super-component.
+    pub fn roots(&self) -> Vec<ComponentId> {
+        self.components
+            .iter()
+            .filter(|c| self.parents[c.id.0 as usize].is_empty())
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// True when `to` is reachable from `from` following child edges.
+    pub fn is_reachable(&self, from: ComponentId, to: ComponentId) -> bool {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(c) = queue.pop_front() {
+            if c == to {
+                return true;
+            }
+            if seen.insert(c) {
+                queue.extend(self.children[c.0 as usize].iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Every ancestor of `id` (transitive supers, deduplicated, BFS order).
+    pub fn ancestors(&self, id: ComponentId) -> Vec<ComponentId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut queue: VecDeque<ComponentId> = self.parents[id.0 as usize].iter().copied().collect();
+        while let Some(p) = queue.pop_front() {
+            if seen.insert(p) {
+                out.push(p);
+                queue.extend(self.parents[p.0 as usize].iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Every descendant of `id` (transitive children, deduplicated).
+    pub fn descendants(&self, id: ComponentId) -> Vec<ComponentId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut queue: VecDeque<ComponentId> =
+            self.children[id.0 as usize].iter().copied().collect();
+        while let Some(c) = queue.pop_front() {
+            if seen.insert(c) {
+                out.push(c);
+                queue.extend(self.children[c.0 as usize].iter().copied());
+            }
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Real-time queries
+    // -----------------------------------------------------------------
+
+    /// All ThreadDomain ancestors of `id` (usually exactly one for a valid
+    /// architecture).
+    pub fn thread_domains_of(&self, id: ComponentId) -> Vec<ComponentId> {
+        self.ancestors(id)
+            .into_iter()
+            .filter(|&a| matches!(self.components[a.0 as usize].kind, ComponentKind::ThreadDomain(_)))
+            .collect()
+    }
+
+    /// The unique ThreadDomain governing `id`, when exactly one exists.
+    pub fn thread_domain_of(&self, id: ComponentId) -> Option<(ComponentId, ThreadDomainDesc)> {
+        let domains = self.thread_domains_of(id);
+        match domains.as_slice() {
+            [d] => match self.components[d.0 as usize].kind {
+                ComponentKind::ThreadDomain(desc) => Some((*d, desc)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// All MemoryArea ancestors of `id`, nearest first.
+    pub fn memory_areas_of(&self, id: ComponentId) -> Vec<ComponentId> {
+        self.ancestors(id)
+            .into_iter()
+            .filter(|&a| matches!(self.components[a.0 as usize].kind, ComponentKind::MemoryArea(_)))
+            .collect()
+    }
+
+    /// The *effective* memory area of `id`: the nearest MemoryArea ancestor
+    /// (memory areas may nest, so a component's allocation region is the
+    /// innermost enclosing area).
+    pub fn memory_area_of(&self, id: ComponentId) -> Option<(ComponentId, MemoryAreaDesc)> {
+        // BFS over supers returns nearest-first.
+        let areas = self.memory_areas_of(id);
+        areas.first().map(|&a| match self.components[a.0 as usize].kind {
+            ComponentKind::MemoryArea(desc) => (a, desc),
+            _ => unreachable!("filtered on MemoryArea"),
+        })
+    }
+
+    /// All active components, in insertion order.
+    pub fn actives(&self) -> Vec<ComponentId> {
+        self.components
+            .iter()
+            .filter(|c| c.kind.is_active())
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// All functional (business) components.
+    pub fn functional_components(&self) -> Vec<ComponentId> {
+        self.components
+            .iter()
+            .filter(|c| c.kind.is_functional())
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// Bindings whose server side is `id`.
+    pub fn incoming_bindings(&self, id: ComponentId) -> Vec<&Binding> {
+        self.bindings
+            .iter()
+            .filter(|b| b.server.component == id)
+            .collect()
+    }
+
+    /// Bindings whose client side is `id`.
+    pub fn outgoing_bindings(&self, id: ComponentId) -> Vec<&Binding> {
+        self.bindings
+            .iter()
+            .filter(|b| b.client.component == id)
+            .collect()
+    }
+
+    /// The activation kind of an active component.
+    pub fn activation_of(&self, id: ComponentId) -> Option<ActivationKind> {
+        match self.components.get(id.0 as usize)?.kind {
+            ComponentKind::Active(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsj::memory::MemoryKind;
+    use rtsj::thread::ThreadKind;
+
+    fn arch_with_sharing() -> (Architecture, ComponentId, ComponentId, ComponentId) {
+        let mut a = Architecture::new("t");
+        let comp = a
+            .add_component("worker", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let domain = a
+            .add_component(
+                "nhrt",
+                ComponentKind::ThreadDomain(ThreadDomainDesc {
+                    kind: ThreadKind::NoHeapRealtime,
+                    priority: 30,
+                }),
+            )
+            .unwrap();
+        let area = a
+            .add_component(
+                "imm",
+                ComponentKind::MemoryArea(MemoryAreaDesc {
+                    kind: MemoryKind::Immortal,
+                    size: Some(1024),
+                }),
+            )
+            .unwrap();
+        a.add_child(domain, comp).unwrap();
+        a.add_child(area, domain).unwrap();
+        (a, comp, domain, area)
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut a = Architecture::new("t");
+        a.add_component("x", ComponentKind::Passive).unwrap();
+        assert!(matches!(
+            a.add_component("x", ComponentKind::Passive),
+            Err(ModelError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn sharing_gives_multiple_parents() {
+        let (mut a, comp, domain, _area) = arch_with_sharing();
+        let area2 = a
+            .add_component(
+                "s1",
+                ComponentKind::MemoryArea(MemoryAreaDesc {
+                    kind: MemoryKind::Scoped,
+                    size: Some(512),
+                }),
+            )
+            .unwrap();
+        a.add_child(area2, comp).unwrap();
+        assert_eq!(a.parents_of(comp).len(), 2);
+        assert!(a.parents_of(comp).contains(&domain));
+        assert!(a.parents_of(comp).contains(&area2));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let (mut a, comp, _domain, area) = arch_with_sharing();
+        assert!(matches!(
+            a.add_child(comp, area),
+            Err(ModelError::KindMismatch { .. })
+        ));
+        // Composite cycle: area -> domain -> comp; adding domain as parent of area is a cycle.
+        let composite = a.add_component("outer", ComponentKind::Composite).unwrap();
+        a.add_child(composite, area).unwrap();
+        let err = a.add_child(area, composite).unwrap_err();
+        assert!(matches!(err, ModelError::HierarchyCycle(_)));
+    }
+
+    #[test]
+    fn self_edge_rejected() {
+        let mut a = Architecture::new("t");
+        let c = a.add_component("c", ComponentKind::Composite).unwrap();
+        assert!(matches!(a.add_child(c, c), Err(ModelError::HierarchyCycle(_))));
+    }
+
+    #[test]
+    fn thread_domain_and_area_queries() {
+        let (a, comp, domain, area) = arch_with_sharing();
+        let (d, desc) = a.thread_domain_of(comp).unwrap();
+        assert_eq!(d, domain);
+        assert_eq!(desc.kind, ThreadKind::NoHeapRealtime);
+        let (m, mdesc) = a.memory_area_of(comp).unwrap();
+        assert_eq!(m, area);
+        assert_eq!(mdesc.kind, MemoryKind::Immortal);
+        // The domain itself lives in the area.
+        assert_eq!(a.memory_area_of(domain).unwrap().0, area);
+    }
+
+    #[test]
+    fn nested_areas_nearest_wins() {
+        let mut a = Architecture::new("t");
+        let outer = a
+            .add_component(
+                "outer",
+                ComponentKind::MemoryArea(MemoryAreaDesc {
+                    kind: MemoryKind::Immortal,
+                    size: Some(4096),
+                }),
+            )
+            .unwrap();
+        let inner = a
+            .add_component(
+                "inner",
+                ComponentKind::MemoryArea(MemoryAreaDesc {
+                    kind: MemoryKind::Scoped,
+                    size: Some(1024),
+                }),
+            )
+            .unwrap();
+        let c = a.add_component("c", ComponentKind::Passive).unwrap();
+        a.add_child(outer, inner).unwrap();
+        a.add_child(inner, c).unwrap();
+        assert_eq!(a.memory_area_of(c).unwrap().0, inner);
+        assert_eq!(a.memory_areas_of(c), vec![inner, outer]);
+    }
+
+    #[test]
+    fn binding_role_and_signature_checked() {
+        let mut a = Architecture::new("t");
+        let p = a.add_component("producer", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let q = a.add_component("consumer", ComponentKind::Passive).unwrap();
+        a.add_interface(p, "out", Role::Client, "IMsg").unwrap();
+        a.add_interface(q, "in", Role::Server, "IMsg").unwrap();
+        a.add_interface(q, "other", Role::Server, "IOther").unwrap();
+
+        // Wrong direction.
+        assert!(a.bind(q, "in", p, "out", Protocol::Synchronous).is_err());
+        // Signature mismatch.
+        assert!(a.bind(p, "out", q, "other", Protocol::Synchronous).is_err());
+        // Correct.
+        a.bind(p, "out", q, "in", Protocol::Asynchronous { buffer_size: 4 })
+            .unwrap();
+        assert_eq!(a.bindings().len(), 1);
+        assert_eq!(a.incoming_bindings(q).len(), 1);
+        assert_eq!(a.outgoing_bindings(p).len(), 1);
+    }
+
+    #[test]
+    fn unbind_removes() {
+        let mut a = Architecture::new("t");
+        let p = a.add_component("p", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let q = a.add_component("q", ComponentKind::Passive).unwrap();
+        a.add_interface(p, "out", Role::Client, "I").unwrap();
+        a.add_interface(q, "in", Role::Server, "I").unwrap();
+        a.bind(p, "out", q, "in", Protocol::Synchronous).unwrap();
+        assert!(a.unbind(p, "out"));
+        assert!(!a.unbind(p, "out"));
+        assert!(a.bindings().is_empty());
+    }
+
+    #[test]
+    fn interfaces_forbidden_on_non_functional() {
+        let (mut a, _comp, domain, _area) = arch_with_sharing();
+        assert!(matches!(
+            a.add_interface(domain, "i", Role::Server, "I"),
+            Err(ModelError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            a.set_content_class(domain, "Impl"),
+            Err(ModelError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn roots_and_descendants() {
+        let (a, comp, domain, area) = arch_with_sharing();
+        assert_eq!(a.roots(), vec![area]);
+        let desc = a.descendants(area);
+        assert!(desc.contains(&domain));
+        assert!(desc.contains(&comp));
+        assert!(a.is_reachable(area, comp));
+        assert!(!a.is_reachable(comp, area));
+    }
+
+    #[test]
+    fn serde_roundtrip_with_reindex() {
+        let (a, comp, ..) = arch_with_sharing();
+        let json = serde_json::to_string(&a).unwrap();
+        let mut back: Architecture = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        assert_eq!(back.id_of("worker").unwrap(), comp);
+        assert_eq!(back.components().len(), a.components().len());
+    }
+}

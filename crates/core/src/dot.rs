@@ -1,0 +1,165 @@
+//! Graphviz export: render an architecture as a `dot` digraph.
+//!
+//! Memory areas become clusters (nested areas nest visually), thread
+//! domains become dashed clusters inside them, functional components are
+//! nodes (double circles for active components), and bindings are edges —
+//! solid for synchronous, dashed for asynchronous (labelled with the buffer
+//! capacity). Handy for documentation and for eyeballing a design before
+//! validation.
+
+use std::fmt::Write as _;
+
+use crate::arch::Architecture;
+use crate::model::{ComponentId, ComponentKind, Protocol};
+
+fn node_id(arch: &Architecture, id: ComponentId) -> String {
+    let name = arch
+        .component(id)
+        .map(|c| c.name.clone())
+        .unwrap_or_else(|_| id.to_string());
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    s.insert_str(0, "n_");
+    s
+}
+
+fn write_component(arch: &Architecture, id: ComponentId, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let c = arch.component(id).expect("walking known components");
+    match c.kind {
+        ComponentKind::MemoryArea(desc) => {
+            let _ = writeln!(out, "{pad}subgraph cluster_{} {{", node_id(arch, id));
+            let _ = writeln!(
+                out,
+                "{pad}  label=\"{} [{}]\"; style=filled; fillcolor=\"{}\";",
+                c.name,
+                desc.kind.code(),
+                match desc.kind {
+                    rtsj::memory::MemoryKind::Heap => "#fff3e0",
+                    rtsj::memory::MemoryKind::Immortal => "#e3f2fd",
+                    rtsj::memory::MemoryKind::Scoped => "#e8f5e9",
+                }
+            );
+            for &child in arch.children_of(id) {
+                write_component(arch, child, depth + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        ComponentKind::ThreadDomain(desc) => {
+            let _ = writeln!(out, "{pad}subgraph cluster_{} {{", node_id(arch, id));
+            let _ = writeln!(
+                out,
+                "{pad}  label=\"{} [{} p{}]\"; style=dashed;",
+                c.name,
+                desc.kind.code(),
+                desc.priority
+            );
+            for &child in arch.children_of(id) {
+                write_component(arch, child, depth + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        ComponentKind::Composite => {
+            let _ = writeln!(out, "{pad}subgraph cluster_{} {{", node_id(arch, id));
+            let _ = writeln!(out, "{pad}  label=\"{}\"; style=dotted;", c.name);
+            for &child in arch.children_of(id) {
+                write_component(arch, child, depth + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        ComponentKind::Active(_) => {
+            let _ = writeln!(
+                out,
+                "{pad}{} [label=\"{}\", shape=doublecircle];",
+                node_id(arch, id),
+                c.name
+            );
+        }
+        ComponentKind::Passive => {
+            let _ = writeln!(
+                out,
+                "{pad}{} [label=\"{}\", shape=ellipse];",
+                node_id(arch, id),
+                c.name
+            );
+        }
+    }
+}
+
+/// Renders `arch` as a Graphviz digraph.
+///
+/// ```
+/// use soleil_core::adl::{from_xml, MOTIVATION_EXAMPLE_XML};
+/// use soleil_core::dot::to_dot;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let arch = from_xml(MOTIVATION_EXAMPLE_XML)?;
+/// let dot = to_dot(&arch);
+/// assert!(dot.contains("digraph"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(arch: &Architecture) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", arch.name);
+    let _ = writeln!(out, "  rankdir=LR; compound=true;");
+
+    // Containment: walk from non-functional roots; then free-standing
+    // functional components (not under any composite).
+    for c in arch.components() {
+        let is_root = arch.parents_of(c.id()).is_empty();
+        if is_root {
+            write_component(arch, c.id(), 1, &mut out);
+        }
+    }
+
+    // Bindings.
+    for b in arch.bindings() {
+        let style = match b.protocol {
+            Protocol::Synchronous => "solid".to_string(),
+            Protocol::Asynchronous { buffer_size } => {
+                format!("dashed, label=\"buf {buffer_size}\"")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style={style}];",
+            node_id(arch, b.client.component),
+            node_id(arch, b.server.component)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adl::{from_xml, MOTIVATION_EXAMPLE_XML};
+
+    #[test]
+    fn motivation_example_renders() {
+        let arch = from_xml(MOTIVATION_EXAMPLE_XML).unwrap();
+        let dot = to_dot(&arch);
+        assert!(dot.starts_with("digraph"));
+        // Areas are clusters; components are nodes; bindings are edges.
+        assert!(dot.contains("cluster_n_Imm1"));
+        assert!(dot.contains("cluster_n_NHRT1"));
+        assert!(dot.contains("n_ProductionLine [label=\"ProductionLine\", shape=doublecircle]"));
+        assert!(dot.contains("n_Console [label=\"Console\", shape=ellipse]"));
+        assert!(dot.contains("n_ProductionLine -> n_MonitoringSystem [style=dashed, label=\"buf 10\"]"));
+        assert!(dot.contains("n_MonitoringSystem -> n_Console [style=solid]"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let mut arch = Architecture::new("x");
+        arch.add_component("weird name-1", crate::model::ComponentKind::Passive)
+            .unwrap();
+        let dot = to_dot(&arch);
+        assert!(dot.contains("n_weird_name_1"));
+    }
+}

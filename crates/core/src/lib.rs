@@ -1,0 +1,147 @@
+//! # soleil-core — the RTSJ component metamodel, design views, ADL and validator
+//!
+//! This crate implements §3 of *"A Component Framework for Java-based
+//! Real-Time Embedded Systems"* (Plšek et al., Middleware 2008): a
+//! hierarchical component model **with sharing** in which real-time concerns
+//! are first-class architectural entities.
+//!
+//! * [`model`] — the metamodel of Fig. 2: [`model::Component`]s that are
+//!   *Active*, *Passive* or *Composite*, plus the two non-functional
+//!   composites — **ThreadDomain** (a thread type + priority shared by its
+//!   members) and **MemoryArea** (an RTSJ allocation region shared by its
+//!   members) — interfaces, and sync/async [`model::Binding`]s.
+//! * [`arch`] — the [`arch::Architecture`] container: a component DAG
+//!   (sharing gives components several super-components), binding table and
+//!   the queries the validator and generator need (effective thread domain,
+//!   effective memory area, …).
+//! * [`views`] — the design methodology of Fig. 3: a *Business View* is
+//!   progressively refined by a *Thread Management View* and a *Memory
+//!   Management View*, then merged into the final RT System Architecture.
+//! * [`adl`] — the XML dialect of Fig. 4 (hand-written parser/printer) plus
+//!   a serde/JSON form.
+//! * [`mod@validate`] — the design-time RTSJ conformance engine: every rule the
+//!   paper names (single ThreadDomain per active component, no ThreadDomain
+//!   nesting, NHRT domains may not encapsulate heap, binding legality with
+//!   suggested cross-scope patterns, …) reported as structured diagnostics.
+//!
+//! ## Example
+//!
+//! ```
+//! use soleil_core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut business = BusinessView::new("demo");
+//! business.active_periodic("sensor", "10ms")?;
+//! business.active_sporadic("logger")?;
+//! business.provide("logger", "iLog", "ILog")?;
+//! business.require("sensor", "iLog", "ILog")?;
+//! business.bind_async("sensor", "iLog", "logger", "iLog", 16)?;
+//!
+//! let mut flow = DesignFlow::new(business);
+//! flow.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 30, &["sensor", "logger"])?;
+//! flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["nhrt"])?;
+//!
+//! let arch = flow.merge()?;
+//! let report = validate(&arch);
+//! assert!(report.is_compliant(), "{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adl;
+pub mod arch;
+pub mod dot;
+pub mod model;
+pub mod units;
+pub mod validate;
+pub mod views;
+
+pub use arch::Architecture;
+pub use validate::{validate, Diagnostic, Severity, ValidationReport};
+
+/// The most commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::adl::{from_xml, to_xml};
+    pub use crate::arch::Architecture;
+    pub use crate::model::{
+        ActivationKind, Binding, Component, ComponentId, ComponentKind, InterfaceDecl,
+        MemoryAreaDesc, Protocol, Role, ThreadDomainDesc,
+    };
+    pub use crate::validate::{validate, CrossScopePattern, Severity, ValidationReport};
+    pub use crate::views::{BusinessView, DesignFlow};
+    pub use rtsj::memory::MemoryKind;
+    pub use rtsj::thread::{Priority, ThreadKind};
+}
+
+/// Errors raised while constructing or transforming architectures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A component name was used twice.
+    DuplicateName(String),
+    /// A referenced component does not exist.
+    UnknownComponent(String),
+    /// A referenced interface does not exist on the component.
+    UnknownInterface {
+        /// Component searched.
+        component: String,
+        /// Interface name that was not found.
+        interface: String,
+    },
+    /// An operation was invalid for the component's kind.
+    KindMismatch {
+        /// Component involved.
+        component: String,
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// Adding an edge would create a cycle in the hierarchy DAG.
+    HierarchyCycle(String),
+    /// A malformed attribute value (sizes, durations, priorities).
+    BadAttribute {
+        /// Attribute name.
+        attribute: String,
+        /// Offending value.
+        value: String,
+    },
+    /// ADL text could not be parsed.
+    Parse {
+        /// Line number (1-based) of the failure.
+        line: usize,
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::DuplicateName(n) => write!(f, "duplicate component name '{n}'"),
+            ModelError::UnknownComponent(n) => write!(f, "unknown component '{n}'"),
+            ModelError::UnknownInterface {
+                component,
+                interface,
+            } => write!(f, "component '{component}' has no interface '{interface}'"),
+            ModelError::KindMismatch { component, detail } => {
+                write!(f, "component '{component}': {detail}")
+            }
+            ModelError::HierarchyCycle(n) => {
+                write!(f, "hierarchy cycle introduced at component '{n}'")
+            }
+            ModelError::BadAttribute { attribute, value } => {
+                write!(f, "bad value '{value}' for attribute '{attribute}'")
+            }
+            ModelError::Parse { line, detail } => {
+                write!(f, "ADL parse error (line {line}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Result alias for model-construction operations.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,370 @@
+//! The component metamodel of Fig. 2.
+//!
+//! Components come in five kinds. *Active*, *Passive* and *Composite*
+//! components carry business function; **ThreadDomain** and **MemoryArea**
+//! are the paper's non-functional composites that superimpose real-time
+//! concerns over their sub-components. Components expose client/server
+//! [`InterfaceDecl`]s; [`Binding`]s connect a client interface to a server
+//! interface with a synchronous or asynchronous [`Protocol`].
+
+use std::fmt;
+
+use rtsj::memory::MemoryKind;
+use rtsj::thread::{Priority, ThreadKind};
+use rtsj::time::RelativeTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a component within an [`crate::arch::Architecture`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// The raw index.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Builds an id from a raw index (diagnostic/test use).
+    pub const fn from_raw(raw: u32) -> ComponentId {
+        ComponentId(raw)
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c#{}", self.0)
+    }
+}
+
+/// How an active component is released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActivationKind {
+    /// Time-triggered with a fixed period.
+    Periodic {
+        /// Release period in nanoseconds.
+        period_ns: u64,
+    },
+    /// Event-triggered by message arrival on a server interface.
+    Sporadic,
+}
+
+impl ActivationKind {
+    /// The period, for periodic activations.
+    pub fn period(&self) -> Option<RelativeTime> {
+        match *self {
+            ActivationKind::Periodic { period_ns } => Some(RelativeTime::from_nanos(period_ns)),
+            ActivationKind::Sporadic => None,
+        }
+    }
+}
+
+mod serde_thread_kind {
+    use rtsj::thread::ThreadKind;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(k: &ThreadKind, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(k.code())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<ThreadKind, D::Error> {
+        let text = String::deserialize(d)?;
+        ThreadKind::parse(&text)
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown thread kind '{text}'")))
+    }
+}
+
+mod serde_memory_kind {
+    use rtsj::memory::MemoryKind;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(k: &MemoryKind, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(k.code())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<MemoryKind, D::Error> {
+        let text = String::deserialize(d)?;
+        MemoryKind::parse(&text)
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown memory kind '{text}'")))
+    }
+}
+
+/// Attributes of a ThreadDomain component (the ADL's `DomainDesc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadDomainDesc {
+    /// Thread class shared by all members.
+    #[serde(with = "serde_thread_kind")]
+    pub kind: ThreadKind,
+    /// Dispatch priority shared by all members.
+    pub priority: u8,
+}
+
+impl ThreadDomainDesc {
+    /// The priority as the substrate type.
+    pub fn priority(&self) -> Priority {
+        Priority::new(self.priority)
+    }
+}
+
+/// Attributes of a MemoryArea component (the ADL's `AreaDesc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryAreaDesc {
+    /// Region kind.
+    #[serde(with = "serde_memory_kind")]
+    pub kind: MemoryKind,
+    /// Size budget in bytes; required for scoped and immortal areas.
+    pub size: Option<usize>,
+}
+
+/// The five component kinds of the metamodel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// A business component with its own thread of control.
+    Active(ActivationKind),
+    /// A business component providing passive services.
+    Passive,
+    /// A plain functional composite (pure hierarchy, no RT semantics).
+    Composite,
+    /// Non-functional composite fixing thread type and priority.
+    ThreadDomain(ThreadDomainDesc),
+    /// Non-functional composite fixing the allocation region.
+    MemoryArea(MemoryAreaDesc),
+}
+
+impl ComponentKind {
+    /// True for Active/Passive/Composite (business) components.
+    pub fn is_functional(&self) -> bool {
+        matches!(
+            self,
+            ComponentKind::Active(_) | ComponentKind::Passive | ComponentKind::Composite
+        )
+    }
+
+    /// True for active components.
+    pub fn is_active(&self) -> bool {
+        matches!(self, ComponentKind::Active(_))
+    }
+
+    /// True for the two non-functional composites.
+    pub fn is_non_functional(&self) -> bool {
+        !self.is_functional()
+    }
+
+    /// Short kind label used in diagnostics and generated code.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ComponentKind::Active(_) => "active",
+            ComponentKind::Passive => "passive",
+            ComponentKind::Composite => "composite",
+            ComponentKind::ThreadDomain(_) => "thread-domain",
+            ComponentKind::MemoryArea(_) => "memory-area",
+        }
+    }
+}
+
+/// The role an interface plays: client interfaces *require* a service,
+/// server interfaces *provide* one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Requires the signature (outgoing calls).
+    Client,
+    /// Provides the signature (incoming calls).
+    Server,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Client => "client",
+            Role::Server => "server",
+        })
+    }
+}
+
+/// A declared interface on a component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterfaceDecl {
+    /// Interface name, unique per component.
+    pub name: String,
+    /// Client or server.
+    pub role: Role,
+    /// Type signature (a Java-style interface name in the paper).
+    pub signature: String,
+}
+
+/// A component: name, kind, interfaces and optional content class.
+///
+/// Hierarchy (sub/super edges) lives in the owning
+/// [`crate::arch::Architecture`], because the model supports *sharing* — a
+/// component may have several super-components.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    pub(crate) id: ComponentId,
+    /// Unique component name.
+    pub name: String,
+    /// The component's kind and kind-specific attributes.
+    pub kind: ComponentKind,
+    /// Declared interfaces.
+    pub interfaces: Vec<InterfaceDecl>,
+    /// Name of the functional implementation ("content class" in Fractal
+    /// terms). Only meaningful for functional components.
+    pub content_class: Option<String>,
+}
+
+impl Component {
+    /// This component's id within its architecture.
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// Finds a declared interface by name.
+    pub fn interface(&self, name: &str) -> Option<&InterfaceDecl> {
+        self.interfaces.iter().find(|i| i.name == name)
+    }
+
+    /// Iterates over interfaces with the given role.
+    pub fn interfaces_with_role(&self, role: Role) -> impl Iterator<Item = &InterfaceDecl> {
+        self.interfaces.iter().filter(move |i| i.role == role)
+    }
+}
+
+/// The communication protocol of a binding (the ADL's `BindDesc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Direct, run-to-completion invocation.
+    Synchronous,
+    /// Message passing through a bounded buffer.
+    Asynchronous {
+        /// Capacity of the message buffer.
+        buffer_size: usize,
+    },
+}
+
+impl Protocol {
+    /// True for asynchronous bindings.
+    pub fn is_async(&self) -> bool {
+        matches!(self, Protocol::Asynchronous { .. })
+    }
+
+    /// Buffer capacity for asynchronous bindings.
+    pub fn buffer_size(&self) -> Option<usize> {
+        match *self {
+            Protocol::Asynchronous { buffer_size } => Some(buffer_size),
+            Protocol::Synchronous => None,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Synchronous => f.write_str("synchronous"),
+            Protocol::Asynchronous { buffer_size } => {
+                write!(f, "asynchronous(buffer={buffer_size})")
+            }
+        }
+    }
+}
+
+/// One end of a binding: a component and one of its interface names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// The component.
+    pub component: ComponentId,
+    /// The interface on that component.
+    pub interface: String,
+}
+
+/// A binding connecting a client interface to a server interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// The requiring side.
+    pub client: Endpoint,
+    /// The providing side.
+    pub server: Endpoint,
+    /// Communication protocol.
+    pub protocol: Protocol,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn component(kind: ComponentKind) -> Component {
+        Component {
+            id: ComponentId(0),
+            name: "c".into(),
+            kind,
+            interfaces: vec![
+                InterfaceDecl {
+                    name: "in".into(),
+                    role: Role::Server,
+                    signature: "IIn".into(),
+                },
+                InterfaceDecl {
+                    name: "out".into(),
+                    role: Role::Client,
+                    signature: "IOut".into(),
+                },
+            ],
+            content_class: None,
+        }
+    }
+
+    #[test]
+    fn kind_classification() {
+        let active = ComponentKind::Active(ActivationKind::Sporadic);
+        let domain = ComponentKind::ThreadDomain(ThreadDomainDesc {
+            kind: ThreadKind::NoHeapRealtime,
+            priority: 30,
+        });
+        let area = ComponentKind::MemoryArea(MemoryAreaDesc {
+            kind: MemoryKind::Scoped,
+            size: Some(1024),
+        });
+        assert!(active.is_functional());
+        assert!(active.is_active());
+        assert!(!ComponentKind::Passive.is_active());
+        assert!(domain.is_non_functional());
+        assert!(area.is_non_functional());
+        assert_eq!(domain.label(), "thread-domain");
+    }
+
+    #[test]
+    fn interface_lookup() {
+        let c = component(ComponentKind::Passive);
+        assert_eq!(c.interface("in").unwrap().signature, "IIn");
+        assert!(c.interface("nope").is_none());
+        assert_eq!(c.interfaces_with_role(Role::Client).count(), 1);
+        assert_eq!(c.interfaces_with_role(Role::Server).count(), 1);
+    }
+
+    #[test]
+    fn activation_period() {
+        let p = ActivationKind::Periodic {
+            period_ns: 10_000_000,
+        };
+        assert_eq!(p.period(), Some(RelativeTime::from_millis(10)));
+        assert_eq!(ActivationKind::Sporadic.period(), None);
+    }
+
+    #[test]
+    fn protocol_accessors() {
+        let a = Protocol::Asynchronous { buffer_size: 10 };
+        assert!(a.is_async());
+        assert_eq!(a.buffer_size(), Some(10));
+        assert!(!Protocol::Synchronous.is_async());
+        assert_eq!(a.to_string(), "asynchronous(buffer=10)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = component(ComponentKind::Active(ActivationKind::Periodic {
+            period_ns: 1_000_000,
+        }));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Component = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,130 @@
+//! Attribute-value parsing for the ADL: byte sizes (`600KB`) and durations
+//! (`10ms`), exactly the spellings the paper's Fig. 4 uses.
+
+use rtsj::time::RelativeTime;
+
+use crate::ModelError;
+
+/// Parses a byte-size literal: a decimal integer with an optional `B`, `KB`,
+/// `MB` or `GB` suffix (case-insensitive, optional whitespace).
+///
+/// ```
+/// use soleil_core::units::parse_size;
+/// assert_eq!(parse_size("600KB").unwrap(), 600 * 1024);
+/// assert_eq!(parse_size("28 kb").unwrap(), 28 * 1024);
+/// assert_eq!(parse_size("512").unwrap(), 512);
+/// ```
+///
+/// # Errors
+///
+/// [`ModelError::BadAttribute`] on empty input, unknown suffix or overflow.
+pub fn parse_size(text: &str) -> crate::Result<usize> {
+    let bad = || ModelError::BadAttribute {
+        attribute: "size".to_string(),
+        value: text.to_string(),
+    };
+    let trimmed = text.trim();
+    let split = trimmed
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(trimmed.len());
+    let (digits, suffix) = trimmed.split_at(split);
+    let value: usize = digits.parse().map_err(|_| bad())?;
+    let factor: usize = match suffix.trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "kb" | "k" => 1024,
+        "mb" | "m" => 1024 * 1024,
+        "gb" | "g" => 1024 * 1024 * 1024,
+        _ => return Err(bad()),
+    };
+    value.checked_mul(factor).ok_or_else(bad)
+}
+
+/// Formats a byte count the way the ADL prints it (`600KB`, `1MB`, `512B`).
+pub fn format_size(bytes: usize) -> String {
+    const MB: usize = 1024 * 1024;
+    const KB: usize = 1024;
+    if bytes >= MB && bytes % MB == 0 {
+        format!("{}MB", bytes / MB)
+    } else if bytes >= KB && bytes % KB == 0 {
+        format!("{}KB", bytes / KB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Parses a duration literal: a decimal integer with an `ns`, `us`, `ms` or
+/// `s` suffix (case-insensitive, optional whitespace).
+///
+/// ```
+/// use soleil_core::units::parse_duration;
+/// use rtsj::time::RelativeTime;
+/// assert_eq!(parse_duration("10ms").unwrap(), RelativeTime::from_millis(10));
+/// assert_eq!(parse_duration("250 us").unwrap(), RelativeTime::from_micros(250));
+/// ```
+///
+/// # Errors
+///
+/// [`ModelError::BadAttribute`] on empty input or unknown suffix.
+pub fn parse_duration(text: &str) -> crate::Result<RelativeTime> {
+    let bad = || ModelError::BadAttribute {
+        attribute: "duration".to_string(),
+        value: text.to_string(),
+    };
+    let trimmed = text.trim();
+    let split = trimmed
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(trimmed.len());
+    let (digits, suffix) = trimmed.split_at(split);
+    let value: u64 = digits.parse().map_err(|_| bad())?;
+    match suffix.trim().to_ascii_lowercase().as_str() {
+        "ns" => Ok(RelativeTime::from_nanos(value)),
+        "us" | "µs" => Ok(RelativeTime::from_micros(value)),
+        "ms" => Ok(RelativeTime::from_millis(value)),
+        "s" => Ok(RelativeTime::from_millis(value * 1000)),
+        _ => Err(bad()),
+    }
+}
+
+/// Formats a duration the way the ADL prints it (`10ms`, `250us`, `3ns`).
+pub fn format_duration(t: RelativeTime) -> String {
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_parse_and_format() {
+        assert_eq!(parse_size("0").unwrap(), 0);
+        assert_eq!(parse_size("600KB").unwrap(), 614_400);
+        assert_eq!(parse_size("1MB").unwrap(), 1_048_576);
+        assert_eq!(parse_size("2gb").unwrap(), 2 * 1024 * 1024 * 1024);
+        assert_eq!(format_size(614_400), "600KB");
+        assert_eq!(format_size(1_048_576), "1MB");
+        assert_eq!(format_size(100), "100B");
+    }
+
+    #[test]
+    fn size_errors() {
+        assert!(parse_size("").is_err());
+        assert!(parse_size("KB").is_err());
+        assert!(parse_size("10XB").is_err());
+        assert!(parse_size("-5KB").is_err());
+    }
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(parse_duration("10ms").unwrap(), RelativeTime::from_millis(10));
+        assert_eq!(parse_duration("1s").unwrap(), RelativeTime::from_millis(1000));
+        assert_eq!(parse_duration("7ns").unwrap(), RelativeTime::from_nanos(7));
+        assert!(parse_duration("10").is_err(), "bare numbers are ambiguous");
+        assert!(parse_duration("10min").is_err());
+    }
+
+    #[test]
+    fn duration_roundtrip_format() {
+        let t = parse_duration("10ms").unwrap();
+        assert_eq!(format_duration(t), "10ms");
+    }
+}

@@ -1,0 +1,938 @@
+//! Design-time RTSJ conformance validation (the feedback loop of Fig. 3).
+//!
+//! [`validate`] runs every rule the paper names against an
+//! [`Architecture`] and returns a [`ValidationReport`] of structured
+//! [`Diagnostic`]s. Rules marked *Error* make the architecture
+//! non-compliant ([`ValidationReport::is_compliant`] is false); *Warning*
+//! and *Info* diagnostics are advice — including, for every cross-area
+//! binding, the [`CrossScopePattern`] the generated memory interceptor will
+//! implement (the paper's "guidance for implementations of interfaces that
+//! cross different concerns").
+//!
+//! | Code | Severity | Rule |
+//! |------|----------|------|
+//! | SOL-001 | Error | every active component lies in exactly one ThreadDomain |
+//! | SOL-002 | Error | ThreadDomains are never nested in ThreadDomains |
+//! | SOL-003 | Error | an NHRT ThreadDomain never encapsulates heap memory |
+//! | SOL-004 | Error | every functional component has an unambiguous memory area |
+//! | SOL-005 | Error | domain priorities match their thread class |
+//! | SOL-006 | Error | no synchronous call from an NHRT domain into heap data |
+//! | SOL-007 | Info  | cross-area bindings: pattern selection |
+//! | SOL-008 | Warning | bindings into active servers should be asynchronous |
+//! | SOL-009 | Warning | sporadic actives need an incoming async binding |
+//! | SOL-010 | Error | async buffers have non-zero capacity |
+//! | SOL-011 | Warning | bounded areas declare sizes, heap does not |
+//! | SOL-012 | Warning | passive components directly inside a ThreadDomain |
+//! | SOL-013 | Error/Warning | client interfaces bound at most once / left unbound |
+//! | SOL-014 | Info | shared passive services get a priority ceiling |
+
+use std::fmt;
+
+use rtsj::memory::MemoryKind;
+use rtsj::thread::{Priority, ThreadKind};
+
+use crate::arch::Architecture;
+use crate::model::{Binding, ComponentId, ComponentKind, Protocol, Role};
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory (e.g. the selected communication pattern).
+    Info,
+    /// Suspicious but not RTSJ-violating.
+    Warning,
+    /// RTSJ violation: the architecture must be fixed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The cross-scope communication pattern a binding requires, drawn from the
+/// published RTSJ pattern catalogs the paper cites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrossScopePattern {
+    /// Same area, or server data lives in heap/immortal: plain reference.
+    Direct,
+    /// Server lives in an *enclosing* area: run via `executeInArea`.
+    ExecuteInOuter,
+    /// Server lives in a *nested* scope: enter it and use its portal.
+    EnterInner,
+    /// Sibling scopes, synchronous: deep-copy arguments through the common
+    /// parent ("handoff" / "memory block").
+    HandoffThroughParent,
+    /// Unrelated areas, asynchronous: exchange buffer in immortal memory.
+    ImmortalExchange,
+}
+
+impl fmt::Display for CrossScopePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CrossScopePattern::Direct => "direct",
+            CrossScopePattern::ExecuteInOuter => "execute-in-outer",
+            CrossScopePattern::EnterInner => "enter-inner",
+            CrossScopePattern::HandoffThroughParent => "handoff-through-parent",
+            CrossScopePattern::ImmortalExchange => "immortal-exchange",
+        })
+    }
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule code (`SOL-001` …).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Name of the component or binding the finding concerns.
+    pub subject: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Suggested remediation or pattern, when the rule has one.
+    pub suggestion: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} ({}): {}",
+            self.code, self.severity, self.subject, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " — suggestion: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of validating an architecture.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl ValidationReport {
+    /// All findings, in rule order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn with_severity(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.severity == severity)
+    }
+
+    /// True when no *Error* findings exist — the paper's "compliant with
+    /// RTSJ" verdict.
+    pub fn is_compliant(&self) -> bool {
+        self.with_severity(Severity::Error).next().is_none()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True when there are no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings with the given rule code.
+    pub fn by_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    fn push(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+        suggestion: Option<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            subject: subject.into(),
+            message: message.into(),
+            suggestion,
+        });
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return writeln!(f, "architecture is RTSJ-compliant (no findings)");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the cross-scope pattern a binding needs, from the client's and
+/// server's *effective* memory areas. Returns `None` when either endpoint
+/// has no memory area assigned yet (pure business view).
+pub fn cross_scope_pattern(arch: &Architecture, binding: &Binding) -> Option<CrossScopePattern> {
+    let (c_area, c_desc) = arch.memory_area_of(binding.client.component)?;
+    let (s_area, s_desc) = arch.memory_area_of(binding.server.component)?;
+    if c_area == s_area {
+        return Some(CrossScopePattern::Direct);
+    }
+    // Server data in heap or immortal is referenceable from anywhere.
+    if matches!(s_desc.kind, MemoryKind::Heap | MemoryKind::Immortal) {
+        return Some(CrossScopePattern::Direct);
+    }
+    // Server is scoped. A client outside scoped memory (heap/immortal)
+    // reaches it by entering the scope chain from the primordial root.
+    if !matches!(c_desc.kind, MemoryKind::Scoped) {
+        return Some(CrossScopePattern::EnterInner);
+    }
+    // Both scoped: relation of the two area components in the DAG decides.
+    if arch.is_reachable(s_area, c_area) {
+        // Server area encloses the client's: outward reference is legal.
+        return Some(CrossScopePattern::ExecuteInOuter);
+    }
+    if arch.is_reachable(c_area, s_area) {
+        // Server area nested inside the client's.
+        return Some(CrossScopePattern::EnterInner);
+    }
+    match binding.protocol {
+        Protocol::Synchronous => Some(CrossScopePattern::HandoffThroughParent),
+        Protocol::Asynchronous { .. } => Some(CrossScopePattern::ImmortalExchange),
+    }
+}
+
+/// The priority ceiling of a passive component, when it is a *shared
+/// service*: invoked synchronously from clients in two or more distinct
+/// ThreadDomains. RTSJ protects such monitors with priority-ceiling
+/// emulation; the ceiling is the highest client priority. Returns `None`
+/// for unshared or non-passive components.
+pub fn shared_service_ceiling(arch: &Architecture, id: ComponentId) -> Option<u8> {
+    let c = arch.component(id).ok()?;
+    if !matches!(c.kind, ComponentKind::Passive) {
+        return None;
+    }
+    let mut domains = Vec::new();
+    let mut ceiling = 0u8;
+    for b in arch.incoming_bindings(id) {
+        if b.protocol.is_async() {
+            continue;
+        }
+        if let Some((d, desc)) = arch.thread_domain_of(b.client.component) {
+            if !domains.contains(&d) {
+                domains.push(d);
+            }
+            ceiling = ceiling.max(desc.priority);
+        }
+    }
+    if domains.len() >= 2 {
+        Some(ceiling)
+    } else {
+        None
+    }
+}
+
+/// Runs every conformance rule against `arch`.
+pub fn validate(arch: &Architecture) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    check_thread_domains(arch, &mut report);
+    check_memory_areas(arch, &mut report);
+    check_nhrt_heap(arch, &mut report);
+    check_bindings(arch, &mut report);
+    check_shared_services(arch, &mut report);
+    report
+}
+
+fn check_shared_services(arch: &Architecture, report: &mut ValidationReport) {
+    for c in arch.components() {
+        if let Some(ceiling) = shared_service_ceiling(arch, c.id()) {
+            report.push(
+                "SOL-014",
+                Severity::Info,
+                &c.name,
+                format!(
+                    "passive service shared by multiple ThreadDomains: priority ceiling {ceiling}"
+                ),
+                Some(
+                    "the generated monitor uses priority-ceiling emulation at this ceiling".into(),
+                ),
+            );
+        }
+    }
+}
+
+fn name(arch: &Architecture, id: ComponentId) -> String {
+    arch.component(id).map(|c| c.name.clone()).unwrap_or_else(|_| id.to_string())
+}
+
+fn check_thread_domains(arch: &Architecture, report: &mut ValidationReport) {
+    for c in arch.components() {
+        match c.kind {
+            ComponentKind::Active(_) => {
+                // SOL-001: exactly one governing ThreadDomain.
+                let domains = arch.thread_domains_of(c.id());
+                match domains.len() {
+                    1 => {}
+                    0 => report.push(
+                        "SOL-001",
+                        Severity::Error,
+                        &c.name,
+                        "active component is not nested in any ThreadDomain",
+                        Some("deploy it into a ThreadDomain in the thread-management view".into()),
+                    ),
+                    n => report.push(
+                        "SOL-001",
+                        Severity::Error,
+                        &c.name,
+                        format!("active component is nested in {n} ThreadDomains"),
+                        Some("an active component must have a unique ThreadDomain".into()),
+                    ),
+                }
+            }
+            ComponentKind::ThreadDomain(desc) => {
+                // SOL-002: no ThreadDomain nesting.
+                if !arch.thread_domains_of(c.id()).is_empty() {
+                    report.push(
+                        "SOL-002",
+                        Severity::Error,
+                        &c.name,
+                        "ThreadDomain is nested inside another ThreadDomain",
+                        Some("flatten the domains; only MemoryAreas nest arbitrarily".into()),
+                    );
+                }
+                // SOL-005: priority band must match the thread class.
+                let prio = Priority::new(desc.priority);
+                let consistent = match desc.kind {
+                    ThreadKind::NoHeapRealtime | ThreadKind::Realtime => prio.is_realtime(),
+                    ThreadKind::Regular => !prio.is_realtime(),
+                };
+                if !consistent {
+                    report.push(
+                        "SOL-005",
+                        Severity::Error,
+                        &c.name,
+                        format!(
+                            "priority {} is outside the band for {} threads",
+                            desc.priority,
+                            desc.kind.code()
+                        ),
+                        Some(format!(
+                            "real-time domains need priority >= {}, regular domains < {}",
+                            Priority::MIN_RT.get(),
+                            Priority::MIN_RT.get()
+                        )),
+                    );
+                }
+                // SOL-012: passive members.
+                for &child in arch.children_of(c.id()) {
+                    if matches!(arch.component(child).map(|cc| cc.kind), Ok(ComponentKind::Passive)) {
+                        report.push(
+                            "SOL-012",
+                            Severity::Warning,
+                            name(arch, child),
+                            format!("passive component placed directly in ThreadDomain '{}'", c.name),
+                            Some("passive components need no thread; place them in a MemoryArea".into()),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_memory_areas(arch: &Architecture, report: &mut ValidationReport) {
+    for c in arch.components() {
+        if c.kind.is_functional() && !matches!(c.kind, ComponentKind::Composite) {
+            let areas = arch.memory_areas_of(c.id());
+            if areas.is_empty() {
+                report.push(
+                    "SOL-004",
+                    Severity::Error,
+                    &c.name,
+                    "component has no MemoryArea: its allocation region is undefined",
+                    Some("assign it (or its ThreadDomain) to a MemoryArea in the memory view".into()),
+                );
+                continue;
+            }
+            // Ambiguity: all area ancestors must form a chain; otherwise the
+            // "nearest" area is ill-defined.
+            for i in 0..areas.len() {
+                for j in (i + 1)..areas.len() {
+                    let (a, b) = (areas[i], areas[j]);
+                    if !arch.is_reachable(a, b) && !arch.is_reachable(b, a) {
+                        report.push(
+                            "SOL-004",
+                            Severity::Error,
+                            &c.name,
+                            format!(
+                                "ambiguous memory area: '{}' and '{}' both apply but are unrelated",
+                                name(arch, a),
+                                name(arch, b)
+                            ),
+                            Some("remove one membership so a unique innermost area exists".into()),
+                        );
+                    }
+                }
+            }
+        }
+        if let ComponentKind::MemoryArea(desc) = c.kind {
+            // SOL-011: size declarations.
+            match desc.kind {
+                MemoryKind::Scoped | MemoryKind::Immortal if desc.size.is_none() => {
+                    report.push(
+                        "SOL-011",
+                        Severity::Warning,
+                        &c.name,
+                        format!("{} area without a size budget", desc.kind.code()),
+                        Some("declare size=... so the bootstrapper can pre-allocate".into()),
+                    );
+                }
+                MemoryKind::Heap if desc.size.is_some() => {
+                    report.push(
+                        "SOL-011",
+                        Severity::Warning,
+                        &c.name,
+                        "heap area with an explicit size (the collector manages the heap)",
+                        None,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn check_nhrt_heap(arch: &Architecture, report: &mut ValidationReport) {
+    for c in arch.components() {
+        let ComponentKind::ThreadDomain(desc) = c.kind else {
+            continue;
+        };
+        if desc.kind != ThreadKind::NoHeapRealtime {
+            continue;
+        }
+        // SOL-003a: no heap MemoryArea anywhere below an NHRT domain.
+        for d in arch.descendants(c.id()) {
+            if let Ok(dc) = arch.component(d) {
+                if let ComponentKind::MemoryArea(adesc) = dc.kind {
+                    if adesc.kind == MemoryKind::Heap {
+                        report.push(
+                            "SOL-003",
+                            Severity::Error,
+                            &c.name,
+                            format!(
+                                "NHRT ThreadDomain encapsulates heap MemoryArea '{}'",
+                                dc.name
+                            ),
+                            Some("move the heap area outside the NHRT domain".into()),
+                        );
+                    }
+                }
+                // SOL-003b: members whose effective area is the heap.
+                if dc.kind.is_functional() {
+                    if let Some((_, adesc)) = arch.memory_area_of(d) {
+                        if adesc.kind == MemoryKind::Heap {
+                            report.push(
+                                "SOL-003",
+                                Severity::Error,
+                                &dc.name,
+                                format!(
+                                    "member of NHRT domain '{}' is allocated in heap memory",
+                                    c.name
+                                ),
+                                Some("allocate NHRT members in immortal or scoped memory".into()),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_bindings(arch: &Architecture, report: &mut ValidationReport) {
+    // SOL-013: client interface bound at most once, and every client bound.
+    let mut seen: Vec<(ComponentId, &str)> = Vec::new();
+    for b in arch.bindings() {
+        let key = (b.client.component, b.client.interface.as_str());
+        if seen.contains(&key) {
+            report.push(
+                "SOL-013",
+                Severity::Error,
+                format!("{}.{}", name(arch, key.0), key.1),
+                "client interface bound more than once",
+                Some("interpose an explicit dispatcher component for fan-out".into()),
+            );
+        }
+        seen.push(key);
+    }
+    for c in arch.components() {
+        for i in c.interfaces_with_role(Role::Client) {
+            let bound = arch
+                .bindings()
+                .iter()
+                .any(|b| b.client.component == c.id() && b.client.interface == i.name);
+            if !bound {
+                report.push(
+                    "SOL-013",
+                    Severity::Warning,
+                    format!("{}.{}", c.name, i.name),
+                    "client interface is unbound",
+                    None,
+                );
+            }
+        }
+    }
+
+    for (ix, b) in arch.bindings().iter().enumerate() {
+        let subject = format!(
+            "{}.{} -> {}.{}",
+            name(arch, b.client.component),
+            b.client.interface,
+            name(arch, b.server.component),
+            b.server.interface
+        );
+
+        // SOL-010: async buffer capacity.
+        if let Protocol::Asynchronous { buffer_size } = b.protocol {
+            if buffer_size == 0 {
+                report.push(
+                    "SOL-010",
+                    Severity::Error,
+                    subject.clone(),
+                    "asynchronous binding with zero-capacity buffer",
+                    Some("declare bufferSize >= 1".into()),
+                );
+            }
+        }
+
+        // SOL-008: active servers want async activation.
+        if let Ok(server) = arch.component(b.server.component) {
+            if server.kind.is_active() && !b.protocol.is_async() {
+                report.push(
+                    "SOL-008",
+                    Severity::Warning,
+                    subject.clone(),
+                    "synchronous call into an active component breaks run-to-completion",
+                    Some("use an asynchronous binding with a message buffer".into()),
+                );
+            }
+        }
+
+        // SOL-006: NHRT caller must never need heap data synchronously.
+        let client_domain = arch.thread_domain_of(b.client.component);
+        let server_area = arch.memory_area_of(b.server.component);
+        if let (Some((_, ddesc)), Some((_, adesc))) = (client_domain, server_area) {
+            if ddesc.kind == ThreadKind::NoHeapRealtime
+                && adesc.kind == MemoryKind::Heap
+                && !b.protocol.is_async()
+            {
+                report.push(
+                    "SOL-006",
+                    Severity::Error,
+                    subject.clone(),
+                    "NHRT client calls synchronously into heap-allocated server",
+                    Some(
+                        "make the binding asynchronous with the buffer outside the heap, \
+                         or move the server out of heap memory"
+                            .into(),
+                    ),
+                );
+            }
+        }
+
+        // SOL-007: record the pattern for every cross-area binding.
+        if let Some(pattern) = cross_scope_pattern(arch, b) {
+            if pattern != CrossScopePattern::Direct {
+                report.push(
+                    "SOL-007",
+                    Severity::Info,
+                    subject.clone(),
+                    format!("cross-scope binding: memory interceptor will use '{pattern}'"),
+                    Some(format!("pattern {pattern} is generated automatically")),
+                );
+            }
+        }
+        let _ = ix;
+    }
+
+    // SOL-009: sporadic actives need a trigger.
+    for c in arch.components() {
+        if matches!(c.kind, ComponentKind::Active(crate::model::ActivationKind::Sporadic)) {
+            let triggered = arch
+                .incoming_bindings(c.id())
+                .iter()
+                .any(|b| b.protocol.is_async());
+            if !triggered {
+                report.push(
+                    "SOL-009",
+                    Severity::Warning,
+                    &c.name,
+                    "sporadic active component has no incoming asynchronous binding to trigger it",
+                    Some("bind a producer to one of its server interfaces asynchronously".into()),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ActivationKind, MemoryAreaDesc, ThreadDomainDesc};
+
+    fn domain(kind: ThreadKind, priority: u8) -> ComponentKind {
+        ComponentKind::ThreadDomain(ThreadDomainDesc { kind, priority })
+    }
+
+    fn area(kind: MemoryKind, size: Option<usize>) -> ComponentKind {
+        ComponentKind::MemoryArea(MemoryAreaDesc { kind, size })
+    }
+
+    /// Minimal compliant architecture: one active in one NHRT domain in
+    /// immortal memory.
+    fn compliant() -> Architecture {
+        let mut a = Architecture::new("ok");
+        let c = a
+            .add_component("worker", ComponentKind::Active(ActivationKind::Periodic { period_ns: 1_000_000 }))
+            .unwrap();
+        let d = a.add_component("nhrt", domain(ThreadKind::NoHeapRealtime, 30)).unwrap();
+        let m = a.add_component("imm", area(MemoryKind::Immortal, Some(4096))).unwrap();
+        a.add_child(d, c).unwrap();
+        a.add_child(m, d).unwrap();
+        a
+    }
+
+    #[test]
+    fn compliant_architecture_passes() {
+        let report = validate(&compliant());
+        assert!(report.is_compliant(), "{report}");
+    }
+
+    #[test]
+    fn active_without_domain_flagged() {
+        let mut a = Architecture::new("bad");
+        let c = a
+            .add_component("orphan", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let m = a.add_component("imm", area(MemoryKind::Immortal, Some(4096))).unwrap();
+        a.add_child(m, c).unwrap();
+        let report = validate(&a);
+        assert!(!report.is_compliant());
+        assert_eq!(report.by_code("SOL-001").count(), 1);
+    }
+
+    #[test]
+    fn active_in_two_domains_flagged() {
+        let mut a = compliant();
+        let d2 = a.add_component("rt2", domain(ThreadKind::Realtime, 20)).unwrap();
+        let c = a.id_of("worker").unwrap();
+        a.add_child(d2, c).unwrap();
+        let m = a.id_of("imm").unwrap();
+        a.add_child(m, d2).unwrap();
+        let report = validate(&a);
+        assert!(report.by_code("SOL-001").any(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn nested_thread_domains_flagged() {
+        let mut a = compliant();
+        let outer = a.add_component("outer", domain(ThreadKind::Realtime, 25)).unwrap();
+        let inner = a.id_of("nhrt").unwrap();
+        a.add_child(outer, inner).unwrap();
+        let m = a.id_of("imm").unwrap();
+        a.add_child(m, outer).unwrap();
+        let report = validate(&a);
+        assert!(report.by_code("SOL-002").next().is_some());
+    }
+
+    #[test]
+    fn nhrt_domain_with_heap_area_flagged() {
+        let mut a = Architecture::new("bad");
+        let c = a
+            .add_component("w", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let d = a.add_component("nhrt", domain(ThreadKind::NoHeapRealtime, 30)).unwrap();
+        let h = a.add_component("h", area(MemoryKind::Heap, None)).unwrap();
+        a.add_child(d, h).unwrap();
+        a.add_child(h, c).unwrap();
+        let report = validate(&a);
+        let sol3: Vec<_> = report.by_code("SOL-003").collect();
+        assert!(sol3.len() >= 2, "area nesting and member allocation both flagged: {report}");
+        assert!(!report.is_compliant());
+    }
+
+    #[test]
+    fn missing_memory_area_flagged() {
+        let mut a = Architecture::new("bad");
+        let c = a
+            .add_component("w", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let d = a.add_component("rt", domain(ThreadKind::Realtime, 20)).unwrap();
+        a.add_child(d, c).unwrap();
+        let report = validate(&a);
+        assert!(report.by_code("SOL-004").any(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn ambiguous_memory_areas_flagged() {
+        let mut a = Architecture::new("bad");
+        let c = a.add_component("p", ComponentKind::Passive).unwrap();
+        let m1 = a.add_component("imm", area(MemoryKind::Immortal, Some(1024))).unwrap();
+        let m2 = a.add_component("s", area(MemoryKind::Scoped, Some(1024))).unwrap();
+        a.add_child(m1, c).unwrap();
+        a.add_child(m2, c).unwrap();
+        let report = validate(&a);
+        assert!(report.by_code("SOL-004").any(|d| d.message.contains("ambiguous")));
+    }
+
+    #[test]
+    fn nested_areas_are_not_ambiguous() {
+        let mut a = Architecture::new("ok");
+        let c = a.add_component("p", ComponentKind::Passive).unwrap();
+        let outer = a.add_component("imm", area(MemoryKind::Immortal, Some(8192))).unwrap();
+        let inner = a.add_component("s", area(MemoryKind::Scoped, Some(1024))).unwrap();
+        a.add_child(outer, inner).unwrap();
+        a.add_child(inner, c).unwrap();
+        let report = validate(&a);
+        assert!(report.is_compliant(), "{report}");
+    }
+
+    #[test]
+    fn priority_band_mismatches_flagged() {
+        let mut a = compliant();
+        let c2 = a.add_component("aud", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let d2 = a.add_component("reg-high", domain(ThreadKind::Regular, 50)).unwrap();
+        a.add_child(d2, c2).unwrap();
+        let m = a.id_of("imm").unwrap();
+        a.add_child(m, d2).unwrap();
+        let report = validate(&a);
+        assert!(report.by_code("SOL-005").next().is_some());
+
+        let mut b = compliant();
+        let c3 = b.add_component("x", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let d3 = b.add_component("nhrt-low", domain(ThreadKind::NoHeapRealtime, 3)).unwrap();
+        b.add_child(d3, c3).unwrap();
+        let m2 = b.id_of("imm").unwrap();
+        b.add_child(m2, d3).unwrap();
+        assert!(validate(&b).by_code("SOL-005").next().is_some());
+    }
+
+    /// Two scoped sibling areas with a sync binding across them.
+    fn sibling_arch(protocol: Protocol) -> Architecture {
+        let mut a = Architecture::new("x");
+        let p = a.add_component("p", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let q = a.add_component("q", ComponentKind::Passive).unwrap();
+        a.add_interface(p, "out", Role::Client, "I").unwrap();
+        a.add_interface(q, "in", Role::Server, "I").unwrap();
+        a.bind(p, "out", q, "in", protocol).unwrap();
+        let d = a.add_component("rt", domain(ThreadKind::Realtime, 20)).unwrap();
+        a.add_child(d, p).unwrap();
+        let root = a.add_component("root", area(MemoryKind::Immortal, Some(8192))).unwrap();
+        let s1 = a.add_component("s1", area(MemoryKind::Scoped, Some(1024))).unwrap();
+        let s2 = a.add_component("s2", area(MemoryKind::Scoped, Some(1024))).unwrap();
+        a.add_child(root, s1).unwrap();
+        a.add_child(root, s2).unwrap();
+        a.add_child(s1, p).unwrap();
+        a.add_child(s2, q).unwrap();
+        a.add_child(root, d).unwrap();
+        a
+    }
+
+    #[test]
+    fn sibling_scopes_get_handoff_pattern() {
+        let a = sibling_arch(Protocol::Synchronous);
+        let b = &a.bindings()[0];
+        assert_eq!(
+            cross_scope_pattern(&a, b),
+            Some(CrossScopePattern::HandoffThroughParent)
+        );
+        let report = validate(&a);
+        assert!(report
+            .by_code("SOL-007")
+            .any(|d| d.message.contains("handoff-through-parent")));
+    }
+
+    #[test]
+    fn sibling_scopes_async_get_immortal_exchange() {
+        let a = sibling_arch(Protocol::Asynchronous { buffer_size: 4 });
+        let b = &a.bindings()[0];
+        assert_eq!(
+            cross_scope_pattern(&a, b),
+            Some(CrossScopePattern::ImmortalExchange)
+        );
+    }
+
+    #[test]
+    fn nested_scopes_get_directional_patterns() {
+        let mut a = Architecture::new("x");
+        let p = a.add_component("p", ComponentKind::Passive).unwrap();
+        let q = a.add_component("q", ComponentKind::Passive).unwrap();
+        a.add_interface(p, "out", Role::Client, "I").unwrap();
+        a.add_interface(q, "in", Role::Server, "I").unwrap();
+        a.add_interface(q, "back", Role::Client, "J").unwrap();
+        a.add_interface(p, "recv", Role::Server, "J").unwrap();
+        a.bind(p, "out", q, "in", Protocol::Synchronous).unwrap();
+        a.bind(q, "back", p, "recv", Protocol::Synchronous).unwrap();
+        let outer = a.add_component("outer", area(MemoryKind::Scoped, Some(8192))).unwrap();
+        let inner = a.add_component("inner", area(MemoryKind::Scoped, Some(1024))).unwrap();
+        a.add_child(outer, inner).unwrap();
+        a.add_child(outer, p).unwrap();
+        a.add_child(inner, q).unwrap();
+
+        // p (outer) -> q (inner): enter the nested scope.
+        assert_eq!(
+            cross_scope_pattern(&a, &a.bindings()[0]),
+            Some(CrossScopePattern::EnterInner)
+        );
+        // q (inner) -> p (outer): executeInArea on the enclosing scope.
+        assert_eq!(
+            cross_scope_pattern(&a, &a.bindings()[1]),
+            Some(CrossScopePattern::ExecuteInOuter)
+        );
+    }
+
+    #[test]
+    fn sync_into_active_warned() {
+        let mut a = compliant();
+        let c2 = a.add_component("caller", ComponentKind::Passive).unwrap();
+        let w = a.id_of("worker").unwrap();
+        a.add_interface(c2, "out", Role::Client, "I").unwrap();
+        a.add_interface(w, "in", Role::Server, "I").unwrap();
+        a.bind(c2, "out", w, "in", Protocol::Synchronous).unwrap();
+        let m = a.id_of("imm").unwrap();
+        a.add_child(m, c2).unwrap();
+        let report = validate(&a);
+        assert!(report.by_code("SOL-008").next().is_some());
+    }
+
+    #[test]
+    fn nhrt_sync_into_heap_is_error() {
+        let mut a = Architecture::new("bad");
+        let caller = a
+            .add_component("caller", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let server = a.add_component("server", ComponentKind::Passive).unwrap();
+        a.add_interface(caller, "out", Role::Client, "I").unwrap();
+        a.add_interface(server, "in", Role::Server, "I").unwrap();
+        a.bind(caller, "out", server, "in", Protocol::Synchronous).unwrap();
+        let d = a.add_component("nhrt", domain(ThreadKind::NoHeapRealtime, 30)).unwrap();
+        a.add_child(d, caller).unwrap();
+        let imm = a.add_component("imm", area(MemoryKind::Immortal, Some(4096))).unwrap();
+        a.add_child(imm, d).unwrap();
+        let h = a.add_component("h", area(MemoryKind::Heap, None)).unwrap();
+        a.add_child(h, server).unwrap();
+        let report = validate(&a);
+        assert!(report.by_code("SOL-006").any(|d| d.severity == Severity::Error));
+        assert!(!report.is_compliant());
+    }
+
+    #[test]
+    fn zero_buffer_is_error() {
+        let a = sibling_arch(Protocol::Asynchronous { buffer_size: 0 });
+        let report = validate(&a);
+        assert!(report.by_code("SOL-010").any(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn untriggered_sporadic_warned() {
+        let mut a = compliant();
+        let s = a.add_component("sp", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let d = a.id_of("nhrt").unwrap();
+        let m = a.id_of("imm").unwrap();
+        // A second domain is needed (one active per domain membership is fine,
+        // but reuse keeps this simple: sporadic in same domain).
+        a.add_child(d, s).unwrap();
+        a.add_child(m, s).unwrap();
+        let report = validate(&a);
+        assert!(report.by_code("SOL-009").any(|d| d.subject == "sp"));
+    }
+
+    #[test]
+    fn unbound_client_warned_and_double_binding_error() {
+        let mut a = compliant();
+        let w = a.id_of("worker").unwrap();
+        a.add_interface(w, "out", Role::Client, "I").unwrap();
+        let report = validate(&a);
+        assert!(report.by_code("SOL-013").any(|d| d.severity == Severity::Warning));
+
+        let p = a.add_component("p1", ComponentKind::Passive).unwrap();
+        let q = a.add_component("p2", ComponentKind::Passive).unwrap();
+        a.add_interface(p, "in", Role::Server, "I").unwrap();
+        a.add_interface(q, "in", Role::Server, "I").unwrap();
+        let m = a.id_of("imm").unwrap();
+        a.add_child(m, p).unwrap();
+        a.add_child(m, q).unwrap();
+        a.bind(w, "out", p, "in", Protocol::Synchronous).unwrap();
+        a.bind(w, "out", q, "in", Protocol::Synchronous).unwrap();
+        let report = validate(&a);
+        assert!(report.by_code("SOL-013").any(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn shared_service_gets_a_ceiling() {
+        // Two domains calling the same passive service synchronously.
+        let mut a = Architecture::new("shared");
+        let s = a.add_component("svc", ComponentKind::Passive).unwrap();
+        let c1 = a.add_component("c1", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let c2 = a.add_component("c2", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        a.add_interface(s, "in", Role::Server, "I").unwrap();
+        a.add_interface(c1, "out", Role::Client, "I").unwrap();
+        a.add_interface(c2, "out", Role::Client, "I").unwrap();
+        a.bind(c1, "out", s, "in", Protocol::Synchronous).unwrap();
+        a.bind(c2, "out", s, "in", Protocol::Synchronous).unwrap();
+        let d1 = a.add_component("d1", domain(ThreadKind::Realtime, 20)).unwrap();
+        let d2 = a.add_component("d2", domain(ThreadKind::NoHeapRealtime, 33)).unwrap();
+        a.add_child(d1, c1).unwrap();
+        a.add_child(d2, c2).unwrap();
+        let m = a.add_component("imm", area(MemoryKind::Immortal, Some(8192))).unwrap();
+        a.add_child(m, d1).unwrap();
+        a.add_child(m, d2).unwrap();
+        a.add_child(m, s).unwrap();
+
+        assert_eq!(shared_service_ceiling(&a, s), Some(33), "max client priority");
+        let report = validate(&a);
+        assert!(report.by_code("SOL-014").any(|d| d.message.contains("ceiling 33")));
+        assert!(report.is_compliant(), "info does not block: {report}");
+
+        // A single-domain client is not shared: no ceiling.
+        assert_eq!(shared_service_ceiling(&a, c1), None, "active components have none");
+        let mut single = Architecture::new("single");
+        let s2 = single.add_component("svc", ComponentKind::Passive).unwrap();
+        let c = single
+            .add_component("c", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        single.add_interface(s2, "in", Role::Server, "I").unwrap();
+        single.add_interface(c, "out", Role::Client, "I").unwrap();
+        single.bind(c, "out", s2, "in", Protocol::Synchronous).unwrap();
+        let d = single.add_component("d", domain(ThreadKind::Realtime, 20)).unwrap();
+        single.add_child(d, c).unwrap();
+        assert_eq!(shared_service_ceiling(&single, s2), None);
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let mut a = Architecture::new("bad");
+        a.add_component("orphan", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let report = validate(&a);
+        let text = report.to_string();
+        assert!(text.contains("SOL-001"));
+        assert!(text.contains("orphan"));
+        // Compliant report prints a positive verdict.
+        let ok = validate(&compliant());
+        assert!(ok.to_string().contains("compliant") || !ok.is_empty());
+    }
+}

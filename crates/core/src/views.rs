@@ -1,0 +1,487 @@
+//! The design methodology of Fig. 3: three views, gradually merged.
+//!
+//! 1. **Business View** ([`BusinessView`]) — functional components,
+//!    interfaces and bindings only; no real-time concern in sight.
+//! 2. **Thread Management View** — a partition of the active components
+//!    into ThreadDomains ([`DesignFlow::thread_domain`]).
+//! 3. **Memory Management View** — an assignment of components (or whole
+//!    domains) into MemoryAreas ([`DesignFlow::memory_area`]).
+//!
+//! [`DesignFlow::merge`] fuses the three views into the final *RT System
+//! Architecture*, ready for [`crate::validate::validate`]. Because the
+//! business view never changes, the same functional architecture can be
+//! re-deployed under different thread/memory views — the paper's "smooth
+//! tailoring for variously hard real-time conditions".
+
+use rtsj::memory::MemoryKind;
+use rtsj::thread::ThreadKind;
+
+use crate::arch::Architecture;
+use crate::model::{
+    ActivationKind, ComponentKind, MemoryAreaDesc, Protocol, Role, ThreadDomainDesc,
+};
+use crate::units::parse_duration;
+use crate::{ModelError, Result};
+
+/// The functional (business) view: what the system *does*, with no
+/// real-time annotation.
+#[derive(Debug, Clone)]
+pub struct BusinessView {
+    arch: Architecture,
+}
+
+impl BusinessView {
+    /// Creates an empty business view.
+    pub fn new(name: impl Into<String>) -> Self {
+        BusinessView {
+            arch: Architecture::new(name),
+        }
+    }
+
+    /// Adds a periodic active component; `period` uses ADL spelling
+    /// (`"10ms"`).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::BadAttribute`] for a malformed period,
+    /// [`ModelError::DuplicateName`] for a reused name.
+    pub fn active_periodic(&mut self, name: &str, period: &str) -> Result<()> {
+        let period = parse_duration(period)?;
+        self.arch.add_component(
+            name,
+            ComponentKind::Active(ActivationKind::Periodic {
+                period_ns: period.as_nanos(),
+            }),
+        )?;
+        Ok(())
+    }
+
+    /// Adds a sporadic (event-triggered) active component.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::DuplicateName`] for a reused name.
+    pub fn active_sporadic(&mut self, name: &str) -> Result<()> {
+        self.arch
+            .add_component(name, ComponentKind::Active(ActivationKind::Sporadic))?;
+        Ok(())
+    }
+
+    /// Adds a passive component.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::DuplicateName`] for a reused name.
+    pub fn passive(&mut self, name: &str) -> Result<()> {
+        self.arch.add_component(name, ComponentKind::Passive)?;
+        Ok(())
+    }
+
+    /// Adds a plain composite and lists its children.
+    ///
+    /// # Errors
+    ///
+    /// Propagates name and hierarchy errors.
+    pub fn composite(&mut self, name: &str, children: &[&str]) -> Result<()> {
+        let id = self.arch.add_component(name, ComponentKind::Composite)?;
+        for child in children {
+            let c = self.arch.id_of(child)?;
+            self.arch.add_child(id, c)?;
+        }
+        Ok(())
+    }
+
+    /// Sets the content class of a component.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and kind errors.
+    pub fn content(&mut self, component: &str, class: &str) -> Result<()> {
+        let id = self.arch.id_of(component)?;
+        self.arch.set_content_class(id, class)
+    }
+
+    /// Declares a *server* (provided) interface.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and kind errors.
+    pub fn provide(&mut self, component: &str, interface: &str, signature: &str) -> Result<()> {
+        let id = self.arch.id_of(component)?;
+        self.arch.add_interface(id, interface, Role::Server, signature)
+    }
+
+    /// Declares a *client* (required) interface.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and kind errors.
+    pub fn require(&mut self, component: &str, interface: &str, signature: &str) -> Result<()> {
+        let id = self.arch.id_of(component)?;
+        self.arch.add_interface(id, interface, Role::Client, signature)
+    }
+
+    /// Binds a client interface to a server interface synchronously.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup, role and signature errors.
+    pub fn bind_sync(
+        &mut self,
+        client: &str,
+        client_if: &str,
+        server: &str,
+        server_if: &str,
+    ) -> Result<()> {
+        let (c, s) = (self.arch.id_of(client)?, self.arch.id_of(server)?);
+        self.arch.bind(c, client_if, s, server_if, Protocol::Synchronous)
+    }
+
+    /// Binds a client interface to a server interface asynchronously with a
+    /// bounded buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup, role and signature errors.
+    pub fn bind_async(
+        &mut self,
+        client: &str,
+        client_if: &str,
+        server: &str,
+        server_if: &str,
+        buffer_size: usize,
+    ) -> Result<()> {
+        let (c, s) = (self.arch.id_of(client)?, self.arch.id_of(server)?);
+        self.arch
+            .bind(c, client_if, s, server_if, Protocol::Asynchronous { buffer_size })
+    }
+
+    /// Read access to the underlying architecture.
+    pub fn architecture(&self) -> &Architecture {
+        &self.arch
+    }
+}
+
+/// One ThreadDomain declaration in the thread-management view.
+#[derive(Debug, Clone)]
+struct DomainSpec {
+    name: String,
+    desc: ThreadDomainDesc,
+    members: Vec<String>,
+}
+
+/// One MemoryArea declaration in the memory-management view.
+#[derive(Debug, Clone)]
+struct AreaSpec {
+    name: String,
+    desc: MemoryAreaDesc,
+    members: Vec<String>,
+    nested_in: Option<String>,
+}
+
+/// The full design flow: business view + thread view + memory view,
+/// merged on demand into the RT System Architecture.
+#[derive(Debug, Clone)]
+pub struct DesignFlow {
+    business: BusinessView,
+    domains: Vec<DomainSpec>,
+    areas: Vec<AreaSpec>,
+}
+
+impl DesignFlow {
+    /// Starts a flow from a finished business view.
+    pub fn new(business: BusinessView) -> Self {
+        DesignFlow {
+            business,
+            domains: Vec::new(),
+            areas: Vec::new(),
+        }
+    }
+
+    /// Thread-management view: declares a ThreadDomain and its members
+    /// (functional component names).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownComponent`] for an unknown member,
+    /// [`ModelError::DuplicateName`] for a reused domain name.
+    pub fn thread_domain(
+        &mut self,
+        name: &str,
+        kind: ThreadKind,
+        priority: u8,
+        members: &[&str],
+    ) -> Result<()> {
+        if self.domains.iter().any(|d| d.name == name) || self.areas.iter().any(|a| a.name == name)
+        {
+            return Err(ModelError::DuplicateName(name.to_string()));
+        }
+        for m in members {
+            self.business.arch.id_of(m)?;
+        }
+        self.domains.push(DomainSpec {
+            name: name.to_string(),
+            desc: ThreadDomainDesc { kind, priority },
+            members: members.iter().map(|s| s.to_string()).collect(),
+        });
+        Ok(())
+    }
+
+    /// Memory-management view: declares a MemoryArea and its members —
+    /// functional component names *or* ThreadDomain names *or* other area
+    /// names (areas may nest).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownComponent`] for an unknown member,
+    /// [`ModelError::DuplicateName`] for a reused area name,
+    /// [`ModelError::BadAttribute`] when a bounded kind lacks a size.
+    pub fn memory_area(
+        &mut self,
+        name: &str,
+        kind: MemoryKind,
+        size: Option<usize>,
+        members: &[&str],
+    ) -> Result<()> {
+        if self.domains.iter().any(|d| d.name == name) || self.areas.iter().any(|a| a.name == name)
+        {
+            return Err(ModelError::DuplicateName(name.to_string()));
+        }
+        if size.is_none() && matches!(kind, MemoryKind::Scoped | MemoryKind::Immortal) {
+            return Err(ModelError::BadAttribute {
+                attribute: "size".into(),
+                value: "missing (required for scoped/immortal areas)".into(),
+            });
+        }
+        for m in members {
+            let known = self.business.arch.by_name(m).is_some()
+                || self.domains.iter().any(|d| d.name == *m)
+                || self.areas.iter().any(|a| a.name == *m);
+            if !known {
+                return Err(ModelError::UnknownComponent(m.to_string()));
+            }
+        }
+        self.areas.push(AreaSpec {
+            name: name.to_string(),
+            desc: MemoryAreaDesc { kind, size },
+            members: members.iter().map(|s| s.to_string()).collect(),
+            nested_in: None,
+        });
+        Ok(())
+    }
+
+    /// Nests a previously declared memory area inside another (RTSJ scoped
+    /// memories nest arbitrarily; this is how the memory-management view
+    /// expresses it).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownComponent`] when either area is undeclared.
+    pub fn nest_area(&mut self, parent: &str, child: &str) -> Result<()> {
+        if !self.areas.iter().any(|a| a.name == parent) {
+            return Err(ModelError::UnknownComponent(parent.to_string()));
+        }
+        let child_spec = self
+            .areas
+            .iter_mut()
+            .find(|a| a.name == child)
+            .ok_or_else(|| ModelError::UnknownComponent(child.to_string()))?;
+        child_spec.nested_in = Some(parent.to_string());
+        Ok(())
+    }
+
+    /// The business view this flow refines.
+    pub fn business(&self) -> &BusinessView {
+        &self.business
+    }
+
+    /// Merges the three views into the RT System Architecture (the final
+    /// step of Fig. 3). The result still needs
+    /// [`crate::validate::validate`] — merging is purely structural.
+    ///
+    /// # Errors
+    ///
+    /// Propagates name/hierarchy errors (e.g. an area membership creating a
+    /// containment cycle).
+    pub fn merge(&self) -> Result<Architecture> {
+        let mut arch = self.business.arch.clone();
+        // 1. Materialize ThreadDomains and claim their members.
+        for d in &self.domains {
+            let id = arch.add_component(&d.name, ComponentKind::ThreadDomain(d.desc))?;
+            for m in &d.members {
+                let c = arch.id_of(m)?;
+                arch.add_child(id, c)?;
+            }
+        }
+        // 2. Materialize MemoryAreas (they may contain domains and other
+        //    areas, so resolve names after all components exist).
+        for a in &self.areas {
+            arch.add_component(&a.name, ComponentKind::MemoryArea(a.desc))?;
+        }
+        for a in &self.areas {
+            let id = arch.id_of(&a.name)?;
+            for m in &a.members {
+                let c = arch.id_of(m)?;
+                arch.add_child(id, c)?;
+            }
+            if let Some(parent) = &a.nested_in {
+                let p = arch.id_of(parent)?;
+                arch.add_child(p, id)?;
+            }
+        }
+        Ok(arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    /// The paper's motivation example (Fig. 1 / Fig. 4), built through the
+    /// three design views.
+    pub(crate) fn motivation_flow() -> DesignFlow {
+        let mut b = BusinessView::new("production-line-monitoring");
+        b.active_periodic("ProductionLine", "10ms").unwrap();
+        b.active_sporadic("MonitoringSystem").unwrap();
+        b.passive("Console").unwrap();
+        b.active_sporadic("AuditLog").unwrap();
+        b.content("ProductionLine", "ProductionLineImpl").unwrap();
+        b.content("MonitoringSystem", "MonitoringSystemImpl").unwrap();
+        b.content("Console", "ConsoleImpl").unwrap();
+        b.content("AuditLog", "AuditLogImpl").unwrap();
+
+        b.require("ProductionLine", "iMonitor", "IMonitor").unwrap();
+        b.provide("MonitoringSystem", "iMonitor", "IMonitor").unwrap();
+        b.require("MonitoringSystem", "iConsole", "IConsole").unwrap();
+        b.provide("Console", "iConsole", "IConsole").unwrap();
+        b.require("MonitoringSystem", "iAudit", "IAudit").unwrap();
+        b.provide("AuditLog", "iAudit", "IAudit").unwrap();
+
+        b.bind_async("ProductionLine", "iMonitor", "MonitoringSystem", "iMonitor", 10)
+            .unwrap();
+        b.bind_sync("MonitoringSystem", "iConsole", "Console", "iConsole")
+            .unwrap();
+        b.bind_async("MonitoringSystem", "iAudit", "AuditLog", "iAudit", 10)
+            .unwrap();
+
+        let mut flow = DesignFlow::new(b);
+        flow.thread_domain("NHRT1", ThreadKind::NoHeapRealtime, 30, &["ProductionLine"])
+            .unwrap();
+        flow.thread_domain("NHRT2", ThreadKind::NoHeapRealtime, 25, &["MonitoringSystem"])
+            .unwrap();
+        flow.thread_domain("reg1", ThreadKind::Regular, 5, &["AuditLog"])
+            .unwrap();
+        flow.memory_area("Imm1", MemoryKind::Immortal, Some(600 * 1024), &["NHRT1", "NHRT2"])
+            .unwrap();
+        flow.memory_area("S1", MemoryKind::Scoped, Some(28 * 1024), &["Console"])
+            .unwrap();
+        flow.memory_area("H1", MemoryKind::Heap, None, &["reg1"]).unwrap();
+        flow
+    }
+
+    #[test]
+    fn motivation_example_merges_and_validates() {
+        let arch = motivation_flow().merge().unwrap();
+        assert_eq!(arch.components().len(), 4 + 3 + 3);
+        assert_eq!(arch.bindings().len(), 3);
+
+        let pl = arch.id_of("ProductionLine").unwrap();
+        let (domain, desc) = arch.thread_domain_of(pl).unwrap();
+        assert_eq!(arch.component(domain).unwrap().name, "NHRT1");
+        assert_eq!(desc.kind, ThreadKind::NoHeapRealtime);
+        assert_eq!(desc.priority, 30);
+
+        let (area, adesc) = arch.memory_area_of(pl).unwrap();
+        assert_eq!(arch.component(area).unwrap().name, "Imm1");
+        assert_eq!(adesc.kind, MemoryKind::Immortal);
+
+        let report = validate(&arch);
+        assert!(report.is_compliant(), "{report}");
+    }
+
+    #[test]
+    fn duplicate_view_names_rejected() {
+        let mut flow = DesignFlow::new(BusinessView::new("x"));
+        flow.business.active_sporadic("a").ok();
+        flow.thread_domain("d", ThreadKind::Realtime, 20, &[]).unwrap();
+        assert!(flow.thread_domain("d", ThreadKind::Realtime, 20, &[]).is_err());
+        assert!(flow
+            .memory_area("d", MemoryKind::Heap, None, &[])
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_members_rejected() {
+        let mut flow = DesignFlow::new(BusinessView::new("x"));
+        assert!(matches!(
+            flow.thread_domain("d", ThreadKind::Realtime, 20, &["ghost"]),
+            Err(ModelError::UnknownComponent(_))
+        ));
+        assert!(matches!(
+            flow.memory_area("m", MemoryKind::Heap, None, &["ghost"]),
+            Err(ModelError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn bounded_areas_need_sizes() {
+        let mut flow = DesignFlow::new(BusinessView::new("x"));
+        assert!(matches!(
+            flow.memory_area("m", MemoryKind::Scoped, None, &[]),
+            Err(ModelError::BadAttribute { .. })
+        ));
+        assert!(flow.memory_area("h", MemoryKind::Heap, None, &[]).is_ok());
+    }
+
+    #[test]
+    fn nested_areas_through_the_view_api() {
+        let mut b = BusinessView::new("nested");
+        b.passive("leaf").unwrap();
+        let mut flow = DesignFlow::new(b);
+        flow.memory_area("outer", MemoryKind::Scoped, Some(8192), &[]).unwrap();
+        flow.memory_area("inner", MemoryKind::Scoped, Some(1024), &["leaf"]).unwrap();
+        flow.nest_area("outer", "inner").unwrap();
+        assert!(flow.nest_area("ghost", "inner").is_err());
+        assert!(flow.nest_area("outer", "ghost").is_err());
+        let arch = flow.merge().unwrap();
+        let outer = arch.id_of("outer").unwrap();
+        let inner = arch.id_of("inner").unwrap();
+        assert!(arch.children_of(outer).contains(&inner));
+        let leaf = arch.id_of("leaf").unwrap();
+        assert_eq!(arch.memory_areas_of(leaf), vec![inner, outer]);
+    }
+
+    #[test]
+    fn same_business_view_two_deployments() {
+        let mut b = BusinessView::new("tailorable");
+        b.active_periodic("sensor", "5ms").unwrap();
+        b.active_sporadic("sink").unwrap();
+        b.require("sensor", "out", "IData").unwrap();
+        b.provide("sink", "in", "IData").unwrap();
+        b.bind_async("sensor", "out", "sink", "in", 8).unwrap();
+
+        // Deployment 1: hard real-time.
+        let mut hard = DesignFlow::new(b.clone());
+        hard.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 35, &["sensor", "sink"])
+            .unwrap();
+        hard.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["nhrt"])
+            .unwrap();
+        let hard_arch = hard.merge().unwrap();
+        assert!(validate(&hard_arch).is_compliant());
+
+        // Deployment 2: soft — same business view, different views.
+        let mut soft = DesignFlow::new(b);
+        soft.thread_domain("rt", ThreadKind::Realtime, 20, &["sensor"]).unwrap();
+        soft.thread_domain("reg", ThreadKind::Regular, 5, &["sink"]).unwrap();
+        soft.memory_area("h", MemoryKind::Heap, None, &["rt", "reg"]).unwrap();
+        let soft_arch = soft.merge().unwrap();
+        assert!(validate(&soft_arch).is_compliant());
+
+        // The functional content is identical.
+        assert_eq!(
+            hard_arch.functional_components().len(),
+            soft_arch.functional_components().len()
+        );
+    }
+}

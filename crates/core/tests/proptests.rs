@@ -1,0 +1,85 @@
+//! Property tests for soleil-core: units parsing, ADL escaping, validator
+//! stability.
+
+use proptest::prelude::*;
+use soleil_core::adl::xml::{parse_document, write_node, XmlNode};
+use soleil_core::units::{format_size, parse_size};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sizes round-trip: format then parse gives the same byte count for
+    /// any value the formatter can represent.
+    #[test]
+    fn size_format_parse_roundtrip(bytes in 0usize..usize::MAX / 2) {
+        let text = format_size(bytes);
+        let back = parse_size(&text).expect("formatter output parses");
+        prop_assert_eq!(back, bytes);
+    }
+
+    /// Parsing accepts the suffix grammar and scales correctly.
+    #[test]
+    fn size_parse_scales(v in 0usize..1_000_000) {
+        prop_assert_eq!(parse_size(&format!("{v}")).unwrap(), v);
+        prop_assert_eq!(parse_size(&format!("{v}B")).unwrap(), v);
+        prop_assert_eq!(parse_size(&format!("{v}KB")).unwrap(), v * 1024);
+        prop_assert_eq!(parse_size(&format!("{v}kb")).unwrap(), v * 1024);
+        prop_assert_eq!(parse_size(&format!("{v} MB")).unwrap(), v * 1024 * 1024);
+    }
+
+    /// XML attribute values survive arbitrary content through escaping.
+    #[test]
+    fn xml_attribute_roundtrip(value in "[ -~]{0,60}") {
+        let node = XmlNode::new("N").attr("v", value.clone());
+        let mut text = String::new();
+        write_node(&node, 0, &mut text);
+        let parsed = parse_document(&text).expect("escaped output parses");
+        prop_assert_eq!(parsed[0].get("v"), Some(value.as_str()));
+    }
+
+    /// Arbitrary element trees (bounded depth) round-trip through the
+    /// writer and parser.
+    #[test]
+    fn xml_tree_roundtrip(names in proptest::collection::vec("[A-Za-z][A-Za-z0-9_]{0,8}", 1..8)) {
+        // Build a left-leaning tree from the generated names.
+        let mut iter = names.into_iter();
+        let mut root = XmlNode::new(iter.next().expect("at least one"));
+        let mut current = XmlNode::new("leaf");
+        for (i, name) in iter.enumerate() {
+            let mut n = XmlNode::new(name).attr("ix", i.to_string());
+            n.children.push(current);
+            current = n;
+        }
+        root.children.push(current);
+
+        let mut text = String::new();
+        write_node(&root, 0, &mut text);
+        let parsed = parse_document(&text).expect("parses");
+        prop_assert_eq!(&parsed[0], &root);
+    }
+}
+
+mod validator_stability {
+    use soleil_core::adl::{from_xml, to_xml, MOTIVATION_EXAMPLE_XML};
+    use soleil_core::validate::validate;
+
+    /// Validation is idempotent and serialization-stable: validating the
+    /// round-tripped architecture yields the same diagnostics.
+    #[test]
+    fn diagnostics_stable_under_roundtrip() {
+        let arch = from_xml(MOTIVATION_EXAMPLE_XML).unwrap();
+        let r1 = validate(&arch);
+        let arch2 = from_xml(&to_xml(&arch)).unwrap();
+        let r2 = validate(&arch2);
+        let codes = |r: &soleil_core::ValidationReport| {
+            let mut v: Vec<(String, String)> = r
+                .diagnostics()
+                .iter()
+                .map(|d| (d.code.to_string(), d.subject.clone()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(codes(&r1), codes(&r2));
+    }
+}

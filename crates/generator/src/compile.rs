@@ -1,0 +1,414 @@
+//! Architecture → deployment-plan compilation.
+//!
+//! [`compile`] performs the analysis the paper's generator runs over the RT
+//! System Architecture: it refuses non-compliant input (the validator runs
+//! first), orders memory areas parent-before-child, resolves every
+//! functional component's governing ThreadDomain and effective MemoryArea,
+//! selects each binding's cross-scope pattern and places asynchronous
+//! buffers out of reach of the collector whenever an NHRT touches them.
+
+use std::fmt;
+
+use rtsj::memory::MemoryKind;
+use rtsj::thread::ThreadKind;
+use rtsj::time::RelativeTime;
+use soleil_core::model::{ActivationKind, ComponentId, ComponentKind, Protocol, Role};
+use soleil_core::validate::{cross_scope_pattern, validate, CrossScopePattern, ValidationReport};
+use soleil_core::Architecture;
+use soleil_membrane::FrameworkError;
+use soleil_patterns::PatternKind;
+use soleil_runtime::spec::{
+    Activation, AreaSpec, BindingSpec, BufferPlacement, ComponentSpec, DomainSpec, ProtocolSpec,
+};
+use soleil_runtime::SystemSpec;
+
+/// Failures of the generation process.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GeneratorError {
+    /// The architecture is not RTSJ-compliant; the full report is attached
+    /// (the paper: "compositions violating RTSJ will be refused").
+    Validation(ValidationReport),
+    /// A functional component has no content class to instantiate.
+    MissingContent(String),
+    /// An inconsistency the validator cannot express (internal).
+    Inconsistent(String),
+    /// The runtime failed to build the compiled spec.
+    Build(FrameworkError),
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorError::Validation(report) => {
+                write!(f, "architecture violates RTSJ:\n{report}")
+            }
+            GeneratorError::MissingContent(c) => {
+                write!(f, "component '{c}' has no content class")
+            }
+            GeneratorError::Inconsistent(m) => write!(f, "inconsistent architecture: {m}"),
+            GeneratorError::Build(e) => write!(f, "infrastructure build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
+
+fn to_pattern(p: CrossScopePattern) -> PatternKind {
+    match p {
+        CrossScopePattern::Direct => PatternKind::Direct,
+        CrossScopePattern::ExecuteInOuter => PatternKind::ExecuteInOuter,
+        CrossScopePattern::EnterInner => PatternKind::EnterInner,
+        CrossScopePattern::HandoffThroughParent => PatternKind::HandoffThroughParent,
+        CrossScopePattern::ImmortalExchange => PatternKind::ImmortalExchange,
+    }
+}
+
+/// Compiles a validated architecture into a [`SystemSpec`].
+///
+/// # Errors
+///
+/// See [`GeneratorError`].
+pub fn compile(arch: &Architecture) -> Result<SystemSpec, GeneratorError> {
+    let report = validate(arch);
+    if !report.is_compliant() {
+        return Err(GeneratorError::Validation(report));
+    }
+
+    // --- Areas, parents before children. -------------------------------
+    let area_components: Vec<ComponentId> = arch
+        .components()
+        .iter()
+        .filter(|c| matches!(c.kind, ComponentKind::MemoryArea(_)))
+        .map(|c| c.id())
+        .collect();
+    // Topological order: repeatedly take areas whose area-parent is placed.
+    let mut ordered: Vec<ComponentId> = Vec::with_capacity(area_components.len());
+    let area_parent = |id: ComponentId| -> Option<ComponentId> {
+        arch.parents_of(id)
+            .iter()
+            .copied()
+            .find(|&p| matches!(arch.component(p).map(|c| c.kind), Ok(ComponentKind::MemoryArea(_))))
+    };
+    let mut remaining = area_components.clone();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|&id| {
+            let ready = match area_parent(id) {
+                Some(p) => ordered.contains(&p),
+                None => true,
+            };
+            if ready {
+                ordered.push(id);
+            }
+            !ready
+        });
+        if remaining.len() == before {
+            return Err(GeneratorError::Inconsistent(
+                "memory-area nesting contains a cycle".into(),
+            ));
+        }
+    }
+    let mut areas = Vec::with_capacity(ordered.len());
+    for &id in &ordered {
+        let c = arch.component(id).expect("known area");
+        let ComponentKind::MemoryArea(desc) = c.kind else {
+            unreachable!("filtered on MemoryArea")
+        };
+        let parent = area_parent(id).map(|p| {
+            ordered
+                .iter()
+                .position(|&o| o == p)
+                .expect("parents placed first")
+        });
+        areas.push(AreaSpec {
+            name: c.name.clone(),
+            kind: desc.kind,
+            size: desc.size,
+            parent,
+        });
+    }
+    let area_index = |id: ComponentId| ordered.iter().position(|&o| o == id);
+
+    // --- Domains. -------------------------------------------------------
+    let domain_components: Vec<ComponentId> = arch
+        .components()
+        .iter()
+        .filter(|c| matches!(c.kind, ComponentKind::ThreadDomain(_)))
+        .map(|c| c.id())
+        .collect();
+    let domains: Vec<DomainSpec> = domain_components
+        .iter()
+        .map(|&id| {
+            let c = arch.component(id).expect("known domain");
+            let ComponentKind::ThreadDomain(desc) = c.kind else {
+                unreachable!("filtered on ThreadDomain")
+            };
+            DomainSpec {
+                name: c.name.clone(),
+                kind: desc.kind,
+                priority: desc.priority,
+            }
+        })
+        .collect();
+
+    // --- Components (functional, non-composite). ------------------------
+    let functional: Vec<ComponentId> = arch
+        .components()
+        .iter()
+        .filter(|c| matches!(c.kind, ComponentKind::Active(_) | ComponentKind::Passive))
+        .map(|c| c.id())
+        .collect();
+    let mut components = Vec::with_capacity(functional.len());
+    for &id in &functional {
+        let c = arch.component(id).expect("known component");
+        let content_class = c
+            .content_class
+            .clone()
+            .ok_or_else(|| GeneratorError::MissingContent(c.name.clone()))?;
+        let activation = match c.kind {
+            ComponentKind::Active(ActivationKind::Periodic { period_ns }) => Activation::Periodic {
+                period: RelativeTime::from_nanos(period_ns),
+            },
+            ComponentKind::Active(ActivationKind::Sporadic) => Activation::Sporadic,
+            ComponentKind::Passive => Activation::Passive,
+            _ => unreachable!("filtered on functional"),
+        };
+        let domain = arch
+            .thread_domain_of(id)
+            .and_then(|(d, _)| domain_components.iter().position(|&x| x == d));
+        let (area_id, _) = arch.memory_area_of(id).ok_or_else(|| {
+            GeneratorError::Inconsistent(format!("component '{}' has no memory area", c.name))
+        })?;
+        let area = area_index(area_id).ok_or_else(|| {
+            GeneratorError::Inconsistent(format!("area of '{}' not compiled", c.name))
+        })?;
+        components.push(ComponentSpec {
+            name: c.name.clone(),
+            content_class,
+            activation,
+            domain,
+            area,
+            server_ports: c
+                .interfaces_with_role(Role::Server)
+                .map(|i| i.name.clone())
+                .collect(),
+            ceiling: soleil_core::validate::shared_service_ceiling(arch, id),
+        });
+    }
+    let comp_index = |id: ComponentId| functional.iter().position(|&f| f == id);
+
+    // --- Bindings. --------------------------------------------------------
+    // Scoped-area chain of a component (spec-area indices, outermost first).
+    let scoped_chain_of = |comp_ix: usize| -> Vec<usize> {
+        let mut chain = Vec::new();
+        let mut cursor = Some(components[comp_ix].area);
+        while let Some(ix) = cursor {
+            if areas[ix].kind == MemoryKind::Scoped {
+                chain.push(ix);
+            }
+            cursor = areas[ix].parent;
+        }
+        chain.reverse();
+        chain
+    };
+    let mut bindings = Vec::with_capacity(arch.bindings().len());
+    for b in arch.bindings() {
+        let client = comp_index(b.client.component).ok_or_else(|| {
+            GeneratorError::Inconsistent("binding client is not a functional component".into())
+        })?;
+        let server = comp_index(b.server.component).ok_or_else(|| {
+            GeneratorError::Inconsistent("binding server is not a functional component".into())
+        })?;
+        let pattern = cross_scope_pattern(arch, b)
+            .map(to_pattern)
+            .unwrap_or(PatternKind::Direct);
+        // For enter-inner crossings: the server's scoped chain relative to
+        // the client's (the common prefix is already on the caller's
+        // stack).
+        let enter_path = if pattern == PatternKind::EnterInner {
+            let client_chain = scoped_chain_of(client);
+            let server_chain = scoped_chain_of(server);
+            let common = client_chain
+                .iter()
+                .zip(server_chain.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            server_chain[common..].to_vec()
+        } else {
+            Vec::new()
+        };
+        let protocol = match b.protocol {
+            Protocol::Synchronous => ProtocolSpec::Sync,
+            Protocol::Asynchronous { buffer_size } => {
+                let placement = buffer_placement(arch, b.client.component, b.server.component);
+                ProtocolSpec::Async {
+                    capacity: buffer_size,
+                    placement,
+                }
+            }
+        };
+        bindings.push(BindingSpec {
+            client,
+            client_port: b.client.interface.clone(),
+            server,
+            server_port: b.server.interface.clone(),
+            protocol,
+            pattern,
+            enter_path,
+        });
+    }
+
+    let spec = SystemSpec {
+        name: arch.name.clone(),
+        areas,
+        domains,
+        components,
+        bindings,
+    };
+    spec.check().map_err(GeneratorError::Inconsistent)?;
+    Ok(spec)
+}
+
+/// Buffer placement policy: heap only when both endpoints live in heap
+/// areas *and* neither endpoint's domain is NHRT; immortal otherwise (the
+/// exchange-buffer fallback).
+fn buffer_placement(arch: &Architecture, client: ComponentId, server: ComponentId) -> BufferPlacement {
+    let kind_of = |id: ComponentId| {
+        arch.memory_area_of(id)
+            .map(|(_, d)| d.kind)
+            .unwrap_or(MemoryKind::Heap)
+    };
+    let nhrt = |id: ComponentId| {
+        arch.thread_domain_of(id)
+            .map(|(_, d)| d.kind == ThreadKind::NoHeapRealtime)
+            .unwrap_or(false)
+    };
+    if kind_of(client) == MemoryKind::Heap
+        && kind_of(server) == MemoryKind::Heap
+        && !nhrt(client)
+        && !nhrt(server)
+    {
+        BufferPlacement::Heap
+    } else {
+        BufferPlacement::Immortal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soleil_core::adl::{from_xml, MOTIVATION_EXAMPLE_XML};
+    use soleil_core::prelude::*;
+
+    fn motivation() -> Architecture {
+        from_xml(MOTIVATION_EXAMPLE_XML).unwrap()
+    }
+
+    #[test]
+    fn compiles_motivation_example() {
+        let spec = compile(&motivation()).unwrap();
+        assert_eq!(spec.name, "production-line-monitoring");
+        assert_eq!(spec.areas.len(), 3);
+        assert_eq!(spec.domains.len(), 3);
+        assert_eq!(spec.components.len(), 4);
+        assert_eq!(spec.bindings.len(), 3);
+
+        // ProductionLine: periodic 10ms, NHRT1, Imm1.
+        let pl_ix = spec.component_index("ProductionLine").unwrap();
+        let pl = &spec.components[pl_ix];
+        assert!(matches!(pl.activation, Activation::Periodic { period } if period == RelativeTime::from_millis(10)));
+        assert_eq!(spec.domains[pl.domain.unwrap()].name, "NHRT1");
+        assert_eq!(spec.areas[pl.area].name, "Imm1");
+
+        // Console is passive in the scoped area.
+        let console = &spec.components[spec.component_index("Console").unwrap()];
+        assert!(matches!(console.activation, Activation::Passive));
+        assert_eq!(spec.areas[console.area].kind, MemoryKind::Scoped);
+
+        // The sync binding into Console crosses into a scope: enter-inner.
+        let sync = spec
+            .bindings
+            .iter()
+            .find(|b| matches!(b.protocol, ProtocolSpec::Sync))
+            .unwrap();
+        assert_eq!(sync.pattern, PatternKind::EnterInner);
+
+        // Async buffers: producer NHRT -> immortal placement everywhere.
+        for b in &spec.bindings {
+            if let ProtocolSpec::Async { placement, .. } = b.protocol {
+                assert_eq!(placement, BufferPlacement::Immortal);
+            }
+        }
+    }
+
+    #[test]
+    fn non_compliant_architectures_refused() {
+        let mut b = BusinessView::new("bad");
+        b.active_sporadic("orphan").unwrap();
+        b.content("orphan", "X").unwrap();
+        let arch = DesignFlow::new(b).merge().unwrap();
+        // No domain, no area: refused with the validation report attached.
+        match compile(&arch) {
+            Err(GeneratorError::Validation(report)) => {
+                assert!(!report.is_compliant());
+                assert!(report.by_code("SOL-001").next().is_some());
+            }
+            other => panic!("expected validation refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_content_class_refused() {
+        let mut b = BusinessView::new("x");
+        b.active_periodic("p", "10ms").unwrap(); // no content class
+        let mut flow = DesignFlow::new(b);
+        flow.thread_domain("d", ThreadKind::Realtime, 20, &["p"]).unwrap();
+        flow.memory_area("m", MemoryKind::Immortal, Some(4096), &["d"]).unwrap();
+        let arch = flow.merge().unwrap();
+        assert!(matches!(
+            compile(&arch),
+            Err(GeneratorError::MissingContent(_))
+        ));
+    }
+
+    #[test]
+    fn heap_to_heap_regular_buffers_stay_on_heap() {
+        let mut b = BusinessView::new("heapy");
+        b.active_periodic("p", "5ms").unwrap();
+        b.active_sporadic("q").unwrap();
+        b.content("p", "P").unwrap();
+        b.content("q", "Q").unwrap();
+        b.require("p", "out", "I").unwrap();
+        b.provide("q", "in", "I").unwrap();
+        b.bind_async("p", "out", "q", "in", 4).unwrap();
+        let mut flow = DesignFlow::new(b);
+        flow.thread_domain("reg", ThreadKind::Regular, 5, &["p", "q"]).unwrap();
+        flow.memory_area("h", MemoryKind::Heap, None, &["reg"]).unwrap();
+        let spec = compile(&flow.merge().unwrap()).unwrap();
+        let ProtocolSpec::Async { placement, .. } = spec.bindings[0].protocol else {
+            panic!("async binding expected")
+        };
+        assert_eq!(placement, BufferPlacement::Heap);
+    }
+
+    #[test]
+    fn nested_areas_order_parent_first() {
+        let mut b = BusinessView::new("nested");
+        b.passive("leaf").unwrap();
+        b.content("leaf", "L").unwrap();
+        let mut flow = DesignFlow::new(b);
+        flow.memory_area("outer", MemoryKind::Scoped, Some(8192), &[]).unwrap();
+        flow.memory_area("inner", MemoryKind::Scoped, Some(1024), &["leaf"]).unwrap();
+        let mut arch = flow.merge().unwrap();
+        // Nest inner inside outer manually (views API keeps them flat).
+        let outer = arch.id_of("outer").unwrap();
+        let inner = arch.id_of("inner").unwrap();
+        arch.add_child(outer, inner).unwrap();
+        let spec = compile(&arch).unwrap();
+        let outer_ix = spec.areas.iter().position(|a| a.name == "outer").unwrap();
+        let inner_ix = spec.areas.iter().position(|a| a.name == "inner").unwrap();
+        assert!(outer_ix < inner_ix);
+        assert_eq!(spec.areas[inner_ix].parent, Some(outer_ix));
+    }
+}

@@ -1,0 +1,192 @@
+//! The contract between the framework and functional code.
+//!
+//! Developers "implement only component content classes" (§3.3). In this
+//! reproduction a content class is a type implementing [`Content`]: it
+//! receives invocations on its server interfaces and emits calls on its
+//! client interfaces through the [`Ports`] façade — never holding direct
+//! references to other components. Everything else (activation, buffering,
+//! memory-area choreography) is the membrane's and engine's business.
+
+use std::any::Any;
+use std::fmt::Debug;
+
+use crate::error::FrameworkError;
+
+/// Message payload moved along bindings.
+///
+/// Blanket-implemented: any `'static` type that is `Clone + Default +
+/// Debug` qualifies. `Clone` enables the handoff (deep-copy) pattern;
+/// `Default` gives the engine a neutral value for buffer priming.
+pub trait Payload: Any + Clone + Default + Debug + 'static {}
+
+impl<T: Any + Clone + Default + Debug + 'static> Payload for T {}
+
+/// Result of a content invocation.
+pub type InvokeResult = Result<(), FrameworkError>;
+
+/// The outgoing-call façade handed to content during an invocation.
+///
+/// `call` performs a synchronous, nested, run-to-completion invocation
+/// through the named *client* interface; `send` enqueues a message on an
+/// asynchronous binding. Both resolve the actual target through the
+/// binding infrastructure of the active generation mode.
+pub trait Ports<P: Payload> {
+    /// Synchronous call through `client_port`. The message is passed by
+    /// mutable reference so the callee can write results into it.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Binding`] for unbound ports; callee errors
+    /// propagate.
+    fn call(&mut self, client_port: &str, msg: &mut P) -> InvokeResult;
+
+    /// Asynchronous send through `client_port`: the message is moved into
+    /// the binding's bounded buffer; the consumer activates later.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Binding`] for unbound or synchronous ports.
+    fn send(&mut self, client_port: &str, msg: P) -> InvokeResult;
+}
+
+/// A functional implementation ("content class").
+///
+/// ```
+/// use soleil_membrane::content::{Content, InvokeResult, Ports};
+///
+/// /// Doubles every sample and forwards it.
+/// #[derive(Debug, Default)]
+/// struct Doubler;
+///
+/// impl Content<i64> for Doubler {
+///     fn on_invoke(&mut self, port: &str, msg: &mut i64, out: &mut dyn Ports<i64>) -> InvokeResult {
+///         assert_eq!(port, "in");
+///         *msg *= 2;
+///         out.send("out", *msg)
+///     }
+/// }
+/// ```
+pub trait Content<P: Payload>: Debug {
+    /// Handles an invocation arriving on server interface `port`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report business failures as
+    /// [`FrameworkError::Content`]; framework failures from `out` calls
+    /// should be propagated unchanged.
+    fn on_invoke(&mut self, port: &str, msg: &mut P, out: &mut dyn Ports<P>) -> InvokeResult;
+
+    /// Called once when the component starts (lifecycle hook).
+    fn on_start(&mut self) {}
+
+    /// Called once when the component stops (lifecycle hook).
+    fn on_stop(&mut self) {}
+
+    /// Approximate bytes of functional state, charged to the component's
+    /// memory area at bootstrap.
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+/// A factory registry mapping content-class names (the ADL's
+/// `content class="..."` attribute) to constructors.
+pub struct ContentRegistry<P: Payload> {
+    entries: Vec<(String, Box<dyn Fn() -> Box<dyn Content<P>>>)>,
+}
+
+impl<P: Payload> ContentRegistry<P> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ContentRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers a factory for `class` (later registrations shadow earlier
+    /// ones).
+    pub fn register(
+        &mut self,
+        class: impl Into<String>,
+        factory: impl Fn() -> Box<dyn Content<P>> + 'static,
+    ) {
+        self.entries.push((class.into(), Box::new(factory)));
+    }
+
+    /// Instantiates the content class `class`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] when no factory is registered.
+    pub fn instantiate(&self, class: &str) -> Result<Box<dyn Content<P>>, FrameworkError> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(name, _)| name == class)
+            .map(|(_, f)| f())
+            .ok_or_else(|| {
+                FrameworkError::Content(format!("no content factory registered for '{class}'"))
+            })
+    }
+
+    /// Registered class names.
+    pub fn classes(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+impl<P: Payload> Default for ContentRegistry<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Payload> Debug for ContentRegistry<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContentRegistry")
+            .field("classes", &self.classes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Echo;
+    impl Content<u32> for Echo {
+        fn on_invoke(&mut self, _port: &str, msg: &mut u32, _out: &mut dyn Ports<u32>) -> InvokeResult {
+            *msg += 1;
+            Ok(())
+        }
+    }
+
+    struct NullPorts;
+    impl Ports<u32> for NullPorts {
+        fn call(&mut self, port: &str, _msg: &mut u32) -> InvokeResult {
+            Err(FrameworkError::Binding(format!("unbound port {port}")))
+        }
+        fn send(&mut self, port: &str, _msg: u32) -> InvokeResult {
+            Err(FrameworkError::Binding(format!("unbound port {port}")))
+        }
+    }
+
+    #[test]
+    fn registry_instantiates_and_shadows() {
+        let mut reg: ContentRegistry<u32> = ContentRegistry::new();
+        reg.register("Echo", || Box::new(Echo));
+        let mut c = reg.instantiate("Echo").unwrap();
+        let mut v = 1u32;
+        c.on_invoke("in", &mut v, &mut NullPorts).unwrap();
+        assert_eq!(v, 2);
+        assert!(reg.instantiate("Missing").is_err());
+        assert_eq!(reg.classes(), vec!["Echo"]);
+    }
+
+    #[test]
+    fn default_state_bytes_reflects_size() {
+        let e = Echo;
+        assert_eq!(Content::<u32>::state_bytes(&e), 0); // zero-sized struct
+    }
+}

@@ -1,0 +1,412 @@
+//! Control components: the membrane's controllers.
+//!
+//! The paper distinguishes controllers that implement non-functional logic
+//! the component cannot run without, from optional units providing
+//! introspection and reconfiguration (§4.2): **LifecycleController** and
+//! **BindingController** belong to the optional group (present in SOLEIL
+//! mode, merged away otherwise); **ThreadDomainController** and
+//! **MemoryAreaController** sit in the membranes of non-functional
+//! components and superimpose RTSJ concerns over their members.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rtsj::memory::AreaId;
+use rtsj::thread::{Priority, ReleaseParameters, RtThread, ThreadKind};
+use rtsj::time::RelativeTime;
+use soleil_patterns::ScopePin;
+
+use crate::error::FrameworkError;
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+/// The component lifecycle state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleState {
+    /// Not started (or stopped): invocations are refused.
+    Stopped,
+    /// Running: invocations flow.
+    Started,
+}
+
+/// Start/stop controller, the reconfiguration gate of the membrane.
+#[derive(Debug, Clone)]
+pub struct LifecycleController {
+    state: LifecycleState,
+    transitions: u64,
+}
+
+impl LifecycleController {
+    /// Creates a controller in the `Stopped` state.
+    pub fn new() -> Self {
+        LifecycleController {
+            state: LifecycleState::Stopped,
+            transitions: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> LifecycleState {
+        self.state
+    }
+
+    /// Moves to `Started` (idempotent).
+    pub fn start(&mut self) {
+        if self.state != LifecycleState::Started {
+            self.state = LifecycleState::Started;
+            self.transitions += 1;
+        }
+    }
+
+    /// Moves to `Stopped` (idempotent).
+    pub fn stop(&mut self) {
+        if self.state != LifecycleState::Stopped {
+            self.state = LifecycleState::Stopped;
+            self.transitions += 1;
+        }
+    }
+
+    /// Number of state transitions (introspection).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Errors unless started.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Lifecycle`] when stopped.
+    pub fn assert_started(&self, component: &str) -> Result<(), FrameworkError> {
+        match self.state {
+            LifecycleState::Started => Ok(()),
+            LifecycleState::Stopped => Err(FrameworkError::Lifecycle(format!(
+                "component '{component}' is stopped"
+            ))),
+        }
+    }
+}
+
+impl Default for LifecycleController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binding
+// ---------------------------------------------------------------------------
+
+/// Where a client interface is bound: a target component slot and server
+/// port, plus the wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingTarget {
+    /// Engine slot of the server component.
+    pub target_slot: usize,
+    /// Server interface name on the target (introspection).
+    pub server_port: String,
+    /// Compiled index of that interface in the target's port table.
+    pub server_port_ix: u16,
+    /// True for asynchronous (buffered) bindings.
+    pub is_async: bool,
+    /// Index of the engine-managed buffer for async bindings.
+    pub buffer_index: Option<usize>,
+    /// Index of this binding in the engine's binding table (used to locate
+    /// the binding's memory interceptor).
+    pub binding_ix: usize,
+}
+
+/// Name-keyed binding table supporting runtime rebinding — the SOLEIL-mode
+/// `BindingController`.
+///
+/// Lookups go through a `HashMap` on every call: this is the deliberate
+/// dynamic-dispatch cost that MERGE-ALL replaces with compiled slots.
+#[derive(Debug, Clone, Default)]
+pub struct BindingController {
+    table: HashMap<String, BindingTarget>,
+    rebinds: u64,
+}
+
+impl BindingController {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) the binding for `client_port`.
+    pub fn bind(&mut self, client_port: impl Into<String>, target: BindingTarget) {
+        if self.table.insert(client_port.into(), target).is_some() {
+            self.rebinds += 1;
+        }
+    }
+
+    /// Removes the binding for `client_port`; true when one existed.
+    pub fn unbind(&mut self, client_port: &str) -> bool {
+        self.table.remove(client_port).is_some()
+    }
+
+    /// Resolves `client_port`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Binding`] when unbound.
+    pub fn resolve(&self, client_port: &str) -> Result<&BindingTarget, FrameworkError> {
+        self.table
+            .get(client_port)
+            .ok_or_else(|| FrameworkError::Binding(format!("client port '{client_port}' is unbound")))
+    }
+
+    /// Bound client-port names (introspection).
+    pub fn ports(&self) -> Vec<&str> {
+        self.table.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Times an existing binding was replaced (introspection).
+    pub fn rebind_count(&self) -> u64 {
+        self.rebinds
+    }
+
+    /// Estimated bytes of table machinery (Fig. 7(c) accounting).
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .table
+                .iter()
+                .map(|(k, v)| {
+                    k.capacity()
+                        + std::mem::size_of::<BindingTarget>()
+                        + v.server_port.capacity()
+                        + 48 // hash-table entry overhead estimate
+                })
+                .sum::<usize>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content controller
+// ---------------------------------------------------------------------------
+
+/// Lists a composite's sub-components (pure introspection).
+#[derive(Debug, Clone, Default)]
+pub struct ContentController {
+    subs: Vec<String>,
+}
+
+impl ContentController {
+    /// Creates a controller listing `subs`.
+    pub fn new(subs: Vec<String>) -> Self {
+        ContentController { subs }
+    }
+
+    /// The sub-component names.
+    pub fn sub_components(&self) -> &[String] {
+        &self.subs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadDomain controller
+// ---------------------------------------------------------------------------
+
+/// The membrane of a ThreadDomain component: holds the thread policy its
+/// members execute under and manufactures their [`RtThread`] descriptors.
+#[derive(Debug, Clone)]
+pub struct ThreadDomainController {
+    /// Domain name.
+    pub name: String,
+    /// Thread class for every member.
+    pub kind: ThreadKind,
+    /// Dispatch priority for every member.
+    pub priority: Priority,
+    members: Vec<String>,
+}
+
+impl ThreadDomainController {
+    /// Creates the controller.
+    pub fn new(
+        name: impl Into<String>,
+        kind: ThreadKind,
+        priority: Priority,
+        members: Vec<String>,
+    ) -> Self {
+        ThreadDomainController {
+            name: name.into(),
+            kind,
+            priority,
+            members,
+        }
+    }
+
+    /// The member component names.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// Builds the thread descriptor for a member with the given release
+    /// pattern (periodic members pass their period; sporadic members a
+    /// minimum interarrival; `None` gives an aperiodic server thread).
+    pub fn thread_for(
+        &self,
+        member: &str,
+        period: Option<RelativeTime>,
+        cost: RelativeTime,
+    ) -> RtThread {
+        let release = match period {
+            Some(p) => ReleaseParameters::periodic(p, cost),
+            None => ReleaseParameters::aperiodic(cost),
+        };
+        RtThread::new(
+            format!("{}/{}", self.name, member),
+            self.kind,
+            self.priority,
+            release,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemoryArea controller
+// ---------------------------------------------------------------------------
+
+/// The membrane of a MemoryArea component: owns the substrate area and, for
+/// scoped areas, the wedge pin that keeps component state alive between
+/// transactions.
+pub struct MemoryAreaController {
+    /// Area component name.
+    pub name: String,
+    /// The substrate area backing this component.
+    pub area: AreaId,
+    pin: Option<ScopePin>,
+}
+
+impl MemoryAreaController {
+    /// Creates a controller for an unpinned area.
+    pub fn new(name: impl Into<String>, area: AreaId) -> Self {
+        MemoryAreaController {
+            name: name.into(),
+            area,
+            pin: None,
+        }
+    }
+
+    /// Installs the wedge pin (bootstrap of scoped areas holding state).
+    pub fn set_pin(&mut self, pin: ScopePin) {
+        self.pin = Some(pin);
+    }
+
+    /// The wedge pin, if installed.
+    pub fn pin(&self) -> Option<&ScopePin> {
+        self.pin.as_ref()
+    }
+
+    /// Removes and returns the pin (teardown).
+    pub fn take_pin(&mut self) -> Option<ScopePin> {
+        self.pin.take()
+    }
+}
+
+impl fmt::Debug for MemoryAreaController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryAreaController")
+            .field("name", &self.name)
+            .field("area", &self.area)
+            .field("pinned", &self.pin.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_transitions() {
+        let mut lc = LifecycleController::new();
+        assert_eq!(lc.state(), LifecycleState::Stopped);
+        assert!(lc.assert_started("c").is_err());
+        lc.start();
+        lc.start(); // idempotent
+        assert_eq!(lc.transitions(), 1);
+        lc.assert_started("c").unwrap();
+        lc.stop();
+        assert_eq!(lc.transitions(), 2);
+        assert!(lc.assert_started("c").is_err());
+    }
+
+    #[test]
+    fn binding_table_resolve_and_rebind() {
+        let mut bc = BindingController::new();
+        assert!(bc.resolve("out").is_err());
+        bc.bind(
+            "out",
+            BindingTarget {
+                target_slot: 3,
+                server_port: "in".into(),
+                server_port_ix: 0,
+                is_async: true,
+                buffer_index: Some(0),
+                binding_ix: 0,
+            },
+        );
+        assert_eq!(bc.resolve("out").unwrap().target_slot, 3);
+        assert_eq!(bc.rebind_count(), 0);
+        bc.bind(
+            "out",
+            BindingTarget {
+                target_slot: 5,
+                server_port: "in".into(),
+                server_port_ix: 0,
+                is_async: true,
+                buffer_index: Some(1),
+                binding_ix: 0,
+            },
+        );
+        assert_eq!(bc.rebind_count(), 1);
+        assert_eq!(bc.resolve("out").unwrap().target_slot, 5);
+        assert!(bc.unbind("out"));
+        assert!(!bc.unbind("out"));
+        assert!(bc.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn thread_domain_builds_descriptors() {
+        let td = ThreadDomainController::new(
+            "NHRT1",
+            ThreadKind::NoHeapRealtime,
+            Priority::new(30),
+            vec!["ProductionLine".into()],
+        );
+        let t = td.thread_for(
+            "ProductionLine",
+            Some(RelativeTime::from_millis(10)),
+            RelativeTime::from_micros(40),
+        );
+        assert_eq!(t.name, "NHRT1/ProductionLine");
+        assert!(t.is_consistent());
+        assert!(t.release.is_periodic());
+        let s = td.thread_for("X", None, RelativeTime::from_micros(10));
+        assert!(!s.release.is_periodic());
+    }
+
+    #[test]
+    fn memory_area_controller_pin_lifecycle() {
+        use rtsj::memory::{MemoryManager, ScopedMemoryParams};
+        let mut mm = MemoryManager::default();
+        let s = mm.create_scoped(ScopedMemoryParams::new("s", 1024)).unwrap();
+        let mut mac = MemoryAreaController::new("S1", s);
+        assert!(mac.pin().is_none());
+        let pin = ScopePin::new(&mut mm, s, &[]).unwrap();
+        mac.set_pin(pin);
+        assert!(mac.pin().is_some());
+        let mut pin = mac.take_pin().unwrap();
+        pin.release(&mut mm).unwrap();
+        assert!(mac.pin().is_none());
+    }
+
+    #[test]
+    fn content_controller_lists_subs() {
+        let cc = ContentController::new(vec!["a".into(), "b".into()]);
+        assert_eq!(cc.sub_components().len(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Framework-level errors raised by the control layer.
+
+use std::error::Error;
+use std::fmt;
+
+use rtsj::RtsjError;
+
+/// Failures raised by membranes, controllers and the execution engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameworkError {
+    /// An RTSJ substrate violation (assignment rule, scope cycle, …).
+    Rtsj(RtsjError),
+    /// An operation on a component in the wrong lifecycle state.
+    Lifecycle(String),
+    /// A binding lookup or reconfiguration failure.
+    Binding(String),
+    /// A violation of the run-to-completion execution model (re-entrant
+    /// activation of an active component).
+    RunToCompletion(String),
+    /// An error reported by a content implementation.
+    Content(String),
+    /// An operation the current generation mode does not support (e.g.
+    /// reconfiguration under ULTRA-MERGE).
+    Unsupported(String),
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::Rtsj(e) => write!(f, "rtsj violation: {e}"),
+            FrameworkError::Lifecycle(m) => write!(f, "lifecycle error: {m}"),
+            FrameworkError::Binding(m) => write!(f, "binding error: {m}"),
+            FrameworkError::RunToCompletion(m) => write!(f, "run-to-completion violated: {m}"),
+            FrameworkError::Content(m) => write!(f, "content error: {m}"),
+            FrameworkError::Unsupported(m) => write!(f, "unsupported in this mode: {m}"),
+        }
+    }
+}
+
+impl Error for FrameworkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameworkError::Rtsj(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RtsjError> for FrameworkError {
+    fn from(e: RtsjError) -> Self {
+        FrameworkError::Rtsj(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = FrameworkError::from(RtsjError::IllegalState("x".into()));
+        assert!(e.to_string().contains("rtsj violation"));
+        assert!(e.source().is_some());
+        let l = FrameworkError::Lifecycle("stopped".into());
+        assert!(l.source().is_none());
+        assert!(l.to_string().contains("stopped"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<FrameworkError>();
+    }
+}

@@ -1,0 +1,451 @@
+//! RTSJ-oriented interceptors (§4.1).
+//!
+//! Interceptors are "special control components deployed on component
+//! interfaces to arbitrate communication". Two are RTSJ-specific:
+//!
+//! * [`ActiveInterceptor`] — enforces the run-to-completion execution model
+//!   of active components (no re-entrant activation) and counts
+//!   activations;
+//! * [`MemoryInterceptor`] — deployed on every binding that crosses
+//!   MemoryAreas; executes the [`PatternKind`] selected at design time
+//!   (scope entry, allocation-context switching, transient scopes for
+//!   per-invocation temporaries).
+//!
+//! Interceptors expose a split `pre`/`post` protocol so the membrane can
+//! run them around the content invocation.
+
+use std::fmt::Debug;
+
+use rtsj::memory::{AreaId, MemoryContext, MemoryManager};
+use soleil_patterns::PatternKind;
+
+use crate::error::FrameworkError;
+
+/// A control component deployed on a component interface.
+pub trait Interceptor: Debug {
+    /// Stable name for introspection.
+    fn name(&self) -> &str;
+
+    /// Downcast support, so membrane-level reconfiguration can reach a
+    /// concrete interceptor installed at runtime.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Runs before the content invocation.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; a failing `pre` aborts the invocation.
+    fn pre(&mut self, mm: &mut MemoryManager, ctx: &mut MemoryContext)
+        -> Result<(), FrameworkError>;
+
+    /// Runs after the content invocation (also on unwind).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific.
+    fn post(
+        &mut self,
+        mm: &mut MemoryManager,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError>;
+
+    /// Estimated bytes of interceptor state (Fig. 7(c) accounting).
+    fn footprint_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ActiveInterceptor
+// ---------------------------------------------------------------------------
+
+/// Run-to-completion guard for active components.
+///
+/// The paper: active interceptors "implement a run-to-completion execution
+/// model for each incoming invocation from their server interfaces" —
+/// i.e. an activation must finish before the next may begin.
+#[derive(Debug, Default)]
+pub struct ActiveInterceptor {
+    busy: bool,
+    activations: u64,
+}
+
+impl ActiveInterceptor {
+    /// Creates an idle guard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total completed or in-flight activations.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+}
+
+impl Interceptor for ActiveInterceptor {
+    fn name(&self) -> &str {
+        "active-interceptor"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn pre(
+        &mut self,
+        _mm: &mut MemoryManager,
+        _ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        if self.busy {
+            return Err(FrameworkError::RunToCompletion(
+                "re-entrant activation of an active component".into(),
+            ));
+        }
+        self.busy = true;
+        self.activations += 1;
+        Ok(())
+    }
+
+    fn post(
+        &mut self,
+        _mm: &mut MemoryManager,
+        _ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        self.busy = false;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemoryInterceptor
+// ---------------------------------------------------------------------------
+
+/// What the memory interceptor must do around an invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryPlan {
+    /// The design-time pattern for this binding.
+    pub pattern: PatternKind,
+    /// The server component's area (switched to by `ExecuteInOuter`).
+    pub server_area: AreaId,
+    /// For `EnterInner`: the scoped areas to enter, outermost first,
+    /// *relative* to the caller's scope stack (common ancestors excluded —
+    /// re-entering a scope already on the stack would violate the single
+    /// parent rule).
+    pub enter_path: Vec<AreaId>,
+    /// Optional transient scope entered per invocation for temporaries;
+    /// reclaimed on exit (the classic scoped-memory usage).
+    pub transient_scope: Option<AreaId>,
+}
+
+impl MemoryPlan {
+    /// A plan that performs no memory choreography (same-area binding).
+    pub fn direct(server_area: AreaId) -> Self {
+        MemoryPlan {
+            pattern: PatternKind::Direct,
+            server_area,
+            enter_path: Vec::new(),
+            transient_scope: None,
+        }
+    }
+
+    /// An `EnterInner` plan entering `path` (outermost first).
+    pub fn enter_inner(server_area: AreaId, path: Vec<AreaId>) -> Self {
+        MemoryPlan {
+            pattern: PatternKind::EnterInner,
+            server_area,
+            enter_path: path,
+            transient_scope: None,
+        }
+    }
+}
+
+/// Executes the cross-scope pattern around each invocation (§4.1's
+/// "Memory Interceptors … deployed on each binding between different
+/// MemoryAreas").
+#[derive(Debug)]
+pub struct MemoryInterceptor {
+    plan: MemoryPlan,
+    crossings: u64,
+}
+
+impl MemoryInterceptor {
+    /// Creates an interceptor for `plan`.
+    pub fn new(plan: MemoryPlan) -> Self {
+        MemoryInterceptor { plan, crossings: 0 }
+    }
+
+    /// The configured plan.
+    pub fn plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+
+    /// Number of boundary crossings executed.
+    pub fn crossings(&self) -> u64 {
+        self.crossings
+    }
+
+    /// True when the engine must deep-copy the payload (handoff pattern).
+    pub fn needs_copy(&self) -> bool {
+        matches!(
+            self.plan.pattern,
+            PatternKind::HandoffThroughParent | PatternKind::ImmortalExchange
+        )
+    }
+}
+
+impl Interceptor for MemoryInterceptor {
+    fn name(&self) -> &str {
+        "memory-interceptor"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn pre(
+        &mut self,
+        mm: &mut MemoryManager,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        self.crossings += 1;
+        match self.plan.pattern {
+            PatternKind::Direct => {}
+            PatternKind::ExecuteInOuter => {
+                mm.begin_execute_in_area(ctx, self.plan.server_area)?;
+            }
+            PatternKind::EnterInner => {
+                for (i, &scope) in self.plan.enter_path.iter().enumerate() {
+                    if let Err(e) = mm.enter(ctx, scope) {
+                        for _ in 0..i {
+                            let _ = mm.exit(ctx);
+                        }
+                        return Err(e.into());
+                    }
+                }
+            }
+            // Copy-based patterns need no scope choreography here: the
+            // engine copies the payload; buffers live in their own area.
+            PatternKind::HandoffThroughParent | PatternKind::ImmortalExchange => {}
+        }
+        if let Some(scope) = self.plan.transient_scope {
+            mm.enter(ctx, scope)?;
+        }
+        Ok(())
+    }
+
+    fn post(
+        &mut self,
+        mm: &mut MemoryManager,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        if self.plan.transient_scope.is_some() {
+            mm.exit(ctx)?;
+        }
+        match self.plan.pattern {
+            PatternKind::Direct
+            | PatternKind::HandoffThroughParent
+            | PatternKind::ImmortalExchange => {}
+            PatternKind::ExecuteInOuter => {
+                mm.end_execute_in_area(ctx)?;
+            }
+            PatternKind::EnterInner => {
+                for _ in &self.plan.enter_path {
+                    mm.exit(ctx)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JitterMonitor
+// ---------------------------------------------------------------------------
+
+/// An optional interceptor measuring inter-activation gaps in wall-clock
+/// time — the "additional functionality" (§3.3) the framework can inject
+/// into a membrane, and the show-piece of *membrane-level* runtime
+/// reconfiguration: SOLEIL-mode systems can install it on a live component.
+#[derive(Debug, Default)]
+pub struct JitterMonitor {
+    last: Option<std::time::Instant>,
+    gaps_ns: Vec<u64>,
+}
+
+impl JitterMonitor {
+    /// Creates an idle monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observed inter-activation gaps, in nanoseconds.
+    pub fn gaps_ns(&self) -> &[u64] {
+        &self.gaps_ns
+    }
+
+    /// Number of activations observed (gaps + 1, once started).
+    pub fn observations(&self) -> usize {
+        self.gaps_ns.len() + usize::from(self.last.is_some())
+    }
+}
+
+impl Interceptor for JitterMonitor {
+    fn name(&self) -> &str {
+        "jitter-monitor"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn pre(
+        &mut self,
+        _mm: &mut MemoryManager,
+        _ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        let now = std::time::Instant::now();
+        if let Some(last) = self.last.replace(now) {
+            self.gaps_ns.push(now.duration_since(last).as_nanos() as u64);
+        }
+        Ok(())
+    }
+
+    fn post(
+        &mut self,
+        _mm: &mut MemoryManager,
+        _ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsj::memory::ScopedMemoryParams;
+    use rtsj::thread::ThreadKind;
+
+    #[test]
+    fn jitter_monitor_records_gaps() {
+        let mut mm = MemoryManager::default();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let mut jm = JitterMonitor::new();
+        assert_eq!(jm.observations(), 0);
+        for _ in 0..5 {
+            jm.pre(&mut mm, &mut ctx).unwrap();
+            jm.post(&mut mm, &mut ctx).unwrap();
+        }
+        assert_eq!(jm.observations(), 5);
+        assert_eq!(jm.gaps_ns().len(), 4);
+        // Downcast through the trait object works.
+        let boxed: Box<dyn Interceptor> = Box::new(jm);
+        assert!(boxed.as_any().downcast_ref::<JitterMonitor>().is_some());
+        assert!(boxed.as_any().downcast_ref::<ActiveInterceptor>().is_none());
+    }
+
+    #[test]
+    fn active_interceptor_guards_reentrancy() {
+        let mut mm = MemoryManager::default();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let mut ai = ActiveInterceptor::new();
+        ai.pre(&mut mm, &mut ctx).unwrap();
+        let err = ai.pre(&mut mm, &mut ctx).unwrap_err();
+        assert!(matches!(err, FrameworkError::RunToCompletion(_)));
+        ai.post(&mut mm, &mut ctx).unwrap();
+        ai.pre(&mut mm, &mut ctx).unwrap();
+        assert_eq!(ai.activations(), 2);
+    }
+
+    #[test]
+    fn memory_interceptor_enter_inner_roundtrip() {
+        let mut mm = MemoryManager::default();
+        let scope = mm.create_scoped(ScopedMemoryParams::new("s", 4096)).unwrap();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let mut mi = MemoryInterceptor::new(MemoryPlan::enter_inner(scope, vec![scope]));
+        mi.pre(&mut mm, &mut ctx).unwrap();
+        assert_eq!(ctx.allocation_area(), scope);
+        mi.post(&mut mm, &mut ctx).unwrap();
+        assert_eq!(ctx.depth(), 0);
+        assert_eq!(mi.crossings(), 1);
+    }
+
+    #[test]
+    fn memory_interceptor_enters_nested_chains() {
+        let mut mm = MemoryManager::default();
+        let outer = mm.create_scoped(ScopedMemoryParams::new("o", 4096)).unwrap();
+        let inner = mm.create_scoped(ScopedMemoryParams::new("i", 4096)).unwrap();
+        // Pin the chain so `inner`'s parent is fixed to `outer`.
+        let mut pin_ctx = mm.context(ThreadKind::Realtime);
+        mm.enter(&mut pin_ctx, outer).unwrap();
+        mm.enter(&mut pin_ctx, inner).unwrap();
+
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let mut mi = MemoryInterceptor::new(MemoryPlan::enter_inner(inner, vec![outer, inner]));
+        mi.pre(&mut mm, &mut ctx).unwrap();
+        assert_eq!(ctx.depth(), 2);
+        assert_eq!(ctx.allocation_area(), inner);
+        mi.post(&mut mm, &mut ctx).unwrap();
+        assert_eq!(ctx.depth(), 0);
+
+        // A wrong chain (skipping `outer`) is rejected and unwound.
+        let mut bad = MemoryInterceptor::new(MemoryPlan::enter_inner(inner, vec![inner]));
+        let err = bad.pre(&mut mm, &mut ctx).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameworkError::Rtsj(rtsj::RtsjError::ScopedCycle { .. })
+        ));
+        assert_eq!(ctx.depth(), 0, "failed pre leaves the stack balanced");
+    }
+
+    #[test]
+    fn memory_interceptor_execute_in_outer_roundtrip() {
+        let mut mm = MemoryManager::default();
+        let outer = mm.create_scoped(ScopedMemoryParams::new("o", 4096)).unwrap();
+        let inner = mm.create_scoped(ScopedMemoryParams::new("i", 4096)).unwrap();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        mm.enter(&mut ctx, outer).unwrap();
+        mm.enter(&mut ctx, inner).unwrap();
+        let mut mi = MemoryInterceptor::new(MemoryPlan {
+            pattern: PatternKind::ExecuteInOuter,
+            server_area: outer,
+            enter_path: Vec::new(),
+            transient_scope: None,
+        });
+        mi.pre(&mut mm, &mut ctx).unwrap();
+        assert_eq!(ctx.allocation_area(), outer);
+        mi.post(&mut mm, &mut ctx).unwrap();
+        assert_eq!(ctx.allocation_area(), inner);
+    }
+
+    #[test]
+    fn transient_scope_reclaims_temporaries() {
+        let mut mm = MemoryManager::default();
+        let temp = mm.create_scoped(ScopedMemoryParams::new("tmp", 4096)).unwrap();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let mut mi = MemoryInterceptor::new(MemoryPlan {
+            pattern: PatternKind::Direct,
+            server_area: AreaId::IMMORTAL,
+            enter_path: Vec::new(),
+            transient_scope: Some(temp),
+        });
+        mi.pre(&mut mm, &mut ctx).unwrap();
+        mm.alloc_current(&ctx, [0u8; 128]).unwrap();
+        assert!(mm.stats(temp).unwrap().consumed > 0);
+        mi.post(&mut mm, &mut ctx).unwrap();
+        assert_eq!(mm.stats(temp).unwrap().consumed, 0, "temporaries reclaimed");
+        assert_eq!(mm.stats(temp).unwrap().reclaim_count, 1);
+    }
+
+    #[test]
+    fn copy_requirements_by_pattern() {
+        let direct = MemoryInterceptor::new(MemoryPlan::direct(AreaId::HEAP));
+        assert!(!direct.needs_copy());
+        let handoff = MemoryInterceptor::new(MemoryPlan {
+            pattern: PatternKind::HandoffThroughParent,
+            server_area: AreaId::IMMORTAL,
+            enter_path: Vec::new(),
+            transient_scope: None,
+        });
+        assert!(handoff.needs_copy());
+    }
+}

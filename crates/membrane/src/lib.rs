@@ -1,0 +1,221 @@
+//! # soleil-membrane — component membranes: controllers and interceptors
+//!
+//! §4 of the paper wraps every functional component in a **membrane**: "an
+//! assembly of control components" supporting its non-functional properties,
+//! with **interceptors** arbitrating communication on its interfaces. This
+//! crate provides that control layer:
+//!
+//! * [`content`] — the [`content::Content`] trait functional implementations
+//!   ("content classes") write against, and the [`content::Ports`] façade
+//!   they emit calls through;
+//! * [`controllers`] — Lifecycle, Binding, Content, ThreadDomain and
+//!   MemoryArea controllers (the introspection / reconfiguration surface);
+//! * [`interceptors`] — the RTSJ-oriented interceptors: the
+//!   **ActiveInterceptor** enforcing run-to-completion activation and the
+//!   **MemoryInterceptor** executing the cross-scope pattern selected at
+//!   design time;
+//! * [`Membrane`] — the per-component assembly of the above, as reified in
+//!   the SOLEIL generation mode (MERGE-ALL inlines this logic; ULTRA-MERGE
+//!   compiles it away — see `soleil-generator`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod content;
+pub mod controllers;
+pub mod error;
+pub mod interceptors;
+
+pub use content::{Content, InvokeResult, Payload, Ports};
+pub use error::FrameworkError;
+
+use rtsj::memory::{MemoryContext, MemoryManager};
+
+use controllers::{BindingController, LifecycleController};
+use interceptors::Interceptor;
+
+/// The reified control membrane of one component (SOLEIL mode).
+///
+/// Holds the mandatory controllers plus the interceptor chain that runs
+/// around every server-interface invocation. The structure is deliberately
+/// dynamic (trait objects, name-keyed binding table): that is exactly the
+/// price the paper measures against MERGE-ALL and ULTRA-MERGE.
+#[derive(Debug)]
+pub struct Membrane {
+    /// The wrapped component's name.
+    pub component: String,
+    /// Start/stop state machine.
+    pub lifecycle: LifecycleController,
+    /// Name-keyed client-interface binding table.
+    pub binding: BindingController,
+    interceptors: Vec<Box<dyn Interceptor>>,
+}
+
+impl Membrane {
+    /// Creates a membrane with empty controller state.
+    pub fn new(component: impl Into<String>) -> Self {
+        Membrane {
+            component: component.into(),
+            lifecycle: LifecycleController::new(),
+            binding: BindingController::new(),
+            interceptors: Vec::new(),
+        }
+    }
+
+    /// Appends an interceptor to the chain (pre runs in insertion order,
+    /// post in reverse).
+    pub fn push_interceptor(&mut self, interceptor: Box<dyn Interceptor>) {
+        self.interceptors.push(interceptor);
+    }
+
+    /// Names of the installed interceptors, in chain order (introspection).
+    pub fn interceptor_names(&self) -> Vec<&str> {
+        self.interceptors.iter().map(|i| i.name()).collect()
+    }
+
+    /// The first interceptor with the given name, for downcasting
+    /// (membrane-level introspection).
+    pub fn interceptor(&self, name: &str) -> Option<&dyn Interceptor> {
+        self.interceptors
+            .iter()
+            .find(|i| i.name() == name)
+            .map(|b| b.as_ref())
+    }
+
+    /// Removes the first interceptor with the given name; true when one was
+    /// removed (membrane-level reconfiguration).
+    pub fn remove_interceptor(&mut self, name: &str) -> bool {
+        let before = self.interceptors.len();
+        let mut removed = false;
+        self.interceptors.retain(|i| {
+            if !removed && i.name() == name {
+                removed = true;
+                false
+            } else {
+                true
+            }
+        });
+        self.interceptors.len() != before
+    }
+
+    /// Number of control units (controllers + interceptors) in this
+    /// membrane — the §5.2 "generated units" metric counts these.
+    pub fn control_unit_count(&self) -> usize {
+        2 + self.interceptors.len()
+    }
+
+    /// Runs the pre-invocation chain: lifecycle gate, then every
+    /// interceptor's `pre` in order. On failure, already-executed
+    /// interceptors are unwound via their `post`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Lifecycle`] when stopped; interceptor errors
+    /// otherwise.
+    pub fn pre_invoke(
+        &mut self,
+        mm: &mut MemoryManager,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        self.lifecycle.assert_started(&self.component)?;
+        for i in 0..self.interceptors.len() {
+            if let Err(e) = self.interceptors[i].pre(mm, ctx) {
+                for j in (0..i).rev() {
+                    let _ = self.interceptors[j].post(mm, ctx);
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the post-invocation chain (reverse order). The first error is
+    /// reported but the chain still unwinds completely.
+    ///
+    /// # Errors
+    ///
+    /// The first interceptor error encountered.
+    pub fn post_invoke(
+        &mut self,
+        mm: &mut MemoryManager,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        let mut first_err = None;
+        for i in (0..self.interceptors.len()).rev() {
+            if let Err(e) = self.interceptors[i].post(mm, ctx) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Estimated bytes of membrane machinery, charged as framework overhead
+    /// in the Fig. 7(c) experiment: controller structs, the binding table
+    /// and every interceptor.
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.component.capacity()
+            + self.binding.footprint_bytes()
+            + self
+                .interceptors
+                .iter()
+                .map(|i| i.footprint_bytes() + std::mem::size_of::<Box<dyn Interceptor>>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interceptors::ActiveInterceptor;
+    use rtsj::thread::ThreadKind;
+
+    #[test]
+    fn membrane_gates_on_lifecycle() {
+        let mut mm = MemoryManager::default();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let mut m = Membrane::new("c");
+        m.push_interceptor(Box::new(ActiveInterceptor::new()));
+
+        // Stopped: pre fails.
+        assert!(matches!(
+            m.pre_invoke(&mut mm, &mut ctx),
+            Err(FrameworkError::Lifecycle(_))
+        ));
+        m.lifecycle.start();
+        m.pre_invoke(&mut mm, &mut ctx).unwrap();
+        m.post_invoke(&mut mm, &mut ctx).unwrap();
+    }
+
+    #[test]
+    fn interceptor_chain_unwinds_on_pre_failure() {
+        let mut mm = MemoryManager::default();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let mut m = Membrane::new("c");
+        m.lifecycle.start();
+        // Two run-to-completion guards: second pre fails if first left it busy.
+        m.push_interceptor(Box::new(ActiveInterceptor::new()));
+        m.push_interceptor(Box::new(ActiveInterceptor::new()));
+        m.pre_invoke(&mut mm, &mut ctx).unwrap();
+        // Re-entrant pre: the first guard trips, nothing leaks.
+        let err = m.pre_invoke(&mut mm, &mut ctx).unwrap_err();
+        assert!(matches!(err, FrameworkError::RunToCompletion(_)));
+        m.post_invoke(&mut mm, &mut ctx).unwrap();
+        // After unwinding, a fresh invocation succeeds.
+        m.pre_invoke(&mut mm, &mut ctx).unwrap();
+        m.post_invoke(&mut mm, &mut ctx).unwrap();
+    }
+
+    #[test]
+    fn introspection_lists_units() {
+        let mut m = Membrane::new("c");
+        assert_eq!(m.control_unit_count(), 2);
+        m.push_interceptor(Box::new(ActiveInterceptor::new()));
+        assert_eq!(m.control_unit_count(), 3);
+        assert_eq!(m.interceptor_names(), vec!["active-interceptor"]);
+        assert!(m.footprint_bytes() > 0);
+    }
+}

@@ -1,0 +1,626 @@
+//! # soleil-patterns — RTSJ cross-scope communication patterns
+//!
+//! The paper's memory interceptors "implement cross-scope communication …
+//! depending on the design procedure choosing one of many RTSJ memory
+//! patterns". This crate provides runtime executors for the patterns the
+//! framework deploys, drawn from the catalogs the paper cites (Corsaro &
+//! Santoro; Benowitz & Niessner; Pizlo et al.):
+//!
+//! * [`execute_in_outer`] — run code with the allocation context switched to
+//!   an enclosing area (*Execute-In-Area* pattern);
+//! * [`enter_inner`] / portals — enter a nested scope and communicate via
+//!   its portal object (*Portal* pattern);
+//! * [`handoff_copy`] — deep-copy a payload into a differently-scoped area
+//!   (*Handoff* / *Memory Block* pattern);
+//! * [`ExchangeBuffer`] — a bounded FIFO allocated in a chosen area,
+//!   the substrate for asynchronous bindings (*Immortal Exchange Buffer*);
+//! * [`ScopePin`] — keep a scoped area alive across transactions (*Wedge
+//!   Thread* / *Memory Pinning* pattern).
+//!
+//! All executors work against [`rtsj::memory::MemoryManager`] and therefore
+//! inherit every RTSJ dynamic check: patterns make cross-scope communication
+//! *legal*, they never bypass the assignment rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use rtsj::memory::{AreaId, Handle, MemoryContext, MemoryKind, MemoryManager};
+use rtsj::thread::ThreadKind;
+use rtsj::{Result, RtsjError};
+
+/// The pattern vocabulary shared with the design-time validator.
+///
+/// Mirrors `soleil_core::validate::CrossScopePattern`; kept separate so this
+/// crate depends only on the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternKind {
+    /// Same area or heap/immortal target: plain invocation.
+    Direct,
+    /// Target state lives in an enclosing area.
+    ExecuteInOuter,
+    /// Target state lives in a nested scope.
+    EnterInner,
+    /// Sibling scopes, synchronous: deep copy through the common parent.
+    HandoffThroughParent,
+    /// Unrelated areas, asynchronous: bounded buffer in immortal memory.
+    ImmortalExchange,
+}
+
+impl std::fmt::Display for PatternKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PatternKind::Direct => "direct",
+            PatternKind::ExecuteInOuter => "execute-in-outer",
+            PatternKind::EnterInner => "enter-inner",
+            PatternKind::HandoffThroughParent => "handoff-through-parent",
+            PatternKind::ImmortalExchange => "immortal-exchange",
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execute-In-Area
+// ---------------------------------------------------------------------------
+
+/// Runs `f` with the allocation context switched to `outer` — the
+/// *Execute-In-Area* pattern for calling services whose state lives in an
+/// enclosing (longer-lived) area.
+///
+/// # Errors
+///
+/// Propagates [`RtsjError::InaccessibleArea`] / [`RtsjError::MemoryAccess`]
+/// from the substrate.
+pub fn execute_in_outer<R>(
+    mm: &mut MemoryManager,
+    ctx: &mut MemoryContext,
+    outer: AreaId,
+    f: impl FnOnce(&mut MemoryManager, &mut MemoryContext) -> Result<R>,
+) -> Result<R> {
+    mm.execute_in_area(ctx, outer, f)
+}
+
+// ---------------------------------------------------------------------------
+// Enter-Inner (portal)
+// ---------------------------------------------------------------------------
+
+/// Enters the nested scope `inner`, runs `f`, and exits — the *Scoped
+/// Run-Loop* step of the portal pattern. The closure receives the scope's
+/// portal handle, if one is installed.
+///
+/// # Errors
+///
+/// Propagates entry errors (single parent rule, unknown area).
+pub fn enter_inner<R>(
+    mm: &mut MemoryManager,
+    ctx: &mut MemoryContext,
+    inner: AreaId,
+    f: impl FnOnce(
+        &mut MemoryManager,
+        &mut MemoryContext,
+        Option<rtsj::memory::RawHandle>,
+    ) -> Result<R>,
+) -> Result<R> {
+    mm.enter_with(ctx, inner, |mm, ctx| {
+        let portal = mm.portal(inner)?;
+        f(mm, ctx, portal)
+    })
+}
+
+/// Installs a freshly allocated `value` as the portal of `scope` (must be
+/// called while inside the scope).
+///
+/// # Errors
+///
+/// Propagates allocation and portal-placement errors.
+pub fn publish_portal<T: Any>(
+    mm: &mut MemoryManager,
+    ctx: &MemoryContext,
+    scope: AreaId,
+    value: T,
+) -> Result<Handle<T>> {
+    let handle = mm.alloc(ctx, scope, value)?;
+    mm.set_portal(scope, handle.raw())?;
+    Ok(handle)
+}
+
+// ---------------------------------------------------------------------------
+// Handoff (deep copy)
+// ---------------------------------------------------------------------------
+
+/// Deep-copies the value behind `from` into `to_area` — the *Handoff*
+/// pattern for moving data between sibling scopes, where direct references
+/// are illegal in both directions.
+///
+/// The copy is legal precisely because no reference crosses the boundary;
+/// the assignment rules are not consulted (that is the point of the
+/// pattern), but access checks on both ends still apply.
+///
+/// # Errors
+///
+/// Propagates access, staleness and allocation errors.
+pub fn handoff_copy<T: Any + Clone>(
+    mm: &mut MemoryManager,
+    ctx: &MemoryContext,
+    from: Handle<T>,
+    to_area: AreaId,
+) -> Result<Handle<T>> {
+    let value = mm.get(ctx, from)?.clone();
+    mm.alloc(ctx, to_area, value)
+}
+
+// ---------------------------------------------------------------------------
+// Exchange buffer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct RingState<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    rejected: u64,
+    total_pushed: u64,
+    /// Backing-store charge registered with the owning area.
+    _backing: Handle<rtsj::memory::RawAllocation>,
+}
+
+/// Outcome of [`ExchangeBuffer::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The message was enqueued.
+    Accepted,
+    /// The buffer was full; the message was dropped (bounded-buffer
+    /// backpressure, as RTSJ `WaitFreeWriteQueue` does).
+    Rejected,
+}
+
+/// A bounded FIFO allocated inside a memory area — the carrier for
+/// asynchronous bindings and the *Immortal Exchange Buffer* pattern when
+/// placed in immortal memory.
+///
+/// The queue state itself is an object in the target area, so buffer
+/// footprint shows up in the area statistics exactly like the paper's
+/// Fig. 7(c) accounting.
+///
+/// ```
+/// use rtsj::memory::{AreaId, MemoryManager};
+/// use rtsj::thread::ThreadKind;
+/// use soleil_patterns::ExchangeBuffer;
+///
+/// # fn main() -> rtsj::Result<()> {
+/// let mut mm = MemoryManager::new(0, 1 << 20);
+/// let ctx = mm.context(ThreadKind::Realtime);
+/// let buf: ExchangeBuffer<u32> = ExchangeBuffer::create(&mut mm, &ctx, AreaId::IMMORTAL, 2)?;
+/// buf.push(&mut mm, &ctx, 7)?;
+/// assert_eq!(buf.pop(&mut mm, &ctx)?, Some(7));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ExchangeBuffer<T> {
+    handle: Handle<RingState<T>>,
+    area: AreaId,
+    capacity: usize,
+}
+
+impl<T: Any> ExchangeBuffer<T> {
+    /// Allocates a buffer of `capacity` messages inside `area`.
+    ///
+    /// # Errors
+    ///
+    /// * [`RtsjError::IllegalState`] for zero capacity.
+    /// * Substrate allocation errors (out of memory, access checks).
+    pub fn create(
+        mm: &mut MemoryManager,
+        ctx: &MemoryContext,
+        area: AreaId,
+        capacity: usize,
+    ) -> Result<Self> {
+        if capacity == 0 {
+            return Err(RtsjError::IllegalState(
+                "exchange buffer capacity must be >= 1".into(),
+            ));
+        }
+        // Charge the message backing store to the area, so a buffer of N
+        // messages of type T costs what it would in a real region.
+        let backing = mm.alloc_raw(ctx, area, capacity * std::mem::size_of::<T>().max(1))?;
+        let handle = mm.alloc(
+            ctx,
+            area,
+            RingState::<T> {
+                queue: VecDeque::with_capacity(capacity),
+                capacity,
+                rejected: 0,
+                total_pushed: 0,
+                _backing: backing,
+            },
+        )?;
+        Ok(ExchangeBuffer {
+            handle,
+            area,
+            capacity,
+        })
+    }
+
+    /// The area holding the buffer.
+    pub fn area(&self) -> AreaId {
+        self.area
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `value`, rejecting it when full.
+    ///
+    /// # Errors
+    ///
+    /// Substrate access errors (e.g. an NHRT context with a heap buffer).
+    pub fn push(
+        &self,
+        mm: &mut MemoryManager,
+        ctx: &MemoryContext,
+        value: T,
+    ) -> Result<PushOutcome> {
+        let state = mm.get_mut(ctx, self.handle)?;
+        if state.queue.len() >= state.capacity {
+            state.rejected += 1;
+            return Ok(PushOutcome::Rejected);
+        }
+        state.queue.push_back(value);
+        state.total_pushed += 1;
+        Ok(PushOutcome::Accepted)
+    }
+
+    /// Dequeues the oldest message, if any.
+    ///
+    /// # Errors
+    ///
+    /// Substrate access errors.
+    pub fn pop(&self, mm: &mut MemoryManager, ctx: &MemoryContext) -> Result<Option<T>> {
+        Ok(mm.get_mut(ctx, self.handle)?.queue.pop_front())
+    }
+
+    /// Current queue length.
+    ///
+    /// # Errors
+    ///
+    /// Substrate access errors.
+    pub fn len(&self, mm: &MemoryManager, ctx: &MemoryContext) -> Result<usize> {
+        Ok(mm.get(ctx, self.handle)?.queue.len())
+    }
+
+    /// True when no message is queued.
+    ///
+    /// # Errors
+    ///
+    /// Substrate access errors.
+    pub fn is_empty(&self, mm: &MemoryManager, ctx: &MemoryContext) -> Result<bool> {
+        Ok(self.len(mm, ctx)? == 0)
+    }
+
+    /// Number of messages rejected because the buffer was full.
+    ///
+    /// # Errors
+    ///
+    /// Substrate access errors.
+    pub fn rejected(&self, mm: &MemoryManager, ctx: &MemoryContext) -> Result<u64> {
+        Ok(mm.get(ctx, self.handle)?.rejected)
+    }
+
+    /// Total messages ever accepted.
+    ///
+    /// # Errors
+    ///
+    /// Substrate access errors.
+    pub fn total_pushed(&self, mm: &MemoryManager, ctx: &MemoryContext) -> Result<u64> {
+        Ok(mm.get(ctx, self.handle)?.total_pushed)
+    }
+}
+
+// `Handle` is Copy, so buffers can be shared by copy.
+impl<T> Clone for ExchangeBuffer<T> {
+    fn clone(&self) -> Self {
+        ExchangeBuffer {
+            handle: self.handle,
+            area: self.area,
+            capacity: self.capacity,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scope pinning (wedge thread)
+// ---------------------------------------------------------------------------
+
+/// Keeps a scoped memory area alive across transactions — the *Wedge
+/// Thread* / *Memory Pinning* pattern.
+///
+/// RTSJ reclaims a scope when its last thread leaves. Components whose state
+/// lives in a scoped area therefore need a dedicated "wedge" occupancy that
+/// enters the scope at bootstrap and only leaves at teardown. `ScopePin`
+/// owns that occupancy: create it to pin, [`ScopePin::release`] to unpin
+/// (which may trigger reclamation).
+#[derive(Debug)]
+pub struct ScopePin {
+    ctx: MemoryContext,
+    scope: AreaId,
+    released: bool,
+}
+
+impl ScopePin {
+    /// Enters `scope` with a dedicated wedge context (a real-time thread by
+    /// convention), pinning it.
+    ///
+    /// The wedge context enters through `path` first: outer pins must
+    /// already exist for nested scopes, mirroring how a wedge thread must
+    /// itself sit on the correct scope stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates entry errors (single parent rule, unknown area).
+    pub fn new(mm: &mut MemoryManager, scope: AreaId, path: &[AreaId]) -> Result<ScopePin> {
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        for &ancestor in path {
+            mm.enter(&mut ctx, ancestor)?;
+        }
+        mm.enter(&mut ctx, scope)?;
+        Ok(ScopePin {
+            ctx,
+            scope,
+            released: false,
+        })
+    }
+
+    /// The pinned scope.
+    pub fn scope(&self) -> AreaId {
+        self.scope
+    }
+
+    /// A context standing inside the pinned scope, usable for allocation.
+    pub fn context(&self) -> &MemoryContext {
+        &self.ctx
+    }
+
+    /// Releases the pin, unwinding the wedge's scope stack. When this was
+    /// the last occupancy the scope reclaims.
+    ///
+    /// # Errors
+    ///
+    /// [`RtsjError::IllegalState`] when already released.
+    pub fn release(&mut self, mm: &mut MemoryManager) -> Result<()> {
+        if self.released {
+            return Err(RtsjError::IllegalState("scope pin already released".into()));
+        }
+        while self.ctx.depth() > 0 {
+            mm.exit(&mut self.ctx)?;
+        }
+        self.released = true;
+        Ok(())
+    }
+
+    /// True when the pin has been released.
+    pub fn is_released(&self) -> bool {
+        self.released
+    }
+}
+
+/// Chooses the buffer placement area for an asynchronous binding: the
+/// common area when both sides agree, otherwise immortal memory (the
+/// *Immortal Exchange* fallback). Heap is only chosen when both sides are
+/// heap-coupled and the consumer may touch it.
+pub fn async_buffer_area(
+    producer_area: AreaId,
+    producer_kind: MemoryKind,
+    consumer_area: AreaId,
+    consumer_kind: MemoryKind,
+    consumer_thread: ThreadKind,
+) -> AreaId {
+    if producer_area == AreaId::HEAP || consumer_area == AreaId::HEAP {
+        // The buffer may sit on the heap only if the consumer can touch it.
+        return if producer_kind == MemoryKind::Heap
+            && consumer_kind == MemoryKind::Heap
+            && consumer_thread.may_access_heap()
+        {
+            AreaId::HEAP
+        } else {
+            AreaId::IMMORTAL
+        };
+    }
+    if producer_area == consumer_area && producer_kind != MemoryKind::Scoped {
+        return producer_area;
+    }
+    AreaId::IMMORTAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsj::memory::ScopedMemoryParams;
+
+    fn setup() -> (MemoryManager, AreaId, AreaId) {
+        let mut mm = MemoryManager::new(1 << 20, 1 << 20);
+        let outer = mm
+            .create_scoped(ScopedMemoryParams::new("outer", 64 * 1024))
+            .unwrap();
+        let inner = mm
+            .create_scoped(ScopedMemoryParams::new("inner", 16 * 1024))
+            .unwrap();
+        (mm, outer, inner)
+    }
+
+    #[test]
+    fn execute_in_outer_allocates_outward() {
+        let (mut mm, outer, inner) = setup();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        mm.enter(&mut ctx, outer).unwrap();
+        mm.enter(&mut ctx, inner).unwrap();
+        let h = execute_in_outer(&mut mm, &mut ctx, outer, |mm, ctx| {
+            mm.alloc_current(ctx, 99u64)
+        })
+        .unwrap();
+        assert_eq!(h.area(), outer);
+        // Exiting the inner scope must not invalidate the outer allocation.
+        mm.exit(&mut ctx).unwrap();
+        assert_eq!(*mm.get(&ctx, h).unwrap(), 99);
+    }
+
+    #[test]
+    fn portal_pattern_roundtrip() {
+        let (mut mm, outer, _inner) = setup();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+
+        // Service thread sets up the portal, then leaves (scope reclaims).
+        mm.enter(&mut ctx, outer).unwrap();
+        publish_portal(&mut mm, &ctx, outer, String::from("service-state")).unwrap();
+        mm.exit(&mut ctx).unwrap();
+
+        // Scope reclaimed (no pin): portal is gone on re-entry.
+        let mut client = mm.context(ThreadKind::Realtime);
+        enter_inner(&mut mm, &mut client, outer, |_mm, _ctx, portal| {
+            assert!(portal.is_none(), "reclaimed scope lost its portal");
+            Ok(())
+        })
+        .unwrap();
+
+        // With a pin the portal survives across entries.
+        let mut pin = ScopePin::new(&mut mm, outer, &[]).unwrap();
+        let pin_ctx = pin.context().clone();
+        publish_portal(&mut mm, &pin_ctx, outer, 42u32).unwrap();
+        enter_inner(&mut mm, &mut client, outer, |mm, ctx, portal| {
+            let raw = portal.expect("portal installed");
+            let h: Handle<u32> = Handle::from_raw(raw);
+            assert_eq!(*mm.get(ctx, h)?, 42);
+            Ok(())
+        })
+        .unwrap();
+        pin.release(&mut mm).unwrap();
+    }
+
+    #[test]
+    fn handoff_copies_between_siblings() {
+        let (mut mm, s1, s2) = setup();
+        let mut t1 = mm.context(ThreadKind::Realtime);
+        mm.enter(&mut t1, s1).unwrap();
+        let mut t2 = mm.context(ThreadKind::Realtime);
+        mm.enter(&mut t2, s2).unwrap();
+
+        // Direct reference is illegal...
+        assert!(mm.check_assignment(s2, s1).is_err());
+        // ...but a deep copy is the sanctioned pattern.
+        let src = mm.alloc(&t1, s1, vec![1u8, 2, 3]).unwrap();
+        let dst = handoff_copy(&mut mm, &t1, src, s2).unwrap();
+        assert_eq!(dst.area(), s2);
+        assert_eq!(mm.get(&t2, dst).unwrap(), &vec![1u8, 2, 3]);
+    }
+
+    #[test]
+    fn exchange_buffer_fifo_and_backpressure() {
+        let mut mm = MemoryManager::new(1 << 20, 1 << 20);
+        let ctx = mm.context(ThreadKind::Realtime);
+        let buf: ExchangeBuffer<u32> =
+            ExchangeBuffer::create(&mut mm, &ctx, AreaId::IMMORTAL, 2).unwrap();
+        assert_eq!(buf.push(&mut mm, &ctx, 1).unwrap(), PushOutcome::Accepted);
+        assert_eq!(buf.push(&mut mm, &ctx, 2).unwrap(), PushOutcome::Accepted);
+        assert_eq!(buf.push(&mut mm, &ctx, 3).unwrap(), PushOutcome::Rejected);
+        assert_eq!(buf.rejected(&mm, &ctx).unwrap(), 1);
+        assert_eq!(buf.total_pushed(&mm, &ctx).unwrap(), 2);
+        assert_eq!(buf.pop(&mut mm, &ctx).unwrap(), Some(1));
+        assert_eq!(buf.pop(&mut mm, &ctx).unwrap(), Some(2));
+        assert_eq!(buf.pop(&mut mm, &ctx).unwrap(), None);
+        assert!(buf.is_empty(&mm, &ctx).unwrap());
+    }
+
+    #[test]
+    fn exchange_buffer_counts_toward_area_footprint() {
+        let mut mm = MemoryManager::new(1 << 20, 1 << 20);
+        let ctx = mm.context(ThreadKind::Realtime);
+        let before = mm.stats(AreaId::IMMORTAL).unwrap().consumed;
+        let _buf: ExchangeBuffer<[u8; 64]> =
+            ExchangeBuffer::create(&mut mm, &ctx, AreaId::IMMORTAL, 8).unwrap();
+        assert!(mm.stats(AreaId::IMMORTAL).unwrap().consumed > before);
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let mut mm = MemoryManager::new(1 << 20, 1 << 20);
+        let ctx = mm.context(ThreadKind::Realtime);
+        let r: Result<ExchangeBuffer<u8>> =
+            ExchangeBuffer::create(&mut mm, &ctx, AreaId::IMMORTAL, 0);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nhrt_cannot_use_heap_buffer() {
+        let mut mm = MemoryManager::new(1 << 20, 1 << 20);
+        let rt = mm.context(ThreadKind::Regular);
+        let buf: ExchangeBuffer<u8> =
+            ExchangeBuffer::create(&mut mm, &rt, AreaId::HEAP, 4).unwrap();
+        let nhrt = mm.context(ThreadKind::NoHeapRealtime);
+        let err = buf.push(&mut mm, &nhrt, 1).unwrap_err();
+        assert!(matches!(err, RtsjError::MemoryAccess { .. }));
+    }
+
+    #[test]
+    fn pin_keeps_scope_alive() {
+        let (mut mm, outer, _) = setup();
+        let mut pin = ScopePin::new(&mut mm, outer, &[]).unwrap();
+        let pin_ctx = pin.context().clone();
+        let h = mm.alloc(&pin_ctx, outer, 5u8).unwrap();
+
+        // A transient visitor coming and going does not reclaim.
+        let mut visitor = mm.context(ThreadKind::Realtime);
+        mm.enter(&mut visitor, outer).unwrap();
+        mm.exit(&mut visitor).unwrap();
+        assert_eq!(*mm.get(&pin_ctx, h).unwrap(), 5);
+
+        // Releasing the pin reclaims.
+        pin.release(&mut mm).unwrap();
+        assert_eq!(mm.stats(outer).unwrap().consumed, 0);
+        assert!(pin.is_released());
+        assert!(pin.release(&mut mm).is_err());
+    }
+
+    #[test]
+    fn nested_pin_requires_path() {
+        let (mut mm, outer, inner) = setup();
+        let _outer_pin = ScopePin::new(&mut mm, outer, &[]).unwrap();
+        let mut inner_pin = ScopePin::new(&mut mm, inner, &[outer]).unwrap();
+        assert_eq!(mm.parent_of(inner).unwrap(), Some(outer));
+        inner_pin.release(&mut mm).unwrap();
+    }
+
+    #[test]
+    fn buffer_area_selection() {
+        use MemoryKind::*;
+        let heap = AreaId::HEAP;
+        let imm = AreaId::IMMORTAL;
+        let scoped = AreaId::from_raw(5);
+        // Heap-to-heap with a heap-capable consumer stays on the heap.
+        assert_eq!(
+            async_buffer_area(heap, Heap, heap, Heap, ThreadKind::Regular),
+            heap
+        );
+        // NHRT consumer forces the buffer out of the heap.
+        assert_eq!(
+            async_buffer_area(heap, Heap, heap, Heap, ThreadKind::NoHeapRealtime),
+            imm
+        );
+        // Same immortal area: keep it there.
+        assert_eq!(
+            async_buffer_area(imm, Immortal, imm, Immortal, ThreadKind::Realtime),
+            imm
+        );
+        // Scoped or mismatched areas: immortal exchange.
+        assert_eq!(
+            async_buffer_area(scoped, Scoped, imm, Immortal, ThreadKind::Realtime),
+            imm
+        );
+        assert_eq!(
+            async_buffer_area(scoped, Scoped, scoped, Scoped, ThreadKind::Realtime),
+            imm
+        );
+    }
+}

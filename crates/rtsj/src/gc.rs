@@ -1,0 +1,89 @@
+//! A deterministic stop-the-world garbage-collector model.
+//!
+//! The paper's determinism argument rests on the RTSJ guarantee that
+//! `NoHeapRealtimeThread`s are **never preempted by the collector**. This
+//! module models the collector as periodic stop-the-world windows: while a
+//! window is open, every thread whose kind
+//! [`may_access_heap`](crate::thread::ThreadKind::may_access_heap) is paused;
+//! NHRTs keep running. The E5 experiment uses this to show pipeline jitter
+//! exploding for heap-coupled deployments and staying flat for NHRT ones.
+
+use crate::time::RelativeTime;
+
+/// Configuration of the periodic collector.
+///
+/// ```
+/// use rtsj::gc::GcConfig;
+/// use rtsj::time::RelativeTime;
+/// let gc = GcConfig::periodic(RelativeTime::from_millis(50), RelativeTime::from_millis(2));
+/// assert!(gc.enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcConfig {
+    /// Distance between the starts of consecutive GC cycles.
+    pub period: RelativeTime,
+    /// Length of each stop-the-world window.
+    pub pause: RelativeTime,
+    /// Offset of the first cycle from system start.
+    pub start: RelativeTime,
+}
+
+impl GcConfig {
+    /// A collector that runs every `period` for `pause`, starting at one
+    /// period after system start.
+    pub fn periodic(period: RelativeTime, pause: RelativeTime) -> Self {
+        GcConfig {
+            period,
+            pause,
+            start: period,
+        }
+    }
+
+    /// A disabled collector (zero period).
+    pub fn disabled() -> Self {
+        GcConfig {
+            period: RelativeTime::ZERO,
+            pause: RelativeTime::ZERO,
+            start: RelativeTime::ZERO,
+        }
+    }
+
+    /// True when the collector will ever run.
+    pub fn enabled(&self) -> bool {
+        !self.period.is_zero() && !self.pause.is_zero()
+    }
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_config_is_enabled() {
+        let g = GcConfig::periodic(RelativeTime::from_millis(10), RelativeTime::from_micros(500));
+        assert!(g.enabled());
+        assert_eq!(g.start, RelativeTime::from_millis(10));
+    }
+
+    #[test]
+    fn disabled_config() {
+        assert!(!GcConfig::disabled().enabled());
+        assert!(!GcConfig::default().enabled());
+    }
+
+    #[test]
+    fn zero_pause_means_disabled() {
+        let g = GcConfig {
+            period: RelativeTime::from_millis(1),
+            pause: RelativeTime::ZERO,
+            start: RelativeTime::ZERO,
+        };
+        assert!(!g.enabled());
+    }
+}

@@ -1,0 +1,59 @@
+//! # rtsj — an RTSJ runtime substrate, in Rust
+//!
+//! This crate is a from-scratch simulation of the runtime facilities that the
+//! *Real-Time Specification for Java* (RTSJ) provides and that the Soleil
+//! component framework (Plšek et al., Middleware 2008) builds upon:
+//!
+//! * **Region-based memory**: [`memory::MemoryManager`] models
+//!   `HeapMemory`, `ImmortalMemory` and `ScopedMemory` areas, including the
+//!   *single parent rule*, the *assignment rules* restricting which area may
+//!   hold references into which other area, scope reclamation on last exit,
+//!   and portals. Violations surface as the same error taxonomy RTSJ mandates
+//!   ([`RtsjError::IllegalAssignment`], [`RtsjError::ScopedCycle`], …).
+//! * **Real-time threads**: [`thread`] describes `RealtimeThread`,
+//!   `NoHeapRealtimeThread` and regular Java threads together with their
+//!   release parameters (periodic / sporadic / aperiodic) and priorities.
+//! * **Scheduling**: [`sched::Simulator`] is a deterministic, virtual-time,
+//!   priority-preemptive scheduler with release-jitter and deadline-miss
+//!   accounting, used to reproduce the paper's determinism claims.
+//! * **Garbage collection model**: [`gc`] models a stop-the-world collector
+//!   that preempts heap-coupled threads but never `NoHeapRealtimeThread`s.
+//!
+//! The crate is deliberately self-contained (no unsafe, no I/O) so that the
+//! layers above it — the component metamodel, membranes and the generator —
+//! can be tested deterministically.
+//!
+//! ## Example
+//!
+//! ```
+//! use rtsj::memory::{MemoryManager, ScopedMemoryParams};
+//! use rtsj::thread::ThreadKind;
+//!
+//! # fn main() -> Result<(), rtsj::RtsjError> {
+//! let mut mm = MemoryManager::new(64 * 1024, 64 * 1024);
+//! let scope = mm.create_scoped(ScopedMemoryParams::new("worker", 4 * 1024))?;
+//! let mut ctx = mm.context(ThreadKind::NoHeapRealtime);
+//! mm.enter(&mut ctx, scope)?;
+//! let h = mm.alloc(&ctx, scope, 42u64)?;
+//! assert_eq!(*mm.get(&ctx, h)?, 42);
+//! mm.exit(&mut ctx)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod gc;
+pub mod memory;
+pub mod sched;
+pub mod thread;
+pub mod time;
+pub mod trace;
+
+pub use error::RtsjError;
+pub use time::{AbsoluteTime, RelativeTime};
+
+/// Convenient result alias for fallible RTSJ substrate operations.
+pub type Result<T> = std::result::Result<T, RtsjError>;

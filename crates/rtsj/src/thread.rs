@@ -1,0 +1,329 @@
+//! Real-time thread descriptors: kinds, priorities, release parameters.
+//!
+//! RTSJ adds two thread classes to Java — `RealtimeThread` and
+//! `NoHeapRealtimeThread` — with precise scheduling semantics driven by
+//! *release parameters* (periodic, sporadic or aperiodic) and *scheduling
+//! parameters* (fixed priorities). This module models those descriptors;
+//! the actual dispatching lives in [`crate::sched`].
+
+use std::fmt;
+
+use crate::time::RelativeTime;
+
+/// The three thread classes the RTSJ component model distinguishes.
+///
+/// A [`ThreadKind::NoHeapRealtime`] thread can never be preempted by the
+/// garbage collector, bought at the price of being forbidden to touch heap
+/// memory. A [`ThreadKind::Realtime`] thread has real-time scheduling
+/// semantics but may reference the heap (and therefore may be delayed by
+/// GC). A [`ThreadKind::Regular`] thread is a plain Java thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ThreadKind {
+    /// `NoHeapRealtimeThread` — immune to GC, barred from the heap.
+    NoHeapRealtime,
+    /// `RealtimeThread` — real-time scheduling, heap access allowed.
+    Realtime,
+    /// A regular (non-real-time) Java thread.
+    Regular,
+}
+
+impl ThreadKind {
+    /// True when threads of this kind may read or write heap memory.
+    pub const fn may_access_heap(self) -> bool {
+        !matches!(self, ThreadKind::NoHeapRealtime)
+    }
+
+    /// True when a stop-the-world garbage collection pauses this kind.
+    pub const fn preemptible_by_gc(self) -> bool {
+        self.may_access_heap()
+    }
+
+    /// Short identifier used by the ADL and generated code (`NHRT`, `RT`,
+    /// `Regular`).
+    pub const fn code(self) -> &'static str {
+        match self {
+            ThreadKind::NoHeapRealtime => "NHRT",
+            ThreadKind::Realtime => "RT",
+            ThreadKind::Regular => "Regular",
+        }
+    }
+
+    /// Parses the ADL identifier produced by [`ThreadKind::code`].
+    ///
+    /// Accepts the long spellings used in the paper's XML (`NHRT`,
+    /// `RealTime`, `Regular`) case-insensitively.
+    pub fn parse(s: &str) -> Option<ThreadKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "nhrt" | "noheaprealtime" | "noheaprealtimethread" => Some(ThreadKind::NoHeapRealtime),
+            "rt" | "realtime" | "realtimethread" => Some(ThreadKind::Realtime),
+            "regular" | "java" | "regularthread" => Some(ThreadKind::Regular),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ThreadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A fixed scheduling priority; higher values dispatch first.
+///
+/// RTSJ requires at least 28 distinct real-time priorities above the regular
+/// Java ones. We model the common RT-POSIX range 1..=99 and reserve values
+/// below [`Priority::MIN_RT`] for regular threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Priority(u8);
+
+impl Priority {
+    /// Lowest priority usable by regular threads.
+    pub const MIN: Priority = Priority(1);
+    /// Lowest real-time priority.
+    pub const MIN_RT: Priority = Priority(11);
+    /// Highest priority in the system.
+    pub const MAX: Priority = Priority(99);
+    /// Conventional priority for regular threads.
+    pub const NORM: Priority = Priority(5);
+
+    /// Creates a priority, clamping into `[MIN, MAX]`.
+    pub fn new(value: u8) -> Priority {
+        Priority(value.clamp(Self::MIN.0, Self::MAX.0))
+    }
+
+    /// The raw numeric priority.
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// True when this priority lies in the real-time band.
+    pub fn is_realtime(self) -> bool {
+        self >= Self::MIN_RT
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u8> for Priority {
+    fn from(v: u8) -> Self {
+        Priority::new(v)
+    }
+}
+
+/// Release parameters: when and how often a schedulable entity is released.
+///
+/// Mirrors RTSJ's `PeriodicParameters` / `SporadicParameters` /
+/// `AperiodicParameters`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseParameters {
+    /// Released every `period`, first at `start`, each job costing `cost`
+    /// of CPU time and due `deadline` after release.
+    Periodic {
+        /// Offset of the first release from system start.
+        start: RelativeTime,
+        /// Distance between consecutive releases.
+        period: RelativeTime,
+        /// Worst-case execution budget per job.
+        cost: RelativeTime,
+        /// Relative deadline (commonly equal to the period).
+        deadline: RelativeTime,
+    },
+    /// Event-driven with a minimum interarrival time (MIT); arrivals closer
+    /// together than the MIT are deferred.
+    Sporadic {
+        /// Minimum distance between two releases.
+        min_interarrival: RelativeTime,
+        /// Worst-case execution budget per job.
+        cost: RelativeTime,
+        /// Relative deadline.
+        deadline: RelativeTime,
+    },
+    /// Event-driven with no arrival bound and no deadline monitoring.
+    Aperiodic {
+        /// Worst-case execution budget per job.
+        cost: RelativeTime,
+    },
+}
+
+impl ReleaseParameters {
+    /// Convenience constructor for a periodic release with deadline = period
+    /// and zero start offset.
+    pub fn periodic(period: RelativeTime, cost: RelativeTime) -> Self {
+        ReleaseParameters::Periodic {
+            start: RelativeTime::ZERO,
+            period,
+            cost,
+            deadline: period,
+        }
+    }
+
+    /// Convenience constructor for a sporadic release with deadline = MIT.
+    pub fn sporadic(min_interarrival: RelativeTime, cost: RelativeTime) -> Self {
+        ReleaseParameters::Sporadic {
+            min_interarrival,
+            cost,
+            deadline: min_interarrival,
+        }
+    }
+
+    /// Convenience constructor for an aperiodic release.
+    pub fn aperiodic(cost: RelativeTime) -> Self {
+        ReleaseParameters::Aperiodic { cost }
+    }
+
+    /// The per-job execution budget.
+    pub fn cost(&self) -> RelativeTime {
+        match *self {
+            ReleaseParameters::Periodic { cost, .. }
+            | ReleaseParameters::Sporadic { cost, .. }
+            | ReleaseParameters::Aperiodic { cost } => cost,
+        }
+    }
+
+    /// The relative deadline, if the release type monitors one.
+    pub fn deadline(&self) -> Option<RelativeTime> {
+        match *self {
+            ReleaseParameters::Periodic { deadline, .. }
+            | ReleaseParameters::Sporadic { deadline, .. } => Some(deadline),
+            ReleaseParameters::Aperiodic { .. } => None,
+        }
+    }
+
+    /// True for time-triggered (periodic) releases.
+    pub fn is_periodic(&self) -> bool {
+        matches!(self, ReleaseParameters::Periodic { .. })
+    }
+}
+
+/// A complete schedulable-thread descriptor: what the component framework's
+/// `ThreadDomain` attributes compile down to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtThread {
+    /// Human-readable name (used in traces and generated code).
+    pub name: String,
+    /// Thread class.
+    pub kind: ThreadKind,
+    /// Fixed dispatch priority.
+    pub priority: Priority,
+    /// Release pattern.
+    pub release: ReleaseParameters,
+}
+
+impl RtThread {
+    /// Creates a thread descriptor.
+    ///
+    /// ```
+    /// use rtsj::thread::{RtThread, ThreadKind, Priority, ReleaseParameters};
+    /// use rtsj::time::RelativeTime;
+    /// let t = RtThread::new(
+    ///     "production-line",
+    ///     ThreadKind::NoHeapRealtime,
+    ///     Priority::new(30),
+    ///     ReleaseParameters::periodic(RelativeTime::from_millis(10), RelativeTime::from_micros(35)),
+    /// );
+    /// assert!(t.priority.is_realtime());
+    /// ```
+    pub fn new(
+        name: impl Into<String>,
+        kind: ThreadKind,
+        priority: Priority,
+        release: ReleaseParameters,
+    ) -> Self {
+        RtThread {
+            name: name.into(),
+            kind,
+            priority,
+            release,
+        }
+    }
+
+    /// True when the descriptor is internally consistent: NHRT and RT threads
+    /// must run at real-time priorities, regular threads below them.
+    pub fn is_consistent(&self) -> bool {
+        match self.kind {
+            ThreadKind::NoHeapRealtime | ThreadKind::Realtime => self.priority.is_realtime(),
+            ThreadKind::Regular => !self.priority.is_realtime(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_access_matrix() {
+        assert!(!ThreadKind::NoHeapRealtime.may_access_heap());
+        assert!(ThreadKind::Realtime.may_access_heap());
+        assert!(ThreadKind::Regular.may_access_heap());
+        assert!(!ThreadKind::NoHeapRealtime.preemptible_by_gc());
+        assert!(ThreadKind::Regular.preemptible_by_gc());
+    }
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for k in [ThreadKind::NoHeapRealtime, ThreadKind::Realtime, ThreadKind::Regular] {
+            assert_eq!(ThreadKind::parse(k.code()), Some(k));
+        }
+        assert_eq!(ThreadKind::parse("nhrt"), Some(ThreadKind::NoHeapRealtime));
+        assert_eq!(ThreadKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn priority_clamps() {
+        assert_eq!(Priority::new(0), Priority::MIN);
+        assert_eq!(Priority::new(200), Priority::MAX);
+        assert!(Priority::new(30).is_realtime());
+        assert!(!Priority::new(5).is_realtime());
+    }
+
+    #[test]
+    fn release_accessors() {
+        let p = ReleaseParameters::periodic(
+            RelativeTime::from_millis(10),
+            RelativeTime::from_micros(100),
+        );
+        assert_eq!(p.cost(), RelativeTime::from_micros(100));
+        assert_eq!(p.deadline(), Some(RelativeTime::from_millis(10)));
+        assert!(p.is_periodic());
+
+        let s = ReleaseParameters::sporadic(
+            RelativeTime::from_millis(5),
+            RelativeTime::from_micros(50),
+        );
+        assert_eq!(s.deadline(), Some(RelativeTime::from_millis(5)));
+        assert!(!s.is_periodic());
+
+        let a = ReleaseParameters::aperiodic(RelativeTime::from_micros(10));
+        assert_eq!(a.deadline(), None);
+    }
+
+    #[test]
+    fn consistency_checks() {
+        let ok = RtThread::new(
+            "t",
+            ThreadKind::NoHeapRealtime,
+            Priority::new(30),
+            ReleaseParameters::aperiodic(RelativeTime::from_micros(1)),
+        );
+        assert!(ok.is_consistent());
+        let bad = RtThread::new(
+            "t",
+            ThreadKind::NoHeapRealtime,
+            Priority::new(5),
+            ReleaseParameters::aperiodic(RelativeTime::from_micros(1)),
+        );
+        assert!(!bad.is_consistent());
+        let reg = RtThread::new(
+            "t",
+            ThreadKind::Regular,
+            Priority::new(40),
+            ReleaseParameters::aperiodic(RelativeTime::from_micros(1)),
+        );
+        assert!(!reg.is_consistent());
+    }
+}

@@ -1,0 +1,272 @@
+//! High-resolution time types, mirroring RTSJ's `HighResolutionTime` family.
+//!
+//! The simulator uses nanosecond-precision virtual time. [`AbsoluteTime`] is
+//! an instant on the simulated timeline; [`RelativeTime`] is a duration.
+//! Both are thin newtypes over integer nanoseconds so arithmetic is exact,
+//! cheap and `Copy`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulated timeline, in nanoseconds since system start.
+///
+/// Mirrors RTSJ's `AbsoluteTime`.
+///
+/// ```
+/// use rtsj::time::{AbsoluteTime, RelativeTime};
+/// let t = AbsoluteTime::ZERO + RelativeTime::from_millis(10);
+/// assert_eq!(t.as_nanos(), 10_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AbsoluteTime(u64);
+
+/// A span of simulated time, in nanoseconds. Mirrors RTSJ's `RelativeTime`.
+///
+/// ```
+/// use rtsj::time::RelativeTime;
+/// assert_eq!(RelativeTime::from_micros(3).as_nanos(), 3_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RelativeTime(u64);
+
+impl AbsoluteTime {
+    /// The origin of the simulated timeline.
+    pub const ZERO: AbsoluteTime = AbsoluteTime(0);
+
+    /// Creates an instant `nanos` nanoseconds after system start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        AbsoluteTime(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after system start.
+    pub const fn from_micros(micros: u64) -> Self {
+        AbsoluteTime(micros * 1_000)
+    }
+
+    /// Creates an instant `millis` milliseconds after system start.
+    pub const fn from_millis(millis: u64) -> Self {
+        AbsoluteTime(millis * 1_000_000)
+    }
+
+    /// Nanoseconds since system start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since system start, as a float (for reporting).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The later of `self` and `other`.
+    pub fn max(self, other: AbsoluteTime) -> AbsoluteTime {
+        AbsoluteTime(self.0.max(other.0))
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// Returns [`RelativeTime::ZERO`] when `earlier` is in the future
+    /// (saturating), matching the scheduler's use for jitter accounting.
+    pub fn since(self, earlier: AbsoluteTime) -> RelativeTime {
+        RelativeTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl RelativeTime {
+    /// The zero-length duration.
+    pub const ZERO: RelativeTime = RelativeTime(0);
+
+    /// Creates a duration of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        RelativeTime(nanos)
+    }
+
+    /// Creates a duration of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        RelativeTime(micros * 1_000)
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        RelativeTime(millis * 1_000_000)
+    }
+
+    /// Length of this duration in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length of this duration in microseconds, as a float (for reporting).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// True when the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: `self - other`, floored at zero.
+    pub fn saturating_sub(self, other: RelativeTime) -> RelativeTime {
+        RelativeTime(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of `self` and `other`.
+    pub fn min(self, other: RelativeTime) -> RelativeTime {
+        RelativeTime(self.0.min(other.0))
+    }
+
+    /// The larger of `self` and `other`.
+    pub fn max(self, other: RelativeTime) -> RelativeTime {
+        RelativeTime(self.0.max(other.0))
+    }
+}
+
+impl Add<RelativeTime> for AbsoluteTime {
+    type Output = AbsoluteTime;
+    fn add(self, rhs: RelativeTime) -> AbsoluteTime {
+        AbsoluteTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<RelativeTime> for AbsoluteTime {
+    fn add_assign(&mut self, rhs: RelativeTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<RelativeTime> for AbsoluteTime {
+    type Output = AbsoluteTime;
+    fn sub(self, rhs: RelativeTime) -> AbsoluteTime {
+        AbsoluteTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<AbsoluteTime> for AbsoluteTime {
+    type Output = RelativeTime;
+    fn sub(self, rhs: AbsoluteTime) -> RelativeTime {
+        RelativeTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for RelativeTime {
+    type Output = RelativeTime;
+    fn add(self, rhs: RelativeTime) -> RelativeTime {
+        RelativeTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for RelativeTime {
+    fn add_assign(&mut self, rhs: RelativeTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for RelativeTime {
+    type Output = RelativeTime;
+    fn sub(self, rhs: RelativeTime) -> RelativeTime {
+        RelativeTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for RelativeTime {
+    fn sub_assign(&mut self, rhs: RelativeTime) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for RelativeTime {
+    type Output = RelativeTime;
+    fn mul(self, rhs: u64) -> RelativeTime {
+        RelativeTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for RelativeTime {
+    type Output = RelativeTime;
+    fn div(self, rhs: u64) -> RelativeTime {
+        RelativeTime(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for AbsoluteTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ns", self.0)
+    }
+}
+
+impl fmt::Display for RelativeTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+            write!(f, "{}ms", self.0 / 1_000_000)
+        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+            write!(f, "{}us", self.0 / 1_000)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl From<std::time::Duration> for RelativeTime {
+    fn from(d: std::time::Duration) -> Self {
+        RelativeTime(d.as_nanos() as u64)
+    }
+}
+
+impl From<RelativeTime> for std::time::Duration {
+    fn from(t: RelativeTime) -> Self {
+        std::time::Duration::from_nanos(t.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = AbsoluteTime::from_millis(5) + RelativeTime::from_micros(250);
+        assert_eq!(t.as_nanos(), 5_250_000);
+        assert_eq!(t - AbsoluteTime::from_millis(5), RelativeTime::from_micros(250));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = AbsoluteTime::from_nanos(10);
+        let b = AbsoluteTime::from_nanos(30);
+        assert_eq!(a - b, RelativeTime::ZERO);
+        assert_eq!(RelativeTime::from_nanos(1) - RelativeTime::from_nanos(5), RelativeTime::ZERO);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(RelativeTime::from_millis(10).to_string(), "10ms");
+        assert_eq!(RelativeTime::from_micros(31).to_string(), "31us");
+        assert_eq!(RelativeTime::from_nanos(7).to_string(), "7ns");
+        assert_eq!(RelativeTime::from_nanos(1500).to_string(), "1500ns");
+    }
+
+    #[test]
+    fn duration_conversion() {
+        let d = std::time::Duration::from_micros(42);
+        let r = RelativeTime::from(d);
+        assert_eq!(r.as_nanos(), 42_000);
+        let back: std::time::Duration = r.into();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn scaling_ops() {
+        let r = RelativeTime::from_micros(10);
+        assert_eq!((r * 3).as_nanos(), 30_000);
+        assert_eq!((r / 2).as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let a = AbsoluteTime::from_nanos(100);
+        let b = AbsoluteTime::from_nanos(40);
+        assert_eq!(a.since(b).as_nanos(), 60);
+        assert_eq!(b.since(a), RelativeTime::ZERO);
+    }
+}

@@ -1,0 +1,183 @@
+//! Execution traces: a deterministic record of everything the scheduler did.
+//!
+//! Every scheduling decision (release, dispatch, preemption, completion,
+//! deadline miss, GC window) is appended to an [`ExecutionTrace`], which
+//! tests and experiments query to assert ordering properties — e.g. "the
+//! NHRT task was never paused during a GC window".
+
+use std::fmt;
+
+use crate::time::AbsoluteTime;
+
+/// Identifies a schedulable task inside a [`crate::sched::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// The raw index of this task.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Builds an id from a raw index (diagnostic/test use).
+    pub const fn from_raw(raw: u32) -> TaskId {
+        TaskId(raw)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// One scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A job of the task became ready.
+    Release(TaskId),
+    /// The task started (or resumed) executing on the CPU.
+    Dispatch(TaskId),
+    /// The task was preempted by a higher-priority task or a GC window.
+    Preempt(TaskId),
+    /// A job of the task finished.
+    Complete(TaskId),
+    /// A job finished after its deadline.
+    DeadlineMiss(TaskId),
+    /// A stop-the-world GC window opened.
+    GcStart,
+    /// The GC window closed.
+    GcEnd,
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened (virtual time).
+    pub time: AbsoluteTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// An append-only log of scheduling events.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    records: Vec<TraceRecord>,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, time: AbsoluteTime, event: TraceEvent) {
+        self.records.push(TraceRecord { time, event });
+    }
+
+    /// All records, in chronological order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over records matching `pred`.
+    pub fn filter<'a>(
+        &'a self,
+        pred: impl Fn(&TraceRecord) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| pred(r))
+    }
+
+    /// Counts occurrences of an exact event.
+    pub fn count(&self, event: TraceEvent) -> usize {
+        self.records.iter().filter(|r| r.event == event).count()
+    }
+
+    /// True if `task` was ever preempted *while* a GC window was open —
+    /// i.e. the task lost the CPU to the collector. Used to verify NHRT
+    /// immunity.
+    pub fn preempted_during_gc(&self, task: TaskId) -> bool {
+        let mut gc_open = false;
+        for r in &self.records {
+            match r.event {
+                TraceEvent::GcStart => gc_open = true,
+                TraceEvent::GcEnd => gc_open = false,
+                TraceEvent::Preempt(t) if t == task && gc_open => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// True if `task` was dispatched at least once inside a GC window.
+    pub fn ran_during_gc(&self, task: TaskId) -> bool {
+        let mut gc_open = false;
+        for r in &self.records {
+            match r.event {
+                TraceEvent::GcStart => gc_open = true,
+                TraceEvent::GcEnd => gc_open = false,
+                TraceEvent::Dispatch(t) if t == task && gc_open => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for ExecutionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.records {
+            writeln!(f, "{:>12}  {:?}", r.time.as_nanos(), r.event)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut t = ExecutionTrace::new();
+        assert!(t.is_empty());
+        t.push(AbsoluteTime::from_nanos(1), TraceEvent::GcStart);
+        t.push(AbsoluteTime::from_nanos(2), TraceEvent::Preempt(TaskId(0)));
+        t.push(AbsoluteTime::from_nanos(3), TraceEvent::GcEnd);
+        t.push(AbsoluteTime::from_nanos(4), TraceEvent::Preempt(TaskId(1)));
+        assert_eq!(t.len(), 4);
+        assert!(t.preempted_during_gc(TaskId(0)));
+        assert!(!t.preempted_during_gc(TaskId(1)));
+        assert_eq!(t.count(TraceEvent::GcStart), 1);
+    }
+
+    #[test]
+    fn ran_during_gc_tracks_windows() {
+        let mut t = ExecutionTrace::new();
+        t.push(AbsoluteTime::from_nanos(1), TraceEvent::Dispatch(TaskId(5)));
+        t.push(AbsoluteTime::from_nanos(2), TraceEvent::GcStart);
+        t.push(AbsoluteTime::from_nanos(3), TraceEvent::Dispatch(TaskId(7)));
+        t.push(AbsoluteTime::from_nanos(4), TraceEvent::GcEnd);
+        assert!(!t.ran_during_gc(TaskId(5)));
+        assert!(t.ran_during_gc(TaskId(7)));
+    }
+
+    #[test]
+    fn display_lists_every_record() {
+        let mut t = ExecutionTrace::new();
+        t.push(AbsoluteTime::from_nanos(9), TraceEvent::Release(TaskId(2)));
+        let s = t.to_string();
+        assert!(s.contains("Release"));
+        assert!(s.contains('9'));
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests for the RTSJ substrate invariants.
+
+use proptest::prelude::*;
+use rtsj::memory::{AreaId, MemoryKind, MemoryManager, ScopedMemoryParams};
+use rtsj::sched::Simulator;
+use rtsj::thread::{Priority, ReleaseParameters, RtThread, ThreadKind};
+use rtsj::time::{AbsoluteTime, RelativeTime};
+use rtsj::RtsjError;
+
+// ---------------------------------------------------------------------------
+// Scope-stack invariants under random enter/exit/alloc interleavings
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Enter(usize),
+    Exit,
+    Alloc(usize),
+}
+
+fn op_strategy(num_scopes: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..num_scopes).prop_map(Op::Enter),
+        Just(Op::Exit),
+        (0..num_scopes).prop_map(Op::Alloc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No sequence of operations can corrupt the scope bookkeeping:
+    /// enter counts always match stack membership, consumption is zero for
+    /// unoccupied scopes, and every error is one of the documented kinds.
+    #[test]
+    fn scope_bookkeeping_is_consistent(ops in proptest::collection::vec(op_strategy(4), 1..60)) {
+        let mut mm = MemoryManager::new(1 << 20, 1 << 20);
+        let scopes: Vec<AreaId> = (0..4)
+            .map(|i| mm.create_scoped(ScopedMemoryParams::new(format!("s{i}"), 8192)).unwrap())
+            .collect();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+
+        for op in ops {
+            let result = match op {
+                Op::Enter(i) => mm.enter(&mut ctx, scopes[i]).err(),
+                Op::Exit => mm.exit(&mut ctx).err(),
+                Op::Alloc(i) => mm.alloc(&ctx, scopes[i], [0u8; 16]).map(|_| ()).err(),
+            };
+            if let Some(e) = result {
+                let expected_class = matches!(
+                    e,
+                    RtsjError::ScopedCycle { .. }
+                        | RtsjError::IllegalState(_)
+                        | RtsjError::InaccessibleArea { .. }
+                        | RtsjError::OutOfMemory { .. }
+                );
+                prop_assert!(expected_class);
+            }
+
+            // Invariant: every scope on the stack has enter_count >= 1.
+            for &s in ctx.scope_stack() {
+                prop_assert!(mm.enter_count(s).unwrap() >= 1);
+            }
+            // Invariant (single thread): scopes not on the stack are unoccupied
+            // and hold no storage.
+            for &s in &scopes {
+                if !ctx.scope_stack().contains(&s) {
+                    prop_assert_eq!(mm.enter_count(s).unwrap(), 0);
+                    prop_assert_eq!(mm.stats(s).unwrap().consumed, 0);
+                    prop_assert_eq!(mm.parent_of(s).unwrap(), None);
+                }
+            }
+        }
+
+        // Unwind; everything must reclaim.
+        while ctx.depth() > 0 {
+            mm.exit(&mut ctx).unwrap();
+        }
+        for &s in &scopes {
+            prop_assert_eq!(mm.stats(s).unwrap().consumed, 0);
+            prop_assert_eq!(mm.enter_count(s).unwrap(), 0);
+        }
+    }
+
+    /// The assignment checker agrees with an independent oracle computed
+    /// from the scope stack: a holder may reference a target iff the target
+    /// is heap/immortal, or appears at or below the holder's position
+    /// walking outward on the nesting chain.
+    #[test]
+    fn assignment_matches_stack_oracle(depth in 1usize..5, holder_ix in 0usize..5, target_ix in 0usize..5) {
+        let mut mm = MemoryManager::new(1 << 20, 1 << 20);
+        let scopes: Vec<AreaId> = (0..depth)
+            .map(|i| mm.create_scoped(ScopedMemoryParams::new(format!("s{i}"), 4096)).unwrap())
+            .collect();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        for &s in &scopes {
+            mm.enter(&mut ctx, s).unwrap();
+        }
+
+        // Candidate areas: the nested scopes plus the primordial two.
+        let mut areas = vec![AreaId::HEAP, AreaId::IMMORTAL];
+        areas.extend(&scopes);
+        let holder = areas[holder_ix.min(areas.len() - 1)];
+        let target = areas[target_ix.min(areas.len() - 1)];
+
+        let allowed = mm.check_assignment(holder, target).is_ok();
+
+        let target_kind = mm.kind_of(target).unwrap();
+        let expected = match target_kind {
+            MemoryKind::Heap | MemoryKind::Immortal => true,
+            MemoryKind::Scoped => {
+                let holder_pos = scopes.iter().position(|&s| s == holder);
+                let target_pos = scopes.iter().position(|&s| s == target);
+                match (holder_pos, target_pos) {
+                    // target must be the holder itself or an outer scope.
+                    (Some(h), Some(t)) => t <= h,
+                    _ => false,
+                }
+            }
+        };
+        prop_assert_eq!(allowed, expected);
+    }
+
+    /// Handles never dangle silently: after a scope reclaims, access fails
+    /// with StaleHandle rather than returning another object's data.
+    #[test]
+    fn reclaimed_handles_always_stale(reentries in 1usize..5) {
+        let mut mm = MemoryManager::new(1 << 20, 1 << 20);
+        let s = mm.create_scoped(ScopedMemoryParams::new("s", 4096)).unwrap();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+
+        mm.enter(&mut ctx, s).unwrap();
+        let h = mm.alloc(&ctx, s, 0xABu8).unwrap();
+        mm.exit(&mut ctx).unwrap();
+
+        for round in 0..reentries {
+            mm.enter(&mut ctx, s).unwrap();
+            let _fresh = mm.alloc(&ctx, s, round as u8).unwrap();
+            let err = mm.get(&ctx, h).unwrap_err();
+            let is_stale = matches!(err, RtsjError::StaleHandle { .. });
+            prop_assert!(is_stale);
+            mm.exit(&mut ctx).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler properties
+// ---------------------------------------------------------------------------
+
+/// A synthetic periodic task: (period_us, utilization_permille).
+fn taskset_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((100u64..5_000, 10u64..200), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rate-monotonic feasibility: any task set with total utilization under
+    /// the Liu–Layland bound for n <= 4 (~0.7568) meets every deadline under
+    /// our fixed-priority scheduler with RM priority assignment. We stay
+    /// under 0.69 (the n→inf bound) for safety.
+    #[test]
+    fn rm_tasksets_under_bound_never_miss(set in taskset_strategy()) {
+        let total_u: f64 = set.iter().map(|&(_, u)| u as f64 / 1000.0).sum();
+        prop_assume!(total_u <= 0.69);
+
+        let mut sim = Simulator::new();
+        // RM: shorter period -> higher priority.
+        let mut order: Vec<usize> = (0..set.len()).collect();
+        order.sort_by_key(|&i| set[i].0);
+        let mut ids = Vec::new();
+        for (rank, &ix) in order.iter().enumerate() {
+            let (period, u) = set[ix];
+            let cost = (period * u / 1000).max(1);
+            let prio = Priority::new((90 - rank as u8).max(20));
+            ids.push(sim.add_task(RtThread::new(
+                format!("t{ix}"),
+                ThreadKind::Realtime,
+                prio,
+                ReleaseParameters::periodic(
+                    RelativeTime::from_micros(period),
+                    RelativeTime::from_micros(cost),
+                ),
+            )));
+        }
+        sim.run_until(AbsoluteTime::from_millis(200));
+        for id in ids {
+            prop_assert_eq!(sim.stats(id).unwrap().deadline_misses, 0);
+        }
+    }
+
+    /// The highest-priority task is never delayed: every response time
+    /// equals its cost, regardless of what else runs.
+    #[test]
+    fn top_priority_task_never_delayed(set in taskset_strategy()) {
+        let mut sim = Simulator::new();
+        let top = sim.add_task(RtThread::new(
+            "top",
+            ThreadKind::Realtime,
+            Priority::new(95),
+            ReleaseParameters::periodic(
+                RelativeTime::from_micros(1_000),
+                RelativeTime::from_micros(50),
+            ),
+        ));
+        for (i, &(period, u)) in set.iter().enumerate() {
+            let cost = (period * u / 1000).max(1);
+            sim.add_task(RtThread::new(
+                format!("bg{i}"),
+                ThreadKind::Realtime,
+                Priority::new(30),
+                ReleaseParameters::periodic(
+                    RelativeTime::from_micros(period),
+                    RelativeTime::from_micros(cost),
+                ),
+            ));
+        }
+        sim.run_until(AbsoluteTime::from_millis(50));
+        let st = sim.stats(top).unwrap();
+        prop_assert!(st.completions >= 49);
+        prop_assert!(st.response_times.iter().all(|&r| r == RelativeTime::from_micros(50)));
+    }
+
+    /// Releases are never lost: a periodic task with start offset zero
+    /// releases exactly ceil(horizon / period) jobs in [0, horizon).
+    #[test]
+    fn no_lost_releases(period_us in 50u64..2_000) {
+        let mut sim = Simulator::new();
+        let t = sim.add_task(RtThread::new(
+            "p",
+            ThreadKind::Realtime,
+            Priority::new(40),
+            ReleaseParameters::periodic(
+                RelativeTime::from_micros(period_us),
+                RelativeTime::from_micros(1),
+            ),
+        ));
+        let horizon_us = 100_000u64;
+        sim.run_until(AbsoluteTime::from_micros(horizon_us));
+        let expected = horizon_us.div_ceil(period_us);
+        prop_assert_eq!(sim.stats(t).unwrap().releases, expected);
+    }
+}

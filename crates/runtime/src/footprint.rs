@@ -1,0 +1,139 @@
+//! Memory-footprint accounting (Fig. 7(c)).
+//!
+//! A [`FootprintReport`] combines per-area substrate consumption (component
+//! state, buffers — what the application itself needs) with the *framework
+//! machinery* bytes of the active generation mode (membranes, binding
+//! tables, reified metadata). The paper's Fig. 7(c) compares exactly this
+//! across OO / SOLEIL / MERGE-ALL / ULTRA-MERGE.
+
+use std::fmt;
+
+use rtsj::memory::{AreaId, MemoryManager};
+
+/// Footprint of one architecture-level memory area.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AreaFootprint {
+    /// Architecture-level area name.
+    pub name: String,
+    /// Bytes currently consumed in the substrate area.
+    pub consumed: usize,
+    /// High watermark.
+    pub high_watermark: usize,
+    /// Configured budget, if bounded.
+    pub budget: Option<usize>,
+}
+
+/// The complete footprint picture for one deployed system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintReport {
+    /// Label (mode name or "OO").
+    pub label: String,
+    /// Per-area application consumption.
+    pub areas: Vec<AreaFootprint>,
+    /// Bytes of framework machinery (membranes, tables, metadata).
+    pub framework_bytes: usize,
+}
+
+impl FootprintReport {
+    /// Collects a report from the substrate plus a framework-bytes figure
+    /// computed by the caller.
+    pub fn collect(
+        label: String,
+        mm: &MemoryManager,
+        areas: Vec<(String, AreaId)>,
+        framework_bytes: usize,
+    ) -> Self {
+        let areas = areas
+            .into_iter()
+            .map(|(name, id)| {
+                let s = mm.stats(id).expect("area registered at bootstrap");
+                AreaFootprint {
+                    name,
+                    consumed: s.consumed,
+                    high_watermark: s.high_watermark,
+                    budget: s.size_limit,
+                }
+            })
+            .collect();
+        FootprintReport {
+            label,
+            areas,
+            framework_bytes,
+        }
+    }
+
+    /// Total application bytes across areas (current consumption).
+    pub fn application_bytes(&self) -> usize {
+        self.areas.iter().map(|a| a.consumed).sum()
+    }
+
+    /// Application + framework bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.application_bytes() + self.framework_bytes
+    }
+
+    /// Framework overhead relative to a baseline report (e.g. OO):
+    /// `total - baseline_total`, saturating at zero.
+    pub fn overhead_vs(&self, baseline: &FootprintReport) -> usize {
+        self.total_bytes().saturating_sub(baseline.total_bytes())
+    }
+}
+
+impl fmt::Display for FootprintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "footprint [{}]", self.label)?;
+        for a in &self.areas {
+            write!(f, "  area {:<12} {:>8} B", a.name, a.consumed)?;
+            if let Some(b) = a.budget {
+                write!(f, " / {b} B budget")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "  framework     {:>8} B", self.framework_bytes)?;
+        writeln!(f, "  total         {:>8} B", self.total_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsj::thread::ThreadKind;
+
+    #[test]
+    fn collect_and_aggregate() {
+        let mut mm = MemoryManager::new(0, 1 << 20);
+        let ctx = mm.context(ThreadKind::Regular);
+        mm.alloc_raw(&ctx, AreaId::IMMORTAL, 500).unwrap();
+        let report = FootprintReport::collect(
+            "TEST".into(),
+            &mm,
+            vec![("imm".into(), AreaId::IMMORTAL)],
+            1234,
+        );
+        assert_eq!(report.framework_bytes, 1234);
+        assert!(report.application_bytes() >= 500);
+        assert_eq!(
+            report.total_bytes(),
+            report.application_bytes() + 1234
+        );
+        let display = report.to_string();
+        assert!(display.contains("imm"));
+        assert!(display.contains("framework"));
+    }
+
+    #[test]
+    fn overhead_vs_baseline() {
+        let base = FootprintReport {
+            label: "OO".into(),
+            areas: vec![],
+            framework_bytes: 0,
+        };
+        let other = FootprintReport {
+            label: "SOLEIL".into(),
+            areas: vec![],
+            framework_bytes: 700,
+        };
+        assert_eq!(other.overhead_vs(&base), 700);
+        assert_eq!(base.overhead_vs(&other), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Steady-state latency measurement (Fig. 7(a)/(b) methodology).
+//!
+//! The paper: "measurements are based on steady state observations — in
+//! order to eliminate the transitory effects of cold starts we collect
+//! measurements after the system has started and renders a steady
+//! execution. For each test, we perform 10 000 observations."
+//! [`measure_steady`] implements exactly that protocol around a closure;
+//! [`LatencySamples`] computes the paper's summary statistics (median,
+//! jitter) and renders distribution histograms for the Fig. 7(a) curves.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rtsj::sched::SampleSummary;
+use rtsj::time::RelativeTime;
+
+/// Wall-clock latency observations, in nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencySamples {
+    nanos: Vec<u64>,
+}
+
+impl LatencySamples {
+    /// Wraps raw nanosecond samples.
+    pub fn from_nanos(nanos: Vec<u64>) -> Self {
+        LatencySamples { nanos }
+    }
+
+    /// The raw samples.
+    pub fn nanos(&self) -> &[u64] {
+        &self.nanos
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.nanos.len()
+    }
+
+    /// True when no observation was collected.
+    pub fn is_empty(&self) -> bool {
+        self.nanos.is_empty()
+    }
+
+    /// Summary statistics (median, mean, jitter = mean absolute deviation
+    /// from the median, min, max).
+    pub fn summary(&self) -> Option<SampleSummary> {
+        let samples: Vec<RelativeTime> = self
+            .nanos
+            .iter()
+            .map(|&n| RelativeTime::from_nanos(n))
+            .collect();
+        SampleSummary::compute(&samples)
+    }
+
+    /// The p-th percentile (0 < p <= 100).
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.nanos.is_empty() {
+            return None;
+        }
+        let mut sorted = self.nanos.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Bucketed distribution between the 1st and 99th percentile —
+    /// the data behind a Fig. 7(a)-style execution-time curve.
+    pub fn distribution(&self, buckets: usize) -> Vec<(u64, usize)> {
+        if self.nanos.is_empty() || buckets == 0 {
+            return Vec::new();
+        }
+        let lo = self.percentile(1.0).expect("non-empty");
+        let hi = self.percentile(99.0).expect("non-empty").max(lo + 1);
+        let width = ((hi - lo) / buckets as u64).max(1);
+        let mut counts = vec![0usize; buckets];
+        for &n in &self.nanos {
+            if n < lo || n > hi {
+                continue;
+            }
+            let ix = (((n - lo) / width) as usize).min(buckets - 1);
+            counts[ix] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (lo + i as u64 * width, c))
+            .collect()
+    }
+
+    /// Renders the distribution as an ASCII histogram (for terminal
+    /// reports and EXPERIMENTS.md).
+    pub fn histogram(&self, buckets: usize, width: usize) -> String {
+        let dist = self.distribution(buckets);
+        let max = dist.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (start, count) in dist {
+            let bar = "#".repeat(count * width / max);
+            let _ = writeln!(out, "{:>9.2} us | {bar} {count}", start as f64 / 1000.0);
+        }
+        out
+    }
+
+    /// CSV rendering (`observation_ns` per line) for offline plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.nanos.len() * 8);
+        out.push_str("observation_ns\n");
+        for n in &self.nanos {
+            let _ = writeln!(out, "{n}");
+        }
+        out
+    }
+}
+
+/// Runs `op` for `warmup` unrecorded iterations, then `observations`
+/// recorded ones, timing each with a monotonic clock.
+///
+/// # Errors
+///
+/// The first error returned by `op` aborts the measurement.
+pub fn measure_steady<E>(
+    warmup: usize,
+    observations: usize,
+    mut op: impl FnMut() -> Result<(), E>,
+) -> Result<LatencySamples, E> {
+    for _ in 0..warmup {
+        op()?;
+    }
+    let mut nanos = Vec::with_capacity(observations);
+    for _ in 0..observations {
+        let start = Instant::now();
+        op()?;
+        nanos.push(start.elapsed().as_nanos() as u64);
+    }
+    Ok(LatencySamples::from_nanos(nanos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_only_observations() {
+        let mut calls = 0u32;
+        let samples = measure_steady::<()>(10, 25, || {
+            calls += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(calls, 35);
+        assert_eq!(samples.len(), 25);
+        assert!(samples.summary().is_some());
+    }
+
+    #[test]
+    fn errors_abort() {
+        let mut calls = 0u32;
+        let r = measure_steady(0, 10, || {
+            calls += 1;
+            if calls == 3 {
+                Err("boom")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn percentiles_and_distribution() {
+        let samples = LatencySamples::from_nanos((1..=1000).collect());
+        assert_eq!(samples.percentile(50.0), Some(501)); // rank round(0.5*999)
+        assert!(samples.percentile(99.0).unwrap() >= 985);
+        let dist = samples.distribution(10);
+        assert_eq!(dist.len(), 10);
+        let total: usize = dist.iter().map(|&(_, c)| c).sum();
+        assert!(total > 900, "most samples fall inside p1..p99: {total}");
+        let hist = samples.histogram(5, 40);
+        assert_eq!(hist.lines().count(), 5);
+    }
+
+    #[test]
+    fn empty_samples_are_safe() {
+        let s = LatencySamples::default();
+        assert!(s.is_empty());
+        assert!(s.summary().is_none());
+        assert!(s.percentile(50.0).is_none());
+        assert!(s.distribution(4).is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = LatencySamples::from_nanos(vec![5, 6]);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("observation_ns\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! # soleil-runtime — the execution engine behind generated infrastructures
+//!
+//! The generator (see `soleil-generator`) compiles a validated architecture
+//! into a [`spec::SystemSpec`]; this crate turns that spec into a running
+//! [`system::System`] at one of the three optimization levels the paper
+//! evaluates:
+//!
+//! * **SOLEIL** — membranes reified as objects: every invocation runs
+//!   through lifecycle gates, a name-keyed binding controller and a dynamic
+//!   interceptor chain; full membrane-level introspection/reconfiguration.
+//! * **MERGE-ALL** — membrane logic merged into each component: compiled
+//!   binding slots, inlined memory choreography; functional-level
+//!   reconfiguration only.
+//! * **ULTRA-MERGE** — the whole system fused into one flat dispatch table;
+//!   purely static, no reconfiguration.
+//!
+//! All three execute the same RTSJ semantics against
+//! [`rtsj::memory::MemoryManager`] (scope entry/exit, assignment checks,
+//! buffer placement); what differs is the framework machinery around the
+//! functional code — exactly the overhead Fig. 7 measures.
+//!
+//! Supporting modules: [`instrument`] (steady-state latency measurement for
+//! Fig. 7(a)/(b)), [`footprint`] (Fig. 7(c) accounting) and [`sim`]
+//! (virtual-time deployment onto [`rtsj::sched::Simulator`] for the
+//! determinism experiment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod footprint;
+pub mod instrument;
+pub mod sim;
+pub mod spec;
+pub mod system;
+
+pub use footprint::FootprintReport;
+pub use instrument::LatencySamples;
+pub use spec::{Mode, SystemSpec};
+pub use system::System;

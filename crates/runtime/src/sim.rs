@@ -1,0 +1,293 @@
+//! Virtual-time deployment: a [`SystemSpec`] as a scheduled task set.
+//!
+//! The wall-clock engine ([`crate::system::System`]) measures framework
+//! overhead; this module answers the *scheduling* questions — deadline
+//! behaviour, GC interference, end-to-end pipeline latency under load — by
+//! deploying the same spec onto the deterministic
+//! [`rtsj::sched::Simulator`]: one task per active component (thread kind
+//! and priority from its ThreadDomain), one link per asynchronous binding.
+//! The E5 determinism experiment runs the motivation pipeline here twice —
+//! NHRT domains vs. regular threads — under an aggressive collector.
+
+use std::collections::HashMap;
+
+use rtsj::gc::GcConfig;
+use rtsj::sched::Simulator;
+use rtsj::thread::{Priority, ReleaseParameters, RtThread, ThreadKind};
+use rtsj::time::RelativeTime;
+use rtsj::trace::TaskId;
+
+use crate::spec::{Activation, ProtocolSpec, SystemSpec};
+
+/// Per-component execution costs for the virtual-time deployment.
+#[derive(Debug, Clone)]
+pub struct SimCosts {
+    /// Cost used when a component has no specific entry.
+    pub default_cost: RelativeTime,
+    per_component: HashMap<String, RelativeTime>,
+}
+
+impl SimCosts {
+    /// Uniform costs.
+    pub fn uniform(cost: RelativeTime) -> Self {
+        SimCosts {
+            default_cost: cost,
+            per_component: HashMap::new(),
+        }
+    }
+
+    /// Overrides the cost of one component (builder style).
+    #[must_use]
+    pub fn with(mut self, component: impl Into<String>, cost: RelativeTime) -> Self {
+        self.per_component.insert(component.into(), cost);
+        self
+    }
+
+    /// The cost of `component`.
+    pub fn cost_of(&self, component: &str) -> RelativeTime {
+        self.per_component
+            .get(component)
+            .copied()
+            .unwrap_or(self.default_cost)
+    }
+}
+
+/// The result of deploying a spec into a simulator.
+#[derive(Debug)]
+pub struct SimDeployment {
+    /// The configured simulator (GC installed if requested).
+    pub simulator: Simulator,
+    /// Task ids by component name (active components only).
+    pub tasks: HashMap<String, TaskId>,
+}
+
+/// Optional overrides applied during deployment.
+#[derive(Debug, Clone, Default)]
+pub struct SimOptions {
+    /// Replace every domain's thread kind (e.g. force `Regular` to show GC
+    /// interference on an otherwise NHRT design).
+    pub force_thread_kind: Option<ThreadKind>,
+    /// Install a collector.
+    pub gc: Option<GcConfig>,
+}
+
+/// Deploys the active components of `spec` onto a fresh simulator.
+///
+/// Periodic components become periodic tasks; sporadic components become
+/// sporadic tasks with a minimum interarrival of half their *triggering*
+/// producer's period (a conservative default) or their own cost when no
+/// producer exists. Asynchronous bindings become completion links, so the
+/// simulator's transaction log directly yields end-to-end pipeline
+/// latencies.
+///
+/// Passive components do not schedule; their cost is charged to the caller
+/// by adding it to the calling component's cost (run-to-completion
+/// semantics), which the caller models through `costs`.
+pub fn deploy(spec: &SystemSpec, costs: &SimCosts, options: &SimOptions) -> SimDeployment {
+    let mut sim = Simulator::new();
+    if let Some(gc) = options.gc {
+        sim.set_gc(gc);
+    }
+    let mut tasks = HashMap::new();
+
+    for c in &spec.components {
+        let (kind, priority) = match c.domain {
+            Some(d) => {
+                let dom = &spec.domains[d];
+                (
+                    options.force_thread_kind.unwrap_or(dom.kind),
+                    Priority::new(dom.priority),
+                )
+            }
+            None => continue, // passive: modelled inside callers' costs
+        };
+        let cost = costs.cost_of(&c.name);
+        let release = match c.activation {
+            Activation::Periodic { period } => ReleaseParameters::periodic(period, cost),
+            Activation::Sporadic => ReleaseParameters::Sporadic {
+                min_interarrival: cost,
+                cost,
+                deadline: deadline_for(spec, &c.name),
+            },
+            Activation::Passive => continue,
+        };
+        let id = sim.add_task(RtThread::new(c.name.clone(), kind, priority, release));
+        tasks.insert(c.name.clone(), id);
+    }
+
+    for b in &spec.bindings {
+        if matches!(b.protocol, ProtocolSpec::Async { .. }) {
+            let from = spec.components[b.client].name.as_str();
+            let to = spec.components[b.server].name.as_str();
+            if let (Some(&f), Some(&t)) = (tasks.get(from), tasks.get(to)) {
+                sim.link(f, t).expect("tasks registered above");
+            }
+        }
+    }
+
+    SimDeployment {
+        simulator: sim,
+        tasks,
+    }
+}
+
+/// Deadline for a sporadic component: the period of the periodic component
+/// at the head of its pipeline (every stage must finish within the
+/// production interval), or 10 ms when none is found.
+fn deadline_for(spec: &SystemSpec, name: &str) -> RelativeTime {
+    // Walk producers backwards through async bindings.
+    let mut current = spec.component_index(name);
+    let mut hops = 0;
+    while let Some(ix) = current {
+        if let Activation::Periodic { period } = spec.components[ix].activation {
+            return period;
+        }
+        current = spec
+            .bindings
+            .iter()
+            .find(|b| b.server == ix)
+            .map(|b| b.client);
+        hops += 1;
+        if hops > spec.components.len() {
+            break; // defensive: cyclic pipelines
+        }
+    }
+    RelativeTime::from_millis(10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AreaSpec, BindingSpec, BufferPlacement, ComponentSpec, DomainSpec};
+    use rtsj::memory::MemoryKind;
+    use rtsj::time::AbsoluteTime;
+    use soleil_patterns::PatternKind;
+
+    fn spec() -> SystemSpec {
+        SystemSpec {
+            name: "simtest".into(),
+            areas: vec![AreaSpec {
+                name: "imm".into(),
+                kind: MemoryKind::Immortal,
+                size: Some(64 * 1024),
+                parent: None,
+            }],
+            domains: vec![
+                DomainSpec {
+                    name: "nhrt".into(),
+                    kind: ThreadKind::NoHeapRealtime,
+                    priority: 30,
+                },
+                DomainSpec {
+                    name: "reg".into(),
+                    kind: ThreadKind::Regular,
+                    priority: 5,
+                },
+            ],
+            components: vec![
+                ComponentSpec {
+                    name: "head".into(),
+                    content_class: "H".into(),
+                    activation: Activation::Periodic {
+                        period: RelativeTime::from_millis(10),
+                    },
+                    domain: Some(0),
+                    area: 0,
+                    server_ports: vec![],
+                    ceiling: None,
+                },
+                ComponentSpec {
+                    name: "tail".into(),
+                    content_class: "T".into(),
+                    activation: Activation::Sporadic,
+                    domain: Some(1),
+                    area: 0,
+                    server_ports: vec!["in".into()],
+                    ceiling: None,
+                },
+            ],
+            bindings: vec![BindingSpec {
+                client: 0,
+                client_port: "out".into(),
+                server: 1,
+                server_port: "in".into(),
+                protocol: ProtocolSpec::Async {
+                    capacity: 8,
+                    placement: BufferPlacement::Immortal,
+                },
+                pattern: PatternKind::Direct,
+                enter_path: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn deploys_actives_and_links() {
+        let costs = SimCosts::uniform(RelativeTime::from_micros(100))
+            .with("head", RelativeTime::from_micros(50));
+        let mut d = deploy(&spec(), &costs, &SimOptions::default());
+        assert_eq!(d.tasks.len(), 2);
+        d.simulator.run_until(AbsoluteTime::from_millis(100));
+        let head = d.tasks["head"];
+        let tail = d.tasks["tail"];
+        assert_eq!(d.simulator.stats(head).unwrap().completions, 10);
+        assert_eq!(d.simulator.stats(tail).unwrap().completions, 10);
+        // End-to-end: 50 + 100 us, uncontended.
+        assert!(d
+            .simulator
+            .transactions()
+            .iter()
+            .all(|&t| t == RelativeTime::from_micros(150)));
+    }
+
+    #[test]
+    fn forced_thread_kind_exposes_gc() {
+        let costs = SimCosts::uniform(RelativeTime::from_micros(500));
+        let gc = GcConfig::periodic(RelativeTime::from_millis(15), RelativeTime::from_millis(3));
+
+        // NHRT deployment: immune.
+        let mut nhrt = deploy(
+            &spec(),
+            &costs,
+            &SimOptions {
+                force_thread_kind: None,
+                gc: Some(gc),
+            },
+        );
+        nhrt.simulator.run_until(AbsoluteTime::from_millis(200));
+        let head = nhrt.tasks["head"];
+        assert_eq!(nhrt.simulator.stats(head).unwrap().deadline_misses, 0);
+
+        // Regular deployment of the same system: GC inflates responses.
+        let mut reg = deploy(
+            &spec(),
+            &costs,
+            &SimOptions {
+                force_thread_kind: Some(ThreadKind::Regular),
+                gc: Some(gc),
+            },
+        );
+        reg.simulator.run_until(AbsoluteTime::from_millis(200));
+        let rhead = reg.tasks["head"];
+        let worst = reg
+            .simulator
+            .stats(rhead)
+            .unwrap()
+            .response_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap();
+        assert!(
+            worst > RelativeTime::from_micros(500),
+            "GC must delay regular threads (worst {worst})"
+        );
+    }
+
+    #[test]
+    fn deadline_walks_to_pipeline_head() {
+        let s = spec();
+        assert_eq!(deadline_for(&s, "tail"), RelativeTime::from_millis(10));
+        assert_eq!(deadline_for(&s, "head"), RelativeTime::from_millis(10));
+    }
+}

@@ -1,0 +1,334 @@
+//! The deployment plan produced by the generator.
+//!
+//! A [`SystemSpec`] is the mode-independent description of everything the
+//! bootstrapper must materialize: memory areas (with nesting), thread
+//! domains, components (with their activation, domain and area), and
+//! bindings (with protocol, buffer placement and the cross-scope pattern
+//! selected at design time).
+
+use rtsj::memory::MemoryKind;
+use rtsj::thread::ThreadKind;
+use rtsj::time::RelativeTime;
+use soleil_patterns::PatternKind;
+
+/// The three generation modes of §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Full componentization: reified membranes, complete introspection and
+    /// reconfiguration at functional *and* membrane level.
+    Soleil,
+    /// Membrane merged into its component: one unit per functional
+    /// component, reconfiguration at functional level only.
+    MergeAll,
+    /// Whole system in a single static unit: no reconfiguration.
+    UltraMerge,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mode::Soleil => "SOLEIL",
+            Mode::MergeAll => "MERGE-ALL",
+            Mode::UltraMerge => "ULTRA-MERGE",
+        })
+    }
+}
+
+/// A memory area to materialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AreaSpec {
+    /// Architecture-level name (`Imm1`, `S1`, …).
+    pub name: String,
+    /// Region kind. `Heap` and `Immortal` map onto the substrate's
+    /// primordial areas; `Scoped` areas are created and wedge-pinned.
+    pub kind: MemoryKind,
+    /// Size budget (scoped/immortal).
+    pub size: Option<usize>,
+    /// Index of the enclosing area in [`SystemSpec::areas`], for nested
+    /// scopes. Parents must precede children.
+    pub parent: Option<usize>,
+}
+
+/// A thread domain to materialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainSpec {
+    /// Architecture-level name (`NHRT1`, …).
+    pub name: String,
+    /// Thread class of every member.
+    pub kind: ThreadKind,
+    /// Dispatch priority of every member.
+    pub priority: u8,
+}
+
+/// How a component is released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Time-triggered: the engine injects a `@release` invocation per
+    /// period.
+    Periodic {
+        /// Release period.
+        period: RelativeTime,
+    },
+    /// Message-triggered through asynchronous bindings.
+    Sporadic,
+    /// Never activated on its own; invoked synchronously by others.
+    Passive,
+}
+
+/// A functional component to instantiate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSpec {
+    /// Component name.
+    pub name: String,
+    /// Content-class name resolved through the `ContentRegistry`.
+    pub content_class: String,
+    /// Release pattern.
+    pub activation: Activation,
+    /// Index into [`SystemSpec::domains`]; `None` for passive components.
+    pub domain: Option<usize>,
+    /// Index into [`SystemSpec::areas`]: the component's allocation region.
+    pub area: usize,
+    /// Server (provided) interface names, in declaration order.
+    pub server_ports: Vec<String>,
+    /// Priority ceiling for shared passive services (RTSJ priority-ceiling
+    /// emulation); `None` when the component is not shared.
+    pub ceiling: Option<u8>,
+}
+
+/// Where an asynchronous binding's buffer lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferPlacement {
+    /// Heap memory (only when both ends are heap-coupled).
+    Heap,
+    /// Immortal memory (the exchange-buffer fallback).
+    Immortal,
+}
+
+/// The wire protocol of a binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolSpec {
+    /// Direct nested invocation.
+    Sync,
+    /// Buffered message passing.
+    Async {
+        /// Buffer capacity in messages.
+        capacity: usize,
+        /// Buffer placement.
+        placement: BufferPlacement,
+    },
+}
+
+/// A binding to wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingSpec {
+    /// Client component index.
+    pub client: usize,
+    /// Client interface name.
+    pub client_port: String,
+    /// Server component index.
+    pub server: usize,
+    /// Server interface name.
+    pub server_port: String,
+    /// Protocol (and buffer settings).
+    pub protocol: ProtocolSpec,
+    /// Cross-scope pattern the memory interceptor must execute.
+    pub pattern: PatternKind,
+    /// For [`PatternKind::EnterInner`]: indices into [`SystemSpec::areas`]
+    /// of the scoped areas to enter, outermost first, relative to the
+    /// client's scope chain (common ancestors excluded).
+    pub enter_path: Vec<usize>,
+}
+
+/// The complete deployment plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemSpec {
+    /// System name (from the architecture).
+    pub name: String,
+    /// Areas, parents before children.
+    pub areas: Vec<AreaSpec>,
+    /// Thread domains.
+    pub domains: Vec<DomainSpec>,
+    /// Components.
+    pub components: Vec<ComponentSpec>,
+    /// Bindings.
+    pub bindings: Vec<BindingSpec>,
+}
+
+impl SystemSpec {
+    /// Index of the component named `name`.
+    pub fn component_index(&self, name: &str) -> Option<usize> {
+        self.components.iter().position(|c| c.name == name)
+    }
+
+    /// Rough byte size of the spec itself (charged as reified metadata in
+    /// SOLEIL mode).
+    pub fn metadata_bytes(&self) -> usize {
+        let strings: usize = self
+            .areas
+            .iter()
+            .map(|a| a.name.len())
+            .chain(self.domains.iter().map(|d| d.name.len()))
+            .chain(self.components.iter().flat_map(|c| {
+                std::iter::once(c.name.len() + c.content_class.len())
+                    .chain(c.server_ports.iter().map(|p| p.len()))
+            }))
+            .chain(
+                self.bindings
+                    .iter()
+                    .map(|b| b.client_port.len() + b.server_port.len()),
+            )
+            .sum();
+        strings
+            + self.areas.len() * std::mem::size_of::<AreaSpec>()
+            + self.domains.len() * std::mem::size_of::<DomainSpec>()
+            + self.components.len() * std::mem::size_of::<ComponentSpec>()
+            + self.bindings.len() * std::mem::size_of::<BindingSpec>()
+    }
+
+    /// Structural sanity check: indices in range, parents precede children,
+    /// bound ports exist.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first inconsistency.
+    pub fn check(&self) -> Result<(), String> {
+        for (i, a) in self.areas.iter().enumerate() {
+            if let Some(p) = a.parent {
+                if p >= i {
+                    return Err(format!("area '{}': parent index {p} not before child {i}", a.name));
+                }
+            }
+        }
+        for c in &self.components {
+            if c.area >= self.areas.len() {
+                return Err(format!("component '{}': area index out of range", c.name));
+            }
+            if let Some(d) = c.domain {
+                if d >= self.domains.len() {
+                    return Err(format!("component '{}': domain index out of range", c.name));
+                }
+            }
+        }
+        for b in &self.bindings {
+            if b.client >= self.components.len() || b.server >= self.components.len() {
+                return Err("binding endpoint index out of range".to_string());
+            }
+            let server = &self.components[b.server];
+            if !server.server_ports.iter().any(|p| p == &b.server_port) {
+                return Err(format!(
+                    "binding targets unknown server port '{}' on '{}'",
+                    b.server_port, server.name
+                ));
+            }
+            if let ProtocolSpec::Async { capacity, .. } = b.protocol {
+                if capacity == 0 {
+                    return Err(format!(
+                        "async binding {}→{} has zero capacity",
+                        self.components[b.client].name, server.name
+                    ));
+                }
+            }
+            if b.enter_path.iter().any(|&a| a >= self.areas.len()) {
+                return Err("binding enter-path references an unknown area".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SystemSpec {
+        SystemSpec {
+            name: "t".into(),
+            areas: vec![AreaSpec {
+                name: "imm".into(),
+                kind: MemoryKind::Immortal,
+                size: Some(64 * 1024),
+                parent: None,
+            }],
+            domains: vec![DomainSpec {
+                name: "rt".into(),
+                kind: ThreadKind::Realtime,
+                priority: 20,
+            }],
+            components: vec![
+                ComponentSpec {
+                    name: "a".into(),
+                    content_class: "A".into(),
+                    activation: Activation::Periodic {
+                        period: RelativeTime::from_millis(10),
+                    },
+                    domain: Some(0),
+                    area: 0,
+                    server_ports: vec![],
+                    ceiling: None,
+                },
+                ComponentSpec {
+                    name: "b".into(),
+                    content_class: "B".into(),
+                    activation: Activation::Sporadic,
+                    domain: Some(0),
+                    area: 0,
+                    server_ports: vec!["in".into()],
+                    ceiling: None,
+                },
+            ],
+            bindings: vec![BindingSpec {
+                client: 0,
+                client_port: "out".into(),
+                server: 1,
+                server_port: "in".into(),
+                protocol: ProtocolSpec::Async {
+                    capacity: 4,
+                    placement: BufferPlacement::Immortal,
+                },
+                pattern: PatternKind::Direct,
+                enter_path: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_spec_checks() {
+        tiny_spec().check().unwrap();
+        assert_eq!(tiny_spec().component_index("b"), Some(1));
+        assert!(tiny_spec().metadata_bytes() > 0);
+    }
+
+    #[test]
+    fn bad_specs_detected() {
+        let mut s = tiny_spec();
+        s.bindings[0].server_port = "ghost".into();
+        assert!(s.check().is_err());
+
+        let mut s = tiny_spec();
+        s.components[0].area = 9;
+        assert!(s.check().is_err());
+
+        let mut s = tiny_spec();
+        s.bindings[0].protocol = ProtocolSpec::Async {
+            capacity: 0,
+            placement: BufferPlacement::Immortal,
+        };
+        assert!(s.check().is_err());
+
+        let mut s = tiny_spec();
+        s.areas.push(AreaSpec {
+            name: "s".into(),
+            kind: MemoryKind::Scoped,
+            size: Some(1024),
+            parent: Some(5),
+        });
+        assert!(s.check().is_err());
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(Mode::Soleil.to_string(), "SOLEIL");
+        assert_eq!(Mode::MergeAll.to_string(), "MERGE-ALL");
+        assert_eq!(Mode::UltraMerge.to_string(), "ULTRA-MERGE");
+    }
+}

@@ -1,0 +1,160 @@
+//! Dynamic adaptation (§4.2): runtime reconfiguration through the
+//! membrane's Binding and Lifecycle controllers.
+//!
+//! A monitoring pipeline notifies a primary console; at runtime we stop the
+//! primary, rebind the client interface to a backup console, and restart —
+//! without touching functional code. The same operations are then attempted
+//! under MERGE-ALL (functional-level rebinding still works, membrane
+//! introspection does not) and ULTRA-MERGE (purely static: everything is
+//! refused), matching the paper's capability matrix.
+//!
+//! ```text
+//! cargo run --example adaptive_reconfig
+//! ```
+
+use soleil::prelude::*;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Alert {
+    code: u32,
+}
+
+#[derive(Debug, Default)]
+struct Producer {
+    n: u32,
+}
+impl Content<Alert> for Producer {
+    fn on_invoke(&mut self, _port: &str, msg: &mut Alert, out: &mut dyn Ports<Alert>) -> InvokeResult {
+        self.n += 1;
+        msg.code = self.n;
+        out.call("console", msg)
+    }
+}
+
+#[derive(Debug)]
+struct NamedConsole {
+    name: &'static str,
+    handled: std::rc::Rc<std::cell::Cell<u32>>,
+}
+impl Content<Alert> for NamedConsole {
+    fn on_invoke(&mut self, _port: &str, _msg: &mut Alert, _out: &mut dyn Ports<Alert>) -> InvokeResult {
+        self.handled.set(self.handled.get() + 1);
+        Ok(())
+    }
+    fn on_stop(&mut self) {
+        println!("    [{}] stopping", self.name);
+    }
+}
+
+fn build(mode: Mode) -> Result<(System<Alert>, std::rc::Rc<std::cell::Cell<u32>>, std::rc::Rc<std::cell::Cell<u32>>), Box<dyn std::error::Error>> {
+    let mut b = BusinessView::new("adaptive");
+    b.active_periodic("producer", "5ms")?;
+    b.passive("primary")?;
+    b.passive("backup")?;
+    b.content("producer", "ProducerImpl")?;
+    b.content("primary", "PrimaryImpl")?;
+    b.content("backup", "BackupImpl")?;
+    b.require("producer", "console", "IConsole")?;
+    b.provide("primary", "console", "IConsole")?;
+    b.provide("backup", "console", "IConsole")?;
+    b.bind_sync("producer", "console", "primary", "console")?;
+
+    let mut flow = DesignFlow::new(b);
+    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["producer"])?;
+    flow.memory_area("imm", MemoryKind::Immortal, Some(128 * 1024), &["rt", "primary", "backup"])?;
+    let arch = flow.merge()?;
+    assert!(validate(&arch).is_compliant());
+
+    let primary_count = std::rc::Rc::new(std::cell::Cell::new(0));
+    let backup_count = std::rc::Rc::new(std::cell::Cell::new(0));
+    let mut registry: ContentRegistry<Alert> = ContentRegistry::new();
+    registry.register("ProducerImpl", || Box::new(Producer::default()));
+    let p = primary_count.clone();
+    registry.register("PrimaryImpl", move || {
+        Box::new(NamedConsole { name: "primary", handled: p.clone() })
+    });
+    let bk = backup_count.clone();
+    registry.register("BackupImpl", move || {
+        Box::new(NamedConsole { name: "backup", handled: bk.clone() })
+    });
+
+    let sys = generate(&arch, mode, &registry)?;
+    Ok((sys, primary_count, backup_count))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- SOLEIL: full membrane-level adaptation ------------------------
+    println!("== SOLEIL mode ==");
+    let (mut sys, primary, backup) = build(Mode::Soleil)?;
+    let head = sys.slot_of("producer")?;
+    for _ in 0..10 {
+        sys.run_transaction(head)?;
+    }
+    println!("  before reconfiguration: primary={}, backup={}", primary.get(), backup.get());
+    let info = sys.membrane_info("producer")?;
+    println!("  producer membrane: interceptors {:?}, bound ports {:?}", info.interceptors, info.bound_ports);
+
+    println!("  ... stopping primary, rebinding producer.console -> backup ...");
+    sys.stop("primary")?;
+    sys.rebind("producer", "console", "backup")?;
+    for _ in 0..10 {
+        sys.run_transaction(head)?;
+    }
+    println!("  after reconfiguration:  primary={}, backup={}", primary.get(), backup.get());
+    assert_eq!(primary.get(), 10);
+    assert_eq!(backup.get(), 10);
+
+    // Membrane-level reconfiguration: inject a jitter monitor into the
+    // live producer membrane, observe, remove it again.
+    sys.enable_jitter_monitoring("producer")?;
+    for _ in 0..20 {
+        sys.run_transaction(head)?;
+    }
+    let gaps = sys.jitter_observations("producer")?;
+    println!(
+        "  jitter monitor installed at runtime: {} gaps, mean {:.2} us",
+        gaps.len(),
+        gaps.iter().sum::<u64>() as f64 / gaps.len().max(1) as f64 / 1000.0
+    );
+    sys.disable_jitter_monitoring("producer")?;
+    assert_eq!(backup.get(), 30);
+
+    // --- MERGE-ALL: functional level only -------------------------------
+    println!("\n== MERGE-ALL mode ==");
+    let (mut sys, primary, backup) = build(Mode::MergeAll)?;
+    let head = sys.slot_of("producer")?;
+    for _ in 0..5 {
+        sys.run_transaction(head)?;
+    }
+    match sys.membrane_info("producer") {
+        Err(FrameworkError::Unsupported(msg)) => {
+            println!("  membrane introspection refused: {msg}")
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+    sys.rebind("producer", "console", "backup")?;
+    for _ in 0..5 {
+        sys.run_transaction(head)?;
+    }
+    println!("  functional rebinding still works: primary={}, backup={}", primary.get(), backup.get());
+    assert_eq!((primary.get(), backup.get()), (5, 5));
+
+    // --- ULTRA-MERGE: purely static --------------------------------------
+    println!("\n== ULTRA-MERGE mode ==");
+    let (mut sys, primary, _backup) = build(Mode::UltraMerge)?;
+    let head = sys.slot_of("producer")?;
+    for _ in 0..5 {
+        sys.run_transaction(head)?;
+    }
+    for (what, result) in [
+        ("rebind", sys.rebind("producer", "console", "backup").err()),
+        ("stop", sys.stop("primary").err()),
+    ] {
+        match result {
+            Some(FrameworkError::Unsupported(msg)) => println!("  {what} refused: {msg}"),
+            other => panic!("expected Unsupported for {what}, got {other:?}"),
+        }
+    }
+    println!("  static system kept running: primary={}", primary.get());
+    Ok(())
+}

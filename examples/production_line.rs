@@ -1,0 +1,98 @@
+//! The paper's motivation scenario end-to-end (§2.2, Fig. 4, Fig. 7).
+//!
+//! Parses the Fig. 4 ADL, shows the design-time validation feedback
+//! (including the cross-scope pattern selected for each binding), runs the
+//! four implementations (hand-written OO + the three generation modes) and
+//! prints a miniature Fig. 7 report.
+//!
+//! ```text
+//! cargo run --release --example production_line
+//! ```
+
+use soleil::core::adl::MOTIVATION_EXAMPLE_XML;
+use soleil::generator::generate;
+use soleil::prelude::*;
+use soleil::scenario::{motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Design phase -------------------------------------------------
+    println!("=== Fig. 4 ADL ({} lines) ===", MOTIVATION_EXAMPLE_XML.lines().count());
+    let arch = motivation_architecture()?;
+    println!(
+        "parsed architecture '{}': {} components, {} bindings\n",
+        arch.name,
+        arch.components().len(),
+        arch.bindings().len()
+    );
+
+    let report = validate(&arch);
+    println!("=== design-time validation ===");
+    print!("{report}");
+    assert!(report.is_compliant());
+    println!();
+
+    // --- Execution phase: four implementations ------------------------
+    const WARMUP: usize = 500;
+    const OBS: usize = 2_000;
+    println!("=== {OBS} steady-state iterations per implementation ===");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>10}",
+        "impl", "median(us)", "jitter(us)", "consoles", "audits"
+    );
+
+    // OO baseline.
+    let probe = ScenarioProbe::new();
+    let mut oo = OoSystem::new(&probe)?;
+    let samples = measure_steady(WARMUP, OBS, || oo.run_transaction())?;
+    let s = samples.summary().expect("non-empty");
+    println!(
+        "{:<12} {:>12.2} {:>12.3} {:>10} {:>10}",
+        "OO",
+        s.median.as_micros_f64(),
+        s.jitter.as_micros_f64(),
+        probe.consoles.get(),
+        probe.audits.get()
+    );
+
+    let mut footprints = vec![oo.footprint()];
+    for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+        let probe = ScenarioProbe::new();
+        let mut sys = generate(&arch, mode, &registry_with_probe(&probe))?;
+        let head = sys.slot_of("ProductionLine")?;
+        let samples = measure_steady(WARMUP, OBS, || sys.run_transaction(head))?;
+        let s = samples.summary().expect("non-empty");
+        println!(
+            "{:<12} {:>12.2} {:>12.3} {:>10} {:>10}",
+            mode.to_string(),
+            s.median.as_micros_f64(),
+            s.jitter.as_micros_f64(),
+            probe.consoles.get(),
+            probe.audits.get()
+        );
+        footprints.push(sys.footprint());
+
+        // Membrane introspection is a SOLEIL-mode capability.
+        if mode == Mode::Soleil {
+            let info = sys.membrane_info("MonitoringSystem")?;
+            println!(
+                "             (membrane of MonitoringSystem: interceptors {:?}, ports {:?})",
+                info.interceptors, info.bound_ports
+            );
+        }
+    }
+
+    // --- Footprint (Fig. 7(c) shape) ------------------------------------
+    println!("\n=== memory footprint ===");
+    let oo_fp = footprints[0].clone();
+    for fp in &footprints {
+        println!(
+            "{:<12} app {:>6} B  framework {:>6} B  overhead vs OO {:>6} B",
+            fp.label,
+            fp.application_bytes(),
+            fp.framework_bytes,
+            fp.overhead_vs(&oo_fp)
+        );
+    }
+    println!("\n(for the full 10k-observation run: cargo run -p soleil-bench --release --bin reproduce)");
+    Ok(())
+}

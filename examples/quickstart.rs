@@ -1,0 +1,91 @@
+//! Quickstart: design → validate → generate → run, in ~60 lines.
+//!
+//! A periodic sensor streams samples to a sporadic logger through a bounded
+//! asynchronous buffer; both run in an NHRT thread domain allocated in
+//! immortal memory.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use soleil::prelude::*;
+
+/// The message type flowing through the system.
+#[derive(Debug, Clone, Copy, Default)]
+struct Sample {
+    seq: u64,
+    celsius: f64,
+}
+
+#[derive(Debug, Default)]
+struct Sensor {
+    seq: u64,
+}
+
+impl Content<Sample> for Sensor {
+    fn on_invoke(&mut self, port: &str, msg: &mut Sample, out: &mut dyn Ports<Sample>) -> InvokeResult {
+        assert_eq!(port, RELEASE_PORT, "periodic components release on {RELEASE_PORT}");
+        self.seq += 1;
+        msg.seq = self.seq;
+        msg.celsius = 20.0 + (self.seq % 7) as f64 * 0.1;
+        out.send("out", *msg)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Logger {
+    seen: u64,
+    hottest: f64,
+}
+
+impl Content<Sample> for Logger {
+    fn on_invoke(&mut self, _port: &str, msg: &mut Sample, _out: &mut dyn Ports<Sample>) -> InvokeResult {
+        self.seen += 1;
+        if msg.celsius > self.hottest {
+            self.hottest = msg.celsius;
+        }
+        Ok(())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Business view: pure functional architecture.
+    let mut business = BusinessView::new("thermometer");
+    business.active_periodic("sensor", "10ms")?;
+    business.active_sporadic("logger")?;
+    business.content("sensor", "SensorImpl")?;
+    business.content("logger", "LoggerImpl")?;
+    business.require("sensor", "out", "ISample")?;
+    business.provide("logger", "in", "ISample")?;
+    business.bind_async("sensor", "out", "logger", "in", 16)?;
+
+    // 2. Thread + memory management views (the real-time concerns).
+    let mut flow = DesignFlow::new(business);
+    flow.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 30, &["sensor", "logger"])?;
+    flow.memory_area("imm", MemoryKind::Immortal, Some(128 * 1024), &["nhrt"])?;
+
+    // 3. Merge and validate: RTSJ conformance checked at design time.
+    let arch = flow.merge()?;
+    let report = validate(&arch);
+    println!("validation: {report}");
+    assert!(report.is_compliant());
+
+    // 4. Generate the execution infrastructure (MERGE-ALL level) and run.
+    let mut registry = ContentRegistry::new();
+    registry.register("SensorImpl", || Box::new(Sensor::default()));
+    registry.register("LoggerImpl", || Box::new(Logger::default()));
+    let mut system = generate(&arch, Mode::MergeAll, &registry)?;
+
+    let head = system.slot_of("sensor")?;
+    for _ in 0..1000 {
+        system.run_transaction(head)?;
+    }
+
+    let stats = system.stats();
+    println!("ran {} transactions", stats.transactions);
+    println!("  activations:     {}", stats.activations);
+    println!("  async messages:  {}", stats.async_messages);
+    println!("  dropped:         {}", stats.dropped_messages);
+    println!("{}", system.footprint());
+    Ok(())
+}

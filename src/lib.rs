@@ -1,0 +1,68 @@
+//! # soleil — a component framework for RTSJ-style real-time embedded systems
+//!
+//! A Rust reproduction of *"A Component Framework for Java-based Real-Time
+//! Embedded Systems"* (Plšek, Loiret, Merle, Seinturier — ACM/IFIP/USENIX
+//! Middleware 2008). The framework lets you:
+//!
+//! 1. **Design** — describe the functional architecture in a *business
+//!    view*, then superimpose real-time concerns through *thread* and
+//!    *memory management views* ([`core::views`]), or load the paper's XML
+//!    ADL ([`core::adl`]);
+//! 2. **Validate** — check RTSJ conformance at design time
+//!    ([`mod@core::validate`]): single-parent rule, NHRT/heap isolation,
+//!    ThreadDomain uniqueness, binding legality with suggested cross-scope
+//!    patterns;
+//! 3. **Generate** — compile the validated architecture into an execution
+//!    infrastructure at one of three optimization levels
+//!    ([`generator`]): `SOLEIL` (reified membranes, fully reconfigurable),
+//!    `MERGE-ALL` (membranes merged into components) or `ULTRA-MERGE`
+//!    (one static unit);
+//! 4. **Run** — drive end-to-end transactions against a faithful RTSJ
+//!    substrate simulation ([`rtsj`]): scoped/immortal/heap memory with
+//!    dynamic assignment checks, priority-preemptive scheduling and a GC
+//!    model that never preempts `NoHeapRealtimeThread`s.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use soleil::prelude::*;
+//! use soleil::scenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let arch = scenario::motivation_architecture()?;
+//! assert!(validate(&arch).is_compliant());
+//!
+//! let mut system = soleil::generator::generate(&arch, Mode::MergeAll, &scenario::registry())?;
+//! let head = system.slot_of("ProductionLine")?;
+//! system.run_transaction(head)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The crates underneath (also usable standalone): [`rtsj`] (substrate),
+//! [`core`] (metamodel/ADL/validator), [`patterns`] (cross-scope patterns),
+//! [`membrane`] (controllers/interceptors), [`generator`] and [`runtime`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rtsj;
+pub use soleil_core as core;
+pub use soleil_generator as generator;
+pub use soleil_membrane as membrane;
+pub use soleil_patterns as patterns;
+pub use soleil_runtime as runtime;
+
+pub mod scenario;
+
+/// The most commonly used items across all layers.
+pub mod prelude {
+    pub use crate::core::prelude::*;
+    pub use crate::generator::{compile, emit_source, generate};
+    pub use crate::membrane::content::{Content, ContentRegistry, InvokeResult, Ports};
+    pub use crate::membrane::FrameworkError;
+    pub use crate::runtime::instrument::measure_steady;
+    pub use crate::runtime::system::RELEASE_PORT;
+    pub use crate::runtime::{FootprintReport, Mode, System, SystemSpec};
+    pub use rtsj::time::{AbsoluteTime, RelativeTime};
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration: ADL text → validation → generation → execution,
+//! across every generation mode, checked against the hand-written OO
+//! oracle.
+
+use soleil::core::adl::{from_xml, to_json, to_xml, MOTIVATION_EXAMPLE_XML};
+use soleil::generator::{compile, generate};
+use soleil::prelude::*;
+use soleil::scenario::{
+    motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe,
+};
+
+const MODES: [Mode; 3] = [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge];
+
+#[test]
+fn adl_to_running_system_in_every_mode() {
+    let arch = from_xml(MOTIVATION_EXAMPLE_XML).expect("fixture parses");
+    let report = validate(&arch);
+    assert!(report.is_compliant(), "{report}");
+
+    for mode in MODES {
+        let probe = ScenarioProbe::new();
+        let mut sys = generate(&arch, mode, &registry_with_probe(&probe)).expect("generates");
+        let head = sys.slot_of("ProductionLine").expect("head exists");
+        for _ in 0..100 {
+            sys.run_transaction(head).expect("transaction");
+        }
+        assert_eq!(sys.stats().transactions, 100, "{mode}");
+        assert_eq!(probe.audits.get(), 100, "{mode}: every measurement audited");
+        assert_eq!(probe.consoles.get(), 10, "{mode}: every 10th is anomalous");
+        assert_eq!(sys.stats().dropped_messages, 0, "{mode}");
+    }
+}
+
+#[test]
+fn all_implementations_agree_with_oo_oracle() {
+    const N: usize = 200;
+    let oo_probe = ScenarioProbe::new();
+    let mut oo = OoSystem::new(&oo_probe).expect("baseline builds");
+    for _ in 0..N {
+        oo.run_transaction().expect("oo transaction");
+    }
+
+    let arch = motivation_architecture().expect("fixture parses");
+    for mode in MODES {
+        let probe = ScenarioProbe::new();
+        let mut sys = generate(&arch, mode, &registry_with_probe(&probe)).expect("generates");
+        let head = sys.slot_of("ProductionLine").expect("head exists");
+        for _ in 0..N {
+            sys.run_transaction(head).expect("transaction");
+        }
+        assert_eq!(probe.audits.get(), oo_probe.audits.get(), "{mode}");
+        assert_eq!(probe.consoles.get(), oo_probe.consoles.get(), "{mode}");
+        let delta = (probe.value_sum.get() - oo_probe.value_sum.get()).abs();
+        assert!(delta < 1e-9, "{mode}: functional fingerprint drifted by {delta}");
+    }
+}
+
+#[test]
+fn serialization_forms_are_interchangeable() {
+    let arch = motivation_architecture().expect("fixture parses");
+    // XML round trip, then JSON round trip, still generates and runs.
+    let xml = to_xml(&arch);
+    let from_xml_again = from_xml(&xml).expect("roundtrips");
+    let json = to_json(&from_xml_again);
+    let restored = soleil::core::adl::from_json(&json).expect("json roundtrips");
+
+    let probe = ScenarioProbe::new();
+    let mut sys =
+        generate(&restored, Mode::MergeAll, &registry_with_probe(&probe)).expect("generates");
+    let head = sys.slot_of("ProductionLine").expect("head exists");
+    for _ in 0..30 {
+        sys.run_transaction(head).expect("transaction");
+    }
+    assert_eq!(probe.audits.get(), 30);
+}
+
+#[test]
+fn footprint_shape_matches_fig7c() {
+    let arch = motivation_architecture().expect("fixture parses");
+    let mut totals = Vec::new();
+    for mode in MODES {
+        let probe = ScenarioProbe::new();
+        let sys = generate(&arch, mode, &registry_with_probe(&probe)).expect("generates");
+        totals.push((mode, sys.footprint().framework_bytes));
+    }
+    assert!(
+        totals[0].1 > 4 * totals[1].1,
+        "SOLEIL ({} B) should dwarf MERGE-ALL ({} B)",
+        totals[0].1,
+        totals[1].1
+    );
+    assert!(
+        totals[1].1 > totals[2].1,
+        "MERGE-ALL ({} B) should exceed ULTRA-MERGE ({} B)",
+        totals[1].1,
+        totals[2].1
+    );
+}
+
+#[test]
+fn engine_counters_are_exact() {
+    let arch = motivation_architecture().expect("fixture parses");
+    let probe = ScenarioProbe::new();
+    let mut sys =
+        generate(&arch, Mode::Soleil, &registry_with_probe(&probe)).expect("generates");
+    let head = sys.slot_of("ProductionLine").expect("head exists");
+    for _ in 0..50 {
+        sys.run_transaction(head).expect("transaction");
+    }
+    let st = sys.stats();
+    // Per transaction: 3 activations (ProductionLine, MonitoringSystem, AuditLog).
+    assert_eq!(st.activations, 150);
+    // Two async messages per transaction.
+    assert_eq!(st.async_messages, 100);
+    // One sync console call per anomaly (every 10th).
+    assert_eq!(st.sync_calls, 5);
+}
+
+#[test]
+fn shutdown_reclaims_scoped_memory_in_all_modes() {
+    let arch = motivation_architecture().expect("fixture parses");
+    for mode in MODES {
+        let probe = ScenarioProbe::new();
+        let mut sys = generate(&arch, mode, &registry_with_probe(&probe)).expect("generates");
+        let s1 = sys.memory().area_by_name("S1").expect("console scope exists");
+        assert!(sys.memory().stats(s1).expect("stats").consumed > 0);
+        sys.shutdown().expect("shutdown");
+        assert_eq!(sys.memory().stats(s1).expect("stats").consumed, 0, "{mode}");
+    }
+}
+
+#[test]
+fn compile_is_deterministic() {
+    let arch = motivation_architecture().expect("fixture parses");
+    let a = compile(&arch).expect("compiles");
+    let b = compile(&arch).expect("compiles");
+    assert_eq!(a, b, "same architecture must compile to the same spec");
+}

@@ -1,0 +1,204 @@
+//! Framework-level RTSJ memory semantics: the generated infrastructure
+//! must inherit every substrate guarantee — no layer may launder an
+//! illegal memory operation.
+
+use soleil::generator::generate;
+use soleil::prelude::*;
+use std::cell::Cell;
+use std::rc::Rc;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Msg {
+    hops: u32,
+}
+
+#[derive(Debug, Default)]
+struct Head;
+impl Content<Msg> for Head {
+    fn on_invoke(&mut self, _p: &str, msg: &mut Msg, out: &mut dyn Ports<Msg>) -> InvokeResult {
+        msg.hops += 1;
+        out.send("out", *msg)
+    }
+}
+
+#[derive(Debug)]
+struct Tail {
+    seen: Rc<Cell<u32>>,
+}
+impl Content<Msg> for Tail {
+    fn on_invoke(&mut self, _p: &str, msg: &mut Msg, _out: &mut dyn Ports<Msg>) -> InvokeResult {
+        msg.hops += 1;
+        self.seen.set(self.seen.get() + msg.hops);
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct SyncCaller;
+impl Content<Msg> for SyncCaller {
+    fn on_invoke(&mut self, _p: &str, msg: &mut Msg, out: &mut dyn Ports<Msg>) -> InvokeResult {
+        msg.hops += 1;
+        out.call("svc", msg)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Svc;
+impl Content<Msg> for Svc {
+    fn on_invoke(&mut self, _p: &str, msg: &mut Msg, _out: &mut dyn Ports<Msg>) -> InvokeResult {
+        msg.hops += 1;
+        Ok(())
+    }
+}
+
+fn registry(seen: &Rc<Cell<u32>>) -> ContentRegistry<Msg> {
+    let mut r = ContentRegistry::new();
+    r.register("Head", || Box::new(Head));
+    let s = seen.clone();
+    r.register("Tail", move || Box::new(Tail { seen: s.clone() }));
+    r.register("SyncCaller", || Box::new(SyncCaller));
+    r.register("Svc", || Box::new(Svc));
+    r
+}
+
+/// Sibling scoped areas with a synchronous binding: the generated memory
+/// interceptor must use the handoff (deep copy) pattern — and the copy must
+/// actually isolate the two scopes.
+#[test]
+fn sibling_scopes_use_handoff() {
+    let mut b = BusinessView::new("siblings");
+    b.active_sporadic("caller").unwrap();
+    b.passive("svc").unwrap();
+    b.content("caller", "SyncCaller").unwrap();
+    b.content("svc", "Svc").unwrap();
+    b.provide("caller", "trigger", "ITrigger").unwrap();
+    b.require("caller", "svc", "ISvc").unwrap();
+    b.provide("svc", "svc", "ISvc").unwrap();
+    b.bind_sync("caller", "svc", "svc", "svc").unwrap();
+    let mut flow = DesignFlow::new(b);
+    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["caller"]).unwrap();
+    flow.memory_area("s1", MemoryKind::Scoped, Some(16 * 1024), &["caller", "rt"]).unwrap();
+    flow.memory_area("s2", MemoryKind::Scoped, Some(16 * 1024), &["svc"]).unwrap();
+    let arch = flow.merge().unwrap();
+    let report = validate(&arch);
+    assert!(report.is_compliant(), "{report}");
+    assert!(
+        report
+            .by_code("SOL-007")
+            .any(|d| d.message.contains("handoff-through-parent")),
+        "{report}"
+    );
+
+    let seen = Rc::new(Cell::new(0));
+    let mut sys = generate(&arch, Mode::MergeAll, &registry(&seen)).expect("generates");
+    // Inject a message at the caller: hops = 1 (caller) + 1 (svc, on the
+    // copy) and the copy is written back.
+    sys.inject("caller", "trigger", Msg::default()).expect("runs");
+    assert_eq!(sys.stats().transactions, 1);
+}
+
+/// An async binding whose producer is NHRT must get its buffer placed in
+/// immortal memory automatically — and the pipeline must run.
+#[test]
+fn nhrt_async_buffers_are_placed_in_immortal() {
+    let mut b = BusinessView::new("nhrt-to-heap");
+    b.active_periodic("head", "10ms").unwrap();
+    b.active_sporadic("tail").unwrap();
+    b.content("head", "Head").unwrap();
+    b.content("tail", "Tail").unwrap();
+    b.require("head", "out", "I").unwrap();
+    b.provide("tail", "in", "I").unwrap();
+    b.bind_async("head", "out", "tail", "in", 4).unwrap();
+    let mut flow = DesignFlow::new(b);
+    flow.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 30, &["head"]).unwrap();
+    flow.thread_domain("reg", ThreadKind::Regular, 5, &["tail"]).unwrap();
+    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["nhrt"]).unwrap();
+    flow.memory_area("h", MemoryKind::Heap, None, &["reg"]).unwrap();
+    let arch = flow.merge().unwrap();
+    assert!(validate(&arch).is_compliant());
+
+    let spec = soleil::generator::compile(&arch).expect("compiles");
+    use soleil::runtime::spec::{BufferPlacement, ProtocolSpec};
+    let ProtocolSpec::Async { placement, .. } = spec.bindings[0].protocol else {
+        panic!("async binding expected");
+    };
+    assert_eq!(placement, BufferPlacement::Immortal);
+
+    let seen = Rc::new(Cell::new(0));
+    let mut sys = generate(&arch, Mode::MergeAll, &registry(&seen)).expect("generates");
+    let head = sys.slot_of("head").expect("head");
+    for _ in 0..10 {
+        sys.run_transaction(head).expect("txn");
+    }
+    assert_eq!(seen.get(), 20, "hops: head(1) + tail(2) summed per txn");
+}
+
+/// Heap-to-heap regular pipelines keep their buffer on the heap, and heap
+/// consumption reflects the buffer.
+#[test]
+fn heap_buffers_counted_in_heap_area() {
+    let mut b = BusinessView::new("heapish");
+    b.active_periodic("head", "10ms").unwrap();
+    b.active_sporadic("tail").unwrap();
+    b.content("head", "Head").unwrap();
+    b.content("tail", "Tail").unwrap();
+    b.require("head", "out", "I").unwrap();
+    b.provide("tail", "in", "I").unwrap();
+    b.bind_async("head", "out", "tail", "in", 16).unwrap();
+    let mut flow = DesignFlow::new(b);
+    flow.thread_domain("reg", ThreadKind::Regular, 5, &["head", "tail"]).unwrap();
+    flow.memory_area("h", MemoryKind::Heap, None, &["reg"]).unwrap();
+    let arch = flow.merge().unwrap();
+
+    let seen = Rc::new(Cell::new(0));
+    let sys = generate(&arch, Mode::MergeAll, &registry(&seen)).expect("generates");
+    let heap_stats = sys
+        .memory()
+        .stats(rtsj::memory::AreaId::HEAP)
+        .expect("heap stats");
+    assert!(
+        heap_stats.consumed > 16 * std::mem::size_of::<Msg>(),
+        "buffer backing store charged to the heap: {} B",
+        heap_stats.consumed
+    );
+}
+
+/// The substrate's single-parent rule survives the framework: two scoped
+/// areas nested in the architecture produce a scope tree whose parent
+/// chain matches, and shutdown unwinds it cleanly.
+#[test]
+fn nested_scopes_bootstrap_and_teardown() {
+    let mut b = BusinessView::new("nested");
+    b.active_sporadic("worker").unwrap();
+    b.passive("inner-svc").unwrap();
+    b.content("worker", "SyncCaller").unwrap();
+    b.content("inner-svc", "Svc").unwrap();
+    b.provide("worker", "trigger", "ITrigger").unwrap();
+    b.require("worker", "svc", "I").unwrap();
+    b.provide("inner-svc", "svc", "I").unwrap();
+    b.bind_sync("worker", "svc", "inner-svc", "svc").unwrap();
+    let mut flow = DesignFlow::new(b);
+    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["worker"]).unwrap();
+    flow.memory_area("outer", MemoryKind::Scoped, Some(32 * 1024), &["worker", "rt"]).unwrap();
+    flow.memory_area("inner", MemoryKind::Scoped, Some(8 * 1024), &["inner-svc"]).unwrap();
+    let mut arch = flow.merge().unwrap();
+    let outer = arch.id_of("outer").unwrap();
+    let inner = arch.id_of("inner").unwrap();
+    arch.add_child(outer, inner).unwrap();
+    assert!(validate(&arch).is_compliant());
+
+    let seen = Rc::new(Cell::new(0));
+    let mut sys = generate(&arch, Mode::MergeAll, &registry(&seen)).expect("generates");
+    let mm = sys.memory();
+    let outer_id = mm.area_by_name("outer").expect("outer exists");
+    let inner_id = mm.area_by_name("inner").expect("inner exists");
+    assert_eq!(
+        mm.parent_of(inner_id).expect("query"),
+        Some(outer_id),
+        "architecture nesting became substrate nesting"
+    );
+    sys.inject("worker", "trigger", Msg::default()).expect("runs");
+    sys.shutdown().expect("teardown");
+    assert_eq!(sys.memory().stats(inner_id).expect("stats").consumed, 0);
+    assert_eq!(sys.memory().stats(outer_id).expect("stats").consumed, 0);
+}

@@ -1,0 +1,192 @@
+//! Property tests over randomly generated architectures: the validator,
+//! generator and engine must agree everywhere in the design space.
+
+use proptest::prelude::*;
+use soleil::generator::{compile, generate, GeneratorError};
+use soleil::prelude::*;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A randomly deployable pipeline: a periodic head and a chain of sporadic
+/// stages, each assigned a thread class and a memory region.
+#[derive(Debug, Clone)]
+struct PipelinePlan {
+    stages: Vec<StagePlan>,
+    buffer: usize,
+}
+
+#[derive(Debug, Clone)]
+struct StagePlan {
+    thread: u8, // 0 = NHRT, 1 = RT, 2 = Regular
+    memory: u8, // 0 = immortal, 1 = heap, 2 = scoped
+}
+
+fn plan_strategy() -> impl Strategy<Value = PipelinePlan> {
+    (
+        proptest::collection::vec((0u8..3, 0u8..3).prop_map(|(thread, memory)| StagePlan { thread, memory }), 1..5),
+        1usize..12,
+    )
+        .prop_map(|(stages, buffer)| PipelinePlan { stages, buffer })
+}
+
+fn build_arch(plan: &PipelinePlan) -> Architecture {
+    let mut b = BusinessView::new("random-pipeline");
+    b.active_periodic("stage0", "10ms").unwrap();
+    b.content("stage0", "Relay").unwrap();
+    for i in 1..=plan.stages.len() {
+        let name = format!("stage{i}");
+        b.active_sporadic(&name).unwrap();
+        b.content(&name, if i == plan.stages.len() { "Sink" } else { "Relay" })
+            .unwrap();
+    }
+    for i in 0..plan.stages.len() {
+        let (from, to) = (format!("stage{i}"), format!("stage{}", i + 1));
+        b.require(&from, "out", "I").unwrap();
+        b.provide(&to, "in", "I").unwrap();
+        b.bind_async(&from, "out", &to, "in", plan.buffer).unwrap();
+    }
+
+    let mut flow = DesignFlow::new(b);
+    // stage0 gets the first stage's deployment too (head shares stage[0]).
+    for (i, stage) in plan.stages.iter().enumerate() {
+        let comp = format!("stage{}", i + 1);
+        let (kind, prio) = match stage.thread {
+            0 => (ThreadKind::NoHeapRealtime, 30),
+            1 => (ThreadKind::Realtime, 25),
+            _ => (ThreadKind::Regular, 5),
+        };
+        flow.thread_domain(&format!("d{i}"), kind, prio, &[comp.as_str()]).unwrap();
+        match stage.memory {
+            0 => flow
+                .memory_area(&format!("m{i}"), MemoryKind::Immortal, Some(128 * 1024), &[&format!("d{i}")])
+                .unwrap(),
+            1 => flow
+                .memory_area(&format!("m{i}"), MemoryKind::Heap, None, &[&format!("d{i}")])
+                .unwrap(),
+            _ => flow
+                .memory_area(&format!("m{i}"), MemoryKind::Scoped, Some(128 * 1024), &[&format!("d{i}")])
+                .unwrap(),
+        }
+    }
+    // The head runs NHRT in immortal, always legal.
+    flow.thread_domain("dhead", ThreadKind::NoHeapRealtime, 35, &["stage0"]).unwrap();
+    flow.memory_area("mhead", MemoryKind::Immortal, Some(128 * 1024), &["dhead"]).unwrap();
+    flow.merge().unwrap()
+}
+
+fn registry(seen: &Rc<Cell<u64>>) -> ContentRegistry<u64> {
+    let mut r = ContentRegistry::new();
+    r.register("Relay", || {
+        #[derive(Debug, Default)]
+        struct Relay;
+        impl Content<u64> for Relay {
+            fn on_invoke(&mut self, _p: &str, msg: &mut u64, out: &mut dyn Ports<u64>) -> InvokeResult {
+                *msg += 1;
+                out.send("out", *msg)
+            }
+        }
+        Box::new(Relay)
+    });
+    let s = seen.clone();
+    r.register("Sink", move || {
+        #[derive(Debug)]
+        struct Sink(Rc<Cell<u64>>);
+        impl Content<u64> for Sink {
+            fn on_invoke(&mut self, _p: &str, msg: &mut u64, _out: &mut dyn Ports<u64>) -> InvokeResult {
+                *msg += 1;
+                self.0.set(self.0.get() + 1);
+                Ok(())
+            }
+        }
+        Box::new(Sink(s.clone()))
+    });
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Validator/generator agreement: `compile` succeeds iff `validate`
+    /// is compliant (modulo content classes, which are always present
+    /// here).
+    #[test]
+    fn generator_refuses_exactly_what_validator_rejects(plan in plan_strategy()) {
+        let arch = build_arch(&plan);
+        let compliant = validate(&arch).is_compliant();
+        match compile(&arch) {
+            Ok(_) => prop_assert!(compliant, "generator accepted a non-compliant architecture"),
+            Err(GeneratorError::Validation(report)) => {
+                prop_assert!(!compliant);
+                prop_assert!(!report.is_compliant());
+            }
+            Err(other) => prop_assert!(false, "unexpected generator error: {other}"),
+        }
+    }
+
+    /// Message conservation: on compliant pipelines every transaction
+    /// delivers exactly one message to the sink — in every mode, with
+    /// identical results.
+    #[test]
+    fn compliant_pipelines_conserve_messages(plan in plan_strategy()) {
+        let arch = build_arch(&plan);
+        prop_assume!(validate(&arch).is_compliant());
+        let n = 25u64;
+        let mut per_mode = Vec::new();
+        for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+            let seen = Rc::new(Cell::new(0));
+            let mut sys = generate(&arch, mode, &registry(&seen)).expect("generates");
+            let head = sys.slot_of("stage0").expect("head");
+            for _ in 0..n {
+                sys.run_transaction(head).expect("transaction");
+            }
+            prop_assert_eq!(seen.get(), n, "sink saw every message ({})", mode);
+            prop_assert_eq!(sys.stats().dropped_messages, 0);
+            per_mode.push(sys.stats().async_messages);
+        }
+        // Async message counts agree across modes.
+        prop_assert!(per_mode.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Footprint ordering holds across the whole design space: reified
+    /// membranes always cost more than merged slots, which cost more than
+    /// the flat table.
+    #[test]
+    fn footprint_ordering_universal(plan in plan_strategy()) {
+        let arch = build_arch(&plan);
+        prop_assume!(validate(&arch).is_compliant());
+        let seen = Rc::new(Cell::new(0));
+        let soleil = generate(&arch, Mode::Soleil, &registry(&seen)).expect("builds").footprint();
+        let merged = generate(&arch, Mode::MergeAll, &registry(&seen)).expect("builds").footprint();
+        let ultra = generate(&arch, Mode::UltraMerge, &registry(&seen)).expect("builds").footprint();
+        prop_assert!(soleil.framework_bytes > merged.framework_bytes);
+        prop_assert!(merged.framework_bytes >= ultra.framework_bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ADL round trip on randomized pipelines: to_xml . from_xml preserves
+    /// structure (names, kinds, binding count, memberships).
+    #[test]
+    fn adl_roundtrip_random_architectures(plan in plan_strategy()) {
+        let arch = build_arch(&plan);
+        let xml = soleil::core::adl::to_xml(&arch);
+        let back = soleil::core::adl::from_xml(&xml).expect("roundtrip parses");
+        prop_assert_eq!(back.components().len(), arch.components().len());
+        prop_assert_eq!(back.bindings().len(), arch.bindings().len());
+        for c in arch.components() {
+            let bc = back.by_name(&c.name).expect("component preserved");
+            prop_assert_eq!(&bc.kind, &c.kind);
+            let mut pa: Vec<String> = arch.parents_of(c.id()).iter()
+                .map(|&p| arch.component(p).expect("parent").name.clone()).collect();
+            let mut pb: Vec<String> = back.parents_of(bc.id()).iter()
+                .map(|&p| back.component(p).expect("parent").name.clone()).collect();
+            pa.sort();
+            pb.sort();
+            prop_assert_eq!(pa, pb);
+        }
+        // Validation verdict is serialization-invariant.
+        prop_assert_eq!(validate(&back).is_compliant(), validate(&arch).is_compliant());
+    }
+}

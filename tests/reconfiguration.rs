@@ -1,0 +1,223 @@
+//! The dynamic-adaptation capability matrix (§4.2 / §4.3): what each
+//! generation mode allows at runtime, exercised through the public API.
+//!
+//! | capability | SOLEIL | MERGE-ALL | ULTRA-MERGE |
+//! |---|---|---|---|
+//! | membrane introspection | yes | no | no |
+//! | lifecycle stop/start | yes | yes | no |
+//! | rebind sync client port | yes | yes | no |
+//! | reified deployment spec | yes | no | no |
+
+use soleil::generator::generate;
+use soleil::prelude::*;
+use std::cell::Cell;
+use std::rc::Rc;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Ping;
+
+#[derive(Debug, Default)]
+struct Caller;
+impl Content<Ping> for Caller {
+    fn on_invoke(&mut self, _p: &str, msg: &mut Ping, out: &mut dyn Ports<Ping>) -> InvokeResult {
+        out.call("svc", msg)
+    }
+}
+
+#[derive(Debug)]
+struct Counter(Rc<Cell<u32>>);
+impl Content<Ping> for Counter {
+    fn on_invoke(&mut self, _p: &str, _m: &mut Ping, _o: &mut dyn Ports<Ping>) -> InvokeResult {
+        self.0.set(self.0.get() + 1);
+        Ok(())
+    }
+}
+
+struct Fixture {
+    sys: System<Ping>,
+    a: Rc<Cell<u32>>,
+    b: Rc<Cell<u32>>,
+}
+
+fn fixture(mode: Mode) -> Fixture {
+    let mut bv = BusinessView::new("matrix");
+    bv.active_periodic("caller", "5ms").unwrap();
+    bv.passive("svc-a").unwrap();
+    bv.passive("svc-b").unwrap();
+    bv.content("caller", "Caller").unwrap();
+    bv.content("svc-a", "A").unwrap();
+    bv.content("svc-b", "B").unwrap();
+    bv.require("caller", "svc", "ISvc").unwrap();
+    bv.provide("svc-a", "svc", "ISvc").unwrap();
+    bv.provide("svc-b", "svc", "ISvc").unwrap();
+    bv.bind_sync("caller", "svc", "svc-a", "svc").unwrap();
+    let mut flow = DesignFlow::new(bv);
+    flow.thread_domain("rt", ThreadKind::Realtime, 22, &["caller"]).unwrap();
+    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt", "svc-a", "svc-b"])
+        .unwrap();
+    let arch = flow.merge().unwrap();
+    assert!(validate(&arch).is_compliant());
+
+    let a = Rc::new(Cell::new(0));
+    let b = Rc::new(Cell::new(0));
+    let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
+    registry.register("Caller", || Box::new(Caller));
+    let ac = a.clone();
+    registry.register("A", move || Box::new(Counter(ac.clone())));
+    let bc = b.clone();
+    registry.register("B", move || Box::new(Counter(bc.clone())));
+    let sys = generate(&arch, mode, &registry).unwrap();
+    Fixture { sys, a, b }
+}
+
+#[test]
+fn soleil_full_matrix() {
+    let Fixture { mut sys, a, b } = fixture(Mode::Soleil);
+    let head = sys.slot_of("caller").unwrap();
+
+    // Introspection available.
+    let info = sys.membrane_info("caller").unwrap();
+    assert!(info.started);
+    assert_eq!(info.bound_ports, vec!["svc".to_string()]);
+    assert!(sys.reified_spec().is_some());
+
+    sys.run_transaction(head).unwrap();
+    assert_eq!((a.get(), b.get()), (1, 0));
+
+    // Rebind redirects; lifecycle stop blocks.
+    sys.rebind("caller", "svc", "svc-b").unwrap();
+    sys.run_transaction(head).unwrap();
+    assert_eq!((a.get(), b.get()), (1, 1));
+
+    sys.stop("caller").unwrap();
+    assert!(sys.run_transaction(head).is_err());
+    sys.start("caller").unwrap();
+    sys.run_transaction(head).unwrap();
+    assert_eq!((a.get(), b.get()), (1, 2));
+}
+
+#[test]
+fn merge_all_functional_level_only() {
+    let Fixture { mut sys, a, b } = fixture(Mode::MergeAll);
+    let head = sys.slot_of("caller").unwrap();
+
+    assert!(matches!(
+        sys.membrane_info("caller"),
+        Err(FrameworkError::Unsupported(_))
+    ));
+    assert!(sys.reified_spec().is_none());
+
+    // Functional-level reconfiguration still works.
+    sys.run_transaction(head).unwrap();
+    sys.rebind("caller", "svc", "svc-b").unwrap();
+    sys.run_transaction(head).unwrap();
+    assert_eq!((a.get(), b.get()), (1, 1));
+
+    sys.stop("caller").unwrap();
+    assert!(matches!(
+        sys.run_transaction(head),
+        Err(FrameworkError::Lifecycle(_))
+    ));
+    sys.start("caller").unwrap();
+}
+
+#[test]
+fn ultra_merge_is_static() {
+    let Fixture { mut sys, a, b } = fixture(Mode::UltraMerge);
+    let head = sys.slot_of("caller").unwrap();
+    sys.run_transaction(head).unwrap();
+    assert_eq!((a.get(), b.get()), (1, 0));
+
+    for err in [
+        sys.rebind("caller", "svc", "svc-b").unwrap_err(),
+        sys.stop("caller").unwrap_err(),
+        sys.start("caller").unwrap_err(),
+        sys.membrane_info("caller").unwrap_err(),
+    ] {
+        assert!(matches!(err, FrameworkError::Unsupported(_)), "got {err}");
+    }
+    // Still runs, unchanged.
+    sys.run_transaction(head).unwrap();
+    assert_eq!((a.get(), b.get()), (2, 0));
+}
+
+#[test]
+fn rebinding_async_ports_is_refused() {
+    let mut bv = BusinessView::new("async-rebind");
+    bv.active_periodic("p", "5ms").unwrap();
+    bv.active_sporadic("c1").unwrap();
+    bv.active_sporadic("c2").unwrap();
+    bv.content("p", "Caller").unwrap();
+    bv.content("c1", "A").unwrap();
+    bv.content("c2", "B").unwrap();
+    bv.require("p", "svc", "I").unwrap();
+    bv.provide("c1", "svc", "I").unwrap();
+    bv.provide("c2", "svc", "I").unwrap();
+    bv.bind_async("p", "svc", "c1", "svc", 4).unwrap();
+    let mut flow = DesignFlow::new(bv);
+    flow.thread_domain("rt", ThreadKind::Realtime, 22, &["p", "c1", "c2"]).unwrap();
+    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt"]).unwrap();
+    let arch = flow.merge().unwrap();
+
+    let a = Rc::new(Cell::new(0));
+    let b = Rc::new(Cell::new(0));
+    let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
+    registry.register("Caller", || Box::new(Caller));
+    let ac = a.clone();
+    registry.register("A", move || Box::new(Counter(ac.clone())));
+    let bc = b.clone();
+    registry.register("B", move || Box::new(Counter(bc.clone())));
+
+    for mode in [Mode::Soleil, Mode::MergeAll] {
+        let mut sys = generate(&arch, mode, &registry).unwrap();
+        let err = sys.rebind("p", "svc", "c2").unwrap_err();
+        assert!(matches!(err, FrameworkError::Binding(_)), "{mode}: {err}");
+    }
+}
+
+#[test]
+fn rebind_recomputes_cross_scope_pattern() {
+    // caller in immortal; svc-a in immortal; svc-b in a scoped area.
+    let mut bv = BusinessView::new("pattern-rebind");
+    bv.active_periodic("caller", "5ms").unwrap();
+    bv.passive("svc-a").unwrap();
+    bv.passive("svc-b").unwrap();
+    bv.content("caller", "Caller").unwrap();
+    bv.content("svc-a", "A").unwrap();
+    bv.content("svc-b", "B").unwrap();
+    bv.require("caller", "svc", "ISvc").unwrap();
+    bv.provide("svc-a", "svc", "ISvc").unwrap();
+    bv.provide("svc-b", "svc", "ISvc").unwrap();
+    bv.bind_sync("caller", "svc", "svc-a", "svc").unwrap();
+    let mut flow = DesignFlow::new(bv);
+    flow.thread_domain("rt", ThreadKind::Realtime, 22, &["caller"]).unwrap();
+    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt", "svc-a"]).unwrap();
+    flow.memory_area("scope-b", MemoryKind::Scoped, Some(16 * 1024), &["svc-b"]).unwrap();
+    let arch = flow.merge().unwrap();
+
+    let a = Rc::new(Cell::new(0));
+    let b = Rc::new(Cell::new(0));
+    let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
+    registry.register("Caller", || Box::new(Caller));
+    let ac = a.clone();
+    registry.register("A", move || Box::new(Counter(ac.clone())));
+    let bc = b.clone();
+    registry.register("B", move || Box::new(Counter(bc.clone())));
+
+    for mode in [Mode::Soleil, Mode::MergeAll] {
+        let mut sys = generate(&arch, mode, &registry).unwrap();
+        let head = sys.slot_of("caller").unwrap();
+        sys.run_transaction(head).unwrap();
+        // Rebind into the scoped service: the engine must now enter the
+        // scope on each call (enter-inner recomputed at rebind time).
+        sys.rebind("caller", "svc", "svc-b").unwrap();
+        sys.run_transaction(head).unwrap();
+        sys.run_transaction(head).unwrap();
+        assert_eq!(b.get() % 2, 0, "{mode}: scoped service reached twice");
+        let scope = sys.memory().area_by_name("scope-b").unwrap();
+        // The wedge pin keeps it alive; entry counting stayed balanced.
+        assert_eq!(sys.memory().enter_count(scope).unwrap(), 1, "{mode}");
+        a.set(0);
+        b.set(0);
+    }
+}
