@@ -57,7 +57,9 @@ fn bench_substrate_ops(c: &mut Criterion) {
     });
 
     let ctx2 = mm.context(ThreadKind::Realtime);
-    let handle = mm.alloc(&ctx2, rtsj::memory::AreaId::IMMORTAL, 7u64).expect("alloc");
+    let handle = mm
+        .alloc(&ctx2, rtsj::memory::AreaId::IMMORTAL, 7u64)
+        .expect("alloc");
     group.bench_function("handle_deref", |b| {
         b.iter(|| *mm.get(&ctx2, handle).expect("valid handle"));
     });
@@ -71,5 +73,10 @@ fn bench_substrate_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_design_time, bench_generation, bench_substrate_ops);
+criterion_group!(
+    benches,
+    bench_design_time,
+    bench_generation,
+    bench_substrate_ops
+);
 criterion_main!(benches);

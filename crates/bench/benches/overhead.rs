@@ -20,8 +20,7 @@ fn bench_transaction(c: &mut Criterion) {
     let arch = motivation_architecture().expect("fixture parses");
     for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
         let probe = ScenarioProbe::new();
-        let mut sys =
-            generate(&arch, mode, &registry_with_probe(&probe)).expect("system builds");
+        let mut sys = generate(&arch, mode, &registry_with_probe(&probe)).expect("system builds");
         let head = sys.slot_of("ProductionLine").expect("head exists");
         group.bench_function(mode.to_string(), |b| {
             b.iter(|| sys.run_transaction(head).expect("transaction"));

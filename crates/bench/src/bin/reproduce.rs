@@ -9,9 +9,10 @@
 //! (E5), `all` (default). Raw observation CSVs are written to
 //! `target/experiments/`.
 
-use std::error::Error;
 use std::fs;
 use std::path::Path;
+
+use soleil::SoleilError;
 
 use soleil_bench::{
     codegen_table, determinism_table, fig7a_report, fig7b_table, fig7c_table, run_codegen,
@@ -21,7 +22,7 @@ use soleil_bench::{
 const OBSERVATIONS: usize = 10_000;
 const WARMUP: usize = 2_000;
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> Result<(), SoleilError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
     let out_dir = Path::new("target/experiments");
@@ -31,7 +32,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut ran = false;
 
     if wants("fig7a") || wants("fig7b") {
-        eprintln!("running overhead benchmark ({OBSERVATIONS} observations x 4 implementations)...");
+        eprintln!(
+            "running overhead benchmark ({OBSERVATIONS} observations x 4 implementations)..."
+        );
         let rows = run_overhead(WARMUP, OBSERVATIONS)?;
         if wants("fig7a") {
             let report = fig7a_report(&rows, 24);

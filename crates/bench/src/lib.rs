@@ -17,7 +17,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::error::Error;
 use std::fmt::Write as _;
 
 use rtsj::gc::GcConfig;
@@ -27,12 +26,11 @@ use soleil::generator::{compile, emit_source, generate};
 use soleil::prelude::*;
 use soleil::runtime::instrument::{measure_steady, LatencySamples};
 use soleil::runtime::sim::{deploy, SimCosts, SimOptions};
-use soleil::scenario::{
-    motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe,
-};
+use soleil::scenario::{motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe};
 
-/// Convenience alias for harness results.
-pub type HarnessResult<T> = Result<T, Box<dyn Error>>;
+/// Convenience alias for harness results: every layer's failure converts
+/// into the unified [`SoleilError`].
+pub type HarnessResult<T> = SoleilResult<T>;
 
 /// Latency samples for one implementation of the scenario.
 #[derive(Debug, Clone)]
@@ -97,7 +95,11 @@ pub fn fig7a_report(rows: &[OverheadRow], buckets: usize) -> String {
 pub fn fig7b_table(rows: &[OverheadRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 7(b) — execution time median and jitter");
-    let _ = writeln!(out, "{:<12} {:>12} {:>12} {:>12}", "impl", "median(us)", "jitter(us)", "max(us)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>12}",
+        "impl", "median(us)", "jitter(us)", "max(us)"
+    );
     let baseline = rows
         .first()
         .and_then(|r| r.samples.summary())
@@ -113,7 +115,11 @@ pub fn fig7b_table(rows: &[OverheadRow]) -> String {
                 s.max.as_micros_f64()
             );
             if let Some(b) = baseline {
-                let _ = writeln!(out, "   ({:+.1}% vs OO)", (s.median.as_micros_f64() / b - 1.0) * 100.0);
+                let _ = writeln!(
+                    out,
+                    "   ({:+.1}% vs OO)",
+                    (s.median.as_micros_f64() / b - 1.0) * 100.0
+                );
             } else {
                 let _ = writeln!(out);
             }
@@ -294,11 +300,11 @@ pub fn run_determinism(horizon_ms: u64) -> HarnessResult<Vec<DeterminismRow>> {
             let task = *d
                 .tasks
                 .get(stage)
-                .ok_or_else(|| format!("stage '{stage}' not deployed"))?;
+                .ok_or_else(|| SoleilError::Framework(format!("stage '{stage}' not deployed")))?;
             let stats = d.simulator.stats(task)?;
             let summary = stats
                 .response_summary()
-                .ok_or("stage completed no jobs")?;
+                .ok_or_else(|| SoleilError::Framework("stage completed no jobs".into()))?;
             rows.push(DeterminismRow {
                 label: label.to_string(),
                 stage: stage.to_string(),
@@ -381,7 +387,9 @@ pub fn build_relay_pipeline(
     struct Relay;
     impl Content<u64> for Relay {
         fn on_invoke(&mut self, _p: &str, msg: &mut u64, out: &mut dyn Ports<u64>) -> InvokeResult {
-            *msg = msg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *msg = msg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             match out.send("out", *msg) {
                 Ok(()) => Ok(()),
                 // The tail stage has no outgoing binding.
@@ -472,15 +480,29 @@ mod tests {
         let rows = run_determinism(1_000).unwrap();
         assert_eq!(rows.len(), 4);
         let nhrt: Vec<_> = rows.iter().filter(|r| r.label.contains("NHRT")).collect();
-        let reg: Vec<_> = rows.iter().filter(|r| r.label.contains("Regular")).collect();
+        let reg: Vec<_> = rows
+            .iter()
+            .filter(|r| r.label.contains("Regular"))
+            .collect();
         for r in &nhrt {
             assert_eq!(r.deadline_misses, 0, "NHRT stage {} immune to GC", r.stage);
-            assert_eq!(r.jitter, RelativeTime::ZERO, "NHRT stage {} is flat", r.stage);
+            assert_eq!(
+                r.jitter,
+                RelativeTime::ZERO,
+                "NHRT stage {} is flat",
+                r.stage
+            );
         }
         let reg_misses: u64 = reg.iter().map(|r| r.deadline_misses).sum();
-        assert!(reg_misses > 0, "regular deployment must miss deadlines under GC");
+        assert!(
+            reg_misses > 0,
+            "regular deployment must miss deadlines under GC"
+        );
         let reg_worst = reg.iter().map(|r| r.max).max().unwrap();
         let nhrt_worst = nhrt.iter().map(|r| r.max).max().unwrap();
-        assert!(reg_worst > nhrt_worst * 10, "GC dominates the regular worst case");
+        assert!(
+            reg_worst > nhrt_worst * 10,
+            "GC dominates the regular worst case"
+        );
     }
 }

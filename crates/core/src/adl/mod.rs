@@ -1,8 +1,8 @@
 //! The architecture description language of Fig. 4.
 //!
 //! The canonical form is the paper's XML dialect ([`from_xml`] /
-//! [`to_xml`]); a serde-backed JSON form ([`from_json`] / [`to_json`]) is
-//! provided for tooling. The XML structure is consistent with the metamodel
+//! [`to_xml`]); a JSON form ([`from_json`] / [`to_json`], backed by
+//! [`crate::json`]) is provided for tooling. The XML structure is consistent with the metamodel
 //! of Fig. 2:
 //!
 //! ```xml
@@ -132,7 +132,11 @@ pub fn from_xml(text: &str) -> Result<Architecture> {
     Ok(arch)
 }
 
-fn read_functional_children(arch: &mut Architecture, id: ComponentId, node: &XmlNode) -> Result<()> {
+fn read_functional_children(
+    arch: &mut Architecture,
+    id: ComponentId,
+    node: &XmlNode,
+) -> Result<()> {
     for child in &node.children {
         match child.name.as_str() {
             "interface" => {
@@ -141,7 +145,12 @@ fn read_functional_children(arch: &mut Architecture, id: ComponentId, node: &Xml
                     "server" => Role::Server,
                     other => return Err(parse_err(format!("unknown interface role '{other}'"))),
                 };
-                arch.add_interface(id, child.require("name")?, role, child.require("signature")?)?;
+                arch.add_interface(
+                    id,
+                    child.require("name")?,
+                    role,
+                    child.require("signature")?,
+                )?;
             }
             "content" => {
                 arch.set_content_class(id, child.require("class")?)?;
@@ -167,7 +176,10 @@ fn read_non_functional(arch: &mut Architecture, node: &XmlNode) -> Result<Compon
             let kind = MemoryKind::parse(desc.require("type")?)
                 .ok_or_else(|| parse_err(format!("unknown memory type on area '{name}'")))?;
             let size = desc.get("size").map(parse_size).transpose()?;
-            arch.add_component(name, ComponentKind::MemoryArea(MemoryAreaDesc { kind, size }))?
+            arch.add_component(
+                name,
+                ComponentKind::MemoryArea(MemoryAreaDesc { kind, size }),
+            )?
         }
         "ThreadDomain" => {
             let desc = node.first_child("DomainDesc").ok_or_else(|| {
@@ -190,7 +202,11 @@ fn read_non_functional(arch: &mut Architecture, node: &XmlNode) -> Result<Compon
                 ComponentKind::ThreadDomain(ThreadDomainDesc { kind, priority }),
             )?
         }
-        other => return Err(parse_err(format!("unexpected non-functional element <{other}>"))),
+        other => {
+            return Err(parse_err(format!(
+                "unexpected non-functional element <{other}>"
+            )))
+        }
     };
 
     for child in &node.children {
@@ -365,13 +381,13 @@ fn write_non_functional(arch: &Architecture, id: ComponentId) -> XmlNode {
             }
             XmlNode::new("MemoryArea").attr("name", &c.name).child(d)
         }
-        ComponentKind::ThreadDomain(desc) => XmlNode::new("ThreadDomain")
-            .attr("name", &c.name)
-            .child(
+        ComponentKind::ThreadDomain(desc) => {
+            XmlNode::new("ThreadDomain").attr("name", &c.name).child(
                 XmlNode::new("DomainDesc")
                     .attr("type", desc.kind.code())
                     .attr("priority", desc.priority.to_string()),
-            ),
+            )
+        }
         _ => unreachable!("write_non_functional on functional component"),
     };
     for &child in arch.children_of(id) {
@@ -400,7 +416,7 @@ fn write_non_functional(arch: &Architecture, id: ComponentId) -> XmlNode {
 
 /// Serializes an architecture as pretty-printed JSON.
 pub fn to_json(arch: &Architecture) -> String {
-    serde_json::to_string_pretty(arch).expect("architecture serialization is infallible")
+    arch.to_json_value().to_pretty()
 }
 
 /// Parses an architecture from its JSON form.
@@ -409,10 +425,8 @@ pub fn to_json(arch: &Architecture) -> String {
 ///
 /// [`ModelError::Parse`] when the JSON is malformed.
 pub fn from_json(text: &str) -> Result<Architecture> {
-    let mut arch: Architecture = serde_json::from_str(text).map_err(|e| ModelError::Parse {
-        line: e.line(),
-        detail: e.to_string(),
-    })?;
+    let value = crate::json::parse(text)?;
+    let mut arch = Architecture::from_json_value(&value)?;
     arch.reindex();
     Ok(arch)
 }
@@ -499,7 +513,9 @@ mod tests {
         let pl = arch.by_name("ProductionLine").unwrap();
         assert!(matches!(
             pl.kind,
-            ComponentKind::Active(ActivationKind::Periodic { period_ns: 10_000_000 })
+            ComponentKind::Active(ActivationKind::Periodic {
+                period_ns: 10_000_000
+            })
         ));
         assert_eq!(pl.content_class.as_deref(), Some("ProductionLineImpl"));
 
@@ -556,7 +572,10 @@ mod tests {
         let json = to_json(&arch);
         let back = from_json(&json).unwrap();
         assert_eq!(back.components().len(), arch.components().len());
-        assert_eq!(back.id_of("Console").unwrap(), arch.id_of("Console").unwrap());
+        assert_eq!(
+            back.id_of("Console").unwrap(),
+            arch.id_of("Console").unwrap()
+        );
     }
 
     #[test]
@@ -573,7 +592,10 @@ mod tests {
             <PassiveComp name="ghost" />
             <AreaDesc type="heap" />
           </MemoryArea>"#;
-        assert!(matches!(from_xml(doc), Err(ModelError::UnknownComponent(_))));
+        assert!(matches!(
+            from_xml(doc),
+            Err(ModelError::UnknownComponent(_))
+        ));
     }
 
     #[test]

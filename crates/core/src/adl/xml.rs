@@ -354,7 +354,11 @@ mod tests {
         assert_eq!(a.children.len(), 2);
         assert_eq!(a.first_child("B").unwrap().get("y"), Some("two"));
         assert_eq!(
-            a.first_child("C").unwrap().first_child("D").unwrap().get("deep"),
+            a.first_child("C")
+                .unwrap()
+                .first_child("D")
+                .unwrap()
+                .get("deep"),
             Some("yes")
         );
     }

@@ -9,8 +9,10 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use serde::{Deserialize, Serialize};
+use rtsj::memory::MemoryKind;
+use rtsj::thread::ThreadKind;
 
+use crate::json::JsonValue;
 use crate::model::{
     ActivationKind, Binding, Component, ComponentId, ComponentKind, Endpoint, InterfaceDecl,
     MemoryAreaDesc, Protocol, Role, ThreadDomainDesc,
@@ -23,7 +25,7 @@ use crate::{ModelError, Result};
 /// declare interfaces, add bindings. Structural well-formedness (unique
 /// names, acyclic hierarchy, endpoint existence) is enforced eagerly;
 /// RTSJ conformance is checked separately by [`crate::validate::validate`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Architecture {
     /// Architecture name (diagnostics, generated-code headers).
     pub name: String,
@@ -33,7 +35,8 @@ pub struct Architecture {
     /// parents[child] = list of super-component ids (sharing!).
     parents: Vec<Vec<ComponentId>>,
     bindings: Vec<Binding>,
-    #[serde(skip)]
+    /// Derived name index; rebuilt by [`Architecture::reindex`] and skipped
+    /// by the JSON form.
     by_name: HashMap<String, ComponentId>,
 }
 
@@ -64,7 +67,11 @@ impl Architecture {
     /// # Errors
     ///
     /// [`ModelError::DuplicateName`] if the name is taken.
-    pub fn add_component(&mut self, name: impl Into<String>, kind: ComponentKind) -> Result<ComponentId> {
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        kind: ComponentKind,
+    ) -> Result<ComponentId> {
         let name = name.into();
         if self.by_name.contains_key(&name) {
             return Err(ModelError::DuplicateName(name));
@@ -192,14 +199,18 @@ impl Architecture {
         protocol: Protocol,
     ) -> Result<()> {
         let (c, s) = (self.component(client)?, self.component(server)?);
-        let ci = c.interface(client_if).ok_or_else(|| ModelError::UnknownInterface {
-            component: c.name.clone(),
-            interface: client_if.to_string(),
-        })?;
-        let si = s.interface(server_if).ok_or_else(|| ModelError::UnknownInterface {
-            component: s.name.clone(),
-            interface: server_if.to_string(),
-        })?;
+        let ci = c
+            .interface(client_if)
+            .ok_or_else(|| ModelError::UnknownInterface {
+                component: c.name.clone(),
+                interface: client_if.to_string(),
+            })?;
+        let si = s
+            .interface(server_if)
+            .ok_or_else(|| ModelError::UnknownInterface {
+                component: s.name.clone(),
+                interface: server_if.to_string(),
+            })?;
         if ci.role != Role::Client {
             return Err(ModelError::KindMismatch {
                 component: c.name.clone(),
@@ -266,7 +277,9 @@ impl Architecture {
 
     /// Looks a component up by name.
     pub fn by_name(&self, name: &str) -> Option<&Component> {
-        self.by_name.get(name).map(|&id| &self.components[id.0 as usize])
+        self.by_name
+            .get(name)
+            .map(|&id| &self.components[id.0 as usize])
     }
 
     /// Id of the component with the given name.
@@ -329,7 +342,8 @@ impl Architecture {
     pub fn ancestors(&self, id: ComponentId) -> Vec<ComponentId> {
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        let mut queue: VecDeque<ComponentId> = self.parents[id.0 as usize].iter().copied().collect();
+        let mut queue: VecDeque<ComponentId> =
+            self.parents[id.0 as usize].iter().copied().collect();
         while let Some(p) = queue.pop_front() {
             if seen.insert(p) {
                 out.push(p);
@@ -363,7 +377,12 @@ impl Architecture {
     pub fn thread_domains_of(&self, id: ComponentId) -> Vec<ComponentId> {
         self.ancestors(id)
             .into_iter()
-            .filter(|&a| matches!(self.components[a.0 as usize].kind, ComponentKind::ThreadDomain(_)))
+            .filter(|&a| {
+                matches!(
+                    self.components[a.0 as usize].kind,
+                    ComponentKind::ThreadDomain(_)
+                )
+            })
             .collect()
     }
 
@@ -383,7 +402,12 @@ impl Architecture {
     pub fn memory_areas_of(&self, id: ComponentId) -> Vec<ComponentId> {
         self.ancestors(id)
             .into_iter()
-            .filter(|&a| matches!(self.components[a.0 as usize].kind, ComponentKind::MemoryArea(_)))
+            .filter(|&a| {
+                matches!(
+                    self.components[a.0 as usize].kind,
+                    ComponentKind::MemoryArea(_)
+                )
+            })
             .collect()
     }
 
@@ -393,10 +417,12 @@ impl Architecture {
     pub fn memory_area_of(&self, id: ComponentId) -> Option<(ComponentId, MemoryAreaDesc)> {
         // BFS over supers returns nearest-first.
         let areas = self.memory_areas_of(id);
-        areas.first().map(|&a| match self.components[a.0 as usize].kind {
-            ComponentKind::MemoryArea(desc) => (a, desc),
-            _ => unreachable!("filtered on MemoryArea"),
-        })
+        areas
+            .first()
+            .map(|&a| match self.components[a.0 as usize].kind {
+                ComponentKind::MemoryArea(desc) => (a, desc),
+                _ => unreachable!("filtered on MemoryArea"),
+            })
     }
 
     /// All active components, in insertion order.
@@ -440,6 +466,357 @@ impl Architecture {
             _ => None,
         }
     }
+
+    // -----------------------------------------------------------------
+    // JSON form (used by `adl::to_json` / `adl::from_json`)
+    // -----------------------------------------------------------------
+
+    /// Renders the architecture as a [`JsonValue`] tree. The derived name
+    /// index is not serialized; [`Architecture::reindex`] rebuilds it.
+    pub(crate) fn to_json_value(&self) -> JsonValue {
+        let id_list = |ids: &[ComponentId]| {
+            JsonValue::Array(
+                ids.iter()
+                    .map(|id| JsonValue::Number(i128::from(id.0)))
+                    .collect(),
+            )
+        };
+        JsonValue::Object(vec![
+            ("name".into(), JsonValue::from(self.name.as_str())),
+            (
+                "components".into(),
+                JsonValue::Array(self.components.iter().map(component_to_json).collect()),
+            ),
+            (
+                "children".into(),
+                JsonValue::Array(self.children.iter().map(|ids| id_list(ids)).collect()),
+            ),
+            (
+                "parents".into(),
+                JsonValue::Array(self.parents.iter().map(|ids| id_list(ids)).collect()),
+            ),
+            (
+                "bindings".into(),
+                JsonValue::Array(self.bindings.iter().map(binding_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds an architecture from its JSON form. The caller is expected
+    /// to [`Architecture::reindex`] afterwards (mirroring deserialization).
+    pub(crate) fn from_json_value(value: &JsonValue) -> Result<Architecture> {
+        let name = require_str(value, "name")?.to_string();
+        let components = require_array(value, "components")?
+            .iter()
+            .map(component_from_json)
+            .collect::<Result<Vec<_>>>()?;
+        let id_lists = |key: &str| -> Result<Vec<Vec<ComponentId>>> {
+            require_array(value, key)?
+                .iter()
+                .map(|ids| {
+                    ids.as_array()
+                        .ok_or_else(|| json_err(format!("'{key}' entries must be arrays")))?
+                        .iter()
+                        .map(|id| {
+                            id.as_u32()
+                                .map(ComponentId)
+                                .ok_or_else(|| json_err("component ids must be u32 numbers"))
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let children = id_lists("children")?;
+        let parents = id_lists("parents")?;
+        let bindings = require_array(value, "bindings")?
+            .iter()
+            .map(binding_from_json)
+            .collect::<Result<Vec<_>>>()?;
+        if children.len() != components.len() || parents.len() != components.len() {
+            return Err(json_err(
+                "children/parents tables must have one entry per component",
+            ));
+        }
+        // Stored ids are also the indices every lookup dereferences; a
+        // document with holes or permutations must be refused, not loaded.
+        if let Some((ix, c)) = components
+            .iter()
+            .enumerate()
+            .find(|(ix, c)| c.id.0 as usize != *ix)
+        {
+            return Err(json_err(format!(
+                "component '{}' has id {} but sits at index {ix}",
+                c.name, c.id.0
+            )));
+        }
+        // reindex() maps names to ids: duplicates would silently shadow
+        // earlier components, so refuse them like every construction path.
+        let mut names = HashSet::new();
+        if let Some(c) = components.iter().find(|c| !names.insert(c.name.as_str())) {
+            return Err(json_err(format!("duplicate component name '{}'", c.name)));
+        }
+        let component_count = components.len() as u32;
+        let in_range = |id: &ComponentId| id.0 < component_count;
+        if !children.iter().flatten().all(in_range)
+            || !parents.iter().flatten().all(in_range)
+            || !bindings
+                .iter()
+                .all(|b| in_range(&b.client.component) && in_range(&b.server.component))
+        {
+            return Err(json_err("component id out of range"));
+        }
+        Ok(Architecture {
+            name,
+            components,
+            children,
+            parents,
+            bindings,
+            by_name: HashMap::new(),
+        })
+    }
+}
+
+fn json_err(detail: impl Into<String>) -> ModelError {
+    ModelError::Parse {
+        line: 0,
+        detail: detail.into(),
+    }
+}
+
+fn require_str<'a>(value: &'a JsonValue, key: &str) -> Result<&'a str> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| json_err(format!("missing string field '{key}'")))
+}
+
+fn require_array<'a>(value: &'a JsonValue, key: &str) -> Result<&'a [JsonValue]> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| json_err(format!("missing array field '{key}'")))
+}
+
+fn kind_to_json(kind: &ComponentKind) -> JsonValue {
+    let mut members = vec![("type".into(), JsonValue::from(kind.label()))];
+    match kind {
+        ComponentKind::Active(ActivationKind::Periodic { period_ns }) => {
+            members.push(("activation".into(), JsonValue::from("periodic")));
+            members.push((
+                "period_ns".into(),
+                JsonValue::Number(i128::from(*period_ns)),
+            ));
+        }
+        ComponentKind::Active(ActivationKind::Sporadic) => {
+            members.push(("activation".into(), JsonValue::from("sporadic")));
+        }
+        ComponentKind::Passive | ComponentKind::Composite => {}
+        ComponentKind::ThreadDomain(desc) => {
+            members.push(("thread".into(), JsonValue::from(desc.kind.code())));
+            members.push((
+                "priority".into(),
+                JsonValue::Number(i128::from(desc.priority)),
+            ));
+        }
+        ComponentKind::MemoryArea(desc) => {
+            members.push(("memory".into(), JsonValue::from(desc.kind.code())));
+            members.push((
+                "size".into(),
+                match desc.size {
+                    Some(size) => JsonValue::Number(size as i128),
+                    None => JsonValue::Null,
+                },
+            ));
+        }
+    }
+    JsonValue::Object(members)
+}
+
+fn kind_from_json(value: &JsonValue) -> Result<ComponentKind> {
+    let tag = require_str(value, "type")?;
+    match tag {
+        "active" => match require_str(value, "activation")? {
+            "periodic" => {
+                let period_ns = value
+                    .get("period_ns")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| json_err("periodic activation needs 'period_ns'"))?;
+                Ok(ComponentKind::Active(ActivationKind::Periodic {
+                    period_ns,
+                }))
+            }
+            "sporadic" => Ok(ComponentKind::Active(ActivationKind::Sporadic)),
+            other => Err(json_err(format!("unknown activation '{other}'"))),
+        },
+        "passive" => Ok(ComponentKind::Passive),
+        "composite" => Ok(ComponentKind::Composite),
+        "thread-domain" => {
+            let kind = require_str(value, "thread")?;
+            let kind = ThreadKind::parse(kind)
+                .ok_or_else(|| json_err(format!("unknown thread kind '{kind}'")))?;
+            let priority = value
+                .get("priority")
+                .and_then(JsonValue::as_u8)
+                .ok_or_else(|| json_err("thread-domain needs a u8 'priority'"))?;
+            Ok(ComponentKind::ThreadDomain(ThreadDomainDesc {
+                kind,
+                priority,
+            }))
+        }
+        "memory-area" => {
+            let kind = require_str(value, "memory")?;
+            let kind = MemoryKind::parse(kind)
+                .ok_or_else(|| json_err(format!("unknown memory kind '{kind}'")))?;
+            let size = match value.get("size") {
+                None | Some(JsonValue::Null) => None,
+                Some(v) => Some(
+                    v.as_usize()
+                        .ok_or_else(|| json_err("memory-area 'size' must be a usize"))?,
+                ),
+            };
+            Ok(ComponentKind::MemoryArea(MemoryAreaDesc { kind, size }))
+        }
+        other => Err(json_err(format!("unknown component kind '{other}'"))),
+    }
+}
+
+pub(crate) fn component_to_json(c: &Component) -> JsonValue {
+    JsonValue::Object(vec![
+        ("id".into(), JsonValue::Number(i128::from(c.id.0))),
+        ("name".into(), JsonValue::from(c.name.as_str())),
+        ("kind".into(), kind_to_json(&c.kind)),
+        (
+            "interfaces".into(),
+            JsonValue::Array(
+                c.interfaces
+                    .iter()
+                    .map(|i| {
+                        JsonValue::Object(vec![
+                            ("name".into(), JsonValue::from(i.name.as_str())),
+                            ("role".into(), JsonValue::from(i.role.to_string())),
+                            ("signature".into(), JsonValue::from(i.signature.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "content_class".into(),
+            match &c.content_class {
+                Some(class) => JsonValue::from(class.as_str()),
+                None => JsonValue::Null,
+            },
+        ),
+    ])
+}
+
+pub(crate) fn component_from_json(value: &JsonValue) -> Result<Component> {
+    let id = value
+        .get("id")
+        .and_then(JsonValue::as_u32)
+        .map(ComponentId)
+        .ok_or_else(|| json_err("component needs a u32 'id'"))?;
+    let interfaces = require_array(value, "interfaces")?
+        .iter()
+        .map(|i| {
+            let role = match require_str(i, "role")? {
+                "client" => Role::Client,
+                "server" => Role::Server,
+                other => return Err(json_err(format!("unknown interface role '{other}'"))),
+            };
+            Ok(InterfaceDecl {
+                name: require_str(i, "name")?.to_string(),
+                role,
+                signature: require_str(i, "signature")?.to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let content_class = match value.get("content_class") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| json_err("'content_class' must be a string or null"))?
+                .to_string(),
+        ),
+    };
+    Ok(Component {
+        id,
+        name: require_str(value, "name")?.to_string(),
+        kind: kind_from_json(
+            value
+                .get("kind")
+                .ok_or_else(|| json_err("component needs a 'kind'"))?,
+        )?,
+        interfaces,
+        content_class,
+    })
+}
+
+fn endpoint_to_json(e: &Endpoint) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "component".into(),
+            JsonValue::Number(i128::from(e.component.0)),
+        ),
+        ("interface".into(), JsonValue::from(e.interface.as_str())),
+    ])
+}
+
+fn endpoint_from_json(value: &JsonValue) -> Result<Endpoint> {
+    Ok(Endpoint {
+        component: value
+            .get("component")
+            .and_then(JsonValue::as_u32)
+            .map(ComponentId)
+            .ok_or_else(|| json_err("endpoint needs a u32 'component'"))?,
+        interface: require_str(value, "interface")?.to_string(),
+    })
+}
+
+fn binding_to_json(b: &Binding) -> JsonValue {
+    let protocol = match b.protocol {
+        Protocol::Synchronous => {
+            JsonValue::Object(vec![("type".into(), JsonValue::from("synchronous"))])
+        }
+        Protocol::Asynchronous { buffer_size } => JsonValue::Object(vec![
+            ("type".into(), JsonValue::from("asynchronous")),
+            ("buffer_size".into(), JsonValue::Number(buffer_size as i128)),
+        ]),
+    };
+    JsonValue::Object(vec![
+        ("client".into(), endpoint_to_json(&b.client)),
+        ("server".into(), endpoint_to_json(&b.server)),
+        ("protocol".into(), protocol),
+    ])
+}
+
+fn binding_from_json(value: &JsonValue) -> Result<Binding> {
+    let protocol = value
+        .get("protocol")
+        .ok_or_else(|| json_err("binding needs a 'protocol'"))?;
+    let protocol = match require_str(protocol, "type")? {
+        "synchronous" => Protocol::Synchronous,
+        "asynchronous" => Protocol::Asynchronous {
+            buffer_size: protocol
+                .get("buffer_size")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| json_err("asynchronous protocol needs 'buffer_size'"))?,
+        },
+        other => return Err(json_err(format!("unknown protocol '{other}'"))),
+    };
+    Ok(Binding {
+        client: endpoint_from_json(
+            value
+                .get("client")
+                .ok_or_else(|| json_err("binding needs a 'client'"))?,
+        )?,
+        server: endpoint_from_json(
+            value
+                .get("server")
+                .ok_or_else(|| json_err("binding needs a 'server'"))?,
+        )?,
+        protocol,
+    })
 }
 
 #[cfg(test)]
@@ -522,7 +899,10 @@ mod tests {
     fn self_edge_rejected() {
         let mut a = Architecture::new("t");
         let c = a.add_component("c", ComponentKind::Composite).unwrap();
-        assert!(matches!(a.add_child(c, c), Err(ModelError::HierarchyCycle(_))));
+        assert!(matches!(
+            a.add_child(c, c),
+            Err(ModelError::HierarchyCycle(_))
+        ));
     }
 
     #[test]
@@ -569,7 +949,9 @@ mod tests {
     #[test]
     fn binding_role_and_signature_checked() {
         let mut a = Architecture::new("t");
-        let p = a.add_component("producer", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let p = a
+            .add_component("producer", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
         let q = a.add_component("consumer", ComponentKind::Passive).unwrap();
         a.add_interface(p, "out", Role::Client, "IMsg").unwrap();
         a.add_interface(q, "in", Role::Server, "IMsg").unwrap();
@@ -590,7 +972,9 @@ mod tests {
     #[test]
     fn unbind_removes() {
         let mut a = Architecture::new("t");
-        let p = a.add_component("p", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let p = a
+            .add_component("p", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
         let q = a.add_component("q", ComponentKind::Passive).unwrap();
         a.add_interface(p, "out", Role::Client, "I").unwrap();
         a.add_interface(q, "in", Role::Server, "I").unwrap();
@@ -625,10 +1009,57 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_with_reindex() {
+    fn json_rejects_mismatched_component_ids() {
+        // Stored ids are the indices lookups dereference: out-of-range or
+        // permuted ids must be refused at load time, not panic later.
+        let out_of_range = r#"{
+            "name": "t",
+            "components": [{"id": 99, "name": "w", "kind": {"type": "passive"},
+                            "interfaces": [], "content_class": null}],
+            "children": [[]],
+            "parents": [[]],
+            "bindings": []
+        }"#;
+        let err = crate::adl::from_json(out_of_range).unwrap_err();
+        assert!(matches!(err, ModelError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("id 99"), "{err}");
+
+        let permuted = r#"{
+            "name": "t",
+            "components": [
+                {"id": 1, "name": "a", "kind": {"type": "passive"},
+                 "interfaces": [], "content_class": null},
+                {"id": 0, "name": "b", "kind": {"type": "passive"},
+                 "interfaces": [], "content_class": null}
+            ],
+            "children": [[], []],
+            "parents": [[], []],
+            "bindings": []
+        }"#;
+        assert!(crate::adl::from_json(permuted).is_err());
+
+        let duplicate_names = r#"{
+            "name": "t",
+            "components": [
+                {"id": 0, "name": "a", "kind": {"type": "passive"},
+                 "interfaces": [], "content_class": null},
+                {"id": 1, "name": "a", "kind": {"type": "passive"},
+                 "interfaces": [], "content_class": null}
+            ],
+            "children": [[], []],
+            "parents": [[], []],
+            "bindings": []
+        }"#;
+        let err = crate::adl::from_json(duplicate_names).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn json_roundtrip_with_reindex() {
         let (a, comp, ..) = arch_with_sharing();
-        let json = serde_json::to_string(&a).unwrap();
-        let mut back: Architecture = serde_json::from_str(&json).unwrap();
+        let json = a.to_json_value().to_pretty();
+        let parsed = crate::json::parse(&json).unwrap();
+        let mut back = Architecture::from_json_value(&parsed).unwrap();
         back.reindex();
         assert_eq!(back.id_of("worker").unwrap(), comp);
         assert_eq!(back.components().len(), a.components().len());

@@ -93,7 +93,7 @@ fn write_component(arch: &Architecture, id: ComponentId, depth: usize, out: &mut
 /// ```
 /// use soleil_core::adl::{from_xml, MOTIVATION_EXAMPLE_XML};
 /// use soleil_core::dot::to_dot;
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # fn main() -> Result<(), soleil_core::SoleilError> {
 /// let arch = from_xml(MOTIVATION_EXAMPLE_XML)?;
 /// let dot = to_dot(&arch);
 /// assert!(dot.contains("digraph"));
@@ -148,7 +148,9 @@ mod tests {
         assert!(dot.contains("cluster_n_NHRT1"));
         assert!(dot.contains("n_ProductionLine [label=\"ProductionLine\", shape=doublecircle]"));
         assert!(dot.contains("n_Console [label=\"Console\", shape=ellipse]"));
-        assert!(dot.contains("n_ProductionLine -> n_MonitoringSystem [style=dashed, label=\"buf 10\"]"));
+        assert!(
+            dot.contains("n_ProductionLine -> n_MonitoringSystem [style=dashed, label=\"buf 10\"]")
+        );
         assert!(dot.contains("n_MonitoringSystem -> n_Console [style=solid]"));
         // Balanced braces.
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());

@@ -1,0 +1,136 @@
+//! The unified cross-layer error type.
+//!
+//! Every layer of the framework keeps its own precise error enum —
+//! [`ModelError`] (metamodel/ADL), `rtsj::RtsjError` (substrate),
+//! `FrameworkError` (membranes/runtime) and `GeneratorError` (generation) —
+//! but application code composing the layers works against one type:
+//! [`SoleilError`]. `From` conversions exist for all four layer enums (the
+//! membrane and generator crates provide theirs, since those types live
+//! downstream of this crate), so `?` flows end-to-end through design →
+//! validation → generation → execution.
+
+use std::fmt;
+
+use rtsj::RtsjError;
+
+use crate::validate::ValidationReport;
+use crate::ModelError;
+
+/// The framework-wide error: every layer's failure, one type.
+///
+/// Diagnostics keep their structure where it matters: a refused
+/// architecture carries the full [`ValidationReport`], and substrate/model
+/// errors are held as their original enums so callers can still match on
+/// them. Membrane and generator failures arrive pre-rendered (their enums
+/// live in downstream crates).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum SoleilError {
+    /// A metamodel or ADL failure.
+    Model(ModelError),
+    /// An RTSJ substrate violation.
+    Rtsj(RtsjError),
+    /// The validator refused the architecture; the structured report is
+    /// preserved verbatim.
+    Validation(ValidationReport),
+    /// A membrane/runtime failure (rendered `FrameworkError`).
+    Framework(String),
+    /// A generation failure (rendered `GeneratorError`).
+    Generator(String),
+    /// An I/O failure from tooling around the framework.
+    Io(String),
+}
+
+impl fmt::Display for SoleilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoleilError::Model(e) => write!(f, "{e}"),
+            SoleilError::Rtsj(e) => write!(f, "{e}"),
+            SoleilError::Validation(report) => {
+                write!(f, "architecture violates RTSJ:\n{report}")
+            }
+            SoleilError::Framework(m) | SoleilError::Generator(m) => f.write_str(m),
+            SoleilError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SoleilError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SoleilError::Model(e) => Some(e),
+            SoleilError::Rtsj(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SoleilError {
+    fn from(e: ModelError) -> Self {
+        SoleilError::Model(e)
+    }
+}
+
+impl From<RtsjError> for SoleilError {
+    fn from(e: RtsjError) -> Self {
+        SoleilError::Rtsj(e)
+    }
+}
+
+impl From<ValidationReport> for SoleilError {
+    fn from(report: ValidationReport) -> Self {
+        SoleilError::Validation(report)
+    }
+}
+
+impl From<std::io::Error> for SoleilError {
+    fn from(e: std::io::Error) -> Self {
+        SoleilError::Io(e.to_string())
+    }
+}
+
+/// Result alias over the unified error.
+pub type SoleilResult<T> = std::result::Result<T, SoleilError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn model_errors_convert_and_keep_text() {
+        let model = ModelError::DuplicateName("pump".into());
+        let text = model.to_string();
+        let unified: SoleilError = model.into();
+        assert!(matches!(unified, SoleilError::Model(_)));
+        assert_eq!(unified.to_string(), text);
+        assert!(unified.source().is_some());
+    }
+
+    #[test]
+    fn rtsj_errors_convert_and_keep_text() {
+        let rtsj = RtsjError::IllegalState("exit on empty stack".into());
+        let text = rtsj.to_string();
+        let unified: SoleilError = rtsj.into();
+        assert!(matches!(unified, SoleilError::Rtsj(_)));
+        assert_eq!(unified.to_string(), text);
+    }
+
+    #[test]
+    fn question_mark_converts() {
+        fn inner() -> crate::Result<()> {
+            Err(ModelError::UnknownComponent("ghost".into()))
+        }
+        fn outer() -> SoleilResult<()> {
+            inner()?;
+            Ok(())
+        }
+        assert!(matches!(outer(), Err(SoleilError::Model(_))));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<SoleilError>();
+    }
+}

@@ -18,7 +18,7 @@
 //!   progressively refined by a *Thread Management View* and a *Memory
 //!   Management View*, then merged into the final RT System Architecture.
 //! * [`adl`] — the XML dialect of Fig. 4 (hand-written parser/printer) plus
-//!   a serde/JSON form.
+//!   a JSON form backed by [`json`].
 //! * [`mod@validate`] — the design-time RTSJ conformance engine: every rule the
 //!   paper names (single ThreadDomain per active component, no ThreadDomain
 //!   nesting, NHRT domains may not encapsulate heap, binding legality with
@@ -29,7 +29,7 @@
 //! ```
 //! use soleil_core::prelude::*;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), soleil_core::SoleilError> {
 //! let mut business = BusinessView::new("demo");
 //! business.active_periodic("sensor", "10ms")?;
 //! business.active_sporadic("logger")?;
@@ -54,18 +54,22 @@
 pub mod adl;
 pub mod arch;
 pub mod dot;
+pub mod error;
+pub mod json;
 pub mod model;
 pub mod units;
 pub mod validate;
 pub mod views;
 
 pub use arch::Architecture;
+pub use error::{SoleilError, SoleilResult};
 pub use validate::{validate, Diagnostic, Severity, ValidationReport};
 
 /// The most commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::adl::{from_xml, to_xml};
     pub use crate::arch::Architecture;
+    pub use crate::error::{SoleilError, SoleilResult};
     pub use crate::model::{
         ActivationKind, Binding, Component, ComponentId, ComponentKind, InterfaceDecl,
         MemoryAreaDesc, Protocol, Role, ThreadDomainDesc,
@@ -109,7 +113,8 @@ pub enum ModelError {
     },
     /// ADL text could not be parsed.
     Parse {
-        /// Line number (1-based) of the failure.
+        /// Line number (1-based) of the failure; 0 when the failure is
+        /// semantic and has no meaningful source position.
         line: usize,
         /// Explanation.
         detail: String,
@@ -133,6 +138,11 @@ impl std::fmt::Display for ModelError {
             }
             ModelError::BadAttribute { attribute, value } => {
                 write!(f, "bad value '{value}' for attribute '{attribute}'")
+            }
+            // Line 0 marks a semantic (schema) failure with no meaningful
+            // source position; only syntax errors carry a real line.
+            ModelError::Parse { line: 0, detail } => {
+                write!(f, "ADL parse error: {detail}")
             }
             ModelError::Parse { line, detail } => {
                 write!(f, "ADL parse error (line {line}): {detail}")

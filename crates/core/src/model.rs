@@ -12,12 +12,9 @@ use std::fmt;
 use rtsj::memory::MemoryKind;
 use rtsj::thread::{Priority, ThreadKind};
 use rtsj::time::RelativeTime;
-use serde::{Deserialize, Serialize};
 
 /// Identifies a component within an [`crate::arch::Architecture`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ComponentId(pub(crate) u32);
 
 impl ComponentId {
@@ -39,7 +36,7 @@ impl fmt::Display for ComponentId {
 }
 
 /// How an active component is released.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActivationKind {
     /// Time-triggered with a fixed period.
     Periodic {
@@ -60,41 +57,10 @@ impl ActivationKind {
     }
 }
 
-mod serde_thread_kind {
-    use rtsj::thread::ThreadKind;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(k: &ThreadKind, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(k.code())
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<ThreadKind, D::Error> {
-        let text = String::deserialize(d)?;
-        ThreadKind::parse(&text)
-            .ok_or_else(|| serde::de::Error::custom(format!("unknown thread kind '{text}'")))
-    }
-}
-
-mod serde_memory_kind {
-    use rtsj::memory::MemoryKind;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(k: &MemoryKind, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(k.code())
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<MemoryKind, D::Error> {
-        let text = String::deserialize(d)?;
-        MemoryKind::parse(&text)
-            .ok_or_else(|| serde::de::Error::custom(format!("unknown memory kind '{text}'")))
-    }
-}
-
 /// Attributes of a ThreadDomain component (the ADL's `DomainDesc`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadDomainDesc {
     /// Thread class shared by all members.
-    #[serde(with = "serde_thread_kind")]
     pub kind: ThreadKind,
     /// Dispatch priority shared by all members.
     pub priority: u8,
@@ -108,17 +74,16 @@ impl ThreadDomainDesc {
 }
 
 /// Attributes of a MemoryArea component (the ADL's `AreaDesc`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryAreaDesc {
     /// Region kind.
-    #[serde(with = "serde_memory_kind")]
     pub kind: MemoryKind,
     /// Size budget in bytes; required for scoped and immortal areas.
     pub size: Option<usize>,
 }
 
 /// The five component kinds of the metamodel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ComponentKind {
     /// A business component with its own thread of control.
     Active(ActivationKind),
@@ -165,7 +130,7 @@ impl ComponentKind {
 
 /// The role an interface plays: client interfaces *require* a service,
 /// server interfaces *provide* one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
     /// Requires the signature (outgoing calls).
     Client,
@@ -183,7 +148,7 @@ impl fmt::Display for Role {
 }
 
 /// A declared interface on a component.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InterfaceDecl {
     /// Interface name, unique per component.
     pub name: String,
@@ -198,7 +163,7 @@ pub struct InterfaceDecl {
 /// Hierarchy (sub/super edges) lives in the owning
 /// [`crate::arch::Architecture`], because the model supports *sharing* — a
 /// component may have several super-components.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Component {
     pub(crate) id: ComponentId,
     /// Unique component name.
@@ -230,7 +195,7 @@ impl Component {
 }
 
 /// The communication protocol of a binding (the ADL's `BindDesc`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
     /// Direct, run-to-completion invocation.
     Synchronous,
@@ -268,7 +233,7 @@ impl fmt::Display for Protocol {
 }
 
 /// One end of a binding: a component and one of its interface names.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Endpoint {
     /// The component.
     pub component: ComponentId,
@@ -277,7 +242,7 @@ pub struct Endpoint {
 }
 
 /// A binding connecting a client interface to a server interface.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Binding {
     /// The requiring side.
     pub client: Endpoint,
@@ -359,12 +324,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let c = component(ComponentKind::Active(ActivationKind::Periodic {
             period_ns: 1_000_000,
         }));
-        let json = serde_json::to_string(&c).unwrap();
-        let back: Component = serde_json::from_str(&json).unwrap();
+        let value = crate::arch::component_to_json(&c);
+        let back = crate::arch::component_from_json(&value).unwrap();
         assert_eq!(c, back);
     }
 }

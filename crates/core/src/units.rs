@@ -43,9 +43,9 @@ pub fn parse_size(text: &str) -> crate::Result<usize> {
 pub fn format_size(bytes: usize) -> String {
     const MB: usize = 1024 * 1024;
     const KB: usize = 1024;
-    if bytes >= MB && bytes % MB == 0 {
+    if bytes >= MB && bytes.is_multiple_of(MB) {
         format!("{}MB", bytes / MB)
-    } else if bytes >= KB && bytes % KB == 0 {
+    } else if bytes >= KB && bytes.is_multiple_of(KB) {
         format!("{}KB", bytes / KB)
     } else {
         format!("{bytes}B")
@@ -115,8 +115,14 @@ mod tests {
 
     #[test]
     fn durations_parse() {
-        assert_eq!(parse_duration("10ms").unwrap(), RelativeTime::from_millis(10));
-        assert_eq!(parse_duration("1s").unwrap(), RelativeTime::from_millis(1000));
+        assert_eq!(
+            parse_duration("10ms").unwrap(),
+            RelativeTime::from_millis(10)
+        );
+        assert_eq!(
+            parse_duration("1s").unwrap(),
+            RelativeTime::from_millis(1000)
+        );
         assert_eq!(parse_duration("7ns").unwrap(), RelativeTime::from_nanos(7));
         assert!(parse_duration("10").is_err(), "bare numbers are ambiguous");
         assert!(parse_duration("10min").is_err());

@@ -127,7 +127,9 @@ impl ValidationReport {
 
     /// Findings at exactly `severity`.
     pub fn with_severity(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
-        self.diagnostics.iter().filter(move |d| d.severity == severity)
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
     }
 
     /// True when no *Error* findings exist — the paper's "compliant with
@@ -274,7 +276,9 @@ fn check_shared_services(arch: &Architecture, report: &mut ValidationReport) {
 }
 
 fn name(arch: &Architecture, id: ComponentId) -> String {
-    arch.component(id).map(|c| c.name.clone()).unwrap_or_else(|_| id.to_string())
+    arch.component(id)
+        .map(|c| c.name.clone())
+        .unwrap_or_else(|_| id.to_string())
 }
 
 fn check_thread_domains(arch: &Architecture, report: &mut ValidationReport) {
@@ -337,13 +341,22 @@ fn check_thread_domains(arch: &Architecture, report: &mut ValidationReport) {
                 }
                 // SOL-012: passive members.
                 for &child in arch.children_of(c.id()) {
-                    if matches!(arch.component(child).map(|cc| cc.kind), Ok(ComponentKind::Passive)) {
+                    if matches!(
+                        arch.component(child).map(|cc| cc.kind),
+                        Ok(ComponentKind::Passive)
+                    ) {
                         report.push(
                             "SOL-012",
                             Severity::Warning,
                             name(arch, child),
-                            format!("passive component placed directly in ThreadDomain '{}'", c.name),
-                            Some("passive components need no thread; place them in a MemoryArea".into()),
+                            format!(
+                                "passive component placed directly in ThreadDomain '{}'",
+                                c.name
+                            ),
+                            Some(
+                                "passive components need no thread; place them in a MemoryArea"
+                                    .into(),
+                            ),
                         );
                     }
                 }
@@ -363,7 +376,9 @@ fn check_memory_areas(arch: &Architecture, report: &mut ValidationReport) {
                     Severity::Error,
                     &c.name,
                     "component has no MemoryArea: its allocation region is undefined",
-                    Some("assign it (or its ThreadDomain) to a MemoryArea in the memory view".into()),
+                    Some(
+                        "assign it (or its ThreadDomain) to a MemoryArea in the memory view".into(),
+                    ),
                 );
                 continue;
             }
@@ -570,7 +585,10 @@ fn check_bindings(arch: &Architecture, report: &mut ValidationReport) {
 
     // SOL-009: sporadic actives need a trigger.
     for c in arch.components() {
-        if matches!(c.kind, ComponentKind::Active(crate::model::ActivationKind::Sporadic)) {
+        if matches!(
+            c.kind,
+            ComponentKind::Active(crate::model::ActivationKind::Sporadic)
+        ) {
             let triggered = arch
                 .incoming_bindings(c.id())
                 .iter()
@@ -606,10 +624,19 @@ mod tests {
     fn compliant() -> Architecture {
         let mut a = Architecture::new("ok");
         let c = a
-            .add_component("worker", ComponentKind::Active(ActivationKind::Periodic { period_ns: 1_000_000 }))
+            .add_component(
+                "worker",
+                ComponentKind::Active(ActivationKind::Periodic {
+                    period_ns: 1_000_000,
+                }),
+            )
             .unwrap();
-        let d = a.add_component("nhrt", domain(ThreadKind::NoHeapRealtime, 30)).unwrap();
-        let m = a.add_component("imm", area(MemoryKind::Immortal, Some(4096))).unwrap();
+        let d = a
+            .add_component("nhrt", domain(ThreadKind::NoHeapRealtime, 30))
+            .unwrap();
+        let m = a
+            .add_component("imm", area(MemoryKind::Immortal, Some(4096)))
+            .unwrap();
         a.add_child(d, c).unwrap();
         a.add_child(m, d).unwrap();
         a
@@ -627,7 +654,9 @@ mod tests {
         let c = a
             .add_component("orphan", ComponentKind::Active(ActivationKind::Sporadic))
             .unwrap();
-        let m = a.add_component("imm", area(MemoryKind::Immortal, Some(4096))).unwrap();
+        let m = a
+            .add_component("imm", area(MemoryKind::Immortal, Some(4096)))
+            .unwrap();
         a.add_child(m, c).unwrap();
         let report = validate(&a);
         assert!(!report.is_compliant());
@@ -637,19 +666,25 @@ mod tests {
     #[test]
     fn active_in_two_domains_flagged() {
         let mut a = compliant();
-        let d2 = a.add_component("rt2", domain(ThreadKind::Realtime, 20)).unwrap();
+        let d2 = a
+            .add_component("rt2", domain(ThreadKind::Realtime, 20))
+            .unwrap();
         let c = a.id_of("worker").unwrap();
         a.add_child(d2, c).unwrap();
         let m = a.id_of("imm").unwrap();
         a.add_child(m, d2).unwrap();
         let report = validate(&a);
-        assert!(report.by_code("SOL-001").any(|d| d.severity == Severity::Error));
+        assert!(report
+            .by_code("SOL-001")
+            .any(|d| d.severity == Severity::Error));
     }
 
     #[test]
     fn nested_thread_domains_flagged() {
         let mut a = compliant();
-        let outer = a.add_component("outer", domain(ThreadKind::Realtime, 25)).unwrap();
+        let outer = a
+            .add_component("outer", domain(ThreadKind::Realtime, 25))
+            .unwrap();
         let inner = a.id_of("nhrt").unwrap();
         a.add_child(outer, inner).unwrap();
         let m = a.id_of("imm").unwrap();
@@ -664,13 +699,18 @@ mod tests {
         let c = a
             .add_component("w", ComponentKind::Active(ActivationKind::Sporadic))
             .unwrap();
-        let d = a.add_component("nhrt", domain(ThreadKind::NoHeapRealtime, 30)).unwrap();
+        let d = a
+            .add_component("nhrt", domain(ThreadKind::NoHeapRealtime, 30))
+            .unwrap();
         let h = a.add_component("h", area(MemoryKind::Heap, None)).unwrap();
         a.add_child(d, h).unwrap();
         a.add_child(h, c).unwrap();
         let report = validate(&a);
         let sol3: Vec<_> = report.by_code("SOL-003").collect();
-        assert!(sol3.len() >= 2, "area nesting and member allocation both flagged: {report}");
+        assert!(
+            sol3.len() >= 2,
+            "area nesting and member allocation both flagged: {report}"
+        );
         assert!(!report.is_compliant());
     }
 
@@ -680,30 +720,44 @@ mod tests {
         let c = a
             .add_component("w", ComponentKind::Active(ActivationKind::Sporadic))
             .unwrap();
-        let d = a.add_component("rt", domain(ThreadKind::Realtime, 20)).unwrap();
+        let d = a
+            .add_component("rt", domain(ThreadKind::Realtime, 20))
+            .unwrap();
         a.add_child(d, c).unwrap();
         let report = validate(&a);
-        assert!(report.by_code("SOL-004").any(|d| d.severity == Severity::Error));
+        assert!(report
+            .by_code("SOL-004")
+            .any(|d| d.severity == Severity::Error));
     }
 
     #[test]
     fn ambiguous_memory_areas_flagged() {
         let mut a = Architecture::new("bad");
         let c = a.add_component("p", ComponentKind::Passive).unwrap();
-        let m1 = a.add_component("imm", area(MemoryKind::Immortal, Some(1024))).unwrap();
-        let m2 = a.add_component("s", area(MemoryKind::Scoped, Some(1024))).unwrap();
+        let m1 = a
+            .add_component("imm", area(MemoryKind::Immortal, Some(1024)))
+            .unwrap();
+        let m2 = a
+            .add_component("s", area(MemoryKind::Scoped, Some(1024)))
+            .unwrap();
         a.add_child(m1, c).unwrap();
         a.add_child(m2, c).unwrap();
         let report = validate(&a);
-        assert!(report.by_code("SOL-004").any(|d| d.message.contains("ambiguous")));
+        assert!(report
+            .by_code("SOL-004")
+            .any(|d| d.message.contains("ambiguous")));
     }
 
     #[test]
     fn nested_areas_are_not_ambiguous() {
         let mut a = Architecture::new("ok");
         let c = a.add_component("p", ComponentKind::Passive).unwrap();
-        let outer = a.add_component("imm", area(MemoryKind::Immortal, Some(8192))).unwrap();
-        let inner = a.add_component("s", area(MemoryKind::Scoped, Some(1024))).unwrap();
+        let outer = a
+            .add_component("imm", area(MemoryKind::Immortal, Some(8192)))
+            .unwrap();
+        let inner = a
+            .add_component("s", area(MemoryKind::Scoped, Some(1024)))
+            .unwrap();
         a.add_child(outer, inner).unwrap();
         a.add_child(inner, c).unwrap();
         let report = validate(&a);
@@ -713,8 +767,12 @@ mod tests {
     #[test]
     fn priority_band_mismatches_flagged() {
         let mut a = compliant();
-        let c2 = a.add_component("aud", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
-        let d2 = a.add_component("reg-high", domain(ThreadKind::Regular, 50)).unwrap();
+        let c2 = a
+            .add_component("aud", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let d2 = a
+            .add_component("reg-high", domain(ThreadKind::Regular, 50))
+            .unwrap();
         a.add_child(d2, c2).unwrap();
         let m = a.id_of("imm").unwrap();
         a.add_child(m, d2).unwrap();
@@ -722,8 +780,12 @@ mod tests {
         assert!(report.by_code("SOL-005").next().is_some());
 
         let mut b = compliant();
-        let c3 = b.add_component("x", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
-        let d3 = b.add_component("nhrt-low", domain(ThreadKind::NoHeapRealtime, 3)).unwrap();
+        let c3 = b
+            .add_component("x", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let d3 = b
+            .add_component("nhrt-low", domain(ThreadKind::NoHeapRealtime, 3))
+            .unwrap();
         b.add_child(d3, c3).unwrap();
         let m2 = b.id_of("imm").unwrap();
         b.add_child(m2, d3).unwrap();
@@ -733,16 +795,26 @@ mod tests {
     /// Two scoped sibling areas with a sync binding across them.
     fn sibling_arch(protocol: Protocol) -> Architecture {
         let mut a = Architecture::new("x");
-        let p = a.add_component("p", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let p = a
+            .add_component("p", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
         let q = a.add_component("q", ComponentKind::Passive).unwrap();
         a.add_interface(p, "out", Role::Client, "I").unwrap();
         a.add_interface(q, "in", Role::Server, "I").unwrap();
         a.bind(p, "out", q, "in", protocol).unwrap();
-        let d = a.add_component("rt", domain(ThreadKind::Realtime, 20)).unwrap();
+        let d = a
+            .add_component("rt", domain(ThreadKind::Realtime, 20))
+            .unwrap();
         a.add_child(d, p).unwrap();
-        let root = a.add_component("root", area(MemoryKind::Immortal, Some(8192))).unwrap();
-        let s1 = a.add_component("s1", area(MemoryKind::Scoped, Some(1024))).unwrap();
-        let s2 = a.add_component("s2", area(MemoryKind::Scoped, Some(1024))).unwrap();
+        let root = a
+            .add_component("root", area(MemoryKind::Immortal, Some(8192)))
+            .unwrap();
+        let s1 = a
+            .add_component("s1", area(MemoryKind::Scoped, Some(1024)))
+            .unwrap();
+        let s2 = a
+            .add_component("s2", area(MemoryKind::Scoped, Some(1024)))
+            .unwrap();
         a.add_child(root, s1).unwrap();
         a.add_child(root, s2).unwrap();
         a.add_child(s1, p).unwrap();
@@ -786,8 +858,12 @@ mod tests {
         a.add_interface(p, "recv", Role::Server, "J").unwrap();
         a.bind(p, "out", q, "in", Protocol::Synchronous).unwrap();
         a.bind(q, "back", p, "recv", Protocol::Synchronous).unwrap();
-        let outer = a.add_component("outer", area(MemoryKind::Scoped, Some(8192))).unwrap();
-        let inner = a.add_component("inner", area(MemoryKind::Scoped, Some(1024))).unwrap();
+        let outer = a
+            .add_component("outer", area(MemoryKind::Scoped, Some(8192)))
+            .unwrap();
+        let inner = a
+            .add_component("inner", area(MemoryKind::Scoped, Some(1024)))
+            .unwrap();
         a.add_child(outer, inner).unwrap();
         a.add_child(outer, p).unwrap();
         a.add_child(inner, q).unwrap();
@@ -827,15 +903,22 @@ mod tests {
         let server = a.add_component("server", ComponentKind::Passive).unwrap();
         a.add_interface(caller, "out", Role::Client, "I").unwrap();
         a.add_interface(server, "in", Role::Server, "I").unwrap();
-        a.bind(caller, "out", server, "in", Protocol::Synchronous).unwrap();
-        let d = a.add_component("nhrt", domain(ThreadKind::NoHeapRealtime, 30)).unwrap();
+        a.bind(caller, "out", server, "in", Protocol::Synchronous)
+            .unwrap();
+        let d = a
+            .add_component("nhrt", domain(ThreadKind::NoHeapRealtime, 30))
+            .unwrap();
         a.add_child(d, caller).unwrap();
-        let imm = a.add_component("imm", area(MemoryKind::Immortal, Some(4096))).unwrap();
+        let imm = a
+            .add_component("imm", area(MemoryKind::Immortal, Some(4096)))
+            .unwrap();
         a.add_child(imm, d).unwrap();
         let h = a.add_component("h", area(MemoryKind::Heap, None)).unwrap();
         a.add_child(h, server).unwrap();
         let report = validate(&a);
-        assert!(report.by_code("SOL-006").any(|d| d.severity == Severity::Error));
+        assert!(report
+            .by_code("SOL-006")
+            .any(|d| d.severity == Severity::Error));
         assert!(!report.is_compliant());
     }
 
@@ -843,13 +926,17 @@ mod tests {
     fn zero_buffer_is_error() {
         let a = sibling_arch(Protocol::Asynchronous { buffer_size: 0 });
         let report = validate(&a);
-        assert!(report.by_code("SOL-010").any(|d| d.severity == Severity::Error));
+        assert!(report
+            .by_code("SOL-010")
+            .any(|d| d.severity == Severity::Error));
     }
 
     #[test]
     fn untriggered_sporadic_warned() {
         let mut a = compliant();
-        let s = a.add_component("sp", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let s = a
+            .add_component("sp", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
         let d = a.id_of("nhrt").unwrap();
         let m = a.id_of("imm").unwrap();
         // A second domain is needed (one active per domain membership is fine,
@@ -866,7 +953,9 @@ mod tests {
         let w = a.id_of("worker").unwrap();
         a.add_interface(w, "out", Role::Client, "I").unwrap();
         let report = validate(&a);
-        assert!(report.by_code("SOL-013").any(|d| d.severity == Severity::Warning));
+        assert!(report
+            .by_code("SOL-013")
+            .any(|d| d.severity == Severity::Warning));
 
         let p = a.add_component("p1", ComponentKind::Passive).unwrap();
         let q = a.add_component("p2", ComponentKind::Passive).unwrap();
@@ -878,7 +967,9 @@ mod tests {
         a.bind(w, "out", p, "in", Protocol::Synchronous).unwrap();
         a.bind(w, "out", q, "in", Protocol::Synchronous).unwrap();
         let report = validate(&a);
-        assert!(report.by_code("SOL-013").any(|d| d.severity == Severity::Error));
+        assert!(report
+            .by_code("SOL-013")
+            .any(|d| d.severity == Severity::Error));
     }
 
     #[test]
@@ -886,29 +977,49 @@ mod tests {
         // Two domains calling the same passive service synchronously.
         let mut a = Architecture::new("shared");
         let s = a.add_component("svc", ComponentKind::Passive).unwrap();
-        let c1 = a.add_component("c1", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
-        let c2 = a.add_component("c2", ComponentKind::Active(ActivationKind::Sporadic)).unwrap();
+        let c1 = a
+            .add_component("c1", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let c2 = a
+            .add_component("c2", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
         a.add_interface(s, "in", Role::Server, "I").unwrap();
         a.add_interface(c1, "out", Role::Client, "I").unwrap();
         a.add_interface(c2, "out", Role::Client, "I").unwrap();
         a.bind(c1, "out", s, "in", Protocol::Synchronous).unwrap();
         a.bind(c2, "out", s, "in", Protocol::Synchronous).unwrap();
-        let d1 = a.add_component("d1", domain(ThreadKind::Realtime, 20)).unwrap();
-        let d2 = a.add_component("d2", domain(ThreadKind::NoHeapRealtime, 33)).unwrap();
+        let d1 = a
+            .add_component("d1", domain(ThreadKind::Realtime, 20))
+            .unwrap();
+        let d2 = a
+            .add_component("d2", domain(ThreadKind::NoHeapRealtime, 33))
+            .unwrap();
         a.add_child(d1, c1).unwrap();
         a.add_child(d2, c2).unwrap();
-        let m = a.add_component("imm", area(MemoryKind::Immortal, Some(8192))).unwrap();
+        let m = a
+            .add_component("imm", area(MemoryKind::Immortal, Some(8192)))
+            .unwrap();
         a.add_child(m, d1).unwrap();
         a.add_child(m, d2).unwrap();
         a.add_child(m, s).unwrap();
 
-        assert_eq!(shared_service_ceiling(&a, s), Some(33), "max client priority");
+        assert_eq!(
+            shared_service_ceiling(&a, s),
+            Some(33),
+            "max client priority"
+        );
         let report = validate(&a);
-        assert!(report.by_code("SOL-014").any(|d| d.message.contains("ceiling 33")));
+        assert!(report
+            .by_code("SOL-014")
+            .any(|d| d.message.contains("ceiling 33")));
         assert!(report.is_compliant(), "info does not block: {report}");
 
         // A single-domain client is not shared: no ceiling.
-        assert_eq!(shared_service_ceiling(&a, c1), None, "active components have none");
+        assert_eq!(
+            shared_service_ceiling(&a, c1),
+            None,
+            "active components have none"
+        );
         let mut single = Architecture::new("single");
         let s2 = single.add_component("svc", ComponentKind::Passive).unwrap();
         let c = single
@@ -916,8 +1027,12 @@ mod tests {
             .unwrap();
         single.add_interface(s2, "in", Role::Server, "I").unwrap();
         single.add_interface(c, "out", Role::Client, "I").unwrap();
-        single.bind(c, "out", s2, "in", Protocol::Synchronous).unwrap();
-        let d = single.add_component("d", domain(ThreadKind::Realtime, 20)).unwrap();
+        single
+            .bind(c, "out", s2, "in", Protocol::Synchronous)
+            .unwrap();
+        let d = single
+            .add_component("d", domain(ThreadKind::Realtime, 20))
+            .unwrap();
         single.add_child(d, c).unwrap();
         assert_eq!(shared_service_ceiling(&single, s2), None);
     }

@@ -108,7 +108,8 @@ impl BusinessView {
     /// Propagates lookup and kind errors.
     pub fn provide(&mut self, component: &str, interface: &str, signature: &str) -> Result<()> {
         let id = self.arch.id_of(component)?;
-        self.arch.add_interface(id, interface, Role::Server, signature)
+        self.arch
+            .add_interface(id, interface, Role::Server, signature)
     }
 
     /// Declares a *client* (required) interface.
@@ -118,7 +119,8 @@ impl BusinessView {
     /// Propagates lookup and kind errors.
     pub fn require(&mut self, component: &str, interface: &str, signature: &str) -> Result<()> {
         let id = self.arch.id_of(component)?;
-        self.arch.add_interface(id, interface, Role::Client, signature)
+        self.arch
+            .add_interface(id, interface, Role::Client, signature)
     }
 
     /// Binds a client interface to a server interface synchronously.
@@ -134,7 +136,8 @@ impl BusinessView {
         server_if: &str,
     ) -> Result<()> {
         let (c, s) = (self.arch.id_of(client)?, self.arch.id_of(server)?);
-        self.arch.bind(c, client_if, s, server_if, Protocol::Synchronous)
+        self.arch
+            .bind(c, client_if, s, server_if, Protocol::Synchronous)
     }
 
     /// Binds a client interface to a server interface asynchronously with a
@@ -152,8 +155,13 @@ impl BusinessView {
         buffer_size: usize,
     ) -> Result<()> {
         let (c, s) = (self.arch.id_of(client)?, self.arch.id_of(server)?);
-        self.arch
-            .bind(c, client_if, s, server_if, Protocol::Asynchronous { buffer_size })
+        self.arch.bind(
+            c,
+            client_if,
+            s,
+            server_if,
+            Protocol::Asynchronous { buffer_size },
+        )
     }
 
     /// Read access to the underlying architecture.
@@ -347,19 +355,28 @@ mod tests {
         b.passive("Console").unwrap();
         b.active_sporadic("AuditLog").unwrap();
         b.content("ProductionLine", "ProductionLineImpl").unwrap();
-        b.content("MonitoringSystem", "MonitoringSystemImpl").unwrap();
+        b.content("MonitoringSystem", "MonitoringSystemImpl")
+            .unwrap();
         b.content("Console", "ConsoleImpl").unwrap();
         b.content("AuditLog", "AuditLogImpl").unwrap();
 
         b.require("ProductionLine", "iMonitor", "IMonitor").unwrap();
-        b.provide("MonitoringSystem", "iMonitor", "IMonitor").unwrap();
-        b.require("MonitoringSystem", "iConsole", "IConsole").unwrap();
+        b.provide("MonitoringSystem", "iMonitor", "IMonitor")
+            .unwrap();
+        b.require("MonitoringSystem", "iConsole", "IConsole")
+            .unwrap();
         b.provide("Console", "iConsole", "IConsole").unwrap();
         b.require("MonitoringSystem", "iAudit", "IAudit").unwrap();
         b.provide("AuditLog", "iAudit", "IAudit").unwrap();
 
-        b.bind_async("ProductionLine", "iMonitor", "MonitoringSystem", "iMonitor", 10)
-            .unwrap();
+        b.bind_async(
+            "ProductionLine",
+            "iMonitor",
+            "MonitoringSystem",
+            "iMonitor",
+            10,
+        )
+        .unwrap();
         b.bind_sync("MonitoringSystem", "iConsole", "Console", "iConsole")
             .unwrap();
         b.bind_async("MonitoringSystem", "iAudit", "AuditLog", "iAudit", 10)
@@ -368,15 +385,26 @@ mod tests {
         let mut flow = DesignFlow::new(b);
         flow.thread_domain("NHRT1", ThreadKind::NoHeapRealtime, 30, &["ProductionLine"])
             .unwrap();
-        flow.thread_domain("NHRT2", ThreadKind::NoHeapRealtime, 25, &["MonitoringSystem"])
-            .unwrap();
+        flow.thread_domain(
+            "NHRT2",
+            ThreadKind::NoHeapRealtime,
+            25,
+            &["MonitoringSystem"],
+        )
+        .unwrap();
         flow.thread_domain("reg1", ThreadKind::Regular, 5, &["AuditLog"])
             .unwrap();
-        flow.memory_area("Imm1", MemoryKind::Immortal, Some(600 * 1024), &["NHRT1", "NHRT2"])
-            .unwrap();
+        flow.memory_area(
+            "Imm1",
+            MemoryKind::Immortal,
+            Some(600 * 1024),
+            &["NHRT1", "NHRT2"],
+        )
+        .unwrap();
         flow.memory_area("S1", MemoryKind::Scoped, Some(28 * 1024), &["Console"])
             .unwrap();
-        flow.memory_area("H1", MemoryKind::Heap, None, &["reg1"]).unwrap();
+        flow.memory_area("H1", MemoryKind::Heap, None, &["reg1"])
+            .unwrap();
         flow
     }
 
@@ -404,11 +432,12 @@ mod tests {
     fn duplicate_view_names_rejected() {
         let mut flow = DesignFlow::new(BusinessView::new("x"));
         flow.business.active_sporadic("a").ok();
-        flow.thread_domain("d", ThreadKind::Realtime, 20, &[]).unwrap();
-        assert!(flow.thread_domain("d", ThreadKind::Realtime, 20, &[]).is_err());
+        flow.thread_domain("d", ThreadKind::Realtime, 20, &[])
+            .unwrap();
         assert!(flow
-            .memory_area("d", MemoryKind::Heap, None, &[])
+            .thread_domain("d", ThreadKind::Realtime, 20, &[])
             .is_err());
+        assert!(flow.memory_area("d", MemoryKind::Heap, None, &[]).is_err());
     }
 
     #[test]
@@ -439,8 +468,10 @@ mod tests {
         let mut b = BusinessView::new("nested");
         b.passive("leaf").unwrap();
         let mut flow = DesignFlow::new(b);
-        flow.memory_area("outer", MemoryKind::Scoped, Some(8192), &[]).unwrap();
-        flow.memory_area("inner", MemoryKind::Scoped, Some(1024), &["leaf"]).unwrap();
+        flow.memory_area("outer", MemoryKind::Scoped, Some(8192), &[])
+            .unwrap();
+        flow.memory_area("inner", MemoryKind::Scoped, Some(1024), &["leaf"])
+            .unwrap();
         flow.nest_area("outer", "inner").unwrap();
         assert!(flow.nest_area("ghost", "inner").is_err());
         assert!(flow.nest_area("outer", "ghost").is_err());
@@ -472,9 +503,12 @@ mod tests {
 
         // Deployment 2: soft — same business view, different views.
         let mut soft = DesignFlow::new(b);
-        soft.thread_domain("rt", ThreadKind::Realtime, 20, &["sensor"]).unwrap();
-        soft.thread_domain("reg", ThreadKind::Regular, 5, &["sink"]).unwrap();
-        soft.memory_area("h", MemoryKind::Heap, None, &["rt", "reg"]).unwrap();
+        soft.thread_domain("rt", ThreadKind::Realtime, 20, &["sensor"])
+            .unwrap();
+        soft.thread_domain("reg", ThreadKind::Regular, 5, &["sink"])
+            .unwrap();
+        soft.memory_area("h", MemoryKind::Heap, None, &["rt", "reg"])
+            .unwrap();
         let soft_arch = soft.merge().unwrap();
         assert!(validate(&soft_arch).is_compliant());
 

@@ -54,6 +54,19 @@ impl fmt::Display for GeneratorError {
 
 impl std::error::Error for GeneratorError {}
 
+impl From<GeneratorError> for soleil_core::SoleilError {
+    fn from(e: GeneratorError) -> Self {
+        use soleil_core::SoleilError;
+        match e {
+            // A refused architecture keeps its full structured report.
+            GeneratorError::Validation(report) => SoleilError::Validation(report),
+            // Runtime build failures re-use the framework-layer conversion.
+            GeneratorError::Build(framework) => SoleilError::from(framework),
+            other => SoleilError::Generator(other.to_string()),
+        }
+    }
+}
+
 fn to_pattern(p: CrossScopePattern) -> PatternKind {
     match p {
         CrossScopePattern::Direct => PatternKind::Direct,
@@ -85,10 +98,12 @@ pub fn compile(arch: &Architecture) -> Result<SystemSpec, GeneratorError> {
     // Topological order: repeatedly take areas whose area-parent is placed.
     let mut ordered: Vec<ComponentId> = Vec::with_capacity(area_components.len());
     let area_parent = |id: ComponentId| -> Option<ComponentId> {
-        arch.parents_of(id)
-            .iter()
-            .copied()
-            .find(|&p| matches!(arch.component(p).map(|c| c.kind), Ok(ComponentKind::MemoryArea(_))))
+        arch.parents_of(id).iter().copied().find(|&p| {
+            matches!(
+                arch.component(p).map(|c| c.kind),
+                Ok(ComponentKind::MemoryArea(_))
+            )
+        })
     };
     let mut remaining = area_components.clone();
     while !remaining.is_empty() {
@@ -273,7 +288,11 @@ pub fn compile(arch: &Architecture) -> Result<SystemSpec, GeneratorError> {
 /// Buffer placement policy: heap only when both endpoints live in heap
 /// areas *and* neither endpoint's domain is NHRT; immortal otherwise (the
 /// exchange-buffer fallback).
-fn buffer_placement(arch: &Architecture, client: ComponentId, server: ComponentId) -> BufferPlacement {
+fn buffer_placement(
+    arch: &Architecture,
+    client: ComponentId,
+    server: ComponentId,
+) -> BufferPlacement {
     let kind_of = |id: ComponentId| {
         arch.memory_area_of(id)
             .map(|(_, d)| d.kind)
@@ -317,7 +336,9 @@ mod tests {
         // ProductionLine: periodic 10ms, NHRT1, Imm1.
         let pl_ix = spec.component_index("ProductionLine").unwrap();
         let pl = &spec.components[pl_ix];
-        assert!(matches!(pl.activation, Activation::Periodic { period } if period == RelativeTime::from_millis(10)));
+        assert!(
+            matches!(pl.activation, Activation::Periodic { period } if period == RelativeTime::from_millis(10))
+        );
         assert_eq!(spec.domains[pl.domain.unwrap()].name, "NHRT1");
         assert_eq!(spec.areas[pl.area].name, "Imm1");
 
@@ -363,8 +384,10 @@ mod tests {
         let mut b = BusinessView::new("x");
         b.active_periodic("p", "10ms").unwrap(); // no content class
         let mut flow = DesignFlow::new(b);
-        flow.thread_domain("d", ThreadKind::Realtime, 20, &["p"]).unwrap();
-        flow.memory_area("m", MemoryKind::Immortal, Some(4096), &["d"]).unwrap();
+        flow.thread_domain("d", ThreadKind::Realtime, 20, &["p"])
+            .unwrap();
+        flow.memory_area("m", MemoryKind::Immortal, Some(4096), &["d"])
+            .unwrap();
         let arch = flow.merge().unwrap();
         assert!(matches!(
             compile(&arch),
@@ -383,8 +406,10 @@ mod tests {
         b.provide("q", "in", "I").unwrap();
         b.bind_async("p", "out", "q", "in", 4).unwrap();
         let mut flow = DesignFlow::new(b);
-        flow.thread_domain("reg", ThreadKind::Regular, 5, &["p", "q"]).unwrap();
-        flow.memory_area("h", MemoryKind::Heap, None, &["reg"]).unwrap();
+        flow.thread_domain("reg", ThreadKind::Regular, 5, &["p", "q"])
+            .unwrap();
+        flow.memory_area("h", MemoryKind::Heap, None, &["reg"])
+            .unwrap();
         let spec = compile(&flow.merge().unwrap()).unwrap();
         let ProtocolSpec::Async { placement, .. } = spec.bindings[0].protocol else {
             panic!("async binding expected")
@@ -398,8 +423,10 @@ mod tests {
         b.passive("leaf").unwrap();
         b.content("leaf", "L").unwrap();
         let mut flow = DesignFlow::new(b);
-        flow.memory_area("outer", MemoryKind::Scoped, Some(8192), &[]).unwrap();
-        flow.memory_area("inner", MemoryKind::Scoped, Some(1024), &["leaf"]).unwrap();
+        flow.memory_area("outer", MemoryKind::Scoped, Some(8192), &[])
+            .unwrap();
+        flow.memory_area("inner", MemoryKind::Scoped, Some(1024), &["leaf"])
+            .unwrap();
         let mut arch = flow.merge().unwrap();
         // Nest inner inside outer manually (views API keeps them flat).
         let outer = arch.id_of("outer").unwrap();
@@ -410,5 +437,37 @@ mod tests {
         let inner_ix = spec.areas.iter().position(|a| a.name == "inner").unwrap();
         assert!(outer_ix < inner_ix);
         assert_eq!(spec.areas[inner_ix].parent, Some(outer_ix));
+    }
+
+    #[test]
+    fn converts_into_unified_error_preserving_diagnostics() {
+        // An active component with no ThreadDomain violates SOL-001; the
+        // refusal must survive conversion into SoleilError with the
+        // validator's structured diagnostic text intact.
+        let mut b = BusinessView::new("bad");
+        b.active_sporadic("orphan").unwrap();
+        b.content("orphan", "O").unwrap();
+        let arch = DesignFlow::new(b).merge().unwrap();
+        let err = compile(&arch).unwrap_err();
+        let report = match &err {
+            GeneratorError::Validation(report) => report.clone(),
+            other => panic!("expected validation refusal, got {other}"),
+        };
+        let unified = SoleilError::from(err);
+        let SoleilError::Validation(kept) = &unified else {
+            panic!("expected SoleilError::Validation, got {unified}");
+        };
+        assert_eq!(kept.len(), report.len());
+        let rendered = unified.to_string();
+        for d in report.diagnostics() {
+            assert!(
+                rendered.contains(&d.to_string()),
+                "missing '{d}' in:\n{rendered}"
+            );
+        }
+
+        let missing = GeneratorError::MissingContent("pump".into());
+        let text = missing.to_string();
+        assert_eq!(SoleilError::from(missing).to_string(), text);
     }
 }

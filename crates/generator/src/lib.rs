@@ -72,7 +72,7 @@ mod tests {
         ) -> InvokeResult {
             self.seq += 1;
             msg.value = (self.seq % 100) as f64;
-            msg.anomalous = self.seq % 10 == 0;
+            msg.anomalous = self.seq.is_multiple_of(10);
             out.send("iMonitor", msg.clone())
         }
     }

@@ -89,10 +89,13 @@ pub trait Content<P: Payload>: Debug {
     }
 }
 
+/// A boxed constructor for one content class.
+pub type ContentFactory<P> = Box<dyn Fn() -> Box<dyn Content<P>>>;
+
 /// A factory registry mapping content-class names (the ADL's
 /// `content class="..."` attribute) to constructors.
 pub struct ContentRegistry<P: Payload> {
-    entries: Vec<(String, Box<dyn Fn() -> Box<dyn Content<P>>>)>,
+    entries: Vec<(String, ContentFactory<P>)>,
 }
 
 impl<P: Payload> ContentRegistry<P> {
@@ -156,7 +159,12 @@ mod tests {
     #[derive(Debug, Default)]
     struct Echo;
     impl Content<u32> for Echo {
-        fn on_invoke(&mut self, _port: &str, msg: &mut u32, _out: &mut dyn Ports<u32>) -> InvokeResult {
+        fn on_invoke(
+            &mut self,
+            _port: &str,
+            msg: &mut u32,
+            _out: &mut dyn Ports<u32>,
+        ) -> InvokeResult {
             *msg += 1;
             Ok(())
         }

@@ -152,9 +152,9 @@ impl BindingController {
     ///
     /// [`FrameworkError::Binding`] when unbound.
     pub fn resolve(&self, client_port: &str) -> Result<&BindingTarget, FrameworkError> {
-        self.table
-            .get(client_port)
-            .ok_or_else(|| FrameworkError::Binding(format!("client port '{client_port}' is unbound")))
+        self.table.get(client_port).ok_or_else(|| {
+            FrameworkError::Binding(format!("client port '{client_port}' is unbound"))
+        })
     }
 
     /// Bound client-port names (introspection).
@@ -393,7 +393,9 @@ mod tests {
     fn memory_area_controller_pin_lifecycle() {
         use rtsj::memory::{MemoryManager, ScopedMemoryParams};
         let mut mm = MemoryManager::default();
-        let s = mm.create_scoped(ScopedMemoryParams::new("s", 1024)).unwrap();
+        let s = mm
+            .create_scoped(ScopedMemoryParams::new("s", 1024))
+            .unwrap();
         let mut mac = MemoryAreaController::new("S1", s);
         assert!(mac.pin().is_none());
         let pin = ScopePin::new(&mut mm, s, &[]).unwrap();

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use rtsj::RtsjError;
+use soleil_core::SoleilError;
 
 /// Failures raised by membranes, controllers and the execution engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +54,16 @@ impl From<RtsjError> for FrameworkError {
     }
 }
 
+impl From<FrameworkError> for SoleilError {
+    fn from(e: FrameworkError) -> Self {
+        match e {
+            // Substrate violations keep their structured form.
+            FrameworkError::Rtsj(inner) => SoleilError::Rtsj(inner),
+            other => SoleilError::Framework(other.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +82,31 @@ mod tests {
     fn is_send_sync() {
         fn check<T: Send + Sync + 'static>() {}
         check::<FrameworkError>();
+    }
+
+    #[test]
+    fn converts_into_unified_error() {
+        let lifecycle = FrameworkError::Lifecycle("component is stopped".into());
+        let text = lifecycle.to_string();
+        let unified: SoleilError = lifecycle.into();
+        assert!(matches!(unified, SoleilError::Framework(_)));
+        assert_eq!(unified.to_string(), text);
+
+        // Substrate violations re-surface as the structured Rtsj variant.
+        let rtsj = FrameworkError::Rtsj(RtsjError::IllegalState("x".into()));
+        assert!(matches!(SoleilError::from(rtsj), SoleilError::Rtsj(_)));
+    }
+
+    #[test]
+    fn question_mark_crosses_layers() {
+        fn framework_op() -> Result<(), FrameworkError> {
+            Err(FrameworkError::Binding("no such client interface".into()))
+        }
+        fn application_op() -> Result<(), SoleilError> {
+            framework_op()?;
+            Ok(())
+        }
+        let err = application_op().unwrap_err();
+        assert!(err.to_string().contains("no such client interface"));
     }
 }

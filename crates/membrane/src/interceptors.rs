@@ -35,8 +35,11 @@ pub trait Interceptor: Debug {
     /// # Errors
     ///
     /// Implementation-specific; a failing `pre` aborts the invocation.
-    fn pre(&mut self, mm: &mut MemoryManager, ctx: &mut MemoryContext)
-        -> Result<(), FrameworkError>;
+    fn pre(
+        &mut self,
+        mm: &mut MemoryManager,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError>;
 
     /// Runs after the content invocation (also on unwind).
     ///
@@ -305,7 +308,8 @@ impl Interceptor for JitterMonitor {
     ) -> Result<(), FrameworkError> {
         let now = std::time::Instant::now();
         if let Some(last) = self.last.replace(now) {
-            self.gaps_ns.push(now.duration_since(last).as_nanos() as u64);
+            self.gaps_ns
+                .push(now.duration_since(last).as_nanos() as u64);
         }
         Ok(())
     }
@@ -359,7 +363,9 @@ mod tests {
     #[test]
     fn memory_interceptor_enter_inner_roundtrip() {
         let mut mm = MemoryManager::default();
-        let scope = mm.create_scoped(ScopedMemoryParams::new("s", 4096)).unwrap();
+        let scope = mm
+            .create_scoped(ScopedMemoryParams::new("s", 4096))
+            .unwrap();
         let mut ctx = mm.context(ThreadKind::Realtime);
         let mut mi = MemoryInterceptor::new(MemoryPlan::enter_inner(scope, vec![scope]));
         mi.pre(&mut mm, &mut ctx).unwrap();
@@ -372,8 +378,12 @@ mod tests {
     #[test]
     fn memory_interceptor_enters_nested_chains() {
         let mut mm = MemoryManager::default();
-        let outer = mm.create_scoped(ScopedMemoryParams::new("o", 4096)).unwrap();
-        let inner = mm.create_scoped(ScopedMemoryParams::new("i", 4096)).unwrap();
+        let outer = mm
+            .create_scoped(ScopedMemoryParams::new("o", 4096))
+            .unwrap();
+        let inner = mm
+            .create_scoped(ScopedMemoryParams::new("i", 4096))
+            .unwrap();
         // Pin the chain so `inner`'s parent is fixed to `outer`.
         let mut pin_ctx = mm.context(ThreadKind::Realtime);
         mm.enter(&mut pin_ctx, outer).unwrap();
@@ -400,8 +410,12 @@ mod tests {
     #[test]
     fn memory_interceptor_execute_in_outer_roundtrip() {
         let mut mm = MemoryManager::default();
-        let outer = mm.create_scoped(ScopedMemoryParams::new("o", 4096)).unwrap();
-        let inner = mm.create_scoped(ScopedMemoryParams::new("i", 4096)).unwrap();
+        let outer = mm
+            .create_scoped(ScopedMemoryParams::new("o", 4096))
+            .unwrap();
+        let inner = mm
+            .create_scoped(ScopedMemoryParams::new("i", 4096))
+            .unwrap();
         let mut ctx = mm.context(ThreadKind::Realtime);
         mm.enter(&mut ctx, outer).unwrap();
         mm.enter(&mut ctx, inner).unwrap();
@@ -420,7 +434,9 @@ mod tests {
     #[test]
     fn transient_scope_reclaims_temporaries() {
         let mut mm = MemoryManager::default();
-        let temp = mm.create_scoped(ScopedMemoryParams::new("tmp", 4096)).unwrap();
+        let temp = mm
+            .create_scoped(ScopedMemoryParams::new("tmp", 4096))
+            .unwrap();
         let mut ctx = mm.context(ThreadKind::Realtime);
         let mut mi = MemoryInterceptor::new(MemoryPlan {
             pattern: PatternKind::Direct,

@@ -97,11 +97,7 @@ pub fn enter_inner<R>(
     mm: &mut MemoryManager,
     ctx: &mut MemoryContext,
     inner: AreaId,
-    f: impl FnOnce(
-        &mut MemoryManager,
-        &mut MemoryContext,
-        Option<rtsj::memory::RawHandle>,
-    ) -> Result<R>,
+    f: impl FnOnce(&mut MemoryManager, &mut MemoryContext, Option<rtsj::memory::RawHandle>) -> Result<R>,
 ) -> Result<R> {
     mm.enter_with(ctx, inner, |mm, ctx| {
         let portal = mm.portal(inner)?;

@@ -116,7 +116,10 @@ impl fmt::Display for RtsjError {
                 write!(f, "area {area} is not on the current scope stack")
             }
             RtsjError::StaleHandle { area } => {
-                write!(f, "stale handle: area {area} was reclaimed since allocation")
+                write!(
+                    f,
+                    "stale handle: area {area} was reclaimed since allocation"
+                )
             }
             RtsjError::ThrowBoundary { area } => {
                 write!(f, "throw boundary error crossing scope {area}")

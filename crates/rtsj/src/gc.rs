@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn periodic_config_is_enabled() {
-        let g = GcConfig::periodic(RelativeTime::from_millis(10), RelativeTime::from_micros(500));
+        let g = GcConfig::periodic(
+            RelativeTime::from_millis(10),
+            RelativeTime::from_micros(500),
+        );
         assert!(g.enabled());
         assert_eq!(g.start, RelativeTime::from_millis(10));
     }

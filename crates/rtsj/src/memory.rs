@@ -273,7 +273,10 @@ impl MemoryContext {
         if let Some(&a) = self.alloc_override.last() {
             return a;
         }
-        self.scope_stack.last().copied().unwrap_or(self.default_area)
+        self.scope_stack
+            .last()
+            .copied()
+            .unwrap_or(self.default_area)
     }
 
     /// The stack of entered scopes, outermost first.
@@ -329,7 +332,11 @@ impl MemoryManager {
         let heap = Area {
             name: "heap".to_string(),
             kind: MemoryKind::Heap,
-            size_limit: if heap_size == 0 { None } else { Some(heap_size) },
+            size_limit: if heap_size == 0 {
+                None
+            } else {
+                Some(heap_size)
+            },
             consumed: 0,
             high_watermark: 0,
             objects: Vec::new(),
@@ -432,10 +439,7 @@ impl MemoryManager {
     /// Returns `None` both for unoccupied scopes and for occupied top-level
     /// scopes (whose parent is the primordial scope).
     pub fn parent_of(&self, area: AreaId) -> Result<Option<AreaId>> {
-        Ok(self
-            .area(area)?
-            .parent
-            .filter(|&p| p != AreaId::PRIMORDIAL))
+        Ok(self.area(area)?.parent.filter(|&p| p != AreaId::PRIMORDIAL))
     }
 
     /// Number of threads currently inside `area`.
@@ -1009,7 +1013,9 @@ mod tests {
     fn duplicate_scope_names_rejected() {
         let mut m = mm();
         m.create_scoped(ScopedMemoryParams::new("s", 1024)).unwrap();
-        let err = m.create_scoped(ScopedMemoryParams::new("s", 1024)).unwrap_err();
+        let err = m
+            .create_scoped(ScopedMemoryParams::new("s", 1024))
+            .unwrap_err();
         assert!(matches!(err, RtsjError::IllegalState(_)));
     }
 
@@ -1018,7 +1024,9 @@ mod tests {
         let mut m = mm();
         let s = m.create_scoped(ScopedMemoryParams::new("s", 4096)).unwrap();
         let mut ctx = m.context(ThreadKind::Realtime);
-        let h_heap = m.alloc(&ctx, AreaId::HEAP, String::from("on heap")).unwrap();
+        let h_heap = m
+            .alloc(&ctx, AreaId::HEAP, String::from("on heap"))
+            .unwrap();
         let h_imm = m.alloc(&ctx, AreaId::IMMORTAL, 7u32).unwrap();
         m.enter(&mut ctx, s).unwrap();
         let h_scope = m.alloc(&ctx, s, [1u8; 8]).unwrap();
@@ -1093,7 +1101,9 @@ mod tests {
         let mut m = mm();
         let a = m.create_scoped(ScopedMemoryParams::new("a", 4096)).unwrap();
         let b = m.create_scoped(ScopedMemoryParams::new("b", 4096)).unwrap();
-        let inner = m.create_scoped(ScopedMemoryParams::new("inner", 4096)).unwrap();
+        let inner = m
+            .create_scoped(ScopedMemoryParams::new("inner", 4096))
+            .unwrap();
 
         let mut t1 = m.context(ThreadKind::Realtime);
         m.enter(&mut t1, a).unwrap();
@@ -1143,8 +1153,12 @@ mod tests {
     #[test]
     fn assignment_rules() {
         let mut m = mm();
-        let outer = m.create_scoped(ScopedMemoryParams::new("outer", 4096)).unwrap();
-        let inner = m.create_scoped(ScopedMemoryParams::new("inner", 4096)).unwrap();
+        let outer = m
+            .create_scoped(ScopedMemoryParams::new("outer", 4096))
+            .unwrap();
+        let inner = m
+            .create_scoped(ScopedMemoryParams::new("inner", 4096))
+            .unwrap();
         let mut t = m.context(ThreadKind::Realtime);
         m.enter(&mut t, outer).unwrap();
         m.enter(&mut t, inner).unwrap();
@@ -1167,8 +1181,12 @@ mod tests {
     #[test]
     fn sibling_scopes_cannot_reference_each_other() {
         let mut m = mm();
-        let s1 = m.create_scoped(ScopedMemoryParams::new("s1", 4096)).unwrap();
-        let s2 = m.create_scoped(ScopedMemoryParams::new("s2", 4096)).unwrap();
+        let s1 = m
+            .create_scoped(ScopedMemoryParams::new("s1", 4096))
+            .unwrap();
+        let s2 = m
+            .create_scoped(ScopedMemoryParams::new("s2", 4096))
+            .unwrap();
         let mut t = m.context(ThreadKind::Realtime);
         m.enter(&mut t, s1).unwrap();
         let mut t2 = m.context(ThreadKind::Realtime);
@@ -1180,7 +1198,9 @@ mod tests {
     #[test]
     fn out_of_memory_is_reported() {
         let mut m = mm();
-        let s = m.create_scoped(ScopedMemoryParams::new("tiny", 24)).unwrap();
+        let s = m
+            .create_scoped(ScopedMemoryParams::new("tiny", 24))
+            .unwrap();
         let mut t = m.context(ThreadKind::Realtime);
         m.enter(&mut t, s).unwrap();
         let err = m.alloc(&t, s, [0u8; 64]).unwrap_err();
@@ -1207,7 +1227,10 @@ mod tests {
         m.heap_free(h.raw()).unwrap();
         assert_eq!(m.stats(AreaId::HEAP).unwrap().consumed, before);
         // Double free detected.
-        assert!(matches!(m.heap_free(h.raw()), Err(RtsjError::StaleHandle { .. })));
+        assert!(matches!(
+            m.heap_free(h.raw()),
+            Err(RtsjError::StaleHandle { .. })
+        ));
     }
 
     #[test]

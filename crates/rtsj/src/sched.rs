@@ -474,7 +474,10 @@ impl Simulator {
             EventKind::GcEnd => {
                 self.gc_active = false;
                 self.trace.push(self.now, TraceEvent::GcEnd);
-                self.push_event(self.now + (self.gc.period - self.gc.pause), EventKind::GcStart);
+                self.push_event(
+                    self.now + (self.gc.period - self.gc.pause),
+                    EventKind::GcStart,
+                );
             }
         }
     }
@@ -706,7 +709,10 @@ mod tests {
         assert!(!sim.trace().ran_during_gc(reg));
         let rs = sim.stats(reg).unwrap();
         // The regular task sees inflated responses when GC overlaps it.
-        assert!(rs.response_times.iter().any(|&r| r > RelativeTime::from_micros(500)));
+        assert!(rs
+            .response_times
+            .iter()
+            .any(|&r| r > RelativeTime::from_micros(500)));
     }
 
     #[test]

@@ -266,7 +266,11 @@ mod tests {
 
     #[test]
     fn kind_codes_roundtrip() {
-        for k in [ThreadKind::NoHeapRealtime, ThreadKind::Realtime, ThreadKind::Regular] {
+        for k in [
+            ThreadKind::NoHeapRealtime,
+            ThreadKind::Realtime,
+            ThreadKind::Regular,
+        ] {
             assert_eq!(ThreadKind::parse(k.code()), Some(k));
         }
         assert_eq!(ThreadKind::parse("nhrt"), Some(ThreadKind::NoHeapRealtime));

@@ -197,9 +197,9 @@ impl fmt::Display for AbsoluteTime {
 
 impl fmt::Display for RelativeTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
             write!(f, "{}ms", self.0 / 1_000_000)
-        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
             write!(f, "{}us", self.0 / 1_000)
         } else {
             write!(f, "{}ns", self.0)
@@ -227,7 +227,10 @@ mod tests {
     fn arithmetic_roundtrips() {
         let t = AbsoluteTime::from_millis(5) + RelativeTime::from_micros(250);
         assert_eq!(t.as_nanos(), 5_250_000);
-        assert_eq!(t - AbsoluteTime::from_millis(5), RelativeTime::from_micros(250));
+        assert_eq!(
+            t - AbsoluteTime::from_millis(5),
+            RelativeTime::from_micros(250)
+        );
     }
 
     #[test]
@@ -235,7 +238,10 @@ mod tests {
         let a = AbsoluteTime::from_nanos(10);
         let b = AbsoluteTime::from_nanos(30);
         assert_eq!(a - b, RelativeTime::ZERO);
-        assert_eq!(RelativeTime::from_nanos(1) - RelativeTime::from_nanos(5), RelativeTime::ZERO);
+        assert_eq!(
+            RelativeTime::from_nanos(1) - RelativeTime::from_nanos(5),
+            RelativeTime::ZERO
+        );
     }
 
     #[test]

@@ -61,7 +61,9 @@ fn deep_nesting_and_unwind() {
 #[test]
 fn portal_requires_occupancy() {
     let mut mm = MemoryManager::default();
-    let s = mm.create_scoped(ScopedMemoryParams::new("s", 4096)).unwrap();
+    let s = mm
+        .create_scoped(ScopedMemoryParams::new("s", 4096))
+        .unwrap();
     let mut ctx = mm.context(ThreadKind::Realtime);
     mm.enter(&mut ctx, s).unwrap();
     let h = mm.alloc(&ctx, s, 1u8).unwrap();
@@ -110,7 +112,9 @@ fn unbounded_heap_accepts_large_allocations() {
 #[test]
 fn interleaved_threads_share_scope_without_leaks() {
     let mut mm = MemoryManager::default();
-    let s = mm.create_scoped(ScopedMemoryParams::new("shared", 1 << 16)).unwrap();
+    let s = mm
+        .create_scoped(ScopedMemoryParams::new("shared", 1 << 16))
+        .unwrap();
     let mut contexts: Vec<_> = (0..8).map(|_| mm.context(ThreadKind::Realtime)).collect();
     // Staggered entry.
     for ctx in contexts.iter_mut() {

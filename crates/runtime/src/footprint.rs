@@ -112,10 +112,7 @@ mod tests {
         );
         assert_eq!(report.framework_bytes, 1234);
         assert!(report.application_bytes() >= 500);
-        assert_eq!(
-            report.total_bytes(),
-            report.application_bytes() + 1234
-        );
+        assert_eq!(report.total_bytes(), report.application_bytes() + 1234);
         let display = report.to_string();
         assert!(display.contains("imm"));
         assert!(display.contains("framework"));

@@ -195,7 +195,10 @@ impl SystemSpec {
         for (i, a) in self.areas.iter().enumerate() {
             if let Some(p) = a.parent {
                 if p >= i {
-                    return Err(format!("area '{}': parent index {p} not before child {i}", a.name));
+                    return Err(format!(
+                        "area '{}': parent index {p} not before child {i}",
+                        a.name
+                    ));
                 }
             }
         }

@@ -21,7 +21,9 @@ use rtsj::memory::{AreaId, MemoryContext, MemoryKind, MemoryManager};
 use rtsj::thread::{Priority, ThreadKind};
 use soleil_membrane::content::{Content, ContentRegistry, Payload};
 use soleil_membrane::controllers::{BindingTarget, LifecycleState, MemoryAreaController};
-use soleil_membrane::interceptors::{ActiveInterceptor, Interceptor, MemoryInterceptor, MemoryPlan};
+use soleil_membrane::interceptors::{
+    ActiveInterceptor, Interceptor, MemoryInterceptor, MemoryPlan,
+};
 use soleil_membrane::{FrameworkError, Membrane, Ports};
 use soleil_patterns::{ExchangeBuffer, PatternKind, PushOutcome, ScopePin};
 
@@ -259,8 +261,11 @@ impl<P: Payload> System<P> {
             let content = registry.instantiate(&c.content_class)?;
             let state = content.state_bytes().max(1);
             mm.alloc_raw(&boot_ctx, areas[c.area].id, state)?;
-            let mut server_ports: Vec<Rc<str>> =
-                c.server_ports.iter().map(|p| Rc::from(p.as_str())).collect();
+            let mut server_ports: Vec<Rc<str>> = c
+                .server_ports
+                .iter()
+                .map(|p| Rc::from(p.as_str()))
+                .collect();
             if matches!(c.activation, Activation::Periodic { .. }) {
                 server_ports.push(Rc::from(RELEASE_PORT));
             }
@@ -307,7 +312,11 @@ impl<P: Payload> System<P> {
                     BufferPlacement::Immortal => AreaId::IMMORTAL,
                 };
                 let heap_ctx = mm.context(ThreadKind::Regular);
-                let ctx = if area == AreaId::HEAP { &heap_ctx } else { &boot_ctx };
+                let ctx = if area == AreaId::HEAP {
+                    &heap_ctx
+                } else {
+                    &boot_ctx
+                };
                 let buffer = ExchangeBuffer::create(&mut mm, ctx, area, capacity)?;
                 let consumer_port_ix = port_index(&nodes[b.server], &b.server_port)?;
                 buffer_of_binding[bix] = Some(buffers.len());
@@ -544,7 +553,12 @@ impl<P: Payload> System<P> {
     /// # Errors
     ///
     /// Any framework or substrate error raised along the way.
-    pub fn inject(&mut self, component: &str, port: &str, mut msg: P) -> Result<(), FrameworkError> {
+    pub fn inject(
+        &mut self,
+        component: &str,
+        port: &str,
+        mut msg: P,
+    ) -> Result<(), FrameworkError> {
         let slot = self.slot_of(component)?;
         let port_ix = port_index(&self.nodes[slot], port)?;
         self.activate(slot, port_ix, &mut msg)?;
@@ -582,7 +596,9 @@ impl<P: Payload> System<P> {
             result = self.invoke(slot, port_ix, msg, &mut ctx);
         }
         for _ in 0..entered {
-            self.mm.exit(&mut ctx).expect("balanced activation scope stack");
+            self.mm
+                .exit(&mut ctx)
+                .expect("balanced activation scope stack");
         }
         if let Some(d) = domain_ix {
             self.domains[d].ctx = Some(ctx);
@@ -947,13 +963,12 @@ impl<P: Payload> System<P> {
                 let new_area = self.areas[self.nodes[server_slot].area_ix].id;
                 let client_area = self.areas[self.nodes[client_slot].area_ix].id;
                 let (pattern, enter_path) = self.pattern_between(client_area, new_area);
-                self.mem_interceptors[old.binding_ix] =
-                    Some(MemoryInterceptor::new(MemoryPlan {
-                        pattern,
-                        server_area: new_area,
-                        enter_path,
-                        transient_scope: None,
-                    }));
+                self.mem_interceptors[old.binding_ix] = Some(MemoryInterceptor::new(MemoryPlan {
+                    pattern,
+                    server_area: new_area,
+                    enter_path,
+                    transient_scope: None,
+                }));
                 let m = self.membranes[client_slot]
                     .as_mut()
                     .expect("membrane present outside invocation");
@@ -1098,7 +1113,11 @@ impl<P: Payload> System<P> {
         Ok(MembraneInfo {
             component: m.component.clone(),
             started: m.lifecycle.state() == LifecycleState::Started,
-            interceptors: m.interceptor_names().iter().map(|s| s.to_string()).collect(),
+            interceptors: m
+                .interceptor_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             bound_ports: m.binding.ports().iter().map(|s| s.to_string()).collect(),
         })
     }
@@ -1128,9 +1147,7 @@ impl<P: Payload> System<P> {
             .as_mut()
             .expect("membrane present outside invocation");
         if m.interceptor("jitter-monitor").is_none() {
-            m.push_interceptor(Box::new(
-                soleil_membrane::interceptors::JitterMonitor::new(),
-            ));
+            m.push_interceptor(Box::new(soleil_membrane::interceptors::JitterMonitor::new()));
         }
         Ok(())
     }
@@ -1268,18 +1285,19 @@ impl<P: Payload> Ports<P> for SoleilPorts<'_, P> {
         self.sys.stats.sync_calls += 1;
         let mut mi = self.sys.mem_interceptors[target.binding_ix]
             .take()
-            .ok_or_else(|| {
-                FrameworkError::Binding("memory interceptor already in use".into())
-            })?;
+            .ok_or_else(|| FrameworkError::Binding("memory interceptor already in use".into()))?;
         if let Err(e) = mi.pre(&mut self.sys.mm, self.ctx) {
             self.sys.mem_interceptors[target.binding_ix] = Some(mi);
             return Err(e);
         }
         let result = if mi.needs_copy() {
             let mut copy = msg.clone();
-            let r = self
-                .sys
-                .invoke(target.target_slot, target.server_port_ix, &mut copy, self.ctx);
+            let r = self.sys.invoke(
+                target.target_slot,
+                target.server_port_ix,
+                &mut copy,
+                self.ctx,
+            );
             *msg = copy;
             r
         } else {
@@ -1294,9 +1312,7 @@ impl<P: Payload> Ports<P> for SoleilPorts<'_, P> {
     fn send(&mut self, client_port: &str, msg: P) -> Result<(), FrameworkError> {
         let target = self.membrane.binding.resolve(client_port)?.clone();
         let buffer_ix = target.buffer_index.ok_or_else(|| {
-            FrameworkError::Binding(format!(
-                "port '{client_port}' is synchronous; use call()"
-            ))
+            FrameworkError::Binding(format!("port '{client_port}' is synchronous; use call()"))
         })?;
         self.sys.enqueue(buffer_ix, msg, self.ctx)
     }
@@ -1579,8 +1595,10 @@ mod tests {
             // check the substrate saw scope traffic.
             let s1 = sys.memory().area_by_name("S1").unwrap();
             let stats = sys.memory().stats(s1).unwrap();
-            assert!(stats.consumed > 0 || stats.high_watermark > 0 || stats.reclaim_count == 0,
-                "scoped area exists ({mode})");
+            assert!(
+                stats.consumed > 0 || stats.high_watermark > 0 || stats.reclaim_count == 0,
+                "scoped area exists ({mode})"
+            );
         });
     }
 
@@ -1597,7 +1615,10 @@ mod tests {
         let head = sys.slot_of("producer").unwrap();
         let err = sys.run_transaction(head).unwrap_err();
         assert!(
-            matches!(err, FrameworkError::Rtsj(rtsj::RtsjError::MemoryAccess { .. })),
+            matches!(
+                err,
+                FrameworkError::Rtsj(rtsj::RtsjError::MemoryAccess { .. })
+            ),
             "got {err}"
         );
     }
@@ -1644,7 +1665,9 @@ mod tests {
                 Mode::Soleil => {
                     let info = info.unwrap();
                     assert!(info.started);
-                    assert!(info.interceptors.contains(&"active-interceptor".to_string()));
+                    assert!(info
+                        .interceptors
+                        .contains(&"active-interceptor".to_string()));
                     assert_eq!(info.bound_ports.len(), 2);
                     assert!(sys.reified_spec().is_some());
                 }
@@ -1660,9 +1683,15 @@ mod tests {
     fn footprint_ordering_soleil_heaviest_ultra_lightest() {
         let spec = pipeline_spec();
         let reg = registry();
-        let soleil = System::build(&spec, Mode::Soleil, &reg).unwrap().footprint();
-        let merged = System::build(&spec, Mode::MergeAll, &reg).unwrap().footprint();
-        let ultra = System::build(&spec, Mode::UltraMerge, &reg).unwrap().footprint();
+        let soleil = System::build(&spec, Mode::Soleil, &reg)
+            .unwrap()
+            .footprint();
+        let merged = System::build(&spec, Mode::MergeAll, &reg)
+            .unwrap()
+            .footprint();
+        let ultra = System::build(&spec, Mode::UltraMerge, &reg)
+            .unwrap()
+            .footprint();
         assert!(
             soleil.framework_bytes > merged.framework_bytes,
             "SOLEIL {} <= MERGE-ALL {}",
@@ -1705,7 +1734,7 @@ mod tests {
                 domain: None,
                 area: 0,
                 server_ports: vec!["svc".into()],
-                    ceiling: None,
+                ceiling: None,
             });
             let mut sys = System::build(&spec, mode, &registry()).unwrap();
             sys.rebind("middle", "svc", "service2").unwrap();

@@ -24,7 +24,12 @@ struct Producer {
     n: u32,
 }
 impl Content<Alert> for Producer {
-    fn on_invoke(&mut self, _port: &str, msg: &mut Alert, out: &mut dyn Ports<Alert>) -> InvokeResult {
+    fn on_invoke(
+        &mut self,
+        _port: &str,
+        msg: &mut Alert,
+        out: &mut dyn Ports<Alert>,
+    ) -> InvokeResult {
         self.n += 1;
         msg.code = self.n;
         out.call("console", msg)
@@ -37,7 +42,12 @@ struct NamedConsole {
     handled: std::rc::Rc<std::cell::Cell<u32>>,
 }
 impl Content<Alert> for NamedConsole {
-    fn on_invoke(&mut self, _port: &str, _msg: &mut Alert, _out: &mut dyn Ports<Alert>) -> InvokeResult {
+    fn on_invoke(
+        &mut self,
+        _port: &str,
+        _msg: &mut Alert,
+        _out: &mut dyn Ports<Alert>,
+    ) -> InvokeResult {
         self.handled.set(self.handled.get() + 1);
         Ok(())
     }
@@ -46,7 +56,9 @@ impl Content<Alert> for NamedConsole {
     }
 }
 
-fn build(mode: Mode) -> Result<(System<Alert>, std::rc::Rc<std::cell::Cell<u32>>, std::rc::Rc<std::cell::Cell<u32>>), Box<dyn std::error::Error>> {
+type HandledCounter = std::rc::Rc<std::cell::Cell<u32>>;
+
+fn build(mode: Mode) -> Result<(System<Alert>, HandledCounter, HandledCounter), SoleilError> {
     let mut b = BusinessView::new("adaptive");
     b.active_periodic("producer", "5ms")?;
     b.passive("primary")?;
@@ -61,7 +73,12 @@ fn build(mode: Mode) -> Result<(System<Alert>, std::rc::Rc<std::cell::Cell<u32>>
 
     let mut flow = DesignFlow::new(b);
     flow.thread_domain("rt", ThreadKind::Realtime, 25, &["producer"])?;
-    flow.memory_area("imm", MemoryKind::Immortal, Some(128 * 1024), &["rt", "primary", "backup"])?;
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(128 * 1024),
+        &["rt", "primary", "backup"],
+    )?;
     let arch = flow.merge()?;
     assert!(validate(&arch).is_compliant());
 
@@ -71,18 +88,24 @@ fn build(mode: Mode) -> Result<(System<Alert>, std::rc::Rc<std::cell::Cell<u32>>
     registry.register("ProducerImpl", || Box::new(Producer::default()));
     let p = primary_count.clone();
     registry.register("PrimaryImpl", move || {
-        Box::new(NamedConsole { name: "primary", handled: p.clone() })
+        Box::new(NamedConsole {
+            name: "primary",
+            handled: p.clone(),
+        })
     });
     let bk = backup_count.clone();
     registry.register("BackupImpl", move || {
-        Box::new(NamedConsole { name: "backup", handled: bk.clone() })
+        Box::new(NamedConsole {
+            name: "backup",
+            handled: bk.clone(),
+        })
     });
 
     let sys = generate(&arch, mode, &registry)?;
     Ok((sys, primary_count, backup_count))
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SoleilError> {
     // --- SOLEIL: full membrane-level adaptation ------------------------
     println!("== SOLEIL mode ==");
     let (mut sys, primary, backup) = build(Mode::Soleil)?;
@@ -90,9 +113,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..10 {
         sys.run_transaction(head)?;
     }
-    println!("  before reconfiguration: primary={}, backup={}", primary.get(), backup.get());
+    println!(
+        "  before reconfiguration: primary={}, backup={}",
+        primary.get(),
+        backup.get()
+    );
     let info = sys.membrane_info("producer")?;
-    println!("  producer membrane: interceptors {:?}, bound ports {:?}", info.interceptors, info.bound_ports);
+    println!(
+        "  producer membrane: interceptors {:?}, bound ports {:?}",
+        info.interceptors, info.bound_ports
+    );
 
     println!("  ... stopping primary, rebinding producer.console -> backup ...");
     sys.stop("primary")?;
@@ -100,7 +130,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..10 {
         sys.run_transaction(head)?;
     }
-    println!("  after reconfiguration:  primary={}, backup={}", primary.get(), backup.get());
+    println!(
+        "  after reconfiguration:  primary={}, backup={}",
+        primary.get(),
+        backup.get()
+    );
     assert_eq!(primary.get(), 10);
     assert_eq!(backup.get(), 10);
 
@@ -136,7 +170,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..5 {
         sys.run_transaction(head)?;
     }
-    println!("  functional rebinding still works: primary={}, backup={}", primary.get(), backup.get());
+    println!(
+        "  functional rebinding still works: primary={}, backup={}",
+        primary.get(),
+        backup.get()
+    );
     assert_eq!((primary.get(), backup.get()), (5, 5));
 
     // --- ULTRA-MERGE: purely static --------------------------------------

@@ -40,15 +40,28 @@ struct RadarSensor {
 }
 
 impl Content<Frame> for RadarSensor {
-    fn on_invoke(&mut self, _port: &str, msg: &mut Frame, out: &mut dyn Ports<Frame>) -> InvokeResult {
+    fn on_invoke(
+        &mut self,
+        _port: &str,
+        msg: &mut Frame,
+        out: &mut dyn Ports<Frame>,
+    ) -> InvokeResult {
         self.frame_no += 1;
         msg.frame_no = self.frame_no;
         msg.positions = (0..AIRCRAFT)
             .map(|i| {
                 let t = self.frame_no as f64 * 0.05 + i as f64;
                 // Two aircraft (0 and 1) on slowly converging tracks.
-                let squeeze = if i < 2 { (t * 0.11).sin().abs() * 8.0 } else { 40.0 + i as f64 * 25.0 };
-                (squeeze + t.cos(), i as f64 * 3.0 + t.sin(), 10.0 + (i % 3) as f64)
+                let squeeze = if i < 2 {
+                    (t * 0.11).sin().abs() * 8.0
+                } else {
+                    40.0 + i as f64 * 25.0
+                };
+                (
+                    squeeze + t.cos(),
+                    i as f64 * 3.0 + t.sin(),
+                    10.0 + (i % 3) as f64,
+                )
             })
             .collect();
         out.send("frames", msg.clone())
@@ -59,7 +72,12 @@ impl Content<Frame> for RadarSensor {
 struct Detector;
 
 impl Content<Frame> for Detector {
-    fn on_invoke(&mut self, _port: &str, msg: &mut Frame, out: &mut dyn Ports<Frame>) -> InvokeResult {
+    fn on_invoke(
+        &mut self,
+        _port: &str,
+        msg: &mut Frame,
+        out: &mut dyn Ports<Frame>,
+    ) -> InvokeResult {
         let mut conflicts = 0u32;
         for i in 0..msg.positions.len() {
             for j in (i + 1)..msg.positions.len() {
@@ -87,7 +105,12 @@ struct TransponderCache {
 }
 
 impl Content<Frame> for TransponderCache {
-    fn on_invoke(&mut self, _port: &str, msg: &mut Frame, _out: &mut dyn Ports<Frame>) -> InvokeResult {
+    fn on_invoke(
+        &mut self,
+        _port: &str,
+        msg: &mut Frame,
+        _out: &mut dyn Ports<Frame>,
+    ) -> InvokeResult {
         self.lookups += 1;
         msg.cache_hits = msg.conflicts; // every conflicting pair resolved
         Ok(())
@@ -100,13 +123,18 @@ struct AlertLogger {
 }
 
 impl Content<Frame> for AlertLogger {
-    fn on_invoke(&mut self, _port: &str, msg: &mut Frame, _out: &mut dyn Ports<Frame>) -> InvokeResult {
+    fn on_invoke(
+        &mut self,
+        _port: &str,
+        msg: &mut Frame,
+        _out: &mut dyn Ports<Frame>,
+    ) -> InvokeResult {
         self.alerts += u64::from(msg.conflicts > 0);
         Ok(())
     }
 }
 
-fn architecture() -> Result<Architecture, Box<dyn std::error::Error>> {
+fn architecture() -> Result<Architecture, SoleilError> {
     let mut b = BusinessView::new("collision-detector");
     b.active_periodic("RadarSensor", "20ms")?;
     b.active_sporadic("Detector")?;
@@ -129,16 +157,31 @@ fn architecture() -> Result<Architecture, Box<dyn std::error::Error>> {
     b.bind_async("Detector", "alerts", "AlertLogger", "alerts", 8)?;
 
     let mut flow = DesignFlow::new(b);
-    flow.thread_domain("radar-nhrt", ThreadKind::NoHeapRealtime, 35, &["RadarSensor"])?;
+    flow.thread_domain(
+        "radar-nhrt",
+        ThreadKind::NoHeapRealtime,
+        35,
+        &["RadarSensor"],
+    )?;
     flow.thread_domain("detect-nhrt", ThreadKind::NoHeapRealtime, 32, &["Detector"])?;
     flow.thread_domain("log-reg", ThreadKind::Regular, 5, &["AlertLogger"])?;
-    flow.memory_area("imm", MemoryKind::Immortal, Some(512 * 1024), &["radar-nhrt", "detect-nhrt"])?;
-    flow.memory_area("cache-scope", MemoryKind::Scoped, Some(64 * 1024), &["TransponderCache"])?;
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(512 * 1024),
+        &["radar-nhrt", "detect-nhrt"],
+    )?;
+    flow.memory_area(
+        "cache-scope",
+        MemoryKind::Scoped,
+        Some(64 * 1024),
+        &["TransponderCache"],
+    )?;
     flow.memory_area("heap", MemoryKind::Heap, None, &["log-reg"])?;
     Ok(flow.merge()?)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SoleilError> {
     let arch = architecture()?;
     let report = validate(&arch);
     assert!(report.is_compliant(), "{report}");
@@ -151,7 +194,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut registry: ContentRegistry<Frame> = ContentRegistry::new();
     registry.register("RadarSensorImpl", || Box::new(RadarSensor::default()));
     registry.register("DetectorImpl", || Box::new(Detector));
-    registry.register("TransponderCacheImpl", || Box::new(TransponderCache::default()));
+    registry.register("TransponderCacheImpl", || {
+        Box::new(TransponderCache::default())
+    });
     registry.register("AlertLoggerImpl", || Box::new(AlertLogger::default()));
 
     let mut sys = generate(&arch, Mode::MergeAll, &registry)?;
@@ -178,7 +223,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with("Detector", RelativeTime::from_micros(900))
         .with("AlertLogger", RelativeTime::from_micros(80));
     let gc = GcConfig::periodic(RelativeTime::from_millis(60), RelativeTime::from_millis(15));
-    let mut d = deploy(&spec, &costs, &SimOptions { force_thread_kind: None, gc: Some(gc) });
+    let mut d = deploy(
+        &spec,
+        &costs,
+        &SimOptions {
+            force_thread_kind: None,
+            gc: Some(gc),
+        },
+    );
     d.simulator.run_until(AbsoluteTime::from_millis(2_000));
     for stage in ["RadarSensor", "Detector", "AlertLogger"] {
         let t = d.tasks[stage];
@@ -190,7 +242,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let radar = d.simulator.stats(d.tasks["RadarSensor"])?;
-    assert_eq!(radar.deadline_misses, 0, "NHRT radar never misses its frame");
+    assert_eq!(
+        radar.deadline_misses, 0,
+        "NHRT radar never misses its frame"
+    );
     println!("\nNHRT stages met every 20 ms frame despite 15 ms GC pauses.");
     Ok(())
 }

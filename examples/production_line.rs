@@ -14,9 +14,12 @@ use soleil::generator::generate;
 use soleil::prelude::*;
 use soleil::scenario::{motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SoleilError> {
     // --- Design phase -------------------------------------------------
-    println!("=== Fig. 4 ADL ({} lines) ===", MOTIVATION_EXAMPLE_XML.lines().count());
+    println!(
+        "=== Fig. 4 ADL ({} lines) ===",
+        MOTIVATION_EXAMPLE_XML.lines().count()
+    );
     let arch = motivation_architecture()?;
     println!(
         "parsed architecture '{}': {} components, {} bindings\n",
@@ -93,6 +96,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fp.overhead_vs(&oo_fp)
         );
     }
-    println!("\n(for the full 10k-observation run: cargo run -p soleil-bench --release --bin reproduce)");
+    println!(
+        "\n(for the full 10k-observation run: cargo run -p soleil-bench --release --bin reproduce)"
+    );
     Ok(())
 }

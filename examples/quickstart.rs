@@ -23,8 +23,16 @@ struct Sensor {
 }
 
 impl Content<Sample> for Sensor {
-    fn on_invoke(&mut self, port: &str, msg: &mut Sample, out: &mut dyn Ports<Sample>) -> InvokeResult {
-        assert_eq!(port, RELEASE_PORT, "periodic components release on {RELEASE_PORT}");
+    fn on_invoke(
+        &mut self,
+        port: &str,
+        msg: &mut Sample,
+        out: &mut dyn Ports<Sample>,
+    ) -> InvokeResult {
+        assert_eq!(
+            port, RELEASE_PORT,
+            "periodic components release on {RELEASE_PORT}"
+        );
         self.seq += 1;
         msg.seq = self.seq;
         msg.celsius = 20.0 + (self.seq % 7) as f64 * 0.1;
@@ -39,7 +47,12 @@ struct Logger {
 }
 
 impl Content<Sample> for Logger {
-    fn on_invoke(&mut self, _port: &str, msg: &mut Sample, _out: &mut dyn Ports<Sample>) -> InvokeResult {
+    fn on_invoke(
+        &mut self,
+        _port: &str,
+        msg: &mut Sample,
+        _out: &mut dyn Ports<Sample>,
+    ) -> InvokeResult {
         self.seen += 1;
         if msg.celsius > self.hottest {
             self.hottest = msg.celsius;
@@ -48,7 +61,7 @@ impl Content<Sample> for Logger {
     }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SoleilError> {
     // 1. Business view: pure functional architecture.
     let mut business = BusinessView::new("thermometer");
     business.active_periodic("sensor", "10ms")?;
@@ -61,7 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Thread + memory management views (the real-time concerns).
     let mut flow = DesignFlow::new(business);
-    flow.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 30, &["sensor", "logger"])?;
+    flow.thread_domain(
+        "nhrt",
+        ThreadKind::NoHeapRealtime,
+        30,
+        &["sensor", "logger"],
+    )?;
     flow.memory_area("imm", MemoryKind::Immortal, Some(128 * 1024), &["nhrt"])?;
 
     // 3. Merge and validate: RTSJ conformance checked at design time.

@@ -35,7 +35,12 @@ struct SensorImpl {
     n: u64,
 }
 impl Content<Reading> for SensorImpl {
-    fn on_invoke(&mut self, _p: &str, msg: &mut Reading, out: &mut dyn Ports<Reading>) -> InvokeResult {
+    fn on_invoke(
+        &mut self,
+        _p: &str,
+        msg: &mut Reading,
+        out: &mut dyn Ports<Reading>,
+    ) -> InvokeResult {
         self.n += 1;
         msg.raw = (self.n % 100) as f64;
         out.send("out", *msg)
@@ -47,7 +52,12 @@ struct FilterImpl {
     ema: f64,
 }
 impl Content<Reading> for FilterImpl {
-    fn on_invoke(&mut self, _p: &str, msg: &mut Reading, out: &mut dyn Ports<Reading>) -> InvokeResult {
+    fn on_invoke(
+        &mut self,
+        _p: &str,
+        msg: &mut Reading,
+        out: &mut dyn Ports<Reading>,
+    ) -> InvokeResult {
         self.ema = 0.9 * self.ema + 0.1 * msg.raw;
         msg.filtered = self.ema;
         out.send("out", *msg)
@@ -59,13 +69,18 @@ struct SinkImpl {
     sum: Rc<Cell<f64>>,
 }
 impl Content<Reading> for SinkImpl {
-    fn on_invoke(&mut self, _p: &str, msg: &mut Reading, _out: &mut dyn Ports<Reading>) -> InvokeResult {
+    fn on_invoke(
+        &mut self,
+        _p: &str,
+        msg: &mut Reading,
+        _out: &mut dyn Ports<Reading>,
+    ) -> InvokeResult {
         self.sum.set(self.sum.get() + msg.filtered);
         Ok(())
     }
 }
 
-fn business() -> Result<BusinessView, Box<dyn std::error::Error>> {
+fn business() -> Result<BusinessView, SoleilError> {
     let mut b = BusinessView::new("tailorable-pipeline");
     b.active_periodic("sensor", "5ms")?;
     b.active_sporadic("filter")?;
@@ -82,15 +97,31 @@ fn business() -> Result<BusinessView, Box<dyn std::error::Error>> {
     Ok(b)
 }
 
-/// The three deployments: (label, closure adding the RT views).
-fn deployments() -> Vec<(&'static str, fn(&mut DesignFlow) -> soleil::core::Result<()>)> {
+/// One deployment: (label, function adding the RT views).
+type Deployment = (
+    &'static str,
+    fn(&mut DesignFlow) -> soleil::core::Result<()>,
+);
+
+/// The three deployments.
+fn deployments() -> Vec<Deployment> {
     fn hard(f: &mut DesignFlow) -> soleil::core::Result<()> {
-        f.thread_domain("all-nhrt", ThreadKind::NoHeapRealtime, 35, &["sensor", "filter", "sink"])?;
+        f.thread_domain(
+            "all-nhrt",
+            ThreadKind::NoHeapRealtime,
+            35,
+            &["sensor", "filter", "sink"],
+        )?;
         f.memory_area("imm", MemoryKind::Immortal, Some(256 * 1024), &["all-nhrt"])
     }
     fn mixed(f: &mut DesignFlow) -> soleil::core::Result<()> {
         // NHRT for the time-critical stages (GC-immune), regular for the sink.
-        f.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 28, &["sensor", "filter"])?;
+        f.thread_domain(
+            "nhrt",
+            ThreadKind::NoHeapRealtime,
+            28,
+            &["sensor", "filter"],
+        )?;
         f.thread_domain("reg", ThreadKind::Regular, 5, &["sink"])?;
         f.memory_area("imm", MemoryKind::Immortal, Some(128 * 1024), &["nhrt"])?;
         f.memory_area("heap", MemoryKind::Heap, None, &["reg"])
@@ -102,7 +133,7 @@ fn deployments() -> Vec<(&'static str, fn(&mut DesignFlow) -> soleil::core::Resu
     vec![("hard", hard), ("mixed", mixed), ("soft", soft)]
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SoleilError> {
     let gc = GcConfig::periodic(RelativeTime::from_millis(30), RelativeTime::from_millis(8));
     let costs = SimCosts::uniform(RelativeTime::from_micros(200));
 
@@ -135,7 +166,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Virtual-time deployment under GC.
         let spec = compile(&arch)?;
-        let mut d = deploy(&spec, &costs, &SimOptions { force_thread_kind: None, gc: Some(gc) });
+        let mut d = deploy(
+            &spec,
+            &costs,
+            &SimOptions {
+                force_thread_kind: None,
+                gc: Some(gc),
+            },
+        );
         d.simulator.run_until(AbsoluteTime::from_millis(1_000));
         let wcrt = |name: &str| {
             d.simulator
@@ -163,7 +201,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Functional results identical across deployments.
     assert!((sums[0] - sums[1]).abs() < 1e-6 && (sums[1] - sums[2]).abs() < 1e-6);
-    println!("\nfunctional results identical across all three deployments: {:.1}", sums[0]);
+    println!(
+        "\nfunctional results identical across all three deployments: {:.1}",
+        sums[0]
+    );
     println!("only the thread/memory views changed — business code untouched.");
     Ok(())
 }

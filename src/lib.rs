@@ -28,7 +28,7 @@
 //! use soleil::prelude::*;
 //! use soleil::scenario;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), soleil::SoleilError> {
 //! let arch = scenario::motivation_architecture()?;
 //! assert!(validate(&arch).is_compliant());
 //!
@@ -53,6 +53,8 @@ pub use soleil_membrane as membrane;
 pub use soleil_patterns as patterns;
 pub use soleil_runtime as runtime;
 
+pub use soleil_core::{SoleilError, SoleilResult};
+
 pub mod scenario;
 
 /// The most commonly used items across all layers.
@@ -64,5 +66,6 @@ pub mod prelude {
     pub use crate::runtime::instrument::measure_steady;
     pub use crate::runtime::system::RELEASE_PORT;
     pub use crate::runtime::{FootprintReport, Mode, System, SystemSpec};
+    pub use crate::{SoleilError, SoleilResult};
     pub use rtsj::time::{AbsoluteTime, RelativeTime};
 }

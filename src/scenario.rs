@@ -108,7 +108,7 @@ impl Content<Measurement> for ProductionLineImpl {
         self.seq += 1;
         msg.seq = self.seq;
         msg.value = busy_work(work::PRODUCTION, self.seq as f64);
-        msg.anomalous = self.seq % work::ANOMALY_EVERY == 0;
+        msg.anomalous = self.seq.is_multiple_of(work::ANOMALY_EVERY);
         out.send("iMonitor", *msg)
     }
 }
@@ -245,8 +245,16 @@ impl OoSystem {
         mm.alloc_raw(&boot, s1, 64)?; // console state
         let heap = mm.context(ThreadKind::Regular);
         mm.alloc_raw(&heap, AreaId::HEAP, 64)?; // audit state
-        mm.alloc_raw(&boot, AreaId::IMMORTAL, 10 * std::mem::size_of::<Measurement>())?;
-        mm.alloc_raw(&boot, AreaId::IMMORTAL, 10 * std::mem::size_of::<Measurement>())?;
+        mm.alloc_raw(
+            &boot,
+            AreaId::IMMORTAL,
+            10 * std::mem::size_of::<Measurement>(),
+        )?;
+        mm.alloc_raw(
+            &boot,
+            AreaId::IMMORTAL,
+            10 * std::mem::size_of::<Measurement>(),
+        )?;
         let ctx_monitor = mm.context(ThreadKind::NoHeapRealtime);
         Ok(OoSystem {
             mm,
@@ -272,7 +280,7 @@ impl OoSystem {
         let m = Measurement {
             seq: self.seq,
             value: busy_work(work::PRODUCTION, self.seq as f64),
-            anomalous: self.seq % work::ANOMALY_EVERY == 0,
+            anomalous: self.seq.is_multiple_of(work::ANOMALY_EVERY),
         };
         if self.buf_monitor.len() < 10 {
             self.buf_monitor.push_back(m);
@@ -366,7 +374,10 @@ mod tests {
             assert_eq!(probe.audits.get(), oo_probe.audits.get(), "{mode}");
             assert_eq!(probe.consoles.get(), oo_probe.consoles.get(), "{mode}");
             let diff = (probe.value_sum.get() - oo_probe.value_sum.get()).abs();
-            assert!(diff < 1e-9, "value fingerprint diverged under {mode}: {diff}");
+            assert!(
+                diff < 1e-9,
+                "value fingerprint diverged under {mode}: {diff}"
+            );
         }
     }
 

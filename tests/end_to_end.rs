@@ -5,9 +5,7 @@
 use soleil::core::adl::{from_xml, to_json, to_xml, MOTIVATION_EXAMPLE_XML};
 use soleil::generator::{compile, generate};
 use soleil::prelude::*;
-use soleil::scenario::{
-    motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe,
-};
+use soleil::scenario::{motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe};
 
 const MODES: [Mode; 3] = [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge];
 
@@ -51,7 +49,10 @@ fn all_implementations_agree_with_oo_oracle() {
         assert_eq!(probe.audits.get(), oo_probe.audits.get(), "{mode}");
         assert_eq!(probe.consoles.get(), oo_probe.consoles.get(), "{mode}");
         let delta = (probe.value_sum.get() - oo_probe.value_sum.get()).abs();
-        assert!(delta < 1e-9, "{mode}: functional fingerprint drifted by {delta}");
+        assert!(
+            delta < 1e-9,
+            "{mode}: functional fingerprint drifted by {delta}"
+        );
     }
 }
 
@@ -101,8 +102,7 @@ fn footprint_shape_matches_fig7c() {
 fn engine_counters_are_exact() {
     let arch = motivation_architecture().expect("fixture parses");
     let probe = ScenarioProbe::new();
-    let mut sys =
-        generate(&arch, Mode::Soleil, &registry_with_probe(&probe)).expect("generates");
+    let mut sys = generate(&arch, Mode::Soleil, &registry_with_probe(&probe)).expect("generates");
     let head = sys.slot_of("ProductionLine").expect("head exists");
     for _ in 0..50 {
         sys.run_transaction(head).expect("transaction");
@@ -122,7 +122,10 @@ fn shutdown_reclaims_scoped_memory_in_all_modes() {
     for mode in MODES {
         let probe = ScenarioProbe::new();
         let mut sys = generate(&arch, mode, &registry_with_probe(&probe)).expect("generates");
-        let s1 = sys.memory().area_by_name("S1").expect("console scope exists");
+        let s1 = sys
+            .memory()
+            .area_by_name("S1")
+            .expect("console scope exists");
         assert!(sys.memory().stats(s1).expect("stats").consumed > 0);
         sys.shutdown().expect("shutdown");
         assert_eq!(sys.memory().stats(s1).expect("stats").consumed, 0, "{mode}");

@@ -76,9 +76,12 @@ fn sibling_scopes_use_handoff() {
     b.provide("svc", "svc", "ISvc").unwrap();
     b.bind_sync("caller", "svc", "svc", "svc").unwrap();
     let mut flow = DesignFlow::new(b);
-    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["caller"]).unwrap();
-    flow.memory_area("s1", MemoryKind::Scoped, Some(16 * 1024), &["caller", "rt"]).unwrap();
-    flow.memory_area("s2", MemoryKind::Scoped, Some(16 * 1024), &["svc"]).unwrap();
+    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["caller"])
+        .unwrap();
+    flow.memory_area("s1", MemoryKind::Scoped, Some(16 * 1024), &["caller", "rt"])
+        .unwrap();
+    flow.memory_area("s2", MemoryKind::Scoped, Some(16 * 1024), &["svc"])
+        .unwrap();
     let arch = flow.merge().unwrap();
     let report = validate(&arch);
     assert!(report.is_compliant(), "{report}");
@@ -93,7 +96,8 @@ fn sibling_scopes_use_handoff() {
     let mut sys = generate(&arch, Mode::MergeAll, &registry(&seen)).expect("generates");
     // Inject a message at the caller: hops = 1 (caller) + 1 (svc, on the
     // copy) and the copy is written back.
-    sys.inject("caller", "trigger", Msg::default()).expect("runs");
+    sys.inject("caller", "trigger", Msg::default())
+        .expect("runs");
     assert_eq!(sys.stats().transactions, 1);
 }
 
@@ -110,10 +114,14 @@ fn nhrt_async_buffers_are_placed_in_immortal() {
     b.provide("tail", "in", "I").unwrap();
     b.bind_async("head", "out", "tail", "in", 4).unwrap();
     let mut flow = DesignFlow::new(b);
-    flow.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 30, &["head"]).unwrap();
-    flow.thread_domain("reg", ThreadKind::Regular, 5, &["tail"]).unwrap();
-    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["nhrt"]).unwrap();
-    flow.memory_area("h", MemoryKind::Heap, None, &["reg"]).unwrap();
+    flow.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 30, &["head"])
+        .unwrap();
+    flow.thread_domain("reg", ThreadKind::Regular, 5, &["tail"])
+        .unwrap();
+    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["nhrt"])
+        .unwrap();
+    flow.memory_area("h", MemoryKind::Heap, None, &["reg"])
+        .unwrap();
     let arch = flow.merge().unwrap();
     assert!(validate(&arch).is_compliant());
 
@@ -146,8 +154,10 @@ fn heap_buffers_counted_in_heap_area() {
     b.provide("tail", "in", "I").unwrap();
     b.bind_async("head", "out", "tail", "in", 16).unwrap();
     let mut flow = DesignFlow::new(b);
-    flow.thread_domain("reg", ThreadKind::Regular, 5, &["head", "tail"]).unwrap();
-    flow.memory_area("h", MemoryKind::Heap, None, &["reg"]).unwrap();
+    flow.thread_domain("reg", ThreadKind::Regular, 5, &["head", "tail"])
+        .unwrap();
+    flow.memory_area("h", MemoryKind::Heap, None, &["reg"])
+        .unwrap();
     let arch = flow.merge().unwrap();
 
     let seen = Rc::new(Cell::new(0));
@@ -178,9 +188,17 @@ fn nested_scopes_bootstrap_and_teardown() {
     b.provide("inner-svc", "svc", "I").unwrap();
     b.bind_sync("worker", "svc", "inner-svc", "svc").unwrap();
     let mut flow = DesignFlow::new(b);
-    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["worker"]).unwrap();
-    flow.memory_area("outer", MemoryKind::Scoped, Some(32 * 1024), &["worker", "rt"]).unwrap();
-    flow.memory_area("inner", MemoryKind::Scoped, Some(8 * 1024), &["inner-svc"]).unwrap();
+    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["worker"])
+        .unwrap();
+    flow.memory_area(
+        "outer",
+        MemoryKind::Scoped,
+        Some(32 * 1024),
+        &["worker", "rt"],
+    )
+    .unwrap();
+    flow.memory_area("inner", MemoryKind::Scoped, Some(8 * 1024), &["inner-svc"])
+        .unwrap();
     let mut arch = flow.merge().unwrap();
     let outer = arch.id_of("outer").unwrap();
     let inner = arch.id_of("inner").unwrap();
@@ -197,7 +215,8 @@ fn nested_scopes_bootstrap_and_teardown() {
         Some(outer_id),
         "architecture nesting became substrate nesting"
     );
-    sys.inject("worker", "trigger", Msg::default()).expect("runs");
+    sys.inject("worker", "trigger", Msg::default())
+        .expect("runs");
     sys.shutdown().expect("teardown");
     assert_eq!(sys.memory().stats(inner_id).expect("stats").consumed, 0);
     assert_eq!(sys.memory().stats(outer_id).expect("stats").consumed, 0);

@@ -23,7 +23,10 @@ struct StagePlan {
 
 fn plan_strategy() -> impl Strategy<Value = PipelinePlan> {
     (
-        proptest::collection::vec((0u8..3, 0u8..3).prop_map(|(thread, memory)| StagePlan { thread, memory }), 1..5),
+        proptest::collection::vec(
+            (0u8..3, 0u8..3).prop_map(|(thread, memory)| StagePlan { thread, memory }),
+            1..5,
+        ),
         1usize..12,
     )
         .prop_map(|(stages, buffer)| PipelinePlan { stages, buffer })
@@ -36,8 +39,15 @@ fn build_arch(plan: &PipelinePlan) -> Architecture {
     for i in 1..=plan.stages.len() {
         let name = format!("stage{i}");
         b.active_sporadic(&name).unwrap();
-        b.content(&name, if i == plan.stages.len() { "Sink" } else { "Relay" })
-            .unwrap();
+        b.content(
+            &name,
+            if i == plan.stages.len() {
+                "Sink"
+            } else {
+                "Relay"
+            },
+        )
+        .unwrap();
     }
     for i in 0..plan.stages.len() {
         let (from, to) = (format!("stage{i}"), format!("stage{}", i + 1));
@@ -55,22 +65,40 @@ fn build_arch(plan: &PipelinePlan) -> Architecture {
             1 => (ThreadKind::Realtime, 25),
             _ => (ThreadKind::Regular, 5),
         };
-        flow.thread_domain(&format!("d{i}"), kind, prio, &[comp.as_str()]).unwrap();
+        flow.thread_domain(&format!("d{i}"), kind, prio, &[comp.as_str()])
+            .unwrap();
         match stage.memory {
             0 => flow
-                .memory_area(&format!("m{i}"), MemoryKind::Immortal, Some(128 * 1024), &[&format!("d{i}")])
+                .memory_area(
+                    &format!("m{i}"),
+                    MemoryKind::Immortal,
+                    Some(128 * 1024),
+                    &[&format!("d{i}")],
+                )
                 .unwrap(),
             1 => flow
-                .memory_area(&format!("m{i}"), MemoryKind::Heap, None, &[&format!("d{i}")])
+                .memory_area(
+                    &format!("m{i}"),
+                    MemoryKind::Heap,
+                    None,
+                    &[&format!("d{i}")],
+                )
                 .unwrap(),
             _ => flow
-                .memory_area(&format!("m{i}"), MemoryKind::Scoped, Some(128 * 1024), &[&format!("d{i}")])
+                .memory_area(
+                    &format!("m{i}"),
+                    MemoryKind::Scoped,
+                    Some(128 * 1024),
+                    &[&format!("d{i}")],
+                )
                 .unwrap(),
         }
     }
     // The head runs NHRT in immortal, always legal.
-    flow.thread_domain("dhead", ThreadKind::NoHeapRealtime, 35, &["stage0"]).unwrap();
-    flow.memory_area("mhead", MemoryKind::Immortal, Some(128 * 1024), &["dhead"]).unwrap();
+    flow.thread_domain("dhead", ThreadKind::NoHeapRealtime, 35, &["stage0"])
+        .unwrap();
+    flow.memory_area("mhead", MemoryKind::Immortal, Some(128 * 1024), &["dhead"])
+        .unwrap();
     flow.merge().unwrap()
 }
 
@@ -80,7 +108,12 @@ fn registry(seen: &Rc<Cell<u64>>) -> ContentRegistry<u64> {
         #[derive(Debug, Default)]
         struct Relay;
         impl Content<u64> for Relay {
-            fn on_invoke(&mut self, _p: &str, msg: &mut u64, out: &mut dyn Ports<u64>) -> InvokeResult {
+            fn on_invoke(
+                &mut self,
+                _p: &str,
+                msg: &mut u64,
+                out: &mut dyn Ports<u64>,
+            ) -> InvokeResult {
                 *msg += 1;
                 out.send("out", *msg)
             }
@@ -92,7 +125,12 @@ fn registry(seen: &Rc<Cell<u64>>) -> ContentRegistry<u64> {
         #[derive(Debug)]
         struct Sink(Rc<Cell<u64>>);
         impl Content<u64> for Sink {
-            fn on_invoke(&mut self, _p: &str, msg: &mut u64, _out: &mut dyn Ports<u64>) -> InvokeResult {
+            fn on_invoke(
+                &mut self,
+                _p: &str,
+                msg: &mut u64,
+                _out: &mut dyn Ports<u64>,
+            ) -> InvokeResult {
                 *msg += 1;
                 self.0.set(self.0.get() + 1);
                 Ok(())

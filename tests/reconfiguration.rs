@@ -52,9 +52,15 @@ fn fixture(mode: Mode) -> Fixture {
     bv.provide("svc-b", "svc", "ISvc").unwrap();
     bv.bind_sync("caller", "svc", "svc-a", "svc").unwrap();
     let mut flow = DesignFlow::new(bv);
-    flow.thread_domain("rt", ThreadKind::Realtime, 22, &["caller"]).unwrap();
-    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt", "svc-a", "svc-b"])
+    flow.thread_domain("rt", ThreadKind::Realtime, 22, &["caller"])
         .unwrap();
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(64 * 1024),
+        &["rt", "svc-a", "svc-b"],
+    )
+    .unwrap();
     let arch = flow.merge().unwrap();
     assert!(validate(&arch).is_compliant());
 
@@ -155,8 +161,10 @@ fn rebinding_async_ports_is_refused() {
     bv.provide("c2", "svc", "I").unwrap();
     bv.bind_async("p", "svc", "c1", "svc", 4).unwrap();
     let mut flow = DesignFlow::new(bv);
-    flow.thread_domain("rt", ThreadKind::Realtime, 22, &["p", "c1", "c2"]).unwrap();
-    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt"]).unwrap();
+    flow.thread_domain("rt", ThreadKind::Realtime, 22, &["p", "c1", "c2"])
+        .unwrap();
+    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt"])
+        .unwrap();
     let arch = flow.merge().unwrap();
 
     let a = Rc::new(Cell::new(0));
@@ -190,9 +198,17 @@ fn rebind_recomputes_cross_scope_pattern() {
     bv.provide("svc-b", "svc", "ISvc").unwrap();
     bv.bind_sync("caller", "svc", "svc-a", "svc").unwrap();
     let mut flow = DesignFlow::new(bv);
-    flow.thread_domain("rt", ThreadKind::Realtime, 22, &["caller"]).unwrap();
-    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt", "svc-a"]).unwrap();
-    flow.memory_area("scope-b", MemoryKind::Scoped, Some(16 * 1024), &["svc-b"]).unwrap();
+    flow.thread_domain("rt", ThreadKind::Realtime, 22, &["caller"])
+        .unwrap();
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(64 * 1024),
+        &["rt", "svc-a"],
+    )
+    .unwrap();
+    flow.memory_area("scope-b", MemoryKind::Scoped, Some(16 * 1024), &["svc-b"])
+        .unwrap();
     let arch = flow.merge().unwrap();
 
     let a = Rc::new(Cell::new(0));

@@ -52,12 +52,18 @@ fn nhrt_design_immune_to_gc_regular_is_not() {
             gc: Some(gc),
         },
     );
-    as_designed.simulator.run_until(AbsoluteTime::from_millis(2_000));
+    as_designed
+        .simulator
+        .run_until(AbsoluteTime::from_millis(2_000));
     let pl = as_designed.tasks["ProductionLine"];
     let st = as_designed.simulator.stats(pl).unwrap();
     assert_eq!(st.deadline_misses, 0);
     let summary = st.response_summary().unwrap();
-    assert_eq!(summary.jitter, RelativeTime::ZERO, "NHRT stage perfectly flat");
+    assert_eq!(
+        summary.jitter,
+        RelativeTime::ZERO,
+        "NHRT stage perfectly flat"
+    );
     assert!(as_designed.simulator.trace().ran_during_gc(pl));
 
     let mut forced = deploy(
@@ -148,14 +154,25 @@ fn ceiling_metadata_reaches_the_spec() {
     b.bind_sync("m1", "c", "console", "c").unwrap();
     b.bind_sync("m2", "c", "console", "c").unwrap();
     let mut flow = DesignFlow::new(b);
-    flow.thread_domain("d1", ThreadKind::NoHeapRealtime, 25, &["m1"]).unwrap();
-    flow.thread_domain("d2", ThreadKind::NoHeapRealtime, 31, &["m2"]).unwrap();
-    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["d1", "d2", "console"])
+    flow.thread_domain("d1", ThreadKind::NoHeapRealtime, 25, &["m1"])
         .unwrap();
+    flow.thread_domain("d2", ThreadKind::NoHeapRealtime, 31, &["m2"])
+        .unwrap();
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(64 * 1024),
+        &["d1", "d2", "console"],
+    )
+    .unwrap();
     let arch = flow.merge().unwrap();
     let report = validate(&arch);
     assert!(report.by_code("SOL-014").next().is_some(), "{report}");
     let spec = compile(&arch).unwrap();
     let console = &spec.components[spec.component_index("console").unwrap()];
-    assert_eq!(console.ceiling, Some(31), "max of the two client priorities");
+    assert_eq!(
+        console.ceiling,
+        Some(31),
+        "max of the two client priorities"
+    );
 }

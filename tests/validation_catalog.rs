@@ -16,7 +16,8 @@ fn producer_consumer() -> BusinessView {
     b.content("consumer", "C").unwrap();
     b.require("producer", "out", "IMsg").unwrap();
     b.provide("consumer", "in", "IMsg").unwrap();
-    b.bind_async("producer", "out", "consumer", "in", 8).unwrap();
+    b.bind_async("producer", "out", "consumer", "in", 8)
+        .unwrap();
     b
 }
 
@@ -37,8 +38,13 @@ fn fully_deployed_architecture_is_compliant_and_compiles() {
 fn sol001_active_component_needs_exactly_one_domain() {
     // Zero domains.
     let mut flow = DesignFlow::new(producer_consumer());
-    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["producer", "consumer"])
-        .unwrap();
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(64 * 1024),
+        &["producer", "consumer"],
+    )
+    .unwrap();
     let arch = flow.merge().unwrap();
     let report = validate(&arch);
     assert!(!report.is_compliant());
@@ -62,9 +68,15 @@ fn sol001_active_component_needs_exactly_one_domain() {
 #[test]
 fn sol003_nhrt_domain_must_not_reach_heap() {
     let mut flow = DesignFlow::new(producer_consumer());
-    flow.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 30, &["producer", "consumer"])
+    flow.thread_domain(
+        "nhrt",
+        ThreadKind::NoHeapRealtime,
+        30,
+        &["producer", "consumer"],
+    )
+    .unwrap();
+    flow.memory_area("h", MemoryKind::Heap, None, &["nhrt"])
         .unwrap();
-    flow.memory_area("h", MemoryKind::Heap, None, &["nhrt"]).unwrap();
     let arch = flow.merge().unwrap();
     let report = validate(&arch);
     assert!(!report.is_compliant());
@@ -81,7 +93,9 @@ fn sol005_priority_bands_enforced() {
         .unwrap();
     let arch = flow.merge().unwrap();
     let report = validate(&arch);
-    assert!(report.by_code("SOL-005").any(|d| d.severity == Severity::Error));
+    assert!(report
+        .by_code("SOL-005")
+        .any(|d| d.severity == Severity::Error));
 }
 
 #[test]
@@ -96,9 +110,12 @@ fn sol007_patterns_reported_for_cross_area_bindings() {
     b.bind_sync("caller", "svc", "scoped-svc", "svc").unwrap();
     // Trigger warning SOL-009 is irrelevant here; focus on the pattern info.
     let mut flow = DesignFlow::new(b);
-    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["caller"]).unwrap();
-    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt"]).unwrap();
-    flow.memory_area("s", MemoryKind::Scoped, Some(8 * 1024), &["scoped-svc"]).unwrap();
+    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["caller"])
+        .unwrap();
+    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt"])
+        .unwrap();
+    flow.memory_area("s", MemoryKind::Scoped, Some(8 * 1024), &["scoped-svc"])
+        .unwrap();
     let arch = flow.merge().unwrap();
     let report = validate(&arch);
     assert!(
@@ -120,12 +137,18 @@ fn sol008_sync_into_active_warned_but_compliant() {
     b.provide("callee", "in", "I").unwrap();
     b.bind_sync("caller", "out", "callee", "in").unwrap();
     let mut flow = DesignFlow::new(b);
-    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["caller", "callee"]).unwrap();
-    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt"]).unwrap();
+    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["caller", "callee"])
+        .unwrap();
+    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt"])
+        .unwrap();
     let arch = flow.merge().unwrap();
     let report = validate(&arch);
-    assert!(report.by_code("SOL-008").any(|d| d.severity == Severity::Warning));
-    assert!(report.by_code("SOL-009").any(|d| d.severity == Severity::Warning));
+    assert!(report
+        .by_code("SOL-008")
+        .any(|d| d.severity == Severity::Warning));
+    assert!(report
+        .by_code("SOL-009")
+        .any(|d| d.severity == Severity::Warning));
     // Warnings do not block generation.
     assert!(report.is_compliant());
 }
@@ -141,8 +164,10 @@ fn sol010_zero_capacity_buffer_is_refused() {
     b.provide("c", "in", "I").unwrap();
     b.bind_async("p", "out", "c", "in", 0).unwrap();
     let mut flow = DesignFlow::new(b);
-    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["p", "c"]).unwrap();
-    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt"]).unwrap();
+    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["p", "c"])
+        .unwrap();
+    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt"])
+        .unwrap();
     let arch = flow.merge().unwrap();
     assert!(!validate(&arch).is_compliant());
     assert!(compile(&arch).is_err());
@@ -151,8 +176,13 @@ fn sol010_zero_capacity_buffer_is_refused() {
 #[test]
 fn validator_report_lists_suggestions() {
     let mut flow = DesignFlow::new(producer_consumer());
-    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["producer", "consumer"])
-        .unwrap();
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(64 * 1024),
+        &["producer", "consumer"],
+    )
+    .unwrap();
     let arch = flow.merge().unwrap();
     let report = validate(&arch);
     let with_suggestions = report
@@ -169,8 +199,13 @@ fn validator_report_lists_suggestions() {
 #[test]
 fn generator_error_carries_the_report() {
     let mut flow = DesignFlow::new(producer_consumer());
-    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["producer", "consumer"])
-        .unwrap();
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(64 * 1024),
+        &["producer", "consumer"],
+    )
+    .unwrap();
     let arch = flow.merge().unwrap();
     let err = compile(&arch).unwrap_err();
     let text = err.to_string();

@@ -1,0 +1,40 @@
+//! The deterministic random number source behind generation.
+
+/// A small xorshift64* generator seeded from the test name, so every test
+/// function sees the same case sequence on every run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary label (typically the test name).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label; avoid a zero state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h | 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "empty range");
+        let wide = u128::from(self.next_u64()) << 64 | u128::from(self.next_u64());
+        wide % bound
+    }
+}
