@@ -9,7 +9,7 @@ use rtsj::thread::ThreadKind;
 use soleil::core::adl::{from_xml, MOTIVATION_EXAMPLE_XML};
 use soleil::generator::{compile, generate};
 use soleil::prelude::*;
-use soleil::scenario::{motivation_architecture, registry};
+use soleil::scenario::{motivation_architecture, motivation_validated, registry};
 
 fn bench_design_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("design_time");
@@ -20,15 +20,19 @@ fn bench_design_time(c: &mut Criterion) {
     group.bench_function("validate", |b| {
         b.iter(|| validate(&arch));
     });
+    group.bench_function("validate_into", |b| {
+        b.iter(|| arch.clone().into_validated().expect("compliant"));
+    });
+    let validated = motivation_validated().expect("fixture validates");
     group.bench_function("compile", |b| {
-        b.iter(|| compile(&arch).expect("compiles"));
+        b.iter(|| compile(&validated).expect("compiles"));
     });
     group.finish();
 }
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate_and_bootstrap");
-    let arch = motivation_architecture().expect("fixture parses");
+    let arch = motivation_validated().expect("fixture validates");
     for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
         group.bench_function(mode.to_string(), |b| {
             b.iter_batched(

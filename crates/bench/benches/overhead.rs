@@ -4,9 +4,8 @@
 //! above OO, MERGE-ALL between, ULTRA-MERGE on par with (or below) OO.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use soleil::generator::generate;
 use soleil::prelude::*;
-use soleil::scenario::{motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe};
+use soleil::scenario::{motivation_validated, registry_with_probe, OoSystem, ScenarioProbe};
 
 fn bench_transaction(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_transaction");
@@ -17,11 +16,11 @@ fn bench_transaction(c: &mut Criterion) {
         b.iter(|| oo.run_transaction().expect("transaction"));
     });
 
-    let arch = motivation_architecture().expect("fixture parses");
+    let arch = motivation_validated().expect("fixture validates");
     for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
         let probe = ScenarioProbe::new();
-        let mut sys = generate(&arch, mode, &registry_with_probe(&probe)).expect("system builds");
-        let head = sys.slot_of("ProductionLine").expect("head exists");
+        let mut sys = deploy(&arch, mode, &registry_with_probe(&probe)).expect("system deploys");
+        let head = sys.resolve("ProductionLine").expect("head exists");
         group.bench_function(mode.to_string(), |b| {
             b.iter(|| sys.run_transaction(head).expect("transaction"));
         });

@@ -14,7 +14,7 @@ fn bench_pipeline_depth(c: &mut Criterion) {
     for stages in [1usize, 4, 16] {
         for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
             let mut sys = build_relay_pipeline(stages, mode).expect("pipeline builds");
-            let head = sys.slot_of("stage0").expect("head");
+            let head = sys.resolve("stage0").expect("head");
             group.bench_with_input(
                 BenchmarkId::new(mode.to_string(), stages),
                 &stages,

@@ -68,7 +68,7 @@ fn main() -> Result<(), SoleilError> {
         println!("{table}");
         fs::write(out_dir.join("codegen.txt"), &table)?;
         // Full generated-source listings per mode (the E4 artifact).
-        let arch = soleil::scenario::motivation_architecture()?;
+        let arch = soleil::scenario::motivation_validated()?;
         let spec = soleil::generator::compile(&arch)?;
         for mode in [
             soleil::runtime::Mode::Soleil,

@@ -22,11 +22,11 @@ use std::fmt::Write as _;
 use rtsj::gc::GcConfig;
 use rtsj::thread::ThreadKind;
 use rtsj::time::{AbsoluteTime, RelativeTime};
-use soleil::generator::{compile, emit_source, generate};
+use soleil::generator::{compile, deploy, emit_source};
 use soleil::prelude::*;
 use soleil::runtime::instrument::{measure_steady, LatencySamples};
-use soleil::runtime::sim::{deploy, SimCosts, SimOptions};
-use soleil::scenario::{motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe};
+use soleil::runtime::sim::{deploy as sim_deploy, SimCosts, SimOptions};
+use soleil::scenario::{motivation_validated, registry_with_probe, OoSystem, ScenarioProbe};
 
 /// Convenience alias for harness results: every layer's failure converts
 /// into the unified [`SoleilError`].
@@ -60,12 +60,13 @@ pub fn run_overhead(warmup: usize, observations: usize) -> HarnessResult<Vec<Ove
         samples,
     });
 
-    // Framework modes.
-    let arch = motivation_architecture()?;
+    // Framework modes: deploy once, resolve the head once, then drive the
+    // steady-state loop through the token (no name resolution per call).
+    let arch = motivation_validated()?;
     for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
         let probe = ScenarioProbe::new();
-        let mut sys = generate(&arch, mode, &registry_with_probe(&probe))?;
-        let head = sys.slot_of("ProductionLine")?;
+        let mut sys = deploy(&arch, mode, &registry_with_probe(&probe))?;
+        let head = sys.resolve("ProductionLine")?;
         let samples = measure_steady(warmup, observations, || sys.run_transaction(head))?;
         rows.push(OverheadRow {
             label: mode.to_string(),
@@ -144,11 +145,11 @@ pub fn run_footprint() -> HarnessResult<Vec<FootprintReport>> {
     }
     reports.push(oo.footprint());
 
-    let arch = motivation_architecture()?;
+    let arch = motivation_validated()?;
     for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
         let probe = ScenarioProbe::new();
-        let mut sys = generate(&arch, mode, &registry_with_probe(&probe))?;
-        let head = sys.slot_of("ProductionLine")?;
+        let mut sys = deploy(&arch, mode, &registry_with_probe(&probe))?;
+        let head = sys.resolve("ProductionLine")?;
         for _ in 0..100 {
             sys.run_transaction(head)?;
         }
@@ -206,7 +207,7 @@ pub struct CodegenRow {
 ///
 /// Propagates compilation errors.
 pub fn run_codegen() -> HarnessResult<Vec<CodegenRow>> {
-    let arch = motivation_architecture()?;
+    let arch = motivation_validated()?;
     let spec = compile(&arch)?;
     Ok([Mode::Soleil, Mode::MergeAll, Mode::UltraMerge]
         .into_iter()
@@ -272,7 +273,7 @@ pub struct DeterminismRow {
 ///
 /// Propagates compilation errors.
 pub fn run_determinism(horizon_ms: u64) -> HarnessResult<Vec<DeterminismRow>> {
-    let arch = motivation_architecture()?;
+    let arch = motivation_validated()?;
     let spec = compile(&arch)?;
     let costs = SimCosts::uniform(RelativeTime::from_micros(50))
         .with("ProductionLine", RelativeTime::from_micros(40))
@@ -287,7 +288,7 @@ pub fn run_determinism(horizon_ms: u64) -> HarnessResult<Vec<DeterminismRow>> {
         ("NHRT (as designed)", None),
         ("Regular threads", Some(ThreadKind::Regular)),
     ] {
-        let mut d = deploy(
+        let mut d = sim_deploy(
             &spec,
             &costs,
             &SimOptions {
@@ -359,7 +360,7 @@ pub fn determinism_table(rows: &[DeterminismRow]) -> String {
 pub fn build_relay_pipeline(
     stages: usize,
     mode: Mode,
-) -> HarnessResult<soleil::runtime::System<u64>> {
+) -> HarnessResult<soleil::runtime::Deployment<u64>> {
     use soleil::prelude::*;
 
     let mut b = BusinessView::new(format!("relay-{stages}"));
@@ -400,7 +401,7 @@ pub fn build_relay_pipeline(
     }
     let mut registry: ContentRegistry<u64> = ContentRegistry::new();
     registry.register("Relay", || Box::new(Relay));
-    Ok(generate(&arch, mode, &registry)?)
+    Ok(deploy(&arch.into_validated()?, mode, &registry)?)
 }
 
 #[cfg(test)]
@@ -462,7 +463,7 @@ mod tests {
         for stages in [1usize, 3, 8] {
             for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
                 let mut sys = build_relay_pipeline(stages, mode).unwrap();
-                let head = sys.slot_of("stage0").unwrap();
+                let head = sys.resolve("stage0").unwrap();
                 for _ in 0..10 {
                     sys.run_transaction(head).unwrap();
                 }

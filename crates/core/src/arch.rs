@@ -172,14 +172,21 @@ impl Architecture {
         Ok(())
     }
 
-    /// Removes the containment edge `parent -> child`, if present.
-    pub fn remove_child(&mut self, parent: ComponentId, child: ComponentId) {
+    /// Removes the containment edge `parent -> child`; returns whether the
+    /// edge existed (parity with [`unbind`](Self::unbind), so callers —
+    /// e.g. the transactional-reconfiguration rollback — can detect a
+    /// hierarchy that diverged from their expectations).
+    pub fn remove_child(&mut self, parent: ComponentId, child: ComponentId) -> bool {
+        let mut removed = false;
         if let Some(v) = self.children.get_mut(parent.0 as usize) {
+            let before = v.len();
             v.retain(|&c| c != child);
+            removed = v.len() != before;
         }
         if let Some(v) = self.parents.get_mut(child.0 as usize) {
             v.retain(|&p| p != parent);
         }
+        removed
     }
 
     /// Adds a binding between a client interface and a server interface.

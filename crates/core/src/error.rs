@@ -83,6 +83,18 @@ impl From<ValidationReport> for SoleilError {
     }
 }
 
+impl From<crate::validate::RejectedArchitecture> for SoleilError {
+    fn from(rejected: crate::validate::RejectedArchitecture) -> Self {
+        SoleilError::Validation(rejected.report)
+    }
+}
+
+impl From<Box<crate::validate::RejectedArchitecture>> for SoleilError {
+    fn from(rejected: Box<crate::validate::RejectedArchitecture>) -> Self {
+        SoleilError::Validation(rejected.report)
+    }
+}
+
 impl From<std::io::Error> for SoleilError {
     fn from(e: std::io::Error) -> Self {
         SoleilError::Io(e.to_string())

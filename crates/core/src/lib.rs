@@ -63,7 +63,10 @@ pub mod views;
 
 pub use arch::Architecture;
 pub use error::{SoleilError, SoleilResult};
-pub use validate::{validate, Diagnostic, Severity, ValidationReport};
+pub use validate::{
+    validate, validate_into, Diagnostic, RejectedArchitecture, Severity, ValidatedArchitecture,
+    ValidationReport,
+};
 
 /// The most commonly used items, re-exported for glob import.
 pub mod prelude {
@@ -74,7 +77,10 @@ pub mod prelude {
         ActivationKind, Binding, Component, ComponentId, ComponentKind, InterfaceDecl,
         MemoryAreaDesc, Protocol, Role, ThreadDomainDesc,
     };
-    pub use crate::validate::{validate, CrossScopePattern, Severity, ValidationReport};
+    pub use crate::validate::{
+        validate, validate_into, CrossScopePattern, RejectedArchitecture, Severity,
+        ValidatedArchitecture, ValidationReport,
+    };
     pub use crate::views::{BusinessView, DesignFlow};
     pub use rtsj::memory::MemoryKind;
     pub use rtsj::thread::{Priority, ThreadKind};

@@ -114,7 +114,7 @@ impl fmt::Display for Diagnostic {
 }
 
 /// The outcome of validating an architecture.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ValidationReport {
     diagnostics: Vec<Diagnostic>,
 }
@@ -180,6 +180,132 @@ impl fmt::Display for ValidationReport {
             writeln!(f, "{d}")?;
         }
         Ok(())
+    }
+}
+
+/// An [`Architecture`] the validator has accepted — the design-time
+/// conformance witness the rest of the toolchain keys on.
+///
+/// The paper's contract is that RTSJ conformance is established *before*
+/// generation, so the generator and runtime can trust their input. This
+/// type carries that fact in the type system: `compile`/`generate`/`deploy`
+/// take `&ValidatedArchitecture`, and the only ways to obtain one are
+/// [`validate_into`] / [`Architecture::into_validated`] (which run every
+/// rule) or the explicit [`ValidatedArchitecture::assume_valid`] escape
+/// hatch.
+///
+/// Dereferences to [`Architecture`] for read-only queries; there is no
+/// mutable access — editing requires [`into_inner`](Self::into_inner) and
+/// re-validation, so a witness can never silently go stale.
+#[derive(Debug, Clone)]
+pub struct ValidatedArchitecture {
+    arch: Architecture,
+    report: ValidationReport,
+}
+
+impl ValidatedArchitecture {
+    /// Wraps `arch` *without* running the validator — the explicit escape
+    /// hatch for callers that have established conformance by other means
+    /// (e.g. loading a previously validated, trusted artifact).
+    ///
+    /// The RTSJ rules are **not** checked; a non-compliant architecture
+    /// smuggled through here surfaces later as generator/runtime errors
+    /// (or as refused substrate operations), exactly like unchecked input
+    /// did before this witness existed. The attached report is empty.
+    pub fn assume_valid(arch: Architecture) -> Self {
+        ValidatedArchitecture {
+            arch,
+            report: ValidationReport::default(),
+        }
+    }
+
+    /// The report the validator produced when this witness was created
+    /// (advisory warnings/infos included; empty for
+    /// [`assume_valid`](Self::assume_valid)).
+    pub fn report(&self) -> &ValidationReport {
+        &self.report
+    }
+
+    /// Read-only access to the underlying architecture (also available
+    /// through `Deref`).
+    pub fn architecture(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// Unwraps the architecture, discarding the witness — the only way to
+    /// mutate it again.
+    pub fn into_inner(self) -> Architecture {
+        self.arch
+    }
+}
+
+impl std::ops::Deref for ValidatedArchitecture {
+    type Target = Architecture;
+
+    fn deref(&self) -> &Architecture {
+        &self.arch
+    }
+}
+
+impl AsRef<Architecture> for ValidatedArchitecture {
+    fn as_ref(&self) -> &Architecture {
+        &self.arch
+    }
+}
+
+/// A consuming validation that failed: the refused architecture is handed
+/// back together with the full report, so callers can fix and retry.
+#[derive(Debug, Clone)]
+pub struct RejectedArchitecture {
+    /// The architecture the validator refused, returned to the caller.
+    pub architecture: Architecture,
+    /// Every finding, including the blocking errors.
+    pub report: ValidationReport,
+}
+
+impl fmt::Display for RejectedArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "architecture '{}' violates RTSJ:\n{}",
+            self.architecture.name, self.report
+        )
+    }
+}
+
+impl std::error::Error for RejectedArchitecture {}
+
+/// The consuming form of [`validate`]: runs every rule and returns the
+/// [`ValidatedArchitecture`] witness on success, or the architecture plus
+/// its report on refusal.
+///
+/// # Errors
+///
+/// [`RejectedArchitecture`] (boxed — it carries the whole architecture
+/// back) when the report contains `Error` findings.
+pub fn validate_into(
+    arch: Architecture,
+) -> Result<ValidatedArchitecture, Box<RejectedArchitecture>> {
+    let report = validate(&arch);
+    if report.is_compliant() {
+        Ok(ValidatedArchitecture { arch, report })
+    } else {
+        Err(Box::new(RejectedArchitecture {
+            architecture: arch,
+            report,
+        }))
+    }
+}
+
+impl Architecture {
+    /// Method form of [`validate_into`]: consumes the architecture and
+    /// returns the conformance witness.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectedArchitecture`] when the validator finds RTSJ violations.
+    pub fn into_validated(self) -> Result<ValidatedArchitecture, Box<RejectedArchitecture>> {
+        validate_into(self)
     }
 }
 

@@ -13,7 +13,9 @@ use rtsj::memory::MemoryKind;
 use rtsj::thread::ThreadKind;
 use rtsj::time::RelativeTime;
 use soleil_core::model::{ActivationKind, ComponentId, ComponentKind, Protocol, Role};
-use soleil_core::validate::{cross_scope_pattern, validate, CrossScopePattern, ValidationReport};
+use soleil_core::validate::{
+    cross_scope_pattern, validate, CrossScopePattern, ValidatedArchitecture, ValidationReport,
+};
 use soleil_core::Architecture;
 use soleil_membrane::FrameworkError;
 use soleil_patterns::PatternKind;
@@ -79,15 +81,53 @@ fn to_pattern(p: CrossScopePattern) -> PatternKind {
 
 /// Compiles a validated architecture into a [`SystemSpec`].
 ///
+/// The [`ValidatedArchitecture`] witness carries the design-time
+/// conformance proof, so compilation does **not** re-run the validator —
+/// that is the paper's contract made literal: the toolchain downstream of
+/// validation trusts its input, and the type system guarantees the input
+/// went through validation (or through the explicit
+/// [`ValidatedArchitecture::assume_valid`] escape hatch, in which case
+/// structural inconsistencies still surface as
+/// [`GeneratorError::Inconsistent`]).
+///
+/// An unchecked [`Architecture`] is rejected at compile time:
+///
+/// ```compile_fail
+/// use soleil_core::Architecture;
+///
+/// fn try_compile(arch: &Architecture) {
+///     // ERROR: `compile` takes `&ValidatedArchitecture`, not a raw
+///     // `&Architecture` — validate first.
+///     let _ = soleil_generator::compile(arch);
+/// }
+/// ```
+///
 /// # Errors
 ///
 /// See [`GeneratorError`].
-pub fn compile(arch: &Architecture) -> Result<SystemSpec, GeneratorError> {
+pub fn compile(arch: &ValidatedArchitecture) -> Result<SystemSpec, GeneratorError> {
+    compile_spec(arch)
+}
+
+/// The pre-witness entry point: validates, then compiles.
+///
+/// # Errors
+///
+/// [`GeneratorError::Validation`] when the architecture is refused, plus
+/// everything [`compile`] can raise.
+#[deprecated(
+    since = "0.2.0",
+    note = "validate first (`Architecture::into_validated`) and pass the witness to `compile`"
+)]
+pub fn compile_unvalidated(arch: &Architecture) -> Result<SystemSpec, GeneratorError> {
     let report = validate(arch);
     if !report.is_compliant() {
         return Err(GeneratorError::Validation(report));
     }
+    compile_spec(arch)
+}
 
+pub(crate) fn compile_spec(arch: &Architecture) -> Result<SystemSpec, GeneratorError> {
     // --- Areas, parents before children. -------------------------------
     let area_components: Vec<ComponentId> = arch
         .components()
@@ -320,8 +360,11 @@ mod tests {
     use soleil_core::adl::{from_xml, MOTIVATION_EXAMPLE_XML};
     use soleil_core::prelude::*;
 
-    fn motivation() -> Architecture {
-        from_xml(MOTIVATION_EXAMPLE_XML).unwrap()
+    fn motivation() -> ValidatedArchitecture {
+        from_xml(MOTIVATION_EXAMPLE_XML)
+            .unwrap()
+            .into_validated()
+            .unwrap()
     }
 
     #[test]
@@ -369,8 +412,15 @@ mod tests {
         b.active_sporadic("orphan").unwrap();
         b.content("orphan", "X").unwrap();
         let arch = DesignFlow::new(b).merge().unwrap();
-        // No domain, no area: refused with the validation report attached.
-        match compile(&arch) {
+        // No domain, no area: the consuming validator refuses and hands
+        // the architecture back with the report.
+        let rejected = arch.clone().into_validated().unwrap_err();
+        assert!(!rejected.report.is_compliant());
+        assert!(rejected.report.by_code("SOL-001").next().is_some());
+        assert_eq!(rejected.architecture.name, "bad");
+        // The deprecated pre-witness shim refuses identically.
+        #[allow(deprecated)]
+        match compile_unvalidated(&arch) {
             Err(GeneratorError::Validation(report)) => {
                 assert!(!report.is_compliant());
                 assert!(report.by_code("SOL-001").next().is_some());
@@ -388,7 +438,7 @@ mod tests {
             .unwrap();
         flow.memory_area("m", MemoryKind::Immortal, Some(4096), &["d"])
             .unwrap();
-        let arch = flow.merge().unwrap();
+        let arch = flow.merge().unwrap().into_validated().unwrap();
         assert!(matches!(
             compile(&arch),
             Err(GeneratorError::MissingContent(_))
@@ -410,7 +460,7 @@ mod tests {
             .unwrap();
         flow.memory_area("h", MemoryKind::Heap, None, &["reg"])
             .unwrap();
-        let spec = compile(&flow.merge().unwrap()).unwrap();
+        let spec = compile(&flow.merge().unwrap().into_validated().unwrap()).unwrap();
         let ProtocolSpec::Async { placement, .. } = spec.bindings[0].protocol else {
             panic!("async binding expected")
         };
@@ -432,7 +482,7 @@ mod tests {
         let outer = arch.id_of("outer").unwrap();
         let inner = arch.id_of("inner").unwrap();
         arch.add_child(outer, inner).unwrap();
-        let spec = compile(&arch).unwrap();
+        let spec = compile(&arch.into_validated().unwrap()).unwrap();
         let outer_ix = spec.areas.iter().position(|a| a.name == "outer").unwrap();
         let inner_ix = spec.areas.iter().position(|a| a.name == "inner").unwrap();
         assert!(outer_ix < inner_ix);
@@ -448,7 +498,8 @@ mod tests {
         b.active_sporadic("orphan").unwrap();
         b.content("orphan", "O").unwrap();
         let arch = DesignFlow::new(b).merge().unwrap();
-        let err = compile(&arch).unwrap_err();
+        #[allow(deprecated)]
+        let err = compile_unvalidated(&arch).unwrap_err();
         let report = match &err {
             GeneratorError::Validation(report) => report.clone(),
             other => panic!("expected validation refusal, got {other}"),

@@ -24,26 +24,88 @@ pub mod compile;
 pub use codegen::{emit_source, CodegenMetrics, GeneratedSource};
 pub use compile::{compile, GeneratorError};
 
+#[allow(deprecated)]
+pub use compile::compile_unvalidated;
+
+use soleil_core::validate::{validate, ValidatedArchitecture};
 use soleil_core::Architecture;
 use soleil_membrane::content::{ContentRegistry, Payload};
-use soleil_runtime::{Mode, System};
+use soleil_runtime::{Deployment, Mode, System};
 
 /// Compiles `arch` and builds the executable system in one step — the
 /// paper's "final composition process" (functional implementations from
 /// `registry` wrapped by generated infrastructure).
 ///
+/// The input is the design-time conformance witness; an unchecked
+/// [`Architecture`] does not type-check:
+///
+/// ```compile_fail
+/// use soleil_core::Architecture;
+/// use soleil_membrane::content::ContentRegistry;
+/// use soleil_runtime::Mode;
+///
+/// fn try_generate(arch: &Architecture, registry: &ContentRegistry<u64>) {
+///     // ERROR: `generate` takes `&ValidatedArchitecture`, not a raw
+///     // `&Architecture` — validate first.
+///     let _ = soleil_generator::generate(arch, Mode::Soleil, registry);
+/// }
+/// ```
+///
+/// Most callers want [`deploy`] instead, which returns the typed
+/// [`Deployment`] handle.
+///
 /// # Errors
 ///
-/// * [`GeneratorError::Validation`] when the architecture violates RTSJ.
 /// * [`GeneratorError::MissingContent`] when a functional component lacks a
 ///   content class.
 /// * Build errors from the runtime (unknown classes, budget overflow).
 pub fn generate<P: Payload>(
-    arch: &Architecture,
+    arch: &ValidatedArchitecture,
     mode: Mode,
     registry: &ContentRegistry<P>,
 ) -> Result<System<P>, GeneratorError> {
     let spec = compile(arch)?;
+    System::build(&spec, mode, registry).map_err(GeneratorError::Build)
+}
+
+/// The canonical entry path: compiles the validated architecture, builds
+/// the system and wraps it in a [`Deployment`] — component names resolved
+/// once into `ComponentRef` tokens, reconfiguration transactional and
+/// re-validated.
+///
+/// # Errors
+///
+/// Same failure classes as [`generate`].
+pub fn deploy<P: Payload>(
+    arch: &ValidatedArchitecture,
+    mode: Mode,
+    registry: &ContentRegistry<P>,
+) -> Result<Deployment<P>, GeneratorError> {
+    let spec = compile(arch)?;
+    Deployment::build(&spec, mode, registry, arch.architecture().clone())
+        .map_err(GeneratorError::Build)
+}
+
+/// The pre-witness one-shot path: validates, then generates.
+///
+/// # Errors
+///
+/// [`GeneratorError::Validation`] when the architecture is refused, plus
+/// everything [`generate`] can raise.
+#[deprecated(
+    since = "0.2.0",
+    note = "validate first (`Architecture::into_validated`) and pass the witness to `generate` or `deploy`"
+)]
+pub fn generate_unvalidated<P: Payload>(
+    arch: &Architecture,
+    mode: Mode,
+    registry: &ContentRegistry<P>,
+) -> Result<System<P>, GeneratorError> {
+    let report = validate(arch);
+    if !report.is_compliant() {
+        return Err(GeneratorError::Validation(report));
+    }
+    let spec = compile::compile_spec(arch)?;
     System::build(&spec, mode, registry).map_err(GeneratorError::Build)
 }
 
@@ -133,7 +195,10 @@ mod tests {
 
     #[test]
     fn motivation_example_generates_and_runs_in_all_modes() {
-        let arch = from_xml(MOTIVATION_EXAMPLE_XML).unwrap();
+        let arch = from_xml(MOTIVATION_EXAMPLE_XML)
+            .unwrap()
+            .into_validated()
+            .unwrap();
         for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
             let mut sys = generate(&arch, mode, &registry()).unwrap();
             let head = sys.slot_of("ProductionLine").unwrap();
@@ -149,5 +214,42 @@ mod tests {
                 assert_eq!(st.sync_calls, 2, "{mode}");
             }
         }
+    }
+
+    #[test]
+    fn deploy_resolves_refs_once_and_runs_without_name_lookups() {
+        let arch = from_xml(MOTIVATION_EXAMPLE_XML)
+            .unwrap()
+            .into_validated()
+            .unwrap();
+        for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+            let mut dep = deploy(&arch, mode, &registry()).unwrap();
+            let head = dep.resolve("ProductionLine").unwrap();
+            let before = dep.name_lookups();
+            for _ in 0..50 {
+                dep.run_transaction(head).unwrap();
+            }
+            assert_eq!(
+                dep.name_lookups(),
+                before,
+                "{mode}: steady-state loop must not resolve names"
+            );
+            assert_eq!(dep.stats().transactions, 50, "{mode}");
+        }
+    }
+
+    #[test]
+    fn refs_are_scoped_to_their_deployment() {
+        let arch = from_xml(MOTIVATION_EXAMPLE_XML)
+            .unwrap()
+            .into_validated()
+            .unwrap();
+        let a = deploy::<Measurement>(&arch, Mode::MergeAll, &registry()).unwrap();
+        let mut b = deploy::<Measurement>(&arch, Mode::MergeAll, &registry()).unwrap();
+        let foreign = a.resolve("ProductionLine").unwrap();
+        assert!(matches!(
+            b.run_transaction(foreign),
+            Err(soleil_membrane::FrameworkError::Content(_))
+        ));
     }
 }

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use rtsj::RtsjError;
-use soleil_core::SoleilError;
+use soleil_core::{SoleilError, ValidationReport};
 
 /// Failures raised by membranes, controllers and the execution engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +24,10 @@ pub enum FrameworkError {
     /// An operation the current generation mode does not support (e.g.
     /// reconfiguration under ULTRA-MERGE).
     Unsupported(String),
+    /// A transactional reconfiguration whose resulting architecture the
+    /// validator refused; the transaction was rolled back and the full
+    /// report is preserved.
+    Rejected(ValidationReport),
 }
 
 impl fmt::Display for FrameworkError {
@@ -35,6 +39,9 @@ impl fmt::Display for FrameworkError {
             FrameworkError::RunToCompletion(m) => write!(f, "run-to-completion violated: {m}"),
             FrameworkError::Content(m) => write!(f, "content error: {m}"),
             FrameworkError::Unsupported(m) => write!(f, "unsupported in this mode: {m}"),
+            FrameworkError::Rejected(report) => {
+                write!(f, "reconfiguration rejected, rolled back:\n{report}")
+            }
         }
     }
 }
@@ -59,6 +66,8 @@ impl From<FrameworkError> for SoleilError {
         match e {
             // Substrate violations keep their structured form.
             FrameworkError::Rtsj(inner) => SoleilError::Rtsj(inner),
+            // A refused reconfiguration keeps its structured report.
+            FrameworkError::Rejected(report) => SoleilError::Validation(report),
             other => SoleilError::Framework(other.to_string()),
         }
     }

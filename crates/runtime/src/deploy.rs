@@ -1,0 +1,713 @@
+//! The typed deployment handle: resolved component tokens and
+//! transactional reconfiguration.
+//!
+//! A [`Deployment`] wraps a running [`System`] together with the validated
+//! architecture it was generated from. It fixes the two structural
+//! weaknesses of driving a `System` directly:
+//!
+//! * **Stringly-typed hot paths** — `slot_of("name")` and per-call port
+//!   resolution are replaced by [`ComponentRef`]/[`PortRef`] tokens,
+//!   resolved **once** at deploy time. The steady-state loop
+//!   ([`run_transaction`](Deployment::run_transaction),
+//!   [`inject`](Deployment::inject)) performs zero name lookups — a
+//!   property [`System::name_lookups`] makes checkable.
+//! * **Piecewise mutation** — ad-hoc `stop`/`rebind`/`start` calls could
+//!   leave the system half-reconfigured on error, and nothing re-checked
+//!   RTSJ conformance. [`Deployment::reconfigure`] replaces them with an
+//!   all-or-nothing transaction: operations apply eagerly against the live
+//!   engine while an undo journal accumulates; when the closure finishes,
+//!   the resulting architecture is re-validated against the *same* rules
+//!   the design-time validator enforces, and any failure (an operation
+//!   error or a validator refusal) rolls everything back — engine,
+//!   membranes and the architectural model.
+//!
+//! Tokens are deployment-scoped: every `ComponentRef`/`PortRef` carries the
+//! identity of the deployment that minted it, so a token from one
+//! deployment is refused by another instead of silently addressing the
+//! wrong slot.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use rtsj::memory::MemoryManager;
+use rtsj::thread::{Priority, ThreadKind};
+use soleil_core::model::{ComponentId, ComponentKind, Protocol};
+use soleil_core::validate::validate;
+use soleil_core::Architecture;
+use soleil_membrane::content::{ContentRegistry, Payload};
+use soleil_membrane::FrameworkError;
+
+use crate::footprint::FootprintReport;
+use crate::spec::{Mode, SystemSpec};
+use crate::system::{EngineStats, MembraneInfo, System};
+
+/// Mints a fresh deployment identity (token-scoping nonce).
+static NEXT_DEPLOYMENT: AtomicU32 = AtomicU32::new(1);
+
+/// A component resolved within one [`Deployment`]: a copyable token that
+/// addresses the component's engine slot without any name resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentRef {
+    deployment: u32,
+    slot: u32,
+}
+
+/// A server port resolved within one [`Deployment`]: component slot plus
+/// port index, the complete address an injection needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortRef {
+    deployment: u32,
+    slot: u32,
+    port_ix: u16,
+}
+
+/// A deployed, runnable system with its architecture kept alive for
+/// transactional reconfiguration. See the [module docs](self).
+pub struct Deployment<P: Payload> {
+    nonce: u32,
+    system: System<P>,
+    arch: Architecture,
+    /// Engine slot → architecture component, resolved once at deploy time.
+    ids: Vec<ComponentId>,
+}
+
+impl<P: Payload> std::fmt::Debug for Deployment<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("name", &self.system.name())
+            .field("mode", &self.system.mode())
+            .field("components", &self.ids.len())
+            .finish()
+    }
+}
+
+impl<P: Payload> Deployment<P> {
+    /// Materializes `spec` in `mode` and pairs the running system with the
+    /// architecture it was compiled from (normally called through
+    /// `soleil_generator::deploy`, which supplies a validated
+    /// architecture).
+    ///
+    /// # Errors
+    ///
+    /// Build errors from [`System::build`], or
+    /// [`FrameworkError::Content`] when `arch` does not describe the same
+    /// components as `spec` (possible only through `assume_valid`-style
+    /// escape hatches).
+    pub fn build(
+        spec: &SystemSpec,
+        mode: Mode,
+        registry: &ContentRegistry<P>,
+        arch: Architecture,
+    ) -> Result<Deployment<P>, FrameworkError> {
+        let system = System::build(spec, mode, registry)?;
+        let mut ids = Vec::with_capacity(system.node_count());
+        for slot in 0..system.node_count() {
+            let name = system.node_name(slot);
+            let id = arch.id_of(name).map_err(|_| {
+                FrameworkError::Content(format!(
+                    "architecture does not describe deployed component '{name}'"
+                ))
+            })?;
+            ids.push(id);
+        }
+        Ok(Deployment {
+            nonce: NEXT_DEPLOYMENT.fetch_add(1, Ordering::Relaxed),
+            system,
+            arch,
+            ids,
+        })
+    }
+
+    /// Resolves a component name to its token — once, at the cold edge;
+    /// hold the `ComponentRef` for the hot loop.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown names.
+    pub fn resolve(&self, name: &str) -> Result<ComponentRef, FrameworkError> {
+        let slot = self.system.slot_of(name)?;
+        Ok(ComponentRef {
+            deployment: self.nonce,
+            slot: slot as u32,
+        })
+    }
+
+    /// Resolves a server port of a resolved component to its token.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Binding`] for unknown ports,
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn port(&self, component: ComponentRef, port: &str) -> Result<PortRef, FrameworkError> {
+        let slot = self.slot(component)?;
+        let port_ix = self.system.port_ix_of(slot, port)?;
+        Ok(PortRef {
+            deployment: self.nonce,
+            slot: component.slot,
+            port_ix,
+        })
+    }
+
+    /// Tokens of every periodic component, highest priority first (release
+    /// order within one tick).
+    pub fn periodic_heads(&self) -> Vec<ComponentRef> {
+        self.system
+            .periodic_heads()
+            .into_iter()
+            .map(|slot| ComponentRef {
+                deployment: self.nonce,
+                slot: slot as u32,
+            })
+            .collect()
+    }
+
+    /// The name a token resolves back to (diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn name_of(&self, component: ComponentRef) -> Result<&str, FrameworkError> {
+        Ok(self.system.node_name(self.slot(component)?))
+    }
+
+    fn slot(&self, r: ComponentRef) -> Result<usize, FrameworkError> {
+        if r.deployment != self.nonce {
+            return Err(FrameworkError::Content(
+                "component ref was minted by a different deployment".into(),
+            ));
+        }
+        Ok(r.slot as usize)
+    }
+
+    fn port_slot(&self, r: PortRef) -> Result<(usize, u16), FrameworkError> {
+        if r.deployment != self.nonce {
+            return Err(FrameworkError::Content(
+                "port ref was minted by a different deployment".into(),
+            ));
+        }
+        Ok((r.slot as usize, r.port_ix))
+    }
+
+    // -----------------------------------------------------------------
+    // Hot path: zero name resolution per call
+    // -----------------------------------------------------------------
+
+    /// Drives one complete transaction from the periodic component `head`
+    /// (release + synchronous nesting + asynchronous cascade to
+    /// quiescence). No name resolution, no allocation in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Any framework or substrate error raised along the way.
+    pub fn run_transaction(&mut self, head: ComponentRef) -> Result<(), FrameworkError> {
+        let slot = self.slot(head)?;
+        self.system.run_transaction(slot)
+    }
+
+    /// Releases every periodic component once, in priority order.
+    ///
+    /// # Errors
+    ///
+    /// The first transaction error aborts the tick.
+    pub fn run_tick(&mut self) -> Result<(), FrameworkError> {
+        self.system.run_tick()
+    }
+
+    /// Injects an external stimulus on a pre-resolved server port, then
+    /// drains the cascade.
+    ///
+    /// # Errors
+    ///
+    /// Any framework or substrate error raised along the way.
+    pub fn inject(&mut self, port: PortRef, msg: P) -> Result<(), FrameworkError> {
+        let (slot, port_ix) = self.port_slot(port)?;
+        self.system.inject_at(slot, port_ix, msg)
+    }
+
+    // -----------------------------------------------------------------
+    // Introspection
+    // -----------------------------------------------------------------
+
+    /// The generation mode this deployment runs in.
+    pub fn mode(&self) -> Mode {
+        self.system.mode()
+    }
+
+    /// The system name.
+    pub fn name(&self) -> &str {
+        self.system.name()
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.system.stats()
+    }
+
+    /// Name resolutions performed so far (see [`System::name_lookups`]).
+    pub fn name_lookups(&self) -> u64 {
+        self.system.name_lookups()
+    }
+
+    /// Direct access to the substrate (experiments, footprint).
+    pub fn memory(&self) -> &MemoryManager {
+        self.system.memory()
+    }
+
+    /// Thread-domain roster: name, thread kind and priority per domain.
+    pub fn domain_info(&self) -> Vec<(String, ThreadKind, Priority)> {
+        self.system.domain_info()
+    }
+
+    /// The footprint report of the running system.
+    pub fn footprint(&self) -> FootprintReport {
+        self.system.footprint()
+    }
+
+    /// The architecture this deployment currently implements — kept in
+    /// lock-step by [`reconfigure`](Self::reconfigure), so it always
+    /// describes the live bindings.
+    pub fn architecture(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The underlying engine (read-only; escape hatch for experiments).
+    pub fn system(&self) -> &System<P> {
+        &self.system
+    }
+
+    /// Unwraps the engine, discarding the reconfiguration machinery.
+    pub fn into_system(self) -> System<P> {
+        self.system
+    }
+
+    /// Membrane-level introspection — SOLEIL mode only, per the paper.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Unsupported`] in the merged modes.
+    pub fn membrane_info(&self, component: ComponentRef) -> Result<MembraneInfo, FrameworkError> {
+        let slot = self.slot(component)?;
+        self.system.membrane_info_at(slot)
+    }
+
+    /// The priority ceiling the validator assigned to a shared passive
+    /// service, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn ceiling_of(&self, component: ComponentRef) -> Result<Option<Priority>, FrameworkError> {
+        let slot = self.slot(component)?;
+        self.system.ceiling_of(self.system.node_name(slot))
+    }
+
+    /// Inter-activation gaps recorded by a component's jitter monitor, in
+    /// nanoseconds (empty when no monitor is installed).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Unsupported`] in the merged modes.
+    pub fn jitter_observations(&self, component: ComponentRef) -> Result<Vec<u64>, FrameworkError> {
+        let slot = self.slot(component)?;
+        self.system.jitter_at(slot)
+    }
+
+    /// Installs a jitter monitor in a live membrane (SOLEIL only).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Unsupported`] in the merged modes.
+    pub fn enable_jitter_monitoring(
+        &mut self,
+        component: ComponentRef,
+    ) -> Result<(), FrameworkError> {
+        let slot = self.slot(component)?;
+        self.system.enable_jitter_at(slot)
+    }
+
+    /// Removes a previously installed jitter monitor; true when one was
+    /// removed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Unsupported`] in the merged modes.
+    pub fn disable_jitter_monitoring(
+        &mut self,
+        component: ComponentRef,
+    ) -> Result<bool, FrameworkError> {
+        let slot = self.slot(component)?;
+        self.system.disable_jitter_at(slot)
+    }
+
+    /// Tears the deployment down (see [`System::shutdown`]).
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors releasing pins.
+    pub fn shutdown(&mut self) -> Result<(), FrameworkError> {
+        self.system.shutdown()
+    }
+
+    // -----------------------------------------------------------------
+    // Transactional reconfiguration
+    // -----------------------------------------------------------------
+
+    /// Runs a reconfiguration transaction: the closure applies lifecycle,
+    /// binding and domain operations through the [`Reconfiguration`]
+    /// handle; when it returns `Ok`, the resulting architecture is
+    /// re-validated against the full RTSJ rule set and the transaction
+    /// commits only if compliant. On a closure error *or* a validator
+    /// refusal every applied operation is rolled back, leaving engine,
+    /// membranes and architecture exactly as before the call.
+    ///
+    /// # Errors
+    ///
+    /// * [`FrameworkError::Unsupported`] under ULTRA-MERGE (purely
+    ///   static).
+    /// * The closure's error, after rollback.
+    /// * [`FrameworkError::Rejected`] with the full validation report when
+    ///   the resulting architecture violates RTSJ, after rollback.
+    pub fn reconfigure<T>(
+        &mut self,
+        f: impl FnOnce(&mut Reconfiguration<'_, P>) -> Result<T, FrameworkError>,
+    ) -> Result<T, FrameworkError> {
+        if self.system.mode() == Mode::UltraMerge {
+            return Err(FrameworkError::Unsupported(
+                "ULTRA-MERGE systems are purely static".into(),
+            ));
+        }
+        let mut txn = Reconfiguration {
+            dep: self,
+            journal: Vec::new(),
+        };
+        match f(&mut txn) {
+            Ok(value) => {
+                let report = validate(&txn.dep.arch);
+                if report.is_compliant() {
+                    Ok(value)
+                } else {
+                    txn.rollback();
+                    Err(FrameworkError::Rejected(report))
+                }
+            }
+            Err(e) => {
+                txn.rollback();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// One applied operation's undo record. Rollback replays these in reverse,
+/// restoring both the engine and the architectural model.
+enum Undo {
+    /// Undo of `start`: stop the slot again.
+    Stop { slot: usize },
+    /// Undo of `stop`: restart the slot.
+    Start { slot: usize },
+    /// Undo of `rebind`: point the port back at the old server, in the
+    /// engine and in the architecture.
+    Rebind {
+        client_slot: usize,
+        port: String,
+        old_server_slot: usize,
+        client_id: ComponentId,
+        old_server_id: ComponentId,
+        old_server_if: String,
+        protocol: Protocol,
+    },
+    /// Undo of `reassign_domain`: re-home the slot and move the
+    /// containment edge back.
+    Domain {
+        slot: usize,
+        old_domain_ix: Option<usize>,
+        comp: ComponentId,
+        old_domain_id: Option<ComponentId>,
+        new_domain_id: ComponentId,
+    },
+}
+
+/// The in-flight transaction handle passed to
+/// [`Deployment::reconfigure`]'s closure. Operations apply eagerly (later
+/// operations observe earlier ones); the journal guarantees they all
+/// revert together on failure.
+pub struct Reconfiguration<'d, P: Payload> {
+    dep: &'d mut Deployment<P>,
+    journal: Vec<Undo>,
+}
+
+impl<P: Payload> Reconfiguration<'_, P> {
+    /// Stops a component (no-op if already stopped).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn stop(&mut self, component: ComponentRef) -> Result<(), FrameworkError> {
+        let slot = self.dep.slot(component)?;
+        if !self.dep.system.node_started(slot) {
+            return Ok(());
+        }
+        self.dep.system.stop_at(slot)?;
+        self.journal.push(Undo::Start { slot });
+        Ok(())
+    }
+
+    /// (Re)starts a component (no-op if already started).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn start(&mut self, component: ComponentRef) -> Result<(), FrameworkError> {
+        let slot = self.dep.slot(component)?;
+        if self.dep.system.node_started(slot) {
+            return Ok(());
+        }
+        self.dep.system.start_at(slot)?;
+        self.journal.push(Undo::Stop { slot });
+        Ok(())
+    }
+
+    /// Rebinds `client`'s synchronous `port` to `new_server`, which must
+    /// provide a server interface of the same name as the old target. The
+    /// architectural model is updated in the same step, so commit-time
+    /// validation sees the rebound topology (an NHRT client rebound onto
+    /// heap-held state, for example, is refused by SOL-006 and rolled
+    /// back).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Binding`] for unbound/asynchronous ports, missing
+    /// interfaces or signature mismatches.
+    pub fn rebind(
+        &mut self,
+        client: ComponentRef,
+        port: &str,
+        new_server: ComponentRef,
+    ) -> Result<(), FrameworkError> {
+        let client_slot = self.dep.slot(client)?;
+        let server_slot = self.dep.slot(new_server)?;
+        let old_server_slot = self.dep.system.sync_target_of(client_slot, port)?;
+
+        // Architecture first: it runs the stricter checks (interface
+        // existence, role, signature equality).
+        let client_id = self.dep.ids[client_slot];
+        let new_server_id = self.dep.ids[server_slot];
+        let old = self
+            .dep
+            .arch
+            .bindings()
+            .iter()
+            .find(|b| b.client.component == client_id && b.client.interface == port)
+            .ok_or_else(|| {
+                FrameworkError::Binding(format!(
+                    "architecture lost binding for client port '{port}'"
+                ))
+            })?;
+        let (old_server_id, old_server_if, protocol) = (
+            old.server.component,
+            old.server.interface.clone(),
+            old.protocol,
+        );
+        if !self.dep.arch.unbind(client_id, port) {
+            return Err(FrameworkError::Binding(format!(
+                "architecture lost binding for client port '{port}'"
+            )));
+        }
+        if let Err(e) = self
+            .dep
+            .arch
+            .bind(client_id, port, new_server_id, &old_server_if, protocol)
+        {
+            // Restore the old edge before surfacing the failure.
+            self.dep
+                .arch
+                .bind(client_id, port, old_server_id, &old_server_if, protocol)
+                .expect("restoring a binding that existed before the transaction");
+            return Err(FrameworkError::Binding(e.to_string()));
+        }
+
+        // Engine second; architecture restored if it refuses.
+        if let Err(e) = self.dep.system.rebind_at(client_slot, port, server_slot) {
+            assert!(
+                self.dep.arch.unbind(client_id, port),
+                "binding added above must exist"
+            );
+            self.dep
+                .arch
+                .bind(client_id, port, old_server_id, &old_server_if, protocol)
+                .expect("restoring a binding that existed before the transaction");
+            return Err(e);
+        }
+
+        self.journal.push(Undo::Rebind {
+            client_slot,
+            port: port.to_string(),
+            old_server_slot,
+            client_id,
+            old_server_id,
+            old_server_if,
+            protocol,
+        });
+        Ok(())
+    }
+
+    /// Re-homes a component onto another ThreadDomain (the component must
+    /// be a *direct* member of its current domain, if any). The engine
+    /// adopts the new domain's context and priority; commit-time
+    /// validation re-checks SOL-001/002/005/006 against the move.
+    ///
+    /// The move must not change the component's *effective memory area*:
+    /// its state was allocated at bootstrap and the engine cannot migrate
+    /// allocations between regions, so a reassignment that would re-home
+    /// the allocation region (the new domain lives in a different area) is
+    /// refused up front — the live placement and the architectural model
+    /// stay in lock-step.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown domains,
+    /// [`FrameworkError::Binding`] for indirect domain membership or
+    /// hierarchy violations, [`FrameworkError::Unsupported`] when the move
+    /// would change the component's memory area.
+    pub fn reassign_domain(
+        &mut self,
+        component: ComponentRef,
+        domain: &str,
+    ) -> Result<(), FrameworkError> {
+        let slot = self.dep.slot(component)?;
+        let new_domain_ix =
+            self.dep.system.domain_ix_by_name(domain).ok_or_else(|| {
+                FrameworkError::Content(format!("unknown thread domain '{domain}'"))
+            })?;
+        let comp = self.dep.ids[slot];
+        let new_domain_id = self
+            .dep
+            .arch
+            .id_of(domain)
+            .map_err(|e| FrameworkError::Content(e.to_string()))?;
+        if !matches!(
+            self.dep.arch.component(new_domain_id).map(|c| &c.kind),
+            Ok(ComponentKind::ThreadDomain(_))
+        ) {
+            return Err(FrameworkError::Content(format!(
+                "'{domain}' is not a ThreadDomain"
+            )));
+        }
+
+        // Move the containment edge in the architectural model. The
+        // `remove_child` result guards against indirect membership (the
+        // component sits inside a composite inside the domain): moving the
+        // direct edge would not actually re-home it, so refuse.
+        let old_domain_id = self.dep.arch.thread_domain_of(comp).map(|(id, _)| id);
+        let old_area = self.dep.arch.memory_area_of(comp).map(|(id, _)| id);
+        if let Some(old) = old_domain_id {
+            if !self.dep.arch.remove_child(old, comp) {
+                return Err(FrameworkError::Binding(format!(
+                    "'{}' is only an indirect member of its ThreadDomain; reassignment needs a direct edge",
+                    self.dep.system.node_name(slot)
+                )));
+            }
+        }
+        if let Err(e) = self.dep.arch.add_child(new_domain_id, comp) {
+            if let Some(old) = old_domain_id {
+                self.dep
+                    .arch
+                    .add_child(old, comp)
+                    .expect("restoring an edge that existed before the transaction");
+            }
+            return Err(FrameworkError::Binding(e.to_string()));
+        }
+
+        // The engine's allocations cannot move: refuse any reassignment
+        // whose domain edge would re-home the component's memory area, and
+        // put the architectural edge straight back.
+        if self.dep.arch.memory_area_of(comp).map(|(id, _)| id) != old_area {
+            assert!(
+                self.dep.arch.remove_child(new_domain_id, comp),
+                "edge added above must exist"
+            );
+            if let Some(old) = old_domain_id {
+                self.dep
+                    .arch
+                    .add_child(old, comp)
+                    .expect("restoring an edge that existed before the transaction");
+            }
+            return Err(FrameworkError::Unsupported(format!(
+                "reassigning '{}' to domain '{domain}' would move its allocation region; \
+                 component state cannot migrate between memory areas at runtime",
+                self.dep.system.node_name(slot)
+            )));
+        }
+
+        let old_domain_ix = self.dep.system.node_domain_ix(slot);
+        self.dep.system.set_domain_at(slot, Some(new_domain_ix));
+        self.journal.push(Undo::Domain {
+            slot,
+            old_domain_ix,
+            comp,
+            old_domain_id,
+            new_domain_id,
+        });
+        Ok(())
+    }
+
+    /// Replays the journal in reverse, restoring engine and architecture.
+    /// Each undo reverses an operation that succeeded against a state that
+    /// was valid, so failures here are framework bugs — surfaced loudly.
+    fn rollback(&mut self) {
+        while let Some(undo) = self.journal.pop() {
+            match undo {
+                Undo::Stop { slot } => self
+                    .dep
+                    .system
+                    .stop_at(slot)
+                    .expect("rollback stop of a slot started by this transaction"),
+                Undo::Start { slot } => self
+                    .dep
+                    .system
+                    .start_at(slot)
+                    .expect("rollback restart of a slot stopped by this transaction"),
+                Undo::Rebind {
+                    client_slot,
+                    port,
+                    old_server_slot,
+                    client_id,
+                    old_server_id,
+                    old_server_if,
+                    protocol,
+                } => {
+                    self.dep
+                        .system
+                        .rebind_at(client_slot, &port, old_server_slot)
+                        .expect("rollback rebind to the pre-transaction server");
+                    assert!(
+                        self.dep.arch.unbind(client_id, &port),
+                        "rollback: transaction binding vanished from the architecture"
+                    );
+                    self.dep
+                        .arch
+                        .bind(client_id, &port, old_server_id, &old_server_if, protocol)
+                        .expect("rollback restore of the pre-transaction binding");
+                }
+                Undo::Domain {
+                    slot,
+                    old_domain_ix,
+                    comp,
+                    old_domain_id,
+                    new_domain_id,
+                } => {
+                    self.dep.system.set_domain_at(slot, old_domain_ix);
+                    assert!(
+                        self.dep.arch.remove_child(new_domain_id, comp),
+                        "rollback: transaction domain edge vanished from the architecture"
+                    );
+                    if let Some(old) = old_domain_id {
+                        self.dep
+                            .arch
+                            .add_child(old, comp)
+                            .expect("rollback restore of the pre-transaction domain edge");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deploy;
 pub mod footprint;
 pub mod instrument;
 pub mod sim;
 pub mod spec;
 pub mod system;
 
+pub use deploy::{ComponentRef, Deployment, PortRef, Reconfiguration};
 pub use footprint::FootprintReport;
 pub use instrument::LatencySamples;
 pub use spec::{Mode, SystemSpec};

@@ -13,6 +13,7 @@
 //! paths with genuinely different machinery (reified membranes vs. compiled
 //! slots vs. a flat static table) — see the crate docs.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
@@ -73,6 +74,9 @@ struct Node<P: Payload> {
     domain_ix: Option<usize>,
     area_ix: usize,
     server_ports: Vec<Rc<str>>,
+    /// Index of the implicit [`RELEASE_PORT`] in `server_ports`, resolved
+    /// once at build time so releases never scan port names.
+    release_ix: Option<u16>,
     priority: Priority,
     /// Priority ceiling for shared passive services (introspection;
     /// priority-ceiling emulation metadata from the validator).
@@ -160,6 +164,8 @@ pub struct System<P: Payload> {
     pending: BinaryHeap<(PendingKey, usize)>,
     seq: u64,
     stats: EngineStats,
+    /// Name-resolution counter (see [`System::name_lookups`]).
+    lookups: Cell<u64>,
     // SOLEIL mode: reified membranes + per-binding memory interceptors +
     // the spec kept alive for introspection.
     membranes: Vec<Option<Membrane>>,
@@ -266,9 +272,10 @@ impl<P: Payload> System<P> {
                 .iter()
                 .map(|p| Rc::from(p.as_str()))
                 .collect();
-            if matches!(c.activation, Activation::Periodic { .. }) {
+            let release_ix = matches!(c.activation, Activation::Periodic { .. }).then(|| {
                 server_ports.push(Rc::from(RELEASE_PORT));
-            }
+                (server_ports.len() - 1) as u16
+            });
             let priority = c
                 .domain
                 .map(|d| domains[d].priority)
@@ -290,6 +297,7 @@ impl<P: Payload> System<P> {
                 domain_ix: c.domain,
                 area_ix: c.area,
                 server_ports,
+                release_ix,
                 priority,
                 ceiling: c.ceiling.map(Priority::new),
                 scope_chain,
@@ -416,6 +424,7 @@ impl<P: Payload> System<P> {
             pending: BinaryHeap::new(),
             seq: 0,
             stats: EngineStats::default(),
+            lookups: Cell::new(0),
             membranes,
             mem_interceptors,
             reified_spec: if mode == Mode::Soleil {
@@ -471,19 +480,53 @@ impl<P: Payload> System<P> {
     ///
     /// [`FrameworkError::Content`] for unknown names.
     pub fn ceiling_of(&self, name: &str) -> Result<Option<Priority>, FrameworkError> {
-        Ok(self.nodes[self.slot_of(name)?].ceiling)
+        Ok(self.nodes[self.slot_ix(name)?].ceiling)
     }
 
     /// Resolves a component name to its engine slot.
+    ///
+    /// Prefer resolving once and holding the slot (or use a
+    /// `Deployment`'s `ComponentRef` tokens): every call scans component
+    /// names and counts against [`name_lookups`](Self::name_lookups).
     ///
     /// # Errors
     ///
     /// [`FrameworkError::Content`] for unknown names.
     pub fn slot_of(&self, name: &str) -> Result<usize, FrameworkError> {
+        self.slot_ix(name)
+    }
+
+    /// Name resolutions performed so far (`slot_of` and the name-based
+    /// driver entry points). Steady-state transaction loops driven through
+    /// resolved slots / `ComponentRef`s keep this constant — the property
+    /// the hot-path tests assert.
+    pub fn name_lookups(&self) -> u64 {
+        self.lookups.get()
+    }
+
+    pub(crate) fn slot_ix(&self, name: &str) -> Result<usize, FrameworkError> {
+        self.lookups.set(self.lookups.get() + 1);
         self.nodes
             .iter()
             .position(|n| n.name == name)
             .ok_or_else(|| FrameworkError::Content(format!("unknown component '{name}'")))
+    }
+
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn node_name(&self, slot: usize) -> &str {
+        &self.nodes[slot].name
+    }
+
+    pub(crate) fn node_started(&self, slot: usize) -> bool {
+        self.nodes[slot].started
+    }
+
+    pub(crate) fn port_ix_of(&self, slot: usize, port: &str) -> Result<u16, FrameworkError> {
+        self.lookups.set(self.lookups.get() + 1);
+        port_index(&self.nodes[slot], port)
     }
 
     // -----------------------------------------------------------------
@@ -499,19 +542,19 @@ impl<P: Payload> System<P> {
     ///
     /// Any framework or substrate error raised along the way.
     pub fn run_transaction(&mut self, head: usize) -> Result<(), FrameworkError> {
+        // The release port index was cached at build time: a steady-state
+        // loop performs no name resolution at all.
         let port_ix = self
             .nodes
             .get(head)
             .ok_or_else(|| FrameworkError::Content(format!("bad slot {head}")))?
-            .server_ports
-            .iter()
-            .position(|p| p.as_ref() == RELEASE_PORT)
+            .release_ix
             .ok_or_else(|| {
                 FrameworkError::Content(format!(
                     "component '{}' is not periodic (no {RELEASE_PORT} port)",
                     self.nodes[head].name
                 ))
-            })? as u16;
+            })?;
         let mut msg = P::default();
         self.activate(head, port_ix, &mut msg)?;
         self.drain()?;
@@ -553,14 +596,24 @@ impl<P: Payload> System<P> {
     /// # Errors
     ///
     /// Any framework or substrate error raised along the way.
-    pub fn inject(
+    #[deprecated(
+        since = "0.2.0",
+        note = "resolves both names on every call; deploy and use `Deployment::inject` with a pre-resolved `PortRef`"
+    )]
+    pub fn inject(&mut self, component: &str, port: &str, msg: P) -> Result<(), FrameworkError> {
+        let slot = self.slot_ix(component)?;
+        let port_ix = self.port_ix_of(slot, port)?;
+        self.inject_at(slot, port_ix, msg)
+    }
+
+    /// Slot/port-indexed injection (the string-free hot path behind
+    /// `Deployment::inject`).
+    pub(crate) fn inject_at(
         &mut self,
-        component: &str,
-        port: &str,
+        slot: usize,
+        port_ix: u16,
         mut msg: P,
     ) -> Result<(), FrameworkError> {
-        let slot = self.slot_of(component)?;
-        let port_ix = port_index(&self.nodes[slot], port)?;
         self.activate(slot, port_ix, &mut msg)?;
         self.drain()?;
         self.stats.transactions += 1;
@@ -883,18 +936,18 @@ impl<P: Payload> System<P> {
         Ok(())
     }
 
-    /// Stops a component: its invocations are refused until restarted.
-    ///
-    /// # Errors
-    ///
-    /// [`FrameworkError::Unsupported`] under ULTRA-MERGE (purely static).
-    pub fn stop(&mut self, component: &str) -> Result<(), FrameworkError> {
+    fn reject_static(&self) -> Result<(), FrameworkError> {
         if self.mode == Mode::UltraMerge {
             return Err(FrameworkError::Unsupported(
                 "ULTRA-MERGE systems are purely static".into(),
             ));
         }
-        let slot = self.slot_of(component)?;
+        Ok(())
+    }
+
+    /// Stops `slot`: invocations refused until restarted.
+    pub(crate) fn stop_at(&mut self, slot: usize) -> Result<(), FrameworkError> {
+        self.reject_static()?;
         if let Some(c) = self.nodes[slot].content.as_mut() {
             c.on_stop();
         }
@@ -905,19 +958,80 @@ impl<P: Payload> System<P> {
         Ok(())
     }
 
+    /// (Re)starts `slot`.
+    pub(crate) fn start_at(&mut self, slot: usize) -> Result<(), FrameworkError> {
+        self.reject_static()?;
+        self.start_slot(slot)
+    }
+
+    /// Stops a component: its invocations are refused until restarted.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Unsupported`] under ULTRA-MERGE (purely static).
+    #[deprecated(
+        since = "0.2.0",
+        note = "piecewise mutation can leave the system half-reconfigured; use `Deployment::reconfigure` (all-or-nothing, re-validated)"
+    )]
+    pub fn stop(&mut self, component: &str) -> Result<(), FrameworkError> {
+        self.reject_static()?;
+        let slot = self.slot_ix(component)?;
+        self.stop_at(slot)
+    }
+
     /// (Re)starts a component.
     ///
     /// # Errors
     ///
     /// [`FrameworkError::Unsupported`] under ULTRA-MERGE.
+    #[deprecated(
+        since = "0.2.0",
+        note = "piecewise mutation can leave the system half-reconfigured; use `Deployment::reconfigure` (all-or-nothing, re-validated)"
+    )]
     pub fn start(&mut self, component: &str) -> Result<(), FrameworkError> {
-        if self.mode == Mode::UltraMerge {
-            return Err(FrameworkError::Unsupported(
-                "ULTRA-MERGE systems are purely static".into(),
+        self.reject_static()?;
+        let slot = self.slot_ix(component)?;
+        self.start_at(slot)
+    }
+
+    /// The slot currently targeted by `client_slot`'s synchronous `port`
+    /// (used by the transactional reconfiguration journal).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Binding`] for unbound or asynchronous ports;
+    /// [`FrameworkError::Unsupported`] under ULTRA-MERGE.
+    pub(crate) fn sync_target_of(
+        &self,
+        client_slot: usize,
+        port: &str,
+    ) -> Result<usize, FrameworkError> {
+        self.reject_static()?;
+        let (target_slot, is_async) = match self.mode {
+            Mode::Soleil => {
+                let m = self.membranes[client_slot]
+                    .as_ref()
+                    .expect("membrane present outside invocation");
+                let t = m.binding.resolve(port)?;
+                (t.target_slot, t.is_async)
+            }
+            Mode::MergeAll => {
+                let b = self.compiled[client_slot]
+                    .iter()
+                    .find(|b| b.port.as_ref() == port)
+                    .ok_or_else(|| {
+                        FrameworkError::Binding(format!("client port '{port}' is unbound"))
+                    })?;
+                (b.target_slot, b.is_async)
+            }
+            Mode::UltraMerge => unreachable!("rejected above"),
+        };
+        if is_async {
+            return Err(FrameworkError::Binding(
+                "cannot rebind asynchronous bindings at runtime".into(),
             ));
         }
-        let slot = self.slot_of(component)?;
-        self.start_slot(slot)
+        Ok(target_slot)
     }
 
     /// Rebinds `client`'s `port` to `new_server` (which must expose a
@@ -931,19 +1045,30 @@ impl<P: Payload> System<P> {
     /// * [`FrameworkError::Binding`] when the port or target is unknown or
     ///   the binding is asynchronous (rebinding buffers requires a new
     ///   buffer — not supported at runtime).
+    #[deprecated(
+        since = "0.2.0",
+        note = "piecewise mutation can leave the system half-reconfigured; use `Deployment::reconfigure` (all-or-nothing, re-validated)"
+    )]
     pub fn rebind(
         &mut self,
         client: &str,
         port: &str,
         new_server: &str,
     ) -> Result<(), FrameworkError> {
-        if self.mode == Mode::UltraMerge {
-            return Err(FrameworkError::Unsupported(
-                "ULTRA-MERGE systems are purely static".into(),
-            ));
-        }
-        let client_slot = self.slot_of(client)?;
-        let server_slot = self.slot_of(new_server)?;
+        self.reject_static()?;
+        let client_slot = self.slot_ix(client)?;
+        let server_slot = self.slot_ix(new_server)?;
+        self.rebind_at(client_slot, port, server_slot)
+    }
+
+    /// Slot-indexed rebinding (the engine half of the transactional path).
+    pub(crate) fn rebind_at(
+        &mut self,
+        client_slot: usize,
+        port: &str,
+        server_slot: usize,
+    ) -> Result<(), FrameworkError> {
+        self.reject_static()?;
         match self.mode {
             Mode::Soleil => {
                 let (old, server_port_name) = {
@@ -1069,6 +1194,27 @@ impl<P: Payload> System<P> {
         (PatternKind::HandoffThroughParent, Vec::new())
     }
 
+    /// Domain roster index by name (cold-path resolution for
+    /// reconfiguration).
+    pub(crate) fn domain_ix_by_name(&self, name: &str) -> Option<usize> {
+        self.domains.iter().position(|d| d.name == name)
+    }
+
+    /// The domain a slot currently executes under.
+    pub(crate) fn node_domain_ix(&self, slot: usize) -> Option<usize> {
+        self.nodes[slot].domain_ix
+    }
+
+    /// Re-homes a slot onto another thread domain, adopting its priority
+    /// (`None` detaches — the component then runs on an anonymous regular
+    /// context, like an undeployed passive).
+    pub(crate) fn set_domain_at(&mut self, slot: usize, domain_ix: Option<usize>) {
+        self.nodes[slot].domain_ix = domain_ix;
+        self.nodes[slot].priority = domain_ix
+            .map(|d| self.domains[d].priority)
+            .unwrap_or(Priority::NORM);
+    }
+
     /// Tears the system down: stops every component (running `on_stop`
     /// hooks) and releases the wedge pins of scoped areas, which reclaims
     /// their storage. The system cannot be used afterwards.
@@ -1094,19 +1240,33 @@ impl<P: Payload> System<P> {
         Ok(())
     }
 
+    /// The single SOLEIL-only gate: merged modes have no reified
+    /// membranes, so every membrane-level operation refuses with one
+    /// consistent message.
+    fn require_soleil(&self, what: &str) -> Result<(), FrameworkError> {
+        if self.mode != Mode::Soleil {
+            return Err(FrameworkError::Unsupported(format!(
+                "{what} requires SOLEIL mode (running {})",
+                self.mode
+            )));
+        }
+        Ok(())
+    }
+
     /// Membrane-level introspection — SOLEIL mode only, per the paper.
     ///
     /// # Errors
     ///
     /// [`FrameworkError::Unsupported`] in the merged modes.
     pub fn membrane_info(&self, component: &str) -> Result<MembraneInfo, FrameworkError> {
-        if self.mode != Mode::Soleil {
-            return Err(FrameworkError::Unsupported(format!(
-                "membrane introspection requires SOLEIL mode (running {})",
-                self.mode
-            )));
-        }
-        let slot = self.slot_of(component)?;
+        self.require_soleil("membrane introspection")?;
+        let slot = self.slot_ix(component)?;
+        self.membrane_info_at(slot)
+    }
+
+    /// Slot-indexed membrane introspection (SOLEIL mode only).
+    pub(crate) fn membrane_info_at(&self, slot: usize) -> Result<MembraneInfo, FrameworkError> {
+        self.require_soleil("membrane introspection")?;
         let m = self.membranes[slot]
             .as_ref()
             .expect("membrane present outside invocation");
@@ -1136,13 +1296,14 @@ impl<P: Payload> System<P> {
     ///
     /// [`FrameworkError::Unsupported`] in the merged modes.
     pub fn enable_jitter_monitoring(&mut self, component: &str) -> Result<(), FrameworkError> {
-        if self.mode != Mode::Soleil {
-            return Err(FrameworkError::Unsupported(format!(
-                "membrane reconfiguration requires SOLEIL mode (running {})",
-                self.mode
-            )));
-        }
-        let slot = self.slot_of(component)?;
+        self.require_soleil("membrane reconfiguration")?;
+        let slot = self.slot_ix(component)?;
+        self.enable_jitter_at(slot)
+    }
+
+    /// Slot-indexed jitter-monitor installation (SOLEIL mode only).
+    pub(crate) fn enable_jitter_at(&mut self, slot: usize) -> Result<(), FrameworkError> {
+        self.require_soleil("membrane reconfiguration")?;
         let m = self.membranes[slot]
             .as_mut()
             .expect("membrane present outside invocation");
@@ -1159,12 +1320,14 @@ impl<P: Payload> System<P> {
     ///
     /// [`FrameworkError::Unsupported`] in the merged modes.
     pub fn disable_jitter_monitoring(&mut self, component: &str) -> Result<bool, FrameworkError> {
-        if self.mode != Mode::Soleil {
-            return Err(FrameworkError::Unsupported(
-                "membrane reconfiguration requires SOLEIL mode".into(),
-            ));
-        }
-        let slot = self.slot_of(component)?;
+        self.require_soleil("membrane reconfiguration")?;
+        let slot = self.slot_ix(component)?;
+        self.disable_jitter_at(slot)
+    }
+
+    /// Slot-indexed jitter-monitor removal (SOLEIL mode only).
+    pub(crate) fn disable_jitter_at(&mut self, slot: usize) -> Result<bool, FrameworkError> {
+        self.require_soleil("membrane reconfiguration")?;
         Ok(self.membranes[slot]
             .as_mut()
             .expect("membrane present outside invocation")
@@ -1178,12 +1341,14 @@ impl<P: Payload> System<P> {
     ///
     /// [`FrameworkError::Unsupported`] in the merged modes.
     pub fn jitter_observations(&self, component: &str) -> Result<Vec<u64>, FrameworkError> {
-        if self.mode != Mode::Soleil {
-            return Err(FrameworkError::Unsupported(
-                "membrane introspection requires SOLEIL mode".into(),
-            ));
-        }
-        let slot = self.slot_of(component)?;
+        self.require_soleil("membrane introspection")?;
+        let slot = self.slot_ix(component)?;
+        self.jitter_at(slot)
+    }
+
+    /// Slot-indexed jitter readout (SOLEIL mode only).
+    pub(crate) fn jitter_at(&self, slot: usize) -> Result<Vec<u64>, FrameworkError> {
+        self.require_soleil("membrane introspection")?;
         let m = self.membranes[slot]
             .as_ref()
             .expect("membrane present outside invocation");
@@ -1276,44 +1441,49 @@ struct SoleilPorts<'a, P: Payload> {
 
 impl<P: Payload> Ports<P> for SoleilPorts<'_, P> {
     fn call(&mut self, client_port: &str, msg: &mut P) -> Result<(), FrameworkError> {
-        let target = self.membrane.binding.resolve(client_port)?.clone();
-        if target.is_async {
+        // Copy only the scalar routing fields out of the binding target:
+        // cloning the whole target would allocate (its server-port name is
+        // a `String`) on every synchronous call.
+        let t = self.membrane.binding.resolve(client_port)?;
+        let (target_slot, server_port_ix, is_async, binding_ix) =
+            (t.target_slot, t.server_port_ix, t.is_async, t.binding_ix);
+        if is_async {
             return Err(FrameworkError::Binding(format!(
                 "port '{client_port}' is asynchronous; use send()"
             )));
         }
         self.sys.stats.sync_calls += 1;
-        let mut mi = self.sys.mem_interceptors[target.binding_ix]
+        let mut mi = self.sys.mem_interceptors[binding_ix]
             .take()
             .ok_or_else(|| FrameworkError::Binding("memory interceptor already in use".into()))?;
         if let Err(e) = mi.pre(&mut self.sys.mm, self.ctx) {
-            self.sys.mem_interceptors[target.binding_ix] = Some(mi);
+            self.sys.mem_interceptors[binding_ix] = Some(mi);
             return Err(e);
         }
         let result = if mi.needs_copy() {
             let mut copy = msg.clone();
-            let r = self.sys.invoke(
-                target.target_slot,
-                target.server_port_ix,
-                &mut copy,
-                self.ctx,
-            );
+            let r = self
+                .sys
+                .invoke(target_slot, server_port_ix, &mut copy, self.ctx);
             *msg = copy;
             r
         } else {
-            self.sys
-                .invoke(target.target_slot, target.server_port_ix, msg, self.ctx)
+            self.sys.invoke(target_slot, server_port_ix, msg, self.ctx)
         };
         let post = mi.post(&mut self.sys.mm, self.ctx);
-        self.sys.mem_interceptors[target.binding_ix] = Some(mi);
+        self.sys.mem_interceptors[binding_ix] = Some(mi);
         result.and(post)
     }
 
     fn send(&mut self, client_port: &str, msg: P) -> Result<(), FrameworkError> {
-        let target = self.membrane.binding.resolve(client_port)?.clone();
-        let buffer_ix = target.buffer_index.ok_or_else(|| {
-            FrameworkError::Binding(format!("port '{client_port}' is synchronous; use call()"))
-        })?;
+        let buffer_ix = self
+            .membrane
+            .binding
+            .resolve(client_port)?
+            .buffer_index
+            .ok_or_else(|| {
+                FrameworkError::Binding(format!("port '{client_port}' is synchronous; use call()"))
+            })?;
         self.sys.enqueue(buffer_ix, msg, self.ctx)
     }
 }
@@ -1352,6 +1522,11 @@ impl<P: Payload> Ports<P> for CompiledPorts<'_, P> {
 }
 
 #[cfg(test)]
+// The engine unit tests intentionally keep exercising the deprecated
+// name-based wrappers alongside the slot-based internals; the typed
+// `Deployment` surface is covered by `deploy.rs` consumers and the
+// integration suite.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::spec::{AreaSpec, BindingSpec, ComponentSpec, DomainSpec};

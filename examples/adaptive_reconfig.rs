@@ -1,12 +1,15 @@
-//! Dynamic adaptation (§4.2): runtime reconfiguration through the
-//! membrane's Binding and Lifecycle controllers.
+//! Dynamic adaptation (§4.2): transactional reconfiguration through the
+//! typed deployment handle.
 //!
-//! A monitoring pipeline notifies a primary console; at runtime we stop the
-//! primary, rebind the client interface to a backup console, and restart —
-//! without touching functional code. The same operations are then attempted
-//! under MERGE-ALL (functional-level rebinding still works, membrane
+//! A monitoring pipeline notifies a primary console; at runtime we switch
+//! to a backup console inside one `reconfigure` transaction — stop, rebind,
+//! restart — which commits only after the resulting architecture passes the
+//! same RTSJ validation the design-time flow enforces, and rolls back
+//! as a unit otherwise. The same operations are then attempted under
+//! MERGE-ALL (functional-level rebinding still works, membrane
 //! introspection does not) and ULTRA-MERGE (purely static: everything is
-//! refused), matching the paper's capability matrix.
+//! refused), matching the paper's capability matrix. Finally a transaction
+//! is driven into a validator refusal to demonstrate the rollback.
 //!
 //! ```text
 //! cargo run --example adaptive_reconfig
@@ -58,7 +61,7 @@ impl Content<Alert> for NamedConsole {
 
 type HandledCounter = std::rc::Rc<std::cell::Cell<u32>>;
 
-fn build(mode: Mode) -> Result<(System<Alert>, HandledCounter, HandledCounter), SoleilError> {
+fn build(mode: Mode) -> Result<(Deployment<Alert>, HandledCounter, HandledCounter), SoleilError> {
     let mut b = BusinessView::new("adaptive");
     b.active_periodic("producer", "5ms")?;
     b.passive("primary")?;
@@ -79,8 +82,8 @@ fn build(mode: Mode) -> Result<(System<Alert>, HandledCounter, HandledCounter), 
         Some(128 * 1024),
         &["rt", "primary", "backup"],
     )?;
-    let arch = flow.merge()?;
-    assert!(validate(&arch).is_compliant());
+    // The witness: conformance proven once, carried by the type system.
+    let arch = flow.merge()?.into_validated()?;
 
     let primary_count = std::rc::Rc::new(std::cell::Cell::new(0));
     let backup_count = std::rc::Rc::new(std::cell::Cell::new(0));
@@ -101,34 +104,38 @@ fn build(mode: Mode) -> Result<(System<Alert>, HandledCounter, HandledCounter), 
         })
     });
 
-    let sys = generate(&arch, mode, &registry)?;
-    Ok((sys, primary_count, backup_count))
+    let dep = deploy(&arch, mode, &registry)?;
+    Ok((dep, primary_count, backup_count))
 }
 
 fn main() -> Result<(), SoleilError> {
     // --- SOLEIL: full membrane-level adaptation ------------------------
     println!("== SOLEIL mode ==");
-    let (mut sys, primary, backup) = build(Mode::Soleil)?;
-    let head = sys.slot_of("producer")?;
+    let (mut dep, primary, backup) = build(Mode::Soleil)?;
+    let producer = dep.resolve("producer")?;
+    let backup_ref = dep.resolve("backup")?;
     for _ in 0..10 {
-        sys.run_transaction(head)?;
+        dep.run_transaction(producer)?;
     }
     println!(
         "  before reconfiguration: primary={}, backup={}",
         primary.get(),
         backup.get()
     );
-    let info = sys.membrane_info("producer")?;
+    let info = dep.membrane_info(producer)?;
     println!(
         "  producer membrane: interceptors {:?}, bound ports {:?}",
         info.interceptors, info.bound_ports
     );
 
-    println!("  ... stopping primary, rebinding producer.console -> backup ...");
-    sys.stop("primary")?;
-    sys.rebind("producer", "console", "backup")?;
+    println!("  ... transaction: stop producer, rebind console -> backup, restart ...");
+    dep.reconfigure(|txn| {
+        txn.stop(producer)?;
+        txn.rebind(producer, "console", backup_ref)?;
+        txn.start(producer)
+    })?;
     for _ in 0..10 {
-        sys.run_transaction(head)?;
+        dep.run_transaction(producer)?;
     }
     println!(
         "  after reconfiguration:  primary={}, backup={}",
@@ -140,35 +147,50 @@ fn main() -> Result<(), SoleilError> {
 
     // Membrane-level reconfiguration: inject a jitter monitor into the
     // live producer membrane, observe, remove it again.
-    sys.enable_jitter_monitoring("producer")?;
+    dep.enable_jitter_monitoring(producer)?;
     for _ in 0..20 {
-        sys.run_transaction(head)?;
+        dep.run_transaction(producer)?;
     }
-    let gaps = sys.jitter_observations("producer")?;
+    let gaps = dep.jitter_observations(producer)?;
     println!(
         "  jitter monitor installed at runtime: {} gaps, mean {:.2} us",
         gaps.len(),
         gaps.iter().sum::<u64>() as f64 / gaps.len().max(1) as f64 / 1000.0
     );
-    sys.disable_jitter_monitoring("producer")?;
+    dep.disable_jitter_monitoring(producer)?;
     assert_eq!(backup.get(), 30);
+
+    // A transaction that fails mid-flight rolls back as a unit: the
+    // rebind below targets a port the backup does not provide, so the
+    // stop before it is undone too and traffic keeps flowing to backup.
+    let failed = dep.reconfigure(|txn| {
+        txn.stop(producer)?;
+        txn.rebind(producer, "no-such-port", backup_ref)
+    });
+    println!(
+        "  failing transaction refused and rolled back: {}",
+        failed.unwrap_err()
+    );
+    dep.run_transaction(producer)?;
+    assert_eq!(backup.get(), 31, "producer still running, still on backup");
 
     // --- MERGE-ALL: functional level only -------------------------------
     println!("\n== MERGE-ALL mode ==");
-    let (mut sys, primary, backup) = build(Mode::MergeAll)?;
-    let head = sys.slot_of("producer")?;
+    let (mut dep, primary, backup) = build(Mode::MergeAll)?;
+    let producer = dep.resolve("producer")?;
+    let backup_ref = dep.resolve("backup")?;
     for _ in 0..5 {
-        sys.run_transaction(head)?;
+        dep.run_transaction(producer)?;
     }
-    match sys.membrane_info("producer") {
+    match dep.membrane_info(producer) {
         Err(FrameworkError::Unsupported(msg)) => {
             println!("  membrane introspection refused: {msg}")
         }
         other => panic!("expected Unsupported, got {other:?}"),
     }
-    sys.rebind("producer", "console", "backup")?;
+    dep.reconfigure(|txn| txn.rebind(producer, "console", backup_ref))?;
     for _ in 0..5 {
-        sys.run_transaction(head)?;
+        dep.run_transaction(producer)?;
     }
     println!(
         "  functional rebinding still works: primary={}, backup={}",
@@ -179,19 +201,15 @@ fn main() -> Result<(), SoleilError> {
 
     // --- ULTRA-MERGE: purely static --------------------------------------
     println!("\n== ULTRA-MERGE mode ==");
-    let (mut sys, primary, _backup) = build(Mode::UltraMerge)?;
-    let head = sys.slot_of("producer")?;
+    let (mut dep, primary, _backup) = build(Mode::UltraMerge)?;
+    let producer = dep.resolve("producer")?;
+    let backup_ref = dep.resolve("backup")?;
     for _ in 0..5 {
-        sys.run_transaction(head)?;
+        dep.run_transaction(producer)?;
     }
-    for (what, result) in [
-        ("rebind", sys.rebind("producer", "console", "backup").err()),
-        ("stop", sys.stop("primary").err()),
-    ] {
-        match result {
-            Some(FrameworkError::Unsupported(msg)) => println!("  {what} refused: {msg}"),
-            other => panic!("expected Unsupported for {what}, got {other:?}"),
-        }
+    match dep.reconfigure(|txn| txn.rebind(producer, "console", backup_ref)) {
+        Err(FrameworkError::Unsupported(msg)) => println!("  reconfigure refused: {msg}"),
+        other => panic!("expected Unsupported, got {other:?}"),
     }
     println!("  static system kept running: primary={}", primary.get());
     Ok(())

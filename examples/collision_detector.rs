@@ -20,7 +20,7 @@ use rtsj::gc::GcConfig;
 use rtsj::time::{AbsoluteTime, RelativeTime};
 use soleil::generator::compile;
 use soleil::prelude::*;
-use soleil::runtime::sim::{deploy, SimCosts, SimOptions};
+use soleil::runtime::sim::{deploy as sim_deploy, SimCosts, SimOptions};
 
 const AIRCRAFT: usize = 12;
 const SEPARATION_MIN: f64 = 5.0;
@@ -134,7 +134,7 @@ impl Content<Frame> for AlertLogger {
     }
 }
 
-fn architecture() -> Result<Architecture, SoleilError> {
+fn architecture() -> Result<ValidatedArchitecture, SoleilError> {
     let mut b = BusinessView::new("collision-detector");
     b.active_periodic("RadarSensor", "20ms")?;
     b.active_sporadic("Detector")?;
@@ -178,15 +178,13 @@ fn architecture() -> Result<Architecture, SoleilError> {
         &["TransponderCache"],
     )?;
     flow.memory_area("heap", MemoryKind::Heap, None, &["log-reg"])?;
-    Ok(flow.merge()?)
+    Ok(flow.merge()?.into_validated()?)
 }
 
 fn main() -> Result<(), SoleilError> {
     let arch = architecture()?;
-    let report = validate(&arch);
-    assert!(report.is_compliant(), "{report}");
     println!("architecture validates; cross-scope patterns:");
-    for d in report.by_code("SOL-007") {
+    for d in arch.report().by_code("SOL-007") {
         println!("  {d}");
     }
 
@@ -199,8 +197,8 @@ fn main() -> Result<(), SoleilError> {
     });
     registry.register("AlertLoggerImpl", || Box::new(AlertLogger::default()));
 
-    let mut sys = generate(&arch, Mode::MergeAll, &registry)?;
-    let head = sys.slot_of("RadarSensor")?;
+    let mut sys = deploy(&arch, Mode::MergeAll, &registry)?;
+    let head = sys.resolve("RadarSensor")?;
     let frames = 5_000;
     let samples = measure_steady(200, frames, || sys.run_transaction(head))?;
     let s = samples.summary().expect("non-empty");
@@ -223,7 +221,7 @@ fn main() -> Result<(), SoleilError> {
         .with("Detector", RelativeTime::from_micros(900))
         .with("AlertLogger", RelativeTime::from_micros(80));
     let gc = GcConfig::periodic(RelativeTime::from_millis(60), RelativeTime::from_millis(15));
-    let mut d = deploy(
+    let mut d = sim_deploy(
         &spec,
         &costs,
         &SimOptions {

@@ -10,7 +10,6 @@
 //! ```
 
 use soleil::core::adl::MOTIVATION_EXAMPLE_XML;
-use soleil::generator::generate;
 use soleil::prelude::*;
 use soleil::scenario::{motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe};
 
@@ -28,10 +27,11 @@ fn main() -> Result<(), SoleilError> {
         arch.bindings().len()
     );
 
-    let report = validate(&arch);
     println!("=== design-time validation ===");
-    print!("{report}");
-    assert!(report.is_compliant());
+    // The consuming validator: compliance becomes a typed witness that the
+    // deployment entry points below require.
+    let arch = arch.into_validated()?;
+    print!("{}", arch.report());
     println!();
 
     // --- Execution phase: four implementations ------------------------
@@ -60,8 +60,9 @@ fn main() -> Result<(), SoleilError> {
     let mut footprints = vec![oo.footprint()];
     for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
         let probe = ScenarioProbe::new();
-        let mut sys = generate(&arch, mode, &registry_with_probe(&probe))?;
-        let head = sys.slot_of("ProductionLine")?;
+        let mut sys = deploy(&arch, mode, &registry_with_probe(&probe))?;
+        // Resolve once; the steady-state loop below never touches names.
+        let head = sys.resolve("ProductionLine")?;
         let samples = measure_steady(WARMUP, OBS, || sys.run_transaction(head))?;
         let s = samples.summary().expect("non-empty");
         println!(
@@ -76,7 +77,8 @@ fn main() -> Result<(), SoleilError> {
 
         // Membrane introspection is a SOLEIL-mode capability.
         if mode == Mode::Soleil {
-            let info = sys.membrane_info("MonitoringSystem")?;
+            let monitoring = sys.resolve("MonitoringSystem")?;
+            let info = sys.membrane_info(monitoring)?;
             println!(
                 "             (membrane of MonitoringSystem: interceptors {:?}, ports {:?})",
                 info.interceptors, info.bound_ports

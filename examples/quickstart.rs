@@ -82,19 +82,21 @@ fn main() -> Result<(), SoleilError> {
     )?;
     flow.memory_area("imm", MemoryKind::Immortal, Some(128 * 1024), &["nhrt"])?;
 
-    // 3. Merge and validate: RTSJ conformance checked at design time.
-    let arch = flow.merge()?;
-    let report = validate(&arch);
-    println!("validation: {report}");
-    assert!(report.is_compliant());
+    // 3. Merge and validate: RTSJ conformance checked at design time. The
+    //    consuming validator returns a witness — the only input `deploy`
+    //    accepts, so an unchecked architecture cannot reach the runtime.
+    let arch = flow.merge()?.into_validated()?;
+    println!("validation: {}", arch.report());
 
-    // 4. Generate the execution infrastructure (MERGE-ALL level) and run.
+    // 4. Deploy the execution infrastructure (MERGE-ALL level) and run.
+    //    Component names resolve once into copyable tokens; the loop below
+    //    performs no name resolution at all.
     let mut registry = ContentRegistry::new();
     registry.register("SensorImpl", || Box::new(Sensor::default()));
     registry.register("LoggerImpl", || Box::new(Logger::default()));
-    let mut system = generate(&arch, Mode::MergeAll, &registry)?;
+    let mut system = deploy(&arch, Mode::MergeAll, &registry)?;
 
-    let head = system.slot_of("sensor")?;
+    let head = system.resolve("sensor")?;
     for _ in 0..1000 {
         system.run_transaction(head)?;
     }

@@ -20,7 +20,7 @@ use rtsj::gc::GcConfig;
 use rtsj::time::{AbsoluteTime, RelativeTime};
 use soleil::generator::compile;
 use soleil::prelude::*;
-use soleil::runtime::sim::{deploy, SimCosts, SimOptions};
+use soleil::runtime::sim::{deploy as sim_deploy, SimCosts, SimOptions};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -146,9 +146,7 @@ fn main() -> Result<(), SoleilError> {
     for (label, apply) in deployments() {
         let mut flow = DesignFlow::new(business()?);
         apply(&mut flow)?;
-        let arch = flow.merge()?;
-        let report = validate(&arch);
-        assert!(report.is_compliant(), "{label}: {report}");
+        let arch = flow.merge()?.into_validated()?;
 
         // Wall-clock functional run.
         let sum = Rc::new(Cell::new(0.0f64));
@@ -157,8 +155,8 @@ fn main() -> Result<(), SoleilError> {
         registry.register("FilterImpl", || Box::new(FilterImpl::default()));
         let s = sum.clone();
         registry.register("SinkImpl", move || Box::new(SinkImpl { sum: s.clone() }));
-        let mut sys = generate(&arch, Mode::MergeAll, &registry)?;
-        let head = sys.slot_of("sensor")?;
+        let mut sys = deploy(&arch, Mode::MergeAll, &registry)?;
+        let head = sys.resolve("sensor")?;
         for _ in 0..10_000 {
             sys.run_transaction(head)?;
         }
@@ -166,7 +164,7 @@ fn main() -> Result<(), SoleilError> {
 
         // Virtual-time deployment under GC.
         let spec = compile(&arch)?;
-        let mut d = deploy(
+        let mut d = sim_deploy(
             &spec,
             &costs,
             &SimOptions {

@@ -8,19 +8,23 @@
 //!    view*, then superimpose real-time concerns through *thread* and
 //!    *memory management views* ([`core::views`]), or load the paper's XML
 //!    ADL ([`core::adl`]);
-//! 2. **Validate** — check RTSJ conformance at design time
-//!    ([`mod@core::validate`]): single-parent rule, NHRT/heap isolation,
-//!    ThreadDomain uniqueness, binding legality with suggested cross-scope
-//!    patterns;
-//! 3. **Generate** — compile the validated architecture into an execution
-//!    infrastructure at one of three optimization levels
-//!    ([`generator`]): `SOLEIL` (reified membranes, fully reconfigurable),
-//!    `MERGE-ALL` (membranes merged into components) or `ULTRA-MERGE`
-//!    (one static unit);
-//! 4. **Run** — drive end-to-end transactions against a faithful RTSJ
-//!    substrate simulation ([`rtsj`]): scoped/immortal/heap memory with
-//!    dynamic assignment checks, priority-preemptive scheduling and a GC
-//!    model that never preempts `NoHeapRealtimeThread`s.
+//! 2. **Validate** — establish RTSJ conformance at design time
+//!    ([`mod@core::validate`]) and carry the proof in the type system: the
+//!    consuming validator returns a
+//!    [`ValidatedArchitecture`](core::ValidatedArchitecture) witness, the
+//!    only input the toolchain downstream accepts;
+//! 3. **Deploy** — compile the witness into an execution infrastructure at
+//!    one of three optimization levels ([`generator`]): `SOLEIL` (reified
+//!    membranes, fully reconfigurable), `MERGE-ALL` (membranes merged into
+//!    components) or `ULTRA-MERGE` (one static unit). [`deploy`] returns a
+//!    typed [`Deployment`](runtime::Deployment) handle whose component
+//!    names are resolved **once** into copyable `ComponentRef` tokens — the
+//!    steady-state loop performs zero name lookups;
+//! 4. **Run & reconfigure** — drive end-to-end transactions against a
+//!    faithful RTSJ substrate simulation ([`rtsj`]), and adapt live systems
+//!    through **transactional reconfiguration**: operations batched in a
+//!    closure, re-validated against the same RTSJ rules, applied
+//!    all-or-nothing with rollback on error.
 //!
 //! ## Quickstart
 //!
@@ -29,15 +33,69 @@
 //! use soleil::scenario;
 //!
 //! # fn main() -> Result<(), soleil::SoleilError> {
-//! let arch = scenario::motivation_architecture()?;
-//! assert!(validate(&arch).is_compliant());
+//! // Validate: the witness proves design-time RTSJ conformance.
+//! let arch = scenario::motivation_architecture()?.into_validated()?;
 //!
-//! let mut system = soleil::generator::generate(&arch, Mode::MergeAll, &scenario::registry())?;
-//! let head = system.slot_of("ProductionLine")?;
-//! system.run_transaction(head)?;
+//! // Deploy: names resolve once into copyable tokens.
+//! let mut deployment = deploy(&arch, Mode::MergeAll, &scenario::registry())?;
+//! let head = deployment.resolve("ProductionLine")?;
+//!
+//! // Run: the hot loop is free of name resolution.
+//! for _ in 0..100 {
+//!     deployment.run_transaction(head)?;
+//! }
+//! assert_eq!(deployment.stats().transactions, 100);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Reconfiguration is a transaction — all-or-nothing, re-validated:
+//!
+//! ```
+//! # use soleil::prelude::*;
+//! # fn main() -> Result<(), soleil::SoleilError> {
+//! # let mut b = BusinessView::new("demo");
+//! # b.active_periodic("caller", "5ms")?;
+//! # b.passive("svc-a")?;
+//! # b.passive("svc-b")?;
+//! # b.content("caller", "C")?; b.content("svc-a", "S")?; b.content("svc-b", "S")?;
+//! # b.require("caller", "svc", "I")?;
+//! # b.provide("svc-a", "svc", "I")?;
+//! # b.provide("svc-b", "svc", "I")?;
+//! # b.bind_sync("caller", "svc", "svc-a", "svc")?;
+//! # let mut flow = DesignFlow::new(b);
+//! # flow.thread_domain("rt", ThreadKind::Realtime, 22, &["caller"])?;
+//! # flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt", "svc-a", "svc-b"])?;
+//! # let arch = flow.merge()?.into_validated()?;
+//! # #[derive(Debug, Default)]
+//! # struct Noop;
+//! # impl Content<u64> for Noop {
+//! #     fn on_invoke(&mut self, _p: &str, _m: &mut u64, _o: &mut dyn Ports<u64>) -> InvokeResult { Ok(()) }
+//! # }
+//! # let mut registry: ContentRegistry<u64> = ContentRegistry::new();
+//! # registry.register("C", || Box::new(Noop));
+//! # registry.register("S", || Box::new(Noop));
+//! let mut deployment = deploy(&arch, Mode::Soleil, &registry)?;
+//! let caller = deployment.resolve("caller")?;
+//! let backup = deployment.resolve("svc-b")?;
+//! deployment.reconfigure(|txn| {
+//!     txn.stop(caller)?;
+//!     txn.rebind(caller, "svc", backup)?;
+//!     txn.start(caller)
+//! })?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Migrating from the pre-witness API
+//!
+//! | Deprecated (one-PR shims) | Replacement |
+//! |---|---|
+//! | `generate(&arch, …)` on a raw `Architecture` | `arch.into_validated()?` then [`deploy`]/[`generator::generate`] |
+//! | `compile(&arch)` on a raw `Architecture` | `compile(&validated)` (or `compile_unvalidated` during migration) |
+//! | `system.slot_of("name")` per call | [`Deployment::resolve`](runtime::Deployment::resolve) once → `ComponentRef` |
+//! | `system.inject("name", "port", msg)` | [`Deployment::inject`](runtime::Deployment::inject) with a pre-resolved `PortRef` |
+//! | `system.stop(…)` / `rebind(…)` / `start(…)` | [`Deployment::reconfigure`](runtime::Deployment::reconfigure) transaction |
 //!
 //! The crates underneath (also usable standalone): [`rtsj`] (substrate),
 //! [`core`] (metamodel/ADL/validator), [`patterns`] (cross-scope patterns),
@@ -54,18 +112,22 @@ pub use soleil_patterns as patterns;
 pub use soleil_runtime as runtime;
 
 pub use soleil_core::{SoleilError, SoleilResult};
+pub use soleil_generator::deploy;
 
 pub mod scenario;
 
 /// The most commonly used items across all layers.
 pub mod prelude {
     pub use crate::core::prelude::*;
-    pub use crate::generator::{compile, emit_source, generate};
+    pub use crate::generator::{compile, deploy, emit_source, generate};
     pub use crate::membrane::content::{Content, ContentRegistry, InvokeResult, Ports};
     pub use crate::membrane::FrameworkError;
     pub use crate::runtime::instrument::measure_steady;
     pub use crate::runtime::system::RELEASE_PORT;
-    pub use crate::runtime::{FootprintReport, Mode, System, SystemSpec};
+    pub use crate::runtime::{
+        ComponentRef, Deployment, FootprintReport, Mode, PortRef, Reconfiguration, System,
+        SystemSpec,
+    };
     pub use crate::{SoleilError, SoleilResult};
     pub use rtsj::time::{AbsoluteTime, RelativeTime};
 }

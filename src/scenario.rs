@@ -204,6 +204,16 @@ pub fn motivation_architecture() -> crate::core::Result<Architecture> {
     from_xml(MOTIVATION_EXAMPLE_XML)
 }
 
+/// The Fig. 4 architecture, already validated: the witness the deployment
+/// entry points (`deploy`/`generate`/`compile`) take.
+///
+/// # Errors
+///
+/// Propagates parse errors; the embedded fixture always validates.
+pub fn motivation_validated() -> crate::SoleilResult<crate::core::ValidatedArchitecture> {
+    Ok(motivation_architecture()?.into_validated()?)
+}
+
 // ---------------------------------------------------------------------------
 // The hand-written OO baseline
 // ---------------------------------------------------------------------------
@@ -339,7 +349,7 @@ impl OoSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generator::generate;
+    use crate::generator::deploy;
     use crate::runtime::Mode;
 
     #[test]
@@ -363,11 +373,11 @@ mod tests {
             oo.run_transaction().unwrap();
         }
 
-        let arch = motivation_architecture().unwrap();
+        let arch = motivation_validated().unwrap();
         for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
             let probe = ScenarioProbe::new();
-            let mut sys = generate(&arch, mode, &registry_with_probe(&probe)).unwrap();
-            let head = sys.slot_of("ProductionLine").unwrap();
+            let mut sys = deploy(&arch, mode, &registry_with_probe(&probe)).unwrap();
+            let head = sys.resolve("ProductionLine").unwrap();
             for _ in 0..n {
                 sys.run_transaction(head).unwrap();
             }

@@ -3,22 +3,26 @@
 //! oracle.
 
 use soleil::core::adl::{from_xml, to_json, to_xml, MOTIVATION_EXAMPLE_XML};
-use soleil::generator::{compile, generate};
+use soleil::generator::compile;
 use soleil::prelude::*;
-use soleil::scenario::{motivation_architecture, registry_with_probe, OoSystem, ScenarioProbe};
+use soleil::scenario::{
+    motivation_architecture, motivation_validated, registry_with_probe, OoSystem, ScenarioProbe,
+};
 
 const MODES: [Mode; 3] = [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge];
 
 #[test]
 fn adl_to_running_system_in_every_mode() {
-    let arch = from_xml(MOTIVATION_EXAMPLE_XML).expect("fixture parses");
-    let report = validate(&arch);
-    assert!(report.is_compliant(), "{report}");
+    let arch = from_xml(MOTIVATION_EXAMPLE_XML)
+        .expect("fixture parses")
+        .into_validated()
+        .expect("fixture is compliant");
+    assert!(arch.report().is_compliant());
 
     for mode in MODES {
         let probe = ScenarioProbe::new();
-        let mut sys = generate(&arch, mode, &registry_with_probe(&probe)).expect("generates");
-        let head = sys.slot_of("ProductionLine").expect("head exists");
+        let mut sys = deploy(&arch, mode, &registry_with_probe(&probe)).expect("deploys");
+        let head = sys.resolve("ProductionLine").expect("head exists");
         for _ in 0..100 {
             sys.run_transaction(head).expect("transaction");
         }
@@ -26,6 +30,39 @@ fn adl_to_running_system_in_every_mode() {
         assert_eq!(probe.audits.get(), 100, "{mode}: every measurement audited");
         assert_eq!(probe.consoles.get(), 10, "{mode}: every 10th is anomalous");
         assert_eq!(sys.stats().dropped_messages, 0, "{mode}");
+    }
+}
+
+#[test]
+fn steady_state_loop_is_free_of_name_resolution() {
+    // The acceptance property of the typed deployment API: after the cold
+    // resolve, driving transactions performs zero name lookups.
+    let arch = motivation_validated().expect("fixture validates");
+    for mode in MODES {
+        let probe = ScenarioProbe::new();
+        let mut dep = deploy(&arch, mode, &registry_with_probe(&probe)).expect("deploys");
+        let head = dep.resolve("ProductionLine").expect("head exists");
+        let baseline = dep.name_lookups();
+        for _ in 0..200 {
+            dep.run_transaction(head).expect("transaction");
+        }
+        assert_eq!(
+            dep.name_lookups(),
+            baseline,
+            "{mode}: run_transaction must not resolve names"
+        );
+        // Injection through a pre-resolved PortRef is equally string-free.
+        let monitoring = dep.resolve("MonitoringSystem").expect("resolves");
+        let port = dep.port(monitoring, "iMonitor").expect("port resolves");
+        let baseline = dep.name_lookups();
+        for _ in 0..50 {
+            dep.inject(port, Default::default()).expect("inject");
+        }
+        assert_eq!(
+            dep.name_lookups(),
+            baseline,
+            "{mode}: inject must not resolve names"
+        );
     }
 }
 
@@ -38,11 +75,11 @@ fn all_implementations_agree_with_oo_oracle() {
         oo.run_transaction().expect("oo transaction");
     }
 
-    let arch = motivation_architecture().expect("fixture parses");
+    let arch = motivation_validated().expect("fixture validates");
     for mode in MODES {
         let probe = ScenarioProbe::new();
-        let mut sys = generate(&arch, mode, &registry_with_probe(&probe)).expect("generates");
-        let head = sys.slot_of("ProductionLine").expect("head exists");
+        let mut sys = deploy(&arch, mode, &registry_with_probe(&probe)).expect("deploys");
+        let head = sys.resolve("ProductionLine").expect("head exists");
         for _ in 0..N {
             sys.run_transaction(head).expect("transaction");
         }
@@ -63,12 +100,14 @@ fn serialization_forms_are_interchangeable() {
     let xml = to_xml(&arch);
     let from_xml_again = from_xml(&xml).expect("roundtrips");
     let json = to_json(&from_xml_again);
-    let restored = soleil::core::adl::from_json(&json).expect("json roundtrips");
+    let restored = soleil::core::adl::from_json(&json)
+        .expect("json roundtrips")
+        .into_validated()
+        .expect("roundtrip stays compliant");
 
     let probe = ScenarioProbe::new();
-    let mut sys =
-        generate(&restored, Mode::MergeAll, &registry_with_probe(&probe)).expect("generates");
-    let head = sys.slot_of("ProductionLine").expect("head exists");
+    let mut sys = deploy(&restored, Mode::MergeAll, &registry_with_probe(&probe)).expect("deploys");
+    let head = sys.resolve("ProductionLine").expect("head exists");
     for _ in 0..30 {
         sys.run_transaction(head).expect("transaction");
     }
@@ -77,11 +116,11 @@ fn serialization_forms_are_interchangeable() {
 
 #[test]
 fn footprint_shape_matches_fig7c() {
-    let arch = motivation_architecture().expect("fixture parses");
+    let arch = motivation_validated().expect("fixture validates");
     let mut totals = Vec::new();
     for mode in MODES {
         let probe = ScenarioProbe::new();
-        let sys = generate(&arch, mode, &registry_with_probe(&probe)).expect("generates");
+        let sys = deploy(&arch, mode, &registry_with_probe(&probe)).expect("deploys");
         totals.push((mode, sys.footprint().framework_bytes));
     }
     assert!(
@@ -100,10 +139,10 @@ fn footprint_shape_matches_fig7c() {
 
 #[test]
 fn engine_counters_are_exact() {
-    let arch = motivation_architecture().expect("fixture parses");
+    let arch = motivation_validated().expect("fixture validates");
     let probe = ScenarioProbe::new();
-    let mut sys = generate(&arch, Mode::Soleil, &registry_with_probe(&probe)).expect("generates");
-    let head = sys.slot_of("ProductionLine").expect("head exists");
+    let mut sys = deploy(&arch, Mode::Soleil, &registry_with_probe(&probe)).expect("deploys");
+    let head = sys.resolve("ProductionLine").expect("head exists");
     for _ in 0..50 {
         sys.run_transaction(head).expect("transaction");
     }
@@ -118,10 +157,10 @@ fn engine_counters_are_exact() {
 
 #[test]
 fn shutdown_reclaims_scoped_memory_in_all_modes() {
-    let arch = motivation_architecture().expect("fixture parses");
+    let arch = motivation_validated().expect("fixture validates");
     for mode in MODES {
         let probe = ScenarioProbe::new();
-        let mut sys = generate(&arch, mode, &registry_with_probe(&probe)).expect("generates");
+        let mut sys = deploy(&arch, mode, &registry_with_probe(&probe)).expect("deploys");
         let s1 = sys
             .memory()
             .area_by_name("S1")
@@ -134,7 +173,7 @@ fn shutdown_reclaims_scoped_memory_in_all_modes() {
 
 #[test]
 fn compile_is_deterministic() {
-    let arch = motivation_architecture().expect("fixture parses");
+    let arch = motivation_validated().expect("fixture validates");
     let a = compile(&arch).expect("compiles");
     let b = compile(&arch).expect("compiles");
     assert_eq!(a, b, "same architecture must compile to the same spec");

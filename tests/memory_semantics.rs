@@ -2,7 +2,7 @@
 //! must inherit every substrate guarantee — no layer may launder an
 //! illegal memory operation.
 
-use soleil::generator::generate;
+use soleil::generator::deploy;
 use soleil::prelude::*;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -82,22 +82,22 @@ fn sibling_scopes_use_handoff() {
         .unwrap();
     flow.memory_area("s2", MemoryKind::Scoped, Some(16 * 1024), &["svc"])
         .unwrap();
-    let arch = flow.merge().unwrap();
-    let report = validate(&arch);
-    assert!(report.is_compliant(), "{report}");
+    let arch = flow.merge().unwrap().into_validated().expect("compliant");
     assert!(
-        report
+        arch.report()
             .by_code("SOL-007")
             .any(|d| d.message.contains("handoff-through-parent")),
-        "{report}"
+        "{}",
+        arch.report()
     );
 
     let seen = Rc::new(Cell::new(0));
-    let mut sys = generate(&arch, Mode::MergeAll, &registry(&seen)).expect("generates");
+    let mut sys = deploy(&arch, Mode::MergeAll, &registry(&seen)).expect("deploys");
     // Inject a message at the caller: hops = 1 (caller) + 1 (svc, on the
     // copy) and the copy is written back.
-    sys.inject("caller", "trigger", Msg::default())
-        .expect("runs");
+    let caller = sys.resolve("caller").expect("caller");
+    let trigger = sys.port(caller, "trigger").expect("port");
+    sys.inject(trigger, Msg::default()).expect("runs");
     assert_eq!(sys.stats().transactions, 1);
 }
 
@@ -122,8 +122,7 @@ fn nhrt_async_buffers_are_placed_in_immortal() {
         .unwrap();
     flow.memory_area("h", MemoryKind::Heap, None, &["reg"])
         .unwrap();
-    let arch = flow.merge().unwrap();
-    assert!(validate(&arch).is_compliant());
+    let arch = flow.merge().unwrap().into_validated().expect("compliant");
 
     let spec = soleil::generator::compile(&arch).expect("compiles");
     use soleil::runtime::spec::{BufferPlacement, ProtocolSpec};
@@ -133,8 +132,8 @@ fn nhrt_async_buffers_are_placed_in_immortal() {
     assert_eq!(placement, BufferPlacement::Immortal);
 
     let seen = Rc::new(Cell::new(0));
-    let mut sys = generate(&arch, Mode::MergeAll, &registry(&seen)).expect("generates");
-    let head = sys.slot_of("head").expect("head");
+    let mut sys = deploy(&arch, Mode::MergeAll, &registry(&seen)).expect("deploys");
+    let head = sys.resolve("head").expect("head");
     for _ in 0..10 {
         sys.run_transaction(head).expect("txn");
     }
@@ -158,10 +157,10 @@ fn heap_buffers_counted_in_heap_area() {
         .unwrap();
     flow.memory_area("h", MemoryKind::Heap, None, &["reg"])
         .unwrap();
-    let arch = flow.merge().unwrap();
+    let arch = flow.merge().unwrap().into_validated().expect("compliant");
 
     let seen = Rc::new(Cell::new(0));
-    let sys = generate(&arch, Mode::MergeAll, &registry(&seen)).expect("generates");
+    let sys = deploy(&arch, Mode::MergeAll, &registry(&seen)).expect("deploys");
     let heap_stats = sys
         .memory()
         .stats(rtsj::memory::AreaId::HEAP)
@@ -203,10 +202,10 @@ fn nested_scopes_bootstrap_and_teardown() {
     let outer = arch.id_of("outer").unwrap();
     let inner = arch.id_of("inner").unwrap();
     arch.add_child(outer, inner).unwrap();
-    assert!(validate(&arch).is_compliant());
+    let arch = arch.into_validated().expect("compliant");
 
     let seen = Rc::new(Cell::new(0));
-    let mut sys = generate(&arch, Mode::MergeAll, &registry(&seen)).expect("generates");
+    let mut sys = deploy(&arch, Mode::MergeAll, &registry(&seen)).expect("deploys");
     let mm = sys.memory();
     let outer_id = mm.area_by_name("outer").expect("outer exists");
     let inner_id = mm.area_by_name("inner").expect("inner exists");
@@ -215,8 +214,9 @@ fn nested_scopes_bootstrap_and_teardown() {
         Some(outer_id),
         "architecture nesting became substrate nesting"
     );
-    sys.inject("worker", "trigger", Msg::default())
-        .expect("runs");
+    let worker = sys.resolve("worker").expect("worker");
+    let trigger = sys.port(worker, "trigger").expect("port");
+    sys.inject(trigger, Msg::default()).expect("runs");
     sys.shutdown().expect("teardown");
     assert_eq!(sys.memory().stats(inner_id).expect("stats").consumed, 0);
     assert_eq!(sys.memory().stats(outer_id).expect("stats").consumed, 0);

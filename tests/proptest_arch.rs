@@ -2,7 +2,7 @@
 //! generator and engine must agree everywhere in the design space.
 
 use proptest::prelude::*;
-use soleil::generator::{compile, generate, GeneratorError};
+use soleil::generator::{compile, deploy};
 use soleil::prelude::*;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -144,20 +144,50 @@ fn registry(seen: &Rc<Cell<u64>>) -> ContentRegistry<u64> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Validator/generator agreement: `compile` succeeds iff `validate`
-    /// is compliant (modulo content classes, which are always present
-    /// here).
+    /// Witness/validator agreement: the consuming validator mints a
+    /// witness exactly when the advisory validator is compliant, and the
+    /// witness always compiles (content classes are always present here).
     #[test]
-    fn generator_refuses_exactly_what_validator_rejects(plan in plan_strategy()) {
+    fn witness_minted_exactly_when_validator_accepts(plan in plan_strategy()) {
         let arch = build_arch(&plan);
         let compliant = validate(&arch).is_compliant();
-        match compile(&arch) {
-            Ok(_) => prop_assert!(compliant, "generator accepted a non-compliant architecture"),
-            Err(GeneratorError::Validation(report)) => {
-                prop_assert!(!compliant);
-                prop_assert!(!report.is_compliant());
+        match arch.into_validated() {
+            Ok(witness) => {
+                prop_assert!(compliant, "witness minted for a non-compliant architecture");
+                prop_assert!(compile(&witness).is_ok(), "accepted witness must compile");
             }
-            Err(other) => prop_assert!(false, "unexpected generator error: {other}"),
+            Err(rejected) => {
+                prop_assert!(!compliant);
+                prop_assert!(!rejected.report.is_compliant());
+                // The architecture is handed back intact for repair.
+                prop_assert_eq!(rejected.architecture.name.as_str(), "random-pipeline");
+            }
+        }
+    }
+
+    /// The witness invariant: any architecture the validator accepts
+    /// deploys and runs a transaction in all three generation modes
+    /// without a `FrameworkError` — design-time conformance really is
+    /// sufficient for runtime trust.
+    #[test]
+    fn accepted_witness_deploys_and_runs_in_every_mode(plan in plan_strategy()) {
+        let arch = build_arch(&plan);
+        prop_assume!(validate(&arch).is_compliant());
+        let witness = arch.into_validated().expect("assumed compliant");
+        for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+            let seen = Rc::new(Cell::new(0));
+            let dep = deploy(&witness, mode, &registry(&seen));
+            prop_assert!(dep.is_ok(), "{}: deploy refused a witness: {}", mode, dep.err().unwrap());
+            let mut dep = dep.unwrap();
+            let head = dep.resolve("stage0").expect("head resolves");
+            let ran = dep.run_transaction(head);
+            prop_assert!(
+                ran.is_ok(),
+                "{}: transaction failed on a validated deployment: {}",
+                mode,
+                ran.err().unwrap()
+            );
+            prop_assert_eq!(seen.get(), 1, "sink saw the message ({})", mode);
         }
     }
 
@@ -168,15 +198,18 @@ proptest! {
     fn compliant_pipelines_conserve_messages(plan in plan_strategy()) {
         let arch = build_arch(&plan);
         prop_assume!(validate(&arch).is_compliant());
+        let arch = arch.into_validated().expect("assumed compliant");
         let n = 25u64;
         let mut per_mode = Vec::new();
         for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
             let seen = Rc::new(Cell::new(0));
-            let mut sys = generate(&arch, mode, &registry(&seen)).expect("generates");
-            let head = sys.slot_of("stage0").expect("head");
+            let mut sys = deploy(&arch, mode, &registry(&seen)).expect("deploys");
+            let head = sys.resolve("stage0").expect("head");
+            let lookups = sys.name_lookups();
             for _ in 0..n {
                 sys.run_transaction(head).expect("transaction");
             }
+            prop_assert_eq!(sys.name_lookups(), lookups, "loop resolved names ({})", mode);
             prop_assert_eq!(seen.get(), n, "sink saw every message ({})", mode);
             prop_assert_eq!(sys.stats().dropped_messages, 0);
             per_mode.push(sys.stats().async_messages);
@@ -192,10 +225,11 @@ proptest! {
     fn footprint_ordering_universal(plan in plan_strategy()) {
         let arch = build_arch(&plan);
         prop_assume!(validate(&arch).is_compliant());
+        let arch = arch.into_validated().expect("assumed compliant");
         let seen = Rc::new(Cell::new(0));
-        let soleil = generate(&arch, Mode::Soleil, &registry(&seen)).expect("builds").footprint();
-        let merged = generate(&arch, Mode::MergeAll, &registry(&seen)).expect("builds").footprint();
-        let ultra = generate(&arch, Mode::UltraMerge, &registry(&seen)).expect("builds").footprint();
+        let soleil = deploy(&arch, Mode::Soleil, &registry(&seen)).expect("builds").footprint();
+        let merged = deploy(&arch, Mode::MergeAll, &registry(&seen)).expect("builds").footprint();
+        let ultra = deploy(&arch, Mode::UltraMerge, &registry(&seen)).expect("builds").footprint();
         prop_assert!(soleil.framework_bytes > merged.framework_bytes);
         prop_assert!(merged.framework_bytes >= ultra.framework_bytes);
     }

@@ -1,14 +1,15 @@
-//! The dynamic-adaptation capability matrix (§4.2 / §4.3): what each
-//! generation mode allows at runtime, exercised through the public API.
+//! The dynamic-adaptation capability matrix (§4.2 / §4.3) through the
+//! typed deployment API: what each generation mode allows at runtime, and
+//! the transactional guarantees of `Deployment::reconfigure` — commit-time
+//! RTSJ re-validation, all-or-nothing application, rollback on error.
 //!
 //! | capability | SOLEIL | MERGE-ALL | ULTRA-MERGE |
 //! |---|---|---|---|
 //! | membrane introspection | yes | no | no |
-//! | lifecycle stop/start | yes | yes | no |
-//! | rebind sync client port | yes | yes | no |
+//! | reconfigure (stop/start/rebind/domain) | yes | yes | no |
 //! | reified deployment spec | yes | no | no |
 
-use soleil::generator::generate;
+use soleil::generator::deploy;
 use soleil::prelude::*;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -34,7 +35,7 @@ impl Content<Ping> for Counter {
 }
 
 struct Fixture {
-    sys: System<Ping>,
+    dep: Deployment<Ping>,
     a: Rc<Cell<u32>>,
     b: Rc<Cell<u32>>,
 }
@@ -61,8 +62,7 @@ fn fixture(mode: Mode) -> Fixture {
         &["rt", "svc-a", "svc-b"],
     )
     .unwrap();
-    let arch = flow.merge().unwrap();
-    assert!(validate(&arch).is_compliant());
+    let arch = flow.merge().unwrap().into_validated().unwrap();
 
     let a = Rc::new(Cell::new(0));
     let b = Rc::new(Cell::new(0));
@@ -72,79 +72,333 @@ fn fixture(mode: Mode) -> Fixture {
     registry.register("A", move || Box::new(Counter(ac.clone())));
     let bc = b.clone();
     registry.register("B", move || Box::new(Counter(bc.clone())));
-    let sys = generate(&arch, mode, &registry).unwrap();
-    Fixture { sys, a, b }
+    let dep = deploy(&arch, mode, &registry).unwrap();
+    Fixture { dep, a, b }
 }
 
 #[test]
 fn soleil_full_matrix() {
-    let Fixture { mut sys, a, b } = fixture(Mode::Soleil);
-    let head = sys.slot_of("caller").unwrap();
+    let Fixture { mut dep, a, b } = fixture(Mode::Soleil);
+    let caller = dep.resolve("caller").unwrap();
+    let svc_b = dep.resolve("svc-b").unwrap();
 
     // Introspection available.
-    let info = sys.membrane_info("caller").unwrap();
+    let info = dep.membrane_info(caller).unwrap();
     assert!(info.started);
     assert_eq!(info.bound_ports, vec!["svc".to_string()]);
-    assert!(sys.reified_spec().is_some());
+    assert!(dep.system().reified_spec().is_some());
 
-    sys.run_transaction(head).unwrap();
+    dep.run_transaction(caller).unwrap();
     assert_eq!((a.get(), b.get()), (1, 0));
 
-    // Rebind redirects; lifecycle stop blocks.
-    sys.rebind("caller", "svc", "svc-b").unwrap();
-    sys.run_transaction(head).unwrap();
+    // A full stop → rebind → start transaction redirects the traffic.
+    dep.reconfigure(|txn| {
+        txn.stop(caller)?;
+        txn.rebind(caller, "svc", svc_b)?;
+        txn.start(caller)
+    })
+    .unwrap();
+    dep.run_transaction(caller).unwrap();
     assert_eq!((a.get(), b.get()), (1, 1));
 
-    sys.stop("caller").unwrap();
-    assert!(sys.run_transaction(head).is_err());
-    sys.start("caller").unwrap();
-    sys.run_transaction(head).unwrap();
+    // The committed architecture tracks the live topology.
+    let arch = dep.architecture();
+    let caller_id = arch.id_of("caller").unwrap();
+    let bound_to = arch
+        .bindings()
+        .iter()
+        .find(|bi| bi.client.component == caller_id)
+        .map(|bi| arch.component(bi.server.component).unwrap().name.clone());
+    assert_eq!(bound_to.as_deref(), Some("svc-b"));
+
+    // A stopped component refuses transactions until restarted.
+    dep.reconfigure(|txn| txn.stop(caller)).unwrap();
+    assert!(dep.run_transaction(caller).is_err());
+    dep.reconfigure(|txn| txn.start(caller)).unwrap();
+    dep.run_transaction(caller).unwrap();
     assert_eq!((a.get(), b.get()), (1, 2));
 }
 
 #[test]
 fn merge_all_functional_level_only() {
-    let Fixture { mut sys, a, b } = fixture(Mode::MergeAll);
-    let head = sys.slot_of("caller").unwrap();
+    let Fixture { mut dep, a, b } = fixture(Mode::MergeAll);
+    let caller = dep.resolve("caller").unwrap();
+    let svc_b = dep.resolve("svc-b").unwrap();
 
     assert!(matches!(
-        sys.membrane_info("caller"),
+        dep.membrane_info(caller),
         Err(FrameworkError::Unsupported(_))
     ));
-    assert!(sys.reified_spec().is_none());
+    assert!(dep.system().reified_spec().is_none());
 
-    // Functional-level reconfiguration still works.
-    sys.run_transaction(head).unwrap();
-    sys.rebind("caller", "svc", "svc-b").unwrap();
-    sys.run_transaction(head).unwrap();
+    // Functional-level transactional reconfiguration still works.
+    dep.run_transaction(caller).unwrap();
+    dep.reconfigure(|txn| txn.rebind(caller, "svc", svc_b))
+        .unwrap();
+    dep.run_transaction(caller).unwrap();
     assert_eq!((a.get(), b.get()), (1, 1));
 
-    sys.stop("caller").unwrap();
+    dep.reconfigure(|txn| txn.stop(caller)).unwrap();
     assert!(matches!(
-        sys.run_transaction(head),
+        dep.run_transaction(caller),
         Err(FrameworkError::Lifecycle(_))
     ));
-    sys.start("caller").unwrap();
+    dep.reconfigure(|txn| txn.start(caller)).unwrap();
 }
 
 #[test]
 fn ultra_merge_is_static() {
-    let Fixture { mut sys, a, b } = fixture(Mode::UltraMerge);
-    let head = sys.slot_of("caller").unwrap();
-    sys.run_transaction(head).unwrap();
+    let Fixture { mut dep, a, b } = fixture(Mode::UltraMerge);
+    let caller = dep.resolve("caller").unwrap();
+    let svc_b = dep.resolve("svc-b").unwrap();
+    dep.run_transaction(caller).unwrap();
     assert_eq!((a.get(), b.get()), (1, 0));
 
     for err in [
-        sys.rebind("caller", "svc", "svc-b").unwrap_err(),
-        sys.stop("caller").unwrap_err(),
-        sys.start("caller").unwrap_err(),
-        sys.membrane_info("caller").unwrap_err(),
+        dep.reconfigure(|txn| txn.rebind(caller, "svc", svc_b))
+            .unwrap_err(),
+        dep.reconfigure(|txn| txn.stop(caller)).unwrap_err(),
+        dep.membrane_info(caller).unwrap_err(),
     ] {
         assert!(matches!(err, FrameworkError::Unsupported(_)), "got {err}");
     }
     // Still runs, unchanged.
-    sys.run_transaction(head).unwrap();
+    dep.run_transaction(caller).unwrap();
     assert_eq!((a.get(), b.get()), (2, 0));
+}
+
+/// The transactional acceptance property: a failing transaction — whether
+/// the closure errors or the commit-time validator refuses — leaves the
+/// deployment byte-identical to its pre-transaction state.
+#[test]
+fn failing_transaction_rolls_back_completely() {
+    let Fixture { mut dep, a, b } = fixture(Mode::Soleil);
+    let caller = dep.resolve("caller").unwrap();
+    let svc_a = dep.resolve("svc-a").unwrap();
+    let svc_b = dep.resolve("svc-b").unwrap();
+    dep.enable_jitter_monitoring(caller).unwrap();
+    for _ in 0..3 {
+        dep.run_transaction(caller).unwrap();
+    }
+
+    let snapshot = |dep: &Deployment<Ping>| {
+        let membranes: Vec<String> = ["caller", "svc-a", "svc-b"]
+            .iter()
+            .map(|n| format!("{:?}", dep.membrane_info(dep.resolve(n).unwrap()).unwrap()))
+            .collect();
+        (
+            format!("{:?}", dep.domain_info()),
+            format!("{:?}", dep.architecture().bindings()),
+            membranes,
+            dep.jitter_observations(caller).unwrap(),
+            format!("{:?}", dep.system().reified_spec()),
+        )
+    };
+    let before = snapshot(&dep);
+
+    // Closure failure: the rebind targets a port svc-b does not provide,
+    // after a stop and a successful rebind already applied.
+    let err = dep
+        .reconfigure(|txn| {
+            txn.stop(caller)?;
+            txn.rebind(caller, "svc", svc_b)?;
+            txn.rebind(caller, "no-such-port", svc_a)
+        })
+        .unwrap_err();
+    assert!(matches!(err, FrameworkError::Binding(_)), "got {err}");
+    assert_eq!(snapshot(&dep), before, "closure failure must roll back");
+
+    // Transactions still run against the pre-transaction topology.
+    let a_before = a.get();
+    dep.run_transaction(caller).unwrap();
+    assert_eq!(a.get(), a_before + 1, "traffic still reaches svc-a");
+    assert_eq!(b.get(), 0);
+}
+
+/// Commit-time validation: a rebind that makes an NHRT client call
+/// synchronously into heap data is refused by the same SOL-006 rule the
+/// design-time validator enforces, and the whole transaction rolls back.
+#[test]
+fn validator_refuses_illegal_rebind_and_rolls_back() {
+    let mut bv = BusinessView::new("rebind-into-heap");
+    bv.active_periodic("caller", "5ms").unwrap();
+    bv.passive("svc-imm").unwrap();
+    bv.passive("svc-heap").unwrap();
+    bv.content("caller", "Caller").unwrap();
+    bv.content("svc-imm", "A").unwrap();
+    bv.content("svc-heap", "B").unwrap();
+    bv.require("caller", "svc", "ISvc").unwrap();
+    bv.provide("svc-imm", "svc", "ISvc").unwrap();
+    bv.provide("svc-heap", "svc", "ISvc").unwrap();
+    bv.bind_sync("caller", "svc", "svc-imm", "svc").unwrap();
+    let mut flow = DesignFlow::new(bv);
+    flow.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 30, &["caller"])
+        .unwrap();
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(64 * 1024),
+        &["nhrt", "svc-imm"],
+    )
+    .unwrap();
+    flow.memory_area("heap", MemoryKind::Heap, None, &["svc-heap"])
+        .unwrap();
+    let arch = flow.merge().unwrap().into_validated().unwrap();
+
+    let a = Rc::new(Cell::new(0));
+    let b = Rc::new(Cell::new(0));
+    let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
+    registry.register("Caller", || Box::new(Caller));
+    let ac = a.clone();
+    registry.register("A", move || Box::new(Counter(ac.clone())));
+    let bc = b.clone();
+    registry.register("B", move || Box::new(Counter(bc.clone())));
+
+    for mode in [Mode::Soleil, Mode::MergeAll] {
+        let mut dep = deploy(&arch, mode, &registry).unwrap();
+        let caller = dep.resolve("caller").unwrap();
+        let heap_svc = dep.resolve("svc-heap").unwrap();
+        let bindings_before = format!("{:?}", dep.architecture().bindings());
+
+        let err = dep
+            .reconfigure(|txn| txn.rebind(caller, "svc", heap_svc))
+            .unwrap_err();
+        let FrameworkError::Rejected(report) = err else {
+            panic!("{mode}: expected Rejected, got {err}");
+        };
+        assert!(
+            report.by_code("SOL-006").next().is_some(),
+            "{mode}: refusal must cite SOL-006, got:\n{report}"
+        );
+
+        // Rolled back: the architecture still binds svc-imm and traffic
+        // still flows there.
+        assert_eq!(
+            format!("{:?}", dep.architecture().bindings()),
+            bindings_before,
+            "{mode}"
+        );
+        a.set(0);
+        dep.run_transaction(caller).unwrap();
+        assert_eq!((a.get(), b.get()), (1, 0), "{mode}");
+    }
+}
+
+/// Domain reassignment: a transactional move onto another ThreadDomain
+/// adopts its priority, updates the architectural model, and is refused
+/// (with rollback) when the target breaks SOL-005-style rules.
+#[test]
+fn reassign_domain_transactionally() {
+    let mut bv = BusinessView::new("domains");
+    bv.active_periodic("caller", "5ms").unwrap();
+    bv.passive("svc-a").unwrap();
+    bv.content("caller", "Caller").unwrap();
+    bv.content("svc-a", "A").unwrap();
+    bv.require("caller", "svc", "ISvc").unwrap();
+    bv.provide("svc-a", "svc", "ISvc").unwrap();
+    bv.bind_sync("caller", "svc", "svc-a", "svc").unwrap();
+    let mut flow = DesignFlow::new(bv);
+    flow.thread_domain("rt-high", ThreadKind::Realtime, 30, &["caller"])
+        .unwrap();
+    flow.thread_domain("rt-low", ThreadKind::Realtime, 12, &[])
+        .unwrap();
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(64 * 1024),
+        &["rt-high", "rt-low", "svc-a"],
+    )
+    .unwrap();
+    let arch = flow.merge().unwrap().into_validated().unwrap();
+
+    let a = Rc::new(Cell::new(0));
+    let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
+    registry.register("Caller", || Box::new(Caller));
+    let ac = a.clone();
+    registry.register("A", move || Box::new(Counter(ac.clone())));
+
+    let mut dep = deploy(&arch, Mode::MergeAll, &registry).unwrap();
+    let caller = dep.resolve("caller").unwrap();
+
+    dep.reconfigure(|txn| txn.reassign_domain(caller, "rt-low"))
+        .unwrap();
+    // The architectural model moved the containment edge.
+    let arch_now = dep.architecture();
+    let caller_id = arch_now.id_of("caller").unwrap();
+    let (domain_id, desc) = arch_now.thread_domain_of(caller_id).unwrap();
+    assert_eq!(arch_now.component(domain_id).unwrap().name, "rt-low");
+    assert_eq!(desc.priority, 12);
+    dep.run_transaction(caller).unwrap();
+    assert_eq!(a.get(), 1);
+
+    // Unknown domains are refused; nothing changes.
+    let err = dep
+        .reconfigure(|txn| txn.reassign_domain(caller, "ghost"))
+        .unwrap_err();
+    assert!(matches!(err, FrameworkError::Content(_)), "got {err}");
+    let arch_now = dep.architecture();
+    let (domain_id, _) = arch_now.thread_domain_of(caller_id).unwrap();
+    assert_eq!(arch_now.component(domain_id).unwrap().name, "rt-low");
+}
+
+/// A domain move that would re-home the component's memory area is
+/// refused: the engine allocated its state at bootstrap and cannot migrate
+/// it, so the architectural model must not drift from the live placement.
+#[test]
+fn reassign_domain_across_memory_areas_is_refused() {
+    let mut bv = BusinessView::new("cross-area-domains");
+    bv.active_periodic("caller", "5ms").unwrap();
+    bv.passive("svc-a").unwrap();
+    bv.content("caller", "Caller").unwrap();
+    bv.content("svc-a", "A").unwrap();
+    bv.require("caller", "svc", "ISvc").unwrap();
+    bv.provide("svc-a", "svc", "ISvc").unwrap();
+    bv.bind_sync("caller", "svc", "svc-a", "svc").unwrap();
+    let mut flow = DesignFlow::new(bv);
+    flow.thread_domain("rt-imm", ThreadKind::Realtime, 30, &["caller"])
+        .unwrap();
+    flow.thread_domain("rt-heap", ThreadKind::Regular, 5, &[])
+        .unwrap();
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(64 * 1024),
+        &["rt-imm", "svc-a"],
+    )
+    .unwrap();
+    flow.memory_area("heap", MemoryKind::Heap, None, &["rt-heap"])
+        .unwrap();
+    let arch = flow.merge().unwrap().into_validated().unwrap();
+
+    let a = Rc::new(Cell::new(0));
+    let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
+    registry.register("Caller", || Box::new(Caller));
+    let ac = a.clone();
+    registry.register("A", move || Box::new(Counter(ac.clone())));
+
+    let mut dep = deploy(&arch, Mode::MergeAll, &registry).unwrap();
+    let caller = dep.resolve("caller").unwrap();
+    let arch_before = format!(
+        "{:?}",
+        dep.architecture()
+            .parents_of(dep.architecture().id_of("caller").unwrap())
+    );
+
+    // rt-heap lives inside the heap area: re-homing caller there would
+    // move its allocation region, which the engine cannot do.
+    let err = dep
+        .reconfigure(|txn| txn.reassign_domain(caller, "rt-heap"))
+        .unwrap_err();
+    assert!(matches!(err, FrameworkError::Unsupported(_)), "got {err}");
+
+    // Architectural model untouched; the engine still runs as deployed.
+    let arch_now = dep.architecture();
+    let caller_id = arch_now.id_of("caller").unwrap();
+    assert_eq!(format!("{:?}", arch_now.parents_of(caller_id)), arch_before);
+    let (area_id, _) = arch_now.memory_area_of(caller_id).unwrap();
+    assert_eq!(arch_now.component(area_id).unwrap().name, "imm");
+    dep.run_transaction(caller).unwrap();
+    assert_eq!(a.get(), 1);
 }
 
 #[test]
@@ -165,7 +419,7 @@ fn rebinding_async_ports_is_refused() {
         .unwrap();
     flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt"])
         .unwrap();
-    let arch = flow.merge().unwrap();
+    let arch = flow.merge().unwrap().into_validated().unwrap();
 
     let a = Rc::new(Cell::new(0));
     let b = Rc::new(Cell::new(0));
@@ -177,8 +431,10 @@ fn rebinding_async_ports_is_refused() {
     registry.register("B", move || Box::new(Counter(bc.clone())));
 
     for mode in [Mode::Soleil, Mode::MergeAll] {
-        let mut sys = generate(&arch, mode, &registry).unwrap();
-        let err = sys.rebind("p", "svc", "c2").unwrap_err();
+        let mut dep = deploy(&arch, mode, &registry).unwrap();
+        let p = dep.resolve("p").unwrap();
+        let c2 = dep.resolve("c2").unwrap();
+        let err = dep.reconfigure(|txn| txn.rebind(p, "svc", c2)).unwrap_err();
         assert!(matches!(err, FrameworkError::Binding(_)), "{mode}: {err}");
     }
 }
@@ -209,7 +465,7 @@ fn rebind_recomputes_cross_scope_pattern() {
     .unwrap();
     flow.memory_area("scope-b", MemoryKind::Scoped, Some(16 * 1024), &["svc-b"])
         .unwrap();
-    let arch = flow.merge().unwrap();
+    let arch = flow.merge().unwrap().into_validated().unwrap();
 
     let a = Rc::new(Cell::new(0));
     let b = Rc::new(Cell::new(0));
@@ -221,19 +477,68 @@ fn rebind_recomputes_cross_scope_pattern() {
     registry.register("B", move || Box::new(Counter(bc.clone())));
 
     for mode in [Mode::Soleil, Mode::MergeAll] {
-        let mut sys = generate(&arch, mode, &registry).unwrap();
-        let head = sys.slot_of("caller").unwrap();
-        sys.run_transaction(head).unwrap();
+        let mut dep = deploy(&arch, mode, &registry).unwrap();
+        let caller = dep.resolve("caller").unwrap();
+        let svc_b = dep.resolve("svc-b").unwrap();
+        dep.run_transaction(caller).unwrap();
         // Rebind into the scoped service: the engine must now enter the
         // scope on each call (enter-inner recomputed at rebind time).
-        sys.rebind("caller", "svc", "svc-b").unwrap();
-        sys.run_transaction(head).unwrap();
-        sys.run_transaction(head).unwrap();
+        dep.reconfigure(|txn| txn.rebind(caller, "svc", svc_b))
+            .unwrap();
+        dep.run_transaction(caller).unwrap();
+        dep.run_transaction(caller).unwrap();
         assert_eq!(b.get() % 2, 0, "{mode}: scoped service reached twice");
-        let scope = sys.memory().area_by_name("scope-b").unwrap();
+        let scope = dep.memory().area_by_name("scope-b").unwrap();
         // The wedge pin keeps it alive; entry counting stayed balanced.
-        assert_eq!(sys.memory().enter_count(scope).unwrap(), 1, "{mode}");
+        assert_eq!(dep.memory().enter_count(scope).unwrap(), 1, "{mode}");
         a.set(0);
         b.set(0);
     }
+}
+
+/// The deprecated piecewise mutators keep working for one PR as thin
+/// shims over the same engine paths.
+#[test]
+#[allow(deprecated)]
+fn deprecated_piecewise_shims_still_work() {
+    let mut bv = BusinessView::new("shims");
+    bv.active_periodic("caller", "5ms").unwrap();
+    bv.passive("svc-a").unwrap();
+    bv.passive("svc-b").unwrap();
+    bv.content("caller", "Caller").unwrap();
+    bv.content("svc-a", "A").unwrap();
+    bv.content("svc-b", "B").unwrap();
+    bv.require("caller", "svc", "ISvc").unwrap();
+    bv.provide("svc-a", "svc", "ISvc").unwrap();
+    bv.provide("svc-b", "svc", "ISvc").unwrap();
+    bv.bind_sync("caller", "svc", "svc-a", "svc").unwrap();
+    let mut flow = DesignFlow::new(bv);
+    flow.thread_domain("rt", ThreadKind::Realtime, 22, &["caller"])
+        .unwrap();
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(64 * 1024),
+        &["rt", "svc-a", "svc-b"],
+    )
+    .unwrap();
+    let raw = flow.merge().unwrap();
+
+    let a = Rc::new(Cell::new(0));
+    let b = Rc::new(Cell::new(0));
+    let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
+    registry.register("Caller", || Box::new(Caller));
+    let ac = a.clone();
+    registry.register("A", move || Box::new(Counter(ac.clone())));
+    let bc = b.clone();
+    registry.register("B", move || Box::new(Counter(bc.clone())));
+
+    let mut sys = soleil::generator::generate_unvalidated(&raw, Mode::Soleil, &registry).unwrap();
+    let head = sys.slot_of("caller").unwrap();
+    sys.run_transaction(head).unwrap();
+    sys.stop("caller").unwrap();
+    sys.rebind("caller", "svc", "svc-b").unwrap();
+    sys.start("caller").unwrap();
+    sys.run_transaction(head).unwrap();
+    assert_eq!((a.get(), b.get()), (1, 1));
 }

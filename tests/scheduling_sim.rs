@@ -7,7 +7,7 @@ use rtsj::thread::ThreadKind;
 use rtsj::time::{AbsoluteTime, RelativeTime};
 use soleil::generator::compile;
 use soleil::runtime::sim::{deploy, SimCosts, SimOptions};
-use soleil::scenario::motivation_architecture;
+use soleil::scenario::motivation_validated;
 
 fn costs() -> SimCosts {
     SimCosts::uniform(RelativeTime::from_micros(50))
@@ -18,7 +18,7 @@ fn costs() -> SimCosts {
 
 #[test]
 fn motivation_pipeline_schedules_cleanly_without_gc() {
-    let spec = compile(&motivation_architecture().unwrap()).unwrap();
+    let spec = compile(&motivation_validated().unwrap()).unwrap();
     let mut d = deploy(&spec, &costs(), &SimOptions::default());
     d.simulator.run_until(AbsoluteTime::from_millis(1_000));
 
@@ -41,7 +41,7 @@ fn motivation_pipeline_schedules_cleanly_without_gc() {
 
 #[test]
 fn nhrt_design_immune_to_gc_regular_is_not() {
-    let spec = compile(&motivation_architecture().unwrap()).unwrap();
+    let spec = compile(&motivation_validated().unwrap()).unwrap();
     let gc = GcConfig::periodic(RelativeTime::from_millis(40), RelativeTime::from_millis(12));
 
     let mut as_designed = deploy(
@@ -88,7 +88,7 @@ fn priorities_from_domains_drive_preemption() {
     // ready, production completes first even if monitoring was released
     // earlier. Verify through the trace: monitoring never runs while
     // production has remaining work.
-    let spec = compile(&motivation_architecture().unwrap()).unwrap();
+    let spec = compile(&motivation_validated().unwrap()).unwrap();
     // Make monitoring slow enough to overlap the next production release.
     let costs = SimCosts::uniform(RelativeTime::from_micros(50))
         .with("MonitoringSystem", RelativeTime::from_micros(9_800));
@@ -108,7 +108,7 @@ fn utilization_sweep_finds_the_breaking_point() {
     // Scale the monitoring cost until the pipeline stops meeting its
     // 10 ms production period; the breaking point must exist and be
     // monotone (once it misses, higher cost keeps missing).
-    let spec = compile(&motivation_architecture().unwrap()).unwrap();
+    let spec = compile(&motivation_validated().unwrap()).unwrap();
     let mut first_miss: Option<u64> = None;
     let mut seen_meeting_after_miss = false;
     for cost_us in [1_000u64, 4_000, 8_000, 9_500, 11_000, 14_000] {
@@ -136,7 +136,7 @@ fn utilization_sweep_finds_the_breaking_point() {
 fn ceiling_metadata_reaches_the_spec() {
     // The motivation example's Console is called from a single domain: no
     // ceiling. A variant with a second NHRT domain calling it gets one.
-    let spec = compile(&motivation_architecture().unwrap()).unwrap();
+    let spec = compile(&motivation_validated().unwrap()).unwrap();
     let console = &spec.components[spec.component_index("Console").unwrap()];
     assert_eq!(console.ceiling, None);
 
@@ -165,8 +165,8 @@ fn ceiling_metadata_reaches_the_spec() {
         &["d1", "d2", "console"],
     )
     .unwrap();
-    let arch = flow.merge().unwrap();
-    let report = validate(&arch);
+    let arch = flow.merge().unwrap().into_validated().unwrap();
+    let report = arch.report();
     assert!(report.by_code("SOL-014").next().is_some(), "{report}");
     let spec = compile(&arch).unwrap();
     let console = &spec.components[spec.component_index("console").unwrap()];

@@ -6,6 +6,12 @@
 use soleil::generator::compile;
 use soleil::prelude::*;
 
+/// The refusal shorthand: a non-compliant architecture must be refused by
+/// the consuming validator, so it can never become deployment input.
+fn refused(arch: &Architecture) -> bool {
+    arch.clone().into_validated().is_err()
+}
+
 /// Helper: a business view with one periodic producer and one sporadic
 /// consumer bound asynchronously.
 fn producer_consumer() -> BusinessView {
@@ -31,7 +37,7 @@ fn fully_deployed_architecture_is_compliant_and_compiles() {
     let arch = flow.merge().unwrap();
     let report = validate(&arch);
     assert!(report.is_compliant(), "{report}");
-    compile(&arch).expect("compliant architectures compile");
+    compile(&arch.into_validated().expect("compliant")).expect("compliant architectures compile");
 }
 
 #[test]
@@ -49,7 +55,7 @@ fn sol001_active_component_needs_exactly_one_domain() {
     let report = validate(&arch);
     assert!(!report.is_compliant());
     assert_eq!(report.by_code("SOL-001").count(), 2);
-    assert!(compile(&arch).is_err(), "generator refuses");
+    assert!(refused(&arch), "witness refused");
 
     // Two domains for the same component.
     let mut flow = DesignFlow::new(producer_consumer());
@@ -170,7 +176,7 @@ fn sol010_zero_capacity_buffer_is_refused() {
         .unwrap();
     let arch = flow.merge().unwrap();
     assert!(!validate(&arch).is_compliant());
-    assert!(compile(&arch).is_err());
+    assert!(refused(&arch));
 }
 
 #[test]
@@ -197,7 +203,7 @@ fn validator_report_lists_suggestions() {
 }
 
 #[test]
-fn generator_error_carries_the_report() {
+fn rejection_carries_the_report() {
     let mut flow = DesignFlow::new(producer_consumer());
     flow.memory_area(
         "imm",
@@ -207,7 +213,14 @@ fn generator_error_carries_the_report() {
     )
     .unwrap();
     let arch = flow.merge().unwrap();
-    let err = compile(&arch).unwrap_err();
+    // The consuming validator's rejection renders the structured report...
+    let rejected = arch.clone().into_validated().unwrap_err();
+    let text = rejected.to_string();
+    assert!(text.contains("violates RTSJ"));
+    assert!(text.contains("SOL-001"));
+    // ...and so does the deprecated pre-witness generator shim.
+    #[allow(deprecated)]
+    let err = soleil::generator::compile_unvalidated(&arch).unwrap_err();
     let text = err.to_string();
     assert!(text.contains("violates RTSJ"));
     assert!(text.contains("SOL-001"));
