@@ -74,6 +74,32 @@ fn bench_substrate_ops(c: &mut Criterion) {
                 .expect("legal")
         });
     });
+
+    // Slab alloc/free cycle: slot reuse through the free list — the path
+    // that used to box every stored object.
+    group.bench_function("alloc_free_cycle", |b| {
+        b.iter(|| {
+            let h = mm
+                .alloc(&ctx2, rtsj::memory::AreaId::HEAP, 42u64)
+                .expect("alloc");
+            mm.heap_free(h.raw()).expect("free");
+        });
+    });
+
+    // Fixed-ring exchange buffer: one message through a provisioned ring.
+    let buf: soleil::patterns::ExchangeBuffer<u64> = soleil::patterns::ExchangeBuffer::create(
+        &mut mm,
+        &ctx2,
+        rtsj::memory::AreaId::IMMORTAL,
+        16,
+    )
+    .expect("buffer");
+    group.bench_function("ring_push_pop", |b| {
+        b.iter(|| {
+            buf.push(&mut mm, &ctx2, 7u64).expect("push");
+            buf.pop(&mut mm, &ctx2).expect("pop")
+        });
+    });
     group.finish();
 }
 

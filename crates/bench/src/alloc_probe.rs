@@ -1,0 +1,51 @@
+//! A counting global allocator for the zero-allocation steady-state gate.
+//!
+//! Not part of the `soleil-bench` library (which forbids unsafe code):
+//! binary crates that need allocator-level observability include this file
+//! with `#[path]`, which also installs [`GLOBAL`] as their global
+//! allocator. Counting is per-thread, so parallel test threads cannot
+//! pollute each other's measurements, and the counter itself never
+//! allocates (`const`-initialized TLS `Cell`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Heap allocations observed on the current thread since it started.
+/// Subtract two readings around a region to count its allocations.
+pub fn allocations() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// System allocator wrapper that counts every allocating entry point
+/// (`alloc`, `alloc_zeroed`, `realloc`); frees are not counted — the gate
+/// is about acquiring memory in steady state.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// The installed counting allocator.
+#[global_allocator]
+pub static GLOBAL: CountingAllocator = CountingAllocator;

@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Artifacts: `fig7a`, `fig7b`, `fig7c`, `codegen` (E4), `determinism`
-//! (E5), `all` (default). Raw observation CSVs are written to
-//! `target/experiments/`.
+//! (E5), `steady` (the zero-allocation perf gate, emitting
+//! `BENCH_steady_state.json`), `all` (default). Raw observation CSVs are
+//! written to `target/experiments/`.
 
 use std::fs;
 use std::path::Path;
@@ -16,8 +17,13 @@ use soleil::SoleilError;
 
 use soleil_bench::{
     codegen_table, determinism_table, fig7a_report, fig7b_table, fig7c_table, run_codegen,
-    run_determinism, run_footprint, run_overhead,
+    run_determinism, run_footprint, run_overhead, run_steady_state, steady_state_json,
 };
+
+// Installs the counting global allocator so the steady artifact can report
+// allocs/transaction.
+#[path = "../alloc_probe.rs"]
+mod alloc_probe;
 
 const OBSERVATIONS: usize = 10_000;
 const WARMUP: usize = 2_000;
@@ -85,6 +91,25 @@ fn main() -> Result<(), SoleilError> {
         ran = true;
     }
 
+    if wants("steady") {
+        eprintln!(
+            "running steady-state perf gate ({OBSERVATIONS} observations x 4 implementations)..."
+        );
+        let rows = run_steady_state(WARMUP, OBSERVATIONS, alloc_probe::allocations)?;
+        println!("steady-state transaction (median ns, allocs/txn, substrate allocs/txn):");
+        for r in &rows {
+            println!(
+                "  {:<12} {:>10} ns   {:>6} heap   {:>6} substrate",
+                r.label, r.median_ns, r.allocs_per_transaction, r.substrate_allocs_per_transaction
+            );
+        }
+        let json = steady_state_json(&rows, OBSERVATIONS);
+        fs::write("BENCH_steady_state.json", &json)?;
+        fs::write(out_dir.join("BENCH_steady_state.json"), &json)?;
+        eprintln!("wrote BENCH_steady_state.json");
+        ran = true;
+    }
+
     if wants("determinism") {
         let rows = run_determinism(2_000)?;
         let table = determinism_table(&rows);
@@ -95,7 +120,7 @@ fn main() -> Result<(), SoleilError> {
 
     if !ran {
         eprintln!(
-            "unknown artifact '{what}'; expected fig7a | fig7b | fig7c | codegen | determinism | all"
+            "unknown artifact '{what}'; expected fig7a | fig7b | fig7c | codegen | determinism | steady | all"
         );
         std::process::exit(2);
     }

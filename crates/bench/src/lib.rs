@@ -347,6 +347,112 @@ pub fn determinism_table(rows: &[DeterminismRow]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Steady-state perf gate (BENCH_steady_state.json)
+// ---------------------------------------------------------------------------
+
+/// One row of the steady-state perf artifact: the motivation scenario's
+/// per-transaction cost and allocation behavior under one implementation.
+#[derive(Debug, Clone)]
+pub struct SteadyStateRow {
+    /// Implementation label (`OO`, `SOLEIL`, `MERGE-ALL`, `ULTRA-MERGE`).
+    pub label: String,
+    /// Median wall-clock nanoseconds per steady-state transaction.
+    pub median_ns: u64,
+    /// Rust-heap allocations per transaction (0 is the gate).
+    pub allocs_per_transaction: f64,
+    /// Substrate allocations per transaction (0 is the gate).
+    pub substrate_allocs_per_transaction: f64,
+}
+
+/// Runs the steady-state perf gate: warms each implementation, then times
+/// `observations` transactions while counting heap allocations through
+/// `heap_allocs` (a reading of the caller's counting global allocator —
+/// binaries include `alloc_probe.rs` to get one; passing a constant
+/// function degrades gracefully to timing only).
+///
+/// The measured loop itself is allocation-free: the sample buffer is
+/// provisioned before counting starts.
+///
+/// # Errors
+///
+/// Propagates substrate/framework errors (none expected for the fixture).
+pub fn run_steady_state(
+    warmup: usize,
+    observations: usize,
+    heap_allocs: impl Fn() -> u64,
+) -> HarnessResult<Vec<SteadyStateRow>> {
+    use std::time::Instant;
+
+    let mut rows = Vec::with_capacity(4);
+    let measure = |label: &str,
+                   substrate: &mut dyn FnMut() -> u64,
+                   op: &mut dyn FnMut() -> HarnessResult<()>|
+     -> HarnessResult<SteadyStateRow> {
+        for _ in 0..warmup {
+            op()?;
+        }
+        let mut nanos: Vec<u64> = Vec::with_capacity(observations);
+        let substrate_before = substrate();
+        let heap_before = heap_allocs();
+        for _ in 0..observations {
+            let start = Instant::now();
+            op()?;
+            nanos.push(start.elapsed().as_nanos() as u64);
+        }
+        let heap_delta = heap_allocs() - heap_before;
+        let substrate_delta = substrate() - substrate_before;
+        let samples = soleil::runtime::instrument::LatencySamples::from_nanos(nanos);
+        Ok(SteadyStateRow {
+            label: label.to_string(),
+            median_ns: samples.percentile(50.0).unwrap_or(0),
+            allocs_per_transaction: heap_delta as f64 / observations as f64,
+            substrate_allocs_per_transaction: substrate_delta as f64 / observations as f64,
+        })
+    };
+
+    let probe = ScenarioProbe::new();
+    let oo = std::cell::RefCell::new(OoSystem::new(&probe)?);
+    rows.push(measure(
+        "OO",
+        &mut || oo.borrow().alloc_count(),
+        &mut || Ok(oo.borrow_mut().run_transaction()?),
+    )?);
+
+    let arch = motivation_validated()?;
+    for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+        let probe = ScenarioProbe::new();
+        let dep = std::cell::RefCell::new(deploy(&arch, mode, &registry_with_probe(&probe))?);
+        let head = dep.borrow().resolve("ProductionLine")?;
+        rows.push(measure(
+            &mode.to_string(),
+            &mut || dep.borrow().memory().alloc_count(),
+            &mut || Ok(dep.borrow_mut().run_transaction(head)?),
+        )?);
+    }
+    Ok(rows)
+}
+
+/// Renders the steady-state rows as the machine-readable
+/// `BENCH_steady_state.json` artifact that seeds the perf trajectory.
+pub fn steady_state_json(rows: &[SteadyStateRow], observations: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"steady_state_transaction\",\n");
+    let _ = writeln!(out, "  \"observations\": {observations},");
+    out.push_str("  \"modes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"mode\": \"{}\", \"median_ns_per_transaction\": {}, \
+             \"allocs_per_transaction\": {}, \"substrate_allocs_per_transaction\": {}}}",
+            r.label, r.median_ns, r.allocs_per_transaction, r.substrate_allocs_per_transaction
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Synthetic pipelines (ablation: overhead vs. pipeline depth)
 // ---------------------------------------------------------------------------
 

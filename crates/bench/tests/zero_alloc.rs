@@ -1,0 +1,74 @@
+//! The zero-allocation steady-state gate.
+//!
+//! The paper's evaluation rests on the claim that generated systems
+//! provision all memory at initialization and never allocate in steady
+//! state — that is what makes them GC-immune and their latency
+//! deterministic. This test makes the claim falsifiable at the Rust-heap
+//! level: a counting global allocator observes complete end-to-end
+//! transactions of the motivation scenario and requires **zero**
+//! allocations per steady-state transaction in every generation mode, and
+//! the substrate's own allocation counter must stay pinned at its
+//! bootstrap value.
+//!
+//! Run in release (CI's `bench-smoke` job does):
+//! `cargo test -p soleil-bench --release --test zero_alloc`
+
+#[path = "../src/alloc_probe.rs"]
+mod alloc_probe;
+
+use soleil::generator::deploy;
+use soleil::prelude::*;
+use soleil::scenario::{motivation_validated, registry_with_probe, OoSystem, ScenarioProbe};
+
+const WARMUP: usize = 500;
+const OBSERVATIONS: u64 = 2_000;
+
+#[test]
+fn steady_state_transactions_never_touch_the_rust_heap() {
+    let arch = motivation_validated().expect("fixture validates");
+    for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+        let probe = ScenarioProbe::new();
+        let mut dep = deploy(&arch, mode, &registry_with_probe(&probe)).expect("deploys");
+        let head = dep.resolve("ProductionLine").expect("head exists");
+
+        // Warm every lazily-grown engine structure: the pending-message
+        // heap, domain scope stacks, ring slots.
+        for _ in 0..WARMUP {
+            dep.run_transaction(head).expect("warmup transaction");
+        }
+
+        let substrate_before = dep.memory().alloc_count();
+        let heap_before = alloc_probe::allocations();
+        for _ in 0..OBSERVATIONS {
+            dep.run_transaction(head).expect("steady transaction");
+        }
+        let heap_allocs = alloc_probe::allocations() - heap_before;
+
+        assert_eq!(
+            heap_allocs, 0,
+            "{mode}: {OBSERVATIONS} steady-state transactions performed \
+             {heap_allocs} Rust-heap allocations; the steady state must not allocate"
+        );
+        assert_eq!(
+            dep.memory().alloc_count(),
+            substrate_before,
+            "{mode}: substrate allocations must stay pinned at their bootstrap value"
+        );
+    }
+}
+
+#[test]
+fn oo_baseline_is_equally_allocation_free() {
+    // The comparison in Fig. 7 is only fair if the hand-written baseline
+    // obeys the same discipline.
+    let probe = ScenarioProbe::new();
+    let mut oo = OoSystem::new(&probe).expect("baseline builds");
+    for _ in 0..WARMUP {
+        oo.run_transaction().expect("warmup transaction");
+    }
+    let before = alloc_probe::allocations();
+    for _ in 0..OBSERVATIONS {
+        oo.run_transaction().expect("steady transaction");
+    }
+    assert_eq!(alloc_probe::allocations() - before, 0);
+}

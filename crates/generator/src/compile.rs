@@ -14,7 +14,7 @@ use rtsj::thread::ThreadKind;
 use rtsj::time::RelativeTime;
 use soleil_core::model::{ActivationKind, ComponentId, ComponentKind, Protocol, Role};
 use soleil_core::validate::{
-    cross_scope_pattern, validate, CrossScopePattern, ValidatedArchitecture, ValidationReport,
+    cross_scope_pattern, CrossScopePattern, ValidatedArchitecture, ValidationReport,
 };
 use soleil_core::Architecture;
 use soleil_membrane::FrameworkError;
@@ -106,24 +106,6 @@ fn to_pattern(p: CrossScopePattern) -> PatternKind {
 ///
 /// See [`GeneratorError`].
 pub fn compile(arch: &ValidatedArchitecture) -> Result<SystemSpec, GeneratorError> {
-    compile_spec(arch)
-}
-
-/// The pre-witness entry point: validates, then compiles.
-///
-/// # Errors
-///
-/// [`GeneratorError::Validation`] when the architecture is refused, plus
-/// everything [`compile`] can raise.
-#[deprecated(
-    since = "0.2.0",
-    note = "validate first (`Architecture::into_validated`) and pass the witness to `compile`"
-)]
-pub fn compile_unvalidated(arch: &Architecture) -> Result<SystemSpec, GeneratorError> {
-    let report = validate(arch);
-    if !report.is_compliant() {
-        return Err(GeneratorError::Validation(report));
-    }
     compile_spec(arch)
 }
 
@@ -359,6 +341,7 @@ mod tests {
     use super::*;
     use soleil_core::adl::{from_xml, MOTIVATION_EXAMPLE_XML};
     use soleil_core::prelude::*;
+    use soleil_core::validate::validate;
 
     fn motivation() -> ValidatedArchitecture {
         from_xml(MOTIVATION_EXAMPLE_XML)
@@ -414,19 +397,10 @@ mod tests {
         let arch = DesignFlow::new(b).merge().unwrap();
         // No domain, no area: the consuming validator refuses and hands
         // the architecture back with the report.
-        let rejected = arch.clone().into_validated().unwrap_err();
+        let rejected = arch.into_validated().unwrap_err();
         assert!(!rejected.report.is_compliant());
         assert!(rejected.report.by_code("SOL-001").next().is_some());
         assert_eq!(rejected.architecture.name, "bad");
-        // The deprecated pre-witness shim refuses identically.
-        #[allow(deprecated)]
-        match compile_unvalidated(&arch) {
-            Err(GeneratorError::Validation(report)) => {
-                assert!(!report.is_compliant());
-                assert!(report.by_code("SOL-001").next().is_some());
-            }
-            other => panic!("expected validation refusal, got {other:?}"),
-        }
     }
 
     #[test]
@@ -498,12 +472,9 @@ mod tests {
         b.active_sporadic("orphan").unwrap();
         b.content("orphan", "O").unwrap();
         let arch = DesignFlow::new(b).merge().unwrap();
-        #[allow(deprecated)]
-        let err = compile_unvalidated(&arch).unwrap_err();
-        let report = match &err {
-            GeneratorError::Validation(report) => report.clone(),
-            other => panic!("expected validation refusal, got {other}"),
-        };
+        let report = validate(&arch);
+        assert!(!report.is_compliant());
+        let err = GeneratorError::Validation(report.clone());
         let unified = SoleilError::from(err);
         let SoleilError::Validation(kept) = &unified else {
             panic!("expected SoleilError::Validation, got {unified}");

@@ -24,11 +24,7 @@ pub mod compile;
 pub use codegen::{emit_source, CodegenMetrics, GeneratedSource};
 pub use compile::{compile, GeneratorError};
 
-#[allow(deprecated)]
-pub use compile::compile_unvalidated;
-
-use soleil_core::validate::{validate, ValidatedArchitecture};
-use soleil_core::Architecture;
+use soleil_core::validate::ValidatedArchitecture;
 use soleil_membrane::content::{ContentRegistry, Payload};
 use soleil_runtime::{Deployment, Mode, System};
 
@@ -84,29 +80,6 @@ pub fn deploy<P: Payload>(
     let spec = compile(arch)?;
     Deployment::build(&spec, mode, registry, arch.architecture().clone())
         .map_err(GeneratorError::Build)
-}
-
-/// The pre-witness one-shot path: validates, then generates.
-///
-/// # Errors
-///
-/// [`GeneratorError::Validation`] when the architecture is refused, plus
-/// everything [`generate`] can raise.
-#[deprecated(
-    since = "0.2.0",
-    note = "validate first (`Architecture::into_validated`) and pass the witness to `generate` or `deploy`"
-)]
-pub fn generate_unvalidated<P: Payload>(
-    arch: &Architecture,
-    mode: Mode,
-    registry: &ContentRegistry<P>,
-) -> Result<System<P>, GeneratorError> {
-    let report = validate(arch);
-    if !report.is_compliant() {
-        return Err(GeneratorError::Validation(report));
-    }
-    let spec = compile::compile_spec(arch)?;
-    System::build(&spec, mode, registry).map_err(GeneratorError::Build)
 }
 
 #[cfg(test)]

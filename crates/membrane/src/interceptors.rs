@@ -138,6 +138,13 @@ pub struct MemoryPlan {
     /// Optional transient scope entered per invocation for temporaries;
     /// reclaimed on exit (the classic scoped-memory usage).
     pub transient_scope: Option<AreaId>,
+    /// Build-time proof that `server_area` is always on the invoking
+    /// component's scope stack when this plan runs (`ExecuteInOuter` only).
+    /// When set, the per-crossing scope-stack containment walk is replaced
+    /// by the substrate's prechecked entry — the design-time validation
+    /// licensing the removal of a runtime check, exactly as the paper's
+    /// generator does for its merged modes.
+    pub outer_on_stack: bool,
 }
 
 impl MemoryPlan {
@@ -148,6 +155,7 @@ impl MemoryPlan {
             server_area,
             enter_path: Vec::new(),
             transient_scope: None,
+            outer_on_stack: false,
         }
     }
 
@@ -158,6 +166,7 @@ impl MemoryPlan {
             server_area,
             enter_path: path,
             transient_scope: None,
+            outer_on_stack: false,
         }
     }
 }
@@ -214,7 +223,11 @@ impl Interceptor for MemoryInterceptor {
         match self.plan.pattern {
             PatternKind::Direct => {}
             PatternKind::ExecuteInOuter => {
-                mm.begin_execute_in_area(ctx, self.plan.server_area)?;
+                if self.plan.outer_on_stack {
+                    mm.begin_execute_in_area_prechecked(ctx, self.plan.server_area)?;
+                } else {
+                    mm.begin_execute_in_area(ctx, self.plan.server_area)?;
+                }
             }
             PatternKind::EnterInner => {
                 for (i, &scope) in self.plan.enter_path.iter().enumerate() {
@@ -424,10 +437,25 @@ mod tests {
             server_area: outer,
             enter_path: Vec::new(),
             transient_scope: None,
+            outer_on_stack: false,
         });
         mi.pre(&mut mm, &mut ctx).unwrap();
         assert_eq!(ctx.allocation_area(), outer);
         mi.post(&mut mm, &mut ctx).unwrap();
+        assert_eq!(ctx.allocation_area(), inner);
+
+        // The prechecked variant (build-time proof) behaves identically on
+        // the legal path.
+        let mut fast = MemoryInterceptor::new(MemoryPlan {
+            pattern: PatternKind::ExecuteInOuter,
+            server_area: outer,
+            enter_path: Vec::new(),
+            transient_scope: None,
+            outer_on_stack: true,
+        });
+        fast.pre(&mut mm, &mut ctx).unwrap();
+        assert_eq!(ctx.allocation_area(), outer);
+        fast.post(&mut mm, &mut ctx).unwrap();
         assert_eq!(ctx.allocation_area(), inner);
     }
 
@@ -443,6 +471,7 @@ mod tests {
             server_area: AreaId::IMMORTAL,
             enter_path: Vec::new(),
             transient_scope: Some(temp),
+            outer_on_stack: false,
         });
         mi.pre(&mut mm, &mut ctx).unwrap();
         mm.alloc_current(&ctx, [0u8; 128]).unwrap();
@@ -461,6 +490,7 @@ mod tests {
             server_area: AreaId::IMMORTAL,
             enter_path: Vec::new(),
             transient_scope: None,
+            outer_on_stack: false,
         });
         assert!(handoff.needs_copy());
     }

@@ -25,7 +25,6 @@
 #![warn(missing_docs)]
 
 use std::any::Any;
-use std::collections::VecDeque;
 
 use rtsj::memory::{AreaId, Handle, MemoryContext, MemoryKind, MemoryManager};
 use rtsj::thread::ThreadKind;
@@ -151,14 +150,52 @@ pub fn handoff_copy<T: Any + Clone>(
 // Exchange buffer
 // ---------------------------------------------------------------------------
 
+/// Fixed-ring message storage: every slot exists from `create` onward, so
+/// push/pop are pure index moves — no per-message allocation or free, in
+/// the substrate or on the Rust heap.
 #[derive(Debug)]
 struct RingState<T> {
-    queue: VecDeque<T>,
-    capacity: usize,
+    slots: Vec<Option<T>>,
+    head: usize,
+    len: usize,
     rejected: u64,
     total_pushed: u64,
     /// Backing-store charge registered with the owning area.
     _backing: Handle<rtsj::memory::RawAllocation>,
+}
+
+impl<T> RingState<T> {
+    fn push(&mut self, value: T) -> PushOutcome {
+        let capacity = self.slots.len();
+        if self.len == capacity {
+            self.rejected += 1;
+            return PushOutcome::Rejected;
+        }
+        // Wrap by compare-and-subtract: both operands are < capacity, and
+        // it keeps integer division off the hot path.
+        let mut tail = self.head + self.len;
+        if tail >= capacity {
+            tail -= capacity;
+        }
+        self.slots[tail] = Some(value);
+        self.len += 1;
+        self.total_pushed += 1;
+        PushOutcome::Accepted
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.slots[self.head].take();
+        debug_assert!(value.is_some(), "occupied ring slot was empty");
+        self.head += 1;
+        if self.head == self.slots.len() {
+            self.head = 0;
+        }
+        self.len -= 1;
+        value
+    }
 }
 
 /// Outcome of [`ExchangeBuffer::push`].
@@ -175,9 +212,12 @@ pub enum PushOutcome {
 /// asynchronous bindings and the *Immortal Exchange Buffer* pattern when
 /// placed in immortal memory.
 ///
-/// The queue state itself is an object in the target area, so buffer
-/// footprint shows up in the area statistics exactly like the paper's
-/// Fig. 7(c) accounting.
+/// The queue is a **fixed ring**: every message slot is provisioned in
+/// [`ExchangeBuffer::create`], so `push`/`pop` are index moves that never
+/// allocate — neither in the substrate nor on the Rust heap. The ring
+/// state itself is an object in the target area, so buffer footprint shows
+/// up in the area statistics exactly like the paper's Fig. 7(c)
+/// accounting.
 ///
 /// ```
 /// use rtsj::memory::{AreaId, MemoryManager};
@@ -219,14 +259,20 @@ impl<T: Any> ExchangeBuffer<T> {
             ));
         }
         // Charge the message backing store to the area, so a buffer of N
-        // messages of type T costs what it would in a real region.
+        // messages of type T costs what it would in a real region, and
+        // reserve the ring's own slab slot — the buffer's entire footprint
+        // is provisioned here, at initialization.
         let backing = mm.alloc_raw(ctx, area, capacity * std::mem::size_of::<T>().max(1))?;
+        mm.reserve_slots::<RingState<T>>(area, 1)?;
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
         let handle = mm.alloc(
             ctx,
             area,
             RingState::<T> {
-                queue: VecDeque::with_capacity(capacity),
-                capacity,
+                slots,
+                head: 0,
+                len: 0,
                 rejected: 0,
                 total_pushed: 0,
                 _backing: backing,
@@ -260,14 +306,7 @@ impl<T: Any> ExchangeBuffer<T> {
         ctx: &MemoryContext,
         value: T,
     ) -> Result<PushOutcome> {
-        let state = mm.get_mut(ctx, self.handle)?;
-        if state.queue.len() >= state.capacity {
-            state.rejected += 1;
-            return Ok(PushOutcome::Rejected);
-        }
-        state.queue.push_back(value);
-        state.total_pushed += 1;
-        Ok(PushOutcome::Accepted)
+        Ok(mm.get_mut(ctx, self.handle)?.push(value))
     }
 
     /// Dequeues the oldest message, if any.
@@ -276,7 +315,7 @@ impl<T: Any> ExchangeBuffer<T> {
     ///
     /// Substrate access errors.
     pub fn pop(&self, mm: &mut MemoryManager, ctx: &MemoryContext) -> Result<Option<T>> {
-        Ok(mm.get_mut(ctx, self.handle)?.queue.pop_front())
+        Ok(mm.get_mut(ctx, self.handle)?.pop())
     }
 
     /// Current queue length.
@@ -285,7 +324,7 @@ impl<T: Any> ExchangeBuffer<T> {
     ///
     /// Substrate access errors.
     pub fn len(&self, mm: &MemoryManager, ctx: &MemoryContext) -> Result<usize> {
-        Ok(mm.get(ctx, self.handle)?.queue.len())
+        Ok(mm.get(ctx, self.handle)?.len)
     }
 
     /// True when no message is queued.
@@ -316,16 +355,14 @@ impl<T: Any> ExchangeBuffer<T> {
     }
 }
 
-// `Handle` is Copy, so buffers can be shared by copy.
+// `Handle` is Copy, so buffers are plain-data tokens: sharing one is a
+// register copy, never a heap clone.
 impl<T> Clone for ExchangeBuffer<T> {
     fn clone(&self) -> Self {
-        ExchangeBuffer {
-            handle: self.handle,
-            area: self.area,
-            capacity: self.capacity,
-        }
+        *self
     }
 }
+impl<T> Copy for ExchangeBuffer<T> {}
 
 // ---------------------------------------------------------------------------
 // Scope pinning (wedge thread)
@@ -527,6 +564,32 @@ mod tests {
         assert_eq!(buf.pop(&mut mm, &ctx).unwrap(), Some(2));
         assert_eq!(buf.pop(&mut mm, &ctx).unwrap(), None);
         assert!(buf.is_empty(&mm, &ctx).unwrap());
+    }
+
+    #[test]
+    fn exchange_buffer_ring_wraps_without_allocating() {
+        let mut mm = MemoryManager::new(1 << 20, 1 << 20);
+        let ctx = mm.context(ThreadKind::Realtime);
+        let buf: ExchangeBuffer<u64> =
+            ExchangeBuffer::create(&mut mm, &ctx, AreaId::IMMORTAL, 3).unwrap();
+        let allocs_after_create = mm.alloc_count();
+        // Drive far past capacity so head/tail wrap repeatedly; FIFO order
+        // must hold and the substrate must see zero further allocations.
+        for round in 0..50u64 {
+            assert_eq!(
+                buf.push(&mut mm, &ctx, round).unwrap(),
+                PushOutcome::Accepted
+            );
+            if round >= 2 {
+                assert_eq!(buf.pop(&mut mm, &ctx).unwrap(), Some(round - 2));
+            }
+        }
+        assert_eq!(buf.len(&mm, &ctx).unwrap(), 2);
+        assert_eq!(
+            mm.alloc_count(),
+            allocs_after_create,
+            "steady-state ring traffic must not allocate"
+        );
     }
 
     #[test]

@@ -9,8 +9,15 @@
 //!   the last thread exits; governed by the *single parent rule* and the
 //!   *assignment rules*.
 //!
-//! The simulator represents every allocated object as a boxed `Any` inside
-//! its area and hands out generation-tagged [`Handle`]s. All RTSJ dynamic
+//! The simulator stores every allocated object in a **typed slab** owned by
+//! its area — one slab per payload type, its slots provisioned when the
+//! area is first charged and reused through a free list — and hands out
+//! generation-tagged [`Handle`]s. Storing an object is a slot write, not a
+//! per-object heap allocation, so a steady-state loop that allocates and
+//! frees through the substrate touches the Rust heap only while a slab
+//! grows; [`MemoryManager::reserve_slots`] moves even that growth to
+//! initialization time and [`MemoryManager::alloc_count`] makes the
+//! "allocation happens at init only" property checkable. All RTSJ dynamic
 //! checks are enforced:
 //!
 //! * the **assignment rule** — an object in area `X` may reference an object
@@ -24,7 +31,7 @@
 //! Reclamation bumps the area's generation, so any handle that illegally
 //! outlives its scope is detected as [`RtsjError::StaleHandle`].
 
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::fmt;
 use std::marker::PhantomData;
@@ -112,11 +119,19 @@ impl fmt::Display for MemoryKind {
 }
 
 /// An untyped, generation-tagged reference to an object in some area.
+///
+/// Besides area/slot/generation, a handle records the index of the typed
+/// slab it points into: slots are per-type, so the slab is part of the
+/// address. Dereferencing is pure indexing — the `TypeId` map is only
+/// consulted when a slab is first created — and re-typing a handle
+/// (`Handle::from_raw`) is caught at dereference time by the slab's
+/// type-checked downcast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RawHandle {
     area: AreaId,
     slot: u32,
     generation: u32,
+    slab: u16,
 }
 
 impl RawHandle {
@@ -215,10 +230,175 @@ pub struct RawAllocation {
     pub bytes: usize,
 }
 
-#[derive(Debug)]
-struct StoredObject {
-    value: Box<dyn Any>,
-    bytes: usize,
+/// One typed slab: slot storage for every object of type `T` in an area.
+///
+/// Slots are reused through a free list, so an alloc/free cycle in steady
+/// state performs no Rust-heap allocation; the backing vectors only grow
+/// when the live population exceeds everything seen before (and
+/// [`MemoryManager::reserve_slots`] moves that growth to init time).
+struct TypedSlab<T> {
+    slots: Vec<Option<T>>,
+    /// Bytes charged per slot (uniform for `alloc`, per-call for
+    /// `alloc_raw` backing stores).
+    charged: Vec<usize>,
+    free: Vec<u32>,
+}
+
+impl<T> TypedSlab<T> {
+    fn new() -> Self {
+        TypedSlab {
+            slots: Vec::new(),
+            charged: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, value: T, bytes: usize) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(value);
+                self.charged[slot as usize] = bytes;
+                slot
+            }
+            None => {
+                self.slots.push(Some(value));
+                self.charged.push(bytes);
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+}
+
+/// Type-erased slab surface: the per-area bookkeeping that does not need
+/// the payload type (bulk reclaim, live counts, individual frees).
+trait AnySlab: Any {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Drops every live value and resets the free list, keeping the slot
+    /// capacity so a reclaimed scope can refill without reallocating.
+    fn clear(&mut self);
+    fn live(&self) -> usize;
+    /// Frees one slot, returning the bytes it charged (None when the slot
+    /// is already vacant or out of range).
+    fn free_slot(&mut self, slot: u32) -> Option<usize>;
+}
+
+impl<T: Any> AnySlab for TypedSlab<T> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.charged.clear();
+        self.free.clear();
+    }
+    fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+    fn free_slot(&mut self, slot: u32) -> Option<usize> {
+        let taken = self.slots.get_mut(slot as usize)?.take()?;
+        drop(taken);
+        self.free.push(slot);
+        Some(self.charged[slot as usize])
+    }
+}
+
+/// `TypeId` is already a high-quality hash; feed it through unchanged
+/// instead of re-hashing with SipHash — the type map sits on the
+/// allocation path.
+#[derive(Default)]
+struct TypeIdHasher(u64);
+
+impl std::hash::Hasher for TypeIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // TypeId hashes via the integer methods on current rustc; fold
+        // bytes defensively in case that ever changes.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 ^= n;
+    }
+    fn write_u128(&mut self, n: u128) {
+        self.0 ^= (n as u64) ^ ((n >> 64) as u64);
+    }
+}
+
+type TypeIdMap<V> = HashMap<TypeId, V, std::hash::BuildHasherDefault<TypeIdHasher>>;
+
+/// The per-area slab collection: dense storage indexed by the handle's
+/// slab id (the hot, per-deref path) plus a `TypeId` map consulted per
+/// allocation (trivially hashed) and extended only when allocation meets a
+/// type for the first time.
+#[derive(Default)]
+struct SlabSet {
+    slabs: Vec<Box<dyn AnySlab>>,
+    by_type: TypeIdMap<u16>,
+}
+
+impl SlabSet {
+    /// Hot path: the typed slab behind a handle's slab index. `None` for a
+    /// foreign index; a type-mismatched (re-typed) handle fails the
+    /// downcast and is reported by the caller.
+    fn typed<T: Any>(&self, slab: u16) -> Option<&TypedSlab<T>> {
+        self.slabs
+            .get(slab as usize)
+            .and_then(|s| s.as_any().downcast_ref::<TypedSlab<T>>())
+    }
+
+    fn typed_mut<T: Any>(&mut self, slab: u16) -> Option<&mut TypedSlab<T>> {
+        self.slabs
+            .get_mut(slab as usize)
+            .and_then(|s| s.as_any_mut().downcast_mut::<TypedSlab<T>>())
+    }
+
+    /// Cold path: the slab index for `T`, creating the slab on first use.
+    fn index_for<T: Any>(&mut self) -> u16 {
+        match self.by_type.get(&TypeId::of::<T>()) {
+            Some(&ix) => ix,
+            None => {
+                let ix = u16::try_from(self.slabs.len())
+                    .expect("an area holds at most 65536 distinct payload types");
+                self.slabs.push(Box::new(TypedSlab::<T>::new()));
+                self.by_type.insert(TypeId::of::<T>(), ix);
+                ix
+            }
+        }
+    }
+
+    fn get_or_create<T: Any>(&mut self) -> (u16, &mut TypedSlab<T>) {
+        let ix = self.index_for::<T>();
+        let slab = self
+            .typed_mut::<T>(ix)
+            .expect("slab registered under its own type");
+        (ix, slab)
+    }
+
+    fn clear(&mut self) {
+        for slab in &mut self.slabs {
+            slab.clear();
+        }
+    }
+
+    fn live(&self) -> usize {
+        self.slabs.iter().map(|s| s.live()).sum()
+    }
+}
+
+impl fmt::Debug for SlabSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlabSet")
+            .field("types", &self.slabs.len())
+            .field("live", &self.live())
+            .finish()
+    }
 }
 
 #[derive(Debug)]
@@ -228,8 +408,7 @@ struct Area {
     size_limit: Option<usize>,
     consumed: usize,
     high_watermark: usize,
-    objects: Vec<Option<StoredObject>>,
-    free_slots: Vec<u32>,
+    slabs: SlabSet,
     generation: u32,
     // Scoped-area state:
     parent: Option<AreaId>,
@@ -337,16 +516,7 @@ impl MemoryManager {
             } else {
                 Some(heap_size)
             },
-            consumed: 0,
-            high_watermark: 0,
-            objects: Vec::new(),
-            free_slots: Vec::new(),
-            generation: 0,
-            parent: None,
-            enter_count: 0,
-            portal: None,
-            reclaim_count: 0,
-            total_allocs: 0,
+            ..Self::blank_area(MemoryKind::Heap)
         };
         let immortal = Area {
             name: "immortal".to_string(),
@@ -370,8 +540,7 @@ impl MemoryManager {
             size_limit: None,
             consumed: 0,
             high_watermark: 0,
-            objects: Vec::new(),
-            free_slots: Vec::new(),
+            slabs: SlabSet::default(),
             generation: 0,
             parent: None,
             enter_count: 0,
@@ -535,8 +704,9 @@ impl MemoryManager {
         debug_assert!(a.enter_count > 0, "exit of never-entered scope");
         a.enter_count = a.enter_count.saturating_sub(1);
         if a.enter_count == 0 {
-            a.objects.clear();
-            a.free_slots.clear();
+            // Bulk reclaim: values drop, slot capacity stays, so the next
+            // occupancy refills the slabs without touching the Rust heap.
+            a.slabs.clear();
             a.consumed = 0;
             a.portal = None;
             a.parent = None;
@@ -614,6 +784,40 @@ impl MemoryManager {
         Ok(())
     }
 
+    /// Hot-path variant of [`MemoryManager::begin_execute_in_area`] for
+    /// callers that *proved at build time* that `area` is legal for this
+    /// context — e.g. a deployment whose validator established that the
+    /// target scope is always on the invoking component's scope chain. The
+    /// scope-stack containment walk is skipped; the NHRT heap check (cheap
+    /// and thread-kind-dependent) still runs. Must be balanced by
+    /// [`MemoryManager::end_execute_in_area`].
+    ///
+    /// Debug builds still assert containment, so a wrong build-time proof
+    /// fails loudly under test instead of corrupting allocation contexts.
+    ///
+    /// # Errors
+    ///
+    /// [`RtsjError::MemoryAccess`] if an NHRT context targets the heap.
+    pub fn begin_execute_in_area_prechecked(
+        &self,
+        ctx: &mut MemoryContext,
+        area: AreaId,
+    ) -> Result<()> {
+        debug_assert!(
+            self.kind_of(area).is_ok_and(|k| k != MemoryKind::Scoped)
+                || ctx.scope_stack.contains(&area),
+            "prechecked execute_in_area target {area} not on the scope stack"
+        );
+        if area == AreaId::HEAP && !ctx.kind.may_access_heap() {
+            return Err(RtsjError::MemoryAccess {
+                thread: ctx.kind,
+                area,
+            });
+        }
+        ctx.alloc_override.push(area);
+        Ok(())
+    }
+
     /// Removes the innermost allocation-context override installed by
     /// [`MemoryManager::begin_execute_in_area`].
     ///
@@ -666,24 +870,13 @@ impl MemoryManager {
         a.consumed += bytes;
         a.high_watermark = a.high_watermark.max(a.consumed);
         a.total_allocs += 1;
-        let stored = StoredObject {
-            value: Box::new(value),
-            bytes,
-        };
-        let slot = match a.free_slots.pop() {
-            Some(s) => {
-                a.objects[s as usize] = Some(stored);
-                s
-            }
-            None => {
-                a.objects.push(Some(stored));
-                (a.objects.len() - 1) as u32
-            }
-        };
+        let (slab, typed) = a.slabs.get_or_create::<T>();
+        let slot = typed.insert(value, bytes);
         Ok(Handle::new(RawHandle {
             area,
             slot,
             generation: a.generation,
+            slab,
         }))
     }
 
@@ -694,6 +887,43 @@ impl MemoryManager {
     /// Same as [`MemoryManager::alloc`].
     pub fn alloc_current<T: Any>(&mut self, ctx: &MemoryContext, value: T) -> Result<Handle<T>> {
         self.alloc(ctx, ctx.allocation_area(), value)
+    }
+
+    /// Pre-sizes the typed slab for `T` in `area` so that at least
+    /// `additional` further allocations of `T` proceed without growing the
+    /// slab's backing storage — the init-time provisioning hook buffers and
+    /// component bootstrap use to keep the steady state off the Rust heap.
+    ///
+    /// Reservation is bookkeeping only: no area bytes are charged (backing
+    /// stores are charged separately, e.g. via [`MemoryManager::alloc_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RtsjError::IllegalState`] for an unknown area.
+    pub fn reserve_slots<T: Any>(&mut self, area: AreaId, additional: usize) -> Result<()> {
+        let a = self.area_mut(area)?;
+        let (_, slab) = a.slabs.get_or_create::<T>();
+        let spare = slab.free.len() + (slab.slots.capacity() - slab.slots.len());
+        let grow = additional.saturating_sub(spare);
+        slab.slots.reserve(grow);
+        slab.charged.reserve(grow);
+        // The free list must be able to index every slot that can ever
+        // exist after this reservation: freeing the entire population in
+        // steady state must not grow it either.
+        let total = slab.slots.capacity();
+        if slab.free.capacity() < total {
+            slab.free.reserve(total - slab.free.len());
+        }
+        Ok(())
+    }
+
+    /// Total allocations ever performed across every area — the
+    /// steady-state allocation counter. After bootstrap, a well-provisioned
+    /// transaction loop keeps this constant: all memory was reserved at
+    /// initialization and messages move by index, exactly the discipline
+    /// the paper's evaluation claims.
+    pub fn alloc_count(&self) -> u64 {
+        self.areas.iter().map(|a| a.total_allocs).sum()
     }
 
     /// Allocates an opaque block of `bytes` bytes in `area` — used by the
@@ -725,24 +955,13 @@ impl MemoryManager {
         a.consumed += charged;
         a.high_watermark = a.high_watermark.max(a.consumed);
         a.total_allocs += 1;
-        let stored = StoredObject {
-            value: Box::new(RawAllocation { bytes }),
-            bytes: charged,
-        };
-        let slot = match a.free_slots.pop() {
-            Some(s) => {
-                a.objects[s as usize] = Some(stored);
-                s
-            }
-            None => {
-                a.objects.push(Some(stored));
-                (a.objects.len() - 1) as u32
-            }
-        };
+        let (slab, typed) = a.slabs.get_or_create::<RawAllocation>();
+        let slot = typed.insert(RawAllocation { bytes }, charged);
         Ok(Handle::new(RawHandle {
             area,
             slot,
             generation: a.generation,
+            slab,
         }))
     }
 
@@ -761,19 +980,18 @@ impl MemoryManager {
                 area: handle.raw.area,
             });
         }
-        let obj = a
-            .objects
-            .get(handle.raw.slot as usize)
-            .and_then(|o| o.as_ref())
-            .ok_or(RtsjError::StaleHandle {
-                area: handle.raw.area,
-            })?;
-        obj.value.downcast_ref::<T>().ok_or_else(|| {
+        let slab = a.slabs.typed::<T>(handle.raw.slab).ok_or_else(|| {
             RtsjError::IllegalState(format!(
                 "handle type mismatch: expected {}",
                 std::any::type_name::<T>()
             ))
-        })
+        })?;
+        slab.slots
+            .get(handle.raw.slot as usize)
+            .and_then(|o| o.as_ref())
+            .ok_or(RtsjError::StaleHandle {
+                area: handle.raw.area,
+            })
     }
 
     /// Mutable access to the object behind `handle`.
@@ -789,19 +1007,18 @@ impl MemoryManager {
                 area: handle.raw.area,
             });
         }
-        let obj = a
-            .objects
-            .get_mut(handle.raw.slot as usize)
-            .and_then(|o| o.as_mut())
-            .ok_or(RtsjError::StaleHandle {
-                area: handle.raw.area,
-            })?;
-        obj.value.downcast_mut::<T>().ok_or_else(|| {
+        let slab = a.slabs.typed_mut::<T>(handle.raw.slab).ok_or_else(|| {
             RtsjError::IllegalState(format!(
                 "handle type mismatch: expected {}",
                 std::any::type_name::<T>()
             ))
-        })
+        })?;
+        slab.slots
+            .get_mut(handle.raw.slot as usize)
+            .and_then(|o| o.as_mut())
+            .ok_or(RtsjError::StaleHandle {
+                area: handle.raw.area,
+            })
     }
 
     /// Explicitly frees a heap object (stands in for the collector; scoped
@@ -819,14 +1036,14 @@ impl MemoryManager {
             )));
         }
         let a = self.area_mut(AreaId::HEAP)?;
-        let slot = a
-            .objects
-            .get_mut(handle.slot as usize)
-            .ok_or(RtsjError::StaleHandle { area: handle.area })?;
-        match slot.take() {
-            Some(obj) => {
-                a.consumed = a.consumed.saturating_sub(obj.bytes);
-                a.free_slots.push(handle.slot);
+        let freed = a
+            .slabs
+            .slabs
+            .get_mut(handle.slab as usize)
+            .and_then(|slab| slab.free_slot(handle.slot));
+        match freed {
+            Some(bytes) => {
+                a.consumed = a.consumed.saturating_sub(bytes);
                 Ok(())
             }
             None => Err(RtsjError::StaleHandle { area: handle.area }),
@@ -961,7 +1178,7 @@ impl MemoryManager {
             consumed: a.consumed,
             high_watermark: a.high_watermark,
             size_limit: a.size_limit,
-            live_objects: a.objects.iter().filter(|o| o.is_some()).count(),
+            live_objects: a.slabs.live(),
             reclaim_count: a.reclaim_count,
             total_allocs: a.total_allocs,
         })
@@ -1338,6 +1555,65 @@ mod tests {
             m.alloc_raw(&ctx, s, 4096),
             Err(RtsjError::OutOfMemory { .. })
         ));
+    }
+
+    #[test]
+    fn alloc_count_sums_across_areas() {
+        let mut m = mm();
+        let t = m.context(ThreadKind::Regular);
+        assert_eq!(m.alloc_count(), 0);
+        m.alloc(&t, AreaId::HEAP, 1u8).unwrap();
+        m.alloc(&t, AreaId::IMMORTAL, 2u16).unwrap();
+        m.alloc_raw(&t, AreaId::IMMORTAL, 100).unwrap();
+        assert_eq!(m.alloc_count(), 3);
+    }
+
+    #[test]
+    fn heap_alloc_free_cycles_reuse_slots() {
+        let mut m = mm();
+        let t = m.context(ThreadKind::Regular);
+        // Warm one slot, then cycle: the same slot id must be reissued and
+        // consumption must return to baseline each round.
+        let h0 = m.alloc(&t, AreaId::HEAP, 0u64).unwrap();
+        m.heap_free(h0.raw()).unwrap();
+        let baseline = m.stats(AreaId::HEAP).unwrap().consumed;
+        for round in 0..32u64 {
+            let h = m.alloc(&t, AreaId::HEAP, round).unwrap();
+            assert_eq!(h.raw(), h0.raw(), "free slot reused");
+            assert_eq!(*m.get(&t, h).unwrap(), round);
+            m.heap_free(h.raw()).unwrap();
+            assert_eq!(m.stats(AreaId::HEAP).unwrap().consumed, baseline);
+        }
+        let st = m.stats(AreaId::HEAP).unwrap();
+        assert_eq!(st.live_objects, 0);
+        assert_eq!(st.high_watermark, MemoryManager::bytes_for::<u64>());
+    }
+
+    #[test]
+    fn reserve_slots_is_bookkeeping_only() {
+        let mut m = mm();
+        m.reserve_slots::<[u8; 64]>(AreaId::IMMORTAL, 16).unwrap();
+        let st = m.stats(AreaId::IMMORTAL).unwrap();
+        assert_eq!(st.consumed, 0, "reservation charges no bytes");
+        assert_eq!(st.total_allocs, 0);
+        // The reserved slots are immediately usable.
+        let t = m.context(ThreadKind::Regular);
+        for _ in 0..16 {
+            m.alloc(&t, AreaId::IMMORTAL, [0u8; 64]).unwrap();
+        }
+        assert!(m.reserve_slots::<u8>(AreaId::from_raw(99), 1).is_err());
+    }
+
+    #[test]
+    fn distinct_types_get_distinct_slots() {
+        let mut m = mm();
+        let t = m.context(ThreadKind::Regular);
+        // Same slot index in different typed slabs must not collide.
+        let ha = m.alloc(&t, AreaId::IMMORTAL, 7u32).unwrap();
+        let hb = m.alloc(&t, AreaId::IMMORTAL, 9i64).unwrap();
+        assert_eq!(*m.get(&t, ha).unwrap(), 7);
+        assert_eq!(*m.get(&t, hb).unwrap(), 9);
+        assert_eq!(m.stats(AreaId::IMMORTAL).unwrap().live_objects, 2);
     }
 
     #[test]

@@ -121,6 +121,74 @@ proptest! {
         prop_assert_eq!(allowed, expected);
     }
 
+    /// Repeated alloc/free cycles through the typed slab neither leak nor
+    /// grow without bound: consumption returns to baseline after every
+    /// round, and the high watermark is pinned at the single-round maximum
+    /// (slots are reused, not appended).
+    #[test]
+    fn slab_alloc_free_cycles_neither_leak_nor_grow(
+        rounds in 1usize..12,
+        per_round in 1usize..24,
+    ) {
+        let mut mm = MemoryManager::new(1 << 20, 1 << 20);
+        let ctx = mm.context(ThreadKind::Regular);
+        let baseline = mm.stats(AreaId::HEAP).unwrap().consumed;
+        let per_object = MemoryManager::bytes_for::<[u8; 32]>();
+
+        for _ in 0..rounds {
+            let handles: Vec<_> = (0..per_round)
+                .map(|_| mm.alloc(&ctx, AreaId::HEAP, [0u8; 32]).unwrap())
+                .collect();
+            let st = mm.stats(AreaId::HEAP).unwrap();
+            prop_assert_eq!(st.consumed, baseline + per_round * per_object);
+            for h in handles {
+                mm.heap_free(h.raw()).unwrap();
+            }
+            let st = mm.stats(AreaId::HEAP).unwrap();
+            prop_assert_eq!(st.consumed, baseline, "no leak after a full free cycle");
+            prop_assert_eq!(st.live_objects, 0);
+            // Watermark bounded by one round's population, however many
+            // rounds ran: the slab reuses slots instead of growing.
+            prop_assert_eq!(st.high_watermark, baseline + per_round * per_object);
+        }
+        prop_assert_eq!(mm.stats(AreaId::HEAP).unwrap().total_allocs,
+                        (rounds * per_round) as u64);
+    }
+
+    /// The same non-growth property through scope reclamation: allocate in
+    /// a scope, exit (bulk reclaim), re-enter and refill — the watermark
+    /// stays at the single-occupancy maximum and every pre-reclaim handle
+    /// fails with StaleHandle afterwards (generation check).
+    #[test]
+    fn scope_reclaim_cycles_bound_the_watermark(
+        cycles in 1usize..10,
+        per_cycle in 1usize..16,
+    ) {
+        let mut mm = MemoryManager::new(1 << 20, 1 << 20);
+        let s = mm.create_scoped(ScopedMemoryParams::new("s", 64 * 1024)).unwrap();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let per_object = MemoryManager::bytes_for::<u64>();
+        let mut stale: Vec<rtsj::memory::Handle<u64>> = Vec::new();
+
+        for cycle in 0..cycles {
+            mm.enter(&mut ctx, s).unwrap();
+            // Every handle minted in an earlier occupancy is now stale.
+            for &h in &stale {
+                let err = mm.get(&ctx, h).unwrap_err();
+                prop_assert!(matches!(err, RtsjError::StaleHandle { .. }));
+            }
+            for i in 0..per_cycle {
+                stale.push(mm.alloc(&ctx, s, (cycle * per_cycle + i) as u64).unwrap());
+            }
+            prop_assert_eq!(mm.stats(s).unwrap().consumed, per_cycle * per_object);
+            mm.exit(&mut ctx).unwrap();
+            let st = mm.stats(s).unwrap();
+            prop_assert_eq!(st.consumed, 0, "bulk reclaim returns to baseline");
+            prop_assert_eq!(st.high_watermark, per_cycle * per_object,
+                            "watermark bounded by one occupancy");
+        }
+    }
+
     /// Handles never dangle silently: after a scope reclaims, access fails
     /// with StaleHandle rather than returning another object's data.
     #[test]

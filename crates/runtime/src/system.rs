@@ -118,6 +118,10 @@ struct CompiledBinding {
     server_area: AreaId,
     /// Scoped areas to enter for `EnterInner`, outermost first.
     enter_path: Rc<[AreaId]>,
+    /// Build-time access decision: for `ExecuteInOuter`, the server area is
+    /// statically on the client's scope chain, so the per-call scope-stack
+    /// containment walk is skipped (prechecked substrate entry).
+    outer_on_stack: bool,
 }
 
 /// A binding resolved for one call (all `Copy` or cheaply-cloned fields, so
@@ -131,6 +135,7 @@ struct ResolvedBinding {
     pattern: PatternKind,
     server_area: AreaId,
     enter_path: Rc<[AreaId]>,
+    outer_on_stack: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -163,6 +168,14 @@ pub struct System<P: Payload> {
     buffers: Vec<BufferRt<P>>,
     pending: BinaryHeap<(PendingKey, usize)>,
     seq: u64,
+    /// Periodic slots in release order (highest priority first), computed
+    /// at build and invalidated by reconfiguration — `run_tick` walks this
+    /// instead of sorting a fresh list per tick.
+    periodic_order: Vec<usize>,
+    /// Pooled memory context for components outside any thread domain:
+    /// reused across activations so their scope-stack storage is allocated
+    /// once, not per activation.
+    anon_ctx: Option<MemoryContext>,
     stats: EngineStats,
     /// Name-resolution counter (see [`System::name_lookups`]).
     lookups: Cell<u64>,
@@ -343,6 +356,17 @@ impl<P: Payload> System<P> {
         let mut ultra_table: Vec<CompiledBinding> = Vec::new();
         let mut ultra_ranges: Vec<(u32, u32)> = Vec::new();
 
+        // Per-(client, server-area) access decision, settled at build: an
+        // ExecuteInOuter server area that sits on the client's static scope
+        // chain is provably on the stack whenever the binding fires (the
+        // client entered its whole chain at activation), so the per-call
+        // containment walk can be skipped.
+        let outer_on_stack = |b: &crate::spec::BindingSpec| {
+            b.pattern == PatternKind::ExecuteInOuter
+                && nodes[b.client]
+                    .scope_chain
+                    .contains(&areas[spec.components[b.server].area].id)
+        };
         let compile_one = |b: &crate::spec::BindingSpec, bix: usize| CompiledBinding {
             port: b.client_port.as_str().into(),
             target_slot: b.server,
@@ -353,6 +377,7 @@ impl<P: Payload> System<P> {
             pattern: b.pattern,
             server_area: areas[spec.components[b.server].area].id,
             enter_path: b.enter_path.iter().map(|&ix| areas[ix].id).collect(),
+            outer_on_stack: outer_on_stack(b),
         };
 
         match mode {
@@ -385,6 +410,7 @@ impl<P: Payload> System<P> {
                         server_area: areas[spec.components[b.server].area].id,
                         enter_path: b.enter_path.iter().map(|&ix| areas[ix].id).collect(),
                         transient_scope: None,
+                        outer_on_stack: outer_on_stack(b),
                     })));
                 }
             }
@@ -423,6 +449,8 @@ impl<P: Payload> System<P> {
             buffers,
             pending: BinaryHeap::new(),
             seq: 0,
+            periodic_order: Vec::new(),
+            anon_ctx: None,
             stats: EngineStats::default(),
             lookups: Cell::new(0),
             membranes,
@@ -436,6 +464,8 @@ impl<P: Payload> System<P> {
             ultra_table,
             ultra_ranges,
         };
+
+        system.recompute_periodic_order();
 
         // --- Start everything (paper: activation is framework-managed).
         for slot in 0..system.nodes.len() {
@@ -563,47 +593,41 @@ impl<P: Payload> System<P> {
     }
 
     /// Slots of every periodic component, highest priority first — the
-    /// release order within one tick of the system.
+    /// release order within one tick of the system (a copy of the cached
+    /// order; the tick loop itself walks the cache without allocating).
     pub fn periodic_heads(&self) -> Vec<usize> {
-        let mut heads: Vec<usize> = self
+        self.periodic_order.clone()
+    }
+
+    /// Rebuilds the cached periodic release order. Called at build and
+    /// whenever reconfiguration changes a component's priority (domain
+    /// reassignment); periodic-ness itself is fixed at design time.
+    fn recompute_periodic_order(&mut self) {
+        self.periodic_order = self
             .nodes
             .iter()
             .enumerate()
             .filter(|(_, n)| matches!(n.activation, Activation::Periodic { .. }))
             .map(|(i, _)| i)
             .collect();
-        heads.sort_by_key(|&i| std::cmp::Reverse(self.nodes[i].priority));
-        heads
+        self.periodic_order
+            .sort_by_key(|&i| std::cmp::Reverse(self.nodes[i].priority));
     }
 
     /// Releases every periodic component once, in priority order, each with
     /// its full run-to-completion cascade — one "tick" of a system with
-    /// several time-triggered components.
+    /// several time-triggered components. Walks the cached release order:
+    /// no per-tick list building.
     ///
     /// # Errors
     ///
     /// The first transaction error aborts the tick.
     pub fn run_tick(&mut self) -> Result<(), FrameworkError> {
-        for head in self.periodic_heads() {
+        for i in 0..self.periodic_order.len() {
+            let head = self.periodic_order[i];
             self.run_transaction(head)?;
         }
         Ok(())
-    }
-
-    /// Injects a message on a server port of a sporadic component (external
-    /// stimulus), then drains the cascade.
-    ///
-    /// # Errors
-    ///
-    /// Any framework or substrate error raised along the way.
-    #[deprecated(
-        since = "0.2.0",
-        note = "resolves both names on every call; deploy and use `Deployment::inject` with a pre-resolved `PortRef`"
-    )]
-    pub fn inject(&mut self, component: &str, port: &str, msg: P) -> Result<(), FrameworkError> {
-        let slot = self.slot_ix(component)?;
-        let port_ix = self.port_ix_of(slot, port)?;
-        self.inject_at(slot, port_ix, msg)
     }
 
     /// Slot/port-indexed injection (the string-free hot path behind
@@ -620,73 +644,96 @@ impl<P: Payload> System<P> {
         Ok(())
     }
 
-    fn activate(&mut self, slot: usize, port_ix: u16, msg: &mut P) -> Result<(), FrameworkError> {
-        self.stats.activations += 1;
-        let domain_ix = self.nodes[slot].domain_ix;
-        let mut ctx = match domain_ix {
+    /// Checks out the executing context for a slot: its domain's context,
+    /// or the pooled anonymous context for undomained components (reused so
+    /// steady-state activations never rebuild scope-stack storage).
+    fn take_ctx(&mut self, domain_ix: Option<usize>) -> Result<MemoryContext, FrameworkError> {
+        match domain_ix {
             Some(d) => self.domains[d].ctx.take().ok_or_else(|| {
                 FrameworkError::RunToCompletion(format!(
                     "domain '{}' already executing",
                     self.domains[d].name
                 ))
-            })?,
-            None => self.mm.context(ThreadKind::Regular),
-        };
-        // A component allocated in scoped memory executes inside its scope
-        // chain (the scopes are wedge-pinned, so entry cannot reclaim).
+            }),
+            None => Ok(self
+                .anon_ctx
+                .take()
+                .unwrap_or_else(|| self.mm.context(ThreadKind::Regular))),
+        }
+    }
+
+    /// Returns a context checked out by [`System::take_ctx`].
+    fn restore_ctx(&mut self, domain_ix: Option<usize>, ctx: MemoryContext) {
+        match domain_ix {
+            Some(d) => self.domains[d].ctx = Some(ctx),
+            None => self.anon_ctx = Some(ctx),
+        }
+    }
+
+    fn activate(&mut self, slot: usize, port_ix: u16, msg: &mut P) -> Result<(), FrameworkError> {
+        self.stats.activations += 1;
+        let domain_ix = self.nodes[slot].domain_ix;
+        let mut ctx = self.take_ctx(domain_ix)?;
+        let result = self.invoke_in_chain(slot, port_ix, msg, &mut ctx);
+        self.restore_ctx(domain_ix, ctx);
+        result
+    }
+
+    /// Enters `slot`'s scope chain, invokes, and exits — the execution
+    /// discipline every activation shares: a component allocated in scoped
+    /// memory executes inside its (wedge-pinned, so entry cannot reclaim)
+    /// scope stack. Both the release path and the asynchronous drain path
+    /// go through here; having the chain on the stack is also the premise
+    /// of the build-time `ExecuteInOuter` access proofs
+    /// ([`System::outer_proof`]).
+    fn invoke_in_chain(
+        &mut self,
+        slot: usize,
+        port_ix: u16,
+        msg: &mut P,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
         let chain_len = self.nodes[slot].scope_chain.len();
         let mut entered = 0;
         let mut result = Ok(());
         for i in 0..chain_len {
             let scope = self.nodes[slot].scope_chain[i];
-            if let Err(e) = self.mm.enter(&mut ctx, scope) {
+            if let Err(e) = self.mm.enter(ctx, scope) {
                 result = Err(e.into());
                 break;
             }
             entered += 1;
         }
         if result.is_ok() {
-            result = self.invoke(slot, port_ix, msg, &mut ctx);
+            result = self.invoke(slot, port_ix, msg, ctx);
         }
         for _ in 0..entered {
-            self.mm
-                .exit(&mut ctx)
-                .expect("balanced activation scope stack");
-        }
-        if let Some(d) = domain_ix {
-            self.domains[d].ctx = Some(ctx);
+            self.mm.exit(ctx).expect("balanced activation scope stack");
         }
         result
     }
 
     fn drain(&mut self) -> Result<(), FrameworkError> {
         while let Some((_, buffer_ix)) = self.pending.pop() {
-            let (consumer_slot, consumer_port_ix, buffer) = {
+            let (consumer_slot, consumer_port_ix) = {
                 let b = &self.buffers[buffer_ix];
-                (b.consumer_slot, b.consumer_port_ix, b.buffer.clone())
+                (b.consumer_slot, b.consumer_port_ix)
             };
             let domain_ix = self.nodes[consumer_slot].domain_ix;
-            let mut ctx = match domain_ix {
-                Some(d) => self.domains[d].ctx.take().ok_or_else(|| {
-                    FrameworkError::RunToCompletion(format!(
-                        "domain '{}' already executing",
-                        self.domains[d].name
-                    ))
-                })?,
-                None => self.mm.context(ThreadKind::Regular),
-            };
-            let popped = buffer.pop(&mut self.mm, &ctx);
+            let mut ctx = self.take_ctx(domain_ix)?;
+            // Index-based buffer access: `buffers` and `mm` are disjoint
+            // fields, so the ring is reached in place — no handle clone per
+            // drained message.
+            let popped = self.buffers[buffer_ix].buffer.pop(&mut self.mm, &ctx);
             let result = match popped {
                 Ok(Some(mut msg)) => {
                     self.stats.activations += 1;
-                    self.invoke(consumer_slot, consumer_port_ix, &mut msg, &mut ctx)
+                    self.invoke_in_chain(consumer_slot, consumer_port_ix, &mut msg, &mut ctx)
                 }
                 Ok(None) => Ok(()),
                 Err(e) => Err(e.into()),
             };
-            if let Some(d) = domain_ix {
-                self.domains[d].ctx = Some(ctx);
-            }
+            self.restore_ctx(domain_ix, ctx);
             result?;
         }
         Ok(())
@@ -698,8 +745,10 @@ impl<P: Payload> System<P> {
         msg: P,
         ctx: &MemoryContext,
     ) -> Result<(), FrameworkError> {
-        let buffer = self.buffers[buffer_ix].buffer.clone();
-        match buffer.push(&mut self.mm, ctx, msg)? {
+        match self.buffers[buffer_ix]
+            .buffer
+            .push(&mut self.mm, ctx, msg)?
+        {
             PushOutcome::Accepted => {
                 self.stats.async_messages += 1;
                 let consumer = self.buffers[buffer_ix].consumer_slot;
@@ -874,6 +923,7 @@ impl<P: Payload> System<P> {
             pattern: b.pattern,
             server_area: b.server_area,
             enter_path: b.enter_path.clone(),
+            outer_on_stack: b.outer_on_stack,
         })
     }
 
@@ -888,7 +938,14 @@ impl<P: Payload> System<P> {
                 self.invoke(r.target_slot, r.server_port_ix, msg, ctx)
             }
             PatternKind::ExecuteInOuter => {
-                self.mm.begin_execute_in_area(ctx, r.server_area)?;
+                // The build-time access decision replaces the scope-stack
+                // walk when the server area is provably on the stack.
+                if r.outer_on_stack {
+                    self.mm
+                        .begin_execute_in_area_prechecked(ctx, r.server_area)?;
+                } else {
+                    self.mm.begin_execute_in_area(ctx, r.server_area)?;
+                }
                 let out = self.invoke(r.target_slot, r.server_port_ix, msg, ctx);
                 self.mm.end_execute_in_area(ctx)?;
                 out
@@ -964,36 +1021,6 @@ impl<P: Payload> System<P> {
         self.start_slot(slot)
     }
 
-    /// Stops a component: its invocations are refused until restarted.
-    ///
-    /// # Errors
-    ///
-    /// [`FrameworkError::Unsupported`] under ULTRA-MERGE (purely static).
-    #[deprecated(
-        since = "0.2.0",
-        note = "piecewise mutation can leave the system half-reconfigured; use `Deployment::reconfigure` (all-or-nothing, re-validated)"
-    )]
-    pub fn stop(&mut self, component: &str) -> Result<(), FrameworkError> {
-        self.reject_static()?;
-        let slot = self.slot_ix(component)?;
-        self.stop_at(slot)
-    }
-
-    /// (Re)starts a component.
-    ///
-    /// # Errors
-    ///
-    /// [`FrameworkError::Unsupported`] under ULTRA-MERGE.
-    #[deprecated(
-        since = "0.2.0",
-        note = "piecewise mutation can leave the system half-reconfigured; use `Deployment::reconfigure` (all-or-nothing, re-validated)"
-    )]
-    pub fn start(&mut self, component: &str) -> Result<(), FrameworkError> {
-        self.reject_static()?;
-        let slot = self.slot_ix(component)?;
-        self.start_at(slot)
-    }
-
     /// The slot currently targeted by `client_slot`'s synchronous `port`
     /// (used by the transactional reconfiguration journal).
     ///
@@ -1034,34 +1061,9 @@ impl<P: Payload> System<P> {
         Ok(target_slot)
     }
 
-    /// Rebinds `client`'s `port` to `new_server` (which must expose a
-    /// server port of the same name as the old target). SOLEIL performs the
-    /// rebind through the membrane's BindingController; MERGE-ALL patches
-    /// the compiled slot (functional-level reconfiguration).
-    ///
-    /// # Errors
-    ///
-    /// * [`FrameworkError::Unsupported`] under ULTRA-MERGE.
-    /// * [`FrameworkError::Binding`] when the port or target is unknown or
-    ///   the binding is asynchronous (rebinding buffers requires a new
-    ///   buffer — not supported at runtime).
-    #[deprecated(
-        since = "0.2.0",
-        note = "piecewise mutation can leave the system half-reconfigured; use `Deployment::reconfigure` (all-or-nothing, re-validated)"
-    )]
-    pub fn rebind(
-        &mut self,
-        client: &str,
-        port: &str,
-        new_server: &str,
-    ) -> Result<(), FrameworkError> {
-        self.reject_static()?;
-        let client_slot = self.slot_ix(client)?;
-        let server_slot = self.slot_ix(new_server)?;
-        self.rebind_at(client_slot, port, server_slot)
-    }
-
-    /// Slot-indexed rebinding (the engine half of the transactional path).
+    /// Slot-indexed rebinding (the engine half of the transactional path:
+    /// SOLEIL goes through the membrane's BindingController, MERGE-ALL
+    /// patches the compiled slot).
     pub(crate) fn rebind_at(
         &mut self,
         client_slot: usize,
@@ -1088,11 +1090,13 @@ impl<P: Payload> System<P> {
                 let new_area = self.areas[self.nodes[server_slot].area_ix].id;
                 let client_area = self.areas[self.nodes[client_slot].area_ix].id;
                 let (pattern, enter_path) = self.pattern_between(client_area, new_area);
+                let outer_on_stack = self.outer_proof(client_slot, pattern, new_area);
                 self.mem_interceptors[old.binding_ix] = Some(MemoryInterceptor::new(MemoryPlan {
                     pattern,
                     server_area: new_area,
                     enter_path,
                     transient_scope: None,
+                    outer_on_stack,
                 }));
                 let m = self.membranes[client_slot]
                     .as_mut()
@@ -1129,6 +1133,7 @@ impl<P: Payload> System<P> {
                     self.nodes[b.target_slot].server_ports[b.server_port_ix as usize].to_string()
                 };
                 let new_port_ix = port_index(&self.nodes[server_slot], &server_port_name)?;
+                let outer_on_stack = self.outer_proof(client_slot, pattern, new_area);
                 let b = self.compiled[client_slot]
                     .iter_mut()
                     .find(|b| b.port.as_ref() == port)
@@ -1138,10 +1143,22 @@ impl<P: Payload> System<P> {
                 b.pattern = pattern;
                 b.server_area = new_area;
                 b.enter_path = enter_path.into();
+                b.outer_on_stack = outer_on_stack;
                 Ok(())
             }
             Mode::UltraMerge => unreachable!("handled above"),
         }
+    }
+
+    /// The build-time access proof for `ExecuteInOuter` bindings: the
+    /// server area sits on the client's static scope chain, so it is on
+    /// the stack whenever the binding fires and the per-call containment
+    /// walk may be skipped. Single source of truth for rebinding; the
+    /// `outer_on_stack` closure in [`System::build`] mirrors it (it runs
+    /// before `self` exists).
+    fn outer_proof(&self, client_slot: usize, pattern: PatternKind, server_area: AreaId) -> bool {
+        pattern == PatternKind::ExecuteInOuter
+            && self.nodes[client_slot].scope_chain.contains(&server_area)
     }
 
     /// Recomputes the cross-scope pattern (and, for `EnterInner`, the
@@ -1207,12 +1224,14 @@ impl<P: Payload> System<P> {
 
     /// Re-homes a slot onto another thread domain, adopting its priority
     /// (`None` detaches — the component then runs on an anonymous regular
-    /// context, like an undeployed passive).
+    /// context, like an undeployed passive). Invalidates the cached
+    /// periodic release order, which is priority-sorted.
     pub(crate) fn set_domain_at(&mut self, slot: usize, domain_ix: Option<usize>) {
         self.nodes[slot].domain_ix = domain_ix;
         self.nodes[slot].priority = domain_ix
             .map(|d| self.domains[d].priority)
             .unwrap_or(Priority::NORM);
+        self.recompute_periodic_order();
     }
 
     /// Tears the system down: stops every component (running `on_stop`
@@ -1522,11 +1541,9 @@ impl<P: Payload> Ports<P> for CompiledPorts<'_, P> {
 }
 
 #[cfg(test)]
-// The engine unit tests intentionally keep exercising the deprecated
-// name-based wrappers alongside the slot-based internals; the typed
-// `Deployment` surface is covered by `deploy.rs` consumers and the
+// The engine unit tests exercise the slot-based internals directly; the
+// typed `Deployment` surface is covered by `deploy.rs` consumers and the
 // integration suite.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::spec::{AreaSpec, BindingSpec, ComponentSpec, DomainSpec};
@@ -1806,7 +1823,8 @@ mod tests {
             if mode == Mode::UltraMerge {
                 return; // cannot stop components in static mode
             }
-            sys.stop("middle").unwrap();
+            let middle = sys.slot_of("middle").unwrap();
+            sys.stop_at(middle).unwrap();
             let head = sys.slot_of("producer").unwrap();
             // Producer sends to a 10-slot buffer; consumer is stopped so
             // drain fails -> expect lifecycle error surfaced.
@@ -1818,15 +1836,16 @@ mod tests {
     #[test]
     fn lifecycle_stop_start_roundtrip() {
         run_modes(|mode, sys| {
+            let middle = sys.slot_of("middle").unwrap();
             if mode == Mode::UltraMerge {
                 assert!(matches!(
-                    sys.stop("middle"),
+                    sys.stop_at(middle),
                     Err(FrameworkError::Unsupported(_))
                 ));
                 return;
             }
-            sys.stop("middle").unwrap();
-            sys.start("middle").unwrap();
+            sys.stop_at(middle).unwrap();
+            sys.start_at(middle).unwrap();
             let head = sys.slot_of("producer").unwrap();
             sys.run_transaction(head).unwrap();
         });
@@ -1912,7 +1931,9 @@ mod tests {
                 ceiling: None,
             });
             let mut sys = System::build(&spec, mode, &registry()).unwrap();
-            sys.rebind("middle", "svc", "service2").unwrap();
+            let middle = sys.slot_of("middle").unwrap();
+            let service2 = sys.slot_of("service2").unwrap();
+            sys.rebind_at(middle, "svc", service2).unwrap();
             let head = sys.slot_of("producer").unwrap();
             sys.run_transaction(head).unwrap();
             // S1 (old service's scope) should see no new traffic; the
@@ -1925,8 +1946,10 @@ mod tests {
     fn ultra_merge_rejects_reconfiguration() {
         let spec = pipeline_spec();
         let mut sys = System::build(&spec, Mode::UltraMerge, &registry()).unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        let service = sys.slot_of("service").unwrap();
         assert!(matches!(
-            sys.rebind("middle", "svc", "service"),
+            sys.rebind_at(middle, "svc", service),
             Err(FrameworkError::Unsupported(_))
         ));
     }
@@ -1966,11 +1989,12 @@ mod tests {
         let spec = pipeline_spec();
         let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
         assert!(sys.slot_of("ghost").is_err());
-        assert!(sys.inject("ghost", "in", Token::default()).is_err());
         assert!(sys.run_transaction(99).is_err());
-        // Running a transaction from a non-periodic component fails.
+        // Running a transaction from a non-periodic component fails, and
+        // unknown ports are refused at resolution time.
         let middle = sys.slot_of("middle").unwrap();
         assert!(sys.run_transaction(middle).is_err());
+        assert!(sys.port_ix_of(middle, "no-such-port").is_err());
     }
 
     #[test]
@@ -1981,7 +2005,9 @@ mod tests {
             hops: vec![],
             value: 5,
         };
-        sys.inject("middle", "in", token).unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        let port_ix = sys.port_ix_of(middle, "in").unwrap();
+        sys.inject_at(middle, port_ix, token).unwrap();
         let st = sys.stats();
         assert_eq!(st.transactions, 1);
         // middle + sink activations.
@@ -2030,6 +2056,147 @@ mod tests {
         assert_eq!(st.transactions, 2, "one transaction per periodic head");
         // producer2 -> sink (2 activations) + producer pipeline (3).
         assert_eq!(st.activations, 5);
+    }
+
+    /// An async consumer living in a *nested* scoped area must execute
+    /// inside its scope chain on the drain path — both for correct
+    /// allocation placement and because it is the premise of the
+    /// build-time `ExecuteInOuter` access proof (regression: `drain` used
+    /// to invoke consumers without entering their chain, which tripped the
+    /// prechecked substrate entry).
+    #[test]
+    fn drained_consumer_executes_inside_its_scope_chain() {
+        let spec = SystemSpec {
+            name: "nested-consumer".into(),
+            areas: vec![
+                AreaSpec {
+                    name: "Imm1".into(),
+                    kind: MemoryKind::Immortal,
+                    size: Some(256 * 1024),
+                    parent: None,
+                },
+                AreaSpec {
+                    name: "S1".into(),
+                    kind: MemoryKind::Scoped,
+                    size: Some(28 * 1024),
+                    parent: None,
+                },
+                AreaSpec {
+                    name: "S2".into(),
+                    kind: MemoryKind::Scoped,
+                    size: Some(16 * 1024),
+                    parent: Some(1),
+                },
+            ],
+            domains: vec![
+                DomainSpec {
+                    name: "NHRT1".into(),
+                    kind: ThreadKind::NoHeapRealtime,
+                    priority: 30,
+                },
+                DomainSpec {
+                    name: "RT2".into(),
+                    kind: ThreadKind::Realtime,
+                    priority: 25,
+                },
+                DomainSpec {
+                    name: "reg1".into(),
+                    kind: ThreadKind::Regular,
+                    priority: 5,
+                },
+            ],
+            components: vec![
+                ComponentSpec {
+                    name: "producer".into(),
+                    content_class: "Producer".into(),
+                    activation: Activation::Periodic {
+                        period: RelativeTime::from_millis(10),
+                    },
+                    domain: Some(0),
+                    area: 0,
+                    server_ports: vec![],
+                    ceiling: None,
+                },
+                ComponentSpec {
+                    name: "middle".into(),
+                    content_class: "Middle".into(),
+                    activation: Activation::Sporadic,
+                    domain: Some(1),
+                    area: 2, // nested scope S2: chain is [S1, S2]
+                    server_ports: vec!["in".into()],
+                    ceiling: None,
+                },
+                ComponentSpec {
+                    name: "service".into(),
+                    content_class: "Service".into(),
+                    activation: Activation::Passive,
+                    domain: None,
+                    area: 1, // enclosing scope S1
+                    server_ports: vec!["svc".into()],
+                    ceiling: None,
+                },
+                ComponentSpec {
+                    name: "sink".into(),
+                    content_class: "Sink".into(),
+                    activation: Activation::Sporadic,
+                    domain: Some(2),
+                    area: 0,
+                    server_ports: vec!["log".into()],
+                    ceiling: None,
+                },
+            ],
+            bindings: vec![
+                BindingSpec {
+                    client: 0,
+                    client_port: "out".into(),
+                    server: 1,
+                    server_port: "in".into(),
+                    protocol: ProtocolSpec::Async {
+                        capacity: 10,
+                        placement: BufferPlacement::Immortal,
+                    },
+                    pattern: PatternKind::ImmortalExchange,
+                    enter_path: vec![],
+                },
+                // The drained consumer's sync call switches outward into
+                // its enclosing scope: ExecuteInOuter, whose build-time
+                // proof requires the chain on the stack.
+                BindingSpec {
+                    client: 1,
+                    client_port: "svc".into(),
+                    server: 2,
+                    server_port: "svc".into(),
+                    protocol: ProtocolSpec::Sync,
+                    pattern: PatternKind::ExecuteInOuter,
+                    enter_path: vec![],
+                },
+                BindingSpec {
+                    client: 1,
+                    client_port: "log".into(),
+                    server: 3,
+                    server_port: "log".into(),
+                    protocol: ProtocolSpec::Async {
+                        capacity: 10,
+                        placement: BufferPlacement::Immortal,
+                    },
+                    pattern: PatternKind::ImmortalExchange,
+                    enter_path: vec![],
+                },
+            ],
+        };
+        for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+            let mut sys = System::build(&spec, mode, &registry()).unwrap();
+            let head = sys.slot_of("producer").unwrap();
+            for _ in 0..3 {
+                sys.run_transaction(head).unwrap();
+            }
+            let st = sys.stats();
+            assert_eq!(st.transactions, 3, "{mode}");
+            // producer + middle + sink activate per transaction; the sync
+            // call into the enclosing scope completed every time.
+            assert_eq!(st.activations, 9, "{mode}");
+            assert_eq!(st.dropped_messages, 0, "{mode}");
+        }
     }
 
     #[test]

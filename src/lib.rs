@@ -89,10 +89,10 @@
 //!
 //! ## Migrating from the pre-witness API
 //!
-//! | Deprecated (one-PR shims) | Replacement |
+//! | Removed (pre-witness API) | Replacement |
 //! |---|---|
-//! | `generate(&arch, …)` on a raw `Architecture` | `arch.into_validated()?` then [`deploy`]/[`generator::generate`] |
-//! | `compile(&arch)` on a raw `Architecture` | `compile(&validated)` (or `compile_unvalidated` during migration) |
+//! | `generate_unvalidated(&arch, …)` | `arch.into_validated()?` then [`deploy`]/[`generator::generate`] |
+//! | `compile_unvalidated(&arch)` | `arch.into_validated()?` then `compile(&validated)` |
 //! | `system.slot_of("name")` per call | [`Deployment::resolve`](runtime::Deployment::resolve) once → `ComponentRef` |
 //! | `system.inject("name", "port", msg)` | [`Deployment::inject`](runtime::Deployment::inject) with a pre-resolved `PortRef` |
 //! | `system.stop(…)` / `rebind(…)` / `start(…)` | [`Deployment::reconfigure`](runtime::Deployment::reconfigure) transaction |

@@ -326,6 +326,14 @@ impl OoSystem {
         self.transactions
     }
 
+    /// Substrate allocations performed so far (see
+    /// [`MemoryManager::alloc_count`]); constant across steady-state
+    /// transactions — the baseline obeys the same init-time-allocation
+    /// discipline the framework modes are gated on.
+    pub fn alloc_count(&self) -> u64 {
+        self.mm.alloc_count()
+    }
+
     /// The probe observing console/audit activity.
     pub fn probe(&self) -> &ScenarioProbe {
         &self.probe

@@ -496,49 +496,39 @@ fn rebind_recomputes_cross_scope_pattern() {
     }
 }
 
-/// The deprecated piecewise mutators keep working for one PR as thin
-/// shims over the same engine paths.
+/// Steady state is provisioned at deploy time: once the first transaction
+/// has warmed the engine, further transactions perform zero substrate
+/// allocations and zero name lookups — before *and after* a
+/// reconfiguration transaction (which is allowed to allocate; it is the
+/// init-time path).
 #[test]
-#[allow(deprecated)]
-fn deprecated_piecewise_shims_still_work() {
-    let mut bv = BusinessView::new("shims");
-    bv.active_periodic("caller", "5ms").unwrap();
-    bv.passive("svc-a").unwrap();
-    bv.passive("svc-b").unwrap();
-    bv.content("caller", "Caller").unwrap();
-    bv.content("svc-a", "A").unwrap();
-    bv.content("svc-b", "B").unwrap();
-    bv.require("caller", "svc", "ISvc").unwrap();
-    bv.provide("svc-a", "svc", "ISvc").unwrap();
-    bv.provide("svc-b", "svc", "ISvc").unwrap();
-    bv.bind_sync("caller", "svc", "svc-a", "svc").unwrap();
-    let mut flow = DesignFlow::new(bv);
-    flow.thread_domain("rt", ThreadKind::Realtime, 22, &["caller"])
-        .unwrap();
-    flow.memory_area(
-        "imm",
-        MemoryKind::Immortal,
-        Some(64 * 1024),
-        &["rt", "svc-a", "svc-b"],
-    )
-    .unwrap();
-    let raw = flow.merge().unwrap();
+fn steady_state_performs_no_substrate_allocations() {
+    for mode in [Mode::Soleil, Mode::MergeAll] {
+        let Fixture { mut dep, a, b } = fixture(mode);
+        let caller = dep.resolve("caller").unwrap();
+        let svc_b = dep.resolve("svc-b").unwrap();
 
-    let a = Rc::new(Cell::new(0));
-    let b = Rc::new(Cell::new(0));
-    let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
-    registry.register("Caller", || Box::new(Caller));
-    let ac = a.clone();
-    registry.register("A", move || Box::new(Counter(ac.clone())));
-    let bc = b.clone();
-    registry.register("B", move || Box::new(Counter(bc.clone())));
+        dep.run_transaction(caller).unwrap();
+        let allocs = dep.memory().alloc_count();
+        let lookups = dep.name_lookups();
+        for _ in 0..100 {
+            dep.run_transaction(caller).unwrap();
+        }
+        assert_eq!(dep.memory().alloc_count(), allocs, "{mode}");
+        assert_eq!(dep.name_lookups(), lookups, "{mode}");
 
-    let mut sys = soleil::generator::generate_unvalidated(&raw, Mode::Soleil, &registry).unwrap();
-    let head = sys.slot_of("caller").unwrap();
-    sys.run_transaction(head).unwrap();
-    sys.stop("caller").unwrap();
-    sys.rebind("caller", "svc", "svc-b").unwrap();
-    sys.start("caller").unwrap();
-    sys.run_transaction(head).unwrap();
-    assert_eq!((a.get(), b.get()), (1, 1));
+        dep.reconfigure(|txn| txn.rebind(caller, "svc", svc_b))
+            .unwrap();
+        dep.run_transaction(caller).unwrap();
+        let allocs = dep.memory().alloc_count();
+        for _ in 0..100 {
+            dep.run_transaction(caller).unwrap();
+        }
+        assert_eq!(
+            dep.memory().alloc_count(),
+            allocs,
+            "{mode}: steady state after reconfigure"
+        );
+        assert_eq!((a.get(), b.get()), (101, 101), "{mode}");
+    }
 }

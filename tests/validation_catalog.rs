@@ -214,14 +214,8 @@ fn rejection_carries_the_report() {
     .unwrap();
     let arch = flow.merge().unwrap();
     // The consuming validator's rejection renders the structured report...
-    let rejected = arch.clone().into_validated().unwrap_err();
+    let rejected = arch.into_validated().unwrap_err();
     let text = rejected.to_string();
-    assert!(text.contains("violates RTSJ"));
-    assert!(text.contains("SOL-001"));
-    // ...and so does the deprecated pre-witness generator shim.
-    #[allow(deprecated)]
-    let err = soleil::generator::compile_unvalidated(&arch).unwrap_err();
-    let text = err.to_string();
     assert!(text.contains("violates RTSJ"));
     assert!(text.contains("SOL-001"));
 }

@@ -12,12 +12,21 @@
 
 use std::fmt;
 use std::hint::black_box as std_black_box;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Measurement window per benchmark.
 const TARGET: Duration = Duration::from_millis(200);
 /// Iteration cap so extremely slow bodies still terminate promptly.
 const MAX_ITERS: u64 = 1_000_000;
+
+/// True when the harness was invoked with `--test` (real criterion's quick
+/// mode: run every benchmark body once to prove it works, skip the
+/// measurement window). Used by CI's bench-smoke job.
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Opaque value barrier, re-exported from the standard library.
 pub fn black_box<T>(value: T) -> T {
@@ -68,16 +77,20 @@ impl fmt::Display for BenchmarkId {
 pub struct Bencher {
     iterations: u64,
     elapsed: Duration,
+    max_iters: u64,
 }
 
 impl Bencher {
-    /// Times `routine` over the measurement window.
+    /// Times `routine` over the measurement window (once in quick mode).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let start = Instant::now();
-        while self.elapsed < TARGET && self.iterations < MAX_ITERS {
+        loop {
             std_black_box(routine());
             self.iterations += 1;
             self.elapsed = start.elapsed();
+            if self.elapsed >= TARGET || self.iterations >= self.max_iters {
+                break;
+            }
         }
     }
 
@@ -88,12 +101,15 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        while self.elapsed < TARGET && self.iterations < MAX_ITERS {
+        loop {
             let input = setup();
             let start = Instant::now();
             std_black_box(routine(input));
             self.elapsed += start.elapsed();
             self.iterations += 1;
+            if self.elapsed >= TARGET || self.iterations >= self.max_iters {
+                break;
+            }
         }
     }
 }
@@ -102,6 +118,7 @@ fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
     let mut bencher = Bencher {
         iterations: 0,
         elapsed: Duration::ZERO,
+        max_iters: if quick_mode() { 1 } else { MAX_ITERS },
     };
     f(&mut bencher);
     let per_iter = if bencher.iterations == 0 {
@@ -110,8 +127,9 @@ fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
         bencher.elapsed.as_nanos() / u128::from(bencher.iterations)
     };
     println!(
-        "bench: {label:<40} {per_iter:>10} ns/iter ({} iterations)",
-        bencher.iterations
+        "bench: {label:<40} {per_iter:>10} ns/iter ({} iterations{})",
+        bencher.iterations,
+        if quick_mode() { ", quick mode" } else { "" }
     );
 }
 
