@@ -9,6 +9,13 @@
 //! (E5), `steady` (the zero-allocation perf gate, emitting
 //! `BENCH_steady_state.json`), `all` (default). Raw observation CSVs are
 //! written to `target/experiments/`.
+//!
+//! `--observations N` overrides the number of measured iterations (the
+//! same count is threaded into the emitted JSON, never hardcoded):
+//!
+//! ```text
+//! cargo run -p soleil-bench --release --bin reproduce -- steady --observations 5000
+//! ```
 
 use std::fs;
 use std::path::Path;
@@ -25,12 +32,32 @@ use soleil_bench::{
 #[path = "../alloc_probe.rs"]
 mod alloc_probe;
 
-const OBSERVATIONS: usize = 10_000;
+const DEFAULT_OBSERVATIONS: usize = 10_000;
 const WARMUP: usize = 2_000;
 
 fn main() -> Result<(), SoleilError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+    let mut what: Option<String> = None;
+    let mut observations = DEFAULT_OBSERVATIONS;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--observations" {
+            let value = it.next().and_then(|v| v.parse::<usize>().ok());
+            match value {
+                Some(n) if n > 0 => observations = n,
+                _ => {
+                    eprintln!("--observations expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if what.is_none() {
+            what = Some(arg);
+        } else {
+            eprintln!("unexpected argument '{arg}'");
+            std::process::exit(2);
+        }
+    }
+    let what = what.as_deref().unwrap_or("all");
     let out_dir = Path::new("target/experiments");
     fs::create_dir_all(out_dir)?;
 
@@ -39,9 +66,9 @@ fn main() -> Result<(), SoleilError> {
 
     if wants("fig7a") || wants("fig7b") {
         eprintln!(
-            "running overhead benchmark ({OBSERVATIONS} observations x 4 implementations)..."
+            "running overhead benchmark ({observations} observations x 4 implementations)..."
         );
-        let rows = run_overhead(WARMUP, OBSERVATIONS)?;
+        let rows = run_overhead(WARMUP, observations)?;
         if wants("fig7a") {
             let report = fig7a_report(&rows, 24);
             println!("{report}");
@@ -93,9 +120,9 @@ fn main() -> Result<(), SoleilError> {
 
     if wants("steady") {
         eprintln!(
-            "running steady-state perf gate ({OBSERVATIONS} observations x 4 implementations)..."
+            "running steady-state perf gate ({observations} observations x 5 implementations)..."
         );
-        let rows = run_steady_state(WARMUP, OBSERVATIONS, alloc_probe::allocations)?;
+        let rows = run_steady_state(WARMUP, observations, alloc_probe::allocations)?;
         println!("steady-state transaction (median ns, allocs/txn, substrate allocs/txn):");
         for r in &rows {
             println!(
@@ -103,7 +130,7 @@ fn main() -> Result<(), SoleilError> {
                 r.label, r.median_ns, r.allocs_per_transaction, r.substrate_allocs_per_transaction
             );
         }
-        let json = steady_state_json(&rows, OBSERVATIONS);
+        let json = steady_state_json(&rows, observations);
         fs::write("BENCH_steady_state.json", &json)?;
         fs::write(out_dir.join("BENCH_steady_state.json"), &json)?;
         eprintln!("wrote BENCH_steady_state.json");

@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 use rtsj::gc::GcConfig;
 use rtsj::thread::ThreadKind;
 use rtsj::time::{AbsoluteTime, RelativeTime};
-use soleil::generator::{compile, deploy, emit_source};
+use soleil::generator::{compile, deploy, deploy_parallel, emit_source};
 use soleil::prelude::*;
 use soleil::runtime::instrument::{measure_steady, LatencySamples};
 use soleil::runtime::sim::{deploy as sim_deploy, SimCosts, SimOptions};
@@ -354,7 +354,8 @@ pub fn determinism_table(rows: &[DeterminismRow]) -> String {
 /// per-transaction cost and allocation behavior under one implementation.
 #[derive(Debug, Clone)]
 pub struct SteadyStateRow {
-    /// Implementation label (`OO`, `SOLEIL`, `MERGE-ALL`, `ULTRA-MERGE`).
+    /// Implementation label (`OO`, `SOLEIL`, `MERGE-ALL`, `ULTRA-MERGE`,
+    /// `PARALLEL`).
     pub label: String,
     /// Median wall-clock nanoseconds per steady-state transaction.
     pub median_ns: u64,
@@ -379,7 +380,7 @@ pub struct SteadyStateRow {
 pub fn run_steady_state(
     warmup: usize,
     observations: usize,
-    heap_allocs: impl Fn() -> u64,
+    heap_allocs: impl Fn() -> u64 + Sync,
 ) -> HarnessResult<Vec<SteadyStateRow>> {
     use std::time::Instant;
 
@@ -429,7 +430,40 @@ pub fn run_steady_state(
             &mut || Ok(dep.borrow_mut().run_transaction(head)?),
         )?);
     }
+
+    rows.push(run_parallel_steady(warmup, observations, &heap_allocs)?);
     Ok(rows)
+}
+
+/// The `PARALLEL` row of the steady-state artifact: the motivation
+/// scenario sharded by thread domain ([`deploy_parallel`]), every shard
+/// ticking on its own OS thread, cross-domain messages on wait-free SPSC
+/// rings. One tick of the producer shard is the analogue of one serial
+/// transaction; the reported median is the *slowest* shard's (the
+/// parallel critical path). Allocation counters are per-thread and summed
+/// across shards — the zero-alloc gate applies to every thread.
+///
+/// # Errors
+///
+/// Propagates substrate/framework errors (none expected for the fixture).
+pub fn run_parallel_steady(
+    warmup: usize,
+    observations: usize,
+    heap_allocs: impl Fn() -> u64 + Sync,
+) -> HarnessResult<SteadyStateRow> {
+    let arch = motivation_validated()?;
+    let probe = ScenarioProbe::new();
+    let mut sys = deploy_parallel(&arch, Mode::MergeAll, &registry_with_probe(&probe))?;
+    let runs = sys.run_ticks_instrumented(warmup as u64, observations as u64, &heap_allocs)?;
+    Ok(SteadyStateRow {
+        label: "PARALLEL".into(),
+        median_ns: runs.iter().map(|r| r.median_tick_ns).max().unwrap_or(0),
+        allocs_per_transaction: runs.iter().map(|r| r.probe_delta).sum::<u64>() as f64
+            / observations as f64,
+        substrate_allocs_per_transaction: runs.iter().map(|r| r.substrate_allocs).sum::<u64>()
+            as f64
+            / observations as f64,
+    })
 }
 
 /// Renders the steady-state rows as the machine-readable
@@ -580,6 +614,42 @@ mod tests {
                 assert_eq!(st.dropped_messages, 0);
             }
         }
+    }
+
+    #[test]
+    fn steady_state_json_threads_the_real_observation_count() {
+        // Regression: the artifact used to be emitted with a count baked
+        // into the caller; the JSON must reflect whatever was measured.
+        let rows = vec![
+            SteadyStateRow {
+                label: "OO".into(),
+                median_ns: 1200,
+                allocs_per_transaction: 0.0,
+                substrate_allocs_per_transaction: 0.0,
+            },
+            SteadyStateRow {
+                label: "PARALLEL".into(),
+                median_ns: 900,
+                allocs_per_transaction: 0.0,
+                substrate_allocs_per_transaction: 0.0,
+            },
+        ];
+        let json = steady_state_json(&rows, 1234);
+        assert!(json.contains("\"observations\": 1234"), "{json}");
+        assert!(json.contains("\"mode\": \"PARALLEL\""), "{json}");
+        assert!(
+            json.contains("\"median_ns_per_transaction\": 900"),
+            "{json}"
+        );
+        let other = steady_state_json(&rows, 77);
+        assert!(other.contains("\"observations\": 77"), "{other}");
+    }
+
+    #[test]
+    fn parallel_steady_row_reports_motivation_shards() {
+        let row = run_parallel_steady(50, 200, || 0).unwrap();
+        assert_eq!(row.label, "PARALLEL");
+        assert_eq!(row.substrate_allocs_per_transaction, 0.0);
     }
 
     #[test]

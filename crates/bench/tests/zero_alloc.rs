@@ -16,7 +16,7 @@
 #[path = "../src/alloc_probe.rs"]
 mod alloc_probe;
 
-use soleil::generator::deploy;
+use soleil::generator::{deploy, deploy_parallel};
 use soleil::prelude::*;
 use soleil::scenario::{motivation_validated, registry_with_probe, OoSystem, ScenarioProbe};
 
@@ -53,6 +53,48 @@ fn steady_state_transactions_never_touch_the_rust_heap() {
             dep.memory().alloc_count(),
             substrate_before,
             "{mode}: substrate allocations must stay pinned at their bootstrap value"
+        );
+    }
+}
+
+/// The parallel mode obeys the same discipline on *every* shard thread:
+/// the motivation scenario sharded by thread domain performs zero
+/// Rust-heap and zero substrate allocations per steady-state tick, while
+/// demonstrably ticking distinct domains on distinct OS threads.
+#[test]
+fn parallel_steady_state_is_allocation_free_on_every_thread() {
+    let arch = motivation_validated().expect("fixture validates");
+    let probe = ScenarioProbe::new();
+    let mut sys =
+        deploy_parallel(&arch, Mode::MergeAll, &registry_with_probe(&probe)).expect("deploys");
+    assert!(
+        sys.shard_count() >= 2,
+        "motivation scenario must shard: got {}",
+        sys.shard_count()
+    );
+
+    let runs = sys
+        .run_ticks_instrumented(WARMUP as u64, OBSERVATIONS, &alloc_probe::allocations)
+        .expect("parallel run");
+
+    // Distinct OS threads, none of them this one.
+    let mut threads: Vec<_> = runs.iter().map(|r| format!("{:?}", r.thread)).collect();
+    threads.sort();
+    threads.dedup();
+    assert_eq!(threads.len(), runs.len(), "every shard on its own thread");
+    assert!(runs.iter().all(|r| r.thread != std::thread::current().id()));
+
+    for r in &runs {
+        assert_eq!(
+            r.probe_delta, 0,
+            "shard '{}': {OBSERVATIONS} steady-state ticks performed {} Rust-heap \
+             allocations on its thread; the steady state must not allocate",
+            r.label, r.probe_delta
+        );
+        assert_eq!(
+            r.substrate_allocs, 0,
+            "shard '{}': substrate allocations must stay pinned at their bootstrap value",
+            r.label
         );
     }
 }

@@ -1,0 +1,81 @@
+//! A small deterministic union-find (disjoint-set forest).
+//!
+//! Shared by the design-time parallel-coupling advisory
+//! ([`crate::validate::parallel_coupling`]) and the deploy-time shard
+//! planner (`soleil_runtime::parallel`): both partition components by the
+//! same serialization rules, so they must agree on the machinery — and on
+//! the **smaller-root-wins** convention, which makes group identity follow
+//! element declaration order (shard numbering depends on it).
+
+/// Disjoint-set forest over `0..n` with path halving and deterministic
+/// smaller-root-wins unions.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets, element `i` in set `i`.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    /// The canonical representative of `x`'s set — always the smallest
+    /// element ever unioned into it.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; the smaller root wins, so
+    /// representatives follow declaration order deterministically.
+    pub fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True for an empty forest.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_are_deterministic_and_smallest_root_wins() {
+        let mut uf = UnionFind::new(6);
+        assert_eq!(uf.len(), 6);
+        assert!(!uf.is_empty());
+        uf.union(4, 2);
+        uf.union(2, 5);
+        assert_eq!(uf.find(5), 2, "smallest member is the representative");
+        assert!(uf.same(4, 5));
+        assert!(!uf.same(0, 4));
+        uf.union(0, 4);
+        assert_eq!(uf.find(5), 0);
+        // Idempotent.
+        uf.union(0, 5);
+        assert_eq!(uf.find(2), 0);
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod adl;
 pub mod arch;
+pub mod disjoint;
 pub mod dot;
 pub mod error;
 pub mod json;

@@ -25,6 +25,7 @@
 //! | SOL-012 | Warning | passive components directly inside a ThreadDomain |
 //! | SOL-013 | Error/Warning | client interfaces bound at most once / left unbound |
 //! | SOL-014 | Info | shared passive services get a priority ceiling |
+//! | SOL-015 | Info | constructs serializing ThreadDomains into one parallel shard ([`parallel_coupling`], advisory — not run by [`validate`]) |
 
 use std::fmt;
 
@@ -380,6 +381,183 @@ pub fn validate(arch: &Architecture) -> ValidationReport {
     check_nhrt_heap(arch, &mut report);
     check_bindings(arch, &mut report);
     check_shared_services(arch, &mut report);
+    report
+}
+
+/// The parallel-sharding advisory (rule **SOL-015**, informational, not
+/// part of [`validate`]): reports every construct that *serializes* a pair
+/// of ThreadDomains into one engine shard under the parallel runtime —
+/// the design-time mirror of the deploy-time partition
+/// (`soleil_runtime::parallel`).
+///
+/// Two couplings exist:
+///
+/// * a **synchronous binding** whose endpoints are governed by different
+///   ThreadDomains (a nested run-to-completion call cannot cross OS
+///   threads), and
+/// * a **shared scoped memory area**: a scope is owned by exactly one
+///   engine, so domains whose components stand in the same scoped area
+///   tick together.
+///
+/// Couplings compose transitively (a passive service called synchronously
+/// from two domains serializes both, even though the passive itself has no
+/// domain): the advisory unions components over synchronous bindings and
+/// shared scoped areas, then reports every group that captured more than
+/// one ThreadDomain, alongside the precise per-binding and per-area
+/// findings.
+///
+/// An empty report means every ThreadDomain can tick on its own OS
+/// thread. Each finding suggests the asynchronous/replicated alternative
+/// that would decouple the pair.
+pub fn parallel_coupling(arch: &Architecture) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let domain_of = |id: ComponentId| arch.thread_domain_of(id).map(|(d, _)| d);
+    // A component stands in *every* scoped area on its ancestry, not just
+    // the innermost one — the deploy-time planner walks the same chain,
+    // so nesting must couple here exactly as it shards there.
+    let stands_in = |comp: ComponentId, area: ComponentId| {
+        arch.memory_areas_of(comp).iter().any(|&a| {
+            a == area
+                && matches!(
+                    arch.component(a).map(|c| &c.kind),
+                    Ok(ComponentKind::MemoryArea(d)) if d.kind == MemoryKind::Scoped
+                )
+        })
+    };
+
+    for b in arch.bindings() {
+        if b.protocol != Protocol::Synchronous {
+            continue;
+        }
+        let (cd, sd) = (domain_of(b.client.component), domain_of(b.server.component));
+        if let (Some(cd), Some(sd)) = (cd, sd) {
+            if cd != sd {
+                report.push(
+                    "SOL-015",
+                    Severity::Info,
+                    format!("{}.{}", name(arch, b.client.component), b.client.interface),
+                    format!(
+                        "synchronous binding into '{}' serializes ThreadDomains '{}' and '{}' \
+                         into one engine shard",
+                        name(arch, b.server.component),
+                        name(arch, cd),
+                        name(arch, sd)
+                    ),
+                    Some(
+                        "make the binding asynchronous (bounded buffer) to let the domains \
+                         tick on separate OS threads"
+                            .into(),
+                    ),
+                );
+            }
+        }
+    }
+
+    // Scoped areas hosting components of more than one domain.
+    for area in arch.components() {
+        let ComponentKind::MemoryArea(desc) = &area.kind else {
+            continue;
+        };
+        if desc.kind != MemoryKind::Scoped {
+            continue;
+        }
+        let mut domains: Vec<ComponentId> = Vec::new();
+        for c in arch.components() {
+            if c.kind.is_functional() && stands_in(c.id(), area.id()) {
+                if let Some(d) = domain_of(c.id()) {
+                    if !domains.contains(&d) {
+                        domains.push(d);
+                    }
+                }
+            }
+        }
+        if domains.len() > 1 {
+            let names: Vec<String> = domains.iter().map(|&d| name(arch, d)).collect();
+            report.push(
+                "SOL-015",
+                Severity::Info,
+                &area.name,
+                format!(
+                    "scoped memory area shared by ThreadDomains {}: one engine must own the \
+                     scope, so these domains tick together",
+                    names.join(", ")
+                ),
+                Some(
+                    "give each domain its own scoped area (communicate by handoff or \
+                     asynchronous exchange) to unlock parallel ticking"
+                        .into(),
+                ),
+            );
+        }
+    }
+
+    // Transitive serialization: union business components over synchronous
+    // bindings and shared scoped areas, then flag every group that
+    // captured more than one ThreadDomain (catches passive chains the
+    // per-binding pass above cannot see).
+    let comps: Vec<ComponentId> = arch
+        .components()
+        .iter()
+        .filter(|c| c.kind.is_functional())
+        .map(|c| c.id())
+        .collect();
+    let ix_of = |id: ComponentId| comps.iter().position(|&c| c == id);
+    let mut uf = crate::disjoint::UnionFind::new(comps.len());
+    for b in arch.bindings() {
+        if b.protocol == Protocol::Synchronous {
+            if let (Some(c), Some(s)) = (ix_of(b.client.component), ix_of(b.server.component)) {
+                uf.union(c, s);
+            }
+        }
+    }
+    for area in arch.components() {
+        if !matches!(&area.kind, ComponentKind::MemoryArea(d) if d.kind == MemoryKind::Scoped) {
+            continue;
+        }
+        let residents: Vec<usize> = comps
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| stands_in(c, area.id()))
+            .map(|(i, _)| i)
+            .collect();
+        for w in residents.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+    let mut domains_of_group: std::collections::HashMap<usize, Vec<ComponentId>> =
+        std::collections::HashMap::new();
+    for (i, &comp) in comps.iter().enumerate() {
+        if let Some(d) = domain_of(comp) {
+            let root = uf.find(i);
+            let ds = domains_of_group.entry(root).or_default();
+            if !ds.contains(&d) {
+                ds.push(d);
+            }
+        }
+    }
+    let mut groups: Vec<_> = domains_of_group
+        .into_iter()
+        .filter(|(_, ds)| ds.len() > 1)
+        .collect();
+    groups.sort_by_key(|(root, _)| *root);
+    for (root, ds) in groups {
+        let names: Vec<String> = ds.iter().map(|&d| name(arch, d)).collect();
+        report.push(
+            "SOL-015",
+            Severity::Info,
+            name(arch, comps[root]),
+            format!(
+                "ThreadDomains {} are serialized into one engine shard (coupled through \
+                 synchronous calls and/or shared scoped memory)",
+                names.join(", ")
+            ),
+            Some(
+                "decouple with asynchronous bindings and per-domain scoped areas to let \
+                 each domain tick on its own OS thread"
+                    .into(),
+            ),
+        );
+    }
     report
 }
 
@@ -1175,5 +1353,207 @@ mod tests {
         // Compliant report prints a positive verdict.
         let ok = validate(&compliant());
         assert!(ok.to_string().contains("compliant") || !ok.is_empty());
+    }
+
+    // -----------------------------------------------------------------
+    // SOL-015: parallel-coupling advisory
+    // -----------------------------------------------------------------
+
+    /// Two NHRT domains in immortal memory, one periodic producer and one
+    /// sporadic consumer, decoupled by an asynchronous binding.
+    fn two_domain_arch(protocol: Protocol) -> Architecture {
+        let mut a = Architecture::new("two-domains");
+        let p = a
+            .add_component(
+                "producer",
+                ComponentKind::Active(ActivationKind::Periodic {
+                    period_ns: 1_000_000,
+                }),
+            )
+            .unwrap();
+        let c = a
+            .add_component("consumer", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let d1 = a
+            .add_component("nhrt1", domain(ThreadKind::NoHeapRealtime, 30))
+            .unwrap();
+        let d2 = a
+            .add_component("nhrt2", domain(ThreadKind::NoHeapRealtime, 25))
+            .unwrap();
+        let m = a
+            .add_component("imm", area(MemoryKind::Immortal, Some(64 * 1024)))
+            .unwrap();
+        a.add_child(d1, p).unwrap();
+        a.add_child(d2, c).unwrap();
+        a.add_child(m, d1).unwrap();
+        a.add_child(m, d2).unwrap();
+        a.add_interface(p, "out", Role::Client, "I").unwrap();
+        a.add_interface(c, "in", Role::Server, "I").unwrap();
+        a.bind(p, "out", c, "in", protocol).unwrap();
+        a
+    }
+
+    #[test]
+    fn async_cross_domain_binding_reports_no_coupling() {
+        let a = two_domain_arch(Protocol::Asynchronous { buffer_size: 8 });
+        let report = parallel_coupling(&a);
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn sync_cross_domain_binding_reports_serialization() {
+        let a = two_domain_arch(Protocol::Synchronous);
+        let report = parallel_coupling(&a);
+        // The precise per-binding finding plus the group-level summary.
+        let findings: Vec<_> = report.by_code("SOL-015").collect();
+        assert_eq!(findings.len(), 2, "{report}");
+        assert!(findings[0].message.contains("nhrt1"));
+        assert!(findings[0].message.contains("nhrt2"));
+        assert!(findings[0].suggestion.is_some());
+    }
+
+    #[test]
+    fn passive_chain_couples_domains_transitively() {
+        // producer (d1) -sync-> shared passive <-sync- consumer (d2):
+        // neither binding links two domains directly, but the chain
+        // serializes d1 and d2 — only the group pass can see it.
+        let mut a = Architecture::new("chain");
+        let p = a
+            .add_component(
+                "producer",
+                ComponentKind::Active(ActivationKind::Periodic {
+                    period_ns: 1_000_000,
+                }),
+            )
+            .unwrap();
+        let q = a
+            .add_component("poller", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let svc = a.add_component("svc", ComponentKind::Passive).unwrap();
+        let d1 = a
+            .add_component("nhrt1", domain(ThreadKind::NoHeapRealtime, 30))
+            .unwrap();
+        let d2 = a
+            .add_component("nhrt2", domain(ThreadKind::NoHeapRealtime, 25))
+            .unwrap();
+        let m = a
+            .add_component("imm", area(MemoryKind::Immortal, Some(64 * 1024)))
+            .unwrap();
+        a.add_child(d1, p).unwrap();
+        a.add_child(d2, q).unwrap();
+        a.add_child(m, d1).unwrap();
+        a.add_child(m, d2).unwrap();
+        a.add_child(m, svc).unwrap();
+        a.add_interface(p, "svc", Role::Client, "I").unwrap();
+        a.add_interface(q, "svc", Role::Client, "I").unwrap();
+        a.add_interface(svc, "svc", Role::Server, "I").unwrap();
+        a.bind(p, "svc", svc, "svc", Protocol::Synchronous).unwrap();
+        a.bind(q, "svc", svc, "svc", Protocol::Synchronous).unwrap();
+        let report = parallel_coupling(&a);
+        let findings: Vec<_> = report.by_code("SOL-015").collect();
+        assert_eq!(findings.len(), 1, "{report}");
+        assert!(findings[0]
+            .message
+            .contains("serialized into one engine shard"));
+    }
+
+    #[test]
+    fn shared_scoped_area_reports_coupling() {
+        let mut a = Architecture::new("shared-scope");
+        let p = a
+            .add_component(
+                "producer",
+                ComponentKind::Active(ActivationKind::Periodic {
+                    period_ns: 1_000_000,
+                }),
+            )
+            .unwrap();
+        let c = a
+            .add_component("consumer", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let d1 = a
+            .add_component("rt1", domain(ThreadKind::Realtime, 20))
+            .unwrap();
+        let d2 = a
+            .add_component("rt2", domain(ThreadKind::Realtime, 22))
+            .unwrap();
+        let s = a
+            .add_component("scope", area(MemoryKind::Scoped, Some(16 * 1024)))
+            .unwrap();
+        a.add_child(d1, p).unwrap();
+        a.add_child(d2, c).unwrap();
+        a.add_child(s, d1).unwrap();
+        a.add_child(s, d2).unwrap();
+        let report = parallel_coupling(&a);
+        // The per-area finding plus the group summary both name the scope
+        // coupling.
+        let findings: Vec<_> = report.by_code("SOL-015").collect();
+        assert_eq!(findings.len(), 2, "{report}");
+        assert!(findings.iter().any(|d| d.subject == "scope"));
+    }
+
+    #[test]
+    fn motivation_style_single_domain_couplings_stay_silent() {
+        // A passive called synchronously from ONE domain does not couple
+        // anything: the advisory must not cry wolf.
+        let mut a = compliant();
+        let svc = a.add_component("svc", ComponentKind::Passive).unwrap();
+        let m = a.id_of("imm").unwrap();
+        a.add_child(m, svc).unwrap();
+        let w = a.id_of("worker").unwrap();
+        a.add_interface(w, "svc", Role::Client, "I").unwrap();
+        a.add_interface(svc, "svc", Role::Server, "I").unwrap();
+        a.bind(w, "svc", svc, "svc", Protocol::Synchronous).unwrap();
+        assert!(parallel_coupling(&a).is_empty());
+    }
+
+    #[test]
+    fn nested_scoped_areas_couple_like_the_planner_shards() {
+        // producer (rt1) directly in 'outer'; consumer (rt2) in 'inner'
+        // nested inside 'outer': the consumer stands in BOTH scopes, so
+        // one engine must own 'outer' and the domains serialize — the
+        // advisory must see the full ancestry, not just the innermost
+        // area (regression: it used to report nothing here).
+        let mut a = Architecture::new("nested-scope");
+        let p = a
+            .add_component(
+                "producer",
+                ComponentKind::Active(ActivationKind::Periodic {
+                    period_ns: 1_000_000,
+                }),
+            )
+            .unwrap();
+        let c = a
+            .add_component("consumer", ComponentKind::Active(ActivationKind::Sporadic))
+            .unwrap();
+        let d1 = a
+            .add_component("rt1", domain(ThreadKind::Realtime, 20))
+            .unwrap();
+        let d2 = a
+            .add_component("rt2", domain(ThreadKind::Realtime, 22))
+            .unwrap();
+        let outer = a
+            .add_component("outer", area(MemoryKind::Scoped, Some(32 * 1024)))
+            .unwrap();
+        let inner = a
+            .add_component("inner", area(MemoryKind::Scoped, Some(8 * 1024)))
+            .unwrap();
+        a.add_child(d1, p).unwrap();
+        a.add_child(d2, c).unwrap();
+        a.add_child(outer, d1).unwrap();
+        a.add_child(outer, inner).unwrap();
+        a.add_child(inner, d2).unwrap();
+        let report = parallel_coupling(&a);
+        let findings: Vec<_> = report.by_code("SOL-015").collect();
+        assert!(
+            findings.iter().any(|d| d.subject == "outer"),
+            "shared ancestry through 'outer' must be reported: {report}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|d| d.message.contains("serialized into one engine shard")),
+            "{report}"
+        );
     }
 }

@@ -26,7 +26,7 @@ pub use compile::{compile, GeneratorError};
 
 use soleil_core::validate::ValidatedArchitecture;
 use soleil_membrane::content::{ContentRegistry, Payload};
-use soleil_runtime::{Deployment, Mode, System};
+use soleil_runtime::{Deployment, Mode, ParallelSystem, System};
 
 /// Compiles `arch` and builds the executable system in one step — the
 /// paper's "final composition process" (functional implementations from
@@ -80,6 +80,29 @@ pub fn deploy<P: Payload>(
     let spec = compile(arch)?;
     Deployment::build(&spec, mode, registry, arch.architecture().clone())
         .map_err(GeneratorError::Build)
+}
+
+/// Deploys the architecture **sharded by thread domain**: one engine per
+/// independent domain group, each ticking on its own OS thread, with
+/// cross-shard bindings riding wait-free SPSC rings
+/// ([`soleil_runtime::parallel`]).
+///
+/// The partition is derived from the same structure the validator checks:
+/// synchronous bindings and shared scoped areas serialize the domains they
+/// connect (`soleil_core::validate::parallel_coupling` reports these at
+/// design time); everything else parallelizes. The parallel system is
+/// static — use [`deploy`] when you need transactional reconfiguration.
+///
+/// # Errors
+///
+/// Same failure classes as [`generate`].
+pub fn deploy_parallel<P: Payload>(
+    arch: &ValidatedArchitecture,
+    mode: Mode,
+    registry: &ContentRegistry<P>,
+) -> Result<ParallelSystem<P>, GeneratorError> {
+    let spec = compile(arch)?;
+    ParallelSystem::build(&spec, mode, registry).map_err(GeneratorError::Build)
 }
 
 #[cfg(test)]

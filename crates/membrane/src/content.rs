@@ -15,11 +15,15 @@ use crate::error::FrameworkError;
 /// Message payload moved along bindings.
 ///
 /// Blanket-implemented: any `'static` type that is `Clone + Default +
-/// Debug` qualifies. `Clone` enables the handoff (deep-copy) pattern;
-/// `Default` gives the engine a neutral value for buffer priming.
-pub trait Payload: Any + Clone + Default + Debug + 'static {}
+/// Debug + Send` qualifies. `Clone` enables the handoff (deep-copy)
+/// pattern; `Default` gives the engine a neutral value for buffer priming;
+/// `Send` lets messages cross thread-domain shards — under the parallel
+/// runtime every domain ticks on its own OS thread and cross-domain
+/// messages move through wait-free SPSC rings, so a payload must be safe
+/// to hand to another thread by value.
+pub trait Payload: Any + Clone + Default + Debug + Send + 'static {}
 
-impl<T: Any + Clone + Default + Debug + 'static> Payload for T {}
+impl<T: Any + Clone + Default + Debug + Send + 'static> Payload for T {}
 
 /// Result of a content invocation.
 pub type InvokeResult = Result<(), FrameworkError>;
@@ -66,7 +70,12 @@ pub trait Ports<P: Payload> {
 ///     }
 /// }
 /// ```
-pub trait Content<P: Payload>: Debug {
+///
+/// Content is `Send`: a component instance lives inside exactly one
+/// thread-domain engine, and the parallel runtime moves that engine (and
+/// everything in it) onto its own OS thread. Shared observation state in a
+/// content class therefore uses `Arc` + atomics, not `Rc<Cell<_>>`.
+pub trait Content<P: Payload>: Debug + Send {
     /// Handles an invocation arriving on server interface `port`.
     ///
     /// # Errors

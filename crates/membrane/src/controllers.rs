@@ -115,6 +115,12 @@ pub struct BindingTarget {
     /// Index of this binding in the engine's binding table (used to locate
     /// the binding's memory interceptor).
     pub binding_ix: usize,
+    /// True when the binding leaves this engine's thread domain:
+    /// `buffer_index` then addresses a wait-free cross-domain SPSC ring
+    /// instead of an engine-managed exchange buffer. Chosen at build time
+    /// by the deployment plan; cross bindings are asynchronous by
+    /// construction.
+    pub cross: bool,
 }
 
 /// Name-keyed binding table supporting runtime rebinding — the SOLEIL-mode
@@ -347,6 +353,7 @@ mod tests {
                 is_async: true,
                 buffer_index: Some(0),
                 binding_ix: 0,
+                cross: false,
             },
         );
         assert_eq!(bc.resolve("out").unwrap().target_slot, 3);
@@ -360,6 +367,7 @@ mod tests {
                 is_async: true,
                 buffer_index: Some(1),
                 binding_ix: 0,
+                cross: false,
             },
         );
         assert_eq!(bc.rebind_count(), 1);

@@ -22,7 +22,11 @@ use soleil_patterns::PatternKind;
 use crate::error::FrameworkError;
 
 /// A control component deployed on a component interface.
-pub trait Interceptor: Debug {
+///
+/// `Send` is a supertrait: interceptors live inside a membrane, membranes
+/// live inside a thread-domain engine, and the parallel runtime moves each
+/// engine onto its own OS thread.
+pub trait Interceptor: Debug + Send {
     /// Stable name for introspection.
     fn name(&self) -> &str;
 

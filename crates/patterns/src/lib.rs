@@ -15,7 +15,11 @@
 //! * [`ExchangeBuffer`] — a bounded FIFO allocated in a chosen area,
 //!   the substrate for asynchronous bindings (*Immortal Exchange Buffer*);
 //! * [`ScopePin`] — keep a scoped area alive across transactions (*Wedge
-//!   Thread* / *Memory Pinning* pattern).
+//!   Thread* / *Memory Pinning* pattern);
+//! * [`spsc`] — wait-free single-producer/single-consumer rings for
+//!   bindings that cross *thread domains*, mirroring RTSJ's
+//!   `WaitFreeWriteQueue` (same-domain bindings keep the non-atomic
+//!   [`ExchangeBuffer`] fast path).
 //!
 //! All executors work against [`rtsj::memory::MemoryManager`] and therefore
 //! inherit every RTSJ dynamic check: patterns make cross-scope communication
@@ -23,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod spsc;
 
 use std::any::Any;
 
@@ -110,7 +116,7 @@ pub fn enter_inner<R>(
 /// # Errors
 ///
 /// Propagates allocation and portal-placement errors.
-pub fn publish_portal<T: Any>(
+pub fn publish_portal<T: Any + Send>(
     mm: &mut MemoryManager,
     ctx: &MemoryContext,
     scope: AreaId,
@@ -136,7 +142,7 @@ pub fn publish_portal<T: Any>(
 /// # Errors
 ///
 /// Propagates access, staleness and allocation errors.
-pub fn handoff_copy<T: Any + Clone>(
+pub fn handoff_copy<T: Any + Clone + Send>(
     mm: &mut MemoryManager,
     ctx: &MemoryContext,
     from: Handle<T>,
@@ -240,7 +246,7 @@ pub struct ExchangeBuffer<T> {
     capacity: usize,
 }
 
-impl<T: Any> ExchangeBuffer<T> {
+impl<T: Any + Send> ExchangeBuffer<T> {
     /// Allocates a buffer of `capacity` messages inside `area`.
     ///
     /// # Errors

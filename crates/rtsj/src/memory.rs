@@ -271,7 +271,13 @@ impl<T> TypedSlab<T> {
 
 /// Type-erased slab surface: the per-area bookkeeping that does not need
 /// the payload type (bulk reclaim, live counts, individual frees).
-trait AnySlab: Any {
+///
+/// `Send` is a supertrait so the whole [`MemoryManager`] is `Send`: the
+/// parallel runtime moves one manager per thread-domain shard onto its own
+/// OS thread, and the per-area slab ownership is exactly the sharding
+/// boundary. The payload bound this induces (`T: Send` on allocation) is
+/// the substrate half of the framework-wide `Send` payload requirement.
+trait AnySlab: Any + Send {
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
     /// Drops every live value and resets the free list, keeping the slot
@@ -283,7 +289,7 @@ trait AnySlab: Any {
     fn free_slot(&mut self, slot: u32) -> Option<usize>;
 }
 
-impl<T: Any> AnySlab for TypedSlab<T> {
+impl<T: Any + Send> AnySlab for TypedSlab<T> {
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -360,7 +366,7 @@ impl SlabSet {
     }
 
     /// Cold path: the slab index for `T`, creating the slab on first use.
-    fn index_for<T: Any>(&mut self) -> u16 {
+    fn index_for<T: Any + Send>(&mut self) -> u16 {
         match self.by_type.get(&TypeId::of::<T>()) {
             Some(&ix) => ix,
             None => {
@@ -373,7 +379,7 @@ impl SlabSet {
         }
     }
 
-    fn get_or_create<T: Any>(&mut self) -> (u16, &mut TypedSlab<T>) {
+    fn get_or_create<T: Any + Send>(&mut self) -> (u16, &mut TypedSlab<T>) {
         let ix = self.index_for::<T>();
         let slab = self
             .typed_mut::<T>(ix)
@@ -848,7 +854,7 @@ impl MemoryManager {
     /// * [`RtsjError::InaccessibleArea`] — scoped target not currently
     ///   entered by anyone.
     /// * [`RtsjError::OutOfMemory`] — area budget exhausted.
-    pub fn alloc<T: Any>(
+    pub fn alloc<T: Any + Send>(
         &mut self,
         ctx: &MemoryContext,
         area: AreaId,
@@ -885,7 +891,11 @@ impl MemoryManager {
     /// # Errors
     ///
     /// Same as [`MemoryManager::alloc`].
-    pub fn alloc_current<T: Any>(&mut self, ctx: &MemoryContext, value: T) -> Result<Handle<T>> {
+    pub fn alloc_current<T: Any + Send>(
+        &mut self,
+        ctx: &MemoryContext,
+        value: T,
+    ) -> Result<Handle<T>> {
         self.alloc(ctx, ctx.allocation_area(), value)
     }
 
@@ -900,7 +910,7 @@ impl MemoryManager {
     /// # Errors
     ///
     /// [`RtsjError::IllegalState`] for an unknown area.
-    pub fn reserve_slots<T: Any>(&mut self, area: AreaId, additional: usize) -> Result<()> {
+    pub fn reserve_slots<T: Any + Send>(&mut self, area: AreaId, additional: usize) -> Result<()> {
         let a = self.area_mut(area)?;
         let (_, slab) = a.slabs.get_or_create::<T>();
         let spare = slab.free.len() + (slab.slots.capacity() - slab.slots.len());
@@ -1215,6 +1225,15 @@ mod tests {
 
     fn mm() -> MemoryManager {
         MemoryManager::new(1024 * 1024, 1024 * 1024)
+    }
+
+    #[test]
+    fn manager_contexts_and_handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<MemoryManager>();
+        assert_send::<MemoryContext>();
+        assert_send::<Handle<String>>();
+        assert_send::<RawHandle>();
     }
 
     #[test]

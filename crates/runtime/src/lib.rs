@@ -19,6 +19,12 @@
 //! buffer placement); what differs is the framework machinery around the
 //! functional code — exactly the overhead Fig. 7 measures.
 //!
+//! For deployments whose thread domains are independent, [`parallel`]
+//! shards the engine by domain — one `System` (and one slab-backed
+//! memory manager) per shard, each ticking on its own OS thread, with
+//! cross-shard bindings on wait-free SPSC rings. Payloads and content are
+//! `Send` to make that legal; the partition rules live in the module docs.
+//!
 //! Supporting modules: [`instrument`] (steady-state latency measurement for
 //! Fig. 7(a)/(b)), [`footprint`] (Fig. 7(c) accounting) and [`sim`]
 //! (virtual-time deployment onto [`rtsj::sched::Simulator`] for the
@@ -30,6 +36,7 @@
 pub mod deploy;
 pub mod footprint;
 pub mod instrument;
+pub mod parallel;
 pub mod sim;
 pub mod spec;
 pub mod system;
@@ -37,5 +44,6 @@ pub mod system;
 pub use deploy::{ComponentRef, Deployment, PortRef, Reconfiguration};
 pub use footprint::FootprintReport;
 pub use instrument::LatencySamples;
+pub use parallel::{ParallelSystem, ShardRun};
 pub use spec::{Mode, SystemSpec};
 pub use system::System;

@@ -16,7 +16,8 @@
 use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rtsj::memory::{AreaId, MemoryContext, MemoryKind, MemoryManager};
 use rtsj::thread::{Priority, ThreadKind};
@@ -26,6 +27,7 @@ use soleil_membrane::interceptors::{
     ActiveInterceptor, Interceptor, MemoryInterceptor, MemoryPlan,
 };
 use soleil_membrane::{FrameworkError, Membrane, Ports};
+use soleil_patterns::spsc::SpscProducer;
 use soleil_patterns::{ExchangeBuffer, PatternKind, PushOutcome, ScopePin};
 
 use crate::footprint::FootprintReport;
@@ -73,7 +75,13 @@ struct Node<P: Payload> {
     activation: Activation,
     domain_ix: Option<usize>,
     area_ix: usize,
-    server_ports: Vec<Rc<str>>,
+    /// Server-port names, interned at build time as plain owned strings.
+    /// An invocation *checks the name out* of its slot (a pointer swap, no
+    /// clone, no refcount) and restores it afterwards — legal because the
+    /// re-entrancy guards fire before the checkout, so a slot is never
+    /// checked out twice. This drops the former per-invocation `Rc<str>`
+    /// clone and, with it, the last `!Send` member of the engine.
+    server_ports: Vec<Box<str>>,
     /// Index of the implicit [`RELEASE_PORT`] in `server_ports`, resolved
     /// once at build time so releases never scan port names.
     release_ix: Option<u16>,
@@ -117,11 +125,15 @@ struct CompiledBinding {
     pattern: PatternKind,
     server_area: AreaId,
     /// Scoped areas to enter for `EnterInner`, outermost first.
-    enter_path: Rc<[AreaId]>,
+    enter_path: Arc<[AreaId]>,
     /// Build-time access decision: for `ExecuteInOuter`, the server area is
     /// statically on the client's scope chain, so the per-call scope-stack
     /// containment walk is skipped (prechecked substrate entry).
     outer_on_stack: bool,
+    /// Build-time carrier decision: true when this binding leaves the
+    /// engine's thread domain — `buffer_ix` then indexes `cross_out` (a
+    /// wait-free SPSC ring to another shard) instead of `buffers`.
+    is_cross: bool,
 }
 
 /// A binding resolved for one call (all `Copy` or cheaply-cloned fields, so
@@ -134,14 +146,31 @@ struct ResolvedBinding {
     buffer_ix: usize,
     pattern: PatternKind,
     server_area: AreaId,
-    enter_path: Rc<[AreaId]>,
+    enter_path: Arc<[AreaId]>,
     outer_on_stack: bool,
+    is_cross: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct PendingKey {
     priority: Priority,
     seq: Reverse<u64>,
+}
+
+/// A cross-domain output requested at build time: the named client port of
+/// `client` routes into a wait-free SPSC ring whose consumer lives in
+/// another thread-domain shard. The carrier decision is made once, here —
+/// same-domain bindings keep the non-atomic `ExchangeBuffer` fast path.
+pub(crate) struct CrossOutput<P> {
+    /// Engine slot of the producing component.
+    pub client: usize,
+    /// Client-port name the ring is bound to.
+    pub client_port: String,
+    /// The producer endpoint of the ring.
+    pub tx: SpscProducer<P>,
+    /// Backing-store bytes charged to this shard's immortal area, so the
+    /// ring shows up in footprint reports like any exchange buffer.
+    pub charge_bytes: usize,
 }
 
 /// Introspection snapshot of a SOLEIL-mode membrane.
@@ -166,6 +195,14 @@ pub struct System<P: Payload> {
     domains: Vec<DomainRt>,
     nodes: Vec<Node<P>>,
     buffers: Vec<BufferRt<P>>,
+    /// Producer endpoints of cross-domain rings, indexed by the
+    /// `buffer_ix` of compiled bindings whose `is_cross` flag is set.
+    cross_out: Vec<SpscProducer<P>>,
+    /// Messages currently travelling between shards (shared with every
+    /// sibling engine of a parallel deployment; the quiescence condition
+    /// of the parallel tick protocol). Incremented *before* the ring push
+    /// so the counter never under-reports in-flight work.
+    cross_in_flight: Arc<AtomicU64>,
     pending: BinaryHeap<(PendingKey, usize)>,
     seq: u64,
     /// Periodic slots in release order (highest priority first), computed
@@ -216,7 +253,30 @@ impl<P: Payload> System<P> {
         mode: Mode,
         registry: &ContentRegistry<P>,
     ) -> Result<System<P>, FrameworkError> {
+        Self::build_with_cross(spec, mode, registry, Vec::new(), Arc::default())
+    }
+
+    /// [`System::build`] plus a set of cross-domain outputs: client ports
+    /// that route into wait-free SPSC rings whose consumers live in other
+    /// thread-domain shards (the parallel runtime's carrier for bindings
+    /// that leave this engine). The shared `in_flight` counter tracks
+    /// messages travelling between shards.
+    pub(crate) fn build_with_cross(
+        spec: &SystemSpec,
+        mode: Mode,
+        registry: &ContentRegistry<P>,
+        cross_outputs: Vec<CrossOutput<P>>,
+        in_flight: Arc<AtomicU64>,
+    ) -> Result<System<P>, FrameworkError> {
         spec.check().map_err(FrameworkError::Content)?;
+        for co in &cross_outputs {
+            if co.client >= spec.components.len() {
+                return Err(FrameworkError::Content(format!(
+                    "cross output client slot {} out of range",
+                    co.client
+                )));
+            }
+        }
 
         // --- Areas: immortal budget first, then scoped creation + pinning.
         let immortal_budget: usize = spec
@@ -280,13 +340,10 @@ impl<P: Payload> System<P> {
             let content = registry.instantiate(&c.content_class)?;
             let state = content.state_bytes().max(1);
             mm.alloc_raw(&boot_ctx, areas[c.area].id, state)?;
-            let mut server_ports: Vec<Rc<str>> = c
-                .server_ports
-                .iter()
-                .map(|p| Rc::from(p.as_str()))
-                .collect();
+            let mut server_ports: Vec<Box<str>> =
+                c.server_ports.iter().map(|p| p.as_str().into()).collect();
             let release_ix = matches!(c.activation, Activation::Periodic { .. }).then(|| {
-                server_ports.push(Rc::from(RELEASE_PORT));
+                server_ports.push(RELEASE_PORT.into());
                 (server_ports.len() - 1) as u16
             });
             let priority = c
@@ -349,6 +406,17 @@ impl<P: Payload> System<P> {
             }
         }
 
+        // --- Cross-domain outputs: charge ring backing to this shard's
+        // immortal area (footprint honesty), then strip to the producer
+        // endpoints; `cross_requests` drives the per-mode binding tables.
+        let mut cross_requests: Vec<(usize, String)> = Vec::with_capacity(cross_outputs.len());
+        let mut cross_out: Vec<SpscProducer<P>> = Vec::with_capacity(cross_outputs.len());
+        for co in cross_outputs {
+            mm.alloc_raw(&boot_ctx, AreaId::IMMORTAL, co.charge_bytes)?;
+            cross_requests.push((co.client, co.client_port));
+            cross_out.push(co.tx);
+        }
+
         // --- Mode-specific dispatch machinery.
         let mut membranes: Vec<Option<Membrane>> = Vec::new();
         let mut mem_interceptors: Vec<Option<MemoryInterceptor>> = Vec::new();
@@ -378,6 +446,22 @@ impl<P: Payload> System<P> {
             server_area: areas[spec.components[b.server].area].id,
             enter_path: b.enter_path.iter().map(|&ix| areas[ix].id).collect(),
             outer_on_stack: outer_on_stack(b),
+            is_cross: false,
+        };
+        // A compiled slot routing into a cross-domain ring: asynchronous by
+        // construction, no scope choreography (the consumer re-enters its
+        // own chain in its own shard), `buffer_ix` indexes `cross_out`.
+        let cross_compiled = |port: &str, cross_ix: usize| CompiledBinding {
+            port: port.into(),
+            target_slot: usize::MAX,
+            server_port_ix: 0,
+            is_async: true,
+            buffer_ix: cross_ix,
+            pattern: PatternKind::ImmortalExchange,
+            server_area: AreaId::IMMORTAL,
+            enter_path: Arc::from([]),
+            outer_on_stack: false,
+            is_cross: true,
         };
 
         match mode {
@@ -398,6 +482,23 @@ impl<P: Payload> System<P> {
                                     is_async: matches!(b.protocol, ProtocolSpec::Async { .. }),
                                     buffer_index: buffer_of_binding[bix],
                                     binding_ix: bix,
+                                    cross: false,
+                                },
+                            );
+                        }
+                    }
+                    for (cross_ix, (client, port)) in cross_requests.iter().enumerate() {
+                        if *client == slot {
+                            m.binding.bind(
+                                port.clone(),
+                                BindingTarget {
+                                    target_slot: usize::MAX,
+                                    server_port: String::new(),
+                                    server_port_ix: 0,
+                                    is_async: true,
+                                    buffer_index: Some(cross_ix),
+                                    binding_ix: usize::MAX,
+                                    cross: true,
                                 },
                             );
                         }
@@ -422,6 +523,13 @@ impl<P: Payload> System<P> {
                             .enumerate()
                             .filter(|(_, b)| b.client == slot)
                             .map(|(bix, b)| compile_one(b, bix))
+                            .chain(
+                                cross_requests
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, (client, _))| *client == slot)
+                                    .map(|(cross_ix, (_, port))| cross_compiled(port, cross_ix)),
+                            )
                             .collect()
                     })
                     .collect();
@@ -432,6 +540,11 @@ impl<P: Payload> System<P> {
                     for (bix, b) in spec.bindings.iter().enumerate() {
                         if b.client == slot {
                             ultra_table.push(compile_one(b, bix));
+                        }
+                    }
+                    for (cross_ix, (client, port)) in cross_requests.iter().enumerate() {
+                        if *client == slot {
+                            ultra_table.push(cross_compiled(port, cross_ix));
                         }
                     }
                     ultra_ranges.push((start, ultra_table.len() as u32));
@@ -447,6 +560,8 @@ impl<P: Payload> System<P> {
             domains,
             nodes,
             buffers,
+            cross_out,
+            cross_in_flight: in_flight,
             pending: BinaryHeap::new(),
             seq: 0,
             periodic_order: Vec::new(),
@@ -769,6 +884,26 @@ impl<P: Payload> System<P> {
         }
     }
 
+    /// Enqueues `msg` on a cross-domain ring: wait-free, no pending-heap
+    /// entry (the consumer shard schedules it), bounded backpressure on a
+    /// full ring. The shared in-flight counter is incremented *before* the
+    /// push so the parallel quiescence check never observes a published
+    /// message it is not counting.
+    fn enqueue_cross(&mut self, cross_ix: usize, msg: P) -> Result<(), FrameworkError> {
+        self.cross_in_flight.fetch_add(1, Ordering::SeqCst);
+        match self.cross_out[cross_ix].push(msg) {
+            PushOutcome::Accepted => {
+                self.stats.async_messages += 1;
+                Ok(())
+            }
+            PushOutcome::Rejected => {
+                self.cross_in_flight.fetch_sub(1, Ordering::SeqCst);
+                self.stats.dropped_messages += 1;
+                Ok(())
+            }
+        }
+    }
+
     fn invoke(
         &mut self,
         slot: usize,
@@ -813,7 +948,10 @@ impl<P: Payload> System<P> {
                 )));
             }
         };
-        let port = self.nodes[slot].server_ports[port_ix as usize].clone();
+        // Check the port name out of its slot (a swap, not a clone); the
+        // membrane/content takes above already refused re-entry, so the
+        // slot cannot be checked out twice.
+        let port = std::mem::take(&mut self.nodes[slot].server_ports[port_ix as usize]);
         let result = {
             let mut ports = SoleilPorts {
                 sys: self,
@@ -822,6 +960,7 @@ impl<P: Payload> System<P> {
             };
             content.on_invoke(&port, msg, &mut ports)
         };
+        self.nodes[slot].server_ports[port_ix as usize] = port;
         self.nodes[slot].content = Some(content);
         let post = membrane.post_invoke(&mut self.mm, ctx);
         self.membranes[slot] = Some(membrane);
@@ -854,7 +993,8 @@ impl<P: Payload> System<P> {
             node.busy = true;
         }
         let mut content = self.nodes[slot].content.take().expect("busy flag held");
-        let port = self.nodes[slot].server_ports[port_ix as usize].clone();
+        // Checkout, not clone: the busy flag above guards re-entry.
+        let port = std::mem::take(&mut self.nodes[slot].server_ports[port_ix as usize]);
         let result = {
             let mut ports = CompiledPorts {
                 sys: self,
@@ -864,6 +1004,7 @@ impl<P: Payload> System<P> {
             };
             content.on_invoke(&port, msg, &mut ports)
         };
+        self.nodes[slot].server_ports[port_ix as usize] = port;
         self.nodes[slot].content = Some(content);
         self.nodes[slot].busy = false;
         result
@@ -884,7 +1025,8 @@ impl<P: Payload> System<P> {
                 self.nodes[slot].name
             ))
         })?;
-        let port = self.nodes[slot].server_ports[port_ix as usize].clone();
+        // Checkout, not clone: the content take above guards re-entry.
+        let port = std::mem::take(&mut self.nodes[slot].server_ports[port_ix as usize]);
         let result = {
             let mut ports = CompiledPorts {
                 sys: self,
@@ -894,6 +1036,7 @@ impl<P: Payload> System<P> {
             };
             content.on_invoke(&port, msg, &mut ports)
         };
+        self.nodes[slot].server_ports[port_ix as usize] = port;
         self.nodes[slot].content = Some(content);
         result
     }
@@ -924,6 +1067,7 @@ impl<P: Payload> System<P> {
             server_area: b.server_area,
             enter_path: b.enter_path.clone(),
             outer_on_stack: b.outer_on_stack,
+            is_cross: b.is_cross,
         })
     }
 
@@ -1110,6 +1254,7 @@ impl<P: Payload> System<P> {
                         is_async: false,
                         buffer_index: None,
                         binding_ix: old.binding_ix,
+                        cross: false,
                     },
                 );
                 Ok(())
@@ -1220,6 +1365,13 @@ impl<P: Payload> System<P> {
     /// The domain a slot currently executes under.
     pub(crate) fn node_domain_ix(&self, slot: usize) -> Option<usize> {
         self.nodes[slot].domain_ix
+    }
+
+    /// The dispatch priority a slot currently runs at (used by the
+    /// parallel runtime to drain incoming cross-domain rings in consumer
+    /// priority order).
+    pub(crate) fn node_priority(&self, slot: usize) -> Priority {
+        self.nodes[slot].priority
     }
 
     /// Re-homes a slot onto another thread domain, adopting its priority
@@ -1495,14 +1647,14 @@ impl<P: Payload> Ports<P> for SoleilPorts<'_, P> {
     }
 
     fn send(&mut self, client_port: &str, msg: P) -> Result<(), FrameworkError> {
-        let buffer_ix = self
-            .membrane
-            .binding
-            .resolve(client_port)?
-            .buffer_index
-            .ok_or_else(|| {
-                FrameworkError::Binding(format!("port '{client_port}' is synchronous; use call()"))
-            })?;
+        let t = self.membrane.binding.resolve(client_port)?;
+        let (buffer_ix, cross) = (t.buffer_index, t.cross);
+        let buffer_ix = buffer_ix.ok_or_else(|| {
+            FrameworkError::Binding(format!("port '{client_port}' is synchronous; use call()"))
+        })?;
+        if cross {
+            return self.sys.enqueue_cross(buffer_ix, msg);
+        }
         self.sys.enqueue(buffer_ix, msg, self.ctx)
     }
 }
@@ -1535,6 +1687,9 @@ impl<P: Payload> Ports<P> for CompiledPorts<'_, P> {
             return Err(FrameworkError::Binding(format!(
                 "port '{client_port}' is synchronous; use call()"
             )));
+        }
+        if resolved.is_cross {
+            return self.sys.enqueue_cross(resolved.buffer_ix, msg);
         }
         self.sys.enqueue(resolved.buffer_ix, msg, self.ctx)
     }
@@ -1760,6 +1915,15 @@ mod tests {
             let mut sys = System::build(&spec, mode, &registry()).unwrap();
             f(mode, &mut sys);
         }
+    }
+
+    /// The parallel runtime moves one engine per thread-domain shard onto
+    /// its own OS thread: the whole `System` must be `Send` (no `Rc`, no
+    /// thread-bound interior mutability anywhere in the object graph).
+    #[test]
+    fn system_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<System<Token>>();
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl Content<Alert> for Producer {
 #[derive(Debug)]
 struct NamedConsole {
     name: &'static str,
-    handled: std::rc::Rc<std::cell::Cell<u32>>,
+    handled: std::sync::Arc<std::sync::atomic::AtomicU32>,
 }
 impl Content<Alert> for NamedConsole {
     fn on_invoke(
@@ -51,7 +51,8 @@ impl Content<Alert> for NamedConsole {
         _msg: &mut Alert,
         _out: &mut dyn Ports<Alert>,
     ) -> InvokeResult {
-        self.handled.set(self.handled.get() + 1);
+        self.handled
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
     fn on_stop(&mut self) {
@@ -59,7 +60,7 @@ impl Content<Alert> for NamedConsole {
     }
 }
 
-type HandledCounter = std::rc::Rc<std::cell::Cell<u32>>;
+type HandledCounter = std::sync::Arc<std::sync::atomic::AtomicU32>;
 
 fn build(mode: Mode) -> Result<(Deployment<Alert>, HandledCounter, HandledCounter), SoleilError> {
     let mut b = BusinessView::new("adaptive");
@@ -85,8 +86,8 @@ fn build(mode: Mode) -> Result<(Deployment<Alert>, HandledCounter, HandledCounte
     // The witness: conformance proven once, carried by the type system.
     let arch = flow.merge()?.into_validated()?;
 
-    let primary_count = std::rc::Rc::new(std::cell::Cell::new(0));
-    let backup_count = std::rc::Rc::new(std::cell::Cell::new(0));
+    let primary_count = HandledCounter::default();
+    let backup_count = HandledCounter::default();
     let mut registry: ContentRegistry<Alert> = ContentRegistry::new();
     registry.register("ProducerImpl", || Box::new(Producer::default()));
     let p = primary_count.clone();
@@ -119,8 +120,8 @@ fn main() -> Result<(), SoleilError> {
     }
     println!(
         "  before reconfiguration: primary={}, backup={}",
-        primary.get(),
-        backup.get()
+        primary.load(std::sync::atomic::Ordering::Relaxed),
+        backup.load(std::sync::atomic::Ordering::Relaxed)
     );
     let info = dep.membrane_info(producer)?;
     println!(
@@ -139,11 +140,11 @@ fn main() -> Result<(), SoleilError> {
     }
     println!(
         "  after reconfiguration:  primary={}, backup={}",
-        primary.get(),
-        backup.get()
+        primary.load(std::sync::atomic::Ordering::Relaxed),
+        backup.load(std::sync::atomic::Ordering::Relaxed)
     );
-    assert_eq!(primary.get(), 10);
-    assert_eq!(backup.get(), 10);
+    assert_eq!(primary.load(std::sync::atomic::Ordering::Relaxed), 10);
+    assert_eq!(backup.load(std::sync::atomic::Ordering::Relaxed), 10);
 
     // Membrane-level reconfiguration: inject a jitter monitor into the
     // live producer membrane, observe, remove it again.
@@ -158,7 +159,7 @@ fn main() -> Result<(), SoleilError> {
         gaps.iter().sum::<u64>() as f64 / gaps.len().max(1) as f64 / 1000.0
     );
     dep.disable_jitter_monitoring(producer)?;
-    assert_eq!(backup.get(), 30);
+    assert_eq!(backup.load(std::sync::atomic::Ordering::Relaxed), 30);
 
     // A transaction that fails mid-flight rolls back as a unit: the
     // rebind below targets a port the backup does not provide, so the
@@ -172,7 +173,11 @@ fn main() -> Result<(), SoleilError> {
         failed.unwrap_err()
     );
     dep.run_transaction(producer)?;
-    assert_eq!(backup.get(), 31, "producer still running, still on backup");
+    assert_eq!(
+        backup.load(std::sync::atomic::Ordering::Relaxed),
+        31,
+        "producer still running, still on backup"
+    );
 
     // --- MERGE-ALL: functional level only -------------------------------
     println!("\n== MERGE-ALL mode ==");
@@ -194,10 +199,16 @@ fn main() -> Result<(), SoleilError> {
     }
     println!(
         "  functional rebinding still works: primary={}, backup={}",
-        primary.get(),
-        backup.get()
+        primary.load(std::sync::atomic::Ordering::Relaxed),
+        backup.load(std::sync::atomic::Ordering::Relaxed)
     );
-    assert_eq!((primary.get(), backup.get()), (5, 5));
+    assert_eq!(
+        (
+            primary.load(std::sync::atomic::Ordering::Relaxed),
+            backup.load(std::sync::atomic::Ordering::Relaxed)
+        ),
+        (5, 5)
+    );
 
     // --- ULTRA-MERGE: purely static --------------------------------------
     println!("\n== ULTRA-MERGE mode ==");
@@ -211,6 +222,9 @@ fn main() -> Result<(), SoleilError> {
         Err(FrameworkError::Unsupported(msg)) => println!("  reconfigure refused: {msg}"),
         other => panic!("expected Unsupported, got {other:?}"),
     }
-    println!("  static system kept running: primary={}", primary.get());
+    println!(
+        "  static system kept running: primary={}",
+        primary.load(std::sync::atomic::Ordering::Relaxed)
+    );
     Ok(())
 }

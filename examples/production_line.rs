@@ -53,8 +53,8 @@ fn main() -> Result<(), SoleilError> {
         "OO",
         s.median.as_micros_f64(),
         s.jitter.as_micros_f64(),
-        probe.consoles.get(),
-        probe.audits.get()
+        probe.consoles(),
+        probe.audits()
     );
 
     let mut footprints = vec![oo.footprint()];
@@ -70,8 +70,8 @@ fn main() -> Result<(), SoleilError> {
             mode.to_string(),
             s.median.as_micros_f64(),
             s.jitter.as_micros_f64(),
-            probe.consoles.get(),
-            probe.audits.get()
+            probe.consoles(),
+            probe.audits()
         );
         footprints.push(sys.footprint());
 

@@ -21,8 +21,7 @@ use rtsj::time::{AbsoluteTime, RelativeTime};
 use soleil::generator::compile;
 use soleil::prelude::*;
 use soleil::runtime::sim::{deploy as sim_deploy, SimCosts, SimOptions};
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Reading {
@@ -66,7 +65,7 @@ impl Content<Reading> for FilterImpl {
 
 #[derive(Debug)]
 struct SinkImpl {
-    sum: Rc<Cell<f64>>,
+    sum: Arc<Mutex<f64>>,
 }
 impl Content<Reading> for SinkImpl {
     fn on_invoke(
@@ -75,7 +74,7 @@ impl Content<Reading> for SinkImpl {
         msg: &mut Reading,
         _out: &mut dyn Ports<Reading>,
     ) -> InvokeResult {
-        self.sum.set(self.sum.get() + msg.filtered);
+        *self.sum.lock().expect("sink sum") += msg.filtered;
         Ok(())
     }
 }
@@ -149,7 +148,7 @@ fn main() -> Result<(), SoleilError> {
         let arch = flow.merge()?.into_validated()?;
 
         // Wall-clock functional run.
-        let sum = Rc::new(Cell::new(0.0f64));
+        let sum = Arc::new(Mutex::new(0.0f64));
         let mut registry: ContentRegistry<Reading> = ContentRegistry::new();
         registry.register("SensorImpl", || Box::new(SensorImpl::default()));
         registry.register("FilterImpl", || Box::new(FilterImpl::default()));
@@ -160,7 +159,7 @@ fn main() -> Result<(), SoleilError> {
         for _ in 0..10_000 {
             sys.run_transaction(head)?;
         }
-        sums.push(sum.get());
+        sums.push(*sum.lock().expect("sink sum"));
 
         // Virtual-time deployment under GC.
         let spec = compile(&arch)?;
@@ -190,7 +189,7 @@ fn main() -> Result<(), SoleilError> {
             "{:<8} {:>10} {:>12.1} {:>14} {:>14} {:>10}",
             label,
             "yes",
-            sum.get(),
+            *sum.lock().expect("sink sum"),
             wcrt("sensor"),
             wcrt("sink"),
             misses

@@ -112,21 +112,21 @@ pub use soleil_patterns as patterns;
 pub use soleil_runtime as runtime;
 
 pub use soleil_core::{SoleilError, SoleilResult};
-pub use soleil_generator::deploy;
+pub use soleil_generator::{deploy, deploy_parallel};
 
 pub mod scenario;
 
 /// The most commonly used items across all layers.
 pub mod prelude {
     pub use crate::core::prelude::*;
-    pub use crate::generator::{compile, deploy, emit_source, generate};
+    pub use crate::generator::{compile, deploy, deploy_parallel, emit_source, generate};
     pub use crate::membrane::content::{Content, ContentRegistry, InvokeResult, Ports};
     pub use crate::membrane::FrameworkError;
     pub use crate::runtime::instrument::measure_steady;
     pub use crate::runtime::system::RELEASE_PORT;
     pub use crate::runtime::{
-        ComponentRef, Deployment, FootprintReport, Mode, PortRef, Reconfiguration, System,
-        SystemSpec,
+        ComponentRef, Deployment, FootprintReport, Mode, ParallelSystem, PortRef, Reconfiguration,
+        ShardRun, System, SystemSpec,
     };
     pub use crate::{SoleilError, SoleilResult};
     pub use rtsj::time::{AbsoluteTime, RelativeTime};

@@ -14,9 +14,9 @@
 //! realistic and identical), so the measured differences are pure framework
 //! overhead, exactly as in Fig. 7.
 
-use std::cell::Cell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rtsj::memory::{AreaId, MemoryContext, MemoryManager, ScopedMemoryParams};
 use rtsj::thread::ThreadKind;
@@ -71,20 +71,61 @@ pub mod work {
 
 /// Shared observation counters, cloneable into content factories so tests
 /// can assert functional equivalence across implementations.
+///
+/// Counters are atomics behind `Arc` (not `Rc<Cell<_>>`): content classes
+/// must be `Send` so a deployment can be sharded across thread-domain
+/// engines running on distinct OS threads, and the probe travels with
+/// them. The `f64` fingerprint is stored as IEEE-754 bits in an
+/// [`AtomicU64`] and accumulated with a CAS loop.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioProbe {
-    /// Console notifications observed.
-    pub consoles: Rc<Cell<u64>>,
-    /// Audit records observed.
-    pub audits: Rc<Cell<u64>>,
-    /// Sum of audited values (functional-result fingerprint).
-    pub value_sum: Rc<Cell<f64>>,
+    consoles: Arc<AtomicU64>,
+    audits: Arc<AtomicU64>,
+    value_bits: Arc<AtomicU64>,
 }
 
 impl ScenarioProbe {
     /// Fresh zeroed probe.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Console notifications observed.
+    pub fn consoles(&self) -> u64 {
+        self.consoles.load(Ordering::Relaxed)
+    }
+
+    /// Audit records observed.
+    pub fn audits(&self) -> u64 {
+        self.audits.load(Ordering::Relaxed)
+    }
+
+    /// Sum of audited values (functional-result fingerprint).
+    pub fn value_sum(&self) -> f64 {
+        f64::from_bits(self.value_bits.load(Ordering::Relaxed))
+    }
+
+    /// Records one console notification.
+    pub fn record_console(&self) {
+        self.consoles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one audit of value `v`.
+    pub fn record_audit(&self, v: f64) {
+        self.audits.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.value_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.value_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 }
 
@@ -147,7 +188,7 @@ impl Content<Measurement> for ConsoleImpl {
         _out: &mut dyn Ports<Measurement>,
     ) -> InvokeResult {
         msg.value = busy_work(work::CONSOLE, msg.value);
-        self.probe.consoles.set(self.probe.consoles.get() + 1);
+        self.probe.record_console();
         Ok(())
     }
 }
@@ -166,8 +207,7 @@ impl Content<Measurement> for AuditLogImpl {
         _out: &mut dyn Ports<Measurement>,
     ) -> InvokeResult {
         let v = busy_work(work::AUDIT, msg.value);
-        self.probe.audits.set(self.probe.audits.get() + 1);
-        self.probe.value_sum.set(self.probe.value_sum.get() + v);
+        self.probe.record_audit(v);
         Ok(())
     }
 }
@@ -303,7 +343,7 @@ impl OoSystem {
                 // Hand-written cross-scope call: enter S1, notify, exit.
                 self.mm.enter(&mut self.ctx_monitor, self.s1)?;
                 m.value = busy_work(work::CONSOLE, m.value);
-                self.probe.consoles.set(self.probe.consoles.get() + 1);
+                self.probe.record_console();
                 self.mm.exit(&mut self.ctx_monitor)?;
             }
             if self.buf_audit.len() < 10 {
@@ -314,8 +354,7 @@ impl OoSystem {
         // AuditLog (regular thread, heap).
         if let Some(m) = self.buf_audit.pop_front() {
             let v = busy_work(work::AUDIT, m.value);
-            self.probe.audits.set(self.probe.audits.get() + 1);
-            self.probe.value_sum.set(self.probe.value_sum.get() + v);
+            self.probe.record_audit(v);
         }
         self.transactions += 1;
         Ok(())
@@ -368,8 +407,8 @@ mod tests {
             oo.run_transaction().unwrap();
         }
         assert_eq!(oo.transactions(), 50);
-        assert_eq!(probe.audits.get(), 50);
-        assert_eq!(probe.consoles.get(), 5, "every 10th is anomalous");
+        assert_eq!(probe.audits(), 50);
+        assert_eq!(probe.consoles(), 5, "every 10th is anomalous");
     }
 
     #[test]
@@ -389,9 +428,9 @@ mod tests {
             for _ in 0..n {
                 sys.run_transaction(head).unwrap();
             }
-            assert_eq!(probe.audits.get(), oo_probe.audits.get(), "{mode}");
-            assert_eq!(probe.consoles.get(), oo_probe.consoles.get(), "{mode}");
-            let diff = (probe.value_sum.get() - oo_probe.value_sum.get()).abs();
+            assert_eq!(probe.audits(), oo_probe.audits(), "{mode}");
+            assert_eq!(probe.consoles(), oo_probe.consoles(), "{mode}");
+            let diff = (probe.value_sum() - oo_probe.value_sum()).abs();
             assert!(
                 diff < 1e-9,
                 "value fingerprint diverged under {mode}: {diff}"

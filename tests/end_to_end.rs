@@ -27,8 +27,8 @@ fn adl_to_running_system_in_every_mode() {
             sys.run_transaction(head).expect("transaction");
         }
         assert_eq!(sys.stats().transactions, 100, "{mode}");
-        assert_eq!(probe.audits.get(), 100, "{mode}: every measurement audited");
-        assert_eq!(probe.consoles.get(), 10, "{mode}: every 10th is anomalous");
+        assert_eq!(probe.audits(), 100, "{mode}: every measurement audited");
+        assert_eq!(probe.consoles(), 10, "{mode}: every 10th is anomalous");
         assert_eq!(sys.stats().dropped_messages, 0, "{mode}");
     }
 }
@@ -83,9 +83,9 @@ fn all_implementations_agree_with_oo_oracle() {
         for _ in 0..N {
             sys.run_transaction(head).expect("transaction");
         }
-        assert_eq!(probe.audits.get(), oo_probe.audits.get(), "{mode}");
-        assert_eq!(probe.consoles.get(), oo_probe.consoles.get(), "{mode}");
-        let delta = (probe.value_sum.get() - oo_probe.value_sum.get()).abs();
+        assert_eq!(probe.audits(), oo_probe.audits(), "{mode}");
+        assert_eq!(probe.consoles(), oo_probe.consoles(), "{mode}");
+        let delta = (probe.value_sum() - oo_probe.value_sum()).abs();
         assert!(
             delta < 1e-9,
             "{mode}: functional fingerprint drifted by {delta}"
@@ -111,7 +111,7 @@ fn serialization_forms_are_interchangeable() {
     for _ in 0..30 {
         sys.run_transaction(head).expect("transaction");
     }
-    assert_eq!(probe.audits.get(), 30);
+    assert_eq!(probe.audits(), 30);
 }
 
 #[test]

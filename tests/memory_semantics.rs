@@ -4,8 +4,8 @@
 
 use soleil::generator::deploy;
 use soleil::prelude::*;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Msg {
@@ -23,12 +23,12 @@ impl Content<Msg> for Head {
 
 #[derive(Debug)]
 struct Tail {
-    seen: Rc<Cell<u32>>,
+    seen: Arc<AtomicU32>,
 }
 impl Content<Msg> for Tail {
     fn on_invoke(&mut self, _p: &str, msg: &mut Msg, _out: &mut dyn Ports<Msg>) -> InvokeResult {
         msg.hops += 1;
-        self.seen.set(self.seen.get() + msg.hops);
+        self.seen.fetch_add(msg.hops, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -51,7 +51,7 @@ impl Content<Msg> for Svc {
     }
 }
 
-fn registry(seen: &Rc<Cell<u32>>) -> ContentRegistry<Msg> {
+fn registry(seen: &Arc<AtomicU32>) -> ContentRegistry<Msg> {
     let mut r = ContentRegistry::new();
     r.register("Head", || Box::new(Head));
     let s = seen.clone();
@@ -91,7 +91,7 @@ fn sibling_scopes_use_handoff() {
         arch.report()
     );
 
-    let seen = Rc::new(Cell::new(0));
+    let seen = Arc::new(AtomicU32::new(0));
     let mut sys = deploy(&arch, Mode::MergeAll, &registry(&seen)).expect("deploys");
     // Inject a message at the caller: hops = 1 (caller) + 1 (svc, on the
     // copy) and the copy is written back.
@@ -131,13 +131,17 @@ fn nhrt_async_buffers_are_placed_in_immortal() {
     };
     assert_eq!(placement, BufferPlacement::Immortal);
 
-    let seen = Rc::new(Cell::new(0));
+    let seen = Arc::new(AtomicU32::new(0));
     let mut sys = deploy(&arch, Mode::MergeAll, &registry(&seen)).expect("deploys");
     let head = sys.resolve("head").expect("head");
     for _ in 0..10 {
         sys.run_transaction(head).expect("txn");
     }
-    assert_eq!(seen.get(), 20, "hops: head(1) + tail(2) summed per txn");
+    assert_eq!(
+        seen.load(Ordering::Relaxed),
+        20,
+        "hops: head(1) + tail(2) summed per txn"
+    );
 }
 
 /// Heap-to-heap regular pipelines keep their buffer on the heap, and heap
@@ -159,7 +163,7 @@ fn heap_buffers_counted_in_heap_area() {
         .unwrap();
     let arch = flow.merge().unwrap().into_validated().expect("compliant");
 
-    let seen = Rc::new(Cell::new(0));
+    let seen = Arc::new(AtomicU32::new(0));
     let sys = deploy(&arch, Mode::MergeAll, &registry(&seen)).expect("deploys");
     let heap_stats = sys
         .memory()
@@ -204,7 +208,7 @@ fn nested_scopes_bootstrap_and_teardown() {
     arch.add_child(outer, inner).unwrap();
     let arch = arch.into_validated().expect("compliant");
 
-    let seen = Rc::new(Cell::new(0));
+    let seen = Arc::new(AtomicU32::new(0));
     let mut sys = deploy(&arch, Mode::MergeAll, &registry(&seen)).expect("deploys");
     let mm = sys.memory();
     let outer_id = mm.area_by_name("outer").expect("outer exists");

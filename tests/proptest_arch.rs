@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use soleil::generator::{compile, deploy};
 use soleil::prelude::*;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A randomly deployable pipeline: a periodic head and a chain of sporadic
 /// stages, each assigned a thread class and a memory region.
@@ -102,7 +102,7 @@ fn build_arch(plan: &PipelinePlan) -> Architecture {
     flow.merge().unwrap()
 }
 
-fn registry(seen: &Rc<Cell<u64>>) -> ContentRegistry<u64> {
+fn registry(seen: &Arc<AtomicU64>) -> ContentRegistry<u64> {
     let mut r = ContentRegistry::new();
     r.register("Relay", || {
         #[derive(Debug, Default)]
@@ -123,7 +123,7 @@ fn registry(seen: &Rc<Cell<u64>>) -> ContentRegistry<u64> {
     let s = seen.clone();
     r.register("Sink", move || {
         #[derive(Debug)]
-        struct Sink(Rc<Cell<u64>>);
+        struct Sink(Arc<AtomicU64>);
         impl Content<u64> for Sink {
             fn on_invoke(
                 &mut self,
@@ -132,7 +132,7 @@ fn registry(seen: &Rc<Cell<u64>>) -> ContentRegistry<u64> {
                 _out: &mut dyn Ports<u64>,
             ) -> InvokeResult {
                 *msg += 1;
-                self.0.set(self.0.get() + 1);
+                self.0.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
         }
@@ -175,7 +175,7 @@ proptest! {
         prop_assume!(validate(&arch).is_compliant());
         let witness = arch.into_validated().expect("assumed compliant");
         for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
-            let seen = Rc::new(Cell::new(0));
+            let seen = Arc::new(AtomicU64::new(0));
             let dep = deploy(&witness, mode, &registry(&seen));
             prop_assert!(dep.is_ok(), "{}: deploy refused a witness: {}", mode, dep.err().unwrap());
             let mut dep = dep.unwrap();
@@ -187,7 +187,7 @@ proptest! {
                 mode,
                 ran.err().unwrap()
             );
-            prop_assert_eq!(seen.get(), 1, "sink saw the message ({})", mode);
+            prop_assert_eq!(seen.load(Ordering::Relaxed), 1, "sink saw the message ({})", mode);
         }
     }
 
@@ -202,7 +202,7 @@ proptest! {
         let n = 25u64;
         let mut per_mode = Vec::new();
         for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
-            let seen = Rc::new(Cell::new(0));
+            let seen = Arc::new(AtomicU64::new(0));
             let mut sys = deploy(&arch, mode, &registry(&seen)).expect("deploys");
             let head = sys.resolve("stage0").expect("head");
             let lookups = sys.name_lookups();
@@ -210,7 +210,7 @@ proptest! {
                 sys.run_transaction(head).expect("transaction");
             }
             prop_assert_eq!(sys.name_lookups(), lookups, "loop resolved names ({})", mode);
-            prop_assert_eq!(seen.get(), n, "sink saw every message ({})", mode);
+            prop_assert_eq!(seen.load(Ordering::Relaxed), n, "sink saw every message ({})", mode);
             prop_assert_eq!(sys.stats().dropped_messages, 0);
             per_mode.push(sys.stats().async_messages);
         }
@@ -226,7 +226,7 @@ proptest! {
         let arch = build_arch(&plan);
         prop_assume!(validate(&arch).is_compliant());
         let arch = arch.into_validated().expect("assumed compliant");
-        let seen = Rc::new(Cell::new(0));
+        let seen = Arc::new(AtomicU64::new(0));
         let soleil = deploy(&arch, Mode::Soleil, &registry(&seen)).expect("builds").footprint();
         let merged = deploy(&arch, Mode::MergeAll, &registry(&seen)).expect("builds").footprint();
         let ultra = deploy(&arch, Mode::UltraMerge, &registry(&seen)).expect("builds").footprint();

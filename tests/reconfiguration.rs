@@ -11,8 +11,8 @@
 
 use soleil::generator::deploy;
 use soleil::prelude::*;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Ping;
@@ -26,18 +26,18 @@ impl Content<Ping> for Caller {
 }
 
 #[derive(Debug)]
-struct Counter(Rc<Cell<u32>>);
+struct Counter(Arc<AtomicU32>);
 impl Content<Ping> for Counter {
     fn on_invoke(&mut self, _p: &str, _m: &mut Ping, _o: &mut dyn Ports<Ping>) -> InvokeResult {
-        self.0.set(self.0.get() + 1);
+        self.0.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 }
 
 struct Fixture {
     dep: Deployment<Ping>,
-    a: Rc<Cell<u32>>,
-    b: Rc<Cell<u32>>,
+    a: Arc<AtomicU32>,
+    b: Arc<AtomicU32>,
 }
 
 fn fixture(mode: Mode) -> Fixture {
@@ -64,8 +64,8 @@ fn fixture(mode: Mode) -> Fixture {
     .unwrap();
     let arch = flow.merge().unwrap().into_validated().unwrap();
 
-    let a = Rc::new(Cell::new(0));
-    let b = Rc::new(Cell::new(0));
+    let a = Arc::new(AtomicU32::new(0));
+    let b = Arc::new(AtomicU32::new(0));
     let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
     registry.register("Caller", || Box::new(Caller));
     let ac = a.clone();
@@ -89,7 +89,10 @@ fn soleil_full_matrix() {
     assert!(dep.system().reified_spec().is_some());
 
     dep.run_transaction(caller).unwrap();
-    assert_eq!((a.get(), b.get()), (1, 0));
+    assert_eq!(
+        (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)),
+        (1, 0)
+    );
 
     // A full stop → rebind → start transaction redirects the traffic.
     dep.reconfigure(|txn| {
@@ -99,7 +102,10 @@ fn soleil_full_matrix() {
     })
     .unwrap();
     dep.run_transaction(caller).unwrap();
-    assert_eq!((a.get(), b.get()), (1, 1));
+    assert_eq!(
+        (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)),
+        (1, 1)
+    );
 
     // The committed architecture tracks the live topology.
     let arch = dep.architecture();
@@ -116,7 +122,10 @@ fn soleil_full_matrix() {
     assert!(dep.run_transaction(caller).is_err());
     dep.reconfigure(|txn| txn.start(caller)).unwrap();
     dep.run_transaction(caller).unwrap();
-    assert_eq!((a.get(), b.get()), (1, 2));
+    assert_eq!(
+        (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)),
+        (1, 2)
+    );
 }
 
 #[test]
@@ -136,7 +145,10 @@ fn merge_all_functional_level_only() {
     dep.reconfigure(|txn| txn.rebind(caller, "svc", svc_b))
         .unwrap();
     dep.run_transaction(caller).unwrap();
-    assert_eq!((a.get(), b.get()), (1, 1));
+    assert_eq!(
+        (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)),
+        (1, 1)
+    );
 
     dep.reconfigure(|txn| txn.stop(caller)).unwrap();
     assert!(matches!(
@@ -152,7 +164,10 @@ fn ultra_merge_is_static() {
     let caller = dep.resolve("caller").unwrap();
     let svc_b = dep.resolve("svc-b").unwrap();
     dep.run_transaction(caller).unwrap();
-    assert_eq!((a.get(), b.get()), (1, 0));
+    assert_eq!(
+        (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)),
+        (1, 0)
+    );
 
     for err in [
         dep.reconfigure(|txn| txn.rebind(caller, "svc", svc_b))
@@ -164,7 +179,10 @@ fn ultra_merge_is_static() {
     }
     // Still runs, unchanged.
     dep.run_transaction(caller).unwrap();
-    assert_eq!((a.get(), b.get()), (2, 0));
+    assert_eq!(
+        (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)),
+        (2, 0)
+    );
 }
 
 /// The transactional acceptance property: a failing transaction — whether
@@ -209,10 +227,14 @@ fn failing_transaction_rolls_back_completely() {
     assert_eq!(snapshot(&dep), before, "closure failure must roll back");
 
     // Transactions still run against the pre-transaction topology.
-    let a_before = a.get();
+    let a_before = a.load(Ordering::Relaxed);
     dep.run_transaction(caller).unwrap();
-    assert_eq!(a.get(), a_before + 1, "traffic still reaches svc-a");
-    assert_eq!(b.get(), 0);
+    assert_eq!(
+        a.load(Ordering::Relaxed),
+        a_before + 1,
+        "traffic still reaches svc-a"
+    );
+    assert_eq!(b.load(Ordering::Relaxed), 0);
 }
 
 /// Commit-time validation: a rebind that makes an NHRT client call
@@ -245,8 +267,8 @@ fn validator_refuses_illegal_rebind_and_rolls_back() {
         .unwrap();
     let arch = flow.merge().unwrap().into_validated().unwrap();
 
-    let a = Rc::new(Cell::new(0));
-    let b = Rc::new(Cell::new(0));
+    let a = Arc::new(AtomicU32::new(0));
+    let b = Arc::new(AtomicU32::new(0));
     let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
     registry.register("Caller", || Box::new(Caller));
     let ac = a.clone();
@@ -278,9 +300,13 @@ fn validator_refuses_illegal_rebind_and_rolls_back() {
             bindings_before,
             "{mode}"
         );
-        a.set(0);
+        a.store(0, Ordering::Relaxed);
         dep.run_transaction(caller).unwrap();
-        assert_eq!((a.get(), b.get()), (1, 0), "{mode}");
+        assert_eq!(
+            (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)),
+            (1, 0),
+            "{mode}"
+        );
     }
 }
 
@@ -311,7 +337,7 @@ fn reassign_domain_transactionally() {
     .unwrap();
     let arch = flow.merge().unwrap().into_validated().unwrap();
 
-    let a = Rc::new(Cell::new(0));
+    let a = Arc::new(AtomicU32::new(0));
     let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
     registry.register("Caller", || Box::new(Caller));
     let ac = a.clone();
@@ -329,7 +355,7 @@ fn reassign_domain_transactionally() {
     assert_eq!(arch_now.component(domain_id).unwrap().name, "rt-low");
     assert_eq!(desc.priority, 12);
     dep.run_transaction(caller).unwrap();
-    assert_eq!(a.get(), 1);
+    assert_eq!(a.load(Ordering::Relaxed), 1);
 
     // Unknown domains are refused; nothing changes.
     let err = dep
@@ -370,7 +396,7 @@ fn reassign_domain_across_memory_areas_is_refused() {
         .unwrap();
     let arch = flow.merge().unwrap().into_validated().unwrap();
 
-    let a = Rc::new(Cell::new(0));
+    let a = Arc::new(AtomicU32::new(0));
     let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
     registry.register("Caller", || Box::new(Caller));
     let ac = a.clone();
@@ -398,7 +424,7 @@ fn reassign_domain_across_memory_areas_is_refused() {
     let (area_id, _) = arch_now.memory_area_of(caller_id).unwrap();
     assert_eq!(arch_now.component(area_id).unwrap().name, "imm");
     dep.run_transaction(caller).unwrap();
-    assert_eq!(a.get(), 1);
+    assert_eq!(a.load(Ordering::Relaxed), 1);
 }
 
 #[test]
@@ -421,8 +447,8 @@ fn rebinding_async_ports_is_refused() {
         .unwrap();
     let arch = flow.merge().unwrap().into_validated().unwrap();
 
-    let a = Rc::new(Cell::new(0));
-    let b = Rc::new(Cell::new(0));
+    let a = Arc::new(AtomicU32::new(0));
+    let b = Arc::new(AtomicU32::new(0));
     let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
     registry.register("Caller", || Box::new(Caller));
     let ac = a.clone();
@@ -467,8 +493,8 @@ fn rebind_recomputes_cross_scope_pattern() {
         .unwrap();
     let arch = flow.merge().unwrap().into_validated().unwrap();
 
-    let a = Rc::new(Cell::new(0));
-    let b = Rc::new(Cell::new(0));
+    let a = Arc::new(AtomicU32::new(0));
+    let b = Arc::new(AtomicU32::new(0));
     let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
     registry.register("Caller", || Box::new(Caller));
     let ac = a.clone();
@@ -487,12 +513,16 @@ fn rebind_recomputes_cross_scope_pattern() {
             .unwrap();
         dep.run_transaction(caller).unwrap();
         dep.run_transaction(caller).unwrap();
-        assert_eq!(b.get() % 2, 0, "{mode}: scoped service reached twice");
+        assert_eq!(
+            b.load(Ordering::Relaxed) % 2,
+            0,
+            "{mode}: scoped service reached twice"
+        );
         let scope = dep.memory().area_by_name("scope-b").unwrap();
         // The wedge pin keeps it alive; entry counting stayed balanced.
         assert_eq!(dep.memory().enter_count(scope).unwrap(), 1, "{mode}");
-        a.set(0);
-        b.set(0);
+        a.store(0, Ordering::Relaxed);
+        b.store(0, Ordering::Relaxed);
     }
 }
 
@@ -529,6 +559,10 @@ fn steady_state_performs_no_substrate_allocations() {
             allocs,
             "{mode}: steady state after reconfigure"
         );
-        assert_eq!((a.get(), b.get()), (101, 101), "{mode}");
+        assert_eq!(
+            (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)),
+            (101, 101),
+            "{mode}"
+        );
     }
 }
