@@ -1,0 +1,99 @@
+//! Isolation bench for the membrane's compiled interceptor plan: the
+//! pre/post protocol cost at chain depths 0/1/2/4, dynamic dispatch vs.
+//! the compiled `InterceptStep` plan.
+//!
+//! The `dyn` rows walk the same membrane machinery but through
+//! interceptors the plan compiler does not recognize (forced onto the
+//! `Dyn` fallback step — two virtual calls per interceptor per
+//! invocation, the pre-flattening price). The `compiled` rows use the
+//! known `ActiveInterceptor`, flattened into enum steps and, at depth 1,
+//! fused into the single-pass gate. Depth 0 measures the shared floor
+//! (lifecycle gate + fusion dispatch) and is emitted once under
+//! `compiled` — there is no chain left to dispatch dynamically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soleil::membrane::interceptors::{ActiveInterceptor, Interceptor};
+use soleil::membrane::{FrameworkError, Membrane};
+use soleil::rtsj::memory::{MemoryContext, MemoryManager};
+use soleil::rtsj::thread::ThreadKind;
+
+/// An `ActiveInterceptor` hidden behind a type the plan compiler does not
+/// know: same state machine, but every `pre`/`post` goes through the
+/// `Box<dyn Interceptor>` vtable — the dynamic-dispatch baseline.
+#[derive(Debug)]
+struct OpaqueActive(ActiveInterceptor);
+
+impl Interceptor for OpaqueActive {
+    fn name(&self) -> &str {
+        "opaque-active"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send> {
+        self
+    }
+
+    fn pre(
+        &mut self,
+        mm: &mut MemoryManager,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        self.0.pre(mm, ctx)
+    }
+
+    fn post(
+        &mut self,
+        mm: &mut MemoryManager,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        self.0.post(mm, ctx)
+    }
+}
+
+fn membrane_at_depth(depth: usize, compiled: bool) -> Membrane {
+    let mut m = Membrane::new("bench");
+    m.lifecycle.start();
+    for _ in 0..depth {
+        if compiled {
+            m.push_interceptor(Box::new(ActiveInterceptor::new()));
+        } else {
+            m.push_interceptor(Box::new(OpaqueActive(ActiveInterceptor::new())));
+        }
+    }
+    // The property the flattening claims: known interceptors leave no dyn
+    // step in the plan; the opaque baseline keeps them all dynamic.
+    assert_eq!(
+        m.plan().is_fully_compiled(),
+        compiled || depth == 0,
+        "plan compilation mismatch at depth {depth}"
+    );
+    m
+}
+
+fn bench_interceptor_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interceptor_chain");
+    for depth in [0usize, 1, 2, 4] {
+        for compiled in [true, false] {
+            if depth == 0 && !compiled {
+                continue; // no chain to dispatch dynamically
+            }
+            let mut mm = MemoryManager::default();
+            let mut ctx = mm.context(ThreadKind::Realtime);
+            let mut m = membrane_at_depth(depth, compiled);
+            let label = if compiled { "compiled" } else { "dyn" };
+            group.bench_with_input(BenchmarkId::new(label, depth), &depth, |b, _| {
+                b.iter(|| {
+                    m.pre_invoke(&mut mm, &mut ctx).expect("pre");
+                    m.post_invoke(&mut mm, &mut ctx).expect("post");
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interceptor_chain);
+criterion_main!(benches);

@@ -7,7 +7,10 @@
 //!
 //! Artifacts: `fig7a`, `fig7b`, `fig7c`, `codegen` (E4), `determinism`
 //! (E5), `steady` (the zero-allocation perf gate, emitting
-//! `BENCH_steady_state.json`), `all` (default). Raw observation CSVs are
+//! `BENCH_steady_state.json`), `steady-gate` (CI regression gate: re-runs
+//! the steady measurement and exits non-zero when any mode's median
+//! regresses >25% vs the committed artifact or allocs/transaction leave
+//! 0; never part of `all`), `all` (default). Raw observation CSVs are
 //! written to `target/experiments/`.
 //!
 //! `--observations N` overrides the number of measured iterations (the
@@ -25,6 +28,7 @@ use soleil::SoleilError;
 use soleil_bench::{
     codegen_table, determinism_table, fig7a_report, fig7b_table, fig7c_table, run_codegen,
     run_determinism, run_footprint, run_overhead, run_steady_state, steady_state_json,
+    steady_state_regressions,
 };
 
 // Installs the counting global allocator so the steady artifact can report
@@ -137,6 +141,48 @@ fn main() -> Result<(), SoleilError> {
         ran = true;
     }
 
+    // The CI regression gate: never part of `all` (it needs the committed
+    // artifact as its baseline and fails the process on regression).
+    if what == "steady-gate" {
+        let committed = fs::read_to_string("BENCH_steady_state.json").map_err(|e| {
+            SoleilError::Framework(format!(
+                "cannot read committed BENCH_steady_state.json: {e}"
+            ))
+        })?;
+        eprintln!(
+            "running steady-state regression gate ({observations} observations x 5 implementations)..."
+        );
+        let rows = run_steady_state(WARMUP, observations, alloc_probe::allocations)?;
+        println!("steady-state transaction (median ns, allocs/txn, substrate allocs/txn):");
+        for r in &rows {
+            println!(
+                "  {:<12} {:>10} ns   {:>6} heap   {:>6} substrate",
+                r.label, r.median_ns, r.allocs_per_transaction, r.substrate_allocs_per_transaction
+            );
+        }
+        // Re-emit the fresh artifact next to the raw data (the committed
+        // file stays the baseline; refresh it with `steady`).
+        fs::write(
+            out_dir.join("BENCH_steady_state.fresh.json"),
+            steady_state_json(&rows, observations),
+        )?;
+        const THRESHOLD_PCT: f64 = 25.0;
+        let failures = steady_state_regressions(&committed, &rows, THRESHOLD_PCT)?;
+        if failures.is_empty() {
+            eprintln!(
+                "steady-state gate passed: no mode regressed >{THRESHOLD_PCT}% vs the \
+                 committed artifact; allocs/transaction are 0 everywhere"
+            );
+        } else {
+            eprintln!("steady-state gate FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        ran = true;
+    }
+
     if wants("determinism") {
         let rows = run_determinism(2_000)?;
         let table = determinism_table(&rows);
@@ -147,7 +193,7 @@ fn main() -> Result<(), SoleilError> {
 
     if !ran {
         eprintln!(
-            "unknown artifact '{what}'; expected fig7a | fig7b | fig7c | codegen | determinism | steady | all"
+            "unknown artifact '{what}'; expected fig7a | fig7b | fig7c | codegen | determinism | steady | steady-gate | all"
         );
         std::process::exit(2);
     }

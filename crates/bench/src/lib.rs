@@ -466,6 +466,80 @@ pub fn run_parallel_steady(
     })
 }
 
+/// Compares a fresh steady-state run against the committed
+/// `BENCH_steady_state.json` artifact — the CI regression gate.
+///
+/// A failure line is produced for every mode whose fresh median exceeds
+/// the committed median by more than `threshold_pct` percent, for any
+/// fresh row whose allocs/transaction (Rust heap or substrate) leave 0,
+/// and for modes present in the committed artifact but missing from the
+/// fresh run (artifact drift). An empty result means the gate passes.
+///
+/// The committed artifact is integer-valued by construction (medians in
+/// nanoseconds, allocation counts pinned at 0 — a fractional count would
+/// already be a gate violation and fails the parse loudly).
+///
+/// # Errors
+///
+/// Parse errors on a malformed committed artifact.
+pub fn steady_state_regressions(
+    committed_json: &str,
+    fresh: &[SteadyStateRow],
+    threshold_pct: f64,
+) -> HarnessResult<Vec<String>> {
+    let doc = soleil::core::json::parse(committed_json)?;
+    let modes = doc
+        .get("modes")
+        .and_then(|m| m.as_array())
+        .ok_or_else(|| SoleilError::Framework("committed artifact has no 'modes' array".into()))?;
+    let mut failures = Vec::new();
+    // Median gate: every committed mode must be present and within the
+    // threshold of its committed baseline.
+    for entry in modes {
+        let mode = entry
+            .get("mode")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| SoleilError::Framework("artifact mode entry lacks 'mode'".into()))?;
+        let committed = entry
+            .get("median_ns_per_transaction")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| {
+                SoleilError::Framework(format!("artifact mode '{mode}' lacks an integer median"))
+            })?;
+        let Some(row) = fresh.iter().find(|r| r.label == mode) else {
+            failures.push(format!(
+                "mode '{mode}' is in the committed artifact but missing from the fresh run"
+            ));
+            continue;
+        };
+        let limit = committed as f64 * (1.0 + threshold_pct / 100.0);
+        if row.median_ns as f64 > limit {
+            failures.push(format!(
+                "{mode}: fresh median {} ns regressed more than {threshold_pct}% over the \
+                 committed {committed} ns (limit {:.0} ns)",
+                row.median_ns, limit
+            ));
+        }
+    }
+    // Allocation gate: every fresh row must be allocation-free, including
+    // modes newer than the committed artifact (no baseline needed for 0).
+    for row in fresh {
+        if row.allocs_per_transaction != 0.0 {
+            failures.push(format!(
+                "{}: {} Rust-heap allocations/transaction; the steady state must stay at 0",
+                row.label, row.allocs_per_transaction
+            ));
+        }
+        if row.substrate_allocs_per_transaction != 0.0 {
+            failures.push(format!(
+                "{}: {} substrate allocations/transaction; the steady state must stay at 0",
+                row.label, row.substrate_allocs_per_transaction
+            ));
+        }
+    }
+    Ok(failures)
+}
+
 /// Renders the steady-state rows as the machine-readable
 /// `BENCH_steady_state.json` artifact that seeds the perf trajectory.
 pub fn steady_state_json(rows: &[SteadyStateRow], observations: usize) -> String {
@@ -643,6 +717,86 @@ mod tests {
         );
         let other = steady_state_json(&rows, 77);
         assert!(other.contains("\"observations\": 77"), "{other}");
+    }
+
+    #[test]
+    fn regression_gate_separates_pass_from_fail() {
+        let committed = r#"{
+  "benchmark": "steady_state_transaction",
+  "observations": 100,
+  "modes": [
+    {"mode": "SOLEIL", "median_ns_per_transaction": 1000, "allocs_per_transaction": 0, "substrate_allocs_per_transaction": 0},
+    {"mode": "MERGE-ALL", "median_ns_per_transaction": 1000, "allocs_per_transaction": 0, "substrate_allocs_per_transaction": 0},
+    {"mode": "PARALLEL", "median_ns_per_transaction": 500, "allocs_per_transaction": 0, "substrate_allocs_per_transaction": 0}
+  ]
+}"#;
+        let row = |label: &str, median_ns: u64, allocs: f64| SteadyStateRow {
+            label: label.into(),
+            median_ns,
+            allocs_per_transaction: allocs,
+            substrate_allocs_per_transaction: 0.0,
+        };
+
+        // Within threshold, allocation-free, all modes present: clean.
+        let fresh = vec![
+            row("SOLEIL", 1249, 0.0),
+            row("MERGE-ALL", 900, 0.0),
+            row("PARALLEL", 500, 0.0),
+        ];
+        assert!(steady_state_regressions(committed, &fresh, 25.0)
+            .unwrap()
+            .is_empty());
+
+        // A >25% median regression, a non-zero alloc count and a missing
+        // mode each produce a failure line.
+        let fresh = vec![row("SOLEIL", 1300, 0.0), row("MERGE-ALL", 900, 0.5)];
+        let failures = steady_state_regressions(committed, &fresh, 25.0).unwrap();
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(failures[0].contains("SOLEIL") && failures[0].contains("regressed"));
+        assert!(failures[1].contains("PARALLEL") && failures[1].contains("missing"));
+        assert!(failures[2].contains("MERGE-ALL") && failures[2].contains("Rust-heap"));
+
+        // A mode newer than the committed artifact has no median baseline,
+        // but its allocation discipline is still gated.
+        let fresh = vec![
+            row("SOLEIL", 1000, 0.0),
+            row("MERGE-ALL", 1000, 0.0),
+            row("PARALLEL", 500, 0.0),
+            row("NEW-MODE", 10, 2.0),
+        ];
+        let failures = steady_state_regressions(committed, &fresh, 25.0).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("NEW-MODE") && failures[0].contains("Rust-heap"));
+
+        // A malformed artifact fails loudly, never silently passes.
+        assert!(steady_state_regressions("{}", &fresh, 25.0).is_err());
+        assert!(steady_state_regressions("not json", &fresh, 25.0).is_err());
+    }
+
+    #[test]
+    fn regression_gate_accepts_the_committed_artifact() {
+        // The committed artifact must always gate against itself: a
+        // re-run reproducing identical numbers passes by construction.
+        let committed = include_str!("../../../BENCH_steady_state.json");
+        let doc = soleil::core::json::parse(committed).expect("committed artifact parses");
+        let fresh: Vec<SteadyStateRow> = doc
+            .get("modes")
+            .and_then(|m| m.as_array())
+            .expect("modes array")
+            .iter()
+            .map(|e| SteadyStateRow {
+                label: e.get("mode").and_then(|v| v.as_str()).unwrap().to_string(),
+                median_ns: e
+                    .get("median_ns_per_transaction")
+                    .and_then(|v| v.as_u64())
+                    .unwrap(),
+                allocs_per_transaction: 0.0,
+                substrate_allocs_per_transaction: 0.0,
+            })
+            .collect();
+        assert!(steady_state_regressions(committed, &fresh, 25.0)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! **MemoryAreaController** sit in the membranes of non-functional
 //! components and superimpose RTSJ concerns over their members.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use rtsj::memory::AreaId;
@@ -126,11 +125,15 @@ pub struct BindingTarget {
 /// Name-keyed binding table supporting runtime rebinding — the SOLEIL-mode
 /// `BindingController`.
 ///
-/// Lookups go through a `HashMap` on every call: this is the deliberate
-/// dynamic-dispatch cost that MERGE-ALL replaces with compiled slots.
+/// Lookups resolve by *name* on every call: that per-call resolution is
+/// the deliberate dynamic-dispatch cost MERGE-ALL replaces with compiled
+/// slots. The table itself is a dense array scanned with short-circuit
+/// string compares — for the handful of ports a component carries, this
+/// beats hashing the name on every invocation while keeping the table
+/// fully dynamic (rebindable, introspectable, insertion-ordered).
 #[derive(Debug, Clone, Default)]
 pub struct BindingController {
-    table: HashMap<String, BindingTarget>,
+    table: Vec<(Box<str>, BindingTarget)>,
     rebinds: u64,
 }
 
@@ -142,14 +145,29 @@ impl BindingController {
 
     /// Installs (or replaces) the binding for `client_port`.
     pub fn bind(&mut self, client_port: impl Into<String>, target: BindingTarget) {
-        if self.table.insert(client_port.into(), target).is_some() {
-            self.rebinds += 1;
+        let name: Box<str> = client_port.into().into();
+        match self.table.iter_mut().find(|(k, _)| *k == name) {
+            Some(entry) => {
+                entry.1 = target;
+                self.rebinds += 1;
+            }
+            None => self.table.push((name, target)),
         }
     }
 
     /// Removes the binding for `client_port`; true when one existed.
     pub fn unbind(&mut self, client_port: &str) -> bool {
-        self.table.remove(client_port).is_some()
+        match self
+            .table
+            .iter()
+            .position(|(k, _)| k.as_ref() == client_port)
+        {
+            Some(ix) => {
+                self.table.remove(ix);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Resolves `client_port`.
@@ -158,14 +176,18 @@ impl BindingController {
     ///
     /// [`FrameworkError::Binding`] when unbound.
     pub fn resolve(&self, client_port: &str) -> Result<&BindingTarget, FrameworkError> {
-        self.table.get(client_port).ok_or_else(|| {
-            FrameworkError::Binding(format!("client port '{client_port}' is unbound"))
-        })
+        self.table
+            .iter()
+            .find(|(k, _)| k.as_ref() == client_port)
+            .map(|(_, t)| t)
+            .ok_or_else(|| {
+                FrameworkError::Binding(format!("client port '{client_port}' is unbound"))
+            })
     }
 
-    /// Bound client-port names (introspection).
+    /// Bound client-port names, in binding order (introspection).
     pub fn ports(&self) -> Vec<&str> {
-        self.table.keys().map(|s| s.as_str()).collect()
+        self.table.iter().map(|(k, _)| k.as_ref()).collect()
     }
 
     /// Times an existing binding was replaced (introspection).
@@ -180,10 +202,9 @@ impl BindingController {
                 .table
                 .iter()
                 .map(|(k, v)| {
-                    k.capacity()
-                        + std::mem::size_of::<BindingTarget>()
+                    k.len()
+                        + std::mem::size_of::<(Box<str>, BindingTarget)>()
                         + v.server_port.capacity()
-                        + 48 // hash-table entry overhead estimate
                 })
                 .sum::<usize>()
     }

@@ -28,6 +28,36 @@ pub enum FrameworkError {
     /// validator refused; the transaction was rolled back and the full
     /// report is preserved.
     Rejected(ValidationReport),
+    /// An interceptor-chain unwind during which *several* interceptors
+    /// failed: the first error is preserved, and `suppressed` further
+    /// errors were swallowed so the chain could still unwind completely
+    /// (the run-to-completion discipline never leaves a chain half-wound).
+    Unwind {
+        /// The first error raised during the unwind.
+        first: Box<FrameworkError>,
+        /// How many further interceptor errors were suppressed after
+        /// `first` while the unwind continued.
+        suppressed: u32,
+    },
+}
+
+impl FrameworkError {
+    /// Attaches the count of interceptor errors suppressed during a chain
+    /// unwind to the first error observed. With `suppressed == 0` the
+    /// error passes through unchanged; otherwise it is wrapped in
+    /// [`FrameworkError::Unwind`] so callers can see that more than one
+    /// interceptor failed.
+    #[must_use]
+    pub fn with_suppressed(first: FrameworkError, suppressed: u32) -> FrameworkError {
+        if suppressed == 0 {
+            first
+        } else {
+            FrameworkError::Unwind {
+                first: Box::new(first),
+                suppressed,
+            }
+        }
+    }
 }
 
 impl fmt::Display for FrameworkError {
@@ -42,6 +72,12 @@ impl fmt::Display for FrameworkError {
             FrameworkError::Rejected(report) => {
                 write!(f, "reconfiguration rejected, rolled back:\n{report}")
             }
+            FrameworkError::Unwind { first, suppressed } => {
+                write!(
+                    f,
+                    "{first} ({suppressed} further interceptor error(s) suppressed during unwind)"
+                )
+            }
         }
     }
 }
@@ -50,6 +86,7 @@ impl Error for FrameworkError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FrameworkError::Rtsj(e) => Some(e),
+            FrameworkError::Unwind { first, .. } => Some(first.as_ref()),
             _ => None,
         }
     }
@@ -85,6 +122,24 @@ mod tests {
         let l = FrameworkError::Lifecycle("stopped".into());
         assert!(l.source().is_none());
         assert!(l.to_string().contains("stopped"));
+    }
+
+    #[test]
+    fn suppressed_counts_wrap_the_first_error() {
+        let first = FrameworkError::RunToCompletion("re-entered".into());
+        // Zero suppressed errors: the first error passes through untouched.
+        assert_eq!(
+            FrameworkError::with_suppressed(first.clone(), 0),
+            FrameworkError::RunToCompletion("re-entered".into())
+        );
+        let wrapped = FrameworkError::with_suppressed(first, 2);
+        let FrameworkError::Unwind { suppressed, .. } = &wrapped else {
+            panic!("expected Unwind, got {wrapped}");
+        };
+        assert_eq!(*suppressed, 2);
+        assert!(wrapped.to_string().contains("re-entered"));
+        assert!(wrapped.to_string().contains("2 further interceptor"));
+        assert!(wrapped.source().is_some(), "first error is the source");
     }
 
     #[test]

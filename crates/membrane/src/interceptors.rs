@@ -34,6 +34,12 @@ pub trait Interceptor: Debug + Send {
     /// concrete interceptor installed at runtime.
     fn as_any(&self) -> &dyn std::any::Any;
 
+    /// Owned downcast support: surrenders the interceptor to the plan
+    /// compiler, which flattens known types into [`InterceptStep`] enum
+    /// variants (unknown types stay behind the `Dyn` fallback). Every
+    /// implementation is `fn into_any(self: Box<Self>) -> … { self }`.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send>;
+
     /// Runs before the content invocation.
     ///
     /// # Errors
@@ -95,6 +101,10 @@ impl Interceptor for ActiveInterceptor {
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send> {
         self
     }
 
@@ -173,6 +183,50 @@ impl MemoryPlan {
             outer_on_stack: false,
         }
     }
+
+    /// Compiles this plan's per-invocation **fused gate**: the cross-scope
+    /// pattern selector collapsed into two bits settled at deploy/rebind
+    /// time. When `skip_choreography` holds, the plan *proves* that
+    /// [`MemoryInterceptor::pre`]/[`post`](MemoryInterceptor::post) are
+    /// no-ops (no scope entry, no allocation-context switch, no transient
+    /// scope), so the engine may skip both calls entirely — the same
+    /// design-time-proof-removes-runtime-work idiom as
+    /// `begin_execute_in_area_prechecked`.
+    pub fn fast_gate(&self) -> FastGate {
+        FastGate {
+            skip_choreography: self.transient_scope.is_none()
+                && (self.pattern == PatternKind::Direct || self.needs_copy()),
+            copy: self.needs_copy(),
+        }
+    }
+
+    /// True when the pattern requires the engine to deep-copy the payload
+    /// across the boundary (handoff / immortal-exchange) — the single
+    /// source of the copy decision for both the compiled [`FastGate`] and
+    /// the full interceptor path.
+    pub fn needs_copy(&self) -> bool {
+        matches!(
+            self.pattern,
+            PatternKind::HandoffThroughParent | PatternKind::ImmortalExchange
+        )
+    }
+}
+
+/// A per-binding gate precomputed from the binding's [`MemoryPlan`] when
+/// the membrane plan is compiled (deploy/rebind time, never per call).
+///
+/// The engine checks it in a single pass before a synchronous call: when
+/// `skip_choreography` is set the memory interceptor's `pre`/`post` are
+/// provably no-ops and both calls are elided from the hot path; `copy`
+/// carries the (equally static) payload-copy decision so the fast path
+/// never consults the interceptor at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastGate {
+    /// Plan-time proof that `pre`/`post` perform no scope choreography.
+    pub skip_choreography: bool,
+    /// The engine must deep-copy the payload across the boundary
+    /// (handoff / immortal-exchange patterns).
+    pub copy: bool,
 }
 
 /// Executes the cross-scope pattern around each invocation (§4.1's
@@ -200,12 +254,17 @@ impl MemoryInterceptor {
         self.crossings
     }
 
+    /// Counts a boundary crossing executed by the engine's fused fast
+    /// path, which skips `pre`/`post` entirely when the compiled
+    /// [`FastGate`] proves them no-ops — the introspection counter stays
+    /// truthful without the calls.
+    pub fn record_crossing(&mut self) {
+        self.crossings += 1;
+    }
+
     /// True when the engine must deep-copy the payload (handoff pattern).
     pub fn needs_copy(&self) -> bool {
-        matches!(
-            self.plan.pattern,
-            PatternKind::HandoffThroughParent | PatternKind::ImmortalExchange
-        )
+        self.plan.needs_copy()
     }
 }
 
@@ -215,6 +274,10 @@ impl Interceptor for MemoryInterceptor {
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send> {
         self
     }
 
@@ -318,6 +381,10 @@ impl Interceptor for JitterMonitor {
         self
     }
 
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send> {
+        self
+    }
+
     fn pre(
         &mut self,
         _mm: &mut MemoryManager,
@@ -337,6 +404,139 @@ impl Interceptor for JitterMonitor {
         _ctx: &mut MemoryContext,
     ) -> Result<(), FrameworkError> {
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// InterceptStep — the compiled interceptor plan
+// ---------------------------------------------------------------------------
+
+/// One step of a membrane's **compiled interceptor plan**.
+///
+/// At build/rebind time the membrane flattens its interceptor chain into a
+/// dense array of these steps: the framework's own interceptors become
+/// plain enum variants dispatched by a branch-predictable `match`, so no
+/// `Box<dyn Interceptor>` virtual call remains on the steady-state invoke
+/// path. Interceptors the compiler does not recognize keep exactly the old
+/// dynamic behavior behind the [`Dyn`](InterceptStep::Dyn) fallback — the
+/// open-ended extension point the paper's membranes promise.
+#[derive(Debug)]
+pub enum InterceptStep {
+    /// A compiled run-to-completion guard.
+    Active(ActiveInterceptor),
+    /// A compiled cross-scope pattern executor.
+    Memory(MemoryInterceptor),
+    /// A compiled jitter monitor.
+    Jitter(JitterMonitor),
+    /// An interceptor unknown to the plan compiler: dynamic dispatch, the
+    /// pre-flattening price.
+    Dyn(Box<dyn Interceptor>),
+}
+
+impl InterceptStep {
+    /// Compiles a boxed interceptor into its flattened step: known types
+    /// are unboxed into enum variants, anything else falls back to
+    /// [`InterceptStep::Dyn`].
+    pub fn compile(interceptor: Box<dyn Interceptor>) -> InterceptStep {
+        if interceptor.as_any().is::<ActiveInterceptor>() {
+            let a = interceptor
+                .into_any()
+                .downcast::<ActiveInterceptor>()
+                .expect("type checked above");
+            return InterceptStep::Active(*a);
+        }
+        if interceptor.as_any().is::<MemoryInterceptor>() {
+            let m = interceptor
+                .into_any()
+                .downcast::<MemoryInterceptor>()
+                .expect("type checked above");
+            return InterceptStep::Memory(*m);
+        }
+        if interceptor.as_any().is::<JitterMonitor>() {
+            let j = interceptor
+                .into_any()
+                .downcast::<JitterMonitor>()
+                .expect("type checked above");
+            return InterceptStep::Jitter(*j);
+        }
+        InterceptStep::Dyn(interceptor)
+    }
+
+    /// The step's interceptor name (same names as the dynamic chain).
+    pub fn name(&self) -> &str {
+        match self {
+            InterceptStep::Active(a) => a.name(),
+            InterceptStep::Memory(m) => m.name(),
+            InterceptStep::Jitter(j) => j.name(),
+            InterceptStep::Dyn(d) => d.name(),
+        }
+    }
+
+    /// True when the step dispatches without a virtual call (every variant
+    /// except the `Dyn` fallback).
+    pub fn is_compiled(&self) -> bool {
+        !matches!(self, InterceptStep::Dyn(_))
+    }
+
+    /// The step viewed as an interceptor (introspection / downcasting).
+    pub fn as_interceptor(&self) -> &dyn Interceptor {
+        match self {
+            InterceptStep::Active(a) => a,
+            InterceptStep::Memory(m) => m,
+            InterceptStep::Jitter(j) => j,
+            InterceptStep::Dyn(d) => d.as_ref(),
+        }
+    }
+
+    /// Runs the step's pre-invocation action (match dispatch; direct,
+    /// inlinable calls for compiled variants).
+    ///
+    /// # Errors
+    ///
+    /// The underlying interceptor's error.
+    pub fn pre(
+        &mut self,
+        mm: &mut MemoryManager,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        match self {
+            InterceptStep::Active(a) => a.pre(mm, ctx),
+            InterceptStep::Memory(m) => m.pre(mm, ctx),
+            InterceptStep::Jitter(j) => j.pre(mm, ctx),
+            InterceptStep::Dyn(d) => d.pre(mm, ctx),
+        }
+    }
+
+    /// Runs the step's post-invocation action (match dispatch).
+    ///
+    /// # Errors
+    ///
+    /// The underlying interceptor's error.
+    pub fn post(
+        &mut self,
+        mm: &mut MemoryManager,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        match self {
+            InterceptStep::Active(a) => a.post(mm, ctx),
+            InterceptStep::Memory(m) => m.post(mm, ctx),
+            InterceptStep::Jitter(j) => j.post(mm, ctx),
+            InterceptStep::Dyn(d) => d.post(mm, ctx),
+        }
+    }
+
+    /// Estimated bytes of step machinery (Fig. 7(c) accounting): the enum
+    /// slot plus any heap the variant owns.
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + match self {
+                InterceptStep::Active(_) => 0,
+                InterceptStep::Memory(m) => {
+                    m.plan().enter_path.capacity() * std::mem::size_of::<AreaId>()
+                }
+                InterceptStep::Jitter(j) => std::mem::size_of_val(j.gaps_ns()),
+                InterceptStep::Dyn(d) => d.footprint_bytes(),
+            }
     }
 }
 
@@ -483,6 +683,108 @@ mod tests {
         mi.post(&mut mm, &mut ctx).unwrap();
         assert_eq!(mm.stats(temp).unwrap().consumed, 0, "temporaries reclaimed");
         assert_eq!(mm.stats(temp).unwrap().reclaim_count, 1);
+    }
+
+    #[test]
+    fn known_interceptors_compile_to_flat_steps() {
+        let steps = [
+            InterceptStep::compile(Box::new(ActiveInterceptor::new())),
+            InterceptStep::compile(Box::new(MemoryInterceptor::new(MemoryPlan::direct(
+                AreaId::HEAP,
+            )))),
+            InterceptStep::compile(Box::new(JitterMonitor::new())),
+        ];
+        assert!(steps.iter().all(InterceptStep::is_compiled));
+        assert_eq!(
+            steps.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            vec!["active-interceptor", "memory-interceptor", "jitter-monitor"]
+        );
+        // Introspection still reaches the concrete type through the step.
+        assert!(steps[0]
+            .as_interceptor()
+            .as_any()
+            .downcast_ref::<ActiveInterceptor>()
+            .is_some());
+
+        // An unknown type stays dynamic — and keeps working.
+        #[derive(Debug)]
+        struct Opaque;
+        impl Interceptor for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send> {
+                self
+            }
+            fn pre(
+                &mut self,
+                _mm: &mut MemoryManager,
+                _ctx: &mut MemoryContext,
+            ) -> Result<(), FrameworkError> {
+                Ok(())
+            }
+            fn post(
+                &mut self,
+                _mm: &mut MemoryManager,
+                _ctx: &mut MemoryContext,
+            ) -> Result<(), FrameworkError> {
+                Ok(())
+            }
+        }
+        let mut dynamic = InterceptStep::compile(Box::new(Opaque));
+        assert!(!dynamic.is_compiled());
+        assert_eq!(dynamic.name(), "opaque");
+        let mut mm = MemoryManager::default();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        dynamic.pre(&mut mm, &mut ctx).unwrap();
+        dynamic.post(&mut mm, &mut ctx).unwrap();
+        assert!(dynamic.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn compiled_step_behaves_like_the_interceptor_it_flattens() {
+        let mut mm = MemoryManager::default();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let mut step = InterceptStep::compile(Box::new(ActiveInterceptor::new()));
+        step.pre(&mut mm, &mut ctx).unwrap();
+        let err = step.pre(&mut mm, &mut ctx).unwrap_err();
+        assert!(matches!(err, FrameworkError::RunToCompletion(_)));
+        step.post(&mut mm, &mut ctx).unwrap();
+        step.pre(&mut mm, &mut ctx).unwrap();
+        let InterceptStep::Active(a) = &step else {
+            panic!("ActiveInterceptor must compile to the Active variant");
+        };
+        assert_eq!(a.activations(), 2);
+    }
+
+    #[test]
+    fn fast_gate_mirrors_the_plan() {
+        // Direct, no transient scope: pre/post provably no-ops.
+        let direct = MemoryPlan::direct(AreaId::HEAP).fast_gate();
+        assert!(direct.skip_choreography && !direct.copy);
+        // Copy patterns skip choreography but demand the payload copy.
+        let handoff = MemoryPlan {
+            pattern: PatternKind::HandoffThroughParent,
+            server_area: AreaId::IMMORTAL,
+            enter_path: Vec::new(),
+            transient_scope: None,
+            outer_on_stack: false,
+        }
+        .fast_gate();
+        assert!(handoff.skip_choreography && handoff.copy);
+        // Scope choreography keeps the full interceptor on the path.
+        let enter = MemoryPlan::enter_inner(AreaId::HEAP, vec![AreaId::HEAP]).fast_gate();
+        assert!(!enter.skip_choreography);
+        // A transient scope always needs pre/post, whatever the pattern.
+        let transient = MemoryPlan {
+            transient_scope: Some(AreaId::IMMORTAL),
+            ..MemoryPlan::direct(AreaId::HEAP)
+        }
+        .fast_gate();
+        assert!(!transient.skip_choreography);
     }
 
     #[test]

@@ -17,6 +17,27 @@
 //! * [`Membrane`] — the per-component assembly of the above, as reified in
 //!   the SOLEIL generation mode (MERGE-ALL inlines this logic; ULTRA-MERGE
 //!   compiles it away — see `soleil-generator`).
+//!
+//! ## Compiled membranes
+//!
+//! The membrane's *structure* stays dynamic — interceptors can be pushed
+//! and removed on a live component — but its *execution* is compiled. At
+//! every structural change the chain is flattened into a [`CompiledChain`]:
+//! a dense array of [`interceptors::InterceptStep`] enum variants executed
+//! by a branch-predictable `match` loop, so no `Box<dyn Interceptor>`
+//! virtual call remains on the steady-state invoke path (unknown
+//! interceptor types fall back to a `Dyn` step and keep the old dynamic
+//! behavior). The overwhelmingly common deployed shape — a lifecycle gate
+//! plus one run-to-completion guard — is fused further
+//! ([`ChainFusion::FusedActive`]): `pre_invoke`/`post_invoke` collapse to a
+//! single pass with no chain walk at all. The same idea gates each
+//! *binding*: a [`interceptors::FastGate`] precomputed from the binding's
+//! [`interceptors::MemoryPlan`] lets the engine skip the memory
+//! interceptor's `pre`/`post` entirely when the plan proves them no-ops —
+//! decide at deploy time, run straight-line code at tick time, exactly the
+//! erasable-framework claim the MERGE modes exist to demonstrate.
+//! `push_interceptor`/`remove_interceptor` remain the cold reconfiguration
+//! API; each call simply recompiles the plan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,14 +53,78 @@ pub use error::FrameworkError;
 use rtsj::memory::{MemoryContext, MemoryManager};
 
 use controllers::{BindingController, LifecycleController};
-use interceptors::Interceptor;
+use interceptors::{InterceptStep, Interceptor};
+
+/// How a [`CompiledChain`] executes the pre/post protocol — settled when
+/// the plan is compiled, never per invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChainFusion {
+    /// No interceptors: pre/post are the lifecycle gate alone.
+    #[default]
+    Empty,
+    /// Exactly one [`interceptors::ActiveInterceptor`]: the lifecycle bit
+    /// and the re-entrancy guard fuse into a single pass with no chain
+    /// walk — the common deployed case.
+    FusedActive,
+    /// The general compiled walk: a `match` loop over the step array.
+    Walk,
+}
+
+/// The deploy-time compiled form of a membrane's interceptor chain: a flat
+/// [`InterceptStep`] array plus the fusion decision. Built by
+/// [`Membrane::push_interceptor`]/[`push_step`](Membrane::push_step) and
+/// recompiled on every structural change (the cold reconfiguration path).
+#[derive(Debug, Default)]
+pub struct CompiledChain {
+    steps: Vec<InterceptStep>,
+    fusion: ChainFusion,
+}
+
+impl CompiledChain {
+    /// Recomputes the fusion decision from the current step array.
+    fn recompile(&mut self) {
+        self.fusion = match self.steps.as_slice() {
+            [] => ChainFusion::Empty,
+            [InterceptStep::Active(_)] => ChainFusion::FusedActive,
+            _ => ChainFusion::Walk,
+        };
+    }
+
+    /// The compiled fusion decision.
+    pub fn fusion(&self) -> ChainFusion {
+        self.fusion
+    }
+
+    /// Number of steps in the plan.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the plan has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The compiled steps, in chain order.
+    pub fn steps(&self) -> &[InterceptStep] {
+        &self.steps
+    }
+
+    /// True when every step dispatches without a virtual call — the
+    /// property the steady-state invoke path is gated on (only the `Dyn`
+    /// fallback for unknown interceptor types breaks it).
+    pub fn is_fully_compiled(&self) -> bool {
+        self.steps.iter().all(InterceptStep::is_compiled)
+    }
+}
 
 /// The reified control membrane of one component (SOLEIL mode).
 ///
 /// Holds the mandatory controllers plus the interceptor chain that runs
-/// around every server-interface invocation. The structure is deliberately
-/// dynamic (trait objects, name-keyed binding table): that is exactly the
-/// price the paper measures against MERGE-ALL and ULTRA-MERGE.
+/// around every server-interface invocation. The structure is dynamic — a
+/// name-keyed binding table, interceptors installable at runtime — but the
+/// chain executes through a deploy-time [`CompiledChain`]; see the
+/// [crate docs](self) on compiled membranes.
 #[derive(Debug)]
 pub struct Membrane {
     /// The wrapped component's name.
@@ -48,7 +133,7 @@ pub struct Membrane {
     pub lifecycle: LifecycleController,
     /// Name-keyed client-interface binding table.
     pub binding: BindingController,
-    interceptors: Vec<Box<dyn Interceptor>>,
+    chain: CompiledChain,
 }
 
 impl Membrane {
@@ -58,55 +143,85 @@ impl Membrane {
             component: component.into(),
             lifecycle: LifecycleController::new(),
             binding: BindingController::new(),
-            interceptors: Vec::new(),
+            chain: CompiledChain::default(),
         }
     }
 
     /// Appends an interceptor to the chain (pre runs in insertion order,
-    /// post in reverse).
+    /// post in reverse), compiling it into its flattened step and
+    /// recompiling the plan — the cold reconfiguration API.
     pub fn push_interceptor(&mut self, interceptor: Box<dyn Interceptor>) {
-        self.interceptors.push(interceptor);
+        self.push_step(InterceptStep::compile(interceptor));
+    }
+
+    /// Appends an already-compiled step (deploy-time construction and the
+    /// reconfiguration journal's rollback path).
+    pub fn push_step(&mut self, step: InterceptStep) {
+        self.chain.steps.push(step);
+        self.chain.recompile();
+    }
+
+    /// Splices a step back at `index` in the chain — the rollback half of
+    /// a journaled [`take_interceptor`](Self::take_interceptor): the plan
+    /// recompiles to exactly its pre-removal form, state included.
+    ///
+    /// # Panics
+    ///
+    /// When `index` exceeds the chain length.
+    pub fn insert_step(&mut self, index: usize, step: InterceptStep) {
+        self.chain.steps.insert(index, step);
+        self.chain.recompile();
+    }
+
+    /// The compiled interceptor plan (introspection; the unit the
+    /// steady-state no-virtual-calls property is asserted on).
+    pub fn plan(&self) -> &CompiledChain {
+        &self.chain
     }
 
     /// Names of the installed interceptors, in chain order (introspection).
     pub fn interceptor_names(&self) -> Vec<&str> {
-        self.interceptors.iter().map(|i| i.name()).collect()
+        self.chain.steps.iter().map(|s| s.name()).collect()
     }
 
     /// The first interceptor with the given name, for downcasting
     /// (membrane-level introspection).
     pub fn interceptor(&self, name: &str) -> Option<&dyn Interceptor> {
-        self.interceptors
+        self.chain
+            .steps
             .iter()
-            .find(|i| i.name() == name)
-            .map(|b| b.as_ref())
+            .find(|s| s.name() == name)
+            .map(|s| s.as_interceptor())
     }
 
     /// Removes the first interceptor with the given name; true when one was
-    /// removed (membrane-level reconfiguration).
+    /// removed (membrane-level reconfiguration; recompiles the plan).
     pub fn remove_interceptor(&mut self, name: &str) -> bool {
-        let before = self.interceptors.len();
-        let mut removed = false;
-        self.interceptors.retain(|i| {
-            if !removed && i.name() == name {
-                removed = true;
-                false
-            } else {
-                true
-            }
-        });
-        self.interceptors.len() != before
+        self.take_interceptor(name).is_some()
+    }
+
+    /// Removes and returns the first step with the given name together
+    /// with its chain position, so a reconfiguration journal can restore
+    /// the plan byte-identically on rollback (recompiles the plan).
+    pub fn take_interceptor(&mut self, name: &str) -> Option<(usize, InterceptStep)> {
+        let ix = self.chain.steps.iter().position(|s| s.name() == name)?;
+        let step = self.chain.steps.remove(ix);
+        self.chain.recompile();
+        Some((ix, step))
     }
 
     /// Number of control units (controllers + interceptors) in this
     /// membrane — the §5.2 "generated units" metric counts these.
     pub fn control_unit_count(&self) -> usize {
-        2 + self.interceptors.len()
+        2 + self.chain.len()
     }
 
-    /// Runs the pre-invocation chain: lifecycle gate, then every
-    /// interceptor's `pre` in order. On failure, already-executed
-    /// interceptors are unwound via their `post`.
+    /// Runs the pre-invocation protocol: lifecycle gate, then the compiled
+    /// plan. The fused shapes skip the chain walk entirely; the general
+    /// walk dispatches each step through a `match`. On failure,
+    /// already-executed steps are unwound via their `post`; if any unwind
+    /// `post` fails too, the count of suppressed errors is attached to the
+    /// returned error ([`FrameworkError::Unwind`]).
     ///
     /// # Errors
     ///
@@ -118,51 +233,87 @@ impl Membrane {
         ctx: &mut MemoryContext,
     ) -> Result<(), FrameworkError> {
         self.lifecycle.assert_started(&self.component)?;
-        for i in 0..self.interceptors.len() {
-            if let Err(e) = self.interceptors[i].pre(mm, ctx) {
+        match self.chain.fusion() {
+            ChainFusion::Empty => Ok(()),
+            ChainFusion::FusedActive => match self.chain.steps.first_mut() {
+                Some(InterceptStep::Active(a)) => a.pre(mm, ctx),
+                _ => unreachable!("FusedActive proves a single Active step"),
+            },
+            ChainFusion::Walk => self.pre_walk(mm, ctx),
+        }
+    }
+
+    fn pre_walk(
+        &mut self,
+        mm: &mut MemoryManager,
+        ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        for i in 0..self.chain.steps.len() {
+            if let Err(e) = self.chain.steps[i].pre(mm, ctx) {
+                let mut suppressed = 0u32;
                 for j in (0..i).rev() {
-                    let _ = self.interceptors[j].post(mm, ctx);
+                    if self.chain.steps[j].post(mm, ctx).is_err() {
+                        suppressed += 1;
+                    }
                 }
-                return Err(e);
+                return Err(FrameworkError::with_suppressed(e, suppressed));
             }
         }
         Ok(())
     }
 
-    /// Runs the post-invocation chain (reverse order). The first error is
-    /// reported but the chain still unwinds completely.
+    /// Runs the post-invocation protocol (reverse order). The chain always
+    /// unwinds completely; the first error is reported, with the count of
+    /// any further suppressed errors attached
+    /// ([`FrameworkError::Unwind`]).
     ///
     /// # Errors
     ///
-    /// The first interceptor error encountered.
+    /// The first interceptor error encountered (wrapping the suppressed
+    /// count when later steps failed too).
     pub fn post_invoke(
         &mut self,
         mm: &mut MemoryManager,
         ctx: &mut MemoryContext,
     ) -> Result<(), FrameworkError> {
-        let mut first_err = None;
-        for i in (0..self.interceptors.len()).rev() {
-            if let Err(e) = self.interceptors[i].post(mm, ctx) {
-                first_err.get_or_insert(e);
+        match self.chain.fusion() {
+            ChainFusion::Empty => Ok(()),
+            ChainFusion::FusedActive => match self.chain.steps.first_mut() {
+                Some(InterceptStep::Active(a)) => a.post(mm, ctx),
+                _ => unreachable!("FusedActive proves a single Active step"),
+            },
+            ChainFusion::Walk => {
+                let mut first_err = None;
+                let mut suppressed = 0u32;
+                for i in (0..self.chain.steps.len()).rev() {
+                    if let Err(e) = self.chain.steps[i].post(mm, ctx) {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        } else {
+                            suppressed += 1;
+                        }
+                    }
+                }
+                match first_err {
+                    Some(e) => Err(FrameworkError::with_suppressed(e, suppressed)),
+                    None => Ok(()),
+                }
             }
-        }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
         }
     }
 
     /// Estimated bytes of membrane machinery, charged as framework overhead
     /// in the Fig. 7(c) experiment: controller structs, the binding table
-    /// and every interceptor.
+    /// and every compiled step.
     pub fn footprint_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.component.capacity()
             + self.binding.footprint_bytes()
             + self
-                .interceptors
+                .chain
+                .steps
                 .iter()
-                .map(|i| i.footprint_bytes() + std::mem::size_of::<Box<dyn Interceptor>>())
+                .map(InterceptStep::footprint_bytes)
                 .sum::<usize>()
     }
 }
@@ -170,7 +321,7 @@ impl Membrane {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use interceptors::ActiveInterceptor;
+    use interceptors::{ActiveInterceptor, JitterMonitor};
     use rtsj::thread::ThreadKind;
 
     #[test]
@@ -217,5 +368,199 @@ mod tests {
         assert_eq!(m.control_unit_count(), 3);
         assert_eq!(m.interceptor_names(), vec!["active-interceptor"]);
         assert!(m.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn plan_compiles_and_fuses_by_shape() {
+        let mut m = Membrane::new("c");
+        assert_eq!(m.plan().fusion(), ChainFusion::Empty);
+        assert!(m.plan().is_fully_compiled());
+
+        m.push_interceptor(Box::new(ActiveInterceptor::new()));
+        assert_eq!(m.plan().fusion(), ChainFusion::FusedActive);
+        assert!(m.plan().is_fully_compiled(), "Active flattens to a step");
+
+        m.push_interceptor(Box::new(JitterMonitor::new()));
+        assert_eq!(m.plan().fusion(), ChainFusion::Walk);
+        assert!(m.plan().is_fully_compiled(), "Jitter flattens too");
+        assert_eq!(m.plan().len(), 2);
+
+        // Removing recompiles back down to the fused shape.
+        assert!(m.remove_interceptor("jitter-monitor"));
+        assert_eq!(m.plan().fusion(), ChainFusion::FusedActive);
+    }
+
+    /// The acceptance property of the compiled plan: known interceptors
+    /// leave no virtual dispatch on the invoke path, and an unknown one is
+    /// visible as the `Dyn` fallback.
+    #[test]
+    fn unknown_interceptors_fall_back_to_dyn_steps() {
+        #[derive(Debug)]
+        struct Opaque;
+        impl Interceptor for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send> {
+                self
+            }
+            fn pre(
+                &mut self,
+                _mm: &mut MemoryManager,
+                _ctx: &mut MemoryContext,
+            ) -> Result<(), FrameworkError> {
+                Ok(())
+            }
+            fn post(
+                &mut self,
+                _mm: &mut MemoryManager,
+                _ctx: &mut MemoryContext,
+            ) -> Result<(), FrameworkError> {
+                Ok(())
+            }
+        }
+        let mut m = Membrane::new("c");
+        m.lifecycle.start();
+        m.push_interceptor(Box::new(ActiveInterceptor::new()));
+        m.push_interceptor(Box::new(Opaque));
+        assert!(!m.plan().is_fully_compiled());
+        assert_eq!(m.plan().fusion(), ChainFusion::Walk);
+        let mut mm = MemoryManager::default();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        m.pre_invoke(&mut mm, &mut ctx).unwrap();
+        m.post_invoke(&mut mm, &mut ctx).unwrap();
+        assert_eq!(m.interceptor_names(), vec!["active-interceptor", "opaque"]);
+    }
+
+    #[test]
+    fn take_and_insert_restore_the_plan_byte_identically() {
+        let mut mm = MemoryManager::default();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let mut m = Membrane::new("c");
+        m.lifecycle.start();
+        m.push_interceptor(Box::new(ActiveInterceptor::new()));
+        m.push_interceptor(Box::new(JitterMonitor::new()));
+        for _ in 0..3 {
+            m.pre_invoke(&mut mm, &mut ctx).unwrap();
+            m.post_invoke(&mut mm, &mut ctx).unwrap();
+        }
+        let gaps_before = m
+            .interceptor("jitter-monitor")
+            .and_then(|i| i.as_any().downcast_ref::<JitterMonitor>())
+            .map(|j| j.gaps_ns().len())
+            .unwrap();
+        assert_eq!(gaps_before, 2);
+
+        let (ix, step) = m.take_interceptor("jitter-monitor").unwrap();
+        assert_eq!(ix, 1);
+        assert_eq!(m.plan().fusion(), ChainFusion::FusedActive);
+        // Rollback: splice the very step back — position and state intact.
+        m.insert_step(ix, step);
+        assert_eq!(m.plan().fusion(), ChainFusion::Walk);
+        assert_eq!(
+            m.interceptor_names(),
+            vec!["active-interceptor", "jitter-monitor"]
+        );
+        let gaps_after = m
+            .interceptor("jitter-monitor")
+            .and_then(|i| i.as_any().downcast_ref::<JitterMonitor>())
+            .map(|j| j.gaps_ns().len())
+            .unwrap();
+        assert_eq!(gaps_after, gaps_before, "monitor state survived the cycle");
+    }
+
+    /// Satellite: when several interceptors fail in one unwind, the first
+    /// error survives and the suppressed count is attached — both on the
+    /// reverse post walk and on the partial unwind of a failed pre.
+    #[test]
+    fn suppressed_unwind_errors_are_counted() {
+        #[derive(Debug)]
+        struct Failing {
+            fail_pre: bool,
+            label: &'static str,
+        }
+        impl Interceptor for Failing {
+            fn name(&self) -> &str {
+                self.label
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send> {
+                self
+            }
+            fn pre(
+                &mut self,
+                _mm: &mut MemoryManager,
+                _ctx: &mut MemoryContext,
+            ) -> Result<(), FrameworkError> {
+                if self.fail_pre {
+                    Err(FrameworkError::Content(format!(
+                        "{} pre failed",
+                        self.label
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            fn post(
+                &mut self,
+                _mm: &mut MemoryManager,
+                _ctx: &mut MemoryContext,
+            ) -> Result<(), FrameworkError> {
+                Err(FrameworkError::Content(format!(
+                    "{} post failed",
+                    self.label
+                )))
+            }
+        }
+
+        // Two failing posts: the reverse walk reports the *last* step's
+        // error first (it unwinds in reverse) and counts the other.
+        let mut mm = MemoryManager::default();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let mut m = Membrane::new("c");
+        m.lifecycle.start();
+        m.push_interceptor(Box::new(Failing {
+            fail_pre: false,
+            label: "f1",
+        }));
+        m.push_interceptor(Box::new(Failing {
+            fail_pre: false,
+            label: "f2",
+        }));
+        m.pre_invoke(&mut mm, &mut ctx).unwrap();
+        let err = m.post_invoke(&mut mm, &mut ctx).unwrap_err();
+        let FrameworkError::Unwind { first, suppressed } = &err else {
+            panic!("expected Unwind, got {err}");
+        };
+        assert_eq!(*suppressed, 1, "one further post error suppressed");
+        assert!(first.to_string().contains("f2 post failed"));
+
+        // Partial unwind of a failed pre: steps before the failing one are
+        // unwound via post; their failures are counted, the pre error wins.
+        let mut m = Membrane::new("c");
+        m.lifecycle.start();
+        m.push_interceptor(Box::new(Failing {
+            fail_pre: false,
+            label: "g1",
+        }));
+        m.push_interceptor(Box::new(Failing {
+            fail_pre: false,
+            label: "g2",
+        }));
+        m.push_interceptor(Box::new(Failing {
+            fail_pre: true,
+            label: "g3",
+        }));
+        let err = m.pre_invoke(&mut mm, &mut ctx).unwrap_err();
+        let FrameworkError::Unwind { first, suppressed } = &err else {
+            panic!("expected Unwind, got {err}");
+        };
+        assert_eq!(*suppressed, 2, "both unwind posts failed and were counted");
+        assert!(first.to_string().contains("g3 pre failed"));
     }
 }

@@ -160,23 +160,65 @@ impl<T: Send> SpscProducer<T> {
     }
 }
 
-impl<T: Send> SpscConsumer<T> {
-    /// Dequeues the oldest message, if any. Never blocks on the producer.
-    pub fn pop(&mut self) -> Option<T> {
-        let head = self.shared.head.load(Ordering::Relaxed);
-        let tail = self.shared.tail.load(Ordering::Acquire);
-        if head == tail {
+/// A batched drain of the ring: the producer's published `tail` is
+/// snapshotted **once** when the batch is created, and the iterator pops
+/// exactly the run of messages visible at that point — amortizing the
+/// `Acquire` load over the whole run instead of paying it per message.
+/// Messages published during the batch are left for the next pass (the
+/// caller's drain loop re-snapshots). Each pop still publishes `head` with
+/// `Release` immediately, so producer backpressure sees freed slots
+/// without waiting for the batch to finish.
+#[derive(Debug)]
+pub struct SpscDrain<'a, T> {
+    consumer: &'a mut SpscConsumer<T>,
+    tail: usize,
+}
+
+impl<T: Send> Iterator for SpscDrain<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        let head = self.consumer.shared.head.load(Ordering::Relaxed);
+        if head == self.tail {
             return None;
         }
-        let slot = &self.shared.slots[head & self.shared.mask];
+        let slot = &self.consumer.shared.slots[head & self.consumer.shared.mask];
         let value = slot
             .try_lock()
             .expect("spsc protocol: consumer slot busy")
             .take();
         debug_assert!(value.is_some(), "published spsc slot was empty");
-        self.shared.head.store(head + 1, Ordering::Release);
-        self.popped += 1;
+        self.consumer.shared.head.store(head + 1, Ordering::Release);
+        self.consumer.popped += 1;
         value
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let head = self.consumer.shared.head.load(Ordering::Relaxed);
+        let remaining = self.tail - head;
+        (remaining, Some(remaining))
+    }
+}
+
+impl<T: Send> SpscConsumer<T> {
+    /// Dequeues the oldest message, if any. Never blocks on the producer.
+    /// A batch of one: same snapshot/pop protocol as [`drain_batch`],
+    /// single implementation.
+    ///
+    /// [`drain_batch`]: Self::drain_batch
+    pub fn pop(&mut self) -> Option<T> {
+        self.drain_batch().next()
+    }
+
+    /// Begins a batched drain: one `Acquire` snapshot of the producer's
+    /// published tail, then wait-free pops of the whole visible run — the
+    /// carrier-side half of the parallel runtime's batched ring drains.
+    pub fn drain_batch(&mut self) -> SpscDrain<'_, T> {
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        SpscDrain {
+            consumer: self,
+            tail,
+        }
     }
 
     /// True when no message is visible to the consumer.
@@ -296,6 +338,65 @@ mod tests {
             }
             assert_eq!(rx.pop(), None);
         });
+    }
+
+    #[test]
+    fn drain_batch_pops_only_the_snapshot_run() {
+        let (mut tx, mut rx) = spsc_ring::<u32>(8).unwrap();
+        for i in 0..3 {
+            assert_eq!(tx.push(i), PushOutcome::Accepted);
+        }
+        {
+            let mut batch = rx.drain_batch();
+            assert_eq!(batch.size_hint(), (3, Some(3)));
+            assert_eq!(batch.next(), Some(0));
+            // Published *during* the batch: invisible until the next snapshot.
+            assert_eq!(tx.push(99), PushOutcome::Accepted);
+            assert_eq!(batch.next(), Some(1));
+            assert_eq!(batch.next(), Some(2));
+            assert_eq!(batch.next(), None, "batch is bounded by its snapshot");
+        }
+        assert_eq!(rx.drain_batch().collect::<Vec<_>>(), vec![99]);
+        assert_eq!(rx.popped(), 4);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn drain_batch_frees_slots_for_the_producer_mid_batch() {
+        // Capacity 2: the producer is blocked until the batch pops one —
+        // head publication is per message, not per batch.
+        let (mut tx, mut rx) = spsc_ring::<u8>(2).unwrap();
+        assert_eq!(tx.push(1), PushOutcome::Accepted);
+        assert_eq!(tx.push(2), PushOutcome::Accepted);
+        assert_eq!(tx.push(3), PushOutcome::Rejected);
+        {
+            let mut batch = rx.drain_batch();
+            assert_eq!(batch.next(), Some(1));
+            assert_eq!(
+                tx.push(3),
+                PushOutcome::Accepted,
+                "slot freed by the in-flight batch"
+            );
+            assert_eq!(batch.next(), Some(2));
+            assert_eq!(batch.next(), None);
+        }
+        assert_eq!(rx.pop(), Some(3));
+    }
+
+    #[test]
+    fn drain_batch_interleaves_with_wraparound() {
+        let (mut tx, mut rx) = spsc_ring::<u64>(3).unwrap();
+        let mut expected = 0u64;
+        for round in 0..400u64 {
+            assert_eq!(tx.push(2 * round), PushOutcome::Accepted);
+            assert_eq!(tx.push(2 * round + 1), PushOutcome::Accepted);
+            for v in rx.drain_batch() {
+                assert_eq!(v, expected, "batched pops preserve FIFO");
+                expected += 1;
+            }
+        }
+        assert_eq!(expected, 800);
+        assert!(rx.is_empty());
     }
 
     #[test]

@@ -34,6 +34,7 @@ use soleil_core::model::{ComponentId, ComponentKind, Protocol};
 use soleil_core::validate::validate;
 use soleil_core::Architecture;
 use soleil_membrane::content::{ContentRegistry, Payload};
+use soleil_membrane::interceptors::InterceptStep;
 use soleil_membrane::FrameworkError;
 
 use crate::footprint::FootprintReport;
@@ -321,7 +322,7 @@ impl<P: Payload> Deployment<P> {
         component: ComponentRef,
     ) -> Result<(), FrameworkError> {
         let slot = self.slot(component)?;
-        self.system.enable_jitter_at(slot)
+        self.system.enable_jitter_at(slot).map(|_| ())
     }
 
     /// Removes a previously installed jitter monitor; true when one was
@@ -423,6 +424,17 @@ enum Undo {
         comp: ComponentId,
         old_domain_id: Option<ComponentId>,
         new_domain_id: ComponentId,
+    },
+    /// Undo of an interceptor installation: remove it again (the
+    /// membrane's compiled plan recompiles back to its old form).
+    RemoveInterceptor { slot: usize, name: &'static str },
+    /// Undo of an interceptor removal: splice the taken step — state
+    /// included — back at its old chain position, restoring the compiled
+    /// plan byte-identically.
+    InstallStep {
+        slot: usize,
+        index: usize,
+        step: InterceptStep,
     },
 }
 
@@ -650,6 +662,56 @@ impl<P: Payload> Reconfiguration<'_, P> {
         Ok(())
     }
 
+    /// Installs a [`JitterMonitor`](soleil_membrane::interceptors::JitterMonitor)
+    /// in a live component's membrane (SOLEIL only), recompiling its
+    /// interceptor plan; journaled, so rollback removes it again. A no-op
+    /// when a monitor is already installed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Unsupported`] in the merged modes,
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn install_jitter_monitor(
+        &mut self,
+        component: ComponentRef,
+    ) -> Result<(), FrameworkError> {
+        let slot = self.dep.slot(component)?;
+        if self.dep.system.enable_jitter_at(slot)? {
+            self.journal.push(Undo::RemoveInterceptor {
+                slot,
+                name: "jitter-monitor",
+            });
+        }
+        Ok(())
+    }
+
+    /// Removes a jitter monitor from a live membrane (SOLEIL only); true
+    /// when one was removed. Journaled: rollback splices the exact step —
+    /// recorded observations included — back at its old chain position, so
+    /// a rejected transaction restores the compiled plan byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Unsupported`] in the merged modes,
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn remove_jitter_monitor(
+        &mut self,
+        component: ComponentRef,
+    ) -> Result<bool, FrameworkError> {
+        let slot = self.dep.slot(component)?;
+        match self
+            .dep
+            .system
+            .take_interceptor_at(slot, "jitter-monitor")?
+        {
+            Some((index, step)) => {
+                self.journal.push(Undo::InstallStep { slot, index, step });
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     /// Replays the journal in reverse, restoring engine and architecture.
     /// Each undo reverses an operation that succeeded against a state that
     /// was valid, so failures here are framework bugs — surfaced loudly.
@@ -687,6 +749,23 @@ impl<P: Payload> Reconfiguration<'_, P> {
                         .arch
                         .bind(client_id, &port, old_server_id, &old_server_if, protocol)
                         .expect("rollback restore of the pre-transaction binding");
+                }
+                Undo::RemoveInterceptor { slot, name } => {
+                    let removed = self
+                        .dep
+                        .system
+                        .remove_interceptor_at(slot, name)
+                        .expect("rollback removal in a mode that installed it");
+                    assert!(
+                        removed,
+                        "rollback: interceptor installed by this transaction vanished"
+                    );
+                }
+                Undo::InstallStep { slot, index, step } => {
+                    self.dep
+                        .system
+                        .insert_step_at(slot, index, step)
+                        .expect("rollback reinstall in a mode that removed it");
                 }
                 Undo::Domain {
                     slot,

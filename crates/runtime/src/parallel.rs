@@ -27,14 +27,18 @@
 //! 3. **Execution.** [`ParallelSystem::run_ticks`] spawns one OS thread
 //!    per shard ([`std::thread::scope`]); each thread releases its own
 //!    periodic heads ([`System::run_tick`]) and drains its incoming rings
-//!    (highest consumer priority first), injecting each message as a
-//!    run-to-completion activation. A tick round ends with a quiescence
-//!    protocol: a shared in-flight counter is incremented *before* every
-//!    cross push and decremented *after* the message's activation
-//!    completes, so `all ticks done ∧ in-flight == 0` proves no message
-//!    exists anywhere — only then do the workers exit. Steady-state ticks
-//!    allocate nothing on any thread: rings, slabs and scope stacks are
-//!    provisioned at build/warmup time.
+//!    (highest consumer priority first) in **batches**: each drain pass
+//!    snapshots a ring's published head once and pops the whole visible
+//!    run against the cached value, amortizing the `Acquire` load over
+//!    the batch instead of paying it per message; every popped message
+//!    injects as a run-to-completion activation. A tick round ends with a
+//!    quiescence protocol: a shared in-flight counter is incremented
+//!    *before* every cross push and decremented **batch-wise** after the
+//!    batch's activations complete (later-than-necessary decrements are
+//!    conservative), so `all ticks done ∧ in-flight == 0` still proves no
+//!    message exists anywhere — only then do the workers exit.
+//!    Steady-state ticks allocate nothing on any thread: rings, slabs and
+//!    scope stacks are provisioned at build/warmup time.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -202,8 +206,26 @@ pub struct ShardRun {
     /// Substrate allocations performed during the measured phase (0 in
     /// steady state).
     pub substrate_allocs: u64,
+    /// Drain passes executed over the shard's incoming rings across the
+    /// whole run (each pass snapshots every ring's published head once).
+    pub drain_passes: u64,
+    /// Largest run of messages popped from one ring within a single drain
+    /// pass — `> 1` proves the batched drain actually amortized an
+    /// `Acquire` load over several messages.
+    pub max_drain_batch: u64,
+    /// Messages drained from incoming rings across the whole run.
+    pub drained_messages: u64,
     /// Engine counters after the run (shard totals since build).
     pub stats: EngineStats,
+}
+
+/// Per-run drain accounting, threaded through every drain pass of one
+/// shard worker (warmup, measured and quiescence phases alike).
+#[derive(Debug, Clone, Copy, Default)]
+struct DrainStats {
+    passes: u64,
+    max_batch: u64,
+    messages: u64,
 }
 
 /// A deployment sharded by thread domain, ticking every shard on its own
@@ -564,20 +586,44 @@ fn aborted() -> FrameworkError {
 }
 
 /// One pass over the shard's incoming rings (consumer priority order):
-/// pops every visible message and runs its activation to completion.
-/// Returns true when at least one message was processed.
-fn drain_pass<P: Payload>(shard: &mut Shard<P>, ctl: &Ctl) -> Result<bool, FrameworkError> {
+/// snapshots each ring's published head **once**, pops the visible run of
+/// messages against the cached value (amortizing the `Acquire` load over
+/// the whole batch) and runs every activation to completion. The in-flight
+/// quiescence counter is decremented batch-wise, after the batch's
+/// activations finish — never earlier than the per-message protocol, so it
+/// still never under-reports. Returns true when at least one message was
+/// processed.
+fn drain_pass<P: Payload>(
+    shard: &mut Shard<P>,
+    ctl: &Ctl,
+    ds: &mut DrainStats,
+) -> Result<bool, FrameworkError> {
     let mut moved = false;
-    for i in 0..shard.incoming.len() {
-        while let Some(msg) = shard.incoming[i].rx.pop() {
-            let (slot, port_ix) = (shard.incoming[i].slot, shard.incoming[i].port_ix);
-            let result = shard.system.inject_at(slot, port_ix, msg);
-            // The message's activation (and any cross pushes it made) is
-            // complete: only now stop counting it as in flight.
-            ctl.in_flight.fetch_sub(1, Ordering::SeqCst);
-            result?;
-            moved = true;
+    ds.passes += 1;
+    let Shard {
+        system, incoming, ..
+    } = shard;
+    for cin in incoming.iter_mut() {
+        let CrossIn { rx, slot, port_ix } = cin;
+        let mut popped: u64 = 0;
+        let mut result = Ok(());
+        for msg in rx.drain_batch() {
+            popped += 1;
+            if let Err(e) = system.inject_at(*slot, *port_ix, msg) {
+                result = Err(e);
+                break;
+            }
         }
+        if popped > 0 {
+            // Every popped message's activation (and any cross pushes it
+            // made) is complete — or the run is aborting on `result`:
+            // only now stop counting the batch as in flight.
+            ctl.in_flight.fetch_sub(popped, Ordering::SeqCst);
+            moved = true;
+            ds.messages += popped;
+            ds.max_batch = ds.max_batch.max(popped);
+        }
+        result?;
     }
     Ok(moved)
 }
@@ -590,12 +636,13 @@ fn drain_until_quiescent<P: Payload>(
     shard: &mut Shard<P>,
     ctl: &Ctl,
     phase_done: &AtomicUsize,
+    ds: &mut DrainStats,
 ) -> Result<(), FrameworkError> {
     loop {
         if ctl.abort.load(Ordering::SeqCst) {
             return Err(aborted());
         }
-        let moved = drain_pass(shard, ctl)?;
+        let moved = drain_pass(shard, ctl, ds)?;
         if !moved
             && phase_done.load(Ordering::SeqCst) == ctl.n
             && ctl.in_flight.load(Ordering::SeqCst) == 0
@@ -632,6 +679,7 @@ where
     F: Fn() -> u64 + Sync,
 {
     let thread = std::thread::current().id();
+    let mut ds = DrainStats::default();
 
     // Phase 1: warmup (provision pending heaps, ring laps, scope stacks).
     for _ in 0..warmup {
@@ -639,10 +687,10 @@ where
             return Err(aborted());
         }
         shard.system.run_tick()?;
-        drain_pass(shard, ctl)?;
+        drain_pass(shard, ctl, &mut ds)?;
     }
     ctl.warmup_done.fetch_add(1, Ordering::SeqCst);
-    drain_until_quiescent(shard, ctl, &ctl.warmup_done)?;
+    drain_until_quiescent(shard, ctl, &ctl.warmup_done, &mut ds)?;
     gate(&ctl.measure_gate, ctl)?;
 
     // Phase 2: measured ticks. The sample buffer exists before the probe
@@ -656,11 +704,11 @@ where
         }
         let t0 = Instant::now();
         shard.system.run_tick()?;
-        drain_pass(shard, ctl)?;
+        drain_pass(shard, ctl, &mut ds)?;
         nanos.push(t0.elapsed().as_nanos() as u64);
     }
     ctl.ticks_done.fetch_add(1, Ordering::SeqCst);
-    drain_until_quiescent(shard, ctl, &ctl.ticks_done)?;
+    drain_until_quiescent(shard, ctl, &ctl.ticks_done, &mut ds)?;
     let probe_delta = probe() - probe_before;
     let substrate_allocs = shard.system.memory().alloc_count() - substrate_before;
 
@@ -675,6 +723,9 @@ where
         total_ns,
         probe_delta,
         substrate_allocs,
+        drain_passes: ds.passes,
+        max_drain_batch: ds.max_batch,
+        drained_messages: ds.messages,
         stats: shard.system.stats(),
     })
 }

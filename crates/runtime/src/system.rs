@@ -24,9 +24,9 @@ use rtsj::thread::{Priority, ThreadKind};
 use soleil_membrane::content::{Content, ContentRegistry, Payload};
 use soleil_membrane::controllers::{BindingTarget, LifecycleState, MemoryAreaController};
 use soleil_membrane::interceptors::{
-    ActiveInterceptor, Interceptor, MemoryInterceptor, MemoryPlan,
+    ActiveInterceptor, FastGate, InterceptStep, Interceptor, MemoryInterceptor, MemoryPlan,
 };
-use soleil_membrane::{FrameworkError, Membrane, Ports};
+use soleil_membrane::{ChainFusion, FrameworkError, Membrane, Ports};
 use soleil_patterns::spsc::SpscProducer;
 use soleil_patterns::{ExchangeBuffer, PatternKind, PushOutcome, ScopePin};
 
@@ -184,6 +184,12 @@ pub struct MembraneInfo {
     pub interceptors: Vec<String>,
     /// Bound client-port names.
     pub bound_ports: Vec<String>,
+    /// True when every step of the compiled interceptor plan dispatches
+    /// without a virtual call (no `Dyn` fallback step) — the steady-state
+    /// no-`Box<dyn Interceptor>` property, made checkable.
+    pub plan_fully_compiled: bool,
+    /// How the compiled plan executes the pre/post protocol.
+    pub plan_fusion: ChainFusion,
 }
 
 /// A deployed, runnable system. See the [module docs](self).
@@ -220,6 +226,11 @@ pub struct System<P: Payload> {
     // the spec kept alive for introspection.
     membranes: Vec<Option<Membrane>>,
     mem_interceptors: Vec<Option<MemoryInterceptor>>,
+    /// Per-binding fused gates compiled from each binding's `MemoryPlan`
+    /// at build/rebind time: when a gate proves the memory interceptor's
+    /// `pre`/`post` are no-ops, the SOLEIL sync-call path skips them
+    /// entirely (indexed like `mem_interceptors`).
+    mem_gates: Vec<FastGate>,
     reified_spec: Option<SystemSpec>,
     // MERGE-ALL mode: per-component compiled binding slots.
     compiled: Vec<Vec<CompiledBinding>>,
@@ -420,6 +431,7 @@ impl<P: Payload> System<P> {
         // --- Mode-specific dispatch machinery.
         let mut membranes: Vec<Option<Membrane>> = Vec::new();
         let mut mem_interceptors: Vec<Option<MemoryInterceptor>> = Vec::new();
+        let mut mem_gates: Vec<FastGate> = Vec::new();
         let mut compiled: Vec<Vec<CompiledBinding>> = Vec::new();
         let mut ultra_table: Vec<CompiledBinding> = Vec::new();
         let mut ultra_ranges: Vec<(u32, u32)> = Vec::new();
@@ -469,7 +481,11 @@ impl<P: Payload> System<P> {
                 for (slot, c) in spec.components.iter().enumerate() {
                     let mut m = Membrane::new(c.name.clone());
                     if !matches!(c.activation, Activation::Passive) {
-                        m.push_interceptor(Box::new(ActiveInterceptor::new()));
+                        // Deploy-time plan construction: the known guard
+                        // goes straight in as its compiled step (the boxed
+                        // `push_interceptor` route compiles to the same
+                        // plan; this just skips the cold downcast).
+                        m.push_step(InterceptStep::Active(ActiveInterceptor::new()));
                     }
                     for (bix, b) in spec.bindings.iter().enumerate() {
                         if b.client == slot {
@@ -506,13 +522,15 @@ impl<P: Payload> System<P> {
                     membranes.push(Some(m));
                 }
                 for b in &spec.bindings {
-                    mem_interceptors.push(Some(MemoryInterceptor::new(MemoryPlan {
+                    let plan = MemoryPlan {
                         pattern: b.pattern,
                         server_area: areas[spec.components[b.server].area].id,
                         enter_path: b.enter_path.iter().map(|&ix| areas[ix].id).collect(),
                         transient_scope: None,
                         outer_on_stack: outer_on_stack(b),
-                    })));
+                    };
+                    mem_gates.push(plan.fast_gate());
+                    mem_interceptors.push(Some(MemoryInterceptor::new(plan)));
                 }
             }
             Mode::MergeAll => {
@@ -570,6 +588,7 @@ impl<P: Payload> System<P> {
             lookups: Cell::new(0),
             membranes,
             mem_interceptors,
+            mem_gates,
             reified_spec: if mode == Mode::Soleil {
                 Some(spec.clone())
             } else {
@@ -1235,13 +1254,18 @@ impl<P: Payload> System<P> {
                 let client_area = self.areas[self.nodes[client_slot].area_ix].id;
                 let (pattern, enter_path) = self.pattern_between(client_area, new_area);
                 let outer_on_stack = self.outer_proof(client_slot, pattern, new_area);
-                self.mem_interceptors[old.binding_ix] = Some(MemoryInterceptor::new(MemoryPlan {
+                let plan = MemoryPlan {
                     pattern,
                     server_area: new_area,
                     enter_path,
                     transient_scope: None,
                     outer_on_stack,
-                }));
+                };
+                // Rebinding recompiles the binding's fused gate along with
+                // its interceptor: the plan stays a deploy/rebind-time
+                // artifact, never consulted-and-derived per call.
+                self.mem_gates[old.binding_ix] = plan.fast_gate();
+                self.mem_interceptors[old.binding_ix] = Some(MemoryInterceptor::new(plan));
                 let m = self.membranes[client_slot]
                     .as_mut()
                     .expect("membrane present outside invocation");
@@ -1450,6 +1474,8 @@ impl<P: Payload> System<P> {
                 .map(|s| s.to_string())
                 .collect(),
             bound_ports: m.binding.ports().iter().map(|s| s.to_string()).collect(),
+            plan_fully_compiled: m.plan().is_fully_compiled(),
+            plan_fusion: m.plan().fusion(),
         })
     }
 
@@ -1469,19 +1495,70 @@ impl<P: Payload> System<P> {
     pub fn enable_jitter_monitoring(&mut self, component: &str) -> Result<(), FrameworkError> {
         self.require_soleil("membrane reconfiguration")?;
         let slot = self.slot_ix(component)?;
-        self.enable_jitter_at(slot)
+        self.enable_jitter_at(slot).map(|_| ())
     }
 
-    /// Slot-indexed jitter-monitor installation (SOLEIL mode only).
-    pub(crate) fn enable_jitter_at(&mut self, slot: usize) -> Result<(), FrameworkError> {
+    /// Slot-indexed jitter-monitor installation (SOLEIL mode only);
+    /// true when a monitor was newly installed (the plan recompiled).
+    pub(crate) fn enable_jitter_at(&mut self, slot: usize) -> Result<bool, FrameworkError> {
         self.require_soleil("membrane reconfiguration")?;
         let m = self.membranes[slot]
             .as_mut()
             .expect("membrane present outside invocation");
         if m.interceptor("jitter-monitor").is_none() {
             m.push_interceptor(Box::new(soleil_membrane::interceptors::JitterMonitor::new()));
+            return Ok(true);
         }
+        Ok(false)
+    }
+
+    /// Removes the named interceptor from a slot's membrane, returning its
+    /// chain position and the step itself so a reconfiguration journal can
+    /// restore the plan byte-identically on rollback (SOLEIL mode only;
+    /// the plan recompiles).
+    pub(crate) fn take_interceptor_at(
+        &mut self,
+        slot: usize,
+        name: &str,
+    ) -> Result<Option<(usize, InterceptStep)>, FrameworkError> {
+        self.require_soleil("membrane reconfiguration")?;
+        Ok(self.membranes[slot]
+            .as_mut()
+            .expect("membrane present outside invocation")
+            .take_interceptor(name))
+    }
+
+    /// Splices a step back into a slot's membrane at its old chain
+    /// position — the rollback half of [`take_interceptor_at`]
+    /// (SOLEIL mode only; the plan recompiles).
+    ///
+    /// [`take_interceptor_at`]: Self::take_interceptor_at
+    pub(crate) fn insert_step_at(
+        &mut self,
+        slot: usize,
+        index: usize,
+        step: InterceptStep,
+    ) -> Result<(), FrameworkError> {
+        self.require_soleil("membrane reconfiguration")?;
+        self.membranes[slot]
+            .as_mut()
+            .expect("membrane present outside invocation")
+            .insert_step(index, step);
         Ok(())
+    }
+
+    /// Removes the named interceptor from a slot's membrane; true when one
+    /// was removed (SOLEIL mode only; undo of a journaled installation).
+    pub(crate) fn remove_interceptor_at(
+        &mut self,
+        slot: usize,
+        name: &str,
+    ) -> Result<bool, FrameworkError> {
+        self.require_soleil("membrane reconfiguration")?;
+        Ok(self.membranes[slot]
+            .as_mut()
+            .expect("membrane present outside invocation")
+            .remove_interceptor(name))
     }
 
     /// Removes a previously installed jitter monitor; true when one was
@@ -1624,6 +1701,25 @@ impl<P: Payload> Ports<P> for SoleilPorts<'_, P> {
             )));
         }
         self.sys.stats.sync_calls += 1;
+        // The binding's fused gate, compiled at build/rebind time: when it
+        // proves the memory interceptor's pre/post are no-ops, both calls
+        // are skipped entirely — only the crossing counter is kept honest.
+        let gate = self.sys.mem_gates[binding_ix];
+        if gate.skip_choreography {
+            if let Some(mi) = self.sys.mem_interceptors[binding_ix].as_mut() {
+                mi.record_crossing();
+            }
+            return if gate.copy {
+                let mut copy = msg.clone();
+                let r = self
+                    .sys
+                    .invoke(target_slot, server_port_ix, &mut copy, self.ctx);
+                *msg = copy;
+                r
+            } else {
+                self.sys.invoke(target_slot, server_port_ix, msg, self.ctx)
+            };
+        }
         let mut mi = self.sys.mem_interceptors[binding_ix]
             .take()
             .ok_or_else(|| FrameworkError::Binding("memory interceptor already in use".into()))?;
@@ -2013,6 +2109,96 @@ mod tests {
             let head = sys.slot_of("producer").unwrap();
             sys.run_transaction(head).unwrap();
         });
+    }
+
+    /// The tentpole acceptance property: a freshly deployed SOLEIL system
+    /// has *every* membrane's interceptor plan fully compiled — no
+    /// `Box<dyn Interceptor>` virtual call anywhere on the steady-state
+    /// invoke path — with the common shapes fused (active components get
+    /// the single-pass gate, passives skip the walk entirely), and every
+    /// steady-state binding's memory choreography settled by its compiled
+    /// `FastGate`.
+    #[test]
+    fn soleil_steady_state_plan_is_fully_compiled_and_fused() {
+        use soleil_membrane::ChainFusion;
+        let spec = pipeline_spec();
+        let sys = System::build(&spec, Mode::Soleil, &registry()).unwrap();
+        for slot in 0..sys.nodes.len() {
+            let m = sys.membranes[slot].as_ref().unwrap();
+            assert!(
+                m.plan().is_fully_compiled(),
+                "'{}': a dyn step survived deployment",
+                m.component
+            );
+            let expected = if matches!(sys.nodes[slot].activation, Activation::Passive) {
+                ChainFusion::Empty
+            } else {
+                ChainFusion::FusedActive
+            };
+            assert_eq!(m.plan().fusion(), expected, "'{}'", m.component);
+            let info = sys.membrane_info_at(slot).unwrap();
+            assert!(info.plan_fully_compiled);
+            assert_eq!(info.plan_fusion, expected);
+        }
+        // One gate per binding, agreeing with each binding's plan: the
+        // no-choreography patterns skip pre/post, EnterInner keeps them.
+        assert_eq!(sys.mem_gates.len(), spec.bindings.len());
+        for (gate, mi) in sys.mem_gates.iter().zip(&sys.mem_interceptors) {
+            assert_eq!(*gate, mi.as_ref().unwrap().plan().fast_gate());
+        }
+        assert!(
+            sys.mem_gates.iter().any(|g| g.skip_choreography)
+                || spec
+                    .bindings
+                    .iter()
+                    .all(|b| b.pattern == PatternKind::EnterInner),
+            "the fixture exercises the fused no-op gate"
+        );
+    }
+
+    /// The fused gate must not change observable semantics: the memory
+    /// interceptor's crossing counter still advances when the gate skips
+    /// pre/post, and the full path keeps counting as before.
+    #[test]
+    fn fast_gate_keeps_crossing_counters_honest() {
+        let mut spec = pipeline_spec();
+        // A same-area service: after rebinding, middle -> service2 is a
+        // Direct pattern whose gate skips choreography entirely.
+        spec.components.push(ComponentSpec {
+            name: "service2".into(),
+            content_class: "Service".into(),
+            activation: Activation::Passive,
+            domain: None,
+            area: 0,
+            server_ports: vec!["svc".into()],
+            ceiling: None,
+        });
+        let mut sys = System::build(&spec, Mode::Soleil, &registry()).unwrap();
+        let head = sys.slot_of("producer").unwrap();
+        for _ in 0..2 {
+            sys.run_transaction(head).unwrap();
+        }
+        // EnterInner gate: full pre/post path counted both crossings.
+        assert!(!sys.mem_gates[1].skip_choreography);
+        assert_eq!(sys.mem_interceptors[1].as_ref().unwrap().crossings(), 2);
+
+        let middle = sys.slot_of("middle").unwrap();
+        let service2 = sys.slot_of("service2").unwrap();
+        sys.rebind_at(middle, "svc", service2).unwrap();
+        assert!(
+            sys.mem_gates[1].skip_choreography,
+            "rebind recompiled the gate to the fused no-op form"
+        );
+        for _ in 0..3 {
+            sys.run_transaction(head).unwrap();
+        }
+        // Rebinding installed a fresh interceptor; its counter advanced
+        // purely through the fused fast path.
+        assert_eq!(
+            sys.mem_interceptors[1].as_ref().unwrap().crossings(),
+            3,
+            "the fused fast path still records crossings"
+        );
     }
 
     #[test]

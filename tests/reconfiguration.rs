@@ -237,6 +237,155 @@ fn failing_transaction_rolls_back_completely() {
     assert_eq!(b.load(Ordering::Relaxed), 0);
 }
 
+/// A reconfiguration that installs/removes an interceptor mid-run must
+/// recompile the membrane's interceptor plan: the new step executes on the
+/// very next transaction, and the plan stays fully compiled (no dyn
+/// fallback) throughout.
+#[test]
+fn reconfigure_recompiles_the_interceptor_plan() {
+    use soleil::membrane::ChainFusion;
+    let Fixture { mut dep, .. } = fixture(Mode::Soleil);
+    let caller = dep.resolve("caller").unwrap();
+    dep.run_transaction(caller).unwrap();
+
+    let info = dep.membrane_info(caller).unwrap();
+    assert!(info.plan_fully_compiled);
+    assert_eq!(info.plan_fusion, ChainFusion::FusedActive);
+
+    // Install through a committed transaction: the plan recompiles from
+    // the fused single-Active shape to the general walk.
+    dep.reconfigure(|txn| txn.install_jitter_monitor(caller))
+        .unwrap();
+    let info = dep.membrane_info(caller).unwrap();
+    assert!(info.interceptors.contains(&"jitter-monitor".to_string()));
+    assert_eq!(info.plan_fusion, ChainFusion::Walk);
+    assert!(
+        info.plan_fully_compiled,
+        "the monitor flattens to a compiled step"
+    );
+
+    // The new step executes on the next transactions.
+    dep.run_transaction(caller).unwrap();
+    dep.run_transaction(caller).unwrap();
+    assert_eq!(
+        dep.jitter_observations(caller).unwrap().len(),
+        1,
+        "two monitored activations -> one gap: the recompiled plan ran"
+    );
+
+    // Removal through a committed transaction recompiles back down.
+    assert!(dep
+        .reconfigure(|txn| txn.remove_jitter_monitor(caller))
+        .unwrap());
+    let info = dep.membrane_info(caller).unwrap();
+    assert!(!info.interceptors.contains(&"jitter-monitor".to_string()));
+    assert_eq!(info.plan_fusion, ChainFusion::FusedActive);
+
+    // A failed closure rolls an installation back out of the plan.
+    let err = dep
+        .reconfigure(|txn| {
+            txn.install_jitter_monitor(caller)?;
+            Err::<(), _>(FrameworkError::Content("abort".into()))
+        })
+        .unwrap_err();
+    assert!(matches!(err, FrameworkError::Content(_)));
+    let info = dep.membrane_info(caller).unwrap();
+    assert!(!info.interceptors.contains(&"jitter-monitor".to_string()));
+    assert_eq!(info.plan_fusion, ChainFusion::FusedActive);
+
+    // Merged modes refuse membrane-level operations inside transactions
+    // exactly like outside them.
+    let Fixture { mut dep, .. } = fixture(Mode::MergeAll);
+    let caller = dep.resolve("caller").unwrap();
+    let err = dep
+        .reconfigure(|txn| txn.install_jitter_monitor(caller))
+        .unwrap_err();
+    assert!(matches!(err, FrameworkError::Unsupported(_)));
+}
+
+/// A rejected transaction must restore the compiled plan byte-identically:
+/// the removed step returns at its old chain position with its recorded
+/// state intact.
+#[test]
+fn rejected_transaction_restores_the_compiled_plan_byte_identically() {
+    use soleil::membrane::ChainFusion;
+    // The SOL-006 fixture: an NHRT caller whose rebind onto heap-held
+    // state the commit-time validator refuses.
+    let mut bv = BusinessView::new("plan-rollback");
+    bv.active_periodic("caller", "5ms").unwrap();
+    bv.passive("svc-imm").unwrap();
+    bv.passive("svc-heap").unwrap();
+    bv.content("caller", "Caller").unwrap();
+    bv.content("svc-imm", "A").unwrap();
+    bv.content("svc-heap", "B").unwrap();
+    bv.require("caller", "svc", "ISvc").unwrap();
+    bv.provide("svc-imm", "svc", "ISvc").unwrap();
+    bv.provide("svc-heap", "svc", "ISvc").unwrap();
+    bv.bind_sync("caller", "svc", "svc-imm", "svc").unwrap();
+    let mut flow = DesignFlow::new(bv);
+    flow.thread_domain("nhrt", ThreadKind::NoHeapRealtime, 30, &["caller"])
+        .unwrap();
+    flow.memory_area(
+        "imm",
+        MemoryKind::Immortal,
+        Some(64 * 1024),
+        &["nhrt", "svc-imm"],
+    )
+    .unwrap();
+    flow.memory_area("heap", MemoryKind::Heap, None, &["svc-heap"])
+        .unwrap();
+    let arch = flow.merge().unwrap().into_validated().unwrap();
+
+    let a = Arc::new(AtomicU32::new(0));
+    let mut registry: ContentRegistry<Ping> = ContentRegistry::new();
+    registry.register("Caller", || Box::new(Caller));
+    let ac = a.clone();
+    registry.register("A", move || Box::new(Counter(ac.clone())));
+    registry.register("B", || Box::new(Counter(Arc::new(AtomicU32::new(0)))));
+
+    let mut dep = deploy(&arch, Mode::Soleil, &registry).unwrap();
+    let caller = dep.resolve("caller").unwrap();
+    let heap_svc = dep.resolve("svc-heap").unwrap();
+    dep.reconfigure(|txn| txn.install_jitter_monitor(caller))
+        .unwrap();
+    for _ in 0..4 {
+        dep.run_transaction(caller).unwrap();
+    }
+    let info_before = dep.membrane_info(caller).unwrap();
+    let gaps_before = dep.jitter_observations(caller).unwrap();
+    assert_eq!(gaps_before.len(), 3, "monitor state accumulated");
+
+    // The transaction removes the monitor (recompiling the plan), then
+    // trips SOL-006: everything must roll back, the plan included.
+    let err = dep
+        .reconfigure(|txn| {
+            assert!(txn.remove_jitter_monitor(caller)?);
+            txn.rebind(caller, "svc", heap_svc)
+        })
+        .unwrap_err();
+    assert!(matches!(err, FrameworkError::Rejected(_)), "got {err}");
+
+    assert_eq!(
+        dep.membrane_info(caller).unwrap(),
+        info_before,
+        "compiled plan restored byte-identically (names, order, fusion)"
+    );
+    assert_eq!(
+        dep.jitter_observations(caller).unwrap(),
+        gaps_before,
+        "the reinstalled step kept its recorded state"
+    );
+    assert_eq!(
+        dep.membrane_info(caller).unwrap().plan_fusion,
+        ChainFusion::Walk
+    );
+
+    // And the restored plan still executes: one more transaction extends
+    // the very same monitor's record.
+    dep.run_transaction(caller).unwrap();
+    assert_eq!(dep.jitter_observations(caller).unwrap().len(), 4);
+}
+
 /// Commit-time validation: a rebind that makes an NHRT client call
 /// synchronously into heap data is refused by the same SOL-006 rule the
 /// design-time validator enforces, and the whole transaction rolls back.
