@@ -1,0 +1,97 @@
+//! Microbench: compiled (interned) dispatch vs. the string-scan fallback.
+//!
+//! The tentpole claim of the static dispatch plan: once client ports are
+//! interned into dense ids, a steady-state transaction dispatches through
+//! the `[slot][port_id]` jump table — no per-call name scan, no `Arc`
+//! traffic. This bench runs the motivation scenario twice per mode, once
+//! with the scenario's interned contents and once with a string-dispatch
+//! clone of them, so the per-transaction delta *is* the dispatch cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soleil::generator::deploy;
+use soleil::prelude::*;
+use soleil::scenario::{
+    busy_work, motivation_validated, registry, work, AuditLogImpl, ConsoleImpl, Measurement,
+};
+
+/// `ProductionLineImpl` as it looked before interning: every send pays a
+/// name scan against the deployment's binding table.
+#[derive(Debug, Default)]
+struct StringProductionLine {
+    seq: u64,
+}
+
+impl Content<Measurement> for StringProductionLine {
+    fn on_invoke(
+        &mut self,
+        _port: &str,
+        msg: &mut Measurement,
+        out: &mut dyn Ports<Measurement>,
+    ) -> InvokeResult {
+        self.seq += 1;
+        msg.seq = self.seq;
+        msg.value = busy_work(work::PRODUCTION, self.seq as f64);
+        msg.anomalous = self.seq.is_multiple_of(work::ANOMALY_EVERY);
+        out.send("iMonitor", *msg)
+    }
+}
+
+/// `MonitoringSystemImpl`, string-dispatch variant.
+#[derive(Debug, Default)]
+struct StringMonitoring;
+
+impl Content<Measurement> for StringMonitoring {
+    fn on_invoke(
+        &mut self,
+        _port: &str,
+        msg: &mut Measurement,
+        out: &mut dyn Ports<Measurement>,
+    ) -> InvokeResult {
+        msg.value = busy_work(work::MONITORING, msg.value);
+        if msg.anomalous {
+            out.call("iConsole", msg)?;
+        }
+        out.send("iAudit", *msg)
+    }
+}
+
+fn string_registry() -> ContentRegistry<Measurement> {
+    let mut r = ContentRegistry::new();
+    r.register("ProductionLineImpl", || {
+        Box::new(StringProductionLine::default())
+    });
+    r.register("MonitoringSystemImpl", || Box::new(StringMonitoring));
+    r.register("ConsoleImpl", || Box::new(ConsoleImpl::default()));
+    r.register("AuditLogImpl", || Box::new(AuditLogImpl::default()));
+    r
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let arch = motivation_validated().expect("fixture validates");
+    let mut group = c.benchmark_group("dispatch");
+    for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+        let mut sys = deploy(&arch, mode, &registry()).expect("deploys");
+        let head = sys.resolve("ProductionLine").expect("head");
+        group.bench_with_input(
+            BenchmarkId::new("interned", mode.to_string()),
+            &mode,
+            |b, _| {
+                b.iter(|| sys.run_transaction(head).expect("transaction"));
+            },
+        );
+
+        let mut sys = deploy(&arch, mode, &string_registry()).expect("deploys");
+        let head = sys.resolve("ProductionLine").expect("head");
+        group.bench_with_input(
+            BenchmarkId::new("string_scan", mode.to_string()),
+            &mode,
+            |b, _| {
+                b.iter(|| sys.run_transaction(head).expect("transaction"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -9,9 +9,10 @@
 //! (E5), `steady` (the zero-allocation perf gate, emitting
 //! `BENCH_steady_state.json`), `steady-gate` (CI regression gate: re-runs
 //! the steady measurement and exits non-zero when any mode's median
-//! regresses >25% vs the committed artifact or allocs/transaction leave
-//! 0; never part of `all`), `all` (default). Raw observation CSVs are
-//! written to `target/experiments/`.
+//! regresses >25% vs the committed artifact, when allocs, string compares
+//! or Arc clones per transaction leave 0, or when MERGE-ALL's median falls
+//! behind SOLEIL's by more than noise; never part of `all`), `all`
+//! (default). Raw observation CSVs are written to `target/experiments/`.
 //!
 //! `--observations N` overrides the number of measured iterations (the
 //! same count is threaded into the emitted JSON, never hardcoded):
@@ -127,11 +128,19 @@ fn main() -> Result<(), SoleilError> {
             "running steady-state perf gate ({observations} observations x 5 implementations)..."
         );
         let rows = run_steady_state(WARMUP, observations, alloc_probe::allocations)?;
-        println!("steady-state transaction (median ns, allocs/txn, substrate allocs/txn):");
+        println!(
+            "steady-state transaction (median ns, allocs/txn, substrate allocs/txn, \
+             string compares/txn, Arc clones/txn):"
+        );
         for r in &rows {
             println!(
-                "  {:<12} {:>10} ns   {:>6} heap   {:>6} substrate",
-                r.label, r.median_ns, r.allocs_per_transaction, r.substrate_allocs_per_transaction
+                "  {:<12} {:>10} ns   {:>6} heap   {:>6} substrate   {:>6} compares   {:>6} arcs",
+                r.label,
+                r.median_ns,
+                r.allocs_per_transaction,
+                r.substrate_allocs_per_transaction,
+                r.string_compares_per_transaction,
+                r.arc_clones_per_transaction
             );
         }
         let json = steady_state_json(&rows, observations);
@@ -153,11 +162,19 @@ fn main() -> Result<(), SoleilError> {
             "running steady-state regression gate ({observations} observations x 5 implementations)..."
         );
         let rows = run_steady_state(WARMUP, observations, alloc_probe::allocations)?;
-        println!("steady-state transaction (median ns, allocs/txn, substrate allocs/txn):");
+        println!(
+            "steady-state transaction (median ns, allocs/txn, substrate allocs/txn, \
+             string compares/txn, Arc clones/txn):"
+        );
         for r in &rows {
             println!(
-                "  {:<12} {:>10} ns   {:>6} heap   {:>6} substrate",
-                r.label, r.median_ns, r.allocs_per_transaction, r.substrate_allocs_per_transaction
+                "  {:<12} {:>10} ns   {:>6} heap   {:>6} substrate   {:>6} compares   {:>6} arcs",
+                r.label,
+                r.median_ns,
+                r.allocs_per_transaction,
+                r.substrate_allocs_per_transaction,
+                r.string_compares_per_transaction,
+                r.arc_clones_per_transaction
             );
         }
         // Re-emit the fresh artifact next to the raw data (the committed
@@ -171,7 +188,8 @@ fn main() -> Result<(), SoleilError> {
         if failures.is_empty() {
             eprintln!(
                 "steady-state gate passed: no mode regressed >{THRESHOLD_PCT}% vs the \
-                 committed artifact; allocs/transaction are 0 everywhere"
+                 committed artifact; allocs, string compares and Arc clones per \
+                 transaction are 0 everywhere; MERGE-ALL kept its lead on SOLEIL"
             );
         } else {
             eprintln!("steady-state gate FAILED:");

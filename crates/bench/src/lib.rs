@@ -363,6 +363,12 @@ pub struct SteadyStateRow {
     pub allocs_per_transaction: f64,
     /// Substrate allocations per transaction (0 is the gate).
     pub substrate_allocs_per_transaction: f64,
+    /// Port-name string comparisons per transaction (0 is the gate: the
+    /// compiled dispatch plan interns every hot port at warm-up).
+    pub string_compares_per_transaction: f64,
+    /// `Arc` clones per transaction (0 is the gate: dispatch headers are
+    /// `Copy`, the enter-path arena is indexed by range).
+    pub arc_clones_per_transaction: f64,
 }
 
 /// Runs the steady-state perf gate: warms each implementation, then times
@@ -385,8 +391,12 @@ pub fn run_steady_state(
     use std::time::Instant;
 
     let mut rows = Vec::with_capacity(4);
+    // `dispatch` reads the engine's (string_compares, arc_clones) pair;
+    // warm-up precedes the baseline reading, so one-time interning scans
+    // are excluded from the steady-state deltas.
     let measure = |label: &str,
                    substrate: &mut dyn FnMut() -> u64,
+                   dispatch: &mut dyn FnMut() -> (u64, u64),
                    op: &mut dyn FnMut() -> HarnessResult<()>|
      -> HarnessResult<SteadyStateRow> {
         for _ in 0..warmup {
@@ -394,6 +404,7 @@ pub fn run_steady_state(
         }
         let mut nanos: Vec<u64> = Vec::with_capacity(observations);
         let substrate_before = substrate();
+        let (compares_before, arcs_before) = dispatch();
         let heap_before = heap_allocs();
         for _ in 0..observations {
             let start = Instant::now();
@@ -402,12 +413,16 @@ pub fn run_steady_state(
         }
         let heap_delta = heap_allocs() - heap_before;
         let substrate_delta = substrate() - substrate_before;
+        let (compares_after, arcs_after) = dispatch();
         let samples = soleil::runtime::instrument::LatencySamples::from_nanos(nanos);
         Ok(SteadyStateRow {
             label: label.to_string(),
             median_ns: samples.percentile(50.0).unwrap_or(0),
             allocs_per_transaction: heap_delta as f64 / observations as f64,
             substrate_allocs_per_transaction: substrate_delta as f64 / observations as f64,
+            string_compares_per_transaction: (compares_after - compares_before) as f64
+                / observations as f64,
+            arc_clones_per_transaction: (arcs_after - arcs_before) as f64 / observations as f64,
         })
     };
 
@@ -416,6 +431,7 @@ pub fn run_steady_state(
     rows.push(measure(
         "OO",
         &mut || oo.borrow().alloc_count(),
+        &mut || (0, 0),
         &mut || Ok(oo.borrow_mut().run_transaction()?),
     )?);
 
@@ -427,6 +443,7 @@ pub fn run_steady_state(
         rows.push(measure(
             &mode.to_string(),
             &mut || dep.borrow().memory().alloc_count(),
+            &mut || (dep.borrow().string_compares(), dep.borrow().arc_clones()),
             &mut || Ok(dep.borrow_mut().run_transaction(head)?),
         )?);
     }
@@ -454,7 +471,12 @@ pub fn run_parallel_steady(
     let arch = motivation_validated()?;
     let probe = ScenarioProbe::new();
     let mut sys = deploy_parallel(&arch, Mode::MergeAll, &registry_with_probe(&probe))?;
-    let runs = sys.run_ticks_instrumented(warmup as u64, observations as u64, &heap_allocs)?;
+    // Warm up outside the instrumented run so the one-time interning scans
+    // stay out of the measured dispatch-counter deltas.
+    sys.run_ticks(warmup as u64)?;
+    let compares_before = sys.string_compares();
+    let arcs_before = sys.arc_clones();
+    let runs = sys.run_ticks_instrumented(0, observations as u64, &heap_allocs)?;
     Ok(SteadyStateRow {
         label: "PARALLEL".into(),
         median_ns: runs.iter().map(|r| r.median_tick_ns).max().unwrap_or(0),
@@ -463,6 +485,9 @@ pub fn run_parallel_steady(
         substrate_allocs_per_transaction: runs.iter().map(|r| r.substrate_allocs).sum::<u64>()
             as f64
             / observations as f64,
+        string_compares_per_transaction: (sys.string_compares() - compares_before) as f64
+            / observations as f64,
+        arc_clones_per_transaction: (sys.arc_clones() - arcs_before) as f64 / observations as f64,
     })
 }
 
@@ -536,6 +561,37 @@ pub fn steady_state_regressions(
                 row.label, row.substrate_allocs_per_transaction
             ));
         }
+        if row.string_compares_per_transaction != 0.0 {
+            failures.push(format!(
+                "{}: {} string compares/transaction; compiled dispatch must stay at 0",
+                row.label, row.string_compares_per_transaction
+            ));
+        }
+        if row.arc_clones_per_transaction != 0.0 {
+            failures.push(format!(
+                "{}: {} Arc clones/transaction; compiled dispatch must stay at 0",
+                row.label, row.arc_clones_per_transaction
+            ));
+        }
+    }
+    // Lead gate: the merged modes exist to shed SOLEIL's reified-membrane
+    // overhead. If MERGE-ALL's fresh median falls behind SOLEIL's by more
+    // than measurement noise, the compiled plan has regressed — regardless
+    // of how both compare to the committed artifact.
+    const LEAD_NOISE_PCT: f64 = 5.0;
+    if let (Some(soleil), Some(merge)) = (
+        fresh.iter().find(|r| r.label == "SOLEIL"),
+        fresh.iter().find(|r| r.label == "MERGE-ALL"),
+    ) {
+        let limit = soleil.median_ns as f64 * (1.0 + LEAD_NOISE_PCT / 100.0);
+        if merge.median_ns as f64 > limit {
+            failures.push(format!(
+                "MERGE-ALL: fresh median {} ns fell behind SOLEIL's {} ns by more than \
+                 {LEAD_NOISE_PCT}% noise (limit {:.0} ns); the merged mode must not lose \
+                 its compiled-dispatch lead",
+                merge.median_ns, soleil.median_ns, limit
+            ));
+        }
     }
     Ok(failures)
 }
@@ -551,8 +607,14 @@ pub fn steady_state_json(rows: &[SteadyStateRow], observations: usize) -> String
         let _ = write!(
             out,
             "    {{\"mode\": \"{}\", \"median_ns_per_transaction\": {}, \
-             \"allocs_per_transaction\": {}, \"substrate_allocs_per_transaction\": {}}}",
-            r.label, r.median_ns, r.allocs_per_transaction, r.substrate_allocs_per_transaction
+             \"allocs_per_transaction\": {}, \"substrate_allocs_per_transaction\": {}, \
+             \"string_compares_per_transaction\": {}, \"arc_clones_per_transaction\": {}}}",
+            r.label,
+            r.median_ns,
+            r.allocs_per_transaction,
+            r.substrate_allocs_per_transaction,
+            r.string_compares_per_transaction,
+            r.arc_clones_per_transaction
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -598,14 +660,23 @@ pub fn build_relay_pipeline(
     flow.memory_area("imm", MemoryKind::Immortal, Some(1 << 20), &["nhrt"])?;
     let arch = flow.merge()?;
 
-    #[derive(Debug, Default)]
-    struct Relay;
+    #[derive(Debug)]
+    struct Relay {
+        out: soleil::membrane::content::InternedPort,
+    }
+    impl Default for Relay {
+        fn default() -> Self {
+            Relay {
+                out: soleil::membrane::content::InternedPort::new("out"),
+            }
+        }
+    }
     impl Content<u64> for Relay {
         fn on_invoke(&mut self, _p: &str, msg: &mut u64, out: &mut dyn Ports<u64>) -> InvokeResult {
             *msg = msg
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            match out.send("out", *msg) {
+            match self.out.send(out, *msg) {
                 Ok(()) => Ok(()),
                 // The tail stage has no outgoing binding.
                 Err(FrameworkError::Binding(_)) => Ok(()),
@@ -614,7 +685,7 @@ pub fn build_relay_pipeline(
         }
     }
     let mut registry: ContentRegistry<u64> = ContentRegistry::new();
-    registry.register("Relay", || Box::new(Relay));
+    registry.register("Relay", || Box::new(Relay::default()));
     Ok(deploy(&arch.into_validated()?, mode, &registry)?)
 }
 
@@ -700,12 +771,16 @@ mod tests {
                 median_ns: 1200,
                 allocs_per_transaction: 0.0,
                 substrate_allocs_per_transaction: 0.0,
+                string_compares_per_transaction: 0.0,
+                arc_clones_per_transaction: 0.0,
             },
             SteadyStateRow {
                 label: "PARALLEL".into(),
                 median_ns: 900,
                 allocs_per_transaction: 0.0,
                 substrate_allocs_per_transaction: 0.0,
+                string_compares_per_transaction: 0.0,
+                arc_clones_per_transaction: 0.0,
             },
         ];
         let json = steady_state_json(&rows, 1234);
@@ -715,6 +790,11 @@ mod tests {
             json.contains("\"median_ns_per_transaction\": 900"),
             "{json}"
         );
+        assert!(
+            json.contains("\"string_compares_per_transaction\": 0"),
+            "{json}"
+        );
+        assert!(json.contains("\"arc_clones_per_transaction\": 0"), "{json}");
         let other = steady_state_json(&rows, 77);
         assert!(other.contains("\"observations\": 77"), "{other}");
     }
@@ -735,6 +815,8 @@ mod tests {
             median_ns,
             allocs_per_transaction: allocs,
             substrate_allocs_per_transaction: 0.0,
+            string_compares_per_transaction: 0.0,
+            arc_clones_per_transaction: 0.0,
         };
 
         // Within threshold, allocation-free, all modes present: clean.
@@ -774,6 +856,61 @@ mod tests {
     }
 
     #[test]
+    fn regression_gate_catches_dispatch_counter_and_lead_regressions() {
+        let committed = r#"{
+  "benchmark": "steady_state_transaction",
+  "observations": 100,
+  "modes": [
+    {"mode": "SOLEIL", "median_ns_per_transaction": 1000, "allocs_per_transaction": 0, "substrate_allocs_per_transaction": 0},
+    {"mode": "MERGE-ALL", "median_ns_per_transaction": 1000, "allocs_per_transaction": 0, "substrate_allocs_per_transaction": 0}
+  ]
+}"#;
+        let row = |label: &str, median_ns: u64, compares: f64, arcs: f64| SteadyStateRow {
+            label: label.into(),
+            median_ns,
+            allocs_per_transaction: 0.0,
+            substrate_allocs_per_transaction: 0.0,
+            string_compares_per_transaction: compares,
+            arc_clones_per_transaction: arcs,
+        };
+
+        // MERGE-ALL within its committed threshold (1000 → 990) yet
+        // behind SOLEIL by more than the 5% lead noise: the lead gate must
+        // still fire — that's exactly the regression the committed-median
+        // comparison alone cannot see.
+        let fresh = vec![
+            row("SOLEIL", 900, 0.0, 0.0),
+            row("MERGE-ALL", 990, 0.0, 0.0),
+        ];
+        let failures = steady_state_regressions(committed, &fresh, 25.0).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("MERGE-ALL") && failures[0].contains("lead"),
+            "{failures:?}"
+        );
+
+        // Non-zero dispatch counters each produce a failure line, even
+        // when every median is fine.
+        let fresh = vec![
+            row("SOLEIL", 1000, 3.0, 0.0),
+            row("MERGE-ALL", 900, 0.0, 1.0),
+        ];
+        let failures = steady_state_regressions(committed, &fresh, 25.0).unwrap();
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("SOLEIL") && failures[0].contains("string compares"));
+        assert!(failures[1].contains("MERGE-ALL") && failures[1].contains("Arc clones"));
+
+        // At exactly the noise boundary the lead gate stays quiet.
+        let fresh = vec![
+            row("SOLEIL", 1000, 0.0, 0.0),
+            row("MERGE-ALL", 1050, 0.0, 0.0),
+        ];
+        assert!(steady_state_regressions(committed, &fresh, 25.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
     fn regression_gate_accepts_the_committed_artifact() {
         // The committed artifact must always gate against itself: a
         // re-run reproducing identical numbers passes by construction.
@@ -792,6 +929,8 @@ mod tests {
                     .unwrap(),
                 allocs_per_transaction: 0.0,
                 substrate_allocs_per_transaction: 0.0,
+                string_compares_per_transaction: 0.0,
+                arc_clones_per_transaction: 0.0,
             })
             .collect();
         assert!(steady_state_regressions(committed, &fresh, 25.0)

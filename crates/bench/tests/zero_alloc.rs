@@ -39,6 +39,8 @@ fn steady_state_transactions_never_touch_the_rust_heap() {
 
         let substrate_before = dep.memory().alloc_count();
         let heap_before = alloc_probe::allocations();
+        let compares_before = dep.string_compares();
+        let arcs_before = dep.arc_clones();
         for _ in 0..OBSERVATIONS {
             dep.run_transaction(head).expect("steady transaction");
         }
@@ -53,6 +55,18 @@ fn steady_state_transactions_never_touch_the_rust_heap() {
             dep.memory().alloc_count(),
             substrate_before,
             "{mode}: substrate allocations must stay pinned at their bootstrap value"
+        );
+        // The compiled dispatch plan: once warm-up has interned the port
+        // ids, steady-state transactions scan no strings and clone no Arcs.
+        assert_eq!(
+            dep.string_compares() - compares_before,
+            0,
+            "{mode}: steady-state dispatch must not compare port names"
+        );
+        assert_eq!(
+            dep.arc_clones() - arcs_before,
+            0,
+            "{mode}: steady-state dispatch must not clone Arcs"
         );
     }
 }
@@ -73,8 +87,13 @@ fn parallel_steady_state_is_allocation_free_on_every_thread() {
         sys.shard_count()
     );
 
+    // Warm up separately so the dispatch-counter deltas below cover only
+    // the measured steady phase (interning pays its name scans here).
+    sys.run_ticks(WARMUP as u64).expect("parallel warmup");
+    let compares_before = sys.string_compares();
+    let arcs_before = sys.arc_clones();
     let runs = sys
-        .run_ticks_instrumented(WARMUP as u64, OBSERVATIONS, &alloc_probe::allocations)
+        .run_ticks_instrumented(0, OBSERVATIONS, &alloc_probe::allocations)
         .expect("parallel run");
 
     // Distinct OS threads, none of them this one.
@@ -97,6 +116,16 @@ fn parallel_steady_state_is_allocation_free_on_every_thread() {
             r.label
         );
     }
+    assert_eq!(
+        sys.string_compares() - compares_before,
+        0,
+        "parallel steady-state dispatch must not compare port names on any shard"
+    );
+    assert_eq!(
+        sys.arc_clones() - arcs_before,
+        0,
+        "parallel steady-state dispatch must not clone Arcs on any shard"
+    );
 }
 
 #[test]

@@ -8,6 +8,7 @@
 //! memory-area choreography) is the membrane's and engine's business.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::fmt::Debug;
 
 use crate::error::FrameworkError;
@@ -27,6 +28,98 @@ impl<T: Any + Clone + Default + Debug + Send + 'static> Payload for T {}
 
 /// Result of a content invocation.
 pub type InvokeResult = Result<(), FrameworkError>;
+
+/// A dense, deployment-scoped client-port id.
+///
+/// Ids are interned by the dispatch plan at deploy/rebind time: every
+/// distinct client-port *name* in the deployment gets one id, so interned
+/// dispatch is a jump-table index instead of a per-call string scan. Ids
+/// are only meaningful within the deployment that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortId(pub u16);
+
+/// Memoization state of an [`InternedPort`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InternState {
+    /// Not yet resolved against the active deployment.
+    Unresolved,
+    /// Resolved to a dense id: dispatch through the jump table.
+    Interned(PortId),
+    /// The active `Ports` façade does not intern (or the name is outside
+    /// the deployment's intern universe): dispatch by name forever.
+    Fallback,
+}
+
+/// A client-port handle that interns its name on first use.
+///
+/// Content classes hold one per client interface (`const`-constructible,
+/// so `static` handles work too) and route calls through it; the first
+/// call asks the façade to intern the name, and every later call reuses
+/// the dense id. Façades that don't intern — test doubles, the reified
+/// SOLEIL membrane before plan compilation — fall back to the string path
+/// transparently.
+///
+/// The memoized state lives in a `Cell`: content is `Send` but never
+/// shared between threads (each instance belongs to exactly one
+/// thread-domain engine), so no synchronization is needed.
+#[derive(Debug)]
+pub struct InternedPort {
+    name: &'static str,
+    state: Cell<InternState>,
+}
+
+impl InternedPort {
+    /// Creates an unresolved handle for `name`.
+    pub const fn new(name: &'static str) -> Self {
+        InternedPort {
+            name,
+            state: Cell::new(InternState::Unresolved),
+        }
+    }
+
+    /// The client-port name this handle dispatches through.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn resolve<P: Payload>(&self, out: &mut dyn Ports<P>) -> InternState {
+        match self.state.get() {
+            InternState::Unresolved => {
+                let next = match out.intern(self.name) {
+                    Some(id) => InternState::Interned(id),
+                    None => InternState::Fallback,
+                };
+                self.state.set(next);
+                next
+            }
+            memoized => memoized,
+        }
+    }
+
+    /// Synchronous call through this port (interned when possible).
+    ///
+    /// # Errors
+    ///
+    /// As [`Ports::call`].
+    pub fn call<P: Payload>(&self, out: &mut dyn Ports<P>, msg: &mut P) -> InvokeResult {
+        match self.resolve(out) {
+            InternState::Interned(id) => out.call_interned(id, msg),
+            _ => out.call(self.name, msg),
+        }
+    }
+
+    /// Asynchronous send through this port (interned when possible).
+    ///
+    /// # Errors
+    ///
+    /// As [`Ports::send`].
+    pub fn send<P: Payload>(&self, out: &mut dyn Ports<P>, msg: P) -> InvokeResult {
+        match self.resolve(out) {
+            InternState::Interned(id) => out.send_interned(id, msg),
+            _ => out.send(self.name, msg),
+        }
+    }
+}
 
 /// The outgoing-call façade handed to content during an invocation.
 ///
@@ -51,6 +144,44 @@ pub trait Ports<P: Payload> {
     ///
     /// [`FrameworkError::Binding`] for unbound or synchronous ports.
     fn send(&mut self, client_port: &str, msg: P) -> InvokeResult;
+
+    /// Interns `client_port` into the deployment's dense id space, or
+    /// `None` when this façade dispatches by name only (the default).
+    fn intern(&self, client_port: &str) -> Option<PortId> {
+        let _ = client_port;
+        None
+    }
+
+    /// Synchronous call through an interned id. Façades that returned the
+    /// id from [`Ports::intern`] must accept it here; the default refuses,
+    /// keeping name-only façades honest.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ports::call`]; additionally [`FrameworkError::Binding`] when
+    /// this façade does not intern.
+    fn call_interned(&mut self, id: PortId, msg: &mut P) -> InvokeResult {
+        let _ = msg;
+        Err(FrameworkError::Binding(format!(
+            "port id {} used against a name-only port façade",
+            id.0
+        )))
+    }
+
+    /// Asynchronous send through an interned id (see
+    /// [`Ports::call_interned`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Ports::send`]; additionally [`FrameworkError::Binding`] when
+    /// this façade does not intern.
+    fn send_interned(&mut self, id: PortId, msg: P) -> InvokeResult {
+        let _ = msg;
+        Err(FrameworkError::Binding(format!(
+            "port id {} used against a name-only port façade",
+            id.0
+        )))
+    }
 }
 
 /// A functional implementation ("content class").
@@ -205,5 +336,73 @@ mod tests {
     fn default_state_bytes_reflects_size() {
         let e = Echo;
         assert_eq!(Content::<u32>::state_bytes(&e), 0); // zero-sized struct
+    }
+
+    #[test]
+    fn interned_port_falls_back_on_name_only_facades() {
+        // NullPorts has no intern support: the handle must memoize the
+        // fallback and keep dispatching by name.
+        let port = InternedPort::new("out");
+        assert_eq!(port.name(), "out");
+        let mut v = 0u32;
+        assert!(port.call(&mut NullPorts, &mut v).is_err());
+        assert_eq!(port.state.get(), InternState::Fallback);
+        assert!(port.send(&mut NullPorts, 1).is_err());
+    }
+
+    /// Counts interned vs. string dispatches.
+    #[derive(Default)]
+    struct CountingPorts {
+        interned_calls: u32,
+        string_calls: u32,
+    }
+    impl Ports<u32> for CountingPorts {
+        fn call(&mut self, _port: &str, _msg: &mut u32) -> InvokeResult {
+            self.string_calls += 1;
+            Ok(())
+        }
+        fn send(&mut self, _port: &str, _msg: u32) -> InvokeResult {
+            self.string_calls += 1;
+            Ok(())
+        }
+        fn intern(&self, client_port: &str) -> Option<PortId> {
+            (client_port == "out").then_some(PortId(7))
+        }
+        fn call_interned(&mut self, id: PortId, _msg: &mut u32) -> InvokeResult {
+            assert_eq!(id, PortId(7));
+            self.interned_calls += 1;
+            Ok(())
+        }
+        fn send_interned(&mut self, id: PortId, _msg: u32) -> InvokeResult {
+            assert_eq!(id, PortId(7));
+            self.interned_calls += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn interned_port_memoizes_dense_id() {
+        let port = InternedPort::new("out");
+        let mut p = CountingPorts::default();
+        let mut v = 0u32;
+        port.call(&mut p, &mut v).unwrap();
+        port.send(&mut p, 1).unwrap();
+        assert_eq!(port.state.get(), InternState::Interned(PortId(7)));
+        assert_eq!(p.interned_calls, 2);
+        assert_eq!(p.string_calls, 0);
+
+        // A name outside the intern universe memoizes the fallback.
+        let stray = InternedPort::new("stray");
+        stray.call(&mut p, &mut v).unwrap();
+        assert_eq!(stray.state.get(), InternState::Fallback);
+        assert_eq!(p.string_calls, 1);
+    }
+
+    #[test]
+    fn default_interned_dispatch_refuses_with_id_in_message() {
+        let mut v = 0u32;
+        let err = Ports::call_interned(&mut NullPorts, PortId(3), &mut v).unwrap_err();
+        assert!(err.to_string().contains("port id 3"));
+        assert!(Ports::send_interned(&mut NullPorts, PortId(3), 0).is_err());
     }
 }

@@ -15,6 +15,7 @@ use rtsj::thread::{Priority, ReleaseParameters, RtThread, ThreadKind};
 use rtsj::time::RelativeTime;
 use soleil_patterns::ScopePin;
 
+use crate::content::PortId;
 use crate::error::FrameworkError;
 
 // ---------------------------------------------------------------------------
@@ -125,15 +126,20 @@ pub struct BindingTarget {
 /// Name-keyed binding table supporting runtime rebinding — the SOLEIL-mode
 /// `BindingController`.
 ///
-/// Lookups resolve by *name* on every call: that per-call resolution is
-/// the deliberate dynamic-dispatch cost MERGE-ALL replaces with compiled
-/// slots. The table itself is a dense array scanned with short-circuit
-/// string compares — for the handful of ports a component carries, this
-/// beats hashing the name on every invocation while keeping the table
-/// fully dynamic (rebindable, introspectable, insertion-ordered).
+/// Name lookups resolve by string scan; the table is a dense array scanned
+/// with short-circuit compares — for the handful of ports a component
+/// carries, this beats hashing the name on every invocation while keeping
+/// the table fully dynamic (rebindable, introspectable,
+/// insertion-ordered). On top of that, [`BindingController::compile_jump`]
+/// settles the deployment's interned port ids into a jump table so the
+/// steady state resolves by a single index instead of a scan; rebinding
+/// replaces entries in place, keeping compiled indices stable.
 #[derive(Debug, Clone, Default)]
 pub struct BindingController {
     table: Vec<(Box<str>, BindingTarget)>,
+    /// Deployment-interned port id → index into `table`; `u32::MAX` for
+    /// ids this component has no binding for.
+    jump: Vec<u32>,
     rebinds: u64,
 }
 
@@ -164,10 +170,36 @@ impl BindingController {
         {
             Some(ix) => {
                 self.table.remove(ix);
+                // Removal shifts table indices: drop the jump table so
+                // interned lookups fall back cold until recompiled.
+                self.jump.clear();
                 true
             }
             None => false,
         }
+    }
+
+    /// Compiles the jump table for the deployment's interned port-name
+    /// universe: `names[id]` is the client-port name behind `PortId(id)`.
+    /// Ids outside this controller's table resolve to "unbound".
+    pub fn compile_jump(&mut self, names: &[Box<str>]) {
+        let jump = names
+            .iter()
+            .map(|n| {
+                self.table
+                    .iter()
+                    .position(|(k, _)| k == n)
+                    .map_or(u32::MAX, |i| i as u32)
+            })
+            .collect();
+        self.jump = jump;
+    }
+
+    /// Resolves an interned port id through the compiled jump table;
+    /// `None` when the id is unbound here or the table is not compiled.
+    pub fn resolve_id(&self, id: PortId) -> Option<&BindingTarget> {
+        let ix = *self.jump.get(id.0 as usize)?;
+        self.table.get(ix as usize).map(|(_, t)| t)
     }
 
     /// Resolves `client_port`.
@@ -198,6 +230,7 @@ impl BindingController {
     /// Estimated bytes of table machinery (Fig. 7(c) accounting).
     pub fn footprint_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
+            + self.jump.len() * std::mem::size_of::<u32>()
             + self
                 .table
                 .iter()
@@ -396,6 +429,40 @@ mod tests {
         assert!(bc.unbind("out"));
         assert!(!bc.unbind("out"));
         assert!(bc.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn jump_table_resolves_interned_ids_and_survives_rebind() {
+        let mut bc = BindingController::new();
+        let target = |slot: usize| BindingTarget {
+            target_slot: slot,
+            server_port: "in".into(),
+            server_port_ix: 0,
+            is_async: true,
+            buffer_index: Some(0),
+            binding_ix: 0,
+            cross: false,
+        };
+        bc.bind("out", target(3));
+        bc.bind("log", target(4));
+        // The deployment universe: ids 0="log", 1="out", 2="ghost".
+        let names: Vec<Box<str>> = vec!["log".into(), "out".into(), "ghost".into()];
+        bc.compile_jump(&names);
+        assert_eq!(bc.resolve_id(PortId(0)).unwrap().target_slot, 4);
+        assert_eq!(bc.resolve_id(PortId(1)).unwrap().target_slot, 3);
+        assert!(bc.resolve_id(PortId(2)).is_none(), "unbound id");
+        assert!(bc.resolve_id(PortId(9)).is_none(), "out-of-universe id");
+
+        // Rebind replaces in place: compiled indices stay valid.
+        bc.bind("out", target(7));
+        assert_eq!(bc.resolve_id(PortId(1)).unwrap().target_slot, 7);
+
+        // Unbind shifts the table: the jump table is invalidated, not
+        // left dangling.
+        assert!(bc.unbind("log"));
+        assert!(bc.resolve_id(PortId(1)).is_none());
+        bc.compile_jump(&names);
+        assert_eq!(bc.resolve_id(PortId(1)).unwrap().target_slot, 7);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod controllers;
 pub mod error;
 pub mod interceptors;
 
-pub use content::{Content, InvokeResult, Payload, Ports};
+pub use content::{Content, InternedPort, InvokeResult, Payload, PortId, Ports};
 pub use error::FrameworkError;
 
 use rtsj::memory::{MemoryContext, MemoryManager};

@@ -248,6 +248,18 @@ impl<P: Payload> Deployment<P> {
         self.system.name_lookups()
     }
 
+    /// String comparisons performed by port dispatch so far (see
+    /// [`System::string_compares`]).
+    pub fn string_compares(&self) -> u64 {
+        self.system.string_compares()
+    }
+
+    /// Arc clones performed by port dispatch so far (see
+    /// [`System::arc_clones`]).
+    pub fn arc_clones(&self) -> u64 {
+        self.system.arc_clones()
+    }
+
     /// Direct access to the substrate (experiments, footprint).
     pub fn memory(&self) -> &MemoryManager {
         self.system.memory()

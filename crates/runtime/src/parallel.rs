@@ -482,6 +482,18 @@ impl<P: Payload> ParallelSystem<P> {
         total
     }
 
+    /// String comparisons performed by port dispatch, summed across
+    /// shards (see [`System::string_compares`]).
+    pub fn string_compares(&self) -> u64 {
+        self.shards.iter().map(|s| s.system.string_compares()).sum()
+    }
+
+    /// Arc clones performed by port dispatch, summed across shards (see
+    /// [`System::arc_clones`]).
+    pub fn arc_clones(&self) -> u64 {
+        self.shards.iter().map(|s| s.system.arc_clones()).sum()
+    }
+
     /// Read-only access to one shard's engine (introspection, footprint).
     pub fn shard_system(&self, shard: usize) -> &System<P> {
         &self.shards[shard].system

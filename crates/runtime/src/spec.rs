@@ -160,6 +160,20 @@ impl SystemSpec {
         self.components.iter().position(|c| c.name == name)
     }
 
+    /// The deployment's client-port intern universe: every distinct
+    /// client-port name across all bindings, in first-appearance order.
+    /// The engine assigns dense `u16` port ids by position in this list
+    /// (cross-domain request ports are appended by the shard compiler).
+    pub fn client_port_names(&self) -> Vec<Box<str>> {
+        let mut names: Vec<Box<str>> = Vec::new();
+        for b in &self.bindings {
+            if !names.iter().any(|n| n.as_ref() == b.client_port) {
+                names.push(b.client_port.as_str().into());
+            }
+        }
+        names
+    }
+
     /// Rough byte size of the spec itself (charged as reified metadata in
     /// SOLEIL mode).
     pub fn metadata_bytes(&self) -> usize {
@@ -326,6 +340,35 @@ mod tests {
             parent: Some(5),
         });
         assert!(s.check().is_err());
+    }
+
+    #[test]
+    fn client_port_names_deduplicate_in_first_appearance_order() {
+        let mut s = tiny_spec();
+        s.bindings.push(BindingSpec {
+            client: 1,
+            client_port: "log".into(),
+            server: 1,
+            server_port: "in".into(),
+            protocol: ProtocolSpec::Sync,
+            pattern: PatternKind::Direct,
+            enter_path: vec![],
+        });
+        s.bindings.push(BindingSpec {
+            client: 1,
+            client_port: "out".into(),
+            server: 1,
+            server_port: "in".into(),
+            protocol: ProtocolSpec::Sync,
+            pattern: PatternKind::Direct,
+            enter_path: vec![],
+        });
+        let names = s.client_port_names();
+        assert_eq!(
+            names,
+            vec![Box::<str>::from("out"), Box::<str>::from("log")],
+            "distinct names only, first appearance wins"
+        );
     }
 
     #[test]

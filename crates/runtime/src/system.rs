@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use rtsj::memory::{AreaId, MemoryContext, MemoryKind, MemoryManager};
 use rtsj::thread::{Priority, ThreadKind};
-use soleil_membrane::content::{Content, ContentRegistry, Payload};
+use soleil_membrane::content::{Content, ContentRegistry, Payload, PortId};
 use soleil_membrane::controllers::{BindingTarget, LifecycleState, MemoryAreaController};
 use soleil_membrane::interceptors::{
     ActiveInterceptor, FastGate, InterceptStep, Interceptor, MemoryInterceptor, MemoryPlan,
@@ -114,18 +114,31 @@ struct BufferRt<P> {
     consumer_port_ix: u16,
 }
 
-/// A compiled binding slot (MERGE-ALL / ULTRA-MERGE dispatch).
+/// A compiled binding slot (MERGE-ALL / ULTRA-MERGE dispatch): the port
+/// name, kept for the cold string-fallback scan and introspection, plus
+/// the `Copy` header the hot path dispatches through.
 #[derive(Debug, Clone)]
 struct CompiledBinding {
     port: Box<str>,
+    header: DispatchHeader,
+}
+
+/// One binding's dispatch decision, fully settled at deploy/rebind time
+/// and `Copy`: resolving a call copies a few machine words — no string, no
+/// `Arc` refcount, no heap traffic. `EnterInner` scope paths live in the
+/// deployment-wide [`System::enter_arena`] as `(offset, len)` ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DispatchHeader {
+    /// Server slot; `usize::MAX` for cross-domain rings.
     target_slot: usize,
     server_port_ix: u16,
     is_async: bool,
     buffer_ix: usize, // usize::MAX when sync
     pattern: PatternKind,
     server_area: AreaId,
-    /// Scoped areas to enter for `EnterInner`, outermost first.
-    enter_path: Arc<[AreaId]>,
+    /// Range of this binding's `EnterInner` scope path in the arena.
+    enter_off: u32,
+    enter_len: u32,
     /// Build-time access decision: for `ExecuteInOuter`, the server area is
     /// statically on the client's scope chain, so the per-call scope-stack
     /// containment walk is skipped (prechecked substrate entry).
@@ -136,19 +149,70 @@ struct CompiledBinding {
     is_cross: bool,
 }
 
-/// A binding resolved for one call (all `Copy` or cheaply-cloned fields, so
-/// the engine never holds a borrow across the nested invocation).
-#[derive(Debug, Clone)]
-struct ResolvedBinding {
-    target_slot: usize,
-    server_port_ix: u16,
-    is_async: bool,
-    buffer_ix: usize,
-    pattern: PatternKind,
-    server_area: AreaId,
-    enter_path: Arc<[AreaId]>,
-    outer_on_stack: bool,
-    is_cross: bool,
+impl DispatchHeader {
+    /// The single construction site for compiled dispatch state: build,
+    /// cross-ring wiring and runtime rebinding all funnel through here, so
+    /// plan fields cannot drift between them. `enter_path` is interned
+    /// into the deployment-wide arena with window reuse, so a rebind that
+    /// restores an earlier target reproduces the original header
+    /// byte-identically (the transactional-rollback guarantee).
+    #[allow(clippy::too_many_arguments)]
+    fn compile(
+        arena: &mut Vec<AreaId>,
+        target_slot: usize,
+        server_port_ix: u16,
+        is_async: bool,
+        buffer_ix: usize,
+        pattern: PatternKind,
+        server_area: AreaId,
+        enter_path: &[AreaId],
+        outer_on_stack: bool,
+        is_cross: bool,
+    ) -> DispatchHeader {
+        let (enter_off, enter_len) = intern_enter_path(arena, enter_path);
+        DispatchHeader {
+            target_slot,
+            server_port_ix,
+            is_async,
+            buffer_ix,
+            pattern,
+            server_area,
+            enter_off,
+            enter_len,
+            outer_on_stack,
+            is_cross,
+        }
+    }
+}
+
+/// Interns `path` into the deployment's flattened enter-path arena,
+/// reusing an existing window when an identical sequence is already
+/// present — so recompiling a binding back to a previous target yields
+/// the exact `(offset, len)` it had before.
+fn intern_enter_path(arena: &mut Vec<AreaId>, path: &[AreaId]) -> (u32, u32) {
+    if path.is_empty() {
+        return (0, 0);
+    }
+    if let Some(off) = arena.windows(path.len()).position(|w| w == path) {
+        return (off as u32, path.len() as u32);
+    }
+    let off = arena.len() as u32;
+    arena.extend_from_slice(path);
+    (off, path.len() as u32)
+}
+
+/// The per-slot transaction plan, settled at build time: where the slot's
+/// scope chain lives in the shared arena and which port its periodic
+/// release dispatches through — `run_transaction` and the activation path
+/// read straight out of this instead of walking `Node` state.
+#[derive(Debug, Clone, Copy)]
+struct ActivationPlan {
+    /// Range of the slot's scope chain (outermost first) in the arena.
+    chain_off: u32,
+    chain_len: u16,
+    /// Index of the implicit [`RELEASE_PORT`]; `u16::MAX` when the slot is
+    /// not periodic.
+    release_ix: u16,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -222,6 +286,29 @@ pub struct System<P: Payload> {
     stats: EngineStats,
     /// Name-resolution counter (see [`System::name_lookups`]).
     lookups: Cell<u64>,
+    /// String-scan dispatch resolutions (see [`System::string_compares`]).
+    string_compares: Cell<u64>,
+    /// `Arc` refcount bumps on the dispatch path (see
+    /// [`System::arc_clones`]). The compiled plan removed the per-call
+    /// `Arc<[AreaId]>` clone structurally, so nothing increments this —
+    /// it stays as a tripwire the steady-state suite asserts on.
+    arc_clones: Cell<u64>,
+    /// The deployment's client-port intern universe: `PortId(i)` names
+    /// `port_names[i]`. Spec binding ports first (first-appearance order),
+    /// then cross-domain ring ports the shard compiler appended.
+    port_names: Vec<Box<str>>,
+    /// Jump tables for interned dispatch, `[slot][port_id]` → binding
+    /// index (`compiled[slot]` position under MERGE-ALL, absolute
+    /// `ultra_table` index under ULTRA-MERGE; `u32::MAX` = unbound here).
+    /// SOLEIL slots are empty — their jump tables live in each membrane's
+    /// `BindingController`.
+    port_jump: Vec<Box<[u32]>>,
+    /// Deployment-wide flattened arena of scope paths: binding
+    /// `EnterInner` paths and per-slot activation chains, addressed by
+    /// `(offset, len)` ranges out of the dispatch/activation plans.
+    enter_arena: Vec<AreaId>,
+    /// Per-slot transaction plans (release dispatch + scope-chain range).
+    activation_plans: Vec<ActivationPlan>,
     // SOLEIL mode: reified membranes + per-binding memory interceptors +
     // the spec kept alive for introspection.
     membranes: Vec<Option<Membrane>>,
@@ -428,6 +515,28 @@ impl<P: Payload> System<P> {
             cross_out.push(co.tx);
         }
 
+        // --- The deployment-wide dispatch plan, shared by every mode:
+        // the client-port intern universe (dense u16 ids by position), the
+        // flattened scope-path arena, and per-slot activation plans.
+        let mut port_names: Vec<Box<str>> = spec.client_port_names();
+        for (_, port) in &cross_requests {
+            if !port_names.iter().any(|n| n.as_ref() == port.as_str()) {
+                port_names.push(port.as_str().into());
+            }
+        }
+        let mut enter_arena: Vec<AreaId> = Vec::new();
+        let activation_plans: Vec<ActivationPlan> = nodes
+            .iter()
+            .map(|n| {
+                let (chain_off, chain_len) = intern_enter_path(&mut enter_arena, &n.scope_chain);
+                ActivationPlan {
+                    chain_off,
+                    chain_len: chain_len as u16,
+                    release_ix: n.release_ix.unwrap_or(u16::MAX),
+                }
+            })
+            .collect();
+
         // --- Mode-specific dispatch machinery.
         let mut membranes: Vec<Option<Membrane>> = Vec::new();
         let mut mem_interceptors: Vec<Option<MemoryInterceptor>> = Vec::new();
@@ -447,34 +556,47 @@ impl<P: Payload> System<P> {
                     .scope_chain
                     .contains(&areas[spec.components[b.server].area].id)
         };
-        let compile_one = |b: &crate::spec::BindingSpec, bix: usize| CompiledBinding {
-            port: b.client_port.as_str().into(),
-            target_slot: b.server,
-            server_port_ix: port_index(&nodes[b.server], &b.server_port)
-                .expect("checked by spec.check"),
-            is_async: matches!(b.protocol, ProtocolSpec::Async { .. }),
-            buffer_ix: buffer_of_binding[bix].unwrap_or(usize::MAX),
-            pattern: b.pattern,
-            server_area: areas[spec.components[b.server].area].id,
-            enter_path: b.enter_path.iter().map(|&ix| areas[ix].id).collect(),
-            outer_on_stack: outer_on_stack(b),
-            is_cross: false,
-        };
+        // Both compile helpers funnel through `DispatchHeader::compile` —
+        // the one constructor shared with runtime rebinding — and take the
+        // arena as a parameter so only the calling loop holds it mutably.
+        let compile_one =
+            |arena: &mut Vec<AreaId>, b: &crate::spec::BindingSpec, bix: usize| CompiledBinding {
+                port: b.client_port.as_str().into(),
+                header: DispatchHeader::compile(
+                    arena,
+                    b.server,
+                    port_index(&nodes[b.server], &b.server_port).expect("checked by spec.check"),
+                    matches!(b.protocol, ProtocolSpec::Async { .. }),
+                    buffer_of_binding[bix].unwrap_or(usize::MAX),
+                    b.pattern,
+                    areas[spec.components[b.server].area].id,
+                    &b.enter_path
+                        .iter()
+                        .map(|&ix| areas[ix].id)
+                        .collect::<Vec<_>>(),
+                    outer_on_stack(b),
+                    false,
+                ),
+            };
         // A compiled slot routing into a cross-domain ring: asynchronous by
         // construction, no scope choreography (the consumer re-enters its
         // own chain in its own shard), `buffer_ix` indexes `cross_out`.
-        let cross_compiled = |port: &str, cross_ix: usize| CompiledBinding {
-            port: port.into(),
-            target_slot: usize::MAX,
-            server_port_ix: 0,
-            is_async: true,
-            buffer_ix: cross_ix,
-            pattern: PatternKind::ImmortalExchange,
-            server_area: AreaId::IMMORTAL,
-            enter_path: Arc::from([]),
-            outer_on_stack: false,
-            is_cross: true,
-        };
+        let cross_compiled =
+            |arena: &mut Vec<AreaId>, port: &str, cross_ix: usize| CompiledBinding {
+                port: port.into(),
+                header: DispatchHeader::compile(
+                    arena,
+                    usize::MAX,
+                    0,
+                    true,
+                    cross_ix,
+                    PatternKind::ImmortalExchange,
+                    AreaId::IMMORTAL,
+                    &[],
+                    false,
+                    true,
+                ),
+            };
 
         match mode {
             Mode::Soleil => {
@@ -534,35 +656,32 @@ impl<P: Payload> System<P> {
                 }
             }
             Mode::MergeAll => {
-                compiled = (0..nodes.len())
-                    .map(|slot| {
-                        spec.bindings
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, b)| b.client == slot)
-                            .map(|(bix, b)| compile_one(b, bix))
-                            .chain(
-                                cross_requests
-                                    .iter()
-                                    .enumerate()
-                                    .filter(|(_, (client, _))| *client == slot)
-                                    .map(|(cross_ix, (_, port))| cross_compiled(port, cross_ix)),
-                            )
-                            .collect()
-                    })
-                    .collect();
+                for slot in 0..nodes.len() {
+                    let mut row = Vec::new();
+                    for (bix, b) in spec.bindings.iter().enumerate() {
+                        if b.client == slot {
+                            row.push(compile_one(&mut enter_arena, b, bix));
+                        }
+                    }
+                    for (cross_ix, (client, port)) in cross_requests.iter().enumerate() {
+                        if *client == slot {
+                            row.push(cross_compiled(&mut enter_arena, port, cross_ix));
+                        }
+                    }
+                    compiled.push(row);
+                }
             }
             Mode::UltraMerge => {
                 for slot in 0..nodes.len() {
                     let start = ultra_table.len() as u32;
                     for (bix, b) in spec.bindings.iter().enumerate() {
                         if b.client == slot {
-                            ultra_table.push(compile_one(b, bix));
+                            ultra_table.push(compile_one(&mut enter_arena, b, bix));
                         }
                     }
                     for (cross_ix, (client, port)) in cross_requests.iter().enumerate() {
                         if *client == slot {
-                            ultra_table.push(cross_compiled(port, cross_ix));
+                            ultra_table.push(cross_compiled(&mut enter_arena, port, cross_ix));
                         }
                     }
                     ultra_ranges.push((start, ultra_table.len() as u32));
@@ -586,6 +705,12 @@ impl<P: Payload> System<P> {
             anon_ctx: None,
             stats: EngineStats::default(),
             lookups: Cell::new(0),
+            string_compares: Cell::new(0),
+            arc_clones: Cell::new(0),
+            port_names,
+            port_jump: Vec::new(),
+            enter_arena,
+            activation_plans,
             membranes,
             mem_interceptors,
             mem_gates,
@@ -600,6 +725,7 @@ impl<P: Payload> System<P> {
         };
 
         system.recompute_periodic_order();
+        system.recompile_port_jump();
 
         // --- Start everything (paper: activation is framework-managed).
         for slot in 0..system.nodes.len() {
@@ -668,6 +794,95 @@ impl<P: Payload> System<P> {
         self.lookups.get()
     }
 
+    /// Dispatch resolutions that fell back to a string scan: name-based
+    /// `Ports::call`/`send`, the one-time `InternedPort` interning scan,
+    /// and cold name resolutions in the binding tables. A steady-state
+    /// transaction through interned ports keeps this constant — the
+    /// property the zero-cost dispatch tests assert in every mode.
+    pub fn string_compares(&self) -> u64 {
+        self.string_compares.get()
+    }
+
+    /// `Arc` clones performed by dispatch resolution. The compiled
+    /// dispatch plan removed the per-call `Arc<[AreaId]>` clone
+    /// structurally (a `Copy` header + arena ranges replaced it), so this
+    /// is always 0; it stays as a regression tripwire asserted per
+    /// steady-state transaction.
+    pub fn arc_clones(&self) -> u64 {
+        self.arc_clones.get()
+    }
+
+    /// Resolves a client-port name to its deployment-interned dense id —
+    /// the one-time cold scan [`InternedPort`](soleil_membrane::InternedPort)
+    /// memoizes away.
+    fn intern_port(&self, client_port: &str) -> Option<PortId> {
+        self.string_compares.set(self.string_compares.get() + 1);
+        self.port_names
+            .iter()
+            .position(|n| n.as_ref() == client_port)
+            .map(|i| PortId(i as u16))
+    }
+
+    /// The name behind an interned port id (cold error reporting: unbound
+    /// failures surface the port *name*, never a bare id).
+    fn port_name(&self, id: PortId) -> &str {
+        self.port_names
+            .get(id.0 as usize)
+            .map(|n| n.as_ref())
+            .unwrap_or("<unknown port id>")
+    }
+
+    /// Recompiles the interned-dispatch jump tables from the current
+    /// binding tables — called at build and defensively after rebinding
+    /// (rebinds replace entries in place, so compiled indices stay valid;
+    /// recompiling keeps the invariant local instead of distributed).
+    fn recompile_port_jump(&mut self) {
+        match self.mode {
+            Mode::Soleil => {
+                // The reified membranes own their jump tables.
+                let names = std::mem::take(&mut self.port_names);
+                for m in self.membranes.iter_mut().flatten() {
+                    m.binding.compile_jump(&names);
+                }
+                self.port_names = names;
+                self.port_jump = (0..self.nodes.len()).map(|_| Box::default()).collect();
+            }
+            Mode::MergeAll => {
+                self.port_jump = self
+                    .compiled
+                    .iter()
+                    .map(|row| {
+                        self.port_names
+                            .iter()
+                            .map(|n| {
+                                row.iter()
+                                    .position(|b| b.port == *n)
+                                    .map_or(u32::MAX, |i| i as u32)
+                            })
+                            .collect()
+                    })
+                    .collect();
+            }
+            Mode::UltraMerge => {
+                self.port_jump = self
+                    .ultra_ranges
+                    .iter()
+                    .map(|&(s, e)| {
+                        self.port_names
+                            .iter()
+                            .map(|n| {
+                                self.ultra_table[s as usize..e as usize]
+                                    .iter()
+                                    .position(|b| b.port == *n)
+                                    .map_or(u32::MAX, |i| s + i as u32)
+                            })
+                            .collect()
+                    })
+                    .collect();
+            }
+        }
+    }
+
     pub(crate) fn slot_ix(&self, name: &str) -> Result<usize, FrameworkError> {
         self.lookups.set(self.lookups.get() + 1);
         self.nodes
@@ -706,21 +921,21 @@ impl<P: Payload> System<P> {
     ///
     /// Any framework or substrate error raised along the way.
     pub fn run_transaction(&mut self, head: usize) -> Result<(), FrameworkError> {
-        // The release port index was cached at build time: a steady-state
-        // loop performs no name resolution at all.
-        let port_ix = self
-            .nodes
+        // The whole release decision was settled at build time into the
+        // per-slot activation plan: a steady-state loop performs no name
+        // resolution and no `Option` walk at all.
+        let plan = *self
+            .activation_plans
             .get(head)
-            .ok_or_else(|| FrameworkError::Content(format!("bad slot {head}")))?
-            .release_ix
-            .ok_or_else(|| {
-                FrameworkError::Content(format!(
-                    "component '{}' is not periodic (no {RELEASE_PORT} port)",
-                    self.nodes[head].name
-                ))
-            })?;
+            .ok_or_else(|| FrameworkError::Content(format!("bad slot {head}")))?;
+        if plan.release_ix == u16::MAX {
+            return Err(FrameworkError::Content(format!(
+                "component '{}' is not periodic (no {RELEASE_PORT} port)",
+                self.nodes[head].name
+            )));
+        }
         let mut msg = P::default();
-        self.activate(head, port_ix, &mut msg)?;
+        self.activate(head, plan.release_ix, &mut msg)?;
         self.drain()?;
         self.stats.transactions += 1;
         Ok(())
@@ -827,11 +1042,14 @@ impl<P: Payload> System<P> {
         msg: &mut P,
         ctx: &mut MemoryContext,
     ) -> Result<(), FrameworkError> {
-        let chain_len = self.nodes[slot].scope_chain.len();
+        // The chain range comes out of the activation plan: one contiguous
+        // arena window, no per-slot `Vec` indirection on the hot path.
+        let plan = self.activation_plans[slot];
+        let (chain_off, chain_len) = (plan.chain_off as usize, plan.chain_len as usize);
         let mut entered = 0;
         let mut result = Ok(());
         for i in 0..chain_len {
-            let scope = self.nodes[slot].scope_chain[i];
+            let scope = self.enter_arena[chain_off + i];
             if let Err(e) = self.mm.enter(ctx, scope) {
                 result = Err(e.into());
                 break;
@@ -1060,7 +1278,11 @@ impl<P: Payload> System<P> {
         result
     }
 
-    fn lookup_compiled(&self, slot: usize, port: &str) -> Result<ResolvedBinding, FrameworkError> {
+    /// The cold string-fallback resolution for name-based callers: a
+    /// short-circuit scan over the slot's compiled bindings, counted so
+    /// steady-state tests can assert interned transactions never take it.
+    fn lookup_compiled(&self, slot: usize, port: &str) -> Result<DispatchHeader, FrameworkError> {
+        self.string_compares.set(self.string_compares.get() + 1);
         let found = match self.mode {
             Mode::MergeAll => self.compiled[slot].iter().find(|b| b.port.as_ref() == port),
             Mode::UltraMerge => {
@@ -1077,22 +1299,36 @@ impl<P: Payload> System<P> {
                 self.nodes[slot].name
             ))
         })?;
-        Ok(ResolvedBinding {
-            target_slot: b.target_slot,
-            server_port_ix: b.server_port_ix,
-            is_async: b.is_async,
-            buffer_ix: b.buffer_ix,
-            pattern: b.pattern,
-            server_area: b.server_area,
-            enter_path: b.enter_path.clone(),
-            outer_on_stack: b.outer_on_stack,
-            is_cross: b.is_cross,
-        })
+        Ok(b.header)
+    }
+
+    /// Interned jump-table dispatch: `[slot][port_id]` indexes straight to
+    /// the compiled header — no string compare, no scan, no refcount.
+    /// `None` when the id is unbound for this slot (the cold error path).
+    #[inline]
+    fn lookup_interned(&self, slot: usize, id: PortId) -> Option<DispatchHeader> {
+        let ix = *self.port_jump[slot].get(id.0 as usize)? as usize;
+        match self.mode {
+            Mode::MergeAll => self.compiled[slot].get(ix).map(|b| b.header),
+            Mode::UltraMerge => self.ultra_table.get(ix).map(|b| b.header),
+            Mode::Soleil => None,
+        }
+    }
+
+    /// The unbound-port error of the interned path: reconstructs the port
+    /// *name* from the intern universe so cold failures read identically
+    /// to the string-fallback path.
+    fn unbound_interned(&self, slot: usize, id: PortId) -> FrameworkError {
+        FrameworkError::Binding(format!(
+            "client port '{}' of '{}' is unbound",
+            self.port_name(id),
+            self.nodes[slot].name
+        ))
     }
 
     fn cross_scope_call(
         &mut self,
-        r: &ResolvedBinding,
+        r: DispatchHeader,
         msg: &mut P,
         ctx: &mut MemoryContext,
     ) -> Result<(), FrameworkError> {
@@ -1114,9 +1350,14 @@ impl<P: Payload> System<P> {
                 out
             }
             PatternKind::EnterInner => {
+                // The enter path is an arena window addressed by the
+                // header's `(offset, len)` range — reading it copies plain
+                // `AreaId`s, no `Arc` traffic anywhere on this path.
+                let (off, len) = (r.enter_off as usize, r.enter_len as usize);
                 let mut entered = 0;
                 let mut out = Ok(());
-                for &scope in r.enter_path.iter() {
+                for i in 0..len {
+                    let scope = self.enter_arena[off + i];
                     if let Err(e) = self.mm.enter(ctx, scope) {
                         out = Err(e.into());
                         break;
@@ -1212,7 +1453,7 @@ impl<P: Payload> System<P> {
                     .ok_or_else(|| {
                         FrameworkError::Binding(format!("client port '{port}' is unbound"))
                     })?;
-                (b.target_slot, b.is_async)
+                (b.header.target_slot, b.header.is_async)
             }
             Mode::UltraMerge => unreachable!("rejected above"),
         };
@@ -1281,6 +1522,10 @@ impl<P: Payload> System<P> {
                         cross: false,
                     },
                 );
+                // `bind` replaces in place, so compiled jump indices stay
+                // valid; recompiling anyway keeps the plan an invariant of
+                // this one (cold) site rather than of `bind`'s internals.
+                m.binding.compile_jump(&self.port_names);
                 Ok(())
             }
             Mode::MergeAll => {
@@ -1294,25 +1539,38 @@ impl<P: Payload> System<P> {
                         .ok_or_else(|| {
                             FrameworkError::Binding(format!("client port '{port}' is unbound"))
                         })?;
-                    if b.is_async {
+                    if b.header.is_async {
                         return Err(FrameworkError::Binding(
                             "cannot rebind asynchronous bindings at runtime".into(),
                         ));
                     }
-                    self.nodes[b.target_slot].server_ports[b.server_port_ix as usize].to_string()
+                    self.nodes[b.header.target_slot].server_ports[b.header.server_port_ix as usize]
+                        .to_string()
                 };
                 let new_port_ix = port_index(&self.nodes[server_slot], &server_port_name)?;
                 let outer_on_stack = self.outer_proof(client_slot, pattern, new_area);
+                // The replacement header comes from the same constructor
+                // build uses; the arena's window reuse means rebinding back
+                // to an earlier target restores the old header
+                // byte-identically (transactional rollback relies on it).
+                let header = DispatchHeader::compile(
+                    &mut self.enter_arena,
+                    server_slot,
+                    new_port_ix,
+                    false,
+                    usize::MAX,
+                    pattern,
+                    new_area,
+                    &enter_path,
+                    outer_on_stack,
+                    false,
+                );
                 let b = self.compiled[client_slot]
                     .iter_mut()
                     .find(|b| b.port.as_ref() == port)
                     .expect("found above");
-                b.target_slot = server_slot;
-                b.server_port_ix = new_port_ix;
-                b.pattern = pattern;
-                b.server_area = new_area;
-                b.enter_path = enter_path.into();
-                b.outer_on_stack = outer_on_stack;
+                b.header = header;
+                self.recompile_port_jump();
                 Ok(())
             }
             Mode::UltraMerge => unreachable!("handled above"),
@@ -1635,24 +1893,27 @@ impl<P: Payload> System<P> {
                     .as_ref()
                     .map(|s| s.metadata_bytes())
                     .unwrap_or(0);
-                membranes + interceptors + spec
+                membranes + interceptors + spec + self.dispatch_plan_bytes()
             }
-            Mode::MergeAll => self
-                .compiled
-                .iter()
-                .map(|v| {
-                    std::mem::size_of::<Vec<CompiledBinding>>()
-                        + v.iter()
-                            .map(|b| std::mem::size_of::<CompiledBinding>() + b.port.len())
-                            .sum::<usize>()
-                })
-                .sum(),
+            Mode::MergeAll => {
+                self.compiled
+                    .iter()
+                    .map(|v| {
+                        std::mem::size_of::<Vec<CompiledBinding>>()
+                            + v.iter()
+                                .map(|b| std::mem::size_of::<CompiledBinding>() + b.port.len())
+                                .sum::<usize>()
+                    })
+                    .sum::<usize>()
+                    + self.dispatch_plan_bytes()
+            }
             Mode::UltraMerge => {
                 self.ultra_table
                     .iter()
                     .map(|b| std::mem::size_of::<CompiledBinding>() + b.port.len())
                     .sum::<usize>()
                     + self.ultra_ranges.len() * std::mem::size_of::<(u32, u32)>()
+                    + self.dispatch_plan_bytes()
             }
         };
         FootprintReport::collect(
@@ -1661,6 +1922,25 @@ impl<P: Payload> System<P> {
             self.areas.iter().map(|a| (a.name.clone(), a.id)).collect(),
             framework_bytes,
         )
+    }
+
+    /// Bytes of the mode-independent dispatch plan: the intern universe,
+    /// the per-slot jump tables, the flattened scope-path arena and the
+    /// per-slot activation plans (charged to every mode's framework
+    /// footprint; SOLEIL's membrane jump tables are counted inside each
+    /// membrane instead of in `port_jump`).
+    fn dispatch_plan_bytes(&self) -> usize {
+        self.port_names
+            .iter()
+            .map(|n| n.len() + std::mem::size_of::<Box<str>>())
+            .sum::<usize>()
+            + self
+                .port_jump
+                .iter()
+                .map(|j| std::mem::size_of::<Box<[u32]>>() + std::mem::size_of_val::<[u32]>(j))
+                .sum::<usize>()
+            + self.enter_arena.len() * std::mem::size_of::<AreaId>()
+            + self.activation_plans.len() * std::mem::size_of::<ActivationPlan>()
     }
 }
 
@@ -1687,19 +1967,16 @@ struct SoleilPorts<'a, P: Payload> {
     ctx: &'a mut MemoryContext,
 }
 
-impl<P: Payload> Ports<P> for SoleilPorts<'_, P> {
-    fn call(&mut self, client_port: &str, msg: &mut P) -> Result<(), FrameworkError> {
-        // Copy only the scalar routing fields out of the binding target:
-        // cloning the whole target would allocate (its server-port name is
-        // a `String`) on every synchronous call.
-        let t = self.membrane.binding.resolve(client_port)?;
-        let (target_slot, server_port_ix, is_async, binding_ix) =
-            (t.target_slot, t.server_port_ix, t.is_async, t.binding_ix);
-        if is_async {
-            return Err(FrameworkError::Binding(format!(
-                "port '{client_port}' is asynchronous; use send()"
-            )));
-        }
+impl<P: Payload> SoleilPorts<'_, P> {
+    /// The shared synchronous body behind both resolution paths: routing
+    /// scalars in, gate/interceptor choreography around the invoke.
+    fn call_sync(
+        &mut self,
+        target_slot: usize,
+        server_port_ix: u16,
+        binding_ix: usize,
+        msg: &mut P,
+    ) -> Result<(), FrameworkError> {
         self.sys.stats.sync_calls += 1;
         // The binding's fused gate, compiled at build/rebind time: when it
         // proves the memory interceptor's pre/post are no-ops, both calls
@@ -1742,16 +2019,92 @@ impl<P: Payload> Ports<P> for SoleilPorts<'_, P> {
         result.and(post)
     }
 
+    /// The shared asynchronous body: same-engine exchange buffer or
+    /// cross-domain ring, decided at deploy time.
+    fn send_buffered(
+        &mut self,
+        buffer_ix: usize,
+        cross: bool,
+        msg: P,
+    ) -> Result<(), FrameworkError> {
+        if cross {
+            return self.sys.enqueue_cross(buffer_ix, msg);
+        }
+        self.sys.enqueue(buffer_ix, msg, self.ctx)
+    }
+}
+
+impl<P: Payload> Ports<P> for SoleilPorts<'_, P> {
+    fn call(&mut self, client_port: &str, msg: &mut P) -> Result<(), FrameworkError> {
+        // Copy only the scalar routing fields out of the binding target:
+        // cloning the whole target would allocate (its server-port name is
+        // a `String`) on every synchronous call.
+        self.sys
+            .string_compares
+            .set(self.sys.string_compares.get() + 1);
+        let t = self.membrane.binding.resolve(client_port)?;
+        let (target_slot, server_port_ix, is_async, binding_ix) =
+            (t.target_slot, t.server_port_ix, t.is_async, t.binding_ix);
+        if is_async {
+            return Err(FrameworkError::Binding(format!(
+                "port '{client_port}' is asynchronous; use send()"
+            )));
+        }
+        self.call_sync(target_slot, server_port_ix, binding_ix, msg)
+    }
+
     fn send(&mut self, client_port: &str, msg: P) -> Result<(), FrameworkError> {
+        self.sys
+            .string_compares
+            .set(self.sys.string_compares.get() + 1);
         let t = self.membrane.binding.resolve(client_port)?;
         let (buffer_ix, cross) = (t.buffer_index, t.cross);
         let buffer_ix = buffer_ix.ok_or_else(|| {
             FrameworkError::Binding(format!("port '{client_port}' is synchronous; use call()"))
         })?;
-        if cross {
-            return self.sys.enqueue_cross(buffer_ix, msg);
+        self.send_buffered(buffer_ix, cross, msg)
+    }
+
+    fn intern(&self, client_port: &str) -> Option<PortId> {
+        self.sys.intern_port(client_port)
+    }
+
+    fn call_interned(&mut self, id: PortId, msg: &mut P) -> Result<(), FrameworkError> {
+        // Jump-table resolve through the membrane's compiled table: one
+        // index, no string compare — the name only resurfaces on the cold
+        // error paths below.
+        let Some(t) = self.membrane.binding.resolve_id(id) else {
+            return Err(FrameworkError::Binding(format!(
+                "client port '{}' is unbound",
+                self.sys.port_name(id)
+            )));
+        };
+        let (target_slot, server_port_ix, is_async, binding_ix) =
+            (t.target_slot, t.server_port_ix, t.is_async, t.binding_ix);
+        if is_async {
+            return Err(FrameworkError::Binding(format!(
+                "port '{}' is asynchronous; use send()",
+                self.sys.port_name(id)
+            )));
         }
-        self.sys.enqueue(buffer_ix, msg, self.ctx)
+        self.call_sync(target_slot, server_port_ix, binding_ix, msg)
+    }
+
+    fn send_interned(&mut self, id: PortId, msg: P) -> Result<(), FrameworkError> {
+        let Some(t) = self.membrane.binding.resolve_id(id) else {
+            return Err(FrameworkError::Binding(format!(
+                "client port '{}' is unbound",
+                self.sys.port_name(id)
+            )));
+        };
+        let (buffer_ix, cross) = (t.buffer_index, t.cross);
+        let Some(buffer_ix) = buffer_ix else {
+            return Err(FrameworkError::Binding(format!(
+                "port '{}' is synchronous; use call()",
+                self.sys.port_name(id)
+            )));
+        };
+        self.send_buffered(buffer_ix, cross, msg)
     }
 }
 
@@ -1774,7 +2127,7 @@ impl<P: Payload> Ports<P> for CompiledPorts<'_, P> {
         if self.checked {
             self.sys.stats.sync_calls += 1;
         }
-        self.sys.cross_scope_call(&resolved, msg, self.ctx)
+        self.sys.cross_scope_call(resolved, msg, self.ctx)
     }
 
     fn send(&mut self, client_port: &str, msg: P) -> Result<(), FrameworkError> {
@@ -1782,6 +2135,44 @@ impl<P: Payload> Ports<P> for CompiledPorts<'_, P> {
         if !resolved.is_async {
             return Err(FrameworkError::Binding(format!(
                 "port '{client_port}' is synchronous; use call()"
+            )));
+        }
+        if resolved.is_cross {
+            return self.sys.enqueue_cross(resolved.buffer_ix, msg);
+        }
+        self.sys.enqueue(resolved.buffer_ix, msg, self.ctx)
+    }
+
+    fn intern(&self, client_port: &str) -> Option<PortId> {
+        self.sys.intern_port(client_port)
+    }
+
+    fn call_interned(&mut self, id: PortId, msg: &mut P) -> Result<(), FrameworkError> {
+        // The hot path of the compiled plan: two array indexes yield a
+        // `Copy` dispatch header — no string scan, no Arc, no clone.
+        let Some(resolved) = self.sys.lookup_interned(self.slot, id) else {
+            return Err(self.sys.unbound_interned(self.slot, id));
+        };
+        if resolved.is_async {
+            return Err(FrameworkError::Binding(format!(
+                "port '{}' is asynchronous; use send()",
+                self.sys.port_name(id)
+            )));
+        }
+        if self.checked {
+            self.sys.stats.sync_calls += 1;
+        }
+        self.sys.cross_scope_call(resolved, msg, self.ctx)
+    }
+
+    fn send_interned(&mut self, id: PortId, msg: P) -> Result<(), FrameworkError> {
+        let Some(resolved) = self.sys.lookup_interned(self.slot, id) else {
+            return Err(self.sys.unbound_interned(self.slot, id));
+        };
+        if !resolved.is_async {
+            return Err(FrameworkError::Binding(format!(
+                "port '{}' is synchronous; use call()",
+                self.sys.port_name(id)
             )));
         }
         if resolved.is_cross {
@@ -1799,7 +2190,7 @@ mod tests {
     use super::*;
     use crate::spec::{AreaSpec, BindingSpec, ComponentSpec, DomainSpec};
     use rtsj::time::RelativeTime;
-    use soleil_membrane::content::InvokeResult;
+    use soleil_membrane::content::{InternedPort, InvokeResult};
 
     /// A pipeline payload: counts the stations it passed through.
     #[derive(Debug, Clone, Default, PartialEq)]
@@ -2574,5 +2965,210 @@ mod tests {
             System::build(&spec, Mode::MergeAll, &registry()),
             Err(FrameworkError::Content(_))
         ));
+    }
+
+    /// The cold error path must survive interning: an unbound port id maps
+    /// back to its *name* in the error, and the string-scan fallback keeps
+    /// reporting the same text it always did — in both façades.
+    #[test]
+    fn unbound_port_errors_report_the_name_after_interning() {
+        // "out" is in the deployment's intern universe (the producer's
+        // port) but is not bound on the middle slot.
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        let id = sys.intern_port("out").unwrap();
+        let mut ctx = sys.mm.context(ThreadKind::Realtime);
+        let mut ports = CompiledPorts {
+            sys: &mut sys,
+            slot: middle,
+            ctx: &mut ctx,
+            checked: true,
+        };
+        let mut tok = Token::default();
+        let interned = ports.call_interned(id, &mut tok).unwrap_err();
+        assert_eq!(
+            interned.to_string(),
+            "binding error: client port 'out' of 'middle' is unbound"
+        );
+        let by_name = ports.call("out", &mut tok).unwrap_err();
+        assert_eq!(
+            by_name.to_string(),
+            "binding error: client port 'out' of 'middle' is unbound"
+        );
+        assert_eq!(
+            ports
+                .send_interned(id, Token::default())
+                .unwrap_err()
+                .to_string(),
+            "binding error: client port 'out' of 'middle' is unbound"
+        );
+
+        // SOLEIL's reified membrane: same contract through the jump table.
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::Soleil, &registry()).unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        let id = sys.intern_port("out").unwrap();
+        let mut membrane = sys.membranes[middle].take().unwrap();
+        let mut ctx = sys.mm.context(ThreadKind::Realtime);
+        let mut ports = SoleilPorts {
+            sys: &mut sys,
+            membrane: &mut membrane,
+            ctx: &mut ctx,
+        };
+        let interned = ports.call_interned(id, &mut tok).unwrap_err();
+        assert_eq!(
+            interned.to_string(),
+            "binding error: client port 'out' is unbound"
+        );
+        let by_name = ports.call("out", &mut tok).unwrap_err();
+        assert_eq!(
+            by_name.to_string(),
+            "binding error: client port 'out' is unbound"
+        );
+        assert_eq!(
+            ports
+                .send_interned(id, Token::default())
+                .unwrap_err()
+                .to_string(),
+            "binding error: client port 'out' is unbound"
+        );
+        sys.membranes[middle] = Some(membrane);
+    }
+
+    /// A rebind-and-revert cycle must restore the dispatch plan
+    /// byte-identically: the header compares equal and the shared
+    /// enter-path arena does not grow (the intern step reuses the
+    /// original range instead of appending a duplicate).
+    #[test]
+    fn rebind_cycle_restores_dispatch_header_byte_identically() {
+        let mut spec = pipeline_spec();
+        spec.components.push(ComponentSpec {
+            name: "service2".into(),
+            content_class: "Service".into(),
+            activation: Activation::Passive,
+            domain: None,
+            area: 0,
+            server_ports: vec!["svc".into()],
+            ceiling: None,
+        });
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        let service = sys.slot_of("service").unwrap();
+        let service2 = sys.slot_of("service2").unwrap();
+        let svc_header = |sys: &System<Token>| {
+            sys.compiled[middle]
+                .iter()
+                .find(|b| b.port.as_ref() == "svc")
+                .map(|b| b.header)
+                .unwrap()
+        };
+        let original = svc_header(&sys);
+        let arena_len = sys.enter_arena.len();
+        let jump = sys.port_jump.clone();
+
+        sys.rebind_at(middle, "svc", service2).unwrap();
+        assert_ne!(svc_header(&sys), original, "rebind recompiled the plan");
+        sys.rebind_at(middle, "svc", service).unwrap();
+
+        assert_eq!(svc_header(&sys), original, "revert restored the header");
+        assert_eq!(
+            sys.enter_arena.len(),
+            arena_len,
+            "enter-path interning deduplicated the restored range"
+        );
+        assert_eq!(sys.port_jump, jump, "jump table is back to the original");
+    }
+
+    /// Interned pipeline stations: the same topology as [`pipeline_spec`]
+    /// but every client port dispatches through a memoized [`PortId`].
+    #[derive(Debug)]
+    struct InternedProducer {
+        out: InternedPort,
+    }
+    impl Default for InternedProducer {
+        fn default() -> Self {
+            Self {
+                out: InternedPort::new("out"),
+            }
+        }
+    }
+    impl Content<Token> for InternedProducer {
+        fn on_invoke(
+            &mut self,
+            port: &str,
+            msg: &mut Token,
+            out: &mut dyn Ports<Token>,
+        ) -> InvokeResult {
+            assert_eq!(port, RELEASE_PORT);
+            msg.hops.push("producer".into());
+            msg.value = 10;
+            self.out.send(out, msg.clone())
+        }
+    }
+
+    #[derive(Debug)]
+    struct InternedMiddle {
+        svc: InternedPort,
+        log: InternedPort,
+    }
+    impl Default for InternedMiddle {
+        fn default() -> Self {
+            Self {
+                svc: InternedPort::new("svc"),
+                log: InternedPort::new("log"),
+            }
+        }
+    }
+    impl Content<Token> for InternedMiddle {
+        fn on_invoke(
+            &mut self,
+            _port: &str,
+            msg: &mut Token,
+            out: &mut dyn Ports<Token>,
+        ) -> InvokeResult {
+            msg.hops.push("middle".into());
+            msg.value *= 2;
+            self.svc.call(out, msg)?;
+            self.log.send(out, msg.clone())
+        }
+    }
+
+    fn interned_registry() -> ContentRegistry<Token> {
+        let mut r = ContentRegistry::new();
+        r.register("Producer", || Box::new(InternedProducer::default()));
+        r.register("Middle", || Box::new(InternedMiddle::default()));
+        r.register("Service", || Box::new(Service::default()));
+        r.register("Sink", || Box::new(Sink::default()));
+        r
+    }
+
+    /// The whole point of the compiled plan: after the first (warm-up)
+    /// transaction has memoized the port ids, a steady-state transaction
+    /// performs zero string comparisons and zero Arc clones — in every
+    /// mode, with identical functional results to the string-path oracle.
+    #[test]
+    fn interned_steady_state_is_free_of_string_compares_and_arc_clones() {
+        for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+            let spec = pipeline_spec();
+            let mut sys = System::build(&spec, mode, &interned_registry()).unwrap();
+            let head = sys.slot_of("producer").unwrap();
+            // Warm-up: each InternedPort pays its one-time name scan here.
+            sys.run_transaction(head).unwrap();
+            let (sc, ac) = (sys.string_compares(), sys.arc_clones());
+            for _ in 0..4 {
+                sys.run_transaction(head).unwrap();
+            }
+            assert_eq!(
+                sys.string_compares() - sc,
+                0,
+                "steady-state string compares ({mode})"
+            );
+            assert_eq!(sys.arc_clones() - ac, 0, "steady-state Arc clones ({mode})");
+            let st = sys.stats();
+            assert_eq!(st.transactions, 5, "{mode}");
+            assert_eq!(st.activations, 15, "{mode}");
+            assert_eq!(st.dropped_messages, 0, "{mode}");
+        }
     }
 }

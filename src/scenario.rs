@@ -23,7 +23,7 @@ use rtsj::thread::ThreadKind;
 
 use crate::core::adl::{from_xml, MOTIVATION_EXAMPLE_XML};
 use crate::core::Architecture;
-use crate::membrane::content::{Content, ContentRegistry, InvokeResult, Ports};
+use crate::membrane::content::{Content, ContentRegistry, InternedPort, InvokeResult, Ports};
 use crate::patterns::ScopePin;
 use crate::runtime::footprint::FootprintReport;
 
@@ -134,9 +134,23 @@ impl ScenarioProbe {
 // ---------------------------------------------------------------------------
 
 /// `ProductionLineImpl`: stamps and emits one measurement per release.
-#[derive(Debug, Default)]
+///
+/// Its client port is an [`InternedPort`]: the first send pays one name
+/// scan to obtain the deployment's dense port id, every later send
+/// dispatches through the compiled jump table with zero string compares.
+#[derive(Debug)]
 pub struct ProductionLineImpl {
     seq: u64,
+    monitor: InternedPort,
+}
+
+impl Default for ProductionLineImpl {
+    fn default() -> Self {
+        ProductionLineImpl {
+            seq: 0,
+            monitor: InternedPort::new("iMonitor"),
+        }
+    }
 }
 
 impl Content<Measurement> for ProductionLineImpl {
@@ -150,14 +164,27 @@ impl Content<Measurement> for ProductionLineImpl {
         msg.seq = self.seq;
         msg.value = busy_work(work::PRODUCTION, self.seq as f64);
         msg.anomalous = self.seq.is_multiple_of(work::ANOMALY_EVERY);
-        out.send("iMonitor", *msg)
+        self.monitor.send(out, *msg)
     }
 }
 
 /// `MonitoringSystemImpl`: evaluates measurements, notifies the console on
-/// anomalies, forwards everything to the audit log.
-#[derive(Debug, Default)]
-pub struct MonitoringSystemImpl;
+/// anomalies, forwards everything to the audit log — both through
+/// interned ports (see [`ProductionLineImpl`]).
+#[derive(Debug)]
+pub struct MonitoringSystemImpl {
+    console: InternedPort,
+    audit: InternedPort,
+}
+
+impl Default for MonitoringSystemImpl {
+    fn default() -> Self {
+        MonitoringSystemImpl {
+            console: InternedPort::new("iConsole"),
+            audit: InternedPort::new("iAudit"),
+        }
+    }
+}
 
 impl Content<Measurement> for MonitoringSystemImpl {
     fn on_invoke(
@@ -168,9 +195,9 @@ impl Content<Measurement> for MonitoringSystemImpl {
     ) -> InvokeResult {
         msg.value = busy_work(work::MONITORING, msg.value);
         if msg.anomalous {
-            out.call("iConsole", msg)?;
+            self.console.call(out, msg)?;
         }
-        out.send("iAudit", *msg)
+        self.audit.send(out, *msg)
     }
 }
 
@@ -223,7 +250,9 @@ pub fn registry_with_probe(probe: &ScenarioProbe) -> ContentRegistry<Measurement
     r.register("ProductionLineImpl", || {
         Box::new(ProductionLineImpl::default())
     });
-    r.register("MonitoringSystemImpl", || Box::new(MonitoringSystemImpl));
+    r.register("MonitoringSystemImpl", || {
+        Box::new(MonitoringSystemImpl::default())
+    });
     let p = probe.clone();
     r.register("ConsoleImpl", move || {
         Box::new(ConsoleImpl { probe: p.clone() })
