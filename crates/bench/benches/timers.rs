@@ -1,0 +1,95 @@
+//! Microbench: the release engine's primitives.
+//!
+//! Three costs matter for the real-time story: arming and disarming a
+//! release on the preallocated timer queue (steady-state churn), the full
+//! arm→due→fire cycle, and the contract monitor's histogram record. The
+//! `monitored_transaction` group then measures the end-to-end price a
+//! transaction pays when a deadline contract is attached vs. the bare
+//! engine — the "zero cost when unused, one branch when armed" claim,
+//! measured rather than asserted.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtsj::thread::Priority;
+use soleil::generator::deploy;
+use soleil::membrane::monitor::LatencyMonitor;
+use soleil::prelude::*;
+use soleil::scenario::{motivation_validated, registry};
+
+fn bench_timer_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timer_queue");
+
+    // Arm/disarm churn against a warm, half-full queue: the backlog keeps
+    // the heap honest (every schedule sifts past it), the cancel exercises
+    // the generation check.
+    group.bench_function("schedule_cancel", |b| {
+        let mut q: TimerQueue<u32> = TimerQueue::with_capacity(64);
+        for _ in 0..32 {
+            q.schedule(AbsoluteTime::MAX, Priority::new(20), 0)
+                .expect("backlog arms");
+        }
+        b.iter(|| {
+            let h = q
+                .schedule(AbsoluteTime::from_nanos(100), Priority::new(25), 1)
+                .expect("arms");
+            assert!(q.cancel(h));
+        });
+    });
+
+    // The full release cycle: arm, come due, fire.
+    group.bench_function("schedule_fire", |b| {
+        let mut q: TimerQueue<u32> = TimerQueue::with_capacity(64);
+        for _ in 0..32 {
+            q.schedule(AbsoluteTime::MAX, Priority::new(20), 0)
+                .expect("backlog arms");
+        }
+        b.iter(|| {
+            q.schedule(AbsoluteTime::from_nanos(100), Priority::new(25), 1)
+                .expect("arms");
+            let fired = q
+                .pop_due(AbsoluteTime::from_nanos(100))
+                .expect("timer is due");
+            criterion::black_box(fired.handle);
+        });
+    });
+
+    // One histogram record: bucket index + deadline compare + jitter
+    // update, no allocation.
+    group.bench_function("histogram_record", |b| {
+        let mut monitor = LatencyMonitor::new(Some(500_000_000), None);
+        let mut latency = 1_000u64;
+        b.iter(|| {
+            latency = latency
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407)
+                % 1_000_000;
+            monitor.observe(Instant::now(), latency);
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_monitored_transaction(c: &mut Criterion) {
+    let arch = motivation_validated().expect("fixture validates");
+    let mut group = c.benchmark_group("monitored_transaction");
+    for (label, monitored) in [("bare", false), ("contract", true)] {
+        let mut sys = deploy(&arch, Mode::MergeAll, &registry()).expect("deploys");
+        let head = sys.resolve("ProductionLine").expect("head");
+        if monitored {
+            sys.attach_contract(
+                head,
+                TimingContract::new().with_deadline(RelativeTime::from_millis(500)),
+            )
+            .expect("contract attaches");
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| sys.run_transaction(head).expect("transaction"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timer_queue, bench_monitored_transaction);
+criterion_main!(benches);

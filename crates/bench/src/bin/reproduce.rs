@@ -10,7 +10,8 @@
 //! `BENCH_steady_state.json`), `steady-gate` (CI regression gate: re-runs
 //! the steady measurement and exits non-zero when any mode's median
 //! regresses >25% vs the committed artifact, when allocs, string compares
-//! or Arc clones per transaction leave 0, or when MERGE-ALL's median falls
+//! or Arc clones per transaction leave 0, when the baseline scenario's
+//! deadline contract records a miss, or when MERGE-ALL's median falls
 //! behind SOLEIL's by more than noise; never part of `all`), `all`
 //! (default). Raw observation CSVs are written to `target/experiments/`.
 //!
@@ -130,17 +131,18 @@ fn main() -> Result<(), SoleilError> {
         let rows = run_steady_state(WARMUP, observations, alloc_probe::allocations)?;
         println!(
             "steady-state transaction (median ns, allocs/txn, substrate allocs/txn, \
-             string compares/txn, Arc clones/txn):"
+             string compares/txn, Arc clones/txn, deadline misses):"
         );
         for r in &rows {
             println!(
-                "  {:<12} {:>10} ns   {:>6} heap   {:>6} substrate   {:>6} compares   {:>6} arcs",
+                "  {:<12} {:>10} ns   {:>6} heap   {:>6} substrate   {:>6} compares   {:>6} arcs   {:>6} misses",
                 r.label,
                 r.median_ns,
                 r.allocs_per_transaction,
                 r.substrate_allocs_per_transaction,
                 r.string_compares_per_transaction,
-                r.arc_clones_per_transaction
+                r.arc_clones_per_transaction,
+                r.deadline_misses
             );
         }
         let json = steady_state_json(&rows, observations);
@@ -164,17 +166,18 @@ fn main() -> Result<(), SoleilError> {
         let rows = run_steady_state(WARMUP, observations, alloc_probe::allocations)?;
         println!(
             "steady-state transaction (median ns, allocs/txn, substrate allocs/txn, \
-             string compares/txn, Arc clones/txn):"
+             string compares/txn, Arc clones/txn, deadline misses):"
         );
         for r in &rows {
             println!(
-                "  {:<12} {:>10} ns   {:>6} heap   {:>6} substrate   {:>6} compares   {:>6} arcs",
+                "  {:<12} {:>10} ns   {:>6} heap   {:>6} substrate   {:>6} compares   {:>6} arcs   {:>6} misses",
                 r.label,
                 r.median_ns,
                 r.allocs_per_transaction,
                 r.substrate_allocs_per_transaction,
                 r.string_compares_per_transaction,
-                r.arc_clones_per_transaction
+                r.arc_clones_per_transaction,
+                r.deadline_misses
             );
         }
         // Re-emit the fresh artifact next to the raw data (the committed
@@ -189,7 +192,8 @@ fn main() -> Result<(), SoleilError> {
             eprintln!(
                 "steady-state gate passed: no mode regressed >{THRESHOLD_PCT}% vs the \
                  committed artifact; allocs, string compares and Arc clones per \
-                 transaction are 0 everywhere; MERGE-ALL kept its lead on SOLEIL"
+                 transaction are 0 everywhere; no deadline miss under the baseline \
+                 contract; MERGE-ALL kept its lead on SOLEIL"
             );
         } else {
             eprintln!("steady-state gate FAILED:");

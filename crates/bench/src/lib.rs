@@ -165,18 +165,19 @@ pub fn fig7c_table(reports: &[FootprintReport]) -> String {
     let _ = writeln!(out, "Fig. 7(c) — memory footprint");
     let _ = writeln!(
         out,
-        "{:<12} {:>14} {:>14} {:>14} {:>16}",
-        "impl", "app bytes", "framework B", "total B", "overhead vs OO"
+        "{:<12} {:>14} {:>14} {:>14} {:>14} {:>16}",
+        "impl", "app bytes", "framework B", "release eng B", "total B", "overhead vs OO"
     );
     let baseline = reports.first();
     for r in reports {
         let overhead = baseline.map(|b| r.overhead_vs(b)).unwrap_or(0);
         let _ = writeln!(
             out,
-            "{:<12} {:>14} {:>14} {:>14} {:>16}",
+            "{:<12} {:>14} {:>14} {:>14} {:>14} {:>16}",
             r.label,
             r.application_bytes(),
             r.framework_bytes,
+            r.release_engine_bytes,
             r.total_bytes(),
             overhead
         );
@@ -369,6 +370,11 @@ pub struct SteadyStateRow {
     /// `Arc` clones per transaction (0 is the gate: dispatch headers are
     /// `Copy`, the enter-path arena is indexed by range).
     pub arc_clones_per_transaction: f64,
+    /// Deadline misses recorded across the measured observations by the
+    /// baseline scenario's timing contract (0 is the gate: every steady
+    /// run arms a generous deadline contract plus an unfired release
+    /// timer, so the zero-alloc claim covers the monitored hot path).
+    pub deadline_misses: u64,
 }
 
 /// Runs the steady-state perf gate: warms each implementation, then times
@@ -397,6 +403,7 @@ pub fn run_steady_state(
     let measure = |label: &str,
                    substrate: &mut dyn FnMut() -> u64,
                    dispatch: &mut dyn FnMut() -> (u64, u64),
+                   misses: &mut dyn FnMut() -> u64,
                    op: &mut dyn FnMut() -> HarnessResult<()>|
      -> HarnessResult<SteadyStateRow> {
         for _ in 0..warmup {
@@ -405,6 +412,7 @@ pub fn run_steady_state(
         let mut nanos: Vec<u64> = Vec::with_capacity(observations);
         let substrate_before = substrate();
         let (compares_before, arcs_before) = dispatch();
+        let misses_before = misses();
         let heap_before = heap_allocs();
         for _ in 0..observations {
             let start = Instant::now();
@@ -423,6 +431,7 @@ pub fn run_steady_state(
             string_compares_per_transaction: (compares_after - compares_before) as f64
                 / observations as f64,
             arc_clones_per_transaction: (arcs_after - arcs_before) as f64 / observations as f64,
+            deadline_misses: misses() - misses_before,
         })
     };
 
@@ -432,6 +441,7 @@ pub fn run_steady_state(
         "OO",
         &mut || oo.borrow().alloc_count(),
         &mut || (0, 0),
+        &mut || 0,
         &mut || Ok(oo.borrow_mut().run_transaction()?),
     )?);
 
@@ -440,16 +450,32 @@ pub fn run_steady_state(
         let probe = ScenarioProbe::new();
         let dep = std::cell::RefCell::new(deploy(&arch, mode, &registry_with_probe(&probe))?);
         let head = dep.borrow().resolve("ProductionLine")?;
+        // The gate covers the *monitored* hot path: a deadline contract on
+        // the head (generous enough that a healthy run never misses) plus
+        // an armed-but-unfired release keep the release engine live
+        // through every measured transaction.
+        dep.borrow_mut()
+            .attach_contract(head, baseline_contract())?;
+        dep.borrow_mut().schedule_release(head, AbsoluteTime::MAX)?;
         rows.push(measure(
             &mode.to_string(),
             &mut || dep.borrow().memory().alloc_count(),
             &mut || (dep.borrow().string_compares(), dep.borrow().arc_clones()),
+            &mut || dep.borrow().deadline_misses(),
             &mut || Ok(dep.borrow_mut().run_transaction(head)?),
         )?);
     }
 
     rows.push(run_parallel_steady(warmup, observations, &heap_allocs)?);
     Ok(rows)
+}
+
+/// The timing contract armed on the baseline scenario's head during every
+/// steady-state measurement: a 500 ms deadline no healthy transaction
+/// (microseconds end-to-end) can miss — any recorded miss is a genuine
+/// engine regression, not measurement noise.
+pub fn baseline_contract() -> TimingContract {
+    TimingContract::new().with_deadline(RelativeTime::from_millis(500))
 }
 
 /// The `PARALLEL` row of the steady-state artifact: the motivation
@@ -471,11 +497,17 @@ pub fn run_parallel_steady(
     let arch = motivation_validated()?;
     let probe = ScenarioProbe::new();
     let mut sys = deploy_parallel(&arch, Mode::MergeAll, &registry_with_probe(&probe))?;
+    // The same monitored-hot-path discipline as the serial rows: a
+    // generous contract on the head's shard and an armed release that
+    // never comes due within the run.
+    sys.attach_contract("ProductionLine", baseline_contract())?;
+    sys.schedule_release("ProductionLine", AbsoluteTime::MAX)?;
     // Warm up outside the instrumented run so the one-time interning scans
     // stay out of the measured dispatch-counter deltas.
     sys.run_ticks(warmup as u64)?;
     let compares_before = sys.string_compares();
     let arcs_before = sys.arc_clones();
+    let misses_before = sys.deadline_misses();
     let runs = sys.run_ticks_instrumented(0, observations as u64, &heap_allocs)?;
     Ok(SteadyStateRow {
         label: "PARALLEL".into(),
@@ -488,6 +520,7 @@ pub fn run_parallel_steady(
         string_compares_per_transaction: (sys.string_compares() - compares_before) as f64
             / observations as f64,
         arc_clones_per_transaction: (sys.arc_clones() - arcs_before) as f64 / observations as f64,
+        deadline_misses: sys.deadline_misses() - misses_before,
     })
 }
 
@@ -497,8 +530,10 @@ pub fn run_parallel_steady(
 /// A failure line is produced for every mode whose fresh median exceeds
 /// the committed median by more than `threshold_pct` percent, for any
 /// fresh row whose allocs/transaction (Rust heap or substrate) leave 0,
-/// and for modes present in the committed artifact but missing from the
-/// fresh run (artifact drift). An empty result means the gate passes.
+/// for any fresh row reporting a deadline miss under the baseline
+/// scenario's generous contract, and for modes present in the committed
+/// artifact but missing from the fresh run (artifact drift). An empty
+/// result means the gate passes.
 ///
 /// The committed artifact is integer-valued by construction (medians in
 /// nanoseconds, allocation counts pinned at 0 — a fractional count would
@@ -573,6 +608,12 @@ pub fn steady_state_regressions(
                 row.label, row.arc_clones_per_transaction
             ));
         }
+        if row.deadline_misses != 0 {
+            failures.push(format!(
+                "{}: {} deadline miss(es); the baseline scenario's contract must never miss",
+                row.label, row.deadline_misses
+            ));
+        }
     }
     // Lead gate: the merged modes exist to shed SOLEIL's reified-membrane
     // overhead. If MERGE-ALL's fresh median falls behind SOLEIL's by more
@@ -608,13 +649,15 @@ pub fn steady_state_json(rows: &[SteadyStateRow], observations: usize) -> String
             out,
             "    {{\"mode\": \"{}\", \"median_ns_per_transaction\": {}, \
              \"allocs_per_transaction\": {}, \"substrate_allocs_per_transaction\": {}, \
-             \"string_compares_per_transaction\": {}, \"arc_clones_per_transaction\": {}}}",
+             \"string_compares_per_transaction\": {}, \"arc_clones_per_transaction\": {}, \
+             \"deadline_misses\": {}}}",
             r.label,
             r.median_ns,
             r.allocs_per_transaction,
             r.substrate_allocs_per_transaction,
             r.string_compares_per_transaction,
-            r.arc_clones_per_transaction
+            r.arc_clones_per_transaction,
+            r.deadline_misses
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -773,6 +816,7 @@ mod tests {
                 substrate_allocs_per_transaction: 0.0,
                 string_compares_per_transaction: 0.0,
                 arc_clones_per_transaction: 0.0,
+                deadline_misses: 0,
             },
             SteadyStateRow {
                 label: "PARALLEL".into(),
@@ -781,6 +825,7 @@ mod tests {
                 substrate_allocs_per_transaction: 0.0,
                 string_compares_per_transaction: 0.0,
                 arc_clones_per_transaction: 0.0,
+                deadline_misses: 0,
             },
         ];
         let json = steady_state_json(&rows, 1234);
@@ -795,6 +840,7 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"arc_clones_per_transaction\": 0"), "{json}");
+        assert!(json.contains("\"deadline_misses\": 0"), "{json}");
         let other = steady_state_json(&rows, 77);
         assert!(other.contains("\"observations\": 77"), "{other}");
     }
@@ -817,6 +863,7 @@ mod tests {
             substrate_allocs_per_transaction: 0.0,
             string_compares_per_transaction: 0.0,
             arc_clones_per_transaction: 0.0,
+            deadline_misses: 0,
         };
 
         // Within threshold, allocation-free, all modes present: clean.
@@ -872,7 +919,20 @@ mod tests {
             substrate_allocs_per_transaction: 0.0,
             string_compares_per_transaction: compares,
             arc_clones_per_transaction: arcs,
+            deadline_misses: 0,
         };
+
+        // A deadline miss is its own failure line, even with every other
+        // counter clean.
+        let mut missed = row("SOLEIL", 1000, 0.0, 0.0);
+        missed.deadline_misses = 2;
+        let fresh = vec![missed, row("MERGE-ALL", 1000, 0.0, 0.0)];
+        let failures = steady_state_regressions(committed, &fresh, 25.0).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("SOLEIL") && failures[0].contains("deadline miss"),
+            "{failures:?}"
+        );
 
         // MERGE-ALL within its committed threshold (1000 → 990) yet
         // behind SOLEIL by more than the 5% lead noise: the lead gate must
@@ -931,6 +991,7 @@ mod tests {
                 substrate_allocs_per_transaction: 0.0,
                 string_compares_per_transaction: 0.0,
                 arc_clones_per_transaction: 0.0,
+                deadline_misses: 0,
             })
             .collect();
         assert!(steady_state_regressions(committed, &fresh, 25.0)
@@ -943,6 +1004,7 @@ mod tests {
         let row = run_parallel_steady(50, 200, || 0).unwrap();
         assert_eq!(row.label, "PARALLEL");
         assert_eq!(row.substrate_allocs_per_transaction, 0.0);
+        assert_eq!(row.deadline_misses, 0, "generous contract must hold");
     }
 
     #[test]

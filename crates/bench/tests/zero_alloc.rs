@@ -31,6 +31,15 @@ fn steady_state_transactions_never_touch_the_rust_heap() {
         let mut dep = deploy(&arch, mode, &registry_with_probe(&probe)).expect("deploys");
         let head = dep.resolve("ProductionLine").expect("head exists");
 
+        // The claim must hold for the *monitored* hot path too: a deadline
+        // contract records every transaction into its preallocated
+        // histogram and an armed-but-never-due release keeps the timer
+        // queue live throughout the measured run.
+        dep.attach_contract(head, soleil_bench::baseline_contract())
+            .expect("contract attaches in every mode");
+        dep.schedule_release(head, AbsoluteTime::MAX)
+            .expect("release arms");
+
         // Warm every lazily-grown engine structure: the pending-message
         // heap, domain scope stacks, ring slots.
         for _ in 0..WARMUP {
@@ -68,6 +77,23 @@ fn steady_state_transactions_never_touch_the_rust_heap() {
             0,
             "{mode}: steady-state dispatch must not clone Arcs"
         );
+        // The release engine stayed live the whole run without disturbing
+        // the counters above — and the generous contract never missed.
+        assert_eq!(dep.armed_timers(), 1, "{mode}: release must stay armed");
+        assert_eq!(
+            dep.deadline_misses(),
+            0,
+            "{mode}: the baseline contract must never miss"
+        );
+        let snapshot = dep
+            .latency_snapshot(head)
+            .expect("head resolves")
+            .expect("contract attached");
+        assert_eq!(
+            snapshot.activations,
+            WARMUP as u64 + OBSERVATIONS,
+            "{mode}: every transaction lands in the histogram"
+        );
     }
 }
 
@@ -86,6 +112,13 @@ fn parallel_steady_state_is_allocation_free_on_every_thread() {
         "motivation scenario must shard: got {}",
         sys.shard_count()
     );
+
+    // Same monitored-hot-path discipline as the serial gate: contract on
+    // the head's shard, release armed but never due.
+    sys.attach_contract("ProductionLine", soleil_bench::baseline_contract())
+        .expect("contract attaches");
+    sys.schedule_release("ProductionLine", AbsoluteTime::MAX)
+        .expect("release arms");
 
     // Warm up separately so the dispatch-counter deltas below cover only
     // the measured steady phase (interning pays its name scans here).
@@ -125,6 +158,12 @@ fn parallel_steady_state_is_allocation_free_on_every_thread() {
         sys.arc_clones() - arcs_before,
         0,
         "parallel steady-state dispatch must not clone Arcs on any shard"
+    );
+    assert_eq!(sys.armed_timers(), 1, "release must stay armed");
+    assert_eq!(
+        sys.deadline_misses(),
+        0,
+        "the baseline contract must never miss on any shard"
     );
 }
 

@@ -23,6 +23,10 @@
 //!   paper names (single ThreadDomain per active component, no ThreadDomain
 //!   nesting, NHRT domains may not encapsulate heap, binding legality with
 //!   suggested cross-scope patterns, …) reported as structured diagnostics.
+//! * [`contract`] — declarative **runtime** timing contracts (deadline, max
+//!   jitter, throughput floor, latency-quantile bounds) attached to deployed
+//!   components and checked online; violations surface through the same
+//!   [`validate::ValidationReport`] machinery under codes SOL-016…SOL-019.
 //!
 //! ## Example
 //!
@@ -53,6 +57,7 @@
 
 pub mod adl;
 pub mod arch;
+pub mod contract;
 pub mod disjoint;
 pub mod dot;
 pub mod error;
@@ -63,6 +68,7 @@ pub mod validate;
 pub mod views;
 
 pub use arch::Architecture;
+pub use contract::{ContractObservation, TimingContract};
 pub use error::{SoleilError, SoleilResult};
 pub use validate::{
     validate, validate_into, Diagnostic, RejectedArchitecture, Severity, ValidatedArchitecture,
@@ -73,6 +79,7 @@ pub use validate::{
 pub mod prelude {
     pub use crate::adl::{from_xml, to_xml};
     pub use crate::arch::Architecture;
+    pub use crate::contract::{ContractObservation, TimingContract};
     pub use crate::error::{SoleilError, SoleilResult};
     pub use crate::model::{
         ActivationKind, Binding, Component, ComponentId, ComponentKind, InterfaceDecl,

@@ -26,6 +26,10 @@
 //! | SOL-013 | Error/Warning | client interfaces bound at most once / left unbound |
 //! | SOL-014 | Info | shared passive services get a priority ceiling |
 //! | SOL-015 | Info | constructs serializing ThreadDomains into one parallel shard ([`parallel_coupling`], advisory — not run by [`validate`]) |
+//! | SOL-016 | Error | runtime contract: observed deadline misses ([`crate::contract`], online — not run by [`validate`]) |
+//! | SOL-017 | Error | runtime contract: observed jitter beyond the contracted bound ([`crate::contract`], online) |
+//! | SOL-018 | Error | runtime contract: observed throughput below the contracted floor ([`crate::contract`], online) |
+//! | SOL-019 | Error | runtime contract: observed latency quantile beyond its bound ([`crate::contract`], online) |
 
 use std::fmt;
 
@@ -152,6 +156,20 @@ impl ValidationReport {
     /// Findings with the given rule code.
     pub fn by_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
         self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// Appends one finding. [`Diagnostic`] fields are public precisely so
+    /// online checkers (the runtime contract machinery in
+    /// [`crate::contract`]) can surface verdicts through the same report
+    /// type the design-time validator uses.
+    pub fn append(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Absorbs every finding of `other`, preserving order — used to fold
+    /// per-component contract verdicts into one system-wide report.
+    pub fn merge(&mut self, other: ValidationReport) {
+        self.diagnostics.extend(other.diagnostics);
     }
 
     fn push(

@@ -24,6 +24,11 @@ pub enum FrameworkError {
     /// An operation the current generation mode does not support (e.g.
     /// reconfiguration under ULTRA-MERGE).
     Unsupported(String),
+    /// A release-engine timer operation that could not be honored (queue
+    /// exhausted, release target not periodic, …). The timer queue is
+    /// preallocated at deploy time, so exhaustion is a capacity decision,
+    /// not an allocation failure.
+    Timer(String),
     /// A transactional reconfiguration whose resulting architecture the
     /// validator refused; the transaction was rolled back and the full
     /// report is preserved.
@@ -69,6 +74,7 @@ impl fmt::Display for FrameworkError {
             FrameworkError::RunToCompletion(m) => write!(f, "run-to-completion violated: {m}"),
             FrameworkError::Content(m) => write!(f, "content error: {m}"),
             FrameworkError::Unsupported(m) => write!(f, "unsupported in this mode: {m}"),
+            FrameworkError::Timer(m) => write!(f, "timer error: {m}"),
             FrameworkError::Rejected(report) => {
                 write!(f, "reconfiguration rejected, rolled back:\n{report}")
             }

@@ -14,6 +14,10 @@
 //!   **ActiveInterceptor** enforcing run-to-completion activation and the
 //!   **MemoryInterceptor** executing the cross-scope pattern selected at
 //!   design time;
+//! * [`monitor`] — the allocation-free [`LatencyMonitor`] backing runtime
+//!   timing contracts: a fixed log₂ latency histogram with deadline-miss
+//!   and jitter-violation counters, attached per component and skipped by
+//!   a compiled sentinel when unused;
 //! * [`Membrane`] — the per-component assembly of the above, as reified in
 //!   the SOLEIL generation mode (MERGE-ALL inlines this logic; ULTRA-MERGE
 //!   compiles it away — see `soleil-generator`).
@@ -46,9 +50,11 @@ pub mod content;
 pub mod controllers;
 pub mod error;
 pub mod interceptors;
+pub mod monitor;
 
 pub use content::{Content, InternedPort, InvokeResult, Payload, PortId, Ports};
 pub use error::FrameworkError;
+pub use monitor::{LatencyMonitor, LatencySnapshot};
 
 use rtsj::memory::{MemoryContext, MemoryManager};
 

@@ -58,9 +58,21 @@ impl AbsoluteTime {
         self.0 as f64 / 1_000.0
     }
 
+    /// The far end of the timeline — a "never" sentinel that compares
+    /// later than every reachable instant (used by the runtime timer
+    /// queue for armed-but-unfired deadlines).
+    pub const MAX: AbsoluteTime = AbsoluteTime(u64::MAX);
+
     /// The later of `self` and `other`.
     pub fn max(self, other: AbsoluteTime) -> AbsoluteTime {
         AbsoluteTime(self.0.max(other.0))
+    }
+
+    /// `self + delta`, clamped at [`AbsoluteTime::MAX`] instead of
+    /// overflowing — timer-rescheduling arithmetic must stay total even
+    /// for "never" deadlines.
+    pub const fn saturating_add(self, delta: RelativeTime) -> AbsoluteTime {
+        AbsoluteTime(self.0.saturating_add(delta.0))
     }
 
     /// Duration elapsed since `earlier`.
@@ -266,6 +278,17 @@ mod tests {
         let r = RelativeTime::from_micros(10);
         assert_eq!((r * 3).as_nanos(), 30_000);
         assert_eq!((r / 2).as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_the_end_of_the_timeline() {
+        let t = AbsoluteTime::from_millis(3).saturating_add(RelativeTime::from_millis(7));
+        assert_eq!(t, AbsoluteTime::from_millis(10));
+        assert_eq!(
+            AbsoluteTime::MAX.saturating_add(RelativeTime::from_nanos(1)),
+            AbsoluteTime::MAX
+        );
+        assert!(AbsoluteTime::MAX > AbsoluteTime::from_millis(u32::MAX as u64));
     }
 
     #[test]

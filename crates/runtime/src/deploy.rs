@@ -30,16 +30,20 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 use rtsj::memory::MemoryManager;
 use rtsj::thread::{Priority, ThreadKind};
+use rtsj::time::AbsoluteTime;
+use soleil_core::contract::TimingContract;
 use soleil_core::model::{ComponentId, ComponentKind, Protocol};
 use soleil_core::validate::validate;
-use soleil_core::Architecture;
+use soleil_core::{Architecture, ValidationReport};
 use soleil_membrane::content::{ContentRegistry, Payload};
 use soleil_membrane::interceptors::InterceptStep;
+use soleil_membrane::monitor::LatencySnapshot;
 use soleil_membrane::FrameworkError;
 
 use crate::footprint::FootprintReport;
 use crate::spec::{Mode, SystemSpec};
-use crate::system::{EngineStats, MembraneInfo, System};
+use crate::system::{EngineStats, MembraneInfo, MonitorSlot, System};
+use crate::timer::TimerHandle;
 
 /// Mints a fresh deployment identity (token-scoping nonce).
 static NEXT_DEPLOYMENT: AtomicU32 = AtomicU32::new(1);
@@ -351,6 +355,126 @@ impl<P: Payload> Deployment<P> {
         self.system.disable_jitter_at(slot)
     }
 
+    // -----------------------------------------------------------------
+    // Release engine: scheduled releases + runtime contracts
+    // -----------------------------------------------------------------
+
+    /// Schedules an extra release of the periodic component `head` at
+    /// absolute engine time `at`. The timer fires during the first
+    /// [`run_tick`](Self::run_tick) whose clock reaches `at` (or an
+    /// explicit [`fire_timers_until`](Self::fire_timers_until)), before
+    /// the regular periodic releases of that tick. The handle cancels it.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Timer`] when the component is not periodic or
+    /// the preallocated queue is full; [`FrameworkError::Content`] for
+    /// foreign refs.
+    pub fn schedule_release(
+        &mut self,
+        head: ComponentRef,
+        at: AbsoluteTime,
+    ) -> Result<TimerHandle, FrameworkError> {
+        let slot = self.slot(head)?;
+        self.system.schedule_release(slot, at)
+    }
+
+    /// Cancels a scheduled release; `false` when the handle is stale
+    /// (already fired or cancelled) — generation-checked, always safe.
+    pub fn cancel_release(&mut self, handle: TimerHandle) -> bool {
+        self.system.cancel_release(handle)
+    }
+
+    /// Advances the engine clock to `now` and fires every due scheduled
+    /// release as a full transaction. Returns the number fired.
+    ///
+    /// # Errors
+    ///
+    /// The first failing fired transaction aborts the advance.
+    pub fn fire_timers_until(&mut self, now: AbsoluteTime) -> Result<u64, FrameworkError> {
+        self.system.advance_clock_to(now)
+    }
+
+    /// The engine's virtual release clock.
+    pub fn timer_clock(&self) -> AbsoluteTime {
+        self.system.clock()
+    }
+
+    /// Currently armed (scheduled, unfired, uncancelled) timers.
+    pub fn armed_timers(&self) -> usize {
+        self.system.armed_timers()
+    }
+
+    /// Attaches a declarative timing contract to a component (any mode —
+    /// engine-level observability, unlike the SOLEIL-only membrane
+    /// interceptors), replacing any previous contract. From then on every
+    /// activation of the component is stamped into an allocation-free
+    /// latency histogram with online deadline/jitter checking; components
+    /// without a contract keep paying a single integer compare.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn attach_contract(
+        &mut self,
+        component: ComponentRef,
+        contract: TimingContract,
+    ) -> Result<(), FrameworkError> {
+        let slot = self.slot(component)?;
+        self.system.attach_contract_at(slot, contract).map(|_| ())
+    }
+
+    /// Detaches a component's timing contract (discarding its recorded
+    /// histogram); `true` when one was attached.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn detach_contract(&mut self, component: ComponentRef) -> Result<bool, FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.detach_contract_at(slot).is_some())
+    }
+
+    /// The timing contract attached to a component, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn contract_of(
+        &self,
+        component: ComponentRef,
+    ) -> Result<Option<TimingContract>, FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.contract_at(slot).cloned())
+    }
+
+    /// A snapshot of a component's latency monitor (histogram quantiles,
+    /// miss/violation counters); `None` when no contract is attached.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn latency_snapshot(
+        &self,
+        component: ComponentRef,
+    ) -> Result<Option<LatencySnapshot>, FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.latency_snapshot_at(slot))
+    }
+
+    /// Deadline misses observed across every monitored component (see
+    /// [`System::deadline_misses`]).
+    pub fn deadline_misses(&self) -> u64 {
+        self.system.deadline_misses()
+    }
+
+    /// Checks every attached contract against its observations and folds
+    /// the verdicts into one report (SOL-016…SOL-019 violations; a
+    /// compliant report means every contract holds).
+    pub fn contract_report(&self) -> ValidationReport {
+        self.system.contract_report()
+    }
+
     /// Tears the deployment down (see [`System::shutdown`]).
     ///
     /// # Errors
@@ -447,6 +571,12 @@ enum Undo {
         slot: usize,
         index: usize,
         step: InterceptStep,
+    },
+    /// Undo of a contract attach *or* detach: both reduce to putting the
+    /// pre-transaction monitor slot — recorded histogram included — back.
+    Contract {
+        slot: usize,
+        previous: Option<Box<MonitorSlot>>,
     },
 }
 
@@ -724,6 +854,47 @@ impl<P: Payload> Reconfiguration<'_, P> {
         }
     }
 
+    /// Attaches (or replaces) a declarative timing contract on a live
+    /// component, journaled: rollback restores the previous monitor slot —
+    /// recorded histogram included — or removes the new one. Works in any
+    /// reconfigurable mode, since contracts are engine-level observability
+    /// rather than membrane machinery.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn attach_contract(
+        &mut self,
+        component: ComponentRef,
+        contract: TimingContract,
+    ) -> Result<(), FrameworkError> {
+        let slot = self.dep.slot(component)?;
+        let previous = self.dep.system.attach_contract_at(slot, contract)?;
+        self.journal.push(Undo::Contract { slot, previous });
+        Ok(())
+    }
+
+    /// Detaches a component's timing contract; `true` when one was
+    /// attached. Journaled: rollback restores the exact monitor slot,
+    /// recorded histogram included.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn detach_contract(&mut self, component: ComponentRef) -> Result<bool, FrameworkError> {
+        let slot = self.dep.slot(component)?;
+        match self.dep.system.detach_contract_at(slot) {
+            Some(previous) => {
+                self.journal.push(Undo::Contract {
+                    slot,
+                    previous: Some(previous),
+                });
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     /// Replays the journal in reverse, restoring engine and architecture.
     /// Each undo reverses an operation that succeeded against a state that
     /// was valid, so failures here are framework bugs — surfaced loudly.
@@ -778,6 +949,9 @@ impl<P: Payload> Reconfiguration<'_, P> {
                         .system
                         .insert_step_at(slot, index, step)
                         .expect("rollback reinstall in a mode that removed it");
+                }
+                Undo::Contract { slot, previous } => {
+                    self.dep.system.restore_contract_at(slot, previous);
                 }
                 Undo::Domain {
                     slot,

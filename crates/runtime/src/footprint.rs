@@ -31,17 +31,28 @@ pub struct FootprintReport {
     /// Per-area application consumption.
     pub areas: Vec<AreaFootprint>,
     /// Bytes of framework machinery (membranes, tables, metadata).
+    ///
+    /// This is the Fig. 7(c) axis: only machinery that *varies with the
+    /// generation mode* is counted here, so the SOLEIL / MERGE-ALL /
+    /// ULTRA-MERGE comparison reflects what generation actually removes.
     pub framework_bytes: usize,
+    /// Bytes pinned by the real-time release engine: the preallocated
+    /// timer-queue slots plus any attached contract monitors. Identical in
+    /// every mode (the engine is shared infrastructure, not generated
+    /// machinery), so it is reported alongside — not inside — the
+    /// mode-dependent framework figure.
+    pub release_engine_bytes: usize,
 }
 
 impl FootprintReport {
-    /// Collects a report from the substrate plus a framework-bytes figure
-    /// computed by the caller.
+    /// Collects a report from the substrate plus framework- and
+    /// release-engine-byte figures computed by the caller.
     pub fn collect(
         label: String,
         mm: &MemoryManager,
         areas: Vec<(String, AreaId)>,
         framework_bytes: usize,
+        release_engine_bytes: usize,
     ) -> Self {
         let areas = areas
             .into_iter()
@@ -59,6 +70,7 @@ impl FootprintReport {
             label,
             areas,
             framework_bytes,
+            release_engine_bytes,
         }
     }
 
@@ -67,9 +79,9 @@ impl FootprintReport {
         self.areas.iter().map(|a| a.consumed).sum()
     }
 
-    /// Application + framework bytes.
+    /// Application + framework + release-engine bytes.
     pub fn total_bytes(&self) -> usize {
-        self.application_bytes() + self.framework_bytes
+        self.application_bytes() + self.framework_bytes + self.release_engine_bytes
     }
 
     /// Framework overhead relative to a baseline report (e.g. OO):
@@ -90,6 +102,9 @@ impl fmt::Display for FootprintReport {
             writeln!(f)?;
         }
         writeln!(f, "  framework     {:>8} B", self.framework_bytes)?;
+        if self.release_engine_bytes > 0 {
+            writeln!(f, "  release eng   {:>8} B", self.release_engine_bytes)?;
+        }
         writeln!(f, "  total         {:>8} B", self.total_bytes())
     }
 }
@@ -109,13 +124,19 @@ mod tests {
             &mm,
             vec![("imm".into(), AreaId::IMMORTAL)],
             1234,
+            256,
         );
         assert_eq!(report.framework_bytes, 1234);
+        assert_eq!(report.release_engine_bytes, 256);
         assert!(report.application_bytes() >= 500);
-        assert_eq!(report.total_bytes(), report.application_bytes() + 1234);
+        assert_eq!(
+            report.total_bytes(),
+            report.application_bytes() + 1234 + 256
+        );
         let display = report.to_string();
         assert!(display.contains("imm"));
         assert!(display.contains("framework"));
+        assert!(display.contains("release eng"));
     }
 
     #[test]
@@ -124,11 +145,13 @@ mod tests {
             label: "OO".into(),
             areas: vec![],
             framework_bytes: 0,
+            release_engine_bytes: 0,
         };
         let other = FootprintReport {
             label: "SOLEIL".into(),
             areas: vec![],
             framework_bytes: 700,
+            release_engine_bytes: 0,
         };
         assert_eq!(other.overhead_vs(&base), 700);
         assert_eq!(base.overhead_vs(&other), 0);

@@ -25,6 +25,18 @@
 //! cross-shard bindings on wait-free SPSC rings. Payloads and content are
 //! `Send` to make that legal; the partition rules live in the module docs.
 //!
+//! The engine is also a **release engine**: [`timer`] provides a
+//! preallocated binary-heap timer queue over [`rtsj::time::AbsoluteTime`]
+//! (schedule/fire/cancel with generation-checked handles; earliest
+//! deadline first, ties by priority then FIFO), driven by
+//! `System::run_tick` — serially or per parallel shard — so components
+//! can schedule releases at absolute times. Deployed components can carry
+//! declarative timing contracts (`soleil_core::contract`): an
+//! allocation-free latency/jitter histogram with deadline-miss detection
+//! is compiled into each component's activation plan — a `u16` sentinel,
+//! so unmonitored components pay a single integer compare — and verdicts
+//! surface through the design-time `ValidationReport` machinery.
+//!
 //! Supporting modules: [`instrument`] (steady-state latency measurement for
 //! Fig. 7(a)/(b)), [`footprint`] (Fig. 7(c) accounting) and [`sim`]
 //! (virtual-time deployment onto [`rtsj::sched::Simulator`] for the
@@ -40,6 +52,7 @@ pub mod parallel;
 pub mod sim;
 pub mod spec;
 pub mod system;
+pub mod timer;
 
 pub use deploy::{ComponentRef, Deployment, PortRef, Reconfiguration};
 pub use footprint::FootprintReport;
@@ -47,3 +60,4 @@ pub use instrument::LatencySamples;
 pub use parallel::{ParallelSystem, ShardRun};
 pub use spec::{Mode, SystemSpec};
 pub use system::System;
+pub use timer::{TimerHandle, TimerQueue};

@@ -46,7 +46,11 @@ use std::sync::Arc;
 use std::thread::ThreadId;
 use std::time::Instant;
 
+use rtsj::time::AbsoluteTime;
+use soleil_core::contract::TimingContract;
+use soleil_core::ValidationReport;
 use soleil_membrane::content::{ContentRegistry, Payload};
+use soleil_membrane::monitor::LatencySnapshot;
 use soleil_membrane::FrameworkError;
 use soleil_patterns::spsc::{spsc_ring, SpscConsumer};
 
@@ -54,6 +58,7 @@ use crate::spec::{
     AreaSpec, BindingSpec, ComponentSpec, DomainSpec, Mode, ProtocolSpec, SystemSpec,
 };
 use crate::system::{CrossOutput, EngineStats, System};
+use crate::timer::TimerHandle;
 
 // ---------------------------------------------------------------------------
 // Planning
@@ -478,6 +483,7 @@ impl<P: Payload> ParallelSystem<P> {
             total.sync_calls += st.sync_calls;
             total.async_messages += st.async_messages;
             total.dropped_messages += st.dropped_messages;
+            total.timer_fires += st.timer_fires;
         }
         total
     }
@@ -497,6 +503,111 @@ impl<P: Payload> ParallelSystem<P> {
     /// Read-only access to one shard's engine (introspection, footprint).
     pub fn shard_system(&self, shard: usize) -> &System<P> {
         &self.shards[shard].system
+    }
+
+    // -----------------------------------------------------------------
+    // Release engine: per-shard timers + runtime contracts
+    // -----------------------------------------------------------------
+
+    /// The shard and shard-local slot of a component, by name.
+    fn locate(&self, component: &str) -> Result<(usize, usize), FrameworkError> {
+        for (six, s) in self.shards.iter().enumerate() {
+            if let Some(slot) = s.components.iter().position(|c| c == component) {
+                return Ok((six, slot));
+            }
+        }
+        Err(FrameworkError::Content(format!(
+            "unknown component '{component}'"
+        )))
+    }
+
+    /// Schedules an extra release of periodic `component` at absolute
+    /// engine time `at`, on the timer queue of whichever shard it was
+    /// planned into; each shard's worker fires its own due timers inside
+    /// its tick loop (see [`System::schedule_release`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components,
+    /// [`FrameworkError::Timer`] for non-periodic ones or a full queue.
+    pub fn schedule_release(
+        &mut self,
+        component: &str,
+        at: AbsoluteTime,
+    ) -> Result<TimerHandle, FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        self.shards[shard].system.schedule_release(slot, at)
+    }
+
+    /// Cancels a release scheduled on `component`'s shard; `false` for
+    /// stale handles. The component names the shard — handles are only
+    /// meaningful against the queue that issued them.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn cancel_release(
+        &mut self,
+        component: &str,
+        handle: TimerHandle,
+    ) -> Result<bool, FrameworkError> {
+        let (shard, _) = self.locate(component)?;
+        Ok(self.shards[shard].system.cancel_release(handle))
+    }
+
+    /// Currently armed timers, summed across shards.
+    pub fn armed_timers(&self) -> usize {
+        self.shards.iter().map(|s| s.system.armed_timers()).sum()
+    }
+
+    /// Attaches a declarative timing contract to a component, wherever it
+    /// was sharded (see [`System`]'s contract machinery); every later
+    /// activation on that shard's thread is stamped into its
+    /// allocation-free histogram.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn attach_contract(
+        &mut self,
+        component: &str,
+        contract: TimingContract,
+    ) -> Result<(), FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        self.shards[shard]
+            .system
+            .attach_contract_at(slot, contract)
+            .map(|_| ())
+    }
+
+    /// A component's latency-monitor snapshot; `None` when no contract is
+    /// attached.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn latency_snapshot(
+        &self,
+        component: &str,
+    ) -> Result<Option<LatencySnapshot>, FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        Ok(self.shards[shard].system.latency_snapshot_at(slot))
+    }
+
+    /// Deadline misses observed across every monitored component of every
+    /// shard.
+    pub fn deadline_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.system.deadline_misses()).sum()
+    }
+
+    /// Checks every attached contract on every shard and folds the
+    /// verdicts into one report (SOL-016…SOL-019).
+    pub fn contract_report(&self) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        for s in &self.shards {
+            report.merge(s.system.contract_report());
+        }
+        report
     }
 
     /// Releases every periodic head of every shard `ticks` times, each

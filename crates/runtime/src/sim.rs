@@ -61,6 +61,21 @@ pub struct SimDeployment {
     pub tasks: HashMap<String, TaskId>,
 }
 
+impl SimDeployment {
+    /// Deadline misses summed across every deployed task — the analytic
+    /// counterpart of the runtime engine's deadline-miss counter
+    /// (`Deployment::deadline_misses`), so integration tests can
+    /// cross-check the simulator's virtual-time verdicts against the
+    /// contract monitors' wall-clock ones on the same spec.
+    pub fn deadline_misses(&self) -> u64 {
+        self.tasks
+            .values()
+            .filter_map(|&id| self.simulator.stats(id).ok())
+            .map(|s| s.deadline_misses)
+            .sum()
+    }
+}
+
 /// Optional overrides applied during deployment.
 #[derive(Debug, Clone, Default)]
 pub struct SimOptions {

@@ -18,24 +18,35 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use rtsj::memory::{AreaId, MemoryContext, MemoryKind, MemoryManager};
 use rtsj::thread::{Priority, ThreadKind};
+use rtsj::time::{AbsoluteTime, RelativeTime};
+use soleil_core::contract::{ContractObservation, TimingContract};
+use soleil_core::ValidationReport;
 use soleil_membrane::content::{Content, ContentRegistry, Payload, PortId};
 use soleil_membrane::controllers::{BindingTarget, LifecycleState, MemoryAreaController};
 use soleil_membrane::interceptors::{
     ActiveInterceptor, FastGate, InterceptStep, Interceptor, MemoryInterceptor, MemoryPlan,
 };
+use soleil_membrane::monitor::{LatencyMonitor, LatencySnapshot};
 use soleil_membrane::{ChainFusion, FrameworkError, Membrane, Ports};
 use soleil_patterns::spsc::SpscProducer;
 use soleil_patterns::{ExchangeBuffer, PatternKind, PushOutcome, ScopePin};
 
 use crate::footprint::FootprintReport;
 use crate::spec::{Activation, BufferPlacement, Mode, ProtocolSpec, SystemSpec};
+use crate::timer::{TimerHandle, TimerQueue};
 
 /// The implicit server port through which periodic components receive their
 /// time-triggered releases.
 pub const RELEASE_PORT: &str = "@release";
+
+/// Minimum preallocated timer-queue slots per engine: the queue holds at
+/// least one armed timer per component and never fewer than this floor
+/// (capacity is fixed at build so arming never allocates).
+const TIMER_SLOTS_MIN: usize = 64;
 
 /// Engine-wide counters (introspection / experiment reporting).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,6 +61,8 @@ pub struct EngineStats {
     pub async_messages: u64,
     /// Messages dropped by full buffers.
     pub dropped_messages: u64,
+    /// Scheduled releases fired by the timer queue.
+    pub timer_fires: u64,
 }
 
 #[derive(Debug)]
@@ -213,6 +226,20 @@ struct ActivationPlan {
     /// Index of the implicit [`RELEASE_PORT`]; `u16::MAX` when the slot is
     /// not periodic.
     release_ix: u16,
+    /// Slot of the component's latency monitor in `System::monitors`;
+    /// `u16::MAX` when no timing contract is attached. A component without
+    /// a contract pays exactly one integer compare per activation — the
+    /// same pay-nothing-when-unused compilation as `release_ix` and the
+    /// membrane `FastGate`s.
+    monitor_ix: u16,
+}
+
+/// An attached runtime timing contract with its live monitor, boxed so the
+/// per-slot table stays one pointer wide (attach/detach are cold paths;
+/// the monitor's histogram would otherwise fatten every slot).
+pub(crate) struct MonitorSlot {
+    pub(crate) contract: TimingContract,
+    pub(crate) monitor: LatencyMonitor,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -309,6 +336,21 @@ pub struct System<P: Payload> {
     enter_arena: Vec<AreaId>,
     /// Per-slot transaction plans (release dispatch + scope-chain range).
     activation_plans: Vec<ActivationPlan>,
+    /// The release-engine clock: advances one `tick_quantum` per
+    /// `run_tick` (or explicitly via `advance_clock_to`), driving `timers`.
+    clock: AbsoluteTime,
+    /// Clock advance per tick: the smallest periodic period in the spec
+    /// (1 ms when nothing is periodic), so one `run_tick` models one
+    /// release cycle of the fastest component.
+    tick_quantum: RelativeTime,
+    /// The scheduled-release timer queue; payloads are engine slots. All
+    /// storage preallocated at build — the armed steady state allocates
+    /// nothing.
+    timers: TimerQueue<u32>,
+    /// Per-slot latency monitors for attached timing contracts; `None`
+    /// everywhere until a contract is attached. The hot path never reads
+    /// this directly — it tests `ActivationPlan::monitor_ix` first.
+    monitors: Vec<Option<Box<MonitorSlot>>>,
     // SOLEIL mode: reified membranes + per-binding memory interceptors +
     // the spec kept alive for introspection.
     membranes: Vec<Option<Membrane>>,
@@ -533,9 +575,26 @@ impl<P: Payload> System<P> {
                     chain_off,
                     chain_len: chain_len as u16,
                     release_ix: n.release_ix.unwrap_or(u16::MAX),
+                    monitor_ix: u16::MAX,
                 }
             })
             .collect();
+
+        // --- Release engine: the tick quantum is the fastest periodic
+        // period (one run_tick = one cycle of the fastest component); the
+        // timer queue is preallocated here, once, so arming/cancelling/
+        // firing in the steady state never touches the allocator.
+        let tick_quantum = spec
+            .components
+            .iter()
+            .filter_map(|c| match c.activation {
+                Activation::Periodic { period } => Some(period),
+                _ => None,
+            })
+            .min()
+            .unwrap_or(RelativeTime::from_millis(1));
+        let timer_capacity = nodes.len().max(TIMER_SLOTS_MIN);
+        let node_count = nodes.len();
 
         // --- Mode-specific dispatch machinery.
         let mut membranes: Vec<Option<Membrane>> = Vec::new();
@@ -711,6 +770,10 @@ impl<P: Payload> System<P> {
             port_jump: Vec::new(),
             enter_arena,
             activation_plans,
+            clock: AbsoluteTime::ZERO,
+            tick_quantum,
+            timers: TimerQueue::with_capacity(timer_capacity),
+            monitors: (0..node_count).map(|_| None).collect(),
             membranes,
             mem_interceptors,
             mem_gates,
@@ -934,11 +997,27 @@ impl<P: Payload> System<P> {
                 self.nodes[head].name
             )));
         }
+        // Monitored heads stamp the transaction; the sentinel keeps the
+        // unmonitored path at one integer compare (no clock read).
+        let t0 = (plan.monitor_ix != u16::MAX).then(Instant::now);
         let mut msg = P::default();
         self.activate(head, plan.release_ix, &mut msg)?;
         self.drain()?;
         self.stats.transactions += 1;
+        if let Some(t0) = t0 {
+            self.observe_latency(plan.monitor_ix, t0);
+        }
         Ok(())
+    }
+
+    /// Feeds one completed monitored activation to its latency monitor
+    /// (deadline check, jitter check, histogram record — allocation-free).
+    #[inline]
+    fn observe_latency(&mut self, monitor_ix: u16, start: Instant) {
+        let latency_ns = start.elapsed().as_nanos() as u64;
+        if let Some(m) = self.monitors[monitor_ix as usize].as_deref_mut() {
+            m.monitor.observe(start, latency_ns);
+        }
     }
 
     /// Slots of every periodic component, highest priority first — the
@@ -972,6 +1051,14 @@ impl<P: Payload> System<P> {
     ///
     /// The first transaction error aborts the tick.
     pub fn run_tick(&mut self) -> Result<(), FrameworkError> {
+        // The release engine rides the tick: advance the virtual clock one
+        // quantum and fire whatever came due. With nothing armed this is
+        // one add and one length check — periodic-only deployments pay
+        // essentially nothing for the timer machinery.
+        self.clock = self.clock.saturating_add(self.tick_quantum);
+        if !self.timers.is_empty() {
+            self.fire_due_timers()?;
+        }
         for i in 0..self.periodic_order.len() {
             let head = self.periodic_order[i];
             self.run_transaction(head)?;
@@ -987,9 +1074,14 @@ impl<P: Payload> System<P> {
         port_ix: u16,
         mut msg: P,
     ) -> Result<(), FrameworkError> {
+        let monitor_ix = self.activation_plans[slot].monitor_ix;
+        let t0 = (monitor_ix != u16::MAX).then(Instant::now);
         self.activate(slot, port_ix, &mut msg)?;
         self.drain()?;
         self.stats.transactions += 1;
+        if let Some(t0) = t0 {
+            self.observe_latency(monitor_ix, t0);
+        }
         Ok(())
     }
 
@@ -1080,7 +1172,16 @@ impl<P: Payload> System<P> {
             let result = match popped {
                 Ok(Some(mut msg)) => {
                     self.stats.activations += 1;
-                    self.invoke_in_chain(consumer_slot, consumer_port_ix, &mut msg, &mut ctx)
+                    // Message-triggered activations are monitored too: the
+                    // same one-compare sentinel as the release path.
+                    let monitor_ix = self.activation_plans[consumer_slot].monitor_ix;
+                    let t0 = (monitor_ix != u16::MAX).then(Instant::now);
+                    let r =
+                        self.invoke_in_chain(consumer_slot, consumer_port_ix, &mut msg, &mut ctx);
+                    if let (Some(t0), Ok(())) = (t0, &r) {
+                        self.observe_latency(monitor_ix, t0);
+                    }
+                    r
                 }
                 Ok(None) => Ok(()),
                 Err(e) => Err(e.into()),
@@ -1868,11 +1969,211 @@ impl<P: Payload> System<P> {
     }
 
     // -----------------------------------------------------------------
+    // Release engine: timer queue + runtime contracts
+    // -----------------------------------------------------------------
+
+    /// The engine's virtual release clock (advanced by `run_tick` /
+    /// [`advance_clock_to`](Self::advance_clock_to)).
+    pub fn clock(&self) -> AbsoluteTime {
+        self.clock
+    }
+
+    /// The clock advance per `run_tick` (fastest periodic period).
+    pub fn tick_quantum(&self) -> RelativeTime {
+        self.tick_quantum
+    }
+
+    /// Currently armed (scheduled, unfired, uncancelled) timers.
+    pub fn armed_timers(&self) -> usize {
+        self.timers.armed()
+    }
+
+    /// Preallocated timer-queue capacity.
+    pub fn timer_capacity(&self) -> usize {
+        self.timers.capacity()
+    }
+
+    /// Schedules an extra release of the periodic component in `slot` at
+    /// absolute engine time `at` (fires during the first tick whose clock
+    /// reaches `at`, before the regular periodic releases; ties across
+    /// timers break by component priority, then schedule order).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Timer`] when the slot is not periodic or the
+    /// preallocated queue is full; [`FrameworkError::Content`] for a bad
+    /// slot.
+    pub fn schedule_release(
+        &mut self,
+        slot: usize,
+        at: AbsoluteTime,
+    ) -> Result<TimerHandle, FrameworkError> {
+        let plan = self
+            .activation_plans
+            .get(slot)
+            .ok_or_else(|| FrameworkError::Content(format!("bad slot {slot}")))?;
+        if plan.release_ix == u16::MAX {
+            return Err(FrameworkError::Timer(format!(
+                "component '{}' is not periodic: scheduled releases need a {RELEASE_PORT} port",
+                self.nodes[slot].name
+            )));
+        }
+        let priority = self.nodes[slot].priority;
+        self.timers.schedule(at, priority, slot as u32)
+    }
+
+    /// Cancels a scheduled release; `false` when the handle is stale
+    /// (already fired or cancelled).
+    pub fn cancel_release(&mut self, handle: TimerHandle) -> bool {
+        self.timers.cancel(handle)
+    }
+
+    /// Advances the clock to `now` (monotonic; earlier instants only fire
+    /// what is already due) and fires every due timer. Returns the number
+    /// of releases fired.
+    ///
+    /// # Errors
+    ///
+    /// The first failing fired transaction aborts the advance.
+    pub fn advance_clock_to(&mut self, now: AbsoluteTime) -> Result<u64, FrameworkError> {
+        self.clock = self.clock.max(now);
+        let before = self.stats.timer_fires;
+        self.fire_due_timers()?;
+        Ok(self.stats.timer_fires - before)
+    }
+
+    /// Fires every timer due at the current clock, most urgent first, each
+    /// as a full run-to-completion transaction (release + sync nest +
+    /// async cascade), exactly like a periodic release.
+    fn fire_due_timers(&mut self) -> Result<(), FrameworkError> {
+        while let Some(fired) = self.timers.pop_due(self.clock) {
+            let slot = fired.payload as usize;
+            let plan = self.activation_plans[slot];
+            debug_assert_ne!(plan.release_ix, u16::MAX, "schedule checked periodicity");
+            self.stats.timer_fires += 1;
+            let t0 = (plan.monitor_ix != u16::MAX).then(Instant::now);
+            let mut msg = P::default();
+            self.activate(slot, plan.release_ix, &mut msg)?;
+            self.drain()?;
+            self.stats.transactions += 1;
+            if let Some(t0) = t0 {
+                self.observe_latency(plan.monitor_ix, t0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Attaches a timing contract to `slot` (any mode — contracts are
+    /// engine-level observability, not membrane reconfiguration), building
+    /// its allocation-free latency monitor and compiling the monitor index
+    /// into the slot's activation plan. Returns the previously attached
+    /// contract state, if any (the reconfiguration journal's undo token).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for a bad slot.
+    pub(crate) fn attach_contract_at(
+        &mut self,
+        slot: usize,
+        contract: TimingContract,
+    ) -> Result<Option<Box<MonitorSlot>>, FrameworkError> {
+        if slot >= self.nodes.len() || slot >= usize::from(u16::MAX) {
+            return Err(FrameworkError::Content(format!("bad slot {slot}")));
+        }
+        let monitor = LatencyMonitor::new(
+            contract.deadline().map(RelativeTime::as_nanos),
+            contract.max_jitter().map(RelativeTime::as_nanos),
+        );
+        let prev = self.monitors[slot].replace(Box::new(MonitorSlot { contract, monitor }));
+        self.activation_plans[slot].monitor_ix = slot as u16;
+        Ok(prev)
+    }
+
+    /// Detaches `slot`'s timing contract, restoring the pay-nothing
+    /// sentinel in its activation plan. Returns the detached state (with
+    /// its full histogram) so a journal can restore it byte-identically.
+    pub(crate) fn detach_contract_at(&mut self, slot: usize) -> Option<Box<MonitorSlot>> {
+        let prev = self.monitors[slot].take();
+        if prev.is_some() {
+            self.activation_plans[slot].monitor_ix = u16::MAX;
+        }
+        prev
+    }
+
+    /// Puts back contract state captured by
+    /// [`attach_contract_at`](Self::attach_contract_at) /
+    /// [`detach_contract_at`](Self::detach_contract_at) — the rollback
+    /// half of journaled contract operations.
+    pub(crate) fn restore_contract_at(&mut self, slot: usize, previous: Option<Box<MonitorSlot>>) {
+        self.activation_plans[slot].monitor_ix = if previous.is_some() {
+            slot as u16
+        } else {
+            u16::MAX
+        };
+        self.monitors[slot] = previous;
+    }
+
+    /// The timing contract attached to `slot`, if any.
+    pub(crate) fn contract_at(&self, slot: usize) -> Option<&TimingContract> {
+        self.monitors
+            .get(slot)
+            .and_then(|m| m.as_deref())
+            .map(|m| &m.contract)
+    }
+
+    /// A snapshot of `slot`'s latency monitor, if a contract is attached.
+    pub(crate) fn latency_snapshot_at(&self, slot: usize) -> Option<LatencySnapshot> {
+        self.monitors
+            .get(slot)
+            .and_then(|m| m.as_deref())
+            .map(|m| m.monitor.snapshot())
+    }
+
+    /// Deadline misses observed across every monitored component.
+    pub fn deadline_misses(&self) -> u64 {
+        self.monitors
+            .iter()
+            .flatten()
+            .map(|m| m.monitor.deadline_misses())
+            .sum()
+    }
+
+    /// Checks every attached contract against its monitor's observations
+    /// and folds the verdicts into one report — the runtime counterpart of
+    /// design-time validation (violations carry codes SOL-016…SOL-019; a
+    /// compliant report means every contract holds).
+    pub fn contract_report(&self) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        for (slot, entry) in self.monitors.iter().enumerate() {
+            let Some(m) = entry.as_deref() else { continue };
+            let snap = m.monitor.snapshot();
+            let obs = ContractObservation {
+                component: self.nodes[slot].name.clone(),
+                activations: snap.activations,
+                deadline_misses: snap.deadline_misses,
+                jitter_violations: snap.jitter_violations,
+                observed_hz: snap.observed_hz,
+                quantiles_ns: m
+                    .contract
+                    .quantile_bounds()
+                    .iter()
+                    .map(|&(pct, _)| (pct, m.monitor.quantile_ns(pct)))
+                    .collect(),
+            };
+            report.merge(m.contract.verdict(&obs));
+        }
+        report
+    }
+
+    // -----------------------------------------------------------------
     // Footprint (Fig. 7(c))
     // -----------------------------------------------------------------
 
-    /// Builds the footprint report: per-area substrate consumption plus the
-    /// framework machinery bytes of the active mode.
+    /// Builds the footprint report: per-area substrate consumption, the
+    /// framework machinery bytes of the active mode, and the
+    /// mode-independent release-engine bytes (timer slots + monitors)
+    /// reported in their own bucket so the Fig. 7(c) mode comparison
+    /// stays a comparison of *generated* machinery.
     pub fn footprint(&self) -> FootprintReport {
         let framework_bytes = match self.mode {
             Mode::Soleil => {
@@ -1916,11 +2217,22 @@ impl<P: Payload> System<P> {
                     + self.dispatch_plan_bytes()
             }
         };
+        // Release engine: preallocated timer slots plus any attached
+        // contract monitors — identical in every mode, so charged to the
+        // dedicated bucket rather than the per-mode framework figure.
+        let release_engine_bytes = self.timers.footprint_bytes()
+            + self
+                .monitors
+                .iter()
+                .flatten()
+                .map(|m| m.monitor.footprint_bytes() + std::mem::size_of::<TimingContract>())
+                .sum::<usize>();
         FootprintReport::collect(
             self.mode.to_string(),
             &self.mm,
             self.areas.iter().map(|a| (a.name.clone(), a.id)).collect(),
             framework_bytes,
+            release_engine_bytes,
         )
     }
 
@@ -3170,5 +3482,150 @@ mod tests {
             assert_eq!(st.activations, 15, "{mode}");
             assert_eq!(st.dropped_messages, 0, "{mode}");
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Release engine: timers + runtime contracts
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn scheduled_releases_fire_during_run_tick_in_every_mode() {
+        run_modes(|mode, sys| {
+            // The pipeline's fastest period is 10 ms, so each tick advances
+            // the virtual clock by 10 ms.
+            assert_eq!(sys.tick_quantum(), RelativeTime::from_millis(10), "{mode}");
+            let head = sys.slot_of("producer").unwrap();
+            sys.schedule_release(head, AbsoluteTime::from_millis(15))
+                .unwrap();
+            assert_eq!(sys.armed_timers(), 1, "{mode}");
+
+            sys.run_tick().unwrap(); // clock 10 ms: not yet due
+            assert_eq!(sys.stats().timer_fires, 0, "{mode}");
+            assert_eq!(sys.armed_timers(), 1, "{mode}");
+
+            sys.run_tick().unwrap(); // clock 20 ms: fires before the tick
+            assert_eq!(sys.stats().timer_fires, 1, "{mode}");
+            assert_eq!(sys.armed_timers(), 0, "{mode}");
+            assert_eq!(sys.clock(), AbsoluteTime::from_millis(20), "{mode}");
+            // The fire ran as a full extra transaction.
+            let per_tick = {
+                let spec = pipeline_spec();
+                let mut oracle = System::build(&spec, mode, &registry()).unwrap();
+                oracle.run_tick().unwrap();
+                oracle.stats().transactions
+            };
+            assert_eq!(sys.stats().transactions, 2 * per_tick + 1, "{mode}");
+        });
+    }
+
+    #[test]
+    fn cancelled_releases_never_fire() {
+        run_modes(|mode, sys| {
+            let head = sys.slot_of("producer").unwrap();
+            let h = sys
+                .schedule_release(head, AbsoluteTime::from_millis(5))
+                .unwrap();
+            assert!(sys.cancel_release(h), "{mode}");
+            assert!(!sys.cancel_release(h), "stale handle ({mode})");
+            sys.run_tick().unwrap();
+            assert_eq!(sys.stats().timer_fires, 0, "{mode}");
+        });
+    }
+
+    #[test]
+    fn schedule_release_refuses_non_periodic_heads() {
+        run_modes(|mode, sys| {
+            let middle = sys.slot_of("middle").unwrap();
+            let err = sys
+                .schedule_release(middle, AbsoluteTime::from_millis(1))
+                .unwrap_err();
+            assert!(matches!(err, FrameworkError::Timer(_)), "{mode}: {err}");
+        });
+    }
+
+    #[test]
+    fn advance_clock_fires_everything_due() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let head = sys.slot_of("producer").unwrap();
+        sys.schedule_release(head, AbsoluteTime::from_micros(100))
+            .unwrap();
+        sys.schedule_release(head, AbsoluteTime::from_micros(200))
+            .unwrap();
+        sys.schedule_release(head, AbsoluteTime::from_millis(50))
+            .unwrap();
+        let fired = sys.advance_clock_to(AbsoluteTime::from_millis(1)).unwrap();
+        assert_eq!(fired, 2, "both sub-millisecond releases fired");
+        assert_eq!(sys.clock(), AbsoluteTime::from_millis(1));
+        assert_eq!(sys.armed_timers(), 1);
+        // The clock never moves backwards.
+        sys.advance_clock_to(AbsoluteTime::ZERO).unwrap();
+        assert_eq!(sys.clock(), AbsoluteTime::from_millis(1));
+    }
+
+    #[test]
+    fn contracts_observe_and_stay_compliant_in_every_mode() {
+        run_modes(|mode, sys| {
+            let head = sys.slot_of("producer").unwrap();
+            // A generous contract no in-process pipeline can violate.
+            let contract = TimingContract::new()
+                .with_deadline(RelativeTime::from_millis(500))
+                .with_quantile_bound(99, RelativeTime::from_millis(500));
+            assert!(sys.attach_contract_at(head, contract).unwrap().is_none());
+            for _ in 0..8 {
+                sys.run_transaction(head).unwrap();
+            }
+            let snap = sys.latency_snapshot_at(head).unwrap();
+            assert_eq!(snap.activations, 8, "{mode}");
+            assert_eq!(snap.deadline_misses, 0, "{mode}");
+            assert!(snap.p99_ns >= snap.p50_ns, "{mode}");
+            assert_eq!(sys.deadline_misses(), 0, "{mode}");
+            let report = sys.contract_report();
+            assert!(report.is_compliant(), "{mode}: {report}");
+        });
+    }
+
+    #[test]
+    fn impossible_deadline_is_missed_and_reported() {
+        run_modes(|mode, sys| {
+            let head = sys.slot_of("producer").unwrap();
+            // A zero-nanosecond deadline: every activation misses.
+            let contract = TimingContract::new().with_deadline(RelativeTime::from_nanos(0));
+            sys.attach_contract_at(head, contract).unwrap();
+            for _ in 0..4 {
+                sys.run_transaction(head).unwrap();
+            }
+            assert_eq!(sys.deadline_misses(), 4, "{mode}");
+            let report = sys.contract_report();
+            assert!(!report.is_compliant(), "{mode}");
+            assert_eq!(report.by_code("SOL-016").count(), 1, "{mode}: {report}");
+        });
+    }
+
+    #[test]
+    fn detach_discards_and_reattach_replaces() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let head = sys.slot_of("producer").unwrap();
+        sys.attach_contract_at(
+            head,
+            TimingContract::new().with_deadline(RelativeTime::from_nanos(0)),
+        )
+        .unwrap();
+        sys.run_transaction(head).unwrap();
+        assert_eq!(sys.deadline_misses(), 1);
+
+        let taken = sys.detach_contract_at(head).expect("was attached");
+        assert_eq!(taken.monitor.snapshot().deadline_misses, 1);
+        assert!(sys.latency_snapshot_at(head).is_none());
+        assert_eq!(sys.deadline_misses(), 0, "detached histogram is gone");
+        // Unmonitored again: the hot path records nothing.
+        sys.run_transaction(head).unwrap();
+        assert!(sys.contract_report().is_compliant());
+
+        // Restore puts the exact monitor — history included — back.
+        sys.restore_contract_at(head, Some(taken));
+        assert_eq!(sys.deadline_misses(), 1);
+        assert_eq!(sys.latency_snapshot_at(head).unwrap().activations, 1);
     }
 }

@@ -1,0 +1,168 @@
+//! Property-based check of the release-engine timer queue.
+//!
+//! The binary-heap queue must pop in exactly the order a sorted reference
+//! model predicts — earliest absolute time first, ties broken by higher
+//! priority, then FIFO by schedule sequence — across random interleavings
+//! of schedules and cancellations, including cancels through deliberately
+//! stale (already consumed) handles, which must be no-ops on both sides.
+
+use proptest::prelude::*;
+use rtsj::thread::Priority;
+use rtsj::time::AbsoluteTime;
+use soleil_runtime::{TimerHandle, TimerQueue};
+
+/// One scripted queue operation. `Cancel(k)` disarms the k-th *live*
+/// outstanding handle; `CancelStale(k)` replays the k-th already-consumed
+/// handle (fired or cancelled earlier), which must be a no-op.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Schedule { at: u64, priority: u8 },
+    Cancel(usize),
+    CancelStale(usize),
+    PopDue { now: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64, 1u8..32).prop_map(|(at, priority)| Op::Schedule { at, priority }),
+        (0u64..64, 1u8..32).prop_map(|(at, priority)| Op::Schedule { at, priority }),
+        (0usize..64).prop_map(Op::Cancel),
+        (0usize..64).prop_map(Op::CancelStale),
+        (0u64..64).prop_map(|now| Op::PopDue { now }),
+    ]
+}
+
+/// The reference model: a plain vector of armed entries, popped by an
+/// explicit sort over (time, descending priority, schedule sequence).
+#[derive(Debug)]
+struct Model {
+    armed: Vec<(u64, u8, u64)>, // (at, priority, seq)
+    seq: u64,
+}
+
+impl Model {
+    fn schedule(&mut self, at: u64, priority: u8) -> u64 {
+        self.seq += 1;
+        self.armed.push((at, priority, self.seq));
+        self.seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.armed.iter().position(|&(_, _, s)| s == seq) {
+            Some(ix) => {
+                self.armed.remove(ix);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pop_due(&mut self, now: u64) -> Option<(u64, u8, u64)> {
+        let best = self
+            .armed
+            .iter()
+            .copied()
+            .filter(|&(at, _, _)| at <= now)
+            .min_by_key(|&(at, priority, seq)| (at, std::cmp::Reverse(priority), seq))?;
+        self.cancel(best.2);
+        Some(best)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Queue and model agree op-for-op: same fire order, same cancel
+    /// verdicts, same armed census — and the preallocated capacity is
+    /// never exceeded under churn.
+    #[test]
+    fn queue_matches_sorted_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        const CAPACITY: usize = 16;
+        let mut queue: TimerQueue<u64> = TimerQueue::with_capacity(CAPACITY);
+        let mut model = Model { armed: Vec::new(), seq: 0 };
+        // Live handles side by side with their model sequence numbers.
+        let mut live: Vec<(TimerHandle, u64)> = Vec::new();
+        // Handles already consumed (fired or cancelled): must stay inert.
+        let mut stale: Vec<TimerHandle> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Schedule { at, priority } => {
+                    let result = queue.schedule(
+                        AbsoluteTime::from_nanos(at),
+                        Priority::new(priority),
+                        0,
+                    );
+                    if model.armed.len() == CAPACITY {
+                        prop_assert!(result.is_err(), "full queue must refuse");
+                    } else {
+                        let handle = result.unwrap();
+                        let seq = model.schedule(at, priority);
+                        live.push((handle, seq));
+                    }
+                }
+                Op::Cancel(k) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (handle, seq) = live.remove(k % live.len());
+                    prop_assert!(queue.cancel(handle));
+                    prop_assert!(model.cancel(seq));
+                    stale.push(handle);
+                }
+                Op::CancelStale(k) => {
+                    if stale.is_empty() {
+                        continue;
+                    }
+                    let handle = stale[k % stale.len()];
+                    let before = queue.armed();
+                    prop_assert!(!queue.cancel(handle), "stale handle must be inert");
+                    prop_assert_eq!(queue.armed(), before);
+                }
+                Op::PopDue { now } => {
+                    let fired = queue.pop_due(AbsoluteTime::from_nanos(now));
+                    let expected = model.pop_due(now);
+                    match (fired, expected) {
+                        (Some(f), Some((at, priority, seq))) => {
+                            prop_assert_eq!(f.at, AbsoluteTime::from_nanos(at));
+                            prop_assert_eq!(f.priority, Priority::new(priority));
+                            let ix = live
+                                .iter()
+                                .position(|&(h, _)| h == f.handle)
+                                .expect("fired handle must be a live one");
+                            prop_assert_eq!(live[ix].1, seq, "fired out of model order");
+                            live.remove(ix);
+                            stale.push(f.handle);
+                        }
+                        (None, None) => {}
+                        (f, e) => prop_assert!(false, "queue {f:?} vs model {e:?}"),
+                    }
+                }
+            }
+            prop_assert_eq!(queue.armed(), model.armed.len());
+            prop_assert_eq!(queue.capacity(), CAPACITY, "preallocated storage never grows");
+        }
+
+        // Drain everything still armed at the end: total order must match.
+        loop {
+            let fired = queue.pop_due(AbsoluteTime::from_nanos(u64::MAX));
+            let expected = model.pop_due(u64::MAX);
+            match (fired, expected) {
+                (Some(f), Some((at, priority, seq))) => {
+                    prop_assert_eq!(f.at, AbsoluteTime::from_nanos(at));
+                    prop_assert_eq!(f.priority, Priority::new(priority));
+                    let ix = live
+                        .iter()
+                        .position(|&(h, _)| h == f.handle)
+                        .expect("fired handle must be a live one");
+                    prop_assert_eq!(live[ix].1, seq, "drain fired out of model order");
+                    live.remove(ix);
+                }
+                (None, None) => break,
+                (f, e) => prop_assert!(false, "drain: queue {f:?} vs model {e:?}"),
+            }
+        }
+        prop_assert!(queue.is_empty());
+        prop_assert!(live.is_empty());
+    }
+}

@@ -121,12 +121,13 @@ pub mod prelude {
     pub use crate::core::prelude::*;
     pub use crate::generator::{compile, deploy, deploy_parallel, emit_source, generate};
     pub use crate::membrane::content::{Content, ContentRegistry, InvokeResult, Ports};
+    pub use crate::membrane::monitor::{LatencyMonitor, LatencySnapshot};
     pub use crate::membrane::FrameworkError;
     pub use crate::runtime::instrument::measure_steady;
     pub use crate::runtime::system::RELEASE_PORT;
     pub use crate::runtime::{
         ComponentRef, Deployment, FootprintReport, Mode, ParallelSystem, PortRef, Reconfiguration,
-        ShardRun, System, SystemSpec,
+        ShardRun, System, SystemSpec, TimerHandle, TimerQueue,
     };
     pub use crate::{SoleilError, SoleilResult};
     pub use rtsj::time::{AbsoluteTime, RelativeTime};

@@ -418,6 +418,7 @@ impl OoSystem {
                 ("H1".to_string(), AreaId::HEAP),
             ],
             0,
+            0,
         )
     }
 }

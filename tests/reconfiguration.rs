@@ -675,6 +675,125 @@ fn rebind_recomputes_cross_scope_pattern() {
     }
 }
 
+/// Scheduled releases through the deployment surface: a timer armed at an
+/// absolute engine time fires as a full transaction once the virtual clock
+/// reaches it, and generation-checked handles cancel safely.
+#[test]
+fn deployment_schedules_and_cancels_releases() {
+    let Fixture { mut dep, a, .. } = fixture(Mode::MergeAll);
+    let caller = dep.resolve("caller").unwrap();
+
+    let h = dep
+        .schedule_release(caller, AbsoluteTime::from_millis(1))
+        .unwrap();
+    assert_eq!(dep.armed_timers(), 1);
+    let fired = dep.fire_timers_until(AbsoluteTime::from_millis(2)).unwrap();
+    assert_eq!(fired, 1);
+    assert_eq!(dep.stats().timer_fires, 1);
+    assert_eq!(a.load(Ordering::Relaxed), 1, "the fired release really ran");
+    assert!(!dep.cancel_release(h), "handle is stale after firing");
+
+    let h2 = dep
+        .schedule_release(caller, AbsoluteTime::from_millis(10))
+        .unwrap();
+    assert!(dep.cancel_release(h2));
+    assert_eq!(
+        dep.fire_timers_until(AbsoluteTime::from_millis(20))
+            .unwrap(),
+        0,
+        "cancelled timers never fire"
+    );
+    assert_eq!(dep.timer_clock(), AbsoluteTime::from_millis(20));
+    assert_eq!(dep.armed_timers(), 0);
+}
+
+/// Runtime contracts are engine-level observability: they attach in any
+/// reconfigurable mode through the same journaled transaction machinery as
+/// interceptor operations, and a failed transaction restores the previous
+/// monitor — recorded histogram included.
+#[test]
+fn contracts_attach_and_detach_transactionally() {
+    for mode in [Mode::Soleil, Mode::MergeAll] {
+        let Fixture { mut dep, .. } = fixture(mode);
+        let caller = dep.resolve("caller").unwrap();
+
+        // Attach through a committed transaction; observe activations.
+        let generous = TimingContract::new().with_deadline(RelativeTime::from_millis(500));
+        dep.reconfigure(|txn| txn.attach_contract(caller, generous.clone()))
+            .unwrap();
+        for _ in 0..5 {
+            dep.run_transaction(caller).unwrap();
+        }
+        let snap = dep.latency_snapshot(caller).unwrap().unwrap();
+        assert_eq!(snap.activations, 5, "{mode}");
+        assert_eq!(dep.deadline_misses(), 0, "{mode}");
+        assert!(dep.contract_report().is_compliant(), "{mode}");
+
+        // A failing transaction that replaced the contract rolls the old
+        // monitor — history included — back.
+        let err = dep
+            .reconfigure(|txn| {
+                txn.attach_contract(
+                    caller,
+                    TimingContract::new().with_deadline(RelativeTime::from_nanos(0)),
+                )?;
+                Err::<(), _>(FrameworkError::Content("abort".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, FrameworkError::Content(_)), "{mode}");
+        assert_eq!(
+            dep.contract_of(caller).unwrap(),
+            Some(generous.clone()),
+            "{mode}: pre-transaction contract restored"
+        );
+        assert_eq!(
+            dep.latency_snapshot(caller).unwrap().unwrap().activations,
+            5,
+            "{mode}: restored monitor kept its history"
+        );
+
+        // Same for a rolled-back detach.
+        let err = dep
+            .reconfigure(|txn| {
+                assert!(txn.detach_contract(caller)?);
+                Err::<(), _>(FrameworkError::Content("abort".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, FrameworkError::Content(_)), "{mode}");
+        assert_eq!(
+            dep.latency_snapshot(caller).unwrap().unwrap().activations,
+            5,
+            "{mode}: rolled-back detach restored the monitor"
+        );
+
+        // A committed detach really removes it (histogram discarded).
+        assert!(
+            dep.reconfigure(|txn| txn.detach_contract(caller)).unwrap(),
+            "{mode}"
+        );
+        assert!(dep.latency_snapshot(caller).unwrap().is_none(), "{mode}");
+        assert_eq!(dep.deadline_misses(), 0, "{mode}");
+    }
+
+    // ULTRA-MERGE refuses reconfiguration, but deploy-time attachment is
+    // engine-level observability and still works.
+    let Fixture { mut dep, .. } = fixture(Mode::UltraMerge);
+    let caller = dep.resolve("caller").unwrap();
+    dep.attach_contract(
+        caller,
+        TimingContract::new().with_deadline(RelativeTime::from_millis(500)),
+    )
+    .unwrap();
+    for _ in 0..3 {
+        dep.run_transaction(caller).unwrap();
+    }
+    assert_eq!(
+        dep.latency_snapshot(caller).unwrap().unwrap().activations,
+        3
+    );
+    assert!(dep.contract_report().is_compliant());
+}
+
 /// Steady state is provisioned at deploy time: once the first transaction
 /// has warmed the engine, further transactions perform zero substrate
 /// allocations and zero name lookups — before *and after* a

@@ -133,6 +133,69 @@ fn utilization_sweep_finds_the_breaking_point() {
 }
 
 #[test]
+fn runtime_contract_verdicts_agree_with_the_analytic_simulator() {
+    // The same architecture, two clocks: the virtual-time simulator
+    // computes analytic deadline verdicts from declared costs; the
+    // wall-clock engine records real latencies into the contract
+    // histograms. On a healthy configuration both must report zero
+    // misses; on a pathological one both must detect the failure.
+    use soleil::prelude::*;
+    use soleil::runtime::sim::deploy as sim_deploy;
+    use soleil::scenario::{registry_with_probe, ScenarioProbe};
+
+    let arch = motivation_validated().unwrap();
+    let spec = compile(&arch).unwrap();
+
+    // Healthy, analytic: well-dimensioned costs meet every deadline.
+    let mut sim = sim_deploy(&spec, &costs(), &SimOptions::default());
+    sim.simulator.run_until(AbsoluteTime::from_millis(1_000));
+    assert_eq!(sim.deadline_misses(), 0, "analytic run must be clean");
+
+    // Healthy, wall-clock: a generous contract on the same head stays
+    // compliant, and its histogram is internally consistent.
+    let probe = ScenarioProbe::new();
+    let mut dep =
+        soleil::generator::deploy(&arch, Mode::MergeAll, &registry_with_probe(&probe)).unwrap();
+    let head = dep.resolve("ProductionLine").unwrap();
+    dep.attach_contract(
+        head,
+        TimingContract::new().with_deadline(RelativeTime::from_millis(500)),
+    )
+    .unwrap();
+    for _ in 0..200 {
+        dep.run_transaction(head).unwrap();
+    }
+    assert_eq!(dep.deadline_misses(), 0, "wall-clock run must agree");
+    let snap = dep.latency_snapshot(head).unwrap().expect("monitored");
+    assert_eq!(snap.activations, 200);
+    assert!(snap.min_ns <= snap.p50_ns && snap.p50_ns <= snap.p99_ns);
+    assert!(snap.p99_ns <= snap.max_ns.max(snap.p99_ns));
+    assert!(dep.contract_report().is_empty(), "no SOL-016..019 expected");
+
+    // Pathological, analytic: overload one stage past the 10 ms period.
+    let overload = SimCosts::uniform(RelativeTime::from_micros(40))
+        .with("MonitoringSystem", RelativeTime::from_micros(14_000));
+    let mut sim = sim_deploy(&spec, &overload, &SimOptions::default());
+    sim.simulator.run_until(AbsoluteTime::from_millis(1_000));
+    assert!(sim.deadline_misses() > 0, "overload must miss analytically");
+
+    // Pathological, wall-clock: a zero deadline no real transaction can
+    // meet — every activation misses and the verdict surfaces as SOL-016.
+    assert!(dep.detach_contract(head).unwrap());
+    dep.attach_contract(
+        head,
+        TimingContract::new().with_deadline(RelativeTime::ZERO),
+    )
+    .unwrap();
+    for _ in 0..50 {
+        dep.run_transaction(head).unwrap();
+    }
+    assert_eq!(dep.deadline_misses(), 50, "every activation misses");
+    let report = dep.contract_report();
+    assert_eq!(report.by_code("SOL-016").count(), 1, "{report}");
+}
+
+#[test]
 fn ceiling_metadata_reaches_the_spec() {
     // The motivation example's Console is called from a single domain: no
     // ceiling. A variant with a second NHRT domain calling it gets one.
