@@ -1,0 +1,79 @@
+//! Microbench: the price of supervision.
+//!
+//! The fault-containment design claims the healthy path pays a single
+//! integer compare for the whole supervision apparatus: the activation
+//! plan folds "is this component quarantined, does it carry an injector"
+//! into `u16` sentinels checked once per activation, and the policy
+//! itself is only read after a fault. The `supervised_transaction` group
+//! measures that claim end-to-end — a bare transaction vs. one with a
+//! restart policy attached vs. one with policy *and* an idle (rate-0)
+//! injector compiled into the plan; the three must be indistinguishable.
+//! The `quarantine_drop` function prices the unhealthy path: a
+//! transaction whose downstream consumer is quarantined count-drops the
+//! message at the gate instead of activating it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soleil::generator::deploy;
+use soleil::prelude::*;
+use soleil::scenario::{motivation_validated, registry};
+
+fn bench_supervised_transaction(c: &mut Criterion) {
+    let arch = motivation_validated().expect("fixture validates");
+    let mut group = c.benchmark_group("supervised_transaction");
+    for (label, policy, injector) in [
+        ("bare", false, false),
+        ("policy", true, false),
+        ("policy_idle_injector", true, true),
+    ] {
+        let mut sys = deploy(&arch, Mode::MergeAll, &registry()).expect("deploys");
+        let head = sys.resolve("ProductionLine").expect("head");
+        if policy {
+            sys.set_fault_policy(
+                head,
+                FaultPolicy::Restart {
+                    max_restarts: 3,
+                    window: RelativeTime::from_millis(1_000),
+                    backoff: RelativeTime::from_millis(1),
+                },
+            )
+            .expect("policy attaches");
+            let monitor = sys.resolve("MonitoringSystem").expect("monitor");
+            sys.set_fault_policy(monitor, FaultPolicy::Isolate)
+                .expect("policy attaches");
+        }
+        if injector {
+            sys.install_fault_injector(head, FaultInjector::new("ProductionLine", 0xC0FFEE, 0))
+                .expect("idle injector installs");
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| sys.run_transaction(head).expect("transaction"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quarantine_drop(c: &mut Criterion) {
+    let arch = motivation_validated().expect("fixture validates");
+    let mut sys = deploy(&arch, Mode::MergeAll, &registry()).expect("deploys");
+    let head = sys.resolve("ProductionLine").expect("head");
+    let monitor = sys.resolve("MonitoringSystem").expect("monitor");
+    sys.set_fault_policy(monitor, FaultPolicy::Isolate)
+        .expect("policy attaches");
+    // One injected fault quarantines the monitor; every transaction after
+    // that count-drops its measurement at the quarantine gate.
+    sys.install_fault_injector(
+        monitor,
+        FaultInjector::new("MonitoringSystem", 1, 1).with_menu(FaultInjector::MENU_ERROR),
+    )
+    .expect("injector installs");
+    sys.run_transaction(head).expect("containment");
+    assert!(sys.quarantined(monitor).expect("resolves"));
+    sys.remove_fault_injector(monitor).expect("removes");
+
+    c.bench_function("quarantine_drop_transaction", |b| {
+        b.iter(|| sys.run_transaction(head).expect("transaction"));
+    });
+}
+
+criterion_group!(benches, bench_supervised_transaction, bench_quarantine_drop);
+criterion_main!(benches);

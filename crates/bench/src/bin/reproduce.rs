@@ -12,8 +12,12 @@
 //! regresses >25% vs the committed artifact, when allocs, string compares
 //! or Arc clones per transaction leave 0, when the baseline scenario's
 //! deadline contract records a miss, or when MERGE-ALL's median falls
-//! behind SOLEIL's by more than noise; never part of `all`), `all`
-//! (default). Raw observation CSVs are written to `target/experiments/`.
+//! behind SOLEIL's by more than noise; never part of `all`), `chaos-gate`
+//! (fault-containment gate: deterministic seeded fault storms against all
+//! three modes must end with `pushed == delivered + counted-dropped` and
+//! every quarantine/drop verdict explained by SOL-020…022; exits non-zero
+//! otherwise, never part of `all`), `all` (default). Raw observation CSVs
+//! are written to `target/experiments/`.
 //!
 //! `--observations N` overrides the number of measured iterations (the
 //! same count is threaded into the emitted JSON, never hardcoded):
@@ -28,9 +32,9 @@ use std::path::Path;
 use soleil::SoleilError;
 
 use soleil_bench::{
-    codegen_table, determinism_table, fig7a_report, fig7b_table, fig7c_table, run_codegen,
-    run_determinism, run_footprint, run_overhead, run_steady_state, steady_state_json,
-    steady_state_regressions,
+    chaos_gate_failures, chaos_gate_table, codegen_table, determinism_table, fig7a_report,
+    fig7b_table, fig7c_table, run_chaos_gate, run_codegen, run_determinism, run_footprint,
+    run_overhead, run_steady_state, steady_state_json, steady_state_regressions,
 };
 
 // Installs the counting global allocator so the steady artifact can report
@@ -205,6 +209,37 @@ fn main() -> Result<(), SoleilError> {
         ran = true;
     }
 
+    // The fault-containment gate: deterministic seeded storms against
+    // every generation mode must end with a balanced ledger (pushed ==
+    // delivered + counted-dropped) and every verdict explained. Like
+    // `steady-gate`, it fails the process and is never part of `all`.
+    if what == "chaos-gate" {
+        const SEEDS: [u64; 3] = [7, 0xDEAD_BEEF, 0x5EED_CAFE];
+        const STORM_TICKS: u64 = 200;
+        eprintln!(
+            "running chaos gate ({} seeds x 3 modes x {STORM_TICKS} ticks)...",
+            SEEDS.len()
+        );
+        let rows = run_chaos_gate(&SEEDS, STORM_TICKS)?;
+        let table = chaos_gate_table(&rows);
+        println!("{table}");
+        fs::write(out_dir.join("chaos_gate.txt"), &table)?;
+        let failures = chaos_gate_failures(&rows);
+        if failures.is_empty() {
+            eprintln!(
+                "chaos gate passed: every storm conserved its messages and every \
+                 quarantine/drop verdict is explained by SOL-020…022"
+            );
+        } else {
+            eprintln!("chaos gate FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        ran = true;
+    }
+
     if wants("determinism") {
         let rows = run_determinism(2_000)?;
         let table = determinism_table(&rows);
@@ -215,7 +250,7 @@ fn main() -> Result<(), SoleilError> {
 
     if !ran {
         eprintln!(
-            "unknown artifact '{what}'; expected fig7a | fig7b | fig7c | codegen | determinism | steady | steady-gate | all"
+            "unknown artifact '{what}'; expected fig7a | fig7b | fig7c | codegen | determinism | steady | steady-gate | chaos-gate | all"
         );
         std::process::exit(2);
     }

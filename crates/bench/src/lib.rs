@@ -666,6 +666,189 @@ pub fn steady_state_json(rows: &[SteadyStateRow], observations: usize) -> String
 }
 
 // ---------------------------------------------------------------------------
+// Chaos gate (fault containment under a seeded storm)
+// ---------------------------------------------------------------------------
+
+/// One seeded fault storm against one generation mode: the conservation
+/// ledger and the health verdicts it must explain.
+#[derive(Debug, Clone)]
+pub struct ChaosGateRow {
+    /// Generation mode the storm ran against.
+    pub mode: String,
+    /// The storm's seed (drives both injectors).
+    pub seed: u64,
+    /// Async messages pushed over the run.
+    pub pushed: u64,
+    /// Messages delivered to an activation boundary.
+    pub delivered: u64,
+    /// Messages counted-dropped (quarantine gates; none silently lost).
+    pub dropped: u64,
+    /// Faults contained by supervision (escalations would fail the run).
+    pub faults_contained: u64,
+    /// Supervised restarts performed through the timer queue.
+    pub restarts: u64,
+    /// Components still quarantined when the storm ended.
+    pub quarantined: Vec<String>,
+    /// SOL-020/021/022 findings rendered as `CODE subject`.
+    pub verdicts: Vec<String>,
+}
+
+/// Runs the chaos gate: for every seed and every generation mode, the
+/// motivation scenario weathers a deterministic fault storm — an
+/// error+panic injector on `MonitoringSystem` under a supervised-restart
+/// policy and one on `AuditLog` under isolation — then the injectors are
+/// disarmed and the system settles. Containment means no tick may error;
+/// the returned rows carry the ledger for [`chaos_gate_failures`].
+///
+/// # Errors
+///
+/// Deployment errors, or a fault escaping containment mid-storm.
+pub fn run_chaos_gate(seeds: &[u64], ticks: u64) -> HarnessResult<Vec<ChaosGateRow>> {
+    let arch = motivation_validated()?;
+    let mut rows = Vec::with_capacity(seeds.len() * 3);
+    for &seed in seeds {
+        for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+            let probe = ScenarioProbe::new();
+            let mut dep = deploy(&arch, mode, &registry_with_probe(&probe))?;
+            let monitor = dep.resolve("MonitoringSystem")?;
+            let audit = dep.resolve("AuditLog")?;
+            dep.set_fault_policy(
+                monitor,
+                FaultPolicy::Restart {
+                    max_restarts: ticks as u32 + 1,
+                    window: RelativeTime::from_millis(3_600_000),
+                    backoff: RelativeTime::from_millis(1),
+                },
+            )?;
+            dep.set_fault_policy(audit, FaultPolicy::Isolate)?;
+            let menu = FaultInjector::MENU_ERROR | FaultInjector::MENU_PANIC;
+            dep.install_fault_injector(
+                monitor,
+                FaultInjector::new("MonitoringSystem", seed, 3).with_menu(menu),
+            )?;
+            dep.install_fault_injector(
+                audit,
+                FaultInjector::new("AuditLog", seed ^ 0x9E37_79B9, 5).with_menu(menu),
+            )?;
+
+            for tick in 0..ticks {
+                dep.run_tick().map_err(|e| {
+                    SoleilError::Framework(format!(
+                        "{mode}/seed {seed}: fault escaped containment at tick {tick}: {e}"
+                    ))
+                })?;
+            }
+
+            // Disarm and settle: contained faults defer the rest of the
+            // pending heap to the next drain, so two fault-free ticks
+            // flush every deferred message (delivered or counted-dropped).
+            dep.remove_fault_injector(monitor)?;
+            dep.remove_fault_injector(audit)?;
+            let quarantined: Vec<String> = [monitor, audit]
+                .into_iter()
+                .filter(|c| dep.quarantined(*c).unwrap_or(false))
+                .map(|c| dep.name_of(c).unwrap_or("?").to_string())
+                .collect();
+            let report = dep.health_report();
+            let verdicts: Vec<String> = ["SOL-020", "SOL-021", "SOL-022"]
+                .iter()
+                .flat_map(|code| {
+                    report
+                        .by_code(code)
+                        .map(move |d| format!("{code} {}", d.subject))
+                })
+                .collect();
+            for _ in 0..2 {
+                dep.run_tick().map_err(|e| {
+                    SoleilError::Framework(format!("{mode}/seed {seed}: settling tick failed: {e}"))
+                })?;
+            }
+
+            let stats = dep.stats();
+            let (m_faults, m_restarts, _) = dep.supervision_counts(monitor)?;
+            let (a_faults, _, _) = dep.supervision_counts(audit)?;
+            rows.push(ChaosGateRow {
+                mode: mode.to_string(),
+                seed,
+                pushed: stats.async_messages,
+                delivered: stats.delivered_messages,
+                dropped: stats.dropped_messages,
+                faults_contained: m_faults + a_faults,
+                restarts: m_restarts,
+                quarantined,
+                verdicts,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Judges the chaos-gate rows: a failure line per storm that lost a
+/// message (`pushed != delivered + dropped`), injected no fault at all
+/// (an inert storm proves nothing), or left a verdict unexplained — a
+/// quarantined component without its SOL-020 finding, or counted drops
+/// without SOL-022. An empty result means the gate passes.
+pub fn chaos_gate_failures(rows: &[ChaosGateRow]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in rows {
+        let tag = format!("{} seed {}", r.mode, r.seed);
+        if r.pushed != r.delivered + r.dropped {
+            failures.push(format!(
+                "{tag}: ledger leak — pushed {} but delivered {} + dropped {}",
+                r.pushed, r.delivered, r.dropped
+            ));
+        }
+        if r.faults_contained == 0 {
+            failures.push(format!("{tag}: inert storm — no fault was contained"));
+        }
+        for q in &r.quarantined {
+            if !r.verdicts.iter().any(|v| v == &format!("SOL-020 {q}")) {
+                failures.push(format!(
+                    "{tag}: '{q}' is quarantined but SOL-020 does not say so"
+                ));
+            }
+        }
+        if r.dropped > 0 && !r.verdicts.iter().any(|v| v.starts_with("SOL-022")) {
+            failures.push(format!(
+                "{tag}: {} messages counted-dropped but no SOL-022 finding",
+                r.dropped
+            ));
+        }
+    }
+    failures
+}
+
+/// Renders the chaos-gate rows as an aligned table.
+pub fn chaos_gate_table(rows: &[ChaosGateRow]) -> String {
+    let mut out = String::new();
+    out.push_str("chaos gate: seeded fault storms (pushed == delivered + counted-dropped)\n");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>8} {:>10} {:>8} {:>7} {:>8}  verdicts",
+        "mode", "seed", "pushed", "delivered", "dropped", "faults", "restarts"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>8} {:>10} {:>8} {:>7} {:>8}  {}",
+            r.mode,
+            r.seed,
+            r.pushed,
+            r.delivered,
+            r.dropped,
+            r.faults_contained,
+            r.restarts,
+            if r.verdicts.is_empty() {
+                "-".to_string()
+            } else {
+                r.verdicts.join(", ")
+            }
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Synthetic pipelines (ablation: overhead vs. pipeline depth)
 // ---------------------------------------------------------------------------
 
@@ -1036,5 +1219,33 @@ mod tests {
             reg_worst > nhrt_worst * 10,
             "GC dominates the regular worst case"
         );
+    }
+
+    #[test]
+    fn chaos_gate_conserves_and_explains() {
+        let rows = run_chaos_gate(&[7, 0xDEAD_BEEF], 60).unwrap();
+        assert_eq!(rows.len(), 6, "two seeds x three modes");
+        let failures = chaos_gate_failures(&rows);
+        assert!(failures.is_empty(), "chaos gate failed: {failures:?}");
+        assert!(
+            rows.iter().all(|r| r.faults_contained > 0),
+            "every storm must actually inject"
+        );
+        assert!(
+            rows.iter().any(|r| r.restarts > 0),
+            "the supervised-restart path must exercise"
+        );
+        let table = chaos_gate_table(&rows);
+        assert!(table.contains("SOL-020") || table.contains('-'));
+    }
+
+    #[test]
+    fn chaos_gate_failures_catch_a_cooked_ledger() {
+        let mut rows = run_chaos_gate(&[7], 30).unwrap();
+        rows[0].pushed += 1; // simulate a silently lost message
+        rows[1].quarantined.push("ghost".into());
+        let failures = chaos_gate_failures(&rows);
+        assert!(failures.iter().any(|f| f.contains("ledger leak")));
+        assert!(failures.iter().any(|f| f.contains("ghost")));
     }
 }

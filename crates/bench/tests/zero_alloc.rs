@@ -40,6 +40,25 @@ fn steady_state_transactions_never_touch_the_rust_heap() {
         dep.schedule_release(head, AbsoluteTime::MAX)
             .expect("release arms");
 
+        // Supervision must be free on the healthy path: the head carries a
+        // restart policy and an idle (rate-0) fault injector compiled into
+        // its activation plan, and a downstream component is isolated —
+        // none of which may cost an allocation per transaction.
+        dep.set_fault_policy(
+            head,
+            FaultPolicy::Restart {
+                max_restarts: 3,
+                window: RelativeTime::from_millis(1_000),
+                backoff: RelativeTime::from_millis(1),
+            },
+        )
+        .expect("policy attaches");
+        dep.install_fault_injector(head, FaultInjector::new("ProductionLine", 0xC0FFEE, 0))
+            .expect("idle injector installs");
+        let monitoring = dep.resolve("MonitoringSystem").expect("monitor exists");
+        dep.set_fault_policy(monitoring, FaultPolicy::Isolate)
+            .expect("policy attaches");
+
         // Warm every lazily-grown engine structure: the pending-message
         // heap, domain scope stacks, ring slots.
         for _ in 0..WARMUP {
@@ -94,6 +113,20 @@ fn steady_state_transactions_never_touch_the_rust_heap() {
             WARMUP as u64 + OBSERVATIONS,
             "{mode}: every transaction lands in the histogram"
         );
+        // The idle injector saw every activation and fired on none; the
+        // supervisor never moved.
+        let (seen, injected) = dep
+            .injector_counts(head)
+            .expect("head resolves")
+            .expect("injector installed");
+        assert_eq!(seen, WARMUP as u64 + OBSERVATIONS, "{mode}: injector armed");
+        assert_eq!(injected, 0, "{mode}: idle injector must never fire");
+        assert!(!dep.quarantined(head).expect("head resolves"));
+        assert_eq!(
+            dep.supervision_counts(head).expect("head resolves"),
+            (0, 0, 0),
+            "{mode}: supervision counters must stay untouched on the healthy path"
+        );
     }
 }
 
@@ -119,6 +152,25 @@ fn parallel_steady_state_is_allocation_free_on_every_thread() {
         .expect("contract attaches");
     sys.schedule_release("ProductionLine", AbsoluteTime::MAX)
         .expect("release arms");
+
+    // Parallel shards pay the same nothing for supervision: restart policy
+    // plus idle injector on the head's shard, isolation on a sibling shard.
+    sys.set_fault_policy(
+        "ProductionLine",
+        FaultPolicy::Restart {
+            max_restarts: 3,
+            window: RelativeTime::from_millis(1_000),
+            backoff: RelativeTime::from_millis(1),
+        },
+    )
+    .expect("policy attaches");
+    sys.install_fault_injector(
+        "ProductionLine",
+        FaultInjector::new("ProductionLine", 0xC0FFEE, 0),
+    )
+    .expect("idle injector installs");
+    sys.set_fault_policy("MonitoringSystem", FaultPolicy::Isolate)
+        .expect("policy attaches");
 
     // Warm up separately so the dispatch-counter deltas below cover only
     // the measured steady phase (interning pays its name scans here).
@@ -164,6 +216,17 @@ fn parallel_steady_state_is_allocation_free_on_every_thread() {
         sys.deadline_misses(),
         0,
         "the baseline contract must never miss on any shard"
+    );
+    let (seen, injected) = sys
+        .injector_counts("ProductionLine")
+        .expect("head resolves")
+        .expect("injector installed");
+    assert_eq!(seen, WARMUP as u64 + OBSERVATIONS, "injector armed");
+    assert_eq!(injected, 0, "idle injector must never fire");
+    assert_eq!(
+        sys.supervision_counts("ProductionLine").expect("resolves"),
+        (0, 0, 0),
+        "supervision counters must stay untouched on the healthy parallel path"
     );
 }
 

@@ -30,6 +30,9 @@
 //! | SOL-017 | Error | runtime contract: observed jitter beyond the contracted bound ([`crate::contract`], online) |
 //! | SOL-018 | Error | runtime contract: observed throughput below the contracted floor ([`crate::contract`], online) |
 //! | SOL-019 | Error | runtime contract: observed latency quantile beyond its bound ([`crate::contract`], online) |
+//! | SOL-020 | Error | runtime supervision: component quarantined after a contained fault (online — emitted by the runtime's `health_report`) |
+//! | SOL-021 | Error | runtime supervision: restart budget exhausted, fault escalated (online) |
+//! | SOL-022 | Warning | runtime supervision: messages to quarantined components counted-dropped (online) |
 
 use std::fmt;
 

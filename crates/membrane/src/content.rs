@@ -10,6 +10,7 @@
 use std::any::Any;
 use std::cell::Cell;
 use std::fmt::Debug;
+use std::sync::Arc;
 
 use crate::error::FrameworkError;
 
@@ -229,8 +230,13 @@ pub trait Content<P: Payload>: Debug + Send {
     }
 }
 
-/// A boxed constructor for one content class.
-pub type ContentFactory<P> = Box<dyn Fn() -> Box<dyn Content<P>>>;
+/// A shared constructor for one content class.
+///
+/// `Arc` rather than `Box` so the runtime can keep a per-slot clone for
+/// supervised restarts (a quarantined component is rebuilt from a *fresh*
+/// instance); `Send + Sync` because the engine holding those clones moves
+/// onto its own OS thread under the parallel runtime.
+pub type ContentFactory<P> = Arc<dyn Fn() -> Box<dyn Content<P>> + Send + Sync>;
 
 /// A factory registry mapping content-class names (the ADL's
 /// `content class="..."` attribute) to constructors.
@@ -251,9 +257,9 @@ impl<P: Payload> ContentRegistry<P> {
     pub fn register(
         &mut self,
         class: impl Into<String>,
-        factory: impl Fn() -> Box<dyn Content<P>> + 'static,
+        factory: impl Fn() -> Box<dyn Content<P>> + Send + Sync + 'static,
     ) {
-        self.entries.push((class.into(), Box::new(factory)));
+        self.entries.push((class.into(), Arc::new(factory)));
     }
 
     /// Instantiates the content class `class`.
@@ -267,6 +273,24 @@ impl<P: Payload> ContentRegistry<P> {
             .rev()
             .find(|(name, _)| name == class)
             .map(|(_, f)| f())
+            .ok_or_else(|| {
+                FrameworkError::Content(format!("no content factory registered for '{class}'"))
+            })
+    }
+
+    /// The shared factory registered for `class` — the runtime clones it
+    /// per slot at deploy time so supervised restarts can rebuild a fresh
+    /// content instance without consulting the registry again.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] when no factory is registered.
+    pub fn factory(&self, class: &str) -> Result<ContentFactory<P>, FrameworkError> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(name, _)| name == class)
+            .map(|(_, f)| Arc::clone(f))
             .ok_or_else(|| {
                 FrameworkError::Content(format!("no content factory registered for '{class}'"))
             })
@@ -330,6 +354,24 @@ mod tests {
         assert_eq!(v, 2);
         assert!(reg.instantiate("Missing").is_err());
         assert_eq!(reg.classes(), vec!["Echo"]);
+    }
+
+    #[test]
+    fn factory_clones_share_the_constructor() {
+        let mut reg: ContentRegistry<u32> = ContentRegistry::new();
+        reg.register("Echo", || Box::new(Echo));
+        let f = reg.factory("Echo").unwrap();
+        // Each call builds a fresh instance — the restart contract.
+        let mut a = f();
+        let mut b = f();
+        let mut v = 0u32;
+        a.on_invoke("in", &mut v, &mut NullPorts).unwrap();
+        b.on_invoke("in", &mut v, &mut NullPorts).unwrap();
+        assert_eq!(v, 2);
+        assert!(reg.factory("Missing").is_err());
+        // Factories are Send + Sync: engines move across threads.
+        fn check<T: Send + Sync>(_t: &T) {}
+        check(&f);
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub enum LifecycleState {
     Stopped,
     /// Running: invocations flow.
     Started,
+    /// Faulted and isolated by supervision: invocations are refused until
+    /// the component is restarted (a plain `start` is not enough — the
+    /// membrane may be poisoned by a mid-activation panic).
+    Quarantined,
 }
 
 /// Start/stop controller, the reconfiguration gate of the membrane.
@@ -68,6 +72,16 @@ impl LifecycleController {
         }
     }
 
+    /// Moves to `Quarantined` (idempotent). Supervision calls this when a
+    /// fault is contained; only a restart (not a plain `start`) should
+    /// bring the component back.
+    pub fn quarantine(&mut self) {
+        if self.state != LifecycleState::Quarantined {
+            self.state = LifecycleState::Quarantined;
+            self.transitions += 1;
+        }
+    }
+
     /// Number of state transitions (introspection).
     pub fn transitions(&self) -> u64 {
         self.transitions
@@ -77,12 +91,15 @@ impl LifecycleController {
     ///
     /// # Errors
     ///
-    /// [`FrameworkError::Lifecycle`] when stopped.
+    /// [`FrameworkError::Lifecycle`] when stopped or quarantined.
     pub fn assert_started(&self, component: &str) -> Result<(), FrameworkError> {
         match self.state {
             LifecycleState::Started => Ok(()),
             LifecycleState::Stopped => Err(FrameworkError::Lifecycle(format!(
                 "component '{component}' is stopped"
+            ))),
+            LifecycleState::Quarantined => Err(FrameworkError::Lifecycle(format!(
+                "component '{component}' is quarantined pending restart"
             ))),
         }
     }
@@ -392,6 +409,24 @@ mod tests {
         lc.stop();
         assert_eq!(lc.transitions(), 2);
         assert!(lc.assert_started("c").is_err());
+    }
+
+    #[test]
+    fn quarantine_refuses_invocations_until_restarted() {
+        let mut lc = LifecycleController::new();
+        lc.start();
+        lc.quarantine();
+        lc.quarantine(); // idempotent
+        assert_eq!(lc.state(), LifecycleState::Quarantined);
+        assert_eq!(lc.transitions(), 2);
+        let err = lc.assert_started("Detector").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "lifecycle error: component 'Detector' is quarantined pending restart"
+        );
+        lc.start();
+        assert_eq!(lc.state(), LifecycleState::Started);
+        lc.assert_started("Detector").unwrap();
     }
 
     #[test]

@@ -6,6 +6,31 @@ use std::fmt;
 use rtsj::RtsjError;
 use soleil_core::{SoleilError, ValidationReport};
 
+/// The class of a contained component fault (see
+/// [`FrameworkError::Faulted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The content panicked during activation; the panic was caught at the
+    /// activation boundary and the component's membrane was poisoned.
+    Panic,
+    /// The content (or an injected fault) returned an error the
+    /// component's fault policy is asked to handle.
+    Error,
+    /// A message addressed to the component was deliberately dropped (by a
+    /// fault injector or a quarantine gate) and counted.
+    Drop,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Panic => write!(f, "panic"),
+            FaultKind::Error => write!(f, "error"),
+            FaultKind::Drop => write!(f, "drop"),
+        }
+    }
+}
+
 /// Failures raised by membranes, controllers and the execution engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -33,6 +58,18 @@ pub enum FrameworkError {
     /// validator refused; the transaction was rolled back and the full
     /// report is preserved.
     Rejected(ValidationReport),
+    /// A fault contained at a component's activation boundary: a caught
+    /// panic, a content error routed to the component's fault policy, or a
+    /// counted message drop. Carries the faulting component's name so
+    /// supervision can attribute the fault without string parsing.
+    Faulted {
+        /// Name of the component where the fault originated.
+        component: String,
+        /// The class of fault.
+        kind: FaultKind,
+        /// Human-readable detail (panic payload, content error text, …).
+        detail: String,
+    },
     /// An interceptor-chain unwind during which *several* interceptors
     /// failed: the first error is preserved, and `suppressed` further
     /// errors were swallowed so the chain could still unwind completely
@@ -77,6 +114,13 @@ impl fmt::Display for FrameworkError {
             FrameworkError::Timer(m) => write!(f, "timer error: {m}"),
             FrameworkError::Rejected(report) => {
                 write!(f, "reconfiguration rejected, rolled back:\n{report}")
+            }
+            FrameworkError::Faulted {
+                component,
+                kind,
+                detail,
+            } => {
+                write!(f, "component '{component}' faulted ({kind}): {detail}")
             }
             FrameworkError::Unwind { first, suppressed } => {
                 write!(
@@ -146,6 +190,22 @@ mod tests {
         assert!(wrapped.to_string().contains("re-entered"));
         assert!(wrapped.to_string().contains("2 further interceptor"));
         assert!(wrapped.source().is_some(), "first error is the source");
+    }
+
+    #[test]
+    fn faulted_displays_component_and_kind() {
+        let e = FrameworkError::Faulted {
+            component: "Detector".into(),
+            kind: FaultKind::Panic,
+            detail: "index out of bounds".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "component 'Detector' faulted (panic): index out of bounds"
+        );
+        assert_eq!(FaultKind::Error.to_string(), "error");
+        assert_eq!(FaultKind::Drop.to_string(), "drop");
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -93,6 +93,12 @@ impl ActiveInterceptor {
     pub fn activations(&self) -> u64 {
         self.activations
     }
+
+    /// Clears the busy flag without running `post` — the supervised-restart
+    /// path for a guard left busy by a panic that skipped the unwind.
+    pub fn reset(&mut self) {
+        self.busy = false;
+    }
 }
 
 impl Interceptor for ActiveInterceptor {
@@ -408,6 +414,222 @@ impl Interceptor for JitterMonitor {
 }
 
 // ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+/// The fault a [`FaultInjector`] manufactured on a given activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// A content-style error returned from `pre`.
+    Error,
+    /// A real `panic!` raised from `pre` — exercises the activation
+    /// boundary's `catch_unwind` and the membrane poison protocol.
+    Panic,
+    /// A busy-wait long enough to trip latency contracts, then success.
+    LatencySpike,
+    /// The invocation is refused with a countable drop fault.
+    Drop,
+}
+
+/// Deterministic fault-injection interceptor: a seeded schedule keyed by
+/// the component's activation count decides, with no wall-clock or OS
+/// randomness, whether an activation faults and how. Replaying the same
+/// seed against the same activation sequence reproduces the exact same
+/// fault storm — the property chaos tests and the `chaos-gate` CI artifact
+/// are built on.
+///
+/// With `rate == 0` the injector is **idle**: the `pre` hook costs one
+/// branch and allocates nothing, so it can stay compiled into a production
+/// plan (the zero-alloc gate deploys exactly that shape).
+#[derive(Debug)]
+pub struct FaultInjector {
+    component: String,
+    seed: u64,
+    /// Fires on roughly one in `rate` activations; `0` disables.
+    rate: u32,
+    /// Bitmask of enabled fault kinds (see the `MENU_*` consts).
+    menu: u8,
+    latency_spike_ns: u64,
+    activations: u64,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// Menu bit: injected [`InjectedFault::Error`] faults.
+    pub const MENU_ERROR: u8 = 1;
+    /// Menu bit: injected [`InjectedFault::Panic`] faults.
+    pub const MENU_PANIC: u8 = 2;
+    /// Menu bit: injected [`InjectedFault::LatencySpike`] faults.
+    pub const MENU_LATENCY: u8 = 4;
+    /// Menu bit: injected [`InjectedFault::Drop`] faults.
+    pub const MENU_DROP: u8 = 8;
+    /// Menu with every fault kind enabled.
+    pub const MENU_ALL: u8 = 15;
+
+    /// Creates an injector for `component` firing about one in `rate`
+    /// activations (`0` = idle) on a seeded deterministic schedule, with
+    /// every fault kind enabled.
+    pub fn new(component: impl Into<String>, seed: u64, rate: u32) -> Self {
+        FaultInjector {
+            component: component.into(),
+            seed,
+            rate,
+            menu: Self::MENU_ALL,
+            latency_spike_ns: 50_000,
+            activations: 0,
+            injected: 0,
+        }
+    }
+
+    /// Restricts the fault menu to the given `MENU_*` bits.
+    #[must_use]
+    pub fn with_menu(mut self, menu: u8) -> Self {
+        self.menu = menu & Self::MENU_ALL;
+        self
+    }
+
+    /// Sets the busy-wait length of latency-spike faults.
+    #[must_use]
+    pub fn with_latency_spike_ns(mut self, ns: u64) -> Self {
+        self.latency_spike_ns = ns;
+        self
+    }
+
+    /// The injector's seed (replay key).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Activations observed so far.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// The deterministic schedule: what (if anything) this injector does
+    /// on activation `n` (1-based). Pure — tests and replay tooling can
+    /// predict a storm without running it.
+    pub fn fault_at(&self, n: u64) -> Option<InjectedFault> {
+        if self.rate == 0 || self.menu == 0 {
+            return None;
+        }
+        let roll = splitmix(self.seed, n);
+        if !roll.is_multiple_of(u64::from(self.rate)) {
+            return None;
+        }
+        // Pick among the enabled kinds with the high bits of the roll.
+        let mut enabled = [InjectedFault::Error; 4];
+        let mut count = 0usize;
+        for (bit, kind) in [
+            (Self::MENU_ERROR, InjectedFault::Error),
+            (Self::MENU_PANIC, InjectedFault::Panic),
+            (Self::MENU_LATENCY, InjectedFault::LatencySpike),
+            (Self::MENU_DROP, InjectedFault::Drop),
+        ] {
+            if self.menu & bit != 0 {
+                enabled[count] = kind;
+                count += 1;
+            }
+        }
+        Some(enabled[((roll >> 32) % count as u64) as usize])
+    }
+
+    /// Draws the next activation from the schedule and manufactures its
+    /// fault: `Ok(())` on a clean draw (or an idle injector), a typed
+    /// [`FrameworkError::Faulted`] for error/drop faults, a real `panic!`
+    /// for panic faults, a busy-wait then `Ok(())` for latency spikes.
+    /// This is the whole injector — the [`Interceptor`] `pre` hook and the
+    /// engine-level activation-boundary injector both delegate here (the
+    /// latter has no memory context in hand, which is why the draw does
+    /// not take one).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Faulted`] when the schedule fires an error or
+    /// drop fault on this activation.
+    pub fn draw(&mut self) -> Result<(), FrameworkError> {
+        self.activations += 1;
+        let Some(fault) = self.fault_at(self.activations) else {
+            return Ok(());
+        };
+        self.injected += 1;
+        let n = self.activations;
+        match fault {
+            InjectedFault::Error => Err(FrameworkError::Faulted {
+                component: self.component.clone(),
+                kind: crate::error::FaultKind::Error,
+                detail: format!("injected error (seed {}, activation {n})", self.seed),
+            }),
+            InjectedFault::Panic => {
+                panic!(
+                    "injected panic in '{}' (seed {}, activation {n})",
+                    self.component, self.seed
+                );
+            }
+            InjectedFault::Drop => Err(FrameworkError::Faulted {
+                component: self.component.clone(),
+                kind: crate::error::FaultKind::Drop,
+                detail: format!("injected drop (seed {}, activation {n})", self.seed),
+            }),
+            InjectedFault::LatencySpike => {
+                let start = std::time::Instant::now();
+                while (start.elapsed().as_nanos() as u64) < self.latency_spike_ns {
+                    std::hint::spin_loop();
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer over `(seed, n)` — a stateless, allocation-free
+/// mix whose low bits are well distributed for the 1-in-`rate` draw.
+fn splitmix(seed: u64, n: u64) -> u64 {
+    let mut z = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Interceptor for FaultInjector {
+    fn name(&self) -> &str {
+        "fault-injector"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send> {
+        self
+    }
+
+    fn pre(
+        &mut self,
+        _mm: &mut MemoryManager,
+        _ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        self.draw()
+    }
+
+    fn post(
+        &mut self,
+        _mm: &mut MemoryManager,
+        _ctx: &mut MemoryContext,
+    ) -> Result<(), FrameworkError> {
+        Ok(())
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.component.capacity()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // InterceptStep — the compiled interceptor plan
 // ---------------------------------------------------------------------------
 
@@ -428,6 +650,8 @@ pub enum InterceptStep {
     Memory(MemoryInterceptor),
     /// A compiled jitter monitor.
     Jitter(JitterMonitor),
+    /// A compiled deterministic fault injector.
+    Fault(FaultInjector),
     /// An interceptor unknown to the plan compiler: dynamic dispatch, the
     /// pre-flattening price.
     Dyn(Box<dyn Interceptor>),
@@ -459,6 +683,13 @@ impl InterceptStep {
                 .expect("type checked above");
             return InterceptStep::Jitter(*j);
         }
+        if interceptor.as_any().is::<FaultInjector>() {
+            let fi = interceptor
+                .into_any()
+                .downcast::<FaultInjector>()
+                .expect("type checked above");
+            return InterceptStep::Fault(*fi);
+        }
         InterceptStep::Dyn(interceptor)
     }
 
@@ -468,6 +699,7 @@ impl InterceptStep {
             InterceptStep::Active(a) => a.name(),
             InterceptStep::Memory(m) => m.name(),
             InterceptStep::Jitter(j) => j.name(),
+            InterceptStep::Fault(fi) => fi.name(),
             InterceptStep::Dyn(d) => d.name(),
         }
     }
@@ -484,6 +716,7 @@ impl InterceptStep {
             InterceptStep::Active(a) => a,
             InterceptStep::Memory(m) => m,
             InterceptStep::Jitter(j) => j,
+            InterceptStep::Fault(fi) => fi,
             InterceptStep::Dyn(d) => d.as_ref(),
         }
     }
@@ -503,6 +736,7 @@ impl InterceptStep {
             InterceptStep::Active(a) => a.pre(mm, ctx),
             InterceptStep::Memory(m) => m.pre(mm, ctx),
             InterceptStep::Jitter(j) => j.pre(mm, ctx),
+            InterceptStep::Fault(fi) => fi.pre(mm, ctx),
             InterceptStep::Dyn(d) => d.pre(mm, ctx),
         }
     }
@@ -521,6 +755,7 @@ impl InterceptStep {
             InterceptStep::Active(a) => a.post(mm, ctx),
             InterceptStep::Memory(m) => m.post(mm, ctx),
             InterceptStep::Jitter(j) => j.post(mm, ctx),
+            InterceptStep::Fault(fi) => fi.post(mm, ctx),
             InterceptStep::Dyn(d) => d.post(mm, ctx),
         }
     }
@@ -535,6 +770,7 @@ impl InterceptStep {
                     m.plan().enter_path.capacity() * std::mem::size_of::<AreaId>()
                 }
                 InterceptStep::Jitter(j) => std::mem::size_of_val(j.gaps_ns()),
+                InterceptStep::Fault(fi) => fi.component.capacity(),
                 InterceptStep::Dyn(d) => d.footprint_bytes(),
             }
     }
@@ -758,6 +994,84 @@ mod tests {
             panic!("ActiveInterceptor must compile to the Active variant");
         };
         assert_eq!(a.activations(), 2);
+    }
+
+    #[test]
+    fn fault_injector_schedule_is_deterministic_and_replayable() {
+        let a = FaultInjector::new("c", 42, 7);
+        let b = FaultInjector::new("c", 42, 7);
+        let schedule_a: Vec<_> = (1..=500).map(|n| a.fault_at(n)).collect();
+        let schedule_b: Vec<_> = (1..=500).map(|n| b.fault_at(n)).collect();
+        assert_eq!(schedule_a, schedule_b, "same seed, same storm");
+        let fired = schedule_a.iter().filter(|f| f.is_some()).count();
+        assert!(fired > 20, "rate 7 over 500 draws fires often: {fired}");
+        assert!(fired < 200, "but far from always: {fired}");
+        // A different seed yields a different storm.
+        let c = FaultInjector::new("c", 43, 7);
+        let schedule_c: Vec<_> = (1..=500).map(|n| c.fault_at(n)).collect();
+        assert_ne!(schedule_a, schedule_c);
+        // Idle injectors never fire.
+        let idle = FaultInjector::new("c", 42, 0);
+        assert!((1..=500).all(|n| idle.fault_at(n).is_none()));
+    }
+
+    #[test]
+    fn fault_injector_menu_restricts_kinds() {
+        let drops = FaultInjector::new("c", 9, 2).with_menu(FaultInjector::MENU_DROP);
+        for n in 1..=200 {
+            if let Some(f) = drops.fault_at(n) {
+                assert_eq!(f, InjectedFault::Drop);
+            }
+        }
+        let no_menu = FaultInjector::new("c", 9, 2).with_menu(0);
+        assert!((1..=200).all(|n| no_menu.fault_at(n).is_none()));
+    }
+
+    #[test]
+    fn fault_injector_pre_raises_typed_faults() {
+        let mut mm = MemoryManager::default();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        // Error-only menu at rate 1: every activation faults.
+        let mut fi = FaultInjector::new("Det", 5, 1).with_menu(FaultInjector::MENU_ERROR);
+        let err = fi.pre(&mut mm, &mut ctx).unwrap_err();
+        let FrameworkError::Faulted {
+            component, kind, ..
+        } = &err
+        else {
+            panic!("expected Faulted, got {err}");
+        };
+        assert_eq!(component, "Det");
+        assert_eq!(*kind, crate::error::FaultKind::Error);
+        assert_eq!(fi.injected(), 1);
+        assert_eq!(fi.activations(), 1);
+
+        // Panic faults really panic (the engine catches at the boundary).
+        let mut pi = FaultInjector::new("Det", 5, 1).with_menu(FaultInjector::MENU_PANIC);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = pi.pre(&mut mm, &mut ctx);
+        }));
+        assert!(caught.is_err(), "panic fault must unwind");
+
+        // Latency-spike faults succeed after the spin.
+        let mut li = FaultInjector::new("Det", 5, 1)
+            .with_menu(FaultInjector::MENU_LATENCY)
+            .with_latency_spike_ns(1_000);
+        li.pre(&mut mm, &mut ctx).unwrap();
+        assert_eq!(li.injected(), 1);
+    }
+
+    #[test]
+    fn fault_injector_compiles_to_a_flat_step() {
+        let step = InterceptStep::compile(Box::new(FaultInjector::new("c", 1, 0)));
+        assert!(step.is_compiled());
+        assert_eq!(step.name(), "fault-injector");
+        assert!(matches!(step, InterceptStep::Fault(_)));
+        assert!(step.footprint_bytes() > 0);
+        assert!(step
+            .as_interceptor()
+            .as_any()
+            .downcast_ref::<FaultInjector>()
+            .is_some());
     }
 
     #[test]

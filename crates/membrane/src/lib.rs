@@ -53,7 +53,7 @@ pub mod interceptors;
 pub mod monitor;
 
 pub use content::{Content, InternedPort, InvokeResult, Payload, PortId, Ports};
-pub use error::FrameworkError;
+pub use error::{FaultKind, FrameworkError};
 pub use monitor::{LatencyMonitor, LatencySnapshot};
 
 use rtsj::memory::{MemoryContext, MemoryManager};
@@ -122,6 +122,18 @@ impl CompiledChain {
     pub fn is_fully_compiled(&self) -> bool {
         self.steps.iter().all(InterceptStep::is_compiled)
     }
+
+    /// Clears per-transaction transient state every step may have left set
+    /// by an activation that never completed — a mid-chain panic skips the
+    /// `post` unwind, so a supervised restart must reset the
+    /// run-to-completion guards by hand before re-admitting invocations.
+    pub fn reset_transient(&mut self) {
+        for step in &mut self.steps {
+            if let InterceptStep::Active(a) = step {
+                a.reset();
+            }
+        }
+    }
 }
 
 /// The reified control membrane of one component (SOLEIL mode).
@@ -140,6 +152,10 @@ pub struct Membrane {
     /// Name-keyed client-interface binding table.
     pub binding: BindingController,
     chain: CompiledChain,
+    /// True after a panic was caught mid-activation: the content may be
+    /// half-mutated and the chain half-wound, so invocations are refused
+    /// until [`restart`](Membrane::restart) clears the flag.
+    poisoned: bool,
 }
 
 impl Membrane {
@@ -150,7 +166,35 @@ impl Membrane {
             lifecycle: LifecycleController::new(),
             binding: BindingController::new(),
             chain: CompiledChain::default(),
+            poisoned: false,
         }
+    }
+
+    /// Quarantines the component after a contained fault: the lifecycle
+    /// moves to [`controllers::LifecycleState::Quarantined`] and, when the
+    /// fault was a panic (`poison` true), the membrane is poisoned so not
+    /// even a plain `start` can re-admit invocations without a
+    /// [`restart`](Membrane::restart).
+    pub fn quarantine(&mut self, poison: bool) {
+        self.lifecycle.quarantine();
+        if poison {
+            self.poisoned = true;
+        }
+    }
+
+    /// True after a panic was contained and before a restart.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Supervised restart: clears the poison flag, resets any transient
+    /// interceptor state a mid-chain panic left behind (run-to-completion
+    /// guards stuck busy), and starts the lifecycle. The caller is
+    /// responsible for replacing the content instance itself.
+    pub fn restart(&mut self) {
+        self.poisoned = false;
+        self.chain.reset_transient();
+        self.lifecycle.start();
     }
 
     /// Appends an interceptor to the chain (pre runs in insertion order,
@@ -239,6 +283,15 @@ impl Membrane {
         ctx: &mut MemoryContext,
     ) -> Result<(), FrameworkError> {
         self.lifecycle.assert_started(&self.component)?;
+        // Belt-and-braces behind the lifecycle gate: quarantine already
+        // refuses invocations, but a plain `start` on a poisoned membrane
+        // must not re-admit a half-mutated component either.
+        if self.poisoned {
+            return Err(FrameworkError::Lifecycle(format!(
+                "component '{}' is poisoned by a caught panic; restart required",
+                self.component
+            )));
+        }
         match self.chain.fusion() {
             ChainFusion::Empty => Ok(()),
             ChainFusion::FusedActive => match self.chain.steps.first_mut() {
@@ -362,6 +415,33 @@ mod tests {
         assert!(matches!(err, FrameworkError::RunToCompletion(_)));
         m.post_invoke(&mut mm, &mut ctx).unwrap();
         // After unwinding, a fresh invocation succeeds.
+        m.pre_invoke(&mut mm, &mut ctx).unwrap();
+        m.post_invoke(&mut mm, &mut ctx).unwrap();
+    }
+
+    #[test]
+    fn poisoned_membrane_refuses_start_until_restart() {
+        let mut mm = MemoryManager::default();
+        let mut ctx = mm.context(ThreadKind::Realtime);
+        let mut m = Membrane::new("c");
+        m.push_interceptor(Box::new(ActiveInterceptor::new()));
+        m.lifecycle.start();
+        // Simulate a panic caught mid-activation: pre ran (guard busy),
+        // post never did, and supervision poisons the membrane.
+        m.pre_invoke(&mut mm, &mut ctx).unwrap();
+        m.quarantine(true);
+        assert!(m.poisoned());
+        assert!(matches!(
+            m.pre_invoke(&mut mm, &mut ctx),
+            Err(FrameworkError::Lifecycle(_))
+        ));
+        // A plain start is not enough: the poison check still refuses.
+        m.lifecycle.start();
+        let err = m.pre_invoke(&mut mm, &mut ctx).unwrap_err();
+        assert!(err.to_string().contains("poisoned by a caught panic"));
+        // A supervised restart clears poison AND the stuck busy guard.
+        m.restart();
+        assert!(!m.poisoned());
         m.pre_invoke(&mut mm, &mut ctx).unwrap();
         m.post_invoke(&mut mm, &mut ctx).unwrap();
     }

@@ -36,13 +36,13 @@ use soleil_core::model::{ComponentId, ComponentKind, Protocol};
 use soleil_core::validate::validate;
 use soleil_core::{Architecture, ValidationReport};
 use soleil_membrane::content::{ContentRegistry, Payload};
-use soleil_membrane::interceptors::InterceptStep;
+use soleil_membrane::interceptors::{FaultInjector, InterceptStep};
 use soleil_membrane::monitor::LatencySnapshot;
 use soleil_membrane::FrameworkError;
 
 use crate::footprint::FootprintReport;
 use crate::spec::{Mode, SystemSpec};
-use crate::system::{EngineStats, MembraneInfo, MonitorSlot, System};
+use crate::system::{EngineStats, FaultPolicy, MembraneInfo, MonitorSlot, System};
 use crate::timer::TimerHandle;
 
 /// Mints a fresh deployment identity (token-scoping nonce).
@@ -475,6 +475,128 @@ impl<P: Payload> Deployment<P> {
         self.system.contract_report()
     }
 
+    // -----------------------------------------------------------------
+    // Fault containment & supervision
+    // -----------------------------------------------------------------
+
+    /// Declares a component's [`FaultPolicy`], returning the previous one.
+    /// Allowed in **every** mode, ULTRA-MERGE included — supervision is
+    /// engine-level recovery machinery like timing contracts, not
+    /// structural reconfiguration.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn set_fault_policy(
+        &mut self,
+        component: ComponentRef,
+        policy: FaultPolicy,
+    ) -> Result<FaultPolicy, FrameworkError> {
+        let slot = self.slot(component)?;
+        self.system.set_fault_policy_at(slot, policy)
+    }
+
+    /// The fault policy declared for a component
+    /// ([`FaultPolicy::Escalate`] by default).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn fault_policy(&self, component: ComponentRef) -> Result<FaultPolicy, FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.fault_policy_at(slot))
+    }
+
+    /// True while a component is quarantined by its fault policy.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn quarantined(&self, component: ComponentRef) -> Result<bool, FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.quarantined_at(slot))
+    }
+
+    /// Restarts a quarantined component **now** with a fresh content
+    /// instance (the supervised-restart path without waiting for a backoff
+    /// timer). Idempotent on healthy components.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn restart_component(&mut self, component: ComponentRef) -> Result<(), FrameworkError> {
+        let slot = self.slot(component)?;
+        self.system.restart_slot(slot)
+    }
+
+    /// Installs an engine-level deterministic [`FaultInjector`] at a
+    /// component's activation boundary (any mode; replaces any previous
+    /// injector). With `rate == 0` the injector is idle and the boundary
+    /// pays one integer compare — the shape the zero-alloc gate deploys.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn install_fault_injector(
+        &mut self,
+        component: ComponentRef,
+        injector: FaultInjector,
+    ) -> Result<(), FrameworkError> {
+        let slot = self.slot(component)?;
+        self.system.install_fault_injector_at(slot, injector)?;
+        Ok(())
+    }
+
+    /// Removes a component's engine-level fault injector; `true` when one
+    /// was installed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn remove_fault_injector(
+        &mut self,
+        component: ComponentRef,
+    ) -> Result<bool, FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.remove_fault_injector_at(slot).is_some())
+    }
+
+    /// `(activations seen, faults injected)` of a component's engine-level
+    /// injector; `None` when none is installed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn injector_counts(
+        &self,
+        component: ComponentRef,
+    ) -> Result<Option<(u64, u64)>, FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.injector_counts_at(slot))
+    }
+
+    /// Supervision counters of a component:
+    /// `(faults contained, supervised restarts, suppressed releases)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn supervision_counts(
+        &self,
+        component: ComponentRef,
+    ) -> Result<(u64, u64, u64), FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.supervision_counts_at(slot))
+    }
+
+    /// The full runtime health report: contract verdicts (SOL-016…019)
+    /// plus supervision findings — SOL-020 per quarantined component,
+    /// SOL-021 per exhausted restart budget, SOL-022 when messages were
+    /// counted-dropped at quarantine gates.
+    pub fn health_report(&self) -> ValidationReport {
+        self.system.health_report()
+    }
+
     /// Tears the deployment down (see [`System::shutdown`]).
     ///
     /// # Errors
@@ -578,6 +700,8 @@ enum Undo {
         slot: usize,
         previous: Option<Box<MonitorSlot>>,
     },
+    /// Undo of `set_fault_policy`: restore the pre-transaction policy.
+    Policy { slot: usize, previous: FaultPolicy },
 }
 
 /// The in-flight transaction handle passed to
@@ -874,6 +998,25 @@ impl<P: Payload> Reconfiguration<'_, P> {
         Ok(())
     }
 
+    /// Declares (or changes) a component's [`FaultPolicy`], journaled:
+    /// rollback restores the pre-transaction policy. Like contracts, this
+    /// works in any reconfigurable mode — the policy is engine-level
+    /// supervision, not membrane structure.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn set_fault_policy(
+        &mut self,
+        component: ComponentRef,
+        policy: FaultPolicy,
+    ) -> Result<(), FrameworkError> {
+        let slot = self.dep.slot(component)?;
+        let previous = self.dep.system.set_fault_policy_at(slot, policy)?;
+        self.journal.push(Undo::Policy { slot, previous });
+        Ok(())
+    }
+
     /// Detaches a component's timing contract; `true` when one was
     /// attached. Journaled: rollback restores the exact monitor slot,
     /// recorded histogram included.
@@ -952,6 +1095,12 @@ impl<P: Payload> Reconfiguration<'_, P> {
                 }
                 Undo::Contract { slot, previous } => {
                     self.dep.system.restore_contract_at(slot, previous);
+                }
+                Undo::Policy { slot, previous } => {
+                    self.dep
+                        .system
+                        .set_fault_policy_at(slot, previous)
+                        .expect("rollback restore of a policy set by this transaction");
                 }
                 Undo::Domain {
                     slot,

@@ -37,6 +37,15 @@
 //! so unmonitored components pay a single integer compare — and verdicts
 //! surface through the design-time `ValidationReport` machinery.
 //!
+//! Faults are first-class: every component carries a
+//! [`system::FaultPolicy`] (escalate / isolate / supervised restart with
+//! exponential backoff on the timer queue), panics are caught at the
+//! activation boundary and converted into typed `Faulted` errors, and a
+//! deterministic seeded fault injector can be compiled into any
+//! component's plan. Quarantined components count-drop their messages
+//! (never silently lost) and surface through `health_report()` as
+//! SOL-020…022 findings.
+//!
 //! Supporting modules: [`instrument`] (steady-state latency measurement for
 //! Fig. 7(a)/(b)), [`footprint`] (Fig. 7(c) accounting) and [`sim`]
 //! (virtual-time deployment onto [`rtsj::sched::Simulator`] for the
@@ -59,5 +68,5 @@ pub use footprint::FootprintReport;
 pub use instrument::LatencySamples;
 pub use parallel::{ParallelSystem, ShardRun};
 pub use spec::{Mode, SystemSpec};
-pub use system::System;
+pub use system::{EngineStats, FaultPolicy, System};
 pub use timer::{TimerHandle, TimerQueue};

@@ -42,7 +42,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::ThreadId;
 use std::time::Instant;
 
@@ -50,6 +50,7 @@ use rtsj::time::AbsoluteTime;
 use soleil_core::contract::TimingContract;
 use soleil_core::ValidationReport;
 use soleil_membrane::content::{ContentRegistry, Payload};
+use soleil_membrane::interceptors::FaultInjector;
 use soleil_membrane::monitor::LatencySnapshot;
 use soleil_membrane::FrameworkError;
 use soleil_patterns::spsc::{spsc_ring, SpscConsumer};
@@ -57,7 +58,7 @@ use soleil_patterns::spsc::{spsc_ring, SpscConsumer};
 use crate::spec::{
     AreaSpec, BindingSpec, ComponentSpec, DomainSpec, Mode, ProtocolSpec, SystemSpec,
 };
-use crate::system::{CrossOutput, EngineStats, System};
+use crate::system::{CrossOutput, EngineStats, FaultPolicy, System};
 use crate::timer::TimerHandle;
 
 // ---------------------------------------------------------------------------
@@ -473,7 +474,10 @@ impl<P: Payload> ParallelSystem<P> {
         self.shards[shard].system.stats()
     }
 
-    /// Engine counters summed across shards.
+    /// Engine counters summed across shards. Cross-ring traffic lands in
+    /// the ledger split across engines: the producer shard counts the push
+    /// (`async_messages`), the consumer shard counts the delivery or the
+    /// quarantine drop — the sum is what conservation is asserted on.
     pub fn stats(&self) -> EngineStats {
         let mut total = EngineStats::default();
         for s in &self.shards {
@@ -483,6 +487,9 @@ impl<P: Payload> ParallelSystem<P> {
             total.sync_calls += st.sync_calls;
             total.async_messages += st.async_messages;
             total.dropped_messages += st.dropped_messages;
+            total.delivered_messages += st.delivered_messages;
+            total.quarantine_drops += st.quarantine_drops;
+            total.faults_contained += st.faults_contained;
             total.timer_fires += st.timer_fires;
         }
         total
@@ -610,6 +617,110 @@ impl<P: Payload> ParallelSystem<P> {
         report
     }
 
+    // -----------------------------------------------------------------
+    // Fault containment & supervision (per-shard engines)
+    // -----------------------------------------------------------------
+
+    /// Sets a component's [`FaultPolicy`] on whichever shard owns it;
+    /// returns the previous policy. Under `Isolate` or `Restart`, a fault
+    /// in this component quarantines it on its own shard while every
+    /// sibling shard keeps ticking.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn set_fault_policy(
+        &mut self,
+        component: &str,
+        policy: FaultPolicy,
+    ) -> Result<FaultPolicy, FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        self.shards[shard].system.set_fault_policy_at(slot, policy)
+    }
+
+    /// A component's current [`FaultPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn fault_policy(&self, component: &str) -> Result<FaultPolicy, FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        Ok(self.shards[shard].system.fault_policy_at(slot))
+    }
+
+    /// True while a component is quarantined by its fault policy.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn quarantined(&self, component: &str) -> Result<bool, FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        Ok(self.shards[shard].system.quarantined_at(slot))
+    }
+
+    /// Restarts a quarantined component now with a fresh content instance,
+    /// on its own shard. Idempotent on healthy components.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components, content
+    /// `on_start` failures.
+    pub fn restart_component(&mut self, component: &str) -> Result<(), FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        self.shards[shard].system.restart_slot(slot)
+    }
+
+    /// Installs a deterministic [`FaultInjector`] at a component's
+    /// activation boundary on whichever shard owns it (replaces any
+    /// previous injector).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn install_fault_injector(
+        &mut self,
+        component: &str,
+        injector: FaultInjector,
+    ) -> Result<(), FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        self.shards[shard]
+            .system
+            .install_fault_injector_at(slot, injector)?;
+        Ok(())
+    }
+
+    /// `(activations seen, faults injected)` of a component's injector;
+    /// `None` when no injector is installed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn injector_counts(&self, component: &str) -> Result<Option<(u64, u64)>, FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        Ok(self.shards[shard].system.injector_counts_at(slot))
+    }
+
+    /// Supervision counters of a component:
+    /// `(faults contained, supervised restarts, suppressed releases)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn supervision_counts(&self, component: &str) -> Result<(u64, u64, u64), FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        Ok(self.shards[shard].system.supervision_counts_at(slot))
+    }
+
+    /// The full runtime health report folded across every shard: contract
+    /// verdicts (SOL-016…019) plus supervision findings (SOL-020…022).
+    pub fn health_report(&self) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        for s in &self.shards {
+            report.merge(s.system.health_report());
+        }
+        report
+    }
+
     /// Releases every periodic head of every shard `ticks` times, each
     /// shard on its own OS thread, then runs cross-shard traffic to
     /// quiescence. Equivalent to [`run_ticks_instrumented`] with no warmup
@@ -650,17 +761,20 @@ impl<P: Payload> ParallelSystem<P> {
             measure_gate: AtomicUsize::new(0),
             ticks_done: AtomicUsize::new(0),
             in_flight: Arc::clone(&self.in_flight),
+            fault: Mutex::new(None),
         };
         let ctl = &ctl;
         let results: Vec<Result<ShardRun, FrameworkError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
-                .map(|shard| {
+                .enumerate()
+                .map(|(shard_ix, shard)| {
                     scope.spawn(move || {
+                        let label = shard.label.clone();
                         let out = shard_worker(shard, ctl, warmup, ticks, probe);
-                        if out.is_err() {
-                            ctl.abort.store(true, Ordering::SeqCst);
+                        if let Err(e) = &out {
+                            ctl.record_fault(shard_ix, &label, e);
                         }
                         out
                     })
@@ -671,9 +785,15 @@ impl<P: Payload> ParallelSystem<P> {
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
         });
+        // On abort every shard returns an error, but only one of them is
+        // the root cause — surface that one (with its shard named), never
+        // whichever sibling happened to come first in shard order.
+        if results.iter().any(|r| r.is_err()) {
+            return Err(ctl.aborted());
+        }
         let mut runs = Vec::with_capacity(results.len());
         for r in results {
-            runs.push(r?);
+            runs.push(r.expect("checked above"));
         }
         Ok(runs)
     }
@@ -702,10 +822,38 @@ struct Ctl {
     measure_gate: AtomicUsize,
     ticks_done: AtomicUsize,
     in_flight: Arc<AtomicU64>,
+    /// First root-cause fault of the run: `(shard index, shard label,
+    /// rendered engine error)`. Written once, by whichever worker faults
+    /// first; every sibling's abort error — and the run's final error —
+    /// names this instead of a generic "a sibling shard aborted".
+    fault: Mutex<Option<(usize, String, String)>>,
 }
 
-fn aborted() -> FrameworkError {
-    FrameworkError::RunToCompletion("parallel run aborted by a sibling shard".into())
+impl Ctl {
+    /// Records the run's root cause (first writer wins) and raises the
+    /// abort flag that stops every sibling at its next check.
+    fn record_fault(&self, shard_ix: usize, label: &str, error: &FrameworkError) {
+        let mut slot = self.fault.lock().expect("fault slot poisoned");
+        if slot.is_none() {
+            *slot = Some((shard_ix, label.to_string(), error.to_string()));
+        }
+        drop(slot);
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// The abort error siblings observe: names the originating shard and
+    /// its first root-cause error, not just "a sibling shard".
+    fn aborted(&self) -> FrameworkError {
+        let slot = self.fault.lock().expect("fault slot poisoned");
+        match &*slot {
+            Some((ix, label, cause)) => FrameworkError::RunToCompletion(format!(
+                "parallel run aborted by shard {ix} ('{label}'): {cause}"
+            )),
+            None => {
+                FrameworkError::RunToCompletion("parallel run aborted by a sibling shard".into())
+            }
+        }
+    }
 }
 
 /// One pass over the shard's incoming rings (consumer priority order):
@@ -763,7 +911,7 @@ fn drain_until_quiescent<P: Payload>(
 ) -> Result<(), FrameworkError> {
     loop {
         if ctl.abort.load(Ordering::SeqCst) {
-            return Err(aborted());
+            return Err(ctl.aborted());
         }
         let moved = drain_pass(shard, ctl, ds)?;
         if !moved
@@ -784,7 +932,7 @@ fn gate(counter: &AtomicUsize, ctl: &Ctl) -> Result<(), FrameworkError> {
     counter.fetch_add(1, Ordering::SeqCst);
     while counter.load(Ordering::SeqCst) < ctl.n {
         if ctl.abort.load(Ordering::SeqCst) {
-            return Err(aborted());
+            return Err(ctl.aborted());
         }
         std::thread::yield_now();
     }
@@ -807,7 +955,7 @@ where
     // Phase 1: warmup (provision pending heaps, ring laps, scope stacks).
     for _ in 0..warmup {
         if ctl.abort.load(Ordering::SeqCst) {
-            return Err(aborted());
+            return Err(ctl.aborted());
         }
         shard.system.run_tick()?;
         drain_pass(shard, ctl, &mut ds)?;
@@ -823,7 +971,7 @@ where
     let probe_before = probe();
     for _ in 0..ticks {
         if ctl.abort.load(Ordering::SeqCst) {
-            return Err(aborted());
+            return Err(ctl.aborted());
         }
         let t0 = Instant::now();
         shard.system.run_tick()?;
@@ -1196,6 +1344,94 @@ mod tests {
         let delivered = probe.count("consumerB");
         let dropped = sys.stats().dropped_messages;
         assert_eq!(delivered + dropped, 10, "conservation: delivered + dropped");
+    }
+
+    /// A consumer that fails every invocation with a recognizable error.
+    #[derive(Debug)]
+    struct Exploder;
+    impl Content<u64> for Exploder {
+        fn on_invoke(
+            &mut self,
+            _p: &str,
+            _msg: &mut u64,
+            _out: &mut dyn Ports<u64>,
+        ) -> InvokeResult {
+            Err(FrameworkError::Content("boom".into()))
+        }
+    }
+
+    /// Satellite regression: an aborted parallel run must name the shard
+    /// that faulted and its root-cause error — not a generic "aborted by a
+    /// sibling shard" that loses the diagnosis.
+    #[test]
+    fn abort_reports_originating_shard_and_root_cause() {
+        let probe = ThreadProbe::default();
+        let mut reg = registry(&probe);
+        reg.register("Boom", || Box::new(Exploder));
+        let mut spec = fan_spec();
+        spec.components[1].content_class = "Boom".into();
+        let mut sys = ParallelSystem::build(&spec, Mode::MergeAll, &reg).unwrap();
+        let b = sys.shard_of_component("consumerB").unwrap();
+        let err = sys.run_ticks(10).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            format!(
+                "run-to-completion violated: parallel run aborted by shard {b} ('B'): \
+                 content error: boom"
+            )
+        );
+    }
+
+    /// Tentpole: a panic injected into one shard under `Isolate` leaves
+    /// every sibling shard completing its ticks, the faulted component
+    /// quarantined with its messages counted-dropped, and the health
+    /// report naming it.
+    #[test]
+    fn isolate_contains_a_panic_to_its_own_shard() {
+        let probe = ThreadProbe::default();
+        let mut sys =
+            ParallelSystem::build(&fan_spec(), Mode::MergeAll, &registry(&probe)).unwrap();
+        sys.set_fault_policy("consumerB", FaultPolicy::Isolate)
+            .unwrap();
+        sys.install_fault_injector(
+            "consumerB",
+            FaultInjector::new("consumerB", 7, 1).with_menu(FaultInjector::MENU_PANIC),
+        )
+        .unwrap();
+
+        let runs = sys.run_ticks(25).unwrap();
+        assert_eq!(runs.len(), 3, "all shards completed despite the panic");
+        assert!(sys.quarantined("consumerB").unwrap());
+        assert!(!sys.quarantined("consumerC").unwrap());
+        // The sibling consumer saw every message; B panicked on its first
+        // activation (before dispatch reached the content) and the rest
+        // were counted-dropped against the quarantine.
+        assert_eq!(probe.count("consumerC"), 25);
+        assert_eq!(probe.count("consumerB"), 0);
+        let stats = sys.stats();
+        assert_eq!(stats.async_messages, 50);
+        assert_eq!(stats.faults_contained, 1);
+        assert_eq!(stats.quarantine_drops, 24);
+        assert_eq!(stats.delivered_messages + stats.dropped_messages, 50);
+        let (faults, restarts, _) = sys.supervision_counts("consumerB").unwrap();
+        assert_eq!((faults, restarts), (1, 0));
+
+        let report = sys.health_report();
+        assert!(
+            report.by_code("SOL-020").any(|d| d.subject == "consumerB"),
+            "health report names the quarantined component: {report:?}"
+        );
+        assert!(report.by_code("SOL-022").next().is_some(), "drops surfaced");
+
+        // Supervised recovery: an explicit restart clears the quarantine
+        // and the component consumes again.
+        sys.install_fault_injector("consumerB", FaultInjector::new("consumerB", 7, 0))
+            .unwrap();
+        sys.restart_component("consumerB").unwrap();
+        assert!(!sys.quarantined("consumerB").unwrap());
+        sys.run_ticks(5).unwrap();
+        assert_eq!(probe.count("consumerB"), 5);
+        assert!(sys.health_report().by_code("SOL-020").next().is_none());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -24,14 +25,16 @@ use rtsj::memory::{AreaId, MemoryContext, MemoryKind, MemoryManager};
 use rtsj::thread::{Priority, ThreadKind};
 use rtsj::time::{AbsoluteTime, RelativeTime};
 use soleil_core::contract::{ContractObservation, TimingContract};
+use soleil_core::validate::{Diagnostic, Severity};
 use soleil_core::ValidationReport;
-use soleil_membrane::content::{Content, ContentRegistry, Payload, PortId};
+use soleil_membrane::content::{Content, ContentFactory, ContentRegistry, Payload, PortId};
 use soleil_membrane::controllers::{BindingTarget, LifecycleState, MemoryAreaController};
 use soleil_membrane::interceptors::{
-    ActiveInterceptor, FastGate, InterceptStep, Interceptor, MemoryInterceptor, MemoryPlan,
+    ActiveInterceptor, FastGate, FaultInjector, InterceptStep, Interceptor, MemoryInterceptor,
+    MemoryPlan,
 };
 use soleil_membrane::monitor::{LatencyMonitor, LatencySnapshot};
-use soleil_membrane::{ChainFusion, FrameworkError, Membrane, Ports};
+use soleil_membrane::{ChainFusion, FaultKind, FrameworkError, Membrane, Ports};
 use soleil_patterns::spsc::SpscProducer;
 use soleil_patterns::{ExchangeBuffer, PatternKind, PushOutcome, ScopePin};
 
@@ -48,6 +51,77 @@ pub const RELEASE_PORT: &str = "@release";
 /// (capacity is fixed at build so arming never allocates).
 const TIMER_SLOTS_MIN: usize = 64;
 
+/// High bit of a timer payload marking a **supervised restart** timer
+/// rather than a scheduled release: the low 31 bits carry the engine slot.
+/// Restart timers ride the same preallocated queue as releases, so
+/// supervision adds no second scheduling mechanism.
+const RESTART_TAG: u32 = 1 << 31;
+
+/// Exponential-backoff exponents are clamped here so `backoff * 2^attempt`
+/// cannot overflow into a meaninglessly distant restart.
+const MAX_BACKOFF_SHIFT: u32 = 20;
+
+/// What the engine does with a fault contained at a component's activation
+/// boundary (a caught panic, or a typed [`FrameworkError::Faulted`] error).
+///
+/// The policy is **engine-level supervision**, like timing contracts: it
+/// can be declared and changed in every generation mode, including
+/// ULTRA-MERGE (which rejects *structural* reconfiguration only). The
+/// healthy activation path pays one integer compare for it, exactly like
+/// the `u16::MAX` contract sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Propagate the fault to the caller — exactly the pre-supervision
+    /// behavior, and the default for every component.
+    #[default]
+    Escalate,
+    /// Quarantine the component and keep the tick/shard running: its
+    /// releases are suppressed (and counted), messages addressed to it are
+    /// counted-dropped, and sync calls into it are refused until an
+    /// explicit restart.
+    Isolate,
+    /// Quarantine, then re-arm the component through the timer queue with
+    /// exponential backoff; when more than `max_restarts` faults land
+    /// inside one sliding `window`, the budget is exhausted and the fault
+    /// escalates instead.
+    Restart {
+        /// Restarts allowed within one `window` before escalating.
+        max_restarts: u32,
+        /// Sliding budget window, measured on the engine's virtual clock.
+        window: RelativeTime,
+        /// Base restart delay; attempt `k` in a window waits
+        /// `backoff * 2^k` (shift clamped, saturating add).
+        backoff: RelativeTime,
+    },
+}
+
+/// Per-slot supervision state: the declared policy plus the bookkeeping the
+/// restart budget and the health report read. Cold data — only touched when
+/// a fault is actually being handled or a report is built.
+#[derive(Debug, Clone, Default)]
+struct SupervisorSlot {
+    policy: FaultPolicy,
+    /// True while the component is quarantined (mirrors the hot-path flag
+    /// in the activation plan; this copy carries the cold detail).
+    quarantined: bool,
+    /// `"{kind}: {detail}"` of the fault that caused the quarantine.
+    fault_detail: Option<String>,
+    /// Restarts consumed in the current budget window.
+    restarts_in_window: u32,
+    /// Start of the current budget window on the engine clock.
+    window_start: AbsoluteTime,
+    /// Backoff exponent for the next restart in this window.
+    attempt: u32,
+    /// True once the restart budget was exhausted and the fault escalated.
+    budget_exhausted: bool,
+    /// Faults contained at this slot's boundary (panics + errors).
+    faults: u64,
+    /// Supervised restarts completed.
+    restarts: u64,
+    /// Periodic releases suppressed while quarantined.
+    suppressed_releases: u64,
+}
+
 /// Engine-wide counters (introspection / experiment reporting).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -59,8 +133,20 @@ pub struct EngineStats {
     pub sync_calls: u64,
     /// Asynchronous messages enqueued.
     pub async_messages: u64,
-    /// Messages dropped by full buffers.
+    /// Messages dropped: full buffers plus quarantine drops.
     pub dropped_messages: u64,
+    /// Asynchronous messages delivered to their consumer's activation
+    /// boundary. After quiescence, conservation holds:
+    /// `async_messages == delivered_messages + dropped_messages` minus the
+    /// full-buffer drops (which never entered a queue) — the chaos suite
+    /// asserts the exact ledger.
+    pub delivered_messages: u64,
+    /// The subset of `dropped_messages` that were counted-dropped because
+    /// their consumer was quarantined (never silently lost).
+    pub quarantine_drops: u64,
+    /// Faults (panics + errors) contained by a component's fault policy
+    /// instead of escalating.
+    pub faults_contained: u64,
     /// Scheduled releases fired by the timer queue.
     pub timer_fires: u64,
 }
@@ -108,6 +194,11 @@ struct Node<P: Payload> {
     // MERGE-ALL lifecycle state (SOLEIL keeps it in the membrane).
     started: bool,
     busy: bool,
+    /// Supervision gate for compiled sync dispatch: MERGE-ALL refuses sync
+    /// calls into a quarantined component here (SOLEIL refuses through the
+    /// membrane's lifecycle; ULTRA-MERGE checks activation boundaries
+    /// only — its sync path is contractually check-free).
+    quarantined: bool,
 }
 
 impl<P: Payload> std::fmt::Debug for Node<P> {
@@ -232,6 +323,14 @@ struct ActivationPlan {
     /// same pay-nothing-when-unused compilation as `release_ix` and the
     /// membrane `FastGate`s.
     monitor_ix: u16,
+    /// Slot of the component's engine-level fault injector in
+    /// `System::injectors`; `u16::MAX` when none is installed (the same
+    /// one-compare sentinel as `monitor_ix`).
+    fault_ix: u16,
+    /// True while the component is quarantined by its fault policy — the
+    /// single compare the healthy release/delivery path pays for
+    /// supervision.
+    quarantined: bool,
 }
 
 /// An attached runtime timing contract with its live monitor, boxed so the
@@ -351,6 +450,19 @@ pub struct System<P: Payload> {
     /// everywhere until a contract is attached. The hot path never reads
     /// this directly — it tests `ActivationPlan::monitor_ix` first.
     monitors: Vec<Option<Box<MonitorSlot>>>,
+    /// Per-slot fault policies + supervision bookkeeping (cold: read only
+    /// when handling a fault or building a health report).
+    supervisors: Vec<SupervisorSlot>,
+    /// Per-slot content constructors, captured at build so a supervised
+    /// restart can re-instantiate a faulted component fresh — one `Arc`
+    /// clone at build time, none per transaction.
+    factories: Vec<ContentFactory<P>>,
+    /// Engine-level deterministic fault injectors, gated by
+    /// `ActivationPlan::fault_ix`; boxed so uninjected deployments pay one
+    /// pointer per slot. Works in every mode — ULTRA-MERGE included —
+    /// because the injector fires at the activation boundary, before any
+    /// mode-specific dispatch.
+    injectors: Vec<Option<Box<FaultInjector>>>,
     // SOLEIL mode: reified membranes + per-binding memory interceptors +
     // the spec kept alive for introspection.
     membranes: Vec<Option<Membrane>>,
@@ -476,8 +588,14 @@ impl<P: Payload> System<P> {
         // --- Components: instantiate content, charge state to the area.
         let boot_ctx = mm.context(ThreadKind::Realtime);
         let mut nodes: Vec<Node<P>> = Vec::with_capacity(spec.components.len());
+        let mut factories: Vec<ContentFactory<P>> = Vec::with_capacity(spec.components.len());
         for c in &spec.components {
-            let content = registry.instantiate(&c.content_class)?;
+            // Keep the constructor: a supervised restart re-instantiates
+            // from the same factory the deploy used (one Arc clone, here,
+            // at build — the transaction path never touches it).
+            let factory = registry.factory(&c.content_class)?;
+            let content = factory();
+            factories.push(factory);
             let state = content.state_bytes().max(1);
             mm.alloc_raw(&boot_ctx, areas[c.area].id, state)?;
             let mut server_ports: Vec<Box<str>> =
@@ -513,6 +631,7 @@ impl<P: Payload> System<P> {
                 scope_chain,
                 started: false,
                 busy: false,
+                quarantined: false,
             });
         }
 
@@ -576,6 +695,8 @@ impl<P: Payload> System<P> {
                     chain_len: chain_len as u16,
                     release_ix: n.release_ix.unwrap_or(u16::MAX),
                     monitor_ix: u16::MAX,
+                    fault_ix: u16::MAX,
+                    quarantined: false,
                 }
             })
             .collect();
@@ -774,6 +895,9 @@ impl<P: Payload> System<P> {
             tick_quantum,
             timers: TimerQueue::with_capacity(timer_capacity),
             monitors: (0..node_count).map(|_| None).collect(),
+            supervisors: vec![SupervisorSlot::default(); node_count],
+            factories,
+            injectors: (0..node_count).map(|_| None).collect(),
             membranes,
             mem_interceptors,
             mem_gates,
@@ -997,6 +1121,22 @@ impl<P: Payload> System<P> {
                 self.nodes[head].name
             )));
         }
+        // Supervision on the healthy path is this one compare: a
+        // quarantined head's release is suppressed (and counted), not run.
+        if plan.quarantined {
+            self.supervisors[head].suppressed_releases += 1;
+            return Ok(());
+        }
+        match self.run_release(head, plan) {
+            Ok(()) => Ok(()),
+            Err(e) => self.handle_fault(e),
+        }
+    }
+
+    /// One release transaction of `head` under its already-fetched plan:
+    /// the shared body of [`run_transaction`](Self::run_transaction) and
+    /// the timer-fire path.
+    fn run_release(&mut self, head: usize, plan: ActivationPlan) -> Result<(), FrameworkError> {
         // Monitored heads stamp the transaction; the sentinel keeps the
         // unmonitored path at one integer compare (no clock read).
         let t0 = (plan.monitor_ix != u16::MAX).then(Instant::now);
@@ -1049,7 +1189,10 @@ impl<P: Payload> System<P> {
     ///
     /// # Errors
     ///
-    /// The first transaction error aborts the tick.
+    /// The first transaction error aborts the tick. When later periodic
+    /// heads were still waiting for their release, the error names both
+    /// the aborting component and every skipped head — an aborted tick
+    /// never silently un-releases the rest of the system.
     pub fn run_tick(&mut self) -> Result<(), FrameworkError> {
         // The release engine rides the tick: advance the virtual clock one
         // quantum and fire whatever came due. With nothing armed this is
@@ -1061,7 +1204,20 @@ impl<P: Payload> System<P> {
         }
         for i in 0..self.periodic_order.len() {
             let head = self.periodic_order[i];
-            self.run_transaction(head)?;
+            if let Err(e) = self.run_transaction(head) {
+                let skipped: Vec<&str> = self.periodic_order[i + 1..]
+                    .iter()
+                    .map(|&s| self.nodes[s].name.as_str())
+                    .collect();
+                if skipped.is_empty() {
+                    return Err(e);
+                }
+                return Err(FrameworkError::RunToCompletion(format!(
+                    "tick aborted by component '{}': {e}; skipped periodic heads: {}",
+                    self.nodes[head].name,
+                    skipped.join(", ")
+                )));
+            }
         }
         Ok(())
     }
@@ -1074,15 +1230,33 @@ impl<P: Payload> System<P> {
         port_ix: u16,
         mut msg: P,
     ) -> Result<(), FrameworkError> {
-        let monitor_ix = self.activation_plans[slot].monitor_ix;
-        let t0 = (monitor_ix != u16::MAX).then(Instant::now);
-        self.activate(slot, port_ix, &mut msg)?;
-        self.drain()?;
-        self.stats.transactions += 1;
-        if let Some(t0) = t0 {
-            self.observe_latency(monitor_ix, t0);
+        let plan = self.activation_plans[slot];
+        // A quarantined target counts the drop instead of activating — the
+        // same never-silently-lost accounting as the drain path. No
+        // transaction is recorded (none ran), which keeps the parallel
+        // drain-pass arithmetic honest.
+        if plan.quarantined {
+            self.stats.dropped_messages += 1;
+            self.stats.quarantine_drops += 1;
+            return Ok(());
         }
-        Ok(())
+        // Delivered the moment it reaches the activation boundary —
+        // mirroring the drain path's pop-before-invoke accounting, so the
+        // conservation ledger holds even when the activation then faults.
+        self.stats.delivered_messages += 1;
+        let t0 = (plan.monitor_ix != u16::MAX).then(Instant::now);
+        let result = self.activate(slot, port_ix, &mut msg).and_then(|()| {
+            self.drain()?;
+            self.stats.transactions += 1;
+            if let Some(t0) = t0 {
+                self.observe_latency(plan.monitor_ix, t0);
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) => self.handle_fault(e),
+        }
     }
 
     /// Checks out the executing context for a slot: its domain's context,
@@ -1113,11 +1287,38 @@ impl<P: Payload> System<P> {
 
     fn activate(&mut self, slot: usize, port_ix: u16, msg: &mut P) -> Result<(), FrameworkError> {
         self.stats.activations += 1;
+        // Engine-level fault injection fires at the activation boundary,
+        // before any mode-specific dispatch — the sentinel keeps the
+        // uninjected path at one integer compare.
+        if self.activation_plans[slot].fault_ix != u16::MAX {
+            self.run_injector(slot)?;
+        }
         let domain_ix = self.nodes[slot].domain_ix;
         let mut ctx = self.take_ctx(domain_ix)?;
         let result = self.invoke_in_chain(slot, port_ix, msg, &mut ctx);
         self.restore_ctx(domain_ix, ctx);
         result
+    }
+
+    /// Draws the slot's engine-level fault injector, converting an
+    /// injected panic into the same typed [`FrameworkError::Faulted`] a
+    /// content panic produces. The injector is checked out around the draw
+    /// (a pointer swap) so the catch boundary never holds a borrow of the
+    /// engine.
+    fn run_injector(&mut self, slot: usize) -> Result<(), FrameworkError> {
+        let Some(mut fi) = self.injectors[slot].take() else {
+            return Ok(());
+        };
+        let drawn = catch_unwind(AssertUnwindSafe(|| fi.draw()));
+        self.injectors[slot] = Some(fi);
+        match drawn {
+            Ok(r) => r,
+            Err(payload) => Err(FrameworkError::Faulted {
+                component: self.nodes[slot].name.clone(),
+                kind: FaultKind::Panic,
+                detail: panic_detail(payload),
+            }),
+        }
     }
 
     /// Enters `slot`'s scope chain, invokes, and exits — the execution
@@ -1163,6 +1364,18 @@ impl<P: Payload> System<P> {
                 let b = &self.buffers[buffer_ix];
                 (b.consumer_slot, b.consumer_port_ix)
             };
+            // Messages addressed to a quarantined consumer are popped and
+            // *counted*-dropped — conservation over quarantine: nothing
+            // waits forever in a queue nobody will drain, nothing is lost
+            // off the books. One compare on the healthy path.
+            if self.activation_plans[consumer_slot].quarantined {
+                let ctx = self.mm.context(ThreadKind::Regular);
+                if let Some(_msg) = self.buffers[buffer_ix].buffer.pop(&mut self.mm, &ctx)? {
+                    self.stats.dropped_messages += 1;
+                    self.stats.quarantine_drops += 1;
+                }
+                continue;
+            }
             let domain_ix = self.nodes[consumer_slot].domain_ix;
             let mut ctx = self.take_ctx(domain_ix)?;
             // Index-based buffer access: `buffers` and `mm` are disjoint
@@ -1172,14 +1385,22 @@ impl<P: Payload> System<P> {
             let result = match popped {
                 Ok(Some(mut msg)) => {
                     self.stats.activations += 1;
-                    // Message-triggered activations are monitored too: the
-                    // same one-compare sentinel as the release path.
-                    let monitor_ix = self.activation_plans[consumer_slot].monitor_ix;
-                    let t0 = (monitor_ix != u16::MAX).then(Instant::now);
-                    let r =
-                        self.invoke_in_chain(consumer_slot, consumer_port_ix, &mut msg, &mut ctx);
+                    self.stats.delivered_messages += 1;
+                    // Message-triggered activations are monitored and
+                    // fault-injected too: the same one-compare sentinels
+                    // as the release path.
+                    let plan = self.activation_plans[consumer_slot];
+                    let t0 = (plan.monitor_ix != u16::MAX).then(Instant::now);
+                    let r = if plan.fault_ix != u16::MAX {
+                        self.run_injector(consumer_slot)
+                    } else {
+                        Ok(())
+                    }
+                    .and_then(|()| {
+                        self.invoke_in_chain(consumer_slot, consumer_port_ix, &mut msg, &mut ctx)
+                    });
                     if let (Some(t0), Ok(())) = (t0, &r) {
-                        self.observe_latency(monitor_ix, t0);
+                        self.observe_latency(plan.monitor_ix, t0);
                     }
                     r
                 }
@@ -1271,9 +1492,26 @@ impl<P: Payload> System<P> {
                 self.nodes[slot].name
             ))
         })?;
-        if let Err(e) = membrane.pre_invoke(&mut self.mm, ctx) {
-            self.membranes[slot] = Some(membrane);
-            return Err(e);
+        // The pre-gate can panic (a fault injector in the chain): catch it
+        // here, poison the membrane — the chain may be half-wound, so the
+        // component must not re-activate without a restart — and surface
+        // the typed fault.
+        let pre = catch_unwind(AssertUnwindSafe(|| membrane.pre_invoke(&mut self.mm, ctx)));
+        match pre {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                self.membranes[slot] = Some(membrane);
+                return Err(e);
+            }
+            Err(payload) => {
+                membrane.quarantine(true);
+                self.membranes[slot] = Some(membrane);
+                return Err(FrameworkError::Faulted {
+                    component: self.nodes[slot].name.clone(),
+                    kind: FaultKind::Panic,
+                    detail: panic_detail(payload),
+                });
+            }
         }
         let mut content = match self.nodes[slot].content.take() {
             Some(c) => c,
@@ -1296,10 +1534,34 @@ impl<P: Payload> System<P> {
                 membrane: &mut membrane,
                 ctx,
             };
-            content.on_invoke(&port, msg, &mut ports)
+            // The activation boundary: a panicking content becomes a typed
+            // fault and the unwind stops here — port/content/membrane
+            // restoration below runs on every exit path, so the engine's
+            // own invariants survive the panic (the component's may not;
+            // that is the supervisor's call).
+            catch_unwind(AssertUnwindSafe(|| {
+                content.on_invoke(&port, msg, &mut ports)
+            }))
         };
         self.nodes[slot].server_ports[port_ix as usize] = port;
-        self.nodes[slot].content = Some(content);
+        let result = match result {
+            Ok(r) => {
+                self.nodes[slot].content = Some(content);
+                r
+            }
+            Err(payload) => {
+                // A caught panic may have half-mutated the content state:
+                // poison the membrane so re-activation is refused until a
+                // supervised restart installs a fresh instance.
+                self.nodes[slot].content = Some(content);
+                membrane.quarantine(true);
+                Err(FrameworkError::Faulted {
+                    component: self.nodes[slot].name.clone(),
+                    kind: FaultKind::Panic,
+                    detail: panic_detail(payload),
+                })
+            }
+        };
         let post = membrane.post_invoke(&mut self.mm, ctx);
         self.membranes[slot] = Some(membrane);
         result.and(post)
@@ -1316,6 +1578,12 @@ impl<P: Payload> System<P> {
     ) -> Result<(), FrameworkError> {
         {
             let node = &mut self.nodes[slot];
+            if node.quarantined {
+                return Err(FrameworkError::Lifecycle(format!(
+                    "component '{}' is quarantined pending restart",
+                    node.name
+                )));
+            }
             if !node.started {
                 return Err(FrameworkError::Lifecycle(format!(
                     "component '{}' is stopped",
@@ -1340,12 +1608,14 @@ impl<P: Payload> System<P> {
                 ctx,
                 checked: true,
             };
-            content.on_invoke(&port, msg, &mut ports)
+            catch_unwind(AssertUnwindSafe(|| {
+                content.on_invoke(&port, msg, &mut ports)
+            }))
         };
         self.nodes[slot].server_ports[port_ix as usize] = port;
         self.nodes[slot].content = Some(content);
         self.nodes[slot].busy = false;
-        result
+        self.settle_caught(slot, result)
     }
 
     // --- ULTRA-MERGE path: flat static dispatch, no checks. -------------
@@ -1372,11 +1642,31 @@ impl<P: Payload> System<P> {
                 ctx,
                 checked: false,
             };
-            content.on_invoke(&port, msg, &mut ports)
+            catch_unwind(AssertUnwindSafe(|| {
+                content.on_invoke(&port, msg, &mut ports)
+            }))
         };
         self.nodes[slot].server_ports[port_ix as usize] = port;
         self.nodes[slot].content = Some(content);
-        result
+        self.settle_caught(slot, result)
+    }
+
+    /// Settles a caught activation result from the compiled invoke paths:
+    /// passes plain results through and converts a caught panic into the
+    /// typed fault (cold path — the name clone happens only on a panic).
+    fn settle_caught(
+        &mut self,
+        slot: usize,
+        result: std::thread::Result<Result<(), FrameworkError>>,
+    ) -> Result<(), FrameworkError> {
+        match result {
+            Ok(r) => r,
+            Err(payload) => Err(FrameworkError::Faulted {
+                component: self.nodes[slot].name.clone(),
+                kind: FaultKind::Panic,
+                detail: panic_detail(payload),
+            }),
+        }
     }
 
     /// The cold string-fallback resolution for name-based callers: a
@@ -2047,17 +2337,25 @@ impl<P: Payload> System<P> {
     /// async cascade), exactly like a periodic release.
     fn fire_due_timers(&mut self) -> Result<(), FrameworkError> {
         while let Some(fired) = self.timers.pop_due(self.clock) {
+            // Supervised-restart timers share the queue with releases,
+            // distinguished by the payload's tag bit.
+            if fired.payload & RESTART_TAG != 0 {
+                self.stats.timer_fires += 1;
+                self.restart_slot((fired.payload & !RESTART_TAG) as usize)?;
+                continue;
+            }
             let slot = fired.payload as usize;
             let plan = self.activation_plans[slot];
             debug_assert_ne!(plan.release_ix, u16::MAX, "schedule checked periodicity");
             self.stats.timer_fires += 1;
-            let t0 = (plan.monitor_ix != u16::MAX).then(Instant::now);
-            let mut msg = P::default();
-            self.activate(slot, plan.release_ix, &mut msg)?;
-            self.drain()?;
-            self.stats.transactions += 1;
-            if let Some(t0) = t0 {
-                self.observe_latency(plan.monitor_ix, t0);
+            // A release scheduled before the quarantine is suppressed and
+            // counted, like the periodic path.
+            if plan.quarantined {
+                self.supervisors[slot].suppressed_releases += 1;
+                continue;
+            }
+            if let Err(e) = self.run_release(slot, plan) {
+                self.handle_fault(e)?;
             }
         }
         Ok(())
@@ -2166,6 +2464,281 @@ impl<P: Payload> System<P> {
     }
 
     // -----------------------------------------------------------------
+    // Fault containment & supervision
+    // -----------------------------------------------------------------
+
+    /// Routes a transaction error through the faulting component's fault
+    /// policy: typed [`FrameworkError::Faulted`] errors are attributed by
+    /// the component name they carry (no string parsing) and contained,
+    /// restarted, or escalated per policy; every other error keeps the
+    /// pre-supervision escalate behavior. Cold by construction — the
+    /// healthy path never reaches here.
+    fn handle_fault(&mut self, e: FrameworkError) -> Result<(), FrameworkError> {
+        let FrameworkError::Faulted {
+            component, kind, ..
+        } = &e
+        else {
+            return Err(e);
+        };
+        // A drop fault is pure accounting: the message (or release) was
+        // refused and counted; nothing is broken.
+        if *kind == FaultKind::Drop {
+            self.stats.dropped_messages += 1;
+            return Ok(());
+        }
+        let Some(slot) = self.nodes.iter().position(|n| n.name == *component) else {
+            return Err(e);
+        };
+        match self.supervisors[slot].policy {
+            FaultPolicy::Escalate => Err(e),
+            FaultPolicy::Isolate => {
+                self.quarantine_slot(slot, &e);
+                self.stats.faults_contained += 1;
+                Ok(())
+            }
+            FaultPolicy::Restart {
+                max_restarts,
+                window,
+                backoff,
+            } => {
+                self.quarantine_slot(slot, &e);
+                self.stats.faults_contained += 1;
+                // Roll the sliding budget window on the engine clock.
+                if self.clock.since(self.supervisors[slot].window_start) >= window {
+                    let sup = &mut self.supervisors[slot];
+                    sup.window_start = self.clock;
+                    sup.restarts_in_window = 0;
+                    sup.attempt = 0;
+                }
+                if self.supervisors[slot].restarts_in_window >= max_restarts {
+                    self.supervisors[slot].budget_exhausted = true;
+                    return Err(e);
+                }
+                let attempt = self.supervisors[slot].attempt;
+                let delay = backoff * (1u64 << attempt.min(MAX_BACKOFF_SHIFT));
+                let at = self.clock.saturating_add(delay);
+                let priority = self.nodes[slot].priority;
+                {
+                    let sup = &mut self.supervisors[slot];
+                    sup.restarts_in_window += 1;
+                    sup.attempt += 1;
+                }
+                self.timers
+                    .schedule(at, priority, slot as u32 | RESTART_TAG)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Quarantines `slot`: the hot-path flags flip, the membrane (SOLEIL)
+    /// is quarantined — poisoned for panic faults, whose unwind may have
+    /// left half-mutated state — and the cold supervisor record keeps the
+    /// fault detail for [`health_report`](Self::health_report).
+    fn quarantine_slot(&mut self, slot: usize, fault: &FrameworkError) {
+        self.activation_plans[slot].quarantined = true;
+        self.nodes[slot].quarantined = true;
+        let poison = matches!(
+            fault,
+            FrameworkError::Faulted {
+                kind: FaultKind::Panic,
+                ..
+            }
+        );
+        if let Some(m) = self.membranes.get_mut(slot).and_then(|m| m.as_mut()) {
+            m.quarantine(poison);
+        }
+        let sup = &mut self.supervisors[slot];
+        sup.quarantined = true;
+        sup.faults += 1;
+        sup.fault_detail = Some(fault.to_string());
+    }
+
+    /// Restarts a quarantined `slot` with a **fresh content instance** from
+    /// the factory captured at build: flags clear, the membrane's poison
+    /// and transient interceptor state reset, `on_start` runs. Idempotent —
+    /// a restart timer firing after a manual restart is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for a bad slot.
+    pub(crate) fn restart_slot(&mut self, slot: usize) -> Result<(), FrameworkError> {
+        if slot >= self.nodes.len() {
+            return Err(FrameworkError::Content(format!("bad slot {slot}")));
+        }
+        if !self.supervisors[slot].quarantined {
+            return Ok(());
+        }
+        // Fresh instance, same class: the original deploy-time state
+        // charge stands (same content class, same `state_bytes`), so no
+        // re-charge against the area budget.
+        let node = &mut self.nodes[slot];
+        node.content = Some((self.factories[slot])());
+        node.busy = false;
+        node.quarantined = false;
+        node.started = true;
+        self.activation_plans[slot].quarantined = false;
+        if let Some(m) = self.membranes.get_mut(slot).and_then(|m| m.as_mut()) {
+            m.restart();
+        }
+        if let Some(c) = self.nodes[slot].content.as_mut() {
+            c.on_start();
+        }
+        let sup = &mut self.supervisors[slot];
+        sup.quarantined = false;
+        sup.fault_detail = None;
+        sup.restarts += 1;
+        Ok(())
+    }
+
+    /// Declares `slot`'s fault policy, returning the previous one (the
+    /// reconfiguration journal's undo token). Allowed in **every** mode —
+    /// supervision is engine-level observability-and-recovery machinery
+    /// like timing contracts, not structural reconfiguration, so even
+    /// ULTRA-MERGE systems can be supervised.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for a bad slot.
+    pub(crate) fn set_fault_policy_at(
+        &mut self,
+        slot: usize,
+        policy: FaultPolicy,
+    ) -> Result<FaultPolicy, FrameworkError> {
+        if slot >= self.nodes.len() {
+            return Err(FrameworkError::Content(format!("bad slot {slot}")));
+        }
+        let prev = self.supervisors[slot].policy;
+        self.supervisors[slot].policy = policy;
+        Ok(prev)
+    }
+
+    /// The fault policy declared for `slot`.
+    pub(crate) fn fault_policy_at(&self, slot: usize) -> FaultPolicy {
+        self.supervisors
+            .get(slot)
+            .map(|s| s.policy)
+            .unwrap_or_default()
+    }
+
+    /// True while `slot` is quarantined by its fault policy.
+    pub(crate) fn quarantined_at(&self, slot: usize) -> bool {
+        self.supervisors.get(slot).is_some_and(|s| s.quarantined)
+    }
+
+    /// Installs an engine-level deterministic fault injector at `slot`'s
+    /// activation boundary (any mode — it fires before mode-specific
+    /// dispatch), returning the previous injector. An idle injector
+    /// (`rate == 0`) costs the boundary one integer compare and one
+    /// pointer swap, nothing more — it can stay compiled into a
+    /// production deployment.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for a bad slot.
+    pub(crate) fn install_fault_injector_at(
+        &mut self,
+        slot: usize,
+        injector: FaultInjector,
+    ) -> Result<Option<Box<FaultInjector>>, FrameworkError> {
+        if slot >= self.nodes.len() || slot >= usize::from(u16::MAX) {
+            return Err(FrameworkError::Content(format!("bad slot {slot}")));
+        }
+        let prev = self.injectors[slot].replace(Box::new(injector));
+        self.activation_plans[slot].fault_ix = slot as u16;
+        Ok(prev)
+    }
+
+    /// Removes `slot`'s engine-level fault injector, restoring the
+    /// pay-nothing sentinel.
+    pub(crate) fn remove_fault_injector_at(&mut self, slot: usize) -> Option<Box<FaultInjector>> {
+        let prev = self.injectors.get_mut(slot).and_then(|i| i.take());
+        if prev.is_some() {
+            self.activation_plans[slot].fault_ix = u16::MAX;
+        }
+        prev
+    }
+
+    /// `(activations, injected)` counters of `slot`'s engine-level
+    /// injector, if one is installed.
+    pub(crate) fn injector_counts_at(&self, slot: usize) -> Option<(u64, u64)> {
+        self.injectors
+            .get(slot)
+            .and_then(|i| i.as_deref())
+            .map(|fi| (fi.activations(), fi.injected()))
+    }
+
+    /// Supervision counters of `slot`:
+    /// `(faults contained, restarts, suppressed releases)`.
+    pub(crate) fn supervision_counts_at(&self, slot: usize) -> (u64, u64, u64) {
+        self.supervisors
+            .get(slot)
+            .map(|s| (s.faults, s.restarts, s.suppressed_releases))
+            .unwrap_or_default()
+    }
+
+    /// The full runtime health report: every contract verdict
+    /// ([`contract_report`](Self::contract_report), codes SOL-016…019)
+    /// plus the supervision findings — SOL-020 for each quarantined
+    /// component (with the contained fault and suppressed-release count),
+    /// SOL-021 for each exhausted restart budget, SOL-022 when messages
+    /// were counted-dropped at quarantine gates. A compliant report means
+    /// every contract holds and no component is sick.
+    pub fn health_report(&self) -> ValidationReport {
+        let mut report = self.contract_report();
+        for (slot, sup) in self.supervisors.iter().enumerate() {
+            if sup.quarantined {
+                report.append(Diagnostic {
+                    code: "SOL-020",
+                    severity: Severity::Error,
+                    subject: self.nodes[slot].name.clone(),
+                    message: format!(
+                        "component quarantined after a contained fault ({}); {} release(s) suppressed",
+                        sup.fault_detail.as_deref().unwrap_or("unknown fault"),
+                        sup.suppressed_releases
+                    ),
+                    suggestion: Some(
+                        "restart the component (a supervised restart installs a fresh \
+                         content instance and clears membrane poison) or fix the fault"
+                            .into(),
+                    ),
+                });
+            }
+            if sup.budget_exhausted {
+                report.append(Diagnostic {
+                    code: "SOL-021",
+                    severity: Severity::Error,
+                    subject: self.nodes[slot].name.clone(),
+                    message: format!(
+                        "restart budget exhausted after {} fault(s); the last fault escalated",
+                        sup.faults
+                    ),
+                    suggestion: Some(
+                        "widen the Restart policy's window/budget or fix the recurring fault"
+                            .into(),
+                    ),
+                });
+            }
+        }
+        if self.stats.quarantine_drops > 0 {
+            report.append(Diagnostic {
+                code: "SOL-022",
+                severity: Severity::Warning,
+                subject: self.name.clone(),
+                message: format!(
+                    "{} message(s) to quarantined components were counted-dropped",
+                    self.stats.quarantine_drops
+                ),
+                suggestion: Some(
+                    "the drops are accounted in EngineStats::quarantine_drops; restart the \
+                     quarantined consumers to resume delivery"
+                        .into(),
+                ),
+            });
+        }
+        report
+    }
+
+    // -----------------------------------------------------------------
     // Footprint (Fig. 7(c))
     // -----------------------------------------------------------------
 
@@ -2217,8 +2790,9 @@ impl<P: Payload> System<P> {
                     + self.dispatch_plan_bytes()
             }
         };
-        // Release engine: preallocated timer slots plus any attached
-        // contract monitors — identical in every mode, so charged to the
+        // Release engine + supervision: preallocated timer slots, attached
+        // contract monitors, per-slot supervisor records and any installed
+        // fault injectors — identical in every mode, so charged to the
         // dedicated bucket rather than the per-mode framework figure.
         let release_engine_bytes = self.timers.footprint_bytes()
             + self
@@ -2226,6 +2800,13 @@ impl<P: Payload> System<P> {
                 .iter()
                 .flatten()
                 .map(|m| m.monitor.footprint_bytes() + std::mem::size_of::<TimingContract>())
+                .sum::<usize>()
+            + self.supervisors.len() * std::mem::size_of::<SupervisorSlot>()
+            + self
+                .injectors
+                .iter()
+                .flatten()
+                .map(|fi| fi.footprint_bytes())
                 .sum::<usize>();
         FootprintReport::collect(
             self.mode.to_string(),
@@ -2253,6 +2834,19 @@ impl<P: Payload> System<P> {
                 .sum::<usize>()
             + self.enter_arena.len() * std::mem::size_of::<AreaId>()
             + self.activation_plans.len() * std::mem::size_of::<ActivationPlan>()
+    }
+}
+
+/// Renders a caught panic payload for the typed fault's detail text:
+/// `panic!` string payloads pass through, anything else gets a stable
+/// placeholder (payload types are open-ended).
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -3627,5 +4221,277 @@ mod tests {
         sys.restore_contract_at(head, Some(taken));
         assert_eq!(sys.deadline_misses(), 1);
         assert_eq!(sys.latency_snapshot_at(head).unwrap().activations, 1);
+    }
+
+    // -----------------------------------------------------------------
+    // Fault containment & supervision
+    // -----------------------------------------------------------------
+
+    /// Installs an always-firing error injector on `middle` under the
+    /// given policy and returns the built system.
+    fn faulty_middle(mode: Mode, policy: FaultPolicy) -> System<Token> {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, mode, &registry()).unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        sys.set_fault_policy_at(middle, policy).unwrap();
+        sys.install_fault_injector_at(
+            middle,
+            FaultInjector::new("middle", 5, 1).with_menu(FaultInjector::MENU_ERROR),
+        )
+        .unwrap();
+        sys
+    }
+
+    #[test]
+    fn escalate_is_the_default_and_propagates_typed_faults() {
+        run_modes(|mode, sys| {
+            let middle = sys.slot_of("middle").unwrap();
+            assert_eq!(sys.fault_policy_at(middle), FaultPolicy::Escalate, "{mode}");
+        });
+        for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+            let mut sys = faulty_middle(mode, FaultPolicy::Escalate);
+            let head = sys.slot_of("producer").unwrap();
+            let err = sys.run_transaction(head).unwrap_err();
+            assert_eq!(
+                err.to_string(),
+                "component 'middle' faulted (error): injected error (seed 5, activation 1)",
+                "{mode}"
+            );
+            // Escalate never quarantines: the component stays schedulable.
+            assert!(
+                !sys.quarantined_at(sys.slot_of("middle").unwrap()),
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn isolate_quarantines_and_count_drops_in_every_mode() {
+        for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+            let mut sys = faulty_middle(mode, FaultPolicy::Isolate);
+            let head = sys.slot_of("producer").unwrap();
+            let middle = sys.slot_of("middle").unwrap();
+            // Every transaction keeps succeeding at the system level.
+            for _ in 0..6 {
+                sys.run_transaction(head).unwrap();
+            }
+            assert!(sys.quarantined_at(middle), "{mode}");
+            let st = sys.stats();
+            assert_eq!(st.faults_contained, 1, "{mode}");
+            // First message reached the boundary (delivered, then faulted);
+            // the other five were counted-dropped against the quarantine.
+            assert_eq!(st.quarantine_drops, 5, "{mode}");
+            assert_eq!(st.async_messages, 6, "{mode}");
+            assert_eq!(st.delivered_messages + st.dropped_messages, 6, "{mode}");
+            let (faults, restarts, _) = sys.supervision_counts_at(middle);
+            assert_eq!((faults, restarts), (1, 0), "{mode}");
+
+            // SOL-020 names the component; SOL-022 surfaces the drops.
+            let report = sys.health_report();
+            assert!(
+                report.by_code("SOL-020").any(|d| d.subject == "middle"),
+                "{mode}: {report}"
+            );
+            assert!(report.by_code("SOL-022").next().is_some(), "{mode}");
+
+            // Manual restart: fresh instance, quarantine cleared, messages
+            // flow again once the injector is disarmed.
+            sys.install_fault_injector_at(middle, FaultInjector::new("middle", 5, 0))
+                .unwrap();
+            sys.restart_slot(middle).unwrap();
+            assert!(!sys.quarantined_at(middle), "{mode}");
+            sys.run_transaction(head).unwrap();
+            assert!(sys.health_report().by_code("SOL-020").next().is_none());
+            let (_, restarts, _) = sys.supervision_counts_at(middle);
+            assert_eq!(restarts, 1, "{mode}");
+        }
+    }
+
+    #[test]
+    fn injected_fault_schedule_is_deterministic_by_seed() {
+        let run = |seed: u64| {
+            let spec = pipeline_spec();
+            let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+            let middle = sys.slot_of("middle").unwrap();
+            sys.set_fault_policy_at(middle, FaultPolicy::Isolate)
+                .unwrap();
+            sys.install_fault_injector_at(
+                middle,
+                FaultInjector::new("middle", seed, 4).with_menu(FaultInjector::MENU_ERROR),
+            )
+            .unwrap();
+            let head = sys.slot_of("producer").unwrap();
+            for _ in 0..20 {
+                sys.run_transaction(head).unwrap();
+            }
+            (sys.stats(), sys.injector_counts_at(middle))
+        };
+        // Same seed → bit-identical ledger and injector counts; replays
+        // are exact, which is what makes fault storms diagnosable.
+        assert_eq!(run(42), run(42));
+        // The injector really saw activations before the quarantine froze
+        // the slot.
+        let (_, counts) = run(42);
+        let (activations, injected) = counts.unwrap();
+        assert!(activations >= 1 && injected >= 1);
+    }
+
+    #[test]
+    fn panic_is_caught_at_the_activation_boundary_in_every_mode() {
+        for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+            let spec = pipeline_spec();
+            let mut sys = System::build(&spec, mode, &registry()).unwrap();
+            let middle = sys.slot_of("middle").unwrap();
+            sys.install_fault_injector_at(
+                middle,
+                FaultInjector::new("middle", 9, 1).with_menu(FaultInjector::MENU_PANIC),
+            )
+            .unwrap();
+            let head = sys.slot_of("producer").unwrap();
+            // Escalate: the panic arrives as a *typed* error, not an unwind.
+            let err = sys.run_transaction(head).unwrap_err();
+            let FrameworkError::Faulted {
+                component, kind, ..
+            } = &err
+            else {
+                panic!("{mode}: expected Faulted, got {err}");
+            };
+            assert_eq!(component, "middle", "{mode}");
+            assert_eq!(*kind, FaultKind::Panic, "{mode}");
+        }
+    }
+
+    /// A caught panic must poison a SOLEIL membrane: until restarted, the
+    /// component cannot be re-activated even by direct injection (the
+    /// unwind may have left half-mutated content state behind).
+    #[test]
+    fn caught_panic_poisons_the_membrane_until_restart() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::Soleil, &registry()).unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        sys.set_fault_policy_at(middle, FaultPolicy::Isolate)
+            .unwrap();
+        sys.install_fault_injector_at(
+            middle,
+            FaultInjector::new("middle", 9, 1).with_menu(FaultInjector::MENU_PANIC),
+        )
+        .unwrap();
+        let head = sys.slot_of("producer").unwrap();
+        sys.run_transaction(head).unwrap();
+        assert!(sys.quarantined_at(middle));
+        let m = sys.membranes[middle].as_ref().unwrap();
+        assert!(m.poisoned(), "panic fault poisons, plain errors would not");
+        // Restart clears the poison and the component serves again.
+        sys.install_fault_injector_at(middle, FaultInjector::new("middle", 9, 0))
+            .unwrap();
+        sys.restart_slot(middle).unwrap();
+        assert!(!sys.membranes[middle].as_ref().unwrap().poisoned());
+        sys.run_transaction(head).unwrap();
+    }
+
+    #[test]
+    fn restart_policy_rearms_through_the_timer_queue_until_budget_exhausts() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let producer = sys.slot_of("producer").unwrap();
+        sys.set_fault_policy_at(
+            producer,
+            FaultPolicy::Restart {
+                max_restarts: 3,
+                window: RelativeTime::from_millis(3_600_000),
+                backoff: RelativeTime::from_millis(10),
+            },
+        )
+        .unwrap();
+        sys.install_fault_injector_at(
+            producer,
+            FaultInjector::new("producer", 5, 1).with_menu(FaultInjector::MENU_ERROR),
+        )
+        .unwrap();
+
+        // Every activation faults: contain → backoff restart → fault again,
+        // with the backoff doubling, until the budget (3 restarts inside
+        // the window) exhausts and the fault escalates.
+        let mut escalated = None;
+        for tick in 1..=50u64 {
+            match sys.run_tick() {
+                Ok(()) => {}
+                Err(e) => {
+                    escalated = Some((tick, e));
+                    break;
+                }
+            }
+        }
+        let (_, err) = escalated.expect("the restart budget must exhaust");
+        assert!(
+            matches!(&err, FrameworkError::Faulted { component, .. } if component == "producer"),
+            "the escalated error is the original typed fault: {err}"
+        );
+        let (faults, restarts, suppressed) = sys.supervision_counts_at(producer);
+        assert_eq!(restarts, 3, "exactly the budget");
+        assert_eq!(faults, 4, "one fault per restart, plus the last straw");
+        assert!(
+            suppressed > 0,
+            "backoff windows suppressed periodic releases while quarantined"
+        );
+        assert!(
+            sys.quarantined_at(producer),
+            "still quarantined after escalation"
+        );
+        assert!(
+            sys.stats().timer_fires >= 3,
+            "restarts rode the timer queue"
+        );
+
+        // SOL-021 reports the exhausted budget alongside SOL-020.
+        let report = sys.health_report();
+        assert!(report.by_code("SOL-020").any(|d| d.subject == "producer"));
+        assert!(
+            report.by_code("SOL-021").any(|d| d.subject == "producer"),
+            "{report}"
+        );
+    }
+
+    /// Satellite regression: an aborted tick names both the faulting
+    /// component and every periodic head whose release it skipped.
+    #[test]
+    fn aborted_tick_reports_skipped_periodic_heads_exactly() {
+        let mut spec = pipeline_spec();
+        // A second, lower-priority periodic head that would have been
+        // released after the producer.
+        spec.components.push(ComponentSpec {
+            name: "producer2".into(),
+            content_class: "Service".into(),
+            activation: Activation::Periodic {
+                period: RelativeTime::from_millis(20),
+            },
+            domain: Some(2),
+            area: 2,
+            server_ports: vec![],
+            ceiling: None,
+        });
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let producer = sys.slot_of("producer").unwrap();
+        sys.install_fault_injector_at(
+            producer,
+            FaultInjector::new("producer", 5, 1).with_menu(FaultInjector::MENU_ERROR),
+        )
+        .unwrap();
+        let err = sys.run_tick().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "run-to-completion violated: tick aborted by component 'producer': component \
+             'producer' faulted (error): injected error (seed 5, activation 1); skipped \
+             periodic heads: producer2"
+        );
+
+        // Under Isolate the same tick completes: the quarantined head's
+        // release is suppressed-and-counted and later heads still run.
+        sys.set_fault_policy_at(producer, FaultPolicy::Isolate)
+            .unwrap();
+        sys.run_tick().unwrap();
+        sys.run_tick().unwrap();
+        let (_, _, suppressed) = sys.supervision_counts_at(producer);
+        assert_eq!(suppressed, 1, "second tick suppressed the quarantined head");
     }
 }

@@ -161,10 +161,31 @@ fn main() -> Result<(), SoleilError> {
     dep.disable_jitter_monitoring(producer)?;
     assert_eq!(backup.load(std::sync::atomic::Ordering::Relaxed), 30);
 
+    // Fault policies are reconfiguration ops too: journaled, applied
+    // all-or-nothing, rolled back with everything else. Put the producer
+    // under supervised restart as part of adapting the system.
+    dep.reconfigure(|txn| {
+        txn.set_fault_policy(
+            producer,
+            FaultPolicy::Restart {
+                max_restarts: 3,
+                window: RelativeTime::from_millis(60_000),
+                backoff: RelativeTime::from_millis(5),
+            },
+        )
+        .map(|_| ())
+    })?;
+    println!(
+        "  fault policy set transactionally: {:?}",
+        dep.fault_policy(producer)?
+    );
+
     // A transaction that fails mid-flight rolls back as a unit: the
     // rebind below targets a port the backup does not provide, so the
-    // stop before it is undone too and traffic keeps flowing to backup.
+    // stop before it is undone too and traffic keeps flowing to backup —
+    // and the policy op in the same transaction is rolled back with it.
     let failed = dep.reconfigure(|txn| {
+        txn.set_fault_policy(producer, FaultPolicy::Isolate)?;
         txn.stop(producer)?;
         txn.rebind(producer, "no-such-port", backup_ref)
     });
@@ -177,6 +198,10 @@ fn main() -> Result<(), SoleilError> {
         backup.load(std::sync::atomic::Ordering::Relaxed),
         31,
         "producer still running, still on backup"
+    );
+    assert!(
+        matches!(dep.fault_policy(producer)?, FaultPolicy::Restart { .. }),
+        "the failed transaction's Isolate was rolled back too"
     );
 
     // --- MERGE-ALL: functional level only -------------------------------

@@ -24,7 +24,12 @@
 //!    faithful RTSJ substrate simulation ([`rtsj`]), and adapt live systems
 //!    through **transactional reconfiguration**: operations batched in a
 //!    closure, re-validated against the same RTSJ rules, applied
-//!    all-or-nothing with rollback on error.
+//!    all-or-nothing with rollback on error. Faults (panics included) are
+//!    caught at the activation boundary and handled by per-component
+//!    supervision policies ([`runtime::FaultPolicy`]: escalate, isolate,
+//!    or restart with backoff), with a deterministic seeded
+//!    [`FaultInjector`](membrane::interceptors::FaultInjector) for chaos
+//!    testing.
 //!
 //! ## Quickstart
 //!
@@ -121,13 +126,14 @@ pub mod prelude {
     pub use crate::core::prelude::*;
     pub use crate::generator::{compile, deploy, deploy_parallel, emit_source, generate};
     pub use crate::membrane::content::{Content, ContentRegistry, InvokeResult, Ports};
+    pub use crate::membrane::interceptors::FaultInjector;
     pub use crate::membrane::monitor::{LatencyMonitor, LatencySnapshot};
-    pub use crate::membrane::FrameworkError;
+    pub use crate::membrane::{FaultKind, FrameworkError};
     pub use crate::runtime::instrument::measure_steady;
     pub use crate::runtime::system::RELEASE_PORT;
     pub use crate::runtime::{
-        ComponentRef, Deployment, FootprintReport, Mode, ParallelSystem, PortRef, Reconfiguration,
-        ShardRun, System, SystemSpec, TimerHandle, TimerQueue,
+        ComponentRef, Deployment, EngineStats, FaultPolicy, FootprintReport, Mode, ParallelSystem,
+        PortRef, Reconfiguration, ShardRun, System, SystemSpec, TimerHandle, TimerQueue,
     };
     pub use crate::{SoleilError, SoleilResult};
     pub use rtsj::time::{AbsoluteTime, RelativeTime};

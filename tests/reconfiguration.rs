@@ -794,6 +794,69 @@ fn contracts_attach_and_detach_transactionally() {
     assert!(dep.contract_report().is_compliant());
 }
 
+/// Fault policies reconfigure transactionally: a committed change governs
+/// the next fault, and a failing transaction restores the previous policy
+/// — including one already changed earlier in the same journal.
+#[test]
+fn fault_policy_reconfigures_transactionally_with_rollback() {
+    for mode in [Mode::Soleil, Mode::MergeAll] {
+        let Fixture { mut dep, .. } = fixture(mode);
+        let caller = dep.resolve("caller").unwrap();
+        assert_eq!(dep.fault_policy(caller).unwrap(), FaultPolicy::Escalate);
+
+        // Committed: the policy is live.
+        dep.reconfigure(|txn| txn.set_fault_policy(caller, FaultPolicy::Isolate))
+            .unwrap();
+        assert_eq!(
+            dep.fault_policy(caller).unwrap(),
+            FaultPolicy::Isolate,
+            "{mode}"
+        );
+
+        // Failing transaction: the policy set inside it rolls back to the
+        // pre-transaction value, not to the deploy-time default.
+        let restart = FaultPolicy::Restart {
+            max_restarts: 2,
+            window: RelativeTime::from_millis(1000),
+            backoff: RelativeTime::from_millis(5),
+        };
+        let err = dep
+            .reconfigure(|txn| {
+                txn.set_fault_policy(caller, restart)?;
+                Err::<(), _>(FrameworkError::Content("abort".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, FrameworkError::Content(_)), "{mode}");
+        assert_eq!(
+            dep.fault_policy(caller).unwrap(),
+            FaultPolicy::Isolate,
+            "{mode}: rolled back to the pre-transaction policy"
+        );
+
+        // The committed policy actually governs fault handling: a panic
+        // injected at the activation boundary is contained, not escalated.
+        dep.install_fault_injector(
+            caller,
+            FaultInjector::new("caller", 3, 1).with_menu(FaultInjector::MENU_PANIC),
+        )
+        .unwrap();
+        dep.run_transaction(caller).unwrap();
+        assert!(dep.quarantined(caller).unwrap(), "{mode}");
+        assert_eq!(dep.stats().faults_contained, 1, "{mode}");
+        let report = dep.health_report();
+        assert!(
+            report.by_code("SOL-020").any(|d| d.subject == "caller"),
+            "{mode}: {report}"
+        );
+
+        // Supervised recovery through the deployment surface.
+        assert!(dep.remove_fault_injector(caller).unwrap());
+        dep.restart_component(caller).unwrap();
+        assert!(!dep.quarantined(caller).unwrap(), "{mode}");
+        dep.run_transaction(caller).unwrap();
+    }
+}
+
 /// Steady state is provisioned at deploy time: once the first transaction
 /// has warmed the engine, further transactions perform zero substrate
 /// allocations and zero name lookups — before *and after* a

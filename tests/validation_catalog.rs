@@ -219,3 +219,77 @@ fn rejection_carries_the_report() {
     assert!(text.contains("violates RTSJ"));
     assert!(text.contains("SOL-001"));
 }
+
+/// SOL-020…022 are the catalog's *online* rules: emitted by the runtime's
+/// `health_report()` rather than the design-time validator, but rendered
+/// through the same `ValidationReport` machinery — codes, severities,
+/// subjects and remediation suggestions included.
+#[test]
+fn sol020_to_022_supervision_codes_surface_online() {
+    use soleil::generator::deploy;
+
+    let mut flow = DesignFlow::new(producer_consumer());
+    flow.thread_domain("rt", ThreadKind::Realtime, 25, &["producer", "consumer"])
+        .unwrap();
+    flow.memory_area("imm", MemoryKind::Immortal, Some(64 * 1024), &["rt"])
+        .unwrap();
+    let arch = flow.merge().unwrap().into_validated().expect("compliant");
+
+    #[derive(Debug, Default)]
+    struct Relay;
+    impl Content<u64> for Relay {
+        fn on_invoke(&mut self, _p: &str, msg: &mut u64, out: &mut dyn Ports<u64>) -> InvokeResult {
+            match out.send("out", *msg) {
+                Ok(()) | Err(FrameworkError::Binding(_)) => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+    }
+    let mut registry: ContentRegistry<u64> = ContentRegistry::new();
+    registry.register("P", || Box::new(Relay));
+    registry.register("C", || Box::new(Relay));
+    let mut dep = deploy(&arch, Mode::MergeAll, &registry).expect("deploys");
+    let consumer = dep.resolve("consumer").expect("resolves");
+
+    // A healthy deployment reports nothing.
+    assert!(dep.health_report().is_empty());
+
+    // One contained fault under Isolate: SOL-020 (error, quarantined, with
+    // a remediation suggestion) — then counted drops bring SOL-022.
+    dep.set_fault_policy(consumer, FaultPolicy::Isolate)
+        .expect("policy attaches");
+    dep.install_fault_injector(
+        consumer,
+        FaultInjector::new("consumer", 9, 1).with_menu(FaultInjector::MENU_ERROR),
+    )
+    .expect("injector installs");
+    let head = dep.resolve("producer").expect("resolves");
+    dep.run_transaction(head).expect("contained");
+    let report = dep.health_report();
+    let quarantine = report
+        .by_code("SOL-020")
+        .next()
+        .expect("quarantine finding");
+    assert_eq!(quarantine.subject, "consumer");
+    assert!(quarantine.suggestion.is_some(), "carries remediation");
+    dep.run_transaction(head)
+        .expect("drop is counted, not fatal");
+    assert!(dep.health_report().by_code("SOL-022").next().is_some());
+
+    // An exhausted restart budget: SOL-021 names the component and the
+    // fault escalates with the original typed error.
+    dep.set_fault_policy(
+        consumer,
+        FaultPolicy::Restart {
+            max_restarts: 0,
+            window: RelativeTime::from_millis(1_000),
+            backoff: RelativeTime::from_millis(1),
+        },
+    )
+    .expect("policy attaches");
+    dep.restart_component(consumer).expect("restarts");
+    let escalated = dep.run_transaction(head).unwrap_err();
+    assert!(matches!(escalated, FrameworkError::Faulted { .. }));
+    let report = dep.health_report();
+    assert!(report.by_code("SOL-021").any(|d| d.subject == "consumer"));
+}
