@@ -16,8 +16,15 @@
 //! (fault-containment gate: deterministic seeded fault storms against all
 //! three modes must end with `pushed == delivered + counted-dropped` and
 //! every quarantine/drop verdict explained by SOL-020…022; exits non-zero
-//! otherwise, never part of `all`), `all` (default). Raw observation CSVs
-//! are written to `target/experiments/`.
+//! otherwise, never part of `all`), `reconfig-gate` (live-reconfiguration
+//! gate: N committed transactions — cross-ring rebinds, domain
+//! re-assignments with region re-homing, policy swaps — against a running
+//! parallel deployment under traffic must conserve every message, keep the
+//! post-commit steady state allocation-free, miss no deadline and restore
+//! a refused probe transaction byte-identically, while ULTRA-MERGE refuses
+//! to reconfigure at all; exits non-zero otherwise, never part of `all`),
+//! `all` (default). Raw observation CSVs are written to
+//! `target/experiments/`.
 //!
 //! `--observations N` overrides the number of measured iterations (the
 //! same count is threaded into the emitted JSON, never hardcoded):
@@ -33,8 +40,9 @@ use soleil::SoleilError;
 
 use soleil_bench::{
     chaos_gate_failures, chaos_gate_table, codegen_table, determinism_table, fig7a_report,
-    fig7b_table, fig7c_table, run_chaos_gate, run_codegen, run_determinism, run_footprint,
-    run_overhead, run_steady_state, steady_state_json, steady_state_regressions,
+    fig7b_table, fig7c_table, reconfig_gate_failures, reconfig_gate_table, run_chaos_gate,
+    run_codegen, run_determinism, run_footprint, run_overhead, run_reconfig_gate, run_steady_state,
+    steady_state_json, steady_state_regressions,
 };
 
 // Installs the counting global allocator so the steady artifact can report
@@ -240,6 +248,40 @@ fn main() -> Result<(), SoleilError> {
         ran = true;
     }
 
+    // The live-reconfiguration gate: committed transactions against a
+    // running parallel deployment must conserve traffic, stay
+    // allocation-free afterwards and roll a refused probe back
+    // byte-identically. Like the other gates, it fails the process and is
+    // never part of `all`.
+    if what == "reconfig-gate" {
+        const TRANSACTIONS: usize = 8;
+        const TICKS_PER_TXN: u64 = 20;
+        eprintln!(
+            "running reconfiguration gate ({TRANSACTIONS} transactions x \
+             {TICKS_PER_TXN} ticks, 2 modes + ULTRA-MERGE refusal)..."
+        );
+        let rows = run_reconfig_gate(TRANSACTIONS, TICKS_PER_TXN, alloc_probe::allocations)?;
+        let table = reconfig_gate_table(&rows);
+        println!("{table}");
+        fs::write(out_dir.join("reconfig_gate.txt"), &table)?;
+        let failures = reconfig_gate_failures(&rows);
+        if failures.is_empty() {
+            eprintln!(
+                "reconfiguration gate passed: every transaction committed with exact \
+                 message conservation, the post-commit steady state is \
+                 allocation-free, the refused probe rolled back byte-identically \
+                 and ULTRA-MERGE refused to reconfigure"
+            );
+        } else {
+            eprintln!("reconfiguration gate FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        ran = true;
+    }
+
     if wants("determinism") {
         let rows = run_determinism(2_000)?;
         let table = determinism_table(&rows);
@@ -250,7 +292,7 @@ fn main() -> Result<(), SoleilError> {
 
     if !ran {
         eprintln!(
-            "unknown artifact '{what}'; expected fig7a | fig7b | fig7c | codegen | determinism | steady | steady-gate | chaos-gate | all"
+            "unknown artifact '{what}'; expected fig7a | fig7b | fig7c | codegen | determinism | steady | steady-gate | chaos-gate | reconfig-gate | all"
         );
         std::process::exit(2);
     }

@@ -849,6 +849,269 @@ pub fn chaos_gate_table(rows: &[ChaosGateRow]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Reconfiguration gate (live parallel transactions under traffic)
+// ---------------------------------------------------------------------------
+
+/// One generation mode's run of the reconfiguration gate: a live sharded
+/// deployment taken through committed transactions under traffic, plus the
+/// ledger and verdicts the gate judges.
+#[derive(Debug, Clone)]
+pub struct ReconfigGateRow {
+    /// Generation mode the gate ran against.
+    pub mode: String,
+    /// Committed reconfiguration transactions.
+    pub transactions: usize,
+    /// Async messages pushed over the whole run, reconfigurations included.
+    pub pushed: u64,
+    /// Messages delivered to an activation boundary.
+    pub delivered: u64,
+    /// Messages counted-dropped (must be 0: every epoch drains its rings).
+    pub dropped: u64,
+    /// Rust-heap allocations during the post-commit steady-state ticks.
+    pub heap_allocs: u64,
+    /// Substrate allocations during the post-commit steady-state ticks.
+    pub substrate_allocs: u64,
+    /// Deadline misses under the baseline contract across the run.
+    pub deadline_misses: u64,
+    /// True when the refused probe transaction left every shard's
+    /// structural digest byte-identical.
+    pub rollback_identical: bool,
+}
+
+/// The gate's fixture: a periodic producer (its own shard) fanning out to
+/// two consumers whose ThreadDomains a synchronous peer binding couples
+/// into one shard — so the gate can rewire cross-shard rings *and*
+/// re-seat a component across same-shard domains (re-homing its
+/// allocation region between the per-domain immortal areas).
+fn reconfig_fixture() -> HarnessResult<soleil::core::ValidatedArchitecture> {
+    let mut b = BusinessView::new("reconfig-gate");
+    b.active_periodic("producer", "10ms")?;
+    b.active_sporadic("consumerB")?;
+    b.active_sporadic("consumerC")?;
+    b.content("producer", "GateFan")?;
+    b.content("consumerB", "GateSink")?;
+    b.content("consumerC", "GateSink")?;
+    b.require("producer", "out1", "I")?;
+    b.require("producer", "out2", "I")?;
+    b.require("consumerB", "peer", "I")?;
+    b.provide("consumerB", "in", "I")?;
+    b.provide("consumerC", "in", "I")?;
+    b.bind_async("producer", "out1", "consumerB", "in", 64)?;
+    b.bind_async("producer", "out2", "consumerC", "in", 64)?;
+    b.bind_sync("consumerB", "peer", "consumerC", "in")?;
+    let mut flow = DesignFlow::new(b);
+    flow.thread_domain("A", ThreadKind::NoHeapRealtime, 30, &["producer"])?;
+    flow.thread_domain("B", ThreadKind::NoHeapRealtime, 25, &["consumerB"])?;
+    flow.thread_domain("C", ThreadKind::Realtime, 20, &["consumerC"])?;
+    flow.memory_area("Imm1", MemoryKind::Immortal, Some(256 * 1024), &["A"])?;
+    flow.memory_area("ImmB", MemoryKind::Immortal, Some(256 * 1024), &["B"])?;
+    flow.memory_area("ImmC", MemoryKind::Immortal, Some(256 * 1024), &["C"])?;
+    Ok(flow.merge()?.into_validated()?)
+}
+
+fn reconfig_registry() -> ContentRegistry<u64> {
+    #[derive(Debug)]
+    struct GateFan;
+    impl Content<u64> for GateFan {
+        fn on_invoke(&mut self, _p: &str, msg: &mut u64, out: &mut dyn Ports<u64>) -> InvokeResult {
+            *msg += 1;
+            out.send("out1", *msg)?;
+            out.send("out2", *msg)
+        }
+    }
+    #[derive(Debug)]
+    struct GateSink;
+    impl Content<u64> for GateSink {
+        fn on_invoke(
+            &mut self,
+            _p: &str,
+            _msg: &mut u64,
+            _out: &mut dyn Ports<u64>,
+        ) -> InvokeResult {
+            Ok(())
+        }
+    }
+    let mut r = ContentRegistry::new();
+    r.register("GateFan", || Box::new(GateFan));
+    r.register("GateSink", || Box::new(GateSink));
+    r
+}
+
+/// Runs the reconfiguration gate: for SOLEIL and MERGE-ALL (ULTRA-MERGE is
+/// checked to *refuse*), a live parallel deployment under a baseline
+/// deadline contract first weathers a refused probe transaction (its
+/// structural digests must round-trip byte-identically), then commits
+/// `transactions` live transactions — each combining a cross-ring rebind,
+/// a same-shard domain re-assignment with region re-homing and a policy
+/// swap — with `ticks_per_txn` ticks of traffic between commits, and
+/// finally proves the reconfigured partition still ticks allocation-free.
+///
+/// # Errors
+///
+/// Deployment/validation errors, a transaction failing to commit, or
+/// ULTRA-MERGE accepting a reconfiguration.
+pub fn run_reconfig_gate(
+    transactions: usize,
+    ticks_per_txn: u64,
+    heap_allocs: impl Fn() -> u64 + Sync,
+) -> HarnessResult<Vec<ReconfigGateRow>> {
+    let arch = reconfig_fixture()?;
+    let mut rows = Vec::with_capacity(2);
+    for mode in [Mode::Soleil, Mode::MergeAll] {
+        let mut sys = deploy_parallel(&arch, mode, &reconfig_registry())?;
+        sys.attach_contract("producer", baseline_contract())?;
+        sys.run_ticks(ticks_per_txn)?;
+
+        // Refusal probe: the combined transaction aborts at the last step;
+        // every shard engine must come back byte-identical.
+        let digests = sys.structural_digests();
+        let refusal = sys.reconfigure(|txn| -> Result<(), FrameworkError> {
+            txn.rebind_async("producer", "out1", "consumerC")?;
+            txn.reassign_domain("consumerB", "C")?;
+            Err(FrameworkError::Content(
+                "reconfig-gate refusal probe".into(),
+            ))
+        });
+        let rollback_identical = refusal.is_err() && sys.structural_digests() == digests;
+
+        // Committed transactions under traffic: ping-pong the ring target,
+        // the consumer's domain (re-homing its region each way) and the
+        // sibling's supervision policy.
+        for i in 0..transactions {
+            let flip = i % 2 == 0;
+            sys.reconfigure(|txn| {
+                txn.rebind_async(
+                    "producer",
+                    "out1",
+                    if flip { "consumerC" } else { "consumerB" },
+                )?;
+                txn.reassign_domain("consumerB", if flip { "C" } else { "B" })?;
+                txn.set_fault_policy(
+                    "consumerC",
+                    if flip {
+                        FaultPolicy::Isolate
+                    } else {
+                        FaultPolicy::Escalate
+                    },
+                )
+            })?;
+            sys.run_ticks(ticks_per_txn)?;
+        }
+
+        // The reconfigured partition must still tick allocation-free.
+        let runs = sys.run_ticks_instrumented(2, ticks_per_txn, &heap_allocs)?;
+        let stats = sys.stats();
+        rows.push(ReconfigGateRow {
+            mode: mode.to_string(),
+            transactions,
+            pushed: stats.async_messages,
+            delivered: stats.delivered_messages,
+            dropped: stats.dropped_messages,
+            heap_allocs: runs.iter().map(|r| r.probe_delta).sum(),
+            substrate_allocs: runs.iter().map(|r| r.substrate_allocs).sum(),
+            deadline_misses: sys.deadline_misses(),
+            rollback_identical,
+        });
+    }
+
+    // ULTRA-MERGE is purely static: accepting a transaction would be a
+    // containment hole, not a feature.
+    let mut ultra = deploy_parallel(&arch, Mode::UltraMerge, &reconfig_registry())?;
+    if ultra.reconfigure(|_txn| Ok(())).is_ok() {
+        return Err(SoleilError::Framework(
+            "ULTRA-MERGE accepted a reconfiguration transaction".into(),
+        ));
+    }
+    Ok(rows)
+}
+
+/// Judges the reconfiguration-gate rows: a failure line per mode that lost
+/// or dropped a message across its reconfiguration epochs, allocated on
+/// the Rust heap or in the substrate during the post-commit steady state,
+/// missed a deadline under the baseline contract, failed to restore the
+/// refused probe byte-identically, or committed no transaction at all. An
+/// empty result means the gate passes.
+pub fn reconfig_gate_failures(rows: &[ReconfigGateRow]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in rows {
+        let tag = &r.mode;
+        if r.transactions == 0 {
+            failures.push(format!("{tag}: inert gate — no transaction committed"));
+        }
+        if r.pushed != r.delivered + r.dropped {
+            failures.push(format!(
+                "{tag}: ledger leak — pushed {} but delivered {} + dropped {}",
+                r.pushed, r.delivered, r.dropped
+            ));
+        }
+        if r.dropped != 0 {
+            failures.push(format!(
+                "{tag}: {} message(s) dropped; every reconfiguration epoch must drain its rings",
+                r.dropped
+            ));
+        }
+        if r.heap_allocs != 0 {
+            failures.push(format!(
+                "{tag}: {} Rust-heap allocation(s) in the post-commit steady state",
+                r.heap_allocs
+            ));
+        }
+        if r.substrate_allocs != 0 {
+            failures.push(format!(
+                "{tag}: {} substrate allocation(s) in the post-commit steady state",
+                r.substrate_allocs
+            ));
+        }
+        if r.deadline_misses != 0 {
+            failures.push(format!(
+                "{tag}: {} deadline miss(es) under the baseline contract",
+                r.deadline_misses
+            ));
+        }
+        if !r.rollback_identical {
+            failures.push(format!(
+                "{tag}: the refused probe transaction did not restore the shards byte-identically"
+            ));
+        }
+    }
+    failures
+}
+
+/// Renders the reconfiguration-gate rows as an aligned table.
+pub fn reconfig_gate_table(rows: &[ReconfigGateRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "reconfig gate: live parallel transactions under traffic \
+         (pushed == delivered, zero-alloc steady state, byte-identical rollback)\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>5} {:>8} {:>10} {:>8} {:>6} {:>10} {:>7}  rollback",
+        "mode", "txns", "pushed", "delivered", "dropped", "heap", "substrate", "misses"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>8} {:>10} {:>8} {:>6} {:>10} {:>7}  {}",
+            r.mode,
+            r.transactions,
+            r.pushed,
+            r.delivered,
+            r.dropped,
+            r.heap_allocs,
+            r.substrate_allocs,
+            r.deadline_misses,
+            if r.rollback_identical {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Synthetic pipelines (ablation: overhead vs. pipeline depth)
 // ---------------------------------------------------------------------------
 
@@ -1237,6 +1500,30 @@ mod tests {
         );
         let table = chaos_gate_table(&rows);
         assert!(table.contains("SOL-020") || table.contains('-'));
+    }
+
+    #[test]
+    fn reconfig_gate_conserves_and_rolls_back() {
+        let rows = run_reconfig_gate(4, 10, || 0).unwrap();
+        assert_eq!(rows.len(), 2, "SOLEIL and MERGE-ALL");
+        let failures = reconfig_gate_failures(&rows);
+        assert!(failures.is_empty(), "reconfig gate failed: {failures:?}");
+        assert!(
+            rows.iter().all(|r| r.pushed > 0),
+            "the gate must actually push traffic"
+        );
+        let table = reconfig_gate_table(&rows);
+        assert!(table.contains("byte-identical"));
+    }
+
+    #[test]
+    fn reconfig_gate_failures_catch_a_cooked_row() {
+        let mut rows = run_reconfig_gate(2, 10, || 0).unwrap();
+        rows[0].pushed += 1; // simulate a silently lost message
+        rows[1].rollback_identical = false;
+        let failures = reconfig_gate_failures(&rows);
+        assert!(failures.iter().any(|f| f.contains("ledger leak")));
+        assert!(failures.iter().any(|f| f.contains("byte-identically")));
     }
 
     #[test]

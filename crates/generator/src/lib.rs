@@ -90,8 +90,9 @@ pub fn deploy<P: Payload>(
 /// The partition is derived from the same structure the validator checks:
 /// synchronous bindings and shared scoped areas serialize the domains they
 /// connect (`soleil_core::validate::parallel_coupling` reports these at
-/// design time); everything else parallelizes. The parallel system is
-/// static — use [`deploy`] when you need transactional reconfiguration.
+/// design time); everything else parallelizes. The deployment carries the
+/// architectural model, so [`ParallelSystem::reconfigure`] transactions
+/// are re-validated against the full RTSJ rule set at commit time.
 ///
 /// # Errors
 ///
@@ -102,7 +103,8 @@ pub fn deploy_parallel<P: Payload>(
     registry: &ContentRegistry<P>,
 ) -> Result<ParallelSystem<P>, GeneratorError> {
     let spec = compile(arch)?;
-    ParallelSystem::build(&spec, mode, registry).map_err(GeneratorError::Build)
+    ParallelSystem::build_with_arch(&spec, mode, registry, arch.architecture().clone())
+        .map_err(GeneratorError::Build)
 }
 
 #[cfg(test)]

@@ -63,10 +63,21 @@ enum InternState {
 /// The memoized state lives in a `Cell`: content is `Send` but never
 /// shared between threads (each instance belongs to exactly one
 /// thread-domain engine), so no synchronization is needed.
+///
+/// The memo is **generation-stamped**: ids are only meaningful against the
+/// dispatch plan that interned them, so the handle remembers the façade's
+/// [`Ports::intern_generation`] alongside the id and re-interns whenever
+/// the generations differ. That makes a memoized id safe across rebinds
+/// (the engine mints a fresh generation when it recompiles jump tables)
+/// and across deployments (a `static` handle reached from two deployments
+/// — or from two thread-domain shards, each with its own port universe —
+/// sees two distinct generations and never replays one plan's id against
+/// the other's table).
 #[derive(Debug)]
 pub struct InternedPort {
     name: &'static str,
     state: Cell<InternState>,
+    generation: Cell<u32>,
 }
 
 impl InternedPort {
@@ -75,6 +86,7 @@ impl InternedPort {
         InternedPort {
             name,
             state: Cell::new(InternState::Unresolved),
+            generation: Cell::new(0),
         }
     }
 
@@ -84,17 +96,18 @@ impl InternedPort {
     }
 
     fn resolve<P: Payload>(&self, out: &mut dyn Ports<P>) -> InternState {
-        match self.state.get() {
-            InternState::Unresolved => {
-                let next = match out.intern(self.name) {
-                    Some(id) => InternState::Interned(id),
-                    None => InternState::Fallback,
-                };
-                self.state.set(next);
-                next
-            }
-            memoized => memoized,
+        let generation = out.intern_generation();
+        let memoized = self.state.get();
+        if memoized == InternState::Unresolved || self.generation.get() != generation {
+            let next = match out.intern(self.name) {
+                Some(id) => InternState::Interned(id),
+                None => InternState::Fallback,
+            };
+            self.state.set(next);
+            self.generation.set(generation);
+            return next;
         }
+        memoized
     }
 
     /// Synchronous call through this port (interned when possible).
@@ -151,6 +164,17 @@ pub trait Ports<P: Payload> {
     fn intern(&self, client_port: &str) -> Option<PortId> {
         let _ = client_port;
         None
+    }
+
+    /// The generation of the dispatch plan behind this façade. An
+    /// [`InternedPort`] memo is valid only while this value matches the one
+    /// stamped at intern time: engines mint a globally unique generation
+    /// per compiled plan and re-mint on every rebind or jump-table
+    /// recompilation, so live memos re-intern instead of dispatching a
+    /// stale id through a shifted table. Name-only façades keep the
+    /// default `0`.
+    fn intern_generation(&self) -> u32 {
+        0
     }
 
     /// Synchronous call through an interned id. Façades that returned the
@@ -438,6 +462,75 @@ mod tests {
         stray.call(&mut p, &mut v).unwrap();
         assert_eq!(stray.state.get(), InternState::Fallback);
         assert_eq!(p.string_calls, 1);
+    }
+
+    /// A façade whose dispatch plan can be "recompiled": each generation
+    /// interns the same name to a different id, and dispatch asserts the
+    /// id belongs to the current generation.
+    struct Regenerating {
+        generation: u32,
+        calls: u32,
+    }
+    impl Ports<u32> for Regenerating {
+        fn call(&mut self, port: &str, _msg: &mut u32) -> InvokeResult {
+            Err(FrameworkError::Binding(format!(
+                "string dispatch of {port}"
+            )))
+        }
+        fn send(&mut self, port: &str, _msg: u32) -> InvokeResult {
+            Err(FrameworkError::Binding(format!(
+                "string dispatch of {port}"
+            )))
+        }
+        fn intern(&self, _client_port: &str) -> Option<PortId> {
+            Some(PortId(self.generation as u16))
+        }
+        fn intern_generation(&self) -> u32 {
+            self.generation
+        }
+        fn call_interned(&mut self, id: PortId, _msg: &mut u32) -> InvokeResult {
+            assert_eq!(
+                u32::from(id.0),
+                self.generation,
+                "memoized id from a stale generation reached dispatch"
+            );
+            self.calls += 1;
+            Ok(())
+        }
+        fn send_interned(&mut self, id: PortId, msg: u32) -> InvokeResult {
+            let mut m = msg;
+            self.call_interned(id, &mut m)
+        }
+    }
+
+    #[test]
+    fn stale_memo_reinterns_when_the_plan_generation_changes() {
+        let port = InternedPort::new("out");
+        let mut p = Regenerating {
+            generation: 1,
+            calls: 0,
+        };
+        let mut v = 0u32;
+        port.call(&mut p, &mut v).unwrap();
+        assert_eq!(port.state.get(), InternState::Interned(PortId(1)));
+
+        // "Rebind": the plan recompiles under a fresh generation. The memo
+        // must be refused and re-interned, never replayed.
+        p.generation = 2;
+        port.call(&mut p, &mut v).unwrap();
+        port.send(&mut p, 0).unwrap();
+        assert_eq!(port.state.get(), InternState::Interned(PortId(2)));
+        assert_eq!(p.calls, 3);
+
+        // Same handle against a name-only façade (generation 0): the memo
+        // from generation 2 is stale there too — it falls back to strings
+        // instead of replaying id 2.
+        assert!(port.call(&mut NullPorts, &mut v).is_err());
+        assert_eq!(port.state.get(), InternState::Fallback);
+
+        // And back: generation 2 is re-interned, not trusted.
+        port.call(&mut p, &mut v).unwrap();
+        assert_eq!(port.state.get(), InternState::Interned(PortId(2)));
     }
 
     #[test]

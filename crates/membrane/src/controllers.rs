@@ -239,6 +239,14 @@ impl BindingController {
         self.table.iter().map(|(k, _)| k.as_ref()).collect()
     }
 
+    /// Iterates every `(client port, target)` entry in binding order — the
+    /// recompile paths walk this after a reconfiguration moved a component
+    /// between memory areas and every dispatch plan touching it must be
+    /// recomputed.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &BindingTarget)> {
+        self.table.iter().map(|(k, t)| (k.as_ref(), t))
+    }
+
     /// Times an existing binding was replaced (introspection).
     pub fn rebind_count(&self) -> u64 {
         self.rebinds

@@ -154,6 +154,15 @@ impl<T: Send> SpscProducer<T> {
         self.rejected
     }
 
+    /// True while the consumer endpoint is still alive. A retired ring —
+    /// reconfiguration rewired the binding and dropped the consumer — is
+    /// recognizable here: pushes into it would only fill the ring and then
+    /// reject, so callers that outlive a rewiring can assert (or skip)
+    /// instead of publishing into the void.
+    pub fn peer_attached(&self) -> bool {
+        Arc::strong_count(&self.shared) > 1
+    }
+
     /// The logical capacity.
     pub fn capacity(&self) -> usize {
         self.shared.capacity
@@ -239,6 +248,14 @@ impl<T: Send> SpscConsumer<T> {
         self.popped
     }
 
+    /// True while the producer endpoint is still alive. Once it is gone,
+    /// the messages visible now are all there will ever be — the drain
+    /// loop that empties a retired ring during a reconfiguration epoch
+    /// can stop after one final pass.
+    pub fn peer_attached(&self) -> bool {
+        Arc::strong_count(&self.shared) > 1
+    }
+
     /// The logical capacity.
     pub fn capacity(&self) -> usize {
         self.shared.capacity
@@ -259,6 +276,23 @@ mod tests {
     #[test]
     fn zero_capacity_rejected() {
         assert!(spsc_ring::<u8>(0).is_err());
+    }
+
+    #[test]
+    fn retirement_is_observable_from_both_endpoints() {
+        let (mut tx, mut rx) = spsc_ring::<u32>(2).unwrap();
+        assert!(tx.peer_attached());
+        assert!(rx.peer_attached());
+        tx.push(1);
+        drop(tx);
+        // Producer retired: what is visible now is final.
+        assert!(!rx.peer_attached());
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), None);
+
+        let (tx2, rx2) = spsc_ring::<u32>(2).unwrap();
+        drop(rx2);
+        assert!(!tx2.peer_attached(), "consumer retired by a rewiring");
     }
 
     #[test]

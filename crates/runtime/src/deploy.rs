@@ -637,11 +637,23 @@ impl<P: Payload> Deployment<P> {
         let mut txn = Reconfiguration {
             dep: self,
             journal: Vec::new(),
+            pending_charges: Vec::new(),
         };
         match f(&mut txn) {
             Ok(value) => {
                 let report = validate(&txn.dep.arch);
                 if report.is_compliant() {
+                    // Commit: make the deferred substrate charges (re-homed
+                    // state). A failing charge refuses the transaction;
+                    // charges already made stand — immortal/scoped
+                    // accounting is monotonic, exactly like build.
+                    let charges = std::mem::take(&mut txn.pending_charges);
+                    for (area_ix, bytes) in charges {
+                        if let Err(e) = txn.dep.system.charge_area(area_ix, bytes) {
+                            txn.rollback();
+                            return Err(e);
+                        }
+                    }
                     Ok(value)
                 } else {
                     txn.rollback();
@@ -675,13 +687,17 @@ enum Undo {
         protocol: Protocol,
     },
     /// Undo of `reassign_domain`: re-home the slot and move the
-    /// containment edge back.
+    /// containment edge back (and, when the move migrated the allocation
+    /// region, re-home that too).
     Domain {
         slot: usize,
         old_domain_ix: Option<usize>,
         comp: ComponentId,
         old_domain_id: Option<ComponentId>,
         new_domain_id: ComponentId,
+        /// Pre-transaction runtime-area index when the domain edge
+        /// re-homed the allocation region.
+        old_area_ix: Option<usize>,
     },
     /// Undo of an interceptor installation: remove it again (the
     /// membrane's compiled plan recompiles back to its old form).
@@ -711,6 +727,9 @@ enum Undo {
 pub struct Reconfiguration<'d, P: Payload> {
     dep: &'d mut Deployment<P>,
     journal: Vec<Undo>,
+    /// `(runtime area index, bytes)` charges deferred to commit time, so
+    /// refused transactions stay charge-neutral.
+    pending_charges: Vec<(usize, usize)>,
 }
 
 impl<P: Payload> Reconfiguration<'_, P> {
@@ -833,19 +852,21 @@ impl<P: Payload> Reconfiguration<'_, P> {
     /// adopts the new domain's context and priority; commit-time
     /// validation re-checks SOL-001/002/005/006 against the move.
     ///
-    /// The move must not change the component's *effective memory area*:
-    /// its state was allocated at bootstrap and the engine cannot migrate
-    /// allocations between regions, so a reassignment that would re-home
-    /// the allocation region (the new domain lives in a different area) is
-    /// refused up front — the live placement and the architectural model
-    /// stay in lock-step.
+    /// When the move changes the component's *effective memory area* (the
+    /// new domain lives under a different area), the allocation region
+    /// migrates with it — a checkpoint/handoff re-homing: the slot's
+    /// scope chain and every dispatch plan touching it are recompiled
+    /// against the new region through the same constructors build uses,
+    /// and the migrated state's substrate charge is deferred to commit,
+    /// so a refused transaction stays charge-neutral. The live placement
+    /// and the architectural model stay in lock-step either way.
     ///
     /// # Errors
     ///
     /// [`FrameworkError::Content`] for unknown domains,
     /// [`FrameworkError::Binding`] for indirect domain membership or
     /// hierarchy violations, [`FrameworkError::Unsupported`] when the move
-    /// would change the component's memory area.
+    /// would leave the component outside every materialized memory area.
     pub fn reassign_domain(
         &mut self,
         component: ComponentRef,
@@ -895,25 +916,54 @@ impl<P: Payload> Reconfiguration<'_, P> {
             return Err(FrameworkError::Binding(e.to_string()));
         }
 
-        // The engine's allocations cannot move: refuse any reassignment
-        // whose domain edge would re-home the component's memory area, and
-        // put the architectural edge straight back.
-        if self.dep.arch.memory_area_of(comp).map(|(id, _)| id) != old_area {
+        // A domain edge that re-homes the component's memory area migrates
+        // the allocation region with it, checkpoint/handoff style: the
+        // slot's scope chain and every dispatch plan touching it are
+        // recompiled against the new region, and the migrated state's
+        // charge is deferred to commit (see [`System::rehome_area_at`]).
+        let restore_edges = |arch: &mut Architecture| {
             assert!(
-                self.dep.arch.remove_child(new_domain_id, comp),
+                arch.remove_child(new_domain_id, comp),
                 "edge added above must exist"
             );
             if let Some(old) = old_domain_id {
-                self.dep
-                    .arch
-                    .add_child(old, comp)
+                arch.add_child(old, comp)
                     .expect("restoring an edge that existed before the transaction");
             }
-            return Err(FrameworkError::Unsupported(format!(
-                "reassigning '{}' to domain '{domain}' would move its allocation region; \
-                 component state cannot migrate between memory areas at runtime",
-                self.dep.system.node_name(slot)
-            )));
+        };
+        let mut old_area_ix = None;
+        let new_area = self.dep.arch.memory_area_of(comp).map(|(id, _)| id);
+        if new_area != old_area {
+            let area_name = new_area
+                .and_then(|id| self.dep.arch.component(id).ok())
+                .map(|c| c.name.clone());
+            let Some(area_name) = area_name else {
+                restore_edges(&mut self.dep.arch);
+                return Err(FrameworkError::Unsupported(format!(
+                    "reassigning '{}' to domain '{domain}' would move it outside every \
+                     memory area; components keep an allocation region",
+                    self.dep.system.node_name(slot)
+                )));
+            };
+            let Some(new_area_ix) = self.dep.system.area_ix_by_name(&area_name) else {
+                restore_edges(&mut self.dep.arch);
+                return Err(FrameworkError::Unsupported(format!(
+                    "reassigning '{}' to domain '{domain}' re-homes it onto memory area \
+                     '{area_name}', which was never materialized in this deployment",
+                    self.dep.system.node_name(slot)
+                )));
+            };
+            match self.dep.system.rehome_area_at(slot, new_area_ix) {
+                Ok(old_ix) => {
+                    self.pending_charges
+                        .push((new_area_ix, self.dep.system.state_bytes_at(slot)));
+                    old_area_ix = Some(old_ix);
+                }
+                Err(e) => {
+                    restore_edges(&mut self.dep.arch);
+                    return Err(e);
+                }
+            }
         }
 
         let old_domain_ix = self.dep.system.node_domain_ix(slot);
@@ -924,6 +974,7 @@ impl<P: Payload> Reconfiguration<'_, P> {
             comp,
             old_domain_id,
             new_domain_id,
+            old_area_ix,
         });
         Ok(())
     }
@@ -1108,8 +1159,15 @@ impl<P: Payload> Reconfiguration<'_, P> {
                     comp,
                     old_domain_id,
                     new_domain_id,
+                    old_area_ix,
                 } => {
                     self.dep.system.set_domain_at(slot, old_domain_ix);
+                    if let Some(old_ix) = old_area_ix {
+                        self.dep
+                            .system
+                            .rehome_area_at(slot, old_ix)
+                            .expect("rollback re-homing onto the pre-transaction region");
+                    }
                     assert!(
                         self.dep.arch.remove_child(new_domain_id, comp),
                         "rollback: transaction domain edge vanished from the architecture"

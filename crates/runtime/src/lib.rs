@@ -66,7 +66,7 @@ pub mod timer;
 pub use deploy::{ComponentRef, Deployment, PortRef, Reconfiguration};
 pub use footprint::FootprintReport;
 pub use instrument::LatencySamples;
-pub use parallel::{ParallelSystem, ShardRun};
+pub use parallel::{ParallelReconfiguration, ParallelSystem, ShardRun};
 pub use spec::{Mode, SystemSpec};
 pub use system::{EngineStats, FaultPolicy, System};
 pub use timer::{TimerHandle, TimerQueue};

@@ -48,9 +48,11 @@ use std::time::Instant;
 
 use rtsj::time::AbsoluteTime;
 use soleil_core::contract::TimingContract;
-use soleil_core::ValidationReport;
+use soleil_core::model::{ComponentId, ComponentKind, Protocol};
+use soleil_core::validate::parallel_reconfiguration_report;
+use soleil_core::{Architecture, ValidationReport};
 use soleil_membrane::content::{ContentRegistry, Payload};
-use soleil_membrane::interceptors::FaultInjector;
+use soleil_membrane::interceptors::{FaultInjector, InterceptStep};
 use soleil_membrane::monitor::LatencySnapshot;
 use soleil_membrane::FrameworkError;
 use soleil_patterns::spsc::{spsc_ring, SpscConsumer};
@@ -58,7 +60,7 @@ use soleil_patterns::spsc::{spsc_ring, SpscConsumer};
 use crate::spec::{
     AreaSpec, BindingSpec, ComponentSpec, DomainSpec, Mode, ProtocolSpec, SystemSpec,
 };
-use crate::system::{CrossOutput, EngineStats, FaultPolicy, System};
+use crate::system::{AsyncRepointUndo, CrossOutput, EngineStats, FaultPolicy, MonitorSlot, System};
 use crate::timer::TimerHandle;
 
 // ---------------------------------------------------------------------------
@@ -179,10 +181,19 @@ fn plan_shards(spec: &SystemSpec) -> (Vec<usize>, usize) {
 
 /// An incoming cross-domain ring: messages pop here and inject into the
 /// consumer's server port as ordinary run-to-completion activations.
+/// Build-time staging for a [`CrossIn`]: (consumer local slot, server
+/// port name, consumer ring endpoint, ring tag), collected per shard
+/// before port names are interned.
+type PendingCrossIn<P> = (usize, String, SpscConsumer<P>, u64);
+
 struct CrossIn<P> {
     rx: SpscConsumer<P>,
     slot: usize,
     port_ix: u16,
+    /// Deployment-unique ring identity, minted at build or by a live
+    /// rewiring transaction. `incoming` is kept priority-sorted, so the
+    /// tag — not the position — is how reconfiguration retires a ring.
+    tag: u64,
 }
 
 struct Shard<P: Payload> {
@@ -191,6 +202,35 @@ struct Shard<P: Payload> {
     components: Vec<String>,
     system: System<P>,
     incoming: Vec<CrossIn<P>>,
+}
+
+/// How one spec binding is carried at runtime — settled at build, and
+/// rewritten by live rewiring transactions. Indexed by the *global* spec
+/// binding position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Carrier {
+    /// Both endpoints on one shard: engine-local dispatch (sync call or
+    /// `ExchangeBuffer`).
+    Local { shard: usize },
+    /// Cross-shard (or rewired) SPSC ring: the producer endpoint sits at
+    /// `cross_ix` of `producer_shard`'s engine, the consumer endpoint is
+    /// the `incoming` entry tagged `tag` on `consumer_shard`.
+    Ring {
+        producer_shard: usize,
+        cross_ix: usize,
+        consumer_shard: usize,
+        tag: u64,
+    },
+}
+
+/// Re-sorts a shard's incoming rings to the consumer-priority drain order
+/// (build does the same once; reconfiguration re-establishes it after a
+/// priority or ring change).
+fn resort_incoming<P: Payload>(shard: &mut Shard<P>) {
+    let Shard {
+        system, incoming, ..
+    } = shard;
+    incoming.sort_by_key(|c| std::cmp::Reverse(system.node_priority(c.slot)));
 }
 
 /// Per-shard report of one [`ParallelSystem::run_ticks_instrumented`] run.
@@ -241,6 +281,20 @@ pub struct ParallelSystem<P: Payload> {
     mode: Mode,
     shards: Vec<Shard<P>>,
     in_flight: Arc<AtomicU64>,
+    /// The global spec, kept in lock-step with every committed
+    /// reconfiguration (commit-time `check()` runs against it, and
+    /// teardown-and-redeploy equivalence is defined by it).
+    spec: SystemSpec,
+    /// Global component index → (shard, shard-local engine slot).
+    comp_slot: Vec<(usize, usize)>,
+    /// Global spec-binding index → how that binding is carried.
+    carriers: Vec<Carrier>,
+    /// Next ring tag to mint (build consumed the ones below it).
+    next_tag: u64,
+    /// The architectural mirror when deployed through the generator
+    /// (`deploy_parallel`): reconfiguration transactions keep it in
+    /// lock-step and re-validate it against the full rule set at commit.
+    arch: Option<Architecture>,
 }
 
 impl<P: Payload> std::fmt::Debug for ParallelSystem<P> {
@@ -266,6 +320,34 @@ impl<P: Payload> ParallelSystem<P> {
         spec: &SystemSpec,
         mode: Mode,
         registry: &ContentRegistry<P>,
+    ) -> Result<ParallelSystem<P>, FrameworkError> {
+        Self::build_inner(spec, mode, registry, None)
+    }
+
+    /// [`ParallelSystem::build`] with the architectural model retained as
+    /// a live mirror: reconfiguration transactions then update it
+    /// operation-by-operation and re-validate it against the full RTSJ
+    /// rule set at commit, exactly like serial [`crate::Deployment`]s.
+    /// The generator's `deploy_parallel` passes the validated architecture
+    /// through here.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ParallelSystem::build`].
+    pub fn build_with_arch(
+        spec: &SystemSpec,
+        mode: Mode,
+        registry: &ContentRegistry<P>,
+        arch: Architecture,
+    ) -> Result<ParallelSystem<P>, FrameworkError> {
+        Self::build_inner(spec, mode, registry, Some(arch))
+    }
+
+    fn build_inner(
+        spec: &SystemSpec,
+        mode: Mode,
+        registry: &ContentRegistry<P>,
+        arch: Option<Architecture>,
     ) -> Result<ParallelSystem<P>, FrameworkError> {
         spec.check().map_err(FrameworkError::Content)?;
         let (shard_of_comp, shard_count) = plan_shards(spec);
@@ -354,9 +436,10 @@ impl<P: Payload> ParallelSystem<P> {
         let mut shard_bindings: Vec<Vec<BindingSpec>> = vec![Vec::new(); shard_count];
         let mut cross_outputs: Vec<Vec<CrossOutput<P>>> =
             (0..shard_count).map(|_| Vec::new()).collect();
-        // (consumer shard, consumer local slot, server port, rx)
-        let mut cross_inputs: Vec<Vec<(usize, String, SpscConsumer<P>)>> =
+        let mut cross_inputs: Vec<Vec<PendingCrossIn<P>>> =
             (0..shard_count).map(|_| Vec::new()).collect();
+        let mut carriers: Vec<Carrier> = Vec::with_capacity(spec.bindings.len());
+        let mut next_tag: u64 = 1;
         for b in &spec.bindings {
             let (cs, ss) = (shard_of_comp[b.client], shard_of_comp[b.server]);
             if cs == ss {
@@ -365,6 +448,7 @@ impl<P: Payload> ParallelSystem<P> {
                 local.server = comp_map[cs][&b.server];
                 local.enter_path = b.enter_path.iter().map(|a| area_map[cs][a]).collect();
                 shard_bindings[cs].push(local);
+                carriers.push(Carrier::Local { shard: cs });
                 continue;
             }
             let ProtocolSpec::Async { capacity, .. } = b.protocol else {
@@ -374,6 +458,14 @@ impl<P: Payload> ParallelSystem<P> {
                 )));
             };
             let (tx, rx) = spsc_ring::<P>(capacity)?;
+            let tag = next_tag;
+            next_tag += 1;
+            carriers.push(Carrier::Ring {
+                producer_shard: cs,
+                cross_ix: cross_outputs[cs].len(),
+                consumer_shard: ss,
+                tag,
+            });
             // Charge what the ring physically holds: the power-of-two slot
             // array of locked Option<P> cells, not just the logical
             // payload bytes.
@@ -384,7 +476,7 @@ impl<P: Payload> ParallelSystem<P> {
                 tx,
                 charge_bytes: capacity.next_power_of_two() * slot_bytes,
             });
-            cross_inputs[ss].push((comp_map[ss][&b.server], b.server_port.clone(), rx));
+            cross_inputs[ss].push((comp_map[ss][&b.server], b.server_port.clone(), rx, tag));
         }
 
         // --- Materialize each shard. -----------------------------------
@@ -405,9 +497,14 @@ impl<P: Payload> ParallelSystem<P> {
                 Arc::clone(&in_flight),
             )?;
             let mut incoming = Vec::with_capacity(cross_inputs[shard].len());
-            for (slot, port, rx) in std::mem::take(&mut cross_inputs[shard]) {
+            for (slot, port, rx, tag) in std::mem::take(&mut cross_inputs[shard]) {
                 let port_ix = system.port_ix_of(slot, &port)?;
-                incoming.push(CrossIn { rx, slot, port_ix });
+                incoming.push(CrossIn {
+                    rx,
+                    slot,
+                    port_ix,
+                    tag,
+                });
             }
             // Drain order: highest consumer priority first, mirroring the
             // single-engine pending heap.
@@ -427,11 +524,23 @@ impl<P: Payload> ParallelSystem<P> {
             });
         }
 
+        let comp_slot: Vec<(usize, usize)> = (0..spec.components.len())
+            .map(|cix| {
+                let s = shard_of_comp[cix];
+                (s, comp_map[s][&cix])
+            })
+            .collect();
+
         Ok(ParallelSystem {
             name: spec.name.clone(),
             mode,
             shards,
             in_flight,
+            spec: spec.clone(),
+            comp_slot,
+            carriers,
+            next_tag,
+            arch,
         })
     }
 
@@ -809,6 +918,1084 @@ impl<P: Payload> ParallelSystem<P> {
         }
         Ok(())
     }
+
+    // -----------------------------------------------------------------
+    // Transactional reconfiguration of the live partition
+    // -----------------------------------------------------------------
+
+    /// Per-shard structural digests (see [`System::structural_digest`]):
+    /// the byte-identical-rollback witness for parallel transactions. A
+    /// refused [`reconfigure`](Self::reconfigure) leaves every entry
+    /// unchanged.
+    pub fn structural_digests(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.system.structural_digest())
+            .collect()
+    }
+
+    /// Drives every shard to a quiescence epoch: no message in flight, no
+    /// message in any cross-domain ring. Between parallel runs the
+    /// partition is normally already quiescent (run-to-completion drains
+    /// before workers exit), so the fast path is two loads; otherwise the
+    /// shards' own drain loops run — on each shard's data, priority order
+    /// preserved — until the in-flight counter proves global silence.
+    fn quiesce(&mut self) -> Result<(), FrameworkError> {
+        if self.in_flight.load(Ordering::SeqCst) == 0
+            && self
+                .shards
+                .iter()
+                .all(|s| s.incoming.iter().all(|c| c.rx.is_empty()))
+        {
+            return Ok(());
+        }
+        let ctl = Ctl {
+            n: self.shards.len(),
+            abort: AtomicBool::new(false),
+            warmup_done: AtomicUsize::new(0),
+            measure_gate: AtomicUsize::new(0),
+            ticks_done: AtomicUsize::new(0),
+            in_flight: Arc::clone(&self.in_flight),
+            fault: Mutex::new(None),
+        };
+        let ctl = &ctl;
+        let failed = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(shard_ix, shard)| {
+                    scope.spawn(move || {
+                        let label = shard.label.clone();
+                        let mut ds = DrainStats::default();
+                        ctl.warmup_done.fetch_add(1, Ordering::SeqCst);
+                        let out = drain_until_quiescent(shard, ctl, &ctl.warmup_done, &mut ds);
+                        if let Err(e) = &out {
+                            ctl.record_fault(shard_ix, &label, e);
+                        }
+                        out.is_err()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .any(|h| h.join().expect("quiescence drainer panicked"))
+        });
+        if failed {
+            return Err(ctl.aborted());
+        }
+        Ok(())
+    }
+
+    /// Runs a reconfiguration transaction against the live partition: the
+    /// partition is first driven to a quiescence epoch (every ring
+    /// drained, zero messages in flight — the parallel analogue of the
+    /// run-to-completion guarantee single-engine reconfiguration gets for
+    /// free), then the closure applies operations through the
+    /// [`ParallelReconfiguration`] handle, journaled per shard. On `Ok`
+    /// the resulting deployment is re-validated — partition invariants
+    /// *and*, for architecture-carrying deployments (see
+    /// [`ParallelSystem::build_with_arch`]), the full RTSJ rule set — and
+    /// commits only if compliant; substrate charges for rings and
+    /// re-homed state are deferred to this point so a refused transaction
+    /// is charge-neutral. On a closure error or validator refusal every
+    /// shard's journal is replayed in reverse, restoring engines, rings,
+    /// spec and architecture byte-identically (witness:
+    /// [`structural_digests`](Self::structural_digests)).
+    ///
+    /// # Errors
+    ///
+    /// * [`FrameworkError::Unsupported`] under ULTRA-MERGE (purely
+    ///   static).
+    /// * The quiescence drain's error if a shard faults on a buffered
+    ///   message.
+    /// * The closure's error, after rollback.
+    /// * [`FrameworkError::Rejected`] with the full validation report when
+    ///   the resulting architecture violates RTSJ, after rollback.
+    pub fn reconfigure<T>(
+        &mut self,
+        f: impl FnOnce(&mut ParallelReconfiguration<'_, P>) -> Result<T, FrameworkError>,
+    ) -> Result<T, FrameworkError> {
+        if self.mode == Mode::UltraMerge {
+            return Err(FrameworkError::Unsupported(
+                "ULTRA-MERGE systems are purely static".into(),
+            ));
+        }
+        self.quiesce()?;
+        let mut txn = ParallelReconfiguration {
+            sys: self,
+            journal: Vec::new(),
+            pending_charges: Vec::new(),
+        };
+        match f(&mut txn) {
+            Ok(value) => match txn.validate_commit() {
+                Ok(()) => {
+                    // Commit: make the deferred substrate charges. A
+                    // failing charge refuses the transaction; charges
+                    // already made stand — immortal/scoped accounting is
+                    // monotonic, exactly like build.
+                    let charges = std::mem::take(&mut txn.pending_charges);
+                    for charge in charges {
+                        if let Err(e) = txn.apply_charge(charge) {
+                            txn.rollback();
+                            return Err(e);
+                        }
+                    }
+                    Ok(value)
+                }
+                Err(e) => {
+                    txn.rollback();
+                    Err(e)
+                }
+            },
+            Err(e) => {
+                txn.rollback();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// A substrate charge deferred to commit time: refused transactions never
+/// reach the allocator, so they are charge-neutral (the paper's memory
+/// model makes immortal/scoped charges permanent — a speculative charge
+/// could never be given back).
+enum PendingCharge {
+    /// State bytes of a re-homed component, charged to its new region.
+    Area {
+        shard: usize,
+        area_ix: usize,
+        bytes: usize,
+    },
+    /// The slot array of a freshly installed cross-domain ring, charged
+    /// to immortal memory on the producer shard (build charges deploy-time
+    /// rings the same way).
+    Immortal { shard: usize, bytes: usize },
+}
+
+/// One applied parallel operation's undo record. Rollback replays these in
+/// reverse, restoring every shard engine, the ring topology, the shared
+/// spec and the architectural model.
+enum PUndo<P> {
+    /// Undo of `start`: stop the slot again.
+    Stop { shard: usize, slot: usize },
+    /// Undo of `stop`: restart the slot.
+    Start { shard: usize, slot: usize },
+    /// Undo of a same-shard synchronous `rebind`.
+    Rebind {
+        shard: usize,
+        client_slot: usize,
+        port: String,
+        old_server_slot: usize,
+        gbix: usize,
+        old_server_g: usize,
+        arch: Option<(ComponentId, ComponentId, String, Protocol)>,
+    },
+    /// Undo of `rebind_async`'s cross-ring rewiring: retire the installed
+    /// ring, restore the client's compiled binding byte-identically, and
+    /// re-seat the retired consumer endpoint (if the old carrier was a
+    /// ring).
+    AsyncRewire {
+        gbix: usize,
+        old_carrier: Carrier,
+        old_server_g: usize,
+        producer_shard: usize,
+        consumer_shard: usize,
+        installed_tag: u64,
+        engine: AsyncRepointUndo,
+        retired: Option<(usize, CrossIn<P>)>,
+        arch: Option<(ComponentId, ComponentId, String, Protocol)>,
+    },
+    /// Undo of `reassign_domain`: re-seat the domain (and, for a re-homed
+    /// component, migrate the allocation region back).
+    Domain {
+        shard: usize,
+        slot: usize,
+        g: usize,
+        old_domain_ix: Option<usize>,
+        old_domain_g: Option<usize>,
+        /// `(old local area ix, old global area ix)` when the move
+        /// re-homed the allocation region.
+        rehome: Option<(usize, usize)>,
+        arch: Option<(ComponentId, Option<ComponentId>, ComponentId)>,
+    },
+    /// Undo of an interceptor installation: remove it again.
+    RemoveInterceptor {
+        shard: usize,
+        slot: usize,
+        name: &'static str,
+    },
+    /// Undo of an interceptor removal: splice the taken step back.
+    InstallStep {
+        shard: usize,
+        slot: usize,
+        index: usize,
+        step: InterceptStep,
+    },
+    /// Undo of a contract attach or detach: put the previous monitor slot
+    /// back, recorded histogram included.
+    Contract {
+        shard: usize,
+        slot: usize,
+        previous: Option<Box<MonitorSlot>>,
+    },
+    /// Undo of `set_fault_policy`: restore the pre-transaction policy.
+    Policy {
+        shard: usize,
+        slot: usize,
+        previous: FaultPolicy,
+    },
+}
+
+/// The in-flight transaction handle passed to
+/// [`ParallelSystem::reconfigure`]'s closure. Operations are
+/// name-addressed (the partition owns placement — callers never see shard
+/// indices), apply eagerly, and journal their inverses; the whole set
+/// reverts together on failure.
+pub struct ParallelReconfiguration<'s, P: Payload> {
+    sys: &'s mut ParallelSystem<P>,
+    journal: Vec<PUndo<P>>,
+    pending_charges: Vec<PendingCharge>,
+}
+
+impl<P: Payload> ParallelReconfiguration<'_, P> {
+    /// Global spec index of a component, by name.
+    fn gix(&self, component: &str) -> Result<usize, FrameworkError> {
+        self.sys
+            .spec
+            .component_index(component)
+            .ok_or_else(|| FrameworkError::Content(format!("unknown component '{component}'")))
+    }
+
+    /// Mirrors a rebind into the architectural model (when the deployment
+    /// carries one): unbind the client port, bind it to the new server's
+    /// same-named interface. Returns the restore record.
+    fn arch_rebind(
+        &mut self,
+        client: &str,
+        port: &str,
+        new_server: &str,
+    ) -> Result<Option<(ComponentId, ComponentId, String, Protocol)>, FrameworkError> {
+        let Some(arch) = self.sys.arch.as_mut() else {
+            return Ok(None);
+        };
+        let client_id = arch
+            .id_of(client)
+            .map_err(|e| FrameworkError::Content(e.to_string()))?;
+        let new_server_id = arch
+            .id_of(new_server)
+            .map_err(|e| FrameworkError::Content(e.to_string()))?;
+        let old = arch
+            .bindings()
+            .iter()
+            .find(|b| b.client.component == client_id && b.client.interface == port)
+            .ok_or_else(|| {
+                FrameworkError::Binding(format!(
+                    "architecture lost binding for client port '{port}'"
+                ))
+            })?;
+        let (old_server_id, old_server_if, protocol) = (
+            old.server.component,
+            old.server.interface.clone(),
+            old.protocol,
+        );
+        if !arch.unbind(client_id, port) {
+            return Err(FrameworkError::Binding(format!(
+                "architecture lost binding for client port '{port}'"
+            )));
+        }
+        if let Err(e) = arch.bind(client_id, port, new_server_id, &old_server_if, protocol) {
+            arch.bind(client_id, port, old_server_id, &old_server_if, protocol)
+                .expect("restoring a binding that existed before the transaction");
+            return Err(FrameworkError::Binding(e.to_string()));
+        }
+        Ok(Some((client_id, old_server_id, old_server_if, protocol)))
+    }
+
+    /// Puts an architectural binding mirrored by [`Self::arch_rebind`]
+    /// back (used both by op-level failure recovery and by rollback).
+    fn arch_unrebind(
+        arch: &mut Option<Architecture>,
+        port: &str,
+        record: &(ComponentId, ComponentId, String, Protocol),
+    ) {
+        let arch = arch.as_mut().expect("record exists only with an arch");
+        let (client_id, old_server_id, old_server_if, protocol) = record;
+        assert!(
+            arch.unbind(*client_id, port),
+            "rollback: transaction binding vanished from the architecture"
+        );
+        arch.bind(*client_id, port, *old_server_id, old_server_if, *protocol)
+            .expect("rollback restore of the pre-transaction binding");
+    }
+
+    /// Stops a component (no-op if already stopped), wherever it was
+    /// sharded.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn stop(&mut self, component: &str) -> Result<(), FrameworkError> {
+        let (shard, slot) = self.sys.locate(component)?;
+        if !self.sys.shards[shard].system.node_started(slot) {
+            return Ok(());
+        }
+        self.sys.shards[shard].system.stop_at(slot)?;
+        self.journal.push(PUndo::Start { shard, slot });
+        Ok(())
+    }
+
+    /// (Re)starts a component (no-op if already started).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn start(&mut self, component: &str) -> Result<(), FrameworkError> {
+        let (shard, slot) = self.sys.locate(component)?;
+        if self.sys.shards[shard].system.node_started(slot) {
+            return Ok(());
+        }
+        self.sys.shards[shard].system.start_at(slot)?;
+        self.journal.push(PUndo::Stop { shard, slot });
+        Ok(())
+    }
+
+    /// Rebinds `client`'s **synchronous** `port` to `new_server` on the
+    /// same shard. Synchronous invocations are nested calls on the
+    /// caller's thread — they can never cross the domain partition, so a
+    /// rebind whose new server lives on another shard is refused (the
+    /// planner would never have co-located them; use
+    /// [`rebind_async`](Self::rebind_async) for buffered bindings, which
+    /// ride cross-domain rings).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Unsupported`] for a cross-shard target,
+    /// [`FrameworkError::Binding`] for unbound/asynchronous ports, missing
+    /// interfaces or signature mismatches.
+    pub fn rebind(
+        &mut self,
+        client: &str,
+        port: &str,
+        new_server: &str,
+    ) -> Result<(), FrameworkError> {
+        let gclient = self.gix(client)?;
+        let gserver = self.gix(new_server)?;
+        let (cs, client_slot) = self.sys.comp_slot[gclient];
+        let (ss, server_slot) = self.sys.comp_slot[gserver];
+        if cs != ss {
+            return Err(FrameworkError::Unsupported(format!(
+                "synchronous rebind cannot cross the domain partition: '{client}' runs on \
+                 shard {cs} ('{}') and '{new_server}' on shard {ss} ('{}'); nested \
+                 invocations stay on the caller's thread — use rebind_async for buffered \
+                 bindings",
+                self.sys.shards[cs].label, self.sys.shards[ss].label
+            )));
+        }
+        let old_server_slot = self.sys.shards[cs]
+            .system
+            .sync_target_of(client_slot, port)?;
+        let gbix = self
+            .sys
+            .spec
+            .bindings
+            .iter()
+            .position(|b| {
+                b.client == gclient
+                    && b.client_port == port
+                    && matches!(b.protocol, ProtocolSpec::Sync)
+            })
+            .ok_or_else(|| {
+                FrameworkError::Binding(format!(
+                    "deployment plan lost binding for client port '{port}'"
+                ))
+            })?;
+        let old_server_g = self.sys.spec.bindings[gbix].server;
+
+        // Architecture first: it runs the stricter checks.
+        let arch = self.arch_rebind(client, port, new_server)?;
+
+        // Engine second; architecture restored if it refuses.
+        if let Err(e) = self.sys.shards[cs]
+            .system
+            .rebind_at(client_slot, port, server_slot)
+        {
+            if let Some(record) = &arch {
+                Self::arch_unrebind(&mut self.sys.arch, port, record);
+            }
+            return Err(e);
+        }
+
+        self.sys.spec.bindings[gbix].server = gserver;
+        self.journal.push(PUndo::Rebind {
+            shard: cs,
+            client_slot,
+            port: port.to_string(),
+            old_server_slot,
+            gbix,
+            old_server_g,
+            arch,
+        });
+        Ok(())
+    }
+
+    /// Rebinds `client`'s **asynchronous** `port` to `new_server`,
+    /// anywhere in the partition — the cross-ring rewiring operation. The
+    /// new server must provide a server interface of the same name as the
+    /// old target. A fresh SPSC ring (the old binding's capacity) is
+    /// installed: the client's compiled slot is repointed at its producer
+    /// endpoint with `is_cross` set — exactly the shape deploy-time rings
+    /// get — and the consumer endpoint is seated in the new server's
+    /// shard drain set, priority-sorted. If the old carrier was itself a
+    /// ring, its consumer endpoint is retired (the quiescence epoch
+    /// guarantees it is empty). The ring's immortal charge is deferred to
+    /// commit.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Binding`] for unbound or synchronous ports or a
+    /// missing server interface.
+    pub fn rebind_async(
+        &mut self,
+        client: &str,
+        port: &str,
+        new_server: &str,
+    ) -> Result<(), FrameworkError> {
+        let gclient = self.gix(client)?;
+        let gserver = self.gix(new_server)?;
+        let gbix = self
+            .sys
+            .spec
+            .bindings
+            .iter()
+            .position(|b| {
+                b.client == gclient
+                    && b.client_port == port
+                    && matches!(b.protocol, ProtocolSpec::Async { .. })
+            })
+            .ok_or_else(|| {
+                FrameworkError::Binding(format!(
+                    "no asynchronous binding on client port '{port}' of '{client}'"
+                ))
+            })?;
+        let ProtocolSpec::Async { capacity, .. } = self.sys.spec.bindings[gbix].protocol else {
+            unreachable!("position() matched Async above")
+        };
+        let old_server_g = self.sys.spec.bindings[gbix].server;
+        let server_port = self.sys.spec.bindings[gbix].server_port.clone();
+        let (producer_shard, client_slot) = self.sys.comp_slot[gclient];
+        let (consumer_shard, server_slot) = self.sys.comp_slot[gserver];
+
+        // The new consumer must provide the same-named server port;
+        // resolve it before touching anything.
+        let port_ix = self.sys.shards[consumer_shard]
+            .system
+            .port_ix_of(server_slot, &server_port)?;
+
+        // Architecture first (stricter checks), then the ring + engine.
+        let arch = self.arch_rebind(client, port, new_server)?;
+
+        let slot_bytes = std::mem::size_of::<std::sync::Mutex<Option<P>>>().max(1);
+        let ring = spsc_ring::<P>(capacity)
+            .map_err(FrameworkError::from)
+            .and_then(|(tx, rx)| {
+                self.sys.shards[producer_shard]
+                    .system
+                    .repoint_async_to_cross(client_slot, port, tx)
+                    .map(|undo| (undo, rx))
+            });
+        let (engine, rx) = match ring {
+            Ok(pair) => pair,
+            Err(e) => {
+                if let Some(record) = &arch {
+                    Self::arch_unrebind(&mut self.sys.arch, port, record);
+                }
+                return Err(e);
+            }
+        };
+
+        // Retire the old consumer endpoint if the old carrier was a ring.
+        // Quiescence guarantees it is empty; the old producer entry stays
+        // tombstoned in its shard's `cross_out` (nothing routes to it) —
+        // rollback truncation keeps journal LIFO order intact.
+        let old_carrier = self.sys.carriers[gbix];
+        let retired = if let Carrier::Ring {
+            consumer_shard: old_cs,
+            tag,
+            ..
+        } = old_carrier
+        {
+            let incoming = &mut self.sys.shards[old_cs].incoming;
+            let pos = incoming
+                .iter()
+                .position(|c| c.tag == tag)
+                .expect("carrier table desynced from shard drain set");
+            debug_assert!(
+                incoming[pos].rx.is_empty(),
+                "retiring a non-empty ring inside a quiescence epoch"
+            );
+            Some((old_cs, incoming.remove(pos)))
+        } else {
+            None
+        };
+
+        // Seat the new consumer endpoint (self-rings — producer and
+        // consumer on one shard — are allowed: the drain pass serves
+        // them like any other ring).
+        let installed_tag = self.sys.next_tag;
+        self.sys.next_tag += 1;
+        self.sys.shards[consumer_shard].incoming.push(CrossIn {
+            rx,
+            slot: server_slot,
+            port_ix,
+            tag: installed_tag,
+        });
+        resort_incoming(&mut self.sys.shards[consumer_shard]);
+        if let Some((old_cs, _)) = &retired {
+            if *old_cs != consumer_shard {
+                resort_incoming(&mut self.sys.shards[*old_cs]);
+            }
+        }
+
+        self.sys.carriers[gbix] = Carrier::Ring {
+            producer_shard,
+            cross_ix: engine.cross_ix,
+            consumer_shard,
+            tag: installed_tag,
+        };
+        self.sys.spec.bindings[gbix].server = gserver;
+        self.pending_charges.push(PendingCharge::Immortal {
+            shard: producer_shard,
+            bytes: capacity.next_power_of_two() * slot_bytes,
+        });
+        self.journal.push(PUndo::AsyncRewire {
+            gbix,
+            old_carrier,
+            old_server_g,
+            producer_shard,
+            consumer_shard,
+            installed_tag,
+            engine,
+            retired,
+            arch,
+        });
+        Ok(())
+    }
+
+    /// Re-homes a component onto another ThreadDomain **of its own
+    /// shard**. The engine adopts the new domain's context and priority;
+    /// when the deployment carries an architecture and the domain edge
+    /// moves the component under a different memory area, the allocation
+    /// region migrates with it — a checkpoint/handoff re-homing: the
+    /// slot's scope chain and every dispatch plan touching it are
+    /// recompiled against the new region, and the migrated state's charge
+    /// is deferred to commit. Commit-time validation re-checks
+    /// SOL-001/002/005/006 against the move.
+    ///
+    /// The domain partition itself is static: a reassignment onto a
+    /// domain materialized on a *different* shard would migrate the
+    /// component across OS threads and is refused, as is a re-homing onto
+    /// a memory area owned by another shard.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown domains,
+    /// [`FrameworkError::Binding`] for indirect domain membership,
+    /// [`FrameworkError::Unsupported`] for cross-shard moves.
+    pub fn reassign_domain(&mut self, component: &str, domain: &str) -> Result<(), FrameworkError> {
+        let g = self.gix(component)?;
+        let (shard, slot) = self.sys.comp_slot[g];
+        let Some(new_domain_ix) = self.sys.shards[shard].system.domain_ix_by_name(domain) else {
+            return Err(
+                match self.sys.spec.domains.iter().position(|d| d.name == domain) {
+                    Some(gd) => {
+                        let owner = self
+                            .sys
+                            .shards
+                            .iter()
+                            .position(|s| s.domains.iter().any(|d| d == domain))
+                            .unwrap_or(gd);
+                        FrameworkError::Unsupported(format!(
+                            "domain '{domain}' is materialized on shard {owner} ('{}'); \
+                             '{component}' runs on shard {shard} ('{}') and components \
+                             never migrate across the static domain partition",
+                            self.sys.shards[owner].label, self.sys.shards[shard].label
+                        ))
+                    }
+                    None => FrameworkError::Content(format!("unknown thread domain '{domain}'")),
+                },
+            );
+        };
+        let g_domain = self
+            .sys
+            .spec
+            .domains
+            .iter()
+            .position(|d| d.name == domain)
+            .expect("shard domains are a subset of the plan's");
+
+        // Architectural edge dance + area-change detection (arch-carrying
+        // deployments only — `build` without an architecture reconfigures
+        // the engine alone).
+        let mut arch_undo: Option<(ComponentId, Option<ComponentId>, ComponentId)> = None;
+        let mut rehome_target: Option<String> = None;
+        if let Some(arch) = self.sys.arch.as_mut() {
+            let comp = arch
+                .id_of(component)
+                .map_err(|e| FrameworkError::Content(e.to_string()))?;
+            let new_domain_id = arch
+                .id_of(domain)
+                .map_err(|e| FrameworkError::Content(e.to_string()))?;
+            if !matches!(
+                arch.component(new_domain_id).map(|c| &c.kind),
+                Ok(ComponentKind::ThreadDomain(_))
+            ) {
+                return Err(FrameworkError::Content(format!(
+                    "'{domain}' is not a ThreadDomain"
+                )));
+            }
+            let old_domain_id = arch.thread_domain_of(comp).map(|(id, _)| id);
+            let old_area = arch.memory_area_of(comp).map(|(id, _)| id);
+            if let Some(old) = old_domain_id {
+                if !arch.remove_child(old, comp) {
+                    return Err(FrameworkError::Binding(format!(
+                        "'{component}' is only an indirect member of its ThreadDomain; \
+                         reassignment needs a direct edge"
+                    )));
+                }
+            }
+            if let Err(e) = arch.add_child(new_domain_id, comp) {
+                if let Some(old) = old_domain_id {
+                    arch.add_child(old, comp)
+                        .expect("restoring an edge that existed before the transaction");
+                }
+                return Err(FrameworkError::Binding(e.to_string()));
+            }
+            let new_area = arch.memory_area_of(comp).map(|(id, _)| id);
+            if new_area != old_area {
+                // The domain edge re-homed the allocation region: migrate
+                // it, checkpoint/handoff style, instead of refusing.
+                let name = new_area
+                    .and_then(|id| arch.component(id).ok())
+                    .map(|c| c.name.clone());
+                match name {
+                    Some(name) => rehome_target = Some(name),
+                    None => {
+                        assert!(
+                            arch.remove_child(new_domain_id, comp),
+                            "edge added above must exist"
+                        );
+                        if let Some(old) = old_domain_id {
+                            arch.add_child(old, comp)
+                                .expect("restoring an edge that existed before the transaction");
+                        }
+                        return Err(FrameworkError::Unsupported(format!(
+                            "reassigning '{component}' to domain '{domain}' would move it \
+                             outside every memory area; components keep an allocation region"
+                        )));
+                    }
+                }
+            }
+            arch_undo = Some((comp, old_domain_id, new_domain_id));
+        }
+
+        // Engine half: re-home the allocation region first (it can
+        // refuse), then the domain seat (infallible).
+        let mut rehome = None;
+        if let Some(area_name) = rehome_target {
+            let restore_arch = |arch: &mut Option<Architecture>| {
+                let (comp, old_domain_id, new_domain_id) =
+                    arch_undo.as_ref().expect("rehome implies arch");
+                let arch = arch.as_mut().expect("rehome implies arch");
+                assert!(
+                    arch.remove_child(*new_domain_id, *comp),
+                    "edge added above must exist"
+                );
+                if let Some(old) = old_domain_id {
+                    arch.add_child(*old, *comp)
+                        .expect("restoring an edge that existed before the transaction");
+                }
+            };
+            let Some(new_area_ix) = self.sys.shards[shard].system.area_ix_by_name(&area_name)
+            else {
+                restore_arch(&mut self.sys.arch);
+                return Err(FrameworkError::Unsupported(format!(
+                    "re-homing '{component}' onto memory area '{area_name}' crosses the \
+                     shard partition: the area is materialized on another shard",
+                )));
+            };
+            let old_local = match self.sys.shards[shard]
+                .system
+                .rehome_area_at(slot, new_area_ix)
+            {
+                Ok(old) => old,
+                Err(e) => {
+                    restore_arch(&mut self.sys.arch);
+                    return Err(e);
+                }
+            };
+            let old_g = self.sys.spec.components[g].area;
+            let new_g = self
+                .sys
+                .spec
+                .areas
+                .iter()
+                .position(|a| a.name == area_name)
+                .expect("shard areas are a subset of the plan's");
+            self.sys.spec.components[g].area = new_g;
+            self.pending_charges.push(PendingCharge::Area {
+                shard,
+                area_ix: new_area_ix,
+                bytes: self.sys.shards[shard].system.state_bytes_at(slot),
+            });
+            rehome = Some((old_local, old_g));
+        }
+
+        let old_domain_ix = self.sys.shards[shard].system.node_domain_ix(slot);
+        self.sys.shards[shard]
+            .system
+            .set_domain_at(slot, Some(new_domain_ix));
+        let old_domain_g = self.sys.spec.components[g].domain;
+        self.sys.spec.components[g].domain = Some(g_domain);
+        // The slot's priority changed with its domain: re-sort the drain
+        // order its shard serves rings in.
+        resort_incoming(&mut self.sys.shards[shard]);
+        self.journal.push(PUndo::Domain {
+            shard,
+            slot,
+            g,
+            old_domain_ix,
+            old_domain_g,
+            rehome,
+            arch: arch_undo,
+        });
+        Ok(())
+    }
+
+    /// Installs a
+    /// [`JitterMonitor`](soleil_membrane::interceptors::JitterMonitor) in
+    /// a live component's membrane (SOLEIL only), wherever it was
+    /// sharded; journaled, so rollback removes it again. A no-op when one
+    /// is already installed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Unsupported`] in the merged modes,
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn install_jitter_monitor(&mut self, component: &str) -> Result<(), FrameworkError> {
+        let (shard, slot) = self.sys.locate(component)?;
+        if self.sys.shards[shard].system.enable_jitter_at(slot)? {
+            self.journal.push(PUndo::RemoveInterceptor {
+                shard,
+                slot,
+                name: "jitter-monitor",
+            });
+        }
+        Ok(())
+    }
+
+    /// Removes a jitter monitor from a live membrane (SOLEIL only); true
+    /// when one was removed. Rollback splices the exact step — recorded
+    /// observations included — back at its old chain position.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Unsupported`] in the merged modes,
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn remove_jitter_monitor(&mut self, component: &str) -> Result<bool, FrameworkError> {
+        let (shard, slot) = self.sys.locate(component)?;
+        match self.sys.shards[shard]
+            .system
+            .take_interceptor_at(slot, "jitter-monitor")?
+        {
+            Some((index, step)) => {
+                self.journal.push(PUndo::InstallStep {
+                    shard,
+                    slot,
+                    index,
+                    step,
+                });
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Attaches (or replaces) a declarative timing contract on a live
+    /// component; rollback restores the previous monitor slot, recorded
+    /// histogram included.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn attach_contract(
+        &mut self,
+        component: &str,
+        contract: TimingContract,
+    ) -> Result<(), FrameworkError> {
+        let (shard, slot) = self.sys.locate(component)?;
+        let previous = self.sys.shards[shard]
+            .system
+            .attach_contract_at(slot, contract)?;
+        self.journal.push(PUndo::Contract {
+            shard,
+            slot,
+            previous,
+        });
+        Ok(())
+    }
+
+    /// Detaches a component's timing contract; `true` when one was
+    /// attached.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn detach_contract(&mut self, component: &str) -> Result<bool, FrameworkError> {
+        let (shard, slot) = self.sys.locate(component)?;
+        match self.sys.shards[shard].system.detach_contract_at(slot) {
+            Some(previous) => {
+                self.journal.push(PUndo::Contract {
+                    shard,
+                    slot,
+                    previous: Some(previous),
+                });
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Declares (or changes) a component's [`FaultPolicy`]; rollback
+    /// restores the pre-transaction policy (and cancels any restart timer
+    /// the new policy armed).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn set_fault_policy(
+        &mut self,
+        component: &str,
+        policy: FaultPolicy,
+    ) -> Result<(), FrameworkError> {
+        let (shard, slot) = self.sys.locate(component)?;
+        let previous = self.sys.shards[shard]
+            .system
+            .set_fault_policy_at(slot, policy)?;
+        self.journal.push(PUndo::Policy {
+            shard,
+            slot,
+            previous,
+        });
+        Ok(())
+    }
+
+    /// Commit-time validation: the plan's own invariants, the partition
+    /// invariants (synchronous bindings co-sharded; every allocation
+    /// region materialized on its component's shard), and — for
+    /// architecture-carrying deployments — the full RTSJ rule set plus
+    /// the parallel coupling analysis.
+    fn validate_commit(&self) -> Result<(), FrameworkError> {
+        self.sys.spec.check().map_err(FrameworkError::Content)?;
+        for (bix, b) in self.sys.spec.bindings.iter().enumerate() {
+            if matches!(b.protocol, ProtocolSpec::Sync)
+                && self.sys.comp_slot[b.client].0 != self.sys.comp_slot[b.server].0
+            {
+                return Err(FrameworkError::Content(format!(
+                    "partition invariant broken: synchronous binding {bix} \
+                     ({}→{}) crosses shards",
+                    self.sys.spec.components[b.client].name,
+                    self.sys.spec.components[b.server].name
+                )));
+            }
+        }
+        for (g, c) in self.sys.spec.components.iter().enumerate() {
+            let (shard, _) = self.sys.comp_slot[g];
+            let area = &self.sys.spec.areas[c.area].name;
+            if self.sys.shards[shard]
+                .system
+                .area_ix_by_name(area)
+                .is_none()
+            {
+                return Err(FrameworkError::Content(format!(
+                    "partition invariant broken: '{}' charges area '{area}' which is not \
+                     materialized on its shard {shard}",
+                    c.name
+                )));
+            }
+        }
+        if let Some(arch) = &self.sys.arch {
+            let report = parallel_reconfiguration_report(arch);
+            if !report.is_compliant() {
+                return Err(FrameworkError::Rejected(report));
+            }
+        }
+        Ok(())
+    }
+
+    /// Makes one deferred substrate charge (commit path only).
+    fn apply_charge(&mut self, charge: PendingCharge) -> Result<(), FrameworkError> {
+        match charge {
+            PendingCharge::Area {
+                shard,
+                area_ix,
+                bytes,
+            } => self.sys.shards[shard].system.charge_area(area_ix, bytes),
+            PendingCharge::Immortal { shard, bytes } => {
+                self.sys.shards[shard].system.charge_immortal(bytes)
+            }
+        }
+    }
+
+    /// Replays every shard's journal in reverse, restoring engines, ring
+    /// topology, spec and architecture. Each undo reverses an operation
+    /// that succeeded against a valid state, so failures here are
+    /// framework bugs — surfaced loudly.
+    fn rollback(&mut self) {
+        while let Some(undo) = self.journal.pop() {
+            match undo {
+                PUndo::Stop { shard, slot } => self.sys.shards[shard]
+                    .system
+                    .stop_at(slot)
+                    .expect("rollback stop of a slot started by this transaction"),
+                PUndo::Start { shard, slot } => self.sys.shards[shard]
+                    .system
+                    .start_at(slot)
+                    .expect("rollback restart of a slot stopped by this transaction"),
+                PUndo::Rebind {
+                    shard,
+                    client_slot,
+                    port,
+                    old_server_slot,
+                    gbix,
+                    old_server_g,
+                    arch,
+                } => {
+                    self.sys.shards[shard]
+                        .system
+                        .rebind_at(client_slot, &port, old_server_slot)
+                        .expect("rollback rebind to the pre-transaction server");
+                    self.sys.spec.bindings[gbix].server = old_server_g;
+                    if let Some(record) = &arch {
+                        Self::arch_unrebind(&mut self.sys.arch, &port, record);
+                    }
+                }
+                PUndo::AsyncRewire {
+                    gbix,
+                    old_carrier,
+                    old_server_g,
+                    producer_shard,
+                    consumer_shard,
+                    installed_tag,
+                    engine,
+                    retired,
+                    arch,
+                } => {
+                    let port = engine.port.clone();
+                    let incoming = &mut self.sys.shards[consumer_shard].incoming;
+                    let pos = incoming
+                        .iter()
+                        .position(|c| c.tag == installed_tag)
+                        .expect("rollback: ring installed by this transaction vanished");
+                    debug_assert!(
+                        incoming[pos].rx.is_empty(),
+                        "rollback of a ring that carried traffic inside the epoch"
+                    );
+                    incoming.remove(pos);
+                    self.sys.shards[producer_shard]
+                        .system
+                        .restore_async_binding(engine);
+                    if let Some((old_cs, cin)) = retired {
+                        self.sys.shards[old_cs].incoming.push(cin);
+                        resort_incoming(&mut self.sys.shards[old_cs]);
+                    }
+                    resort_incoming(&mut self.sys.shards[consumer_shard]);
+                    self.sys.carriers[gbix] = old_carrier;
+                    self.sys.spec.bindings[gbix].server = old_server_g;
+                    if let Some(record) = &arch {
+                        Self::arch_unrebind(&mut self.sys.arch, &port, record);
+                    }
+                }
+                PUndo::Domain {
+                    shard,
+                    slot,
+                    g,
+                    old_domain_ix,
+                    old_domain_g,
+                    rehome,
+                    arch,
+                } => {
+                    self.sys.shards[shard]
+                        .system
+                        .set_domain_at(slot, old_domain_ix);
+                    if let Some((old_local, old_g)) = rehome {
+                        self.sys.shards[shard]
+                            .system
+                            .rehome_area_at(slot, old_local)
+                            .expect("rollback re-homing onto the pre-transaction region");
+                        self.sys.spec.components[g].area = old_g;
+                    }
+                    self.sys.spec.components[g].domain = old_domain_g;
+                    resort_incoming(&mut self.sys.shards[shard]);
+                    if let Some((comp, old_domain_id, new_domain_id)) = arch {
+                        let arch = self
+                            .sys
+                            .arch
+                            .as_mut()
+                            .expect("record exists only with an arch");
+                        assert!(
+                            arch.remove_child(new_domain_id, comp),
+                            "rollback: transaction domain edge vanished from the architecture"
+                        );
+                        if let Some(old) = old_domain_id {
+                            arch.add_child(old, comp)
+                                .expect("rollback restore of the pre-transaction domain edge");
+                        }
+                    }
+                }
+                PUndo::RemoveInterceptor { shard, slot, name } => {
+                    let removed = self.sys.shards[shard]
+                        .system
+                        .remove_interceptor_at(slot, name)
+                        .expect("rollback removal in a mode that installed it");
+                    assert!(
+                        removed,
+                        "rollback: interceptor installed by this transaction vanished"
+                    );
+                }
+                PUndo::InstallStep {
+                    shard,
+                    slot,
+                    index,
+                    step,
+                } => {
+                    self.sys.shards[shard]
+                        .system
+                        .insert_step_at(slot, index, step)
+                        .expect("rollback reinstall in a mode that removed it");
+                }
+                PUndo::Contract {
+                    shard,
+                    slot,
+                    previous,
+                } => {
+                    self.sys.shards[shard]
+                        .system
+                        .restore_contract_at(slot, previous);
+                }
+                PUndo::Policy {
+                    shard,
+                    slot,
+                    previous,
+                } => {
+                    self.sys.shards[shard]
+                        .system
+                        .set_fault_policy_at(slot, previous)
+                        .expect("rollback restore of a policy set by this transaction");
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -875,7 +2062,9 @@ fn drain_pass<P: Payload>(
         system, incoming, ..
     } = shard;
     for cin in incoming.iter_mut() {
-        let CrossIn { rx, slot, port_ix } = cin;
+        let CrossIn {
+            rx, slot, port_ix, ..
+        } = cin;
         let mut popped: u64 = 0;
         let mut result = Ok(());
         for msg in rx.drain_batch() {
@@ -1452,5 +2641,384 @@ mod tests {
         // 20 warmup + 50 measured ticks delivered everywhere.
         assert_eq!(probe.count("consumerB"), 70);
         assert_eq!(probe.count("consumerC"), 70);
+    }
+
+    // -- Live reconfiguration of the partition --------------------------
+
+    #[test]
+    fn reconfigure_is_refused_under_ultra_merge() {
+        let probe = ThreadProbe::default();
+        let mut sys =
+            ParallelSystem::build(&fan_spec(), Mode::UltraMerge, &registry(&probe)).unwrap();
+        let err = sys.reconfigure(|_txn| Ok(())).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unsupported in this mode: ULTRA-MERGE systems are purely static"
+        );
+    }
+
+    #[test]
+    fn rebind_async_rewires_the_ring_across_shards() {
+        for mode in [Mode::Soleil, Mode::MergeAll] {
+            let probe = ThreadProbe::default();
+            let mut sys = ParallelSystem::build(&fan_spec(), mode, &registry(&probe)).unwrap();
+            sys.run_ticks(10).unwrap();
+            assert_eq!(probe.count("consumerB"), 10, "{mode}");
+            assert_eq!(probe.count("consumerC"), 10, "{mode}");
+
+            // Retarget producer.out1 from consumerB (shard B) onto
+            // consumerC (shard C): the A→B ring retires, a fresh A→C ring
+            // seats, and the compiled client slot repoints — live.
+            sys.reconfigure(|txn| txn.rebind_async("producer", "out1", "consumerC"))
+                .unwrap();
+
+            sys.run_ticks(10).unwrap();
+            assert_eq!(
+                probe.count("consumerB"),
+                10,
+                "{mode}: the retired ring delivers nothing more"
+            );
+            assert_eq!(
+                probe.count("consumerC"),
+                30,
+                "{mode}: both fan-out messages reach the new server"
+            );
+            let stats = sys.stats();
+            assert_eq!(stats.dropped_messages, 0, "{mode}");
+            // Exact conservation across the reconfiguration epoch: every
+            // cross-shard send before and after the rewiring was delivered.
+            assert_eq!(stats.async_messages, 40, "{mode}");
+        }
+    }
+
+    #[test]
+    fn refused_transaction_restores_the_partition_byte_identically() {
+        let probe = ThreadProbe::default();
+        let mut sys = ParallelSystem::build(&fan_spec(), Mode::Soleil, &registry(&probe)).unwrap();
+        sys.run_ticks(10).unwrap();
+        let digests = sys.structural_digests();
+        let policy = sys.fault_policy("consumerC").unwrap();
+
+        let err = sys
+            .reconfigure(|txn| -> Result<(), FrameworkError> {
+                txn.rebind_async("producer", "out1", "consumerC")?;
+                txn.set_fault_policy("consumerC", FaultPolicy::Isolate)?;
+                txn.install_jitter_monitor("consumerB")?;
+                Err(FrameworkError::Content(
+                    "operator changed their mind".into(),
+                ))
+            })
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "content error: operator changed their mind"
+        );
+
+        assert_eq!(
+            sys.structural_digests(),
+            digests,
+            "rollback restores every shard engine byte-identically"
+        );
+        assert_eq!(sys.fault_policy("consumerC").unwrap(), policy);
+
+        // The restored topology still routes out1 to consumerB.
+        sys.run_ticks(10).unwrap();
+        assert_eq!(probe.count("consumerB"), 20);
+        assert_eq!(probe.count("consumerC"), 20);
+        assert_eq!(sys.stats().dropped_messages, 0);
+    }
+
+    #[test]
+    fn sync_rebind_across_the_partition_is_refused() {
+        let mut spec = fan_spec();
+        spec.bindings[0].protocol = ProtocolSpec::Sync;
+        spec.bindings[0].server_port = "in".into();
+        let probe = ThreadProbe::default();
+        let mut sys = ParallelSystem::build(&spec, Mode::MergeAll, &registry(&probe)).unwrap();
+        let digests = sys.structural_digests();
+        let err = sys
+            .reconfigure(|txn| txn.rebind("producer", "out1", "consumerC"))
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("synchronous rebind cannot cross the domain partition"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("use rebind_async"), "{err}");
+        assert_eq!(sys.structural_digests(), digests);
+    }
+
+    #[test]
+    fn reassign_domain_across_the_partition_is_refused() {
+        let probe = ThreadProbe::default();
+        let mut sys =
+            ParallelSystem::build(&fan_spec(), Mode::MergeAll, &registry(&probe)).unwrap();
+        let err = sys
+            .reconfigure(|txn| txn.reassign_domain("consumerB", "C"))
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("components never migrate across the static domain partition"),
+            "{err}"
+        );
+    }
+
+    /// Satellite: exact SOL-016…SOL-022 verdicts on a sharded deployment
+    /// whose contracts and supervision policies were swapped through a
+    /// live parallel reconfiguration transaction.
+    #[test]
+    fn health_verdicts_are_exact_after_a_live_policy_swap() {
+        let probe = ThreadProbe::default();
+        let mut sys =
+            ParallelSystem::build(&fan_spec(), Mode::MergeAll, &registry(&probe)).unwrap();
+        sys.run_ticks(5).unwrap();
+        assert!(sys.health_report().is_compliant());
+
+        // The live swap: an impossible deadline and an unreachable
+        // throughput floor on the producer (next to generous jitter and
+        // quantile bounds that stay satisfied), isolation for consumerB,
+        // a zero-budget restart policy for consumerC.
+        sys.reconfigure(|txn| {
+            txn.attach_contract(
+                "producer",
+                TimingContract::new()
+                    .with_deadline(RelativeTime::from_nanos(0))
+                    .with_min_throughput_hz(u32::MAX)
+                    .with_max_jitter(RelativeTime::from_millis(500))
+                    .with_quantile_bound(99, RelativeTime::from_millis(500)),
+            )?;
+            txn.set_fault_policy("consumerB", FaultPolicy::Isolate)?;
+            txn.set_fault_policy(
+                "consumerC",
+                FaultPolicy::Restart {
+                    max_restarts: 0,
+                    window: RelativeTime::from_millis(3_600_000),
+                    backoff: RelativeTime::from_millis(50),
+                },
+            )
+        })
+        .unwrap();
+
+        sys.install_fault_injector(
+            "consumerB",
+            FaultInjector::new("consumerB", 7, 1).with_menu(FaultInjector::MENU_PANIC),
+        )
+        .unwrap();
+        let runs = sys.run_ticks(10).unwrap();
+        assert_eq!(runs.len(), 3, "isolation keeps every shard ticking");
+
+        // contract_report: exactly the two contracted bounds that cannot
+        // hold, nothing else.
+        let contracts = sys.contract_report();
+        assert!(!contracts.is_compliant());
+        assert_eq!(contracts.by_code("SOL-016").count(), 1, "{contracts}");
+        assert!(contracts
+            .by_code("SOL-016")
+            .all(|d| d.subject == "producer"));
+        assert_eq!(contracts.by_code("SOL-017").count(), 0, "{contracts}");
+        assert_eq!(contracts.by_code("SOL-018").count(), 1, "{contracts}");
+        assert!(contracts
+            .by_code("SOL-018")
+            .all(|d| d.subject == "producer"));
+        assert_eq!(contracts.by_code("SOL-019").count(), 0, "{contracts}");
+
+        // health_report: the contract verdicts plus the quarantine
+        // findings — and no exhausted budget yet.
+        let report = sys.health_report();
+        assert_eq!(report.by_code("SOL-020").count(), 1, "{report}");
+        assert!(report.by_code("SOL-020").all(|d| d.subject == "consumerB"));
+        assert_eq!(report.by_code("SOL-021").count(), 0, "{report}");
+        assert_eq!(report.by_code("SOL-022").count(), 1, "{report}");
+
+        // Exhaust consumerC's zero-restart budget: the fault escalates
+        // out of its shard and SOL-021 joins the report.
+        sys.install_fault_injector(
+            "consumerC",
+            FaultInjector::new("consumerC", 11, 1).with_menu(FaultInjector::MENU_ERROR),
+        )
+        .unwrap();
+        let err = sys.run_ticks(10).unwrap_err();
+        assert!(err.to_string().contains("aborted by shard"), "{err}");
+        let report = sys.health_report();
+        assert_eq!(report.by_code("SOL-021").count(), 1, "{report}");
+        assert!(report.by_code("SOL-021").all(|d| d.subject == "consumerC"));
+        assert!(report.by_code("SOL-020").any(|d| d.subject == "consumerC"));
+    }
+
+    /// `fan_spec` with per-domain immortal areas and a (never exercised)
+    /// synchronous binding consumerB.peer → consumerC.in, which couples
+    /// domains B and C into one shard — the playground for same-shard
+    /// domain re-assignment with region re-homing.
+    fn coupled_spec() -> SystemSpec {
+        let mut spec = fan_spec();
+        spec.areas.push(AreaSpec {
+            name: "ImmB".into(),
+            kind: MemoryKind::Immortal,
+            size: Some(256 * 1024),
+            parent: None,
+        });
+        spec.areas.push(AreaSpec {
+            name: "ImmC".into(),
+            kind: MemoryKind::Immortal,
+            size: Some(256 * 1024),
+            parent: None,
+        });
+        spec.components[1].area = 1;
+        spec.components[2].area = 2;
+        spec.bindings.push(BindingSpec {
+            client: 1,
+            client_port: "peer".into(),
+            server: 2,
+            server_port: "in".into(),
+            protocol: ProtocolSpec::Sync,
+            pattern: PatternKind::Direct,
+            enter_path: vec![],
+        });
+        spec
+    }
+
+    /// The architectural model matching [`coupled_spec`], name for name —
+    /// each consumer's memory area contains its thread *domain*, so moving
+    /// the domain edge re-homes the component's allocation region.
+    fn coupled_arch() -> Architecture {
+        let mut bv = soleil_core::views::BusinessView::new("fan");
+        bv.active_periodic("producer", "10ms").unwrap();
+        bv.active_sporadic("consumerB").unwrap();
+        bv.active_sporadic("consumerC").unwrap();
+        bv.content("producer", "Fan2").unwrap();
+        bv.content("consumerB", "RecB").unwrap();
+        bv.content("consumerC", "RecC").unwrap();
+        bv.require("producer", "out1", "I").unwrap();
+        bv.require("producer", "out2", "I").unwrap();
+        bv.require("consumerB", "peer", "I").unwrap();
+        bv.provide("consumerB", "in", "I").unwrap();
+        bv.provide("consumerC", "in", "I").unwrap();
+        bv.bind_async("producer", "out1", "consumerB", "in", 64)
+            .unwrap();
+        bv.bind_async("producer", "out2", "consumerC", "in", 64)
+            .unwrap();
+        bv.bind_sync("consumerB", "peer", "consumerC", "in")
+            .unwrap();
+        let mut flow = soleil_core::views::DesignFlow::new(bv);
+        flow.thread_domain("A", ThreadKind::NoHeapRealtime, 30, &["producer"])
+            .unwrap();
+        flow.thread_domain("B", ThreadKind::NoHeapRealtime, 25, &["consumerB"])
+            .unwrap();
+        flow.thread_domain("C", ThreadKind::Realtime, 20, &["consumerC"])
+            .unwrap();
+        flow.memory_area("Imm1", MemoryKind::Immortal, Some(256 * 1024), &["A"])
+            .unwrap();
+        flow.memory_area("ImmB", MemoryKind::Immortal, Some(256 * 1024), &["B"])
+            .unwrap();
+        flow.memory_area("ImmC", MemoryKind::Immortal, Some(256 * 1024), &["C"])
+            .unwrap();
+        flow.merge()
+            .unwrap()
+            .into_validated()
+            .unwrap()
+            .architecture()
+            .clone()
+    }
+
+    /// Acceptance: a live arch-carrying partition, under traffic, commits
+    /// one transaction combining a cross-ring rebind, a domain
+    /// re-assignment that re-homes the allocation region, a policy swap
+    /// and (under SOLEIL) an interceptor installation — with exact message
+    /// conservation through the quiescence epoch and allocation-free
+    /// steady-state ticks afterwards.
+    #[test]
+    fn committed_transaction_combines_rewiring_rehoming_and_policy() {
+        for mode in [Mode::Soleil, Mode::MergeAll] {
+            let probe = ThreadProbe::default();
+            let mut sys = ParallelSystem::build_with_arch(
+                &coupled_spec(),
+                mode,
+                &registry(&probe),
+                coupled_arch(),
+            )
+            .unwrap();
+            assert_eq!(
+                sys.shard_count(),
+                2,
+                "{mode}: the sync peer couples B and C"
+            );
+            sys.run_ticks(10).unwrap();
+
+            sys.reconfigure(|txn| {
+                txn.rebind_async("producer", "out1", "consumerC")?;
+                txn.reassign_domain("consumerB", "C")?;
+                txn.set_fault_policy("consumerC", FaultPolicy::Isolate)?;
+                if mode == Mode::Soleil {
+                    txn.install_jitter_monitor("consumerB")?;
+                }
+                Ok(())
+            })
+            .unwrap();
+
+            sys.run_ticks(10).unwrap();
+            assert_eq!(probe.count("consumerB"), 10, "{mode}");
+            assert_eq!(probe.count("consumerC"), 30, "{mode}");
+            assert_eq!(
+                sys.fault_policy("consumerC").unwrap(),
+                FaultPolicy::Isolate,
+                "{mode}"
+            );
+            let stats = sys.stats();
+            assert_eq!(stats.dropped_messages, 0, "{mode}");
+            assert_eq!(stats.async_messages, 40, "{mode}: exact conservation");
+
+            // The committed partition still ticks allocation-free.
+            let runs = sys.run_ticks_instrumented(5, 20, &|| 0).unwrap();
+            for r in &runs {
+                assert_eq!(
+                    r.substrate_allocs, 0,
+                    "{mode}/{}: reconfigured steady state must not allocate",
+                    r.label
+                );
+            }
+        }
+    }
+
+    /// The same combined transaction, refused at the last step: every
+    /// shard — including the re-homed region and the rewired rings — is
+    /// restored byte-identically, witnessed by the structural digests and
+    /// by traffic flowing exactly as before.
+    #[test]
+    fn refused_combined_transaction_rolls_back_rehoming_and_rewiring() {
+        let probe = ThreadProbe::default();
+        let mut sys = ParallelSystem::build_with_arch(
+            &coupled_spec(),
+            Mode::MergeAll,
+            &registry(&probe),
+            coupled_arch(),
+        )
+        .unwrap();
+        sys.run_ticks(10).unwrap();
+        let digests = sys.structural_digests();
+
+        let err = sys
+            .reconfigure(|txn| -> Result<(), FrameworkError> {
+                txn.rebind_async("producer", "out1", "consumerC")?;
+                txn.reassign_domain("consumerB", "C")?;
+                txn.set_fault_policy("consumerC", FaultPolicy::Isolate)?;
+                Err(FrameworkError::Content(
+                    "operator changed their mind".into(),
+                ))
+            })
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "content error: operator changed their mind"
+        );
+        assert_eq!(
+            sys.structural_digests(),
+            digests,
+            "rollback restores the re-homed region and the ring topology"
+        );
+
+        sys.run_ticks(10).unwrap();
+        assert_eq!(probe.count("consumerB"), 20);
+        assert_eq!(probe.count("consumerC"), 20);
+        assert_eq!(sys.stats().dropped_messages, 0);
     }
 }

@@ -17,7 +17,7 @@ use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -60,6 +60,19 @@ const RESTART_TAG: u32 = 1 << 31;
 /// Exponential-backoff exponents are clamped here so `backoff * 2^attempt`
 /// cannot overflow into a meaninglessly distant restart.
 const MAX_BACKOFF_SHIFT: u32 = 20;
+
+/// Mints globally unique dispatch-plan generations (see
+/// [`Ports::intern_generation`]): one per compiled plan, re-minted on every
+/// rebind or jump-table recompilation. Process-global so two deployments —
+/// or two shard engines of one parallel deployment, each with its own port
+/// universe — can never share a generation: a `static InternedPort` reached
+/// from both re-interns instead of replaying one plan's id against the
+/// other's table. Starts at 1; 0 is the name-only façade default.
+static DISPATCH_GENERATION: AtomicU32 = AtomicU32::new(1);
+
+fn mint_dispatch_generation() -> u32 {
+    DISPATCH_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// What the engine does with a fault contained at a component's activation
 /// boundary (a caught panic, or a typed [`FrameworkError::Faulted`] error).
@@ -120,6 +133,12 @@ struct SupervisorSlot {
     restarts: u64,
     /// Periodic releases suppressed while quarantined.
     suppressed_releases: u64,
+    /// The pending supervised-restart timer, if one is armed. Tracked so a
+    /// stop, policy change, journal rollback, or manual restart landing
+    /// mid-backoff can cancel it — an untracked timer would later fire and
+    /// restart a component the user had stopped (or restart under a
+    /// rolled-back policy).
+    restart_timer: Option<TimerHandle>,
 }
 
 /// Engine-wide counters (introspection / experiment reporting).
@@ -347,6 +366,29 @@ struct PendingKey {
     seq: Reverse<u64>,
 }
 
+/// Undo record of a [`System::repoint_async_to_cross`]: the
+/// pre-transaction binding state of the repointed client port, restorable
+/// byte-identically by [`System::restore_async_binding`]. Carried by the
+/// parallel runtime's per-shard undo journals.
+#[derive(Debug)]
+pub(crate) struct AsyncRepointUndo {
+    pub(crate) client_slot: usize,
+    pub(crate) port: String,
+    /// Index the repoint appended to `cross_out` (LIFO rollback truncates
+    /// back to it).
+    pub(crate) cross_ix: usize,
+    old: OldAsyncBinding,
+}
+
+/// The mode-specific half of [`AsyncRepointUndo`].
+#[derive(Debug)]
+enum OldAsyncBinding {
+    /// SOLEIL: the membrane's previous `BindingTarget`.
+    Reified(BindingTarget),
+    /// MERGE-ALL: the previous compiled dispatch header.
+    Compiled(DispatchHeader),
+}
+
 /// A cross-domain output requested at build time: the named client port of
 /// `client` routes into a wait-free SPSC ring whose consumer lives in
 /// another thread-domain shard. The carrier decision is made once, here —
@@ -423,6 +465,10 @@ pub struct System<P: Payload> {
     /// `port_names[i]`. Spec binding ports first (first-appearance order),
     /// then cross-domain ring ports the shard compiler appended.
     port_names: Vec<Box<str>>,
+    /// Generation of the current dispatch plan, re-minted on every rebind
+    /// or jump recompilation; content-side `InternedPort` memos carry the
+    /// generation they were interned under and re-intern on mismatch.
+    dispatch_generation: u32,
     /// Jump tables for interned dispatch, `[slot][port_id]` → binding
     /// index (`compiled[slot]` position under MERGE-ALL, absolute
     /// `ultra_table` index under ULTRA-MERGE; `u32::MAX` = unbound here).
@@ -888,6 +934,7 @@ impl<P: Payload> System<P> {
             string_compares: Cell::new(0),
             arc_clones: Cell::new(0),
             port_names,
+            dispatch_generation: 0, // minted by recompile_port_jump below
             port_jump: Vec::new(),
             enter_arena,
             activation_plans,
@@ -1024,6 +1071,9 @@ impl<P: Payload> System<P> {
     /// (rebinds replace entries in place, so compiled indices stay valid;
     /// recompiling keeps the invariant local instead of distributed).
     fn recompile_port_jump(&mut self) {
+        // Every recompilation is a new plan: stale content-side memos must
+        // re-intern rather than index the rebuilt tables.
+        self.dispatch_generation = mint_dispatch_generation();
         match self.mode {
             Mode::Soleil => {
                 // The reified membranes own their jump tables.
@@ -1807,7 +1857,23 @@ impl<P: Payload> System<P> {
         if let Some(m) = self.membranes.get_mut(slot).and_then(|m| m.as_mut()) {
             m.lifecycle.stop();
         }
+        // An explicit stop overrides supervision: a pending supervised
+        // restart must not revive the component behind the user's back.
+        self.cancel_restart_timer(slot);
         Ok(())
+    }
+
+    /// Disarms `slot`'s pending supervised-restart timer, if any. Safe on
+    /// stale handles — the generation check makes a lost race (timer
+    /// already fired) a no-op.
+    fn cancel_restart_timer(&mut self, slot: usize) {
+        if let Some(handle) = self
+            .supervisors
+            .get_mut(slot)
+            .and_then(|s| s.restart_timer.take())
+        {
+            self.timers.cancel(handle);
+        }
     }
 
     /// (Re)starts `slot`.
@@ -1917,6 +1983,7 @@ impl<P: Payload> System<P> {
                 // valid; recompiling anyway keeps the plan an invariant of
                 // this one (cold) site rather than of `bind`'s internals.
                 m.binding.compile_jump(&self.port_names);
+                self.dispatch_generation = mint_dispatch_generation();
                 Ok(())
             }
             Mode::MergeAll => {
@@ -2057,6 +2124,390 @@ impl<P: Payload> System<P> {
             .map(|d| self.domains[d].priority)
             .unwrap_or(Priority::NORM);
         self.recompute_periodic_order();
+    }
+
+    /// Runtime-area index by name (cold-path resolution for re-homing
+    /// reconfigurations; areas are named after their architectural
+    /// memory-area components).
+    pub(crate) fn area_ix_by_name(&self, name: &str) -> Option<usize> {
+        self.areas.iter().position(|a| a.name == name)
+    }
+
+    /// Bytes the slot's checkpointed state occupies — the handoff charge
+    /// of a re-homing migration (same floor as the build-time charge).
+    pub(crate) fn state_bytes_at(&self, slot: usize) -> usize {
+        self.nodes[slot]
+            .content
+            .as_ref()
+            .map_or(1, |c| c.state_bytes())
+            .max(1)
+    }
+
+    /// Charges `bytes` against runtime area `area_ix` — the commit-time
+    /// half of a deferred reconfiguration charge. Refused transactions
+    /// never reach this, so they stay charge-neutral; a committed charge
+    /// is permanent, because immortal/scoped accounting is monotonic
+    /// (authentic RTSJ: immortal memory is never reclaimed).
+    ///
+    /// # Errors
+    ///
+    /// Substrate budget exhaustion (the commit is then refused).
+    pub(crate) fn charge_area(
+        &mut self,
+        area_ix: usize,
+        bytes: usize,
+    ) -> Result<(), FrameworkError> {
+        let kind = if self.areas[area_ix].kind == MemoryKind::Heap {
+            ThreadKind::Regular
+        } else {
+            ThreadKind::Realtime
+        };
+        let ctx = self.mm.context(kind);
+        self.mm.alloc_raw(&ctx, self.areas[area_ix].id, bytes)?;
+        Ok(())
+    }
+
+    /// Charges `bytes` against immortal memory — the commit-time half of a
+    /// deferred cross-shard ring installation (rings live in immortal
+    /// memory, like the build-time carriers). Same monotonic semantics as
+    /// [`System::charge_area`].
+    ///
+    /// # Errors
+    ///
+    /// Substrate budget exhaustion (the commit is then refused).
+    pub(crate) fn charge_immortal(&mut self, bytes: usize) -> Result<(), FrameworkError> {
+        let ctx = self.mm.context(ThreadKind::Realtime);
+        self.mm.alloc_raw(&ctx, AreaId::IMMORTAL, bytes)?;
+        Ok(())
+    }
+
+    /// Re-homes a slot's allocation region onto another runtime area: the
+    /// checkpoint/handoff half of a `reassign_domain` whose domain edge
+    /// moves the component under a different memory area. Recomputes the
+    /// slot's scope chain and activation plan, then recompiles the
+    /// dispatch state of every local binding touching the slot at either
+    /// end — all through the same constructors build uses, with arena
+    /// window reuse, so re-homing back restores every header
+    /// byte-identically (the transactional-rollback guarantee). Returns
+    /// the previous area index; rollback is the symmetric call.
+    ///
+    /// The substrate charge for the migrated state is **not** made here:
+    /// callers defer it to commit time (see [`System::charge_area`]) so a
+    /// refused transaction is charge-neutral. The old region's charge
+    /// stands either way — monotonic accounting, like build.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Unsupported`] under ULTRA-MERGE;
+    /// [`FrameworkError::Content`] for an unknown area index.
+    pub(crate) fn rehome_area_at(
+        &mut self,
+        slot: usize,
+        new_area_ix: usize,
+    ) -> Result<usize, FrameworkError> {
+        self.reject_static()?;
+        if new_area_ix >= self.areas.len() {
+            return Err(FrameworkError::Content(format!(
+                "re-home target area index {new_area_ix} out of range"
+            )));
+        }
+        let old_area_ix = self.nodes[slot].area_ix;
+        if new_area_ix == old_area_ix {
+            return Ok(old_area_ix);
+        }
+        // The scoped chain the component's thread now stands in (the same
+        // walk as build).
+        let mut scope_chain = Vec::new();
+        let mut cursor = Some(new_area_ix);
+        while let Some(ix) = cursor {
+            if self.areas[ix].kind == MemoryKind::Scoped {
+                scope_chain.push(self.areas[ix].id);
+            }
+            cursor = self.areas[ix].parent;
+        }
+        scope_chain.reverse();
+        self.nodes[slot].area_ix = new_area_ix;
+        self.nodes[slot].scope_chain = scope_chain;
+        let (chain_off, chain_len) =
+            intern_enter_path(&mut self.enter_arena, &self.nodes[slot].scope_chain);
+        self.activation_plans[slot].chain_off = chain_off;
+        self.activation_plans[slot].chain_len = chain_len as u16;
+        self.recompile_bindings_touching(slot);
+        self.recompile_port_jump();
+        Ok(old_area_ix)
+    }
+
+    /// Recompiles the memory plan of every **local** binding with `slot`
+    /// at either end — a re-homing changed the areas those plans were
+    /// computed from. Cross-ring slots are untouched: their dispatch is
+    /// settled on the consumer's shard, not here.
+    fn recompile_bindings_touching(&mut self, slot: usize) {
+        match self.mode {
+            Mode::Soleil => {
+                let mut touched: Vec<(usize, usize, usize)> = Vec::new();
+                for (c, m) in self.membranes.iter().enumerate() {
+                    let Some(m) = m else { continue };
+                    for (_, t) in m.binding.entries() {
+                        if !t.cross
+                            && t.binding_ix != usize::MAX
+                            && (c == slot || t.target_slot == slot)
+                        {
+                            touched.push((c, t.binding_ix, t.target_slot));
+                        }
+                    }
+                }
+                for (c, bix, server) in touched {
+                    let client_area = self.areas[self.nodes[c].area_ix].id;
+                    let server_area = self.areas[self.nodes[server].area_ix].id;
+                    let (pattern, enter_path) = self.pattern_between(client_area, server_area);
+                    let outer_on_stack = self.outer_proof(c, pattern, server_area);
+                    let plan = MemoryPlan {
+                        pattern,
+                        server_area,
+                        enter_path,
+                        transient_scope: None,
+                        outer_on_stack,
+                    };
+                    self.mem_gates[bix] = plan.fast_gate();
+                    self.mem_interceptors[bix] = Some(MemoryInterceptor::new(plan));
+                }
+            }
+            Mode::MergeAll => {
+                let mut touched: Vec<(usize, usize, usize)> = Vec::new();
+                for (c, row) in self.compiled.iter().enumerate() {
+                    for (i, b) in row.iter().enumerate() {
+                        if !b.header.is_cross && (c == slot || b.header.target_slot == slot) {
+                            touched.push((c, i, b.header.target_slot));
+                        }
+                    }
+                }
+                for (c, i, server) in touched {
+                    let client_area = self.areas[self.nodes[c].area_ix].id;
+                    let server_area = self.areas[self.nodes[server].area_ix].id;
+                    let (pattern, enter_path) = self.pattern_between(client_area, server_area);
+                    let outer_on_stack = self.outer_proof(c, pattern, server_area);
+                    let old = self.compiled[c][i].header;
+                    let header = DispatchHeader::compile(
+                        &mut self.enter_arena,
+                        old.target_slot,
+                        old.server_port_ix,
+                        old.is_async,
+                        old.buffer_ix,
+                        pattern,
+                        server_area,
+                        &enter_path,
+                        outer_on_stack,
+                        false,
+                    );
+                    self.compiled[c][i].header = header;
+                }
+            }
+            Mode::UltraMerge => unreachable!("re-homing is gated by reject_static"),
+        }
+    }
+
+    /// Repoints a client's **asynchronous** port onto a freshly installed
+    /// cross-domain ring whose producer endpoint is `tx` — the engine half
+    /// of cross-ring rewiring when a parallel rebind moves a binding
+    /// across the domain partition. The ring index is appended to
+    /// `cross_out` and the binding's compiled slot is recompiled with
+    /// `is_cross` set, exactly the shape build gives deploy-time rings.
+    /// Returns the undo record for the per-shard journal.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Binding`] for unbound or synchronous ports;
+    /// [`FrameworkError::Unsupported`] under ULTRA-MERGE.
+    pub(crate) fn repoint_async_to_cross(
+        &mut self,
+        client_slot: usize,
+        port: &str,
+        tx: SpscProducer<P>,
+    ) -> Result<AsyncRepointUndo, FrameworkError> {
+        self.reject_static()?;
+        let cross_ix = self.cross_out.len();
+        let old = match self.mode {
+            Mode::Soleil => {
+                let old = {
+                    let m = self.membranes[client_slot]
+                        .as_ref()
+                        .expect("membrane present outside invocation");
+                    m.binding.resolve(port)?.clone()
+                };
+                if !old.is_async {
+                    return Err(FrameworkError::Binding(format!(
+                        "client port '{port}' is synchronous; cross-domain rings carry \
+                         asynchronous bindings only"
+                    )));
+                }
+                let m = self.membranes[client_slot]
+                    .as_mut()
+                    .expect("membrane present outside invocation");
+                m.binding.bind(
+                    port.to_string(),
+                    BindingTarget {
+                        target_slot: usize::MAX,
+                        server_port: String::new(),
+                        server_port_ix: 0,
+                        is_async: true,
+                        buffer_index: Some(cross_ix),
+                        binding_ix: usize::MAX,
+                        cross: true,
+                    },
+                );
+                m.binding.compile_jump(&self.port_names);
+                OldAsyncBinding::Reified(old)
+            }
+            Mode::MergeAll => {
+                let old = {
+                    let b = self.compiled[client_slot]
+                        .iter()
+                        .find(|b| b.port.as_ref() == port)
+                        .ok_or_else(|| {
+                            FrameworkError::Binding(format!("client port '{port}' is unbound"))
+                        })?;
+                    if !b.header.is_async {
+                        return Err(FrameworkError::Binding(format!(
+                            "client port '{port}' is synchronous; cross-domain rings carry \
+                             asynchronous bindings only"
+                        )));
+                    }
+                    b.header
+                };
+                // Same header shape build compiles for deploy-time rings.
+                let header = DispatchHeader::compile(
+                    &mut self.enter_arena,
+                    usize::MAX,
+                    0,
+                    true,
+                    cross_ix,
+                    PatternKind::ImmortalExchange,
+                    AreaId::IMMORTAL,
+                    &[],
+                    false,
+                    true,
+                );
+                let b = self.compiled[client_slot]
+                    .iter_mut()
+                    .find(|b| b.port.as_ref() == port)
+                    .expect("found above");
+                b.header = header;
+                OldAsyncBinding::Compiled(old)
+            }
+            Mode::UltraMerge => unreachable!("rejected above"),
+        };
+        self.cross_out.push(tx);
+        self.recompile_port_jump();
+        Ok(AsyncRepointUndo {
+            client_slot,
+            port: port.to_string(),
+            cross_ix,
+            old,
+        })
+    }
+
+    /// Rolls back a [`System::repoint_async_to_cross`]: the appended ring
+    /// producer is retired (journals replay LIFO, so it is necessarily the
+    /// newest `cross_out` entry — truncation cannot disturb ring indices
+    /// baked into other compiled slots) and the previous binding state is
+    /// restored byte-identically.
+    pub(crate) fn restore_async_binding(&mut self, undo: AsyncRepointUndo) {
+        debug_assert_eq!(
+            undo.cross_ix + 1,
+            self.cross_out.len(),
+            "async repoint rollback out of journal order"
+        );
+        self.cross_out.truncate(undo.cross_ix);
+        match undo.old {
+            OldAsyncBinding::Reified(t) => {
+                let m = self.membranes[undo.client_slot]
+                    .as_mut()
+                    .expect("membrane present outside invocation");
+                m.binding.bind(undo.port, t);
+                m.binding.compile_jump(&self.port_names);
+            }
+            OldAsyncBinding::Compiled(h) => {
+                let b = self.compiled[undo.client_slot]
+                    .iter_mut()
+                    .find(|b| b.port.as_ref() == undo.port.as_str())
+                    .expect("repointed binding still present");
+                b.header = h;
+            }
+        }
+        self.recompile_port_jump();
+    }
+
+    /// A structural fingerprint of the reconfigurable state — lifecycle,
+    /// domains, areas, scope chains, activation plans, binding tables,
+    /// compiled dispatch headers, jump tables, contracts and fault
+    /// policies. Deliberately **excludes** traffic state (ledgers,
+    /// histograms, ring/buffer contents, supervision counters): a refused
+    /// transaction must restore this digest bit-for-bit even though the
+    /// quiescence epoch that preceded it legitimately delivered messages.
+    /// The reconfiguration suites and the `reconfig-gate` artifact assert
+    /// on it.
+    #[must_use]
+    pub fn structural_digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        use std::hash::{Hash, Hasher};
+        let mut s = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = write!(
+                s,
+                "n{i}:{};{};{};{:?};{};{:?};{:?};{:?}|",
+                n.name,
+                n.started,
+                n.quarantined,
+                n.domain_ix,
+                n.area_ix,
+                n.priority,
+                n.ceiling,
+                n.scope_chain
+            );
+        }
+        for (i, p) in self.activation_plans.iter().enumerate() {
+            let _ = write!(s, "a{i}:{p:?}|");
+        }
+        for (i, name) in self.port_names.iter().enumerate() {
+            let _ = write!(s, "p{i}:{name}|");
+        }
+        for (i, row) in self.port_jump.iter().enumerate() {
+            let _ = write!(s, "j{i}:{row:?}|");
+        }
+        match self.mode {
+            Mode::Soleil => {
+                for (i, m) in self.membranes.iter().enumerate() {
+                    let Some(m) = m else { continue };
+                    for (port, t) in m.binding.entries() {
+                        let _ = write!(s, "b{i}:{port}->{t:?}|");
+                    }
+                }
+            }
+            Mode::MergeAll => {
+                for (i, row) in self.compiled.iter().enumerate() {
+                    for b in row {
+                        let _ = write!(s, "c{i}:{}:{:?}|", b.port, b.header);
+                    }
+                }
+            }
+            Mode::UltraMerge => {
+                for (i, r) in self.ultra_ranges.iter().enumerate() {
+                    let _ = write!(s, "u{i}:{r:?}|");
+                }
+            }
+        }
+        for (i, m) in self.monitors.iter().enumerate() {
+            if let Some(m) = m {
+                let _ = write!(s, "m{i}:{:?}|", m.contract);
+            }
+        }
+        for (i, sup) in self.supervisors.iter().enumerate() {
+            let _ = write!(s, "s{i}:{:?}|", sup.policy);
+        }
+        let _ = write!(s, "x:{}|o:{:?}", self.cross_out.len(), self.periodic_order);
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
     }
 
     /// Tears the system down: stops every component (running `on_stop`
@@ -2341,7 +2792,9 @@ impl<P: Payload> System<P> {
             // distinguished by the payload's tag bit.
             if fired.payload & RESTART_TAG != 0 {
                 self.stats.timer_fires += 1;
-                self.restart_slot((fired.payload & !RESTART_TAG) as usize)?;
+                let slot = (fired.payload & !RESTART_TAG) as usize;
+                self.supervisors[slot].restart_timer = None;
+                self.restart_slot(slot)?;
                 continue;
             }
             let slot = fired.payload as usize;
@@ -2523,8 +2976,10 @@ impl<P: Payload> System<P> {
                     sup.restarts_in_window += 1;
                     sup.attempt += 1;
                 }
-                self.timers
+                let handle = self
+                    .timers
                     .schedule(at, priority, slot as u32 | RESTART_TAG)?;
+                self.supervisors[slot].restart_timer = Some(handle);
                 Ok(())
             }
         }
@@ -2587,6 +3042,11 @@ impl<P: Payload> System<P> {
         sup.quarantined = false;
         sup.fault_detail = None;
         sup.restarts += 1;
+        // A manual restart landing before the backoff expires supersedes
+        // the armed timer; the restart path is idempotent, but the stale
+        // fire would double-count `timer_fires` and could revive a slot
+        // re-quarantined in between.
+        self.cancel_restart_timer(slot);
         Ok(())
     }
 
@@ -2608,6 +3068,12 @@ impl<P: Payload> System<P> {
             return Err(FrameworkError::Content(format!("bad slot {slot}")));
         }
         let prev = self.supervisors[slot].policy;
+        if prev != policy {
+            // The old policy's pending restart must not fire under the new
+            // one: rollback restores policies through this same path, so a
+            // rolled-back `Restart` policy disarms its timer automatically.
+            self.cancel_restart_timer(slot);
+        }
         self.supervisors[slot].policy = policy;
         Ok(prev)
     }
@@ -2975,6 +3441,10 @@ impl<P: Payload> Ports<P> for SoleilPorts<'_, P> {
         self.sys.intern_port(client_port)
     }
 
+    fn intern_generation(&self) -> u32 {
+        self.sys.dispatch_generation
+    }
+
     fn call_interned(&mut self, id: PortId, msg: &mut P) -> Result<(), FrameworkError> {
         // Jump-table resolve through the membrane's compiled table: one
         // index, no string compare — the name only resurfaces on the cold
@@ -3051,6 +3521,10 @@ impl<P: Payload> Ports<P> for CompiledPorts<'_, P> {
 
     fn intern(&self, client_port: &str) -> Option<PortId> {
         self.sys.intern_port(client_port)
+    }
+
+    fn intern_generation(&self) -> u32 {
+        self.sys.dispatch_generation
     }
 
     fn call_interned(&mut self, id: PortId, msg: &mut P) -> Result<(), FrameworkError> {
@@ -4450,6 +4924,86 @@ mod tests {
             report.by_code("SOL-021").any(|d| d.subject == "producer"),
             "{report}"
         );
+    }
+
+    /// Satellite regression: an explicit stop must disarm the pending
+    /// supervised-restart timer — a stale handle firing later would revive
+    /// the component behind the operator's back.
+    #[test]
+    fn stop_disarms_a_pending_supervised_restart() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let producer = sys.slot_of("producer").unwrap();
+        sys.set_fault_policy_at(
+            producer,
+            FaultPolicy::Restart {
+                max_restarts: 3,
+                window: RelativeTime::from_millis(3_600_000),
+                backoff: RelativeTime::from_millis(50),
+            },
+        )
+        .unwrap();
+        sys.install_fault_injector_at(
+            producer,
+            FaultInjector::new("producer", 5, 1).with_menu(FaultInjector::MENU_ERROR),
+        )
+        .unwrap();
+        sys.run_tick().unwrap();
+        assert!(sys.quarantined_at(producer));
+        assert_eq!(sys.armed_timers(), 1, "backoff restart pending");
+
+        sys.stop_at(producer).unwrap();
+        assert_eq!(sys.armed_timers(), 0, "stop cancelled the stale handle");
+
+        // Well past the 50ms backoff (quantum 10ms): no ghost restart.
+        for _ in 0..20 {
+            sys.run_tick().unwrap();
+        }
+        assert!(!sys.node_started(producer), "stopped stays stopped");
+        let (_, restarts, _) = sys.supervision_counts_at(producer);
+        assert_eq!(restarts, 0, "the cancelled timer never fired");
+    }
+
+    /// Satellite regression: changing the fault policy disarms the old
+    /// policy's pending restart (while re-declaring the *same* policy
+    /// leaves it armed).
+    #[test]
+    fn policy_change_disarms_the_previous_policys_restart() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let producer = sys.slot_of("producer").unwrap();
+        let restart = FaultPolicy::Restart {
+            max_restarts: 3,
+            window: RelativeTime::from_millis(3_600_000),
+            backoff: RelativeTime::from_millis(50),
+        };
+        sys.set_fault_policy_at(producer, restart).unwrap();
+        sys.install_fault_injector_at(
+            producer,
+            FaultInjector::new("producer", 5, 1).with_menu(FaultInjector::MENU_ERROR),
+        )
+        .unwrap();
+        sys.run_tick().unwrap();
+        assert_eq!(sys.armed_timers(), 1, "backoff restart pending");
+
+        // Re-declaring the identical policy is a no-op for the timer…
+        sys.set_fault_policy_at(producer, restart).unwrap();
+        assert_eq!(sys.armed_timers(), 1, "same policy keeps the restart");
+
+        // …but an actual change disarms it: Isolate must never observe a
+        // restart it would not itself have scheduled.
+        sys.set_fault_policy_at(producer, FaultPolicy::Isolate)
+            .unwrap();
+        assert_eq!(sys.armed_timers(), 0, "stale handle cancelled");
+        for _ in 0..20 {
+            sys.run_tick().unwrap();
+        }
+        assert!(
+            sys.quarantined_at(producer),
+            "no restart fired under Isolate"
+        );
+        let (_, restarts, _) = sys.supervision_counts_at(producer);
+        assert_eq!(restarts, 0);
     }
 
     /// Satellite regression: an aborted tick names both the faulting

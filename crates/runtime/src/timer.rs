@@ -197,6 +197,29 @@ impl<T> TimerQueue<T> {
         true
     }
 
+    /// Disarms every armed timer whose payload matches `pred`, returning
+    /// how many were cancelled. The sweep companion to
+    /// [`cancel`](TimerQueue::cancel) for callers that do not hold the
+    /// handles — reconfiguration rollback and component teardown use it to
+    /// guarantee no stale release (e.g. a supervised-restart timer armed
+    /// mid-backoff) can fire for a component that was stopped, rebound, or
+    /// rolled back out from under it. O(capacity); allocation-free like
+    /// every other operation on the queue.
+    pub fn cancel_where(&mut self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let mut cancelled = 0;
+        for (ix, slot) in self.slots.iter_mut().enumerate() {
+            if slot.armed && slot.payload.as_ref().is_some_and(&mut pred) {
+                slot.armed = false;
+                slot.payload = None;
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(ix as u32);
+                self.armed -= 1;
+                cancelled += 1;
+            }
+        }
+        cancelled
+    }
+
     /// The earliest armed deadline, skimming stale heap entries off the
     /// top as a side effect. `None` when nothing is armed.
     pub fn next_deadline(&mut self) -> Option<AbsoluteTime> {
@@ -295,6 +318,23 @@ mod tests {
         assert!(!q.cancel(h1));
         assert_eq!(q.pop_due(t(200)).map(|f| f.payload), Some(2));
         assert!(!q.cancel(h2));
+    }
+
+    #[test]
+    fn cancel_where_sweeps_matching_payloads() {
+        let mut q = TimerQueue::with_capacity(8);
+        q.schedule(t(100), p(1), "restart:a").unwrap();
+        let keep = q.schedule(t(200), p(1), "release:b").unwrap();
+        q.schedule(t(300), p(1), "restart:a").unwrap();
+        assert_eq!(q.cancel_where(|pl| pl.starts_with("restart:")), 2);
+        assert_eq!(q.armed(), 1);
+        // The survivors are untouched, their handles stay live, and the
+        // freed slots are reusable.
+        assert_eq!(q.pop_due(t(1_000)).map(|f| f.payload), Some("release:b"));
+        assert!(!q.cancel(keep), "fired handle is stale");
+        assert_eq!(q.cancel_where(|_| true), 0, "empty sweep is a no-op");
+        q.schedule(t(400), p(1), "restart:a").unwrap();
+        assert_eq!(q.armed(), 1);
     }
 
     #[test]

@@ -375,3 +375,175 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Parity across a rebind boundary
+// ---------------------------------------------------------------------------
+
+/// Builds the rebind fixture: a periodic hub whose sync port `p0` starts
+/// bound to `svcA` (step 7) and is live-rebound to `svcB` (step 70), with
+/// the matching architectural model so `Deployment::reconfigure` can
+/// re-validate the transaction.
+fn rebind_fixture(
+    interned: bool,
+    log: Log,
+) -> (
+    SystemSpec,
+    soleil_core::Architecture,
+    ContentRegistry<Probe>,
+) {
+    let spec = SystemSpec {
+        name: "rebind-parity".into(),
+        areas: vec![AreaSpec {
+            name: "imm".into(),
+            kind: MemoryKind::Immortal,
+            size: Some(128 * 1024),
+            parent: None,
+        }],
+        domains: vec![DomainSpec {
+            name: "rt".into(),
+            kind: ThreadKind::Realtime,
+            priority: 20,
+        }],
+        components: vec![
+            ComponentSpec {
+                name: "hub".into(),
+                content_class: "Hub".into(),
+                activation: Activation::Periodic {
+                    period: RelativeTime::from_millis(10),
+                },
+                domain: Some(0),
+                area: 0,
+                server_ports: vec![],
+                ceiling: None,
+            },
+            ComponentSpec {
+                name: "svcA".into(),
+                content_class: "AdderA".into(),
+                activation: Activation::Passive,
+                domain: None,
+                area: 0,
+                server_ports: vec!["s".into()],
+                ceiling: None,
+            },
+            ComponentSpec {
+                name: "svcB".into(),
+                content_class: "AdderB".into(),
+                activation: Activation::Passive,
+                domain: None,
+                area: 0,
+                server_ports: vec!["s".into()],
+                ceiling: None,
+            },
+        ],
+        bindings: vec![BindingSpec {
+            client: 0,
+            client_port: SYNC_PORTS[0].into(),
+            server: 1,
+            server_port: "s".into(),
+            protocol: ProtocolSpec::Sync,
+            pattern: PatternKind::Direct,
+            enter_path: vec![],
+        }],
+    };
+
+    let mut bv = soleil_core::views::BusinessView::new("rebind-parity");
+    bv.active_periodic("hub", "10ms").unwrap();
+    bv.passive("svcA").unwrap();
+    bv.passive("svcB").unwrap();
+    bv.content("hub", "Hub").unwrap();
+    bv.content("svcA", "AdderA").unwrap();
+    bv.content("svcB", "AdderB").unwrap();
+    bv.require("hub", SYNC_PORTS[0], "I").unwrap();
+    bv.provide("svcA", "s", "I").unwrap();
+    bv.provide("svcB", "s", "I").unwrap();
+    bv.bind_sync("hub", SYNC_PORTS[0], "svcA", "s").unwrap();
+    let mut flow = soleil_core::views::DesignFlow::new(bv);
+    flow.thread_domain("rt", rtsj::thread::ThreadKind::Realtime, 20, &["hub"])
+        .unwrap();
+    flow.memory_area(
+        "imm",
+        rtsj::memory::MemoryKind::Immortal,
+        Some(128 * 1024),
+        &["rt", "svcA", "svcB"],
+    )
+    .unwrap();
+    let arch = flow
+        .merge()
+        .unwrap()
+        .into_validated()
+        .unwrap()
+        .architecture()
+        .clone();
+
+    let script = vec![Op::Call(0)];
+    let reg = {
+        let mut r = ContentRegistry::new();
+        let hub_log = log.clone();
+        if interned {
+            r.register("Hub", move || {
+                Box::new(InternedHub {
+                    script: script.clone(),
+                    ports: (0..=8).map(|ix| InternedPort::new(port_of(ix))).collect(),
+                    log: hub_log.clone(),
+                })
+            });
+        } else {
+            r.register("Hub", move || {
+                Box::new(StringHub {
+                    script: script.clone(),
+                    log: hub_log.clone(),
+                })
+            });
+        }
+        r.register("AdderA", || Box::new(Adder { step: 7 }));
+        r.register("AdderB", || Box::new(Adder { step: 70 }));
+        r
+    };
+    (spec, arch, reg)
+}
+
+/// Runs transactions across a live rebind boundary with one dispatch
+/// variant: pre-rebind activations hit `svcA`, then `p0` is rebound to
+/// `svcB` and the same script runs again.
+fn run_rebind_variant(mode: soleil_runtime::Mode, interned: bool) -> Vec<String> {
+    use soleil_runtime::Deployment;
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let (spec, arch, reg) = rebind_fixture(interned, log.clone());
+    let mut dep = Deployment::build(&spec, mode, &reg, arch).expect("build");
+    let hub = dep.resolve("hub").unwrap();
+    let svc_b = dep.resolve("svcB").unwrap();
+    for _ in 0..3 {
+        dep.run_transaction(hub).expect("pre-rebind transaction");
+    }
+    dep.reconfigure(|txn| txn.rebind(hub, SYNC_PORTS[0], svc_b))
+        .expect("rebind commits");
+    for _ in 0..3 {
+        dep.run_transaction(hub).expect("post-rebind transaction");
+    }
+    let events = log.lock().unwrap().clone();
+    events
+}
+
+/// Satellite regression: an [`InternedPort`] memo minted before a rebind
+/// must not keep dispatching into the old server. Interned and string
+/// dispatch must agree on every event across the rebind boundary, and the
+/// post-rebind events must actually reach the new server.
+#[test]
+fn interned_dispatch_survives_a_rebind_boundary() {
+    for mode in [soleil_runtime::Mode::Soleil, soleil_runtime::Mode::MergeAll] {
+        let string_events = run_rebind_variant(mode, false);
+        let interned_events = run_rebind_variant(mode, true);
+        assert_eq!(
+            interned_events, string_events,
+            "{mode}: dispatch variants diverged across the rebind"
+        );
+        // 3 activations into svcA (+7 each), then 3 into svcB (+70 each):
+        // a stale memo would keep printing value=7.
+        let expect: Vec<String> = ["7", "7", "7", "70", "70", "70"]
+            .iter()
+            .map(|v| format!("Call(0) value={v} ok"))
+            .collect();
+        assert_eq!(interned_events, expect, "{mode}: rebind took effect");
+    }
+}

@@ -109,6 +109,80 @@ fn build(mode: Mode) -> Result<(Deployment<Alert>, HandledCounter, HandledCounte
     Ok((dep, primary_count, backup_count))
 }
 
+/// Fans every alert out on both client ports (the parallel fixture's head).
+#[derive(Debug, Default)]
+struct FanProducer {
+    n: u32,
+}
+impl Content<Alert> for FanProducer {
+    fn on_invoke(
+        &mut self,
+        _port: &str,
+        msg: &mut Alert,
+        out: &mut dyn Ports<Alert>,
+    ) -> InvokeResult {
+        self.n += 1;
+        msg.code = self.n;
+        out.send("out1", *msg)?;
+        out.send("out2", *msg)
+    }
+}
+
+/// A sharded fan-out: the producer runs on its own shard and feeds two
+/// consumers over cross-shard rings; a synchronous peer binding couples
+/// the consumers' domains into one shard, which is what makes the
+/// same-shard `reassign_domain` below legal.
+fn build_parallel(
+    mode: Mode,
+) -> Result<(ParallelSystem<Alert>, HandledCounter, HandledCounter), SoleilError> {
+    let mut b = BusinessView::new("adaptive-parallel");
+    b.active_periodic("producer", "10ms")?;
+    b.active_sporadic("consumerB")?;
+    b.active_sporadic("consumerC")?;
+    b.content("producer", "FanImpl")?;
+    b.content("consumerB", "ConsoleB")?;
+    b.content("consumerC", "ConsoleC")?;
+    b.require("producer", "out1", "IConsole")?;
+    b.require("producer", "out2", "IConsole")?;
+    b.require("consumerB", "peer", "IConsole")?;
+    b.provide("consumerB", "in", "IConsole")?;
+    b.provide("consumerC", "in", "IConsole")?;
+    b.bind_async("producer", "out1", "consumerB", "in", 64)?;
+    b.bind_async("producer", "out2", "consumerC", "in", 64)?;
+    b.bind_sync("consumerB", "peer", "consumerC", "in")?;
+
+    let mut flow = DesignFlow::new(b);
+    flow.thread_domain("A", ThreadKind::NoHeapRealtime, 30, &["producer"])?;
+    flow.thread_domain("B", ThreadKind::NoHeapRealtime, 25, &["consumerB"])?;
+    flow.thread_domain("C", ThreadKind::Realtime, 20, &["consumerC"])?;
+    flow.memory_area("ImmA", MemoryKind::Immortal, Some(256 * 1024), &["A"])?;
+    flow.memory_area("ImmB", MemoryKind::Immortal, Some(256 * 1024), &["B"])?;
+    flow.memory_area("ImmC", MemoryKind::Immortal, Some(256 * 1024), &["C"])?;
+    let arch = flow.merge()?.into_validated()?;
+
+    let b_count = HandledCounter::default();
+    let c_count = HandledCounter::default();
+    let mut registry: ContentRegistry<Alert> = ContentRegistry::new();
+    registry.register("FanImpl", || Box::new(FanProducer::default()));
+    let bc = b_count.clone();
+    registry.register("ConsoleB", move || {
+        Box::new(NamedConsole {
+            name: "consumerB",
+            handled: bc.clone(),
+        })
+    });
+    let cc = c_count.clone();
+    registry.register("ConsoleC", move || {
+        Box::new(NamedConsole {
+            name: "consumerC",
+            handled: cc.clone(),
+        })
+    });
+
+    let sys = soleil::generator::deploy_parallel(&arch, mode, &registry)?;
+    Ok((sys, b_count, c_count))
+}
+
 fn main() -> Result<(), SoleilError> {
     // --- SOLEIL: full membrane-level adaptation ------------------------
     println!("== SOLEIL mode ==");
@@ -251,5 +325,63 @@ fn main() -> Result<(), SoleilError> {
         "  static system kept running: primary={}",
         primary.load(std::sync::atomic::Ordering::Relaxed)
     );
+
+    // --- PARALLEL: live reconfiguration of a running partition -----------
+    // The same transaction discipline, across the shard boundary: the
+    // engine drives every shard to a quiescence epoch (rings drained),
+    // applies the batch through per-shard undo journals, re-validates at
+    // commit, and rolls back byte-identically on refusal.
+    println!("\n== PARALLEL deployment (SOLEIL mode) ==");
+    let (mut sys, b_count, c_count) = build_parallel(Mode::Soleil)?;
+    let load = |c: &HandledCounter| c.load(std::sync::atomic::Ordering::Relaxed);
+    println!("  shards: {}", sys.shard_count());
+    sys.run_ticks(10)?;
+    println!(
+        "  before reconfiguration: consumerB={}, consumerC={}",
+        load(&b_count),
+        load(&c_count)
+    );
+
+    // One committed transaction under live traffic: rewire the out1 ring
+    // across shards, re-seat consumerB onto domain C (re-homing its
+    // allocation region from ImmB into ImmC), and swap a fault policy.
+    println!("  ... transaction: rebind_async out1 -> consumerC, re-home consumerB, Isolate ...");
+    sys.reconfigure(|txn| {
+        txn.rebind_async("producer", "out1", "consumerC")?;
+        txn.reassign_domain("consumerB", "C")?;
+        txn.set_fault_policy("consumerC", FaultPolicy::Isolate)
+    })?;
+    sys.run_ticks(10)?;
+    println!(
+        "  after reconfiguration:  consumerB={}, consumerC={}",
+        load(&b_count),
+        load(&c_count)
+    );
+    assert_eq!((load(&b_count), load(&c_count)), (10, 30));
+    assert_eq!(sys.stats().dropped_messages, 0, "epochs drain, never drop");
+
+    // A refused transaction rolls every shard back byte-identically —
+    // witnessed by the per-shard structural digests.
+    let digests = sys.structural_digests();
+    let refused = sys.reconfigure(|txn| -> Result<(), FrameworkError> {
+        txn.rebind_async("producer", "out2", "consumerB")?;
+        txn.reassign_domain("consumerB", "B")?;
+        Err(FrameworkError::Content(
+            "operator changed their mind".into(),
+        ))
+    });
+    println!(
+        "  refused transaction rolled back: {}",
+        refused.unwrap_err()
+    );
+    assert_eq!(sys.structural_digests(), digests, "byte-identical rollback");
+    sys.run_ticks(5)?;
+    assert_eq!((load(&b_count), load(&c_count)), (10, 40));
+
+    // Components never migrate across the static domain partition.
+    match sys.reconfigure(|txn| txn.reassign_domain("consumerB", "A")) {
+        Err(e) => println!("  cross-shard migration refused: {e}"),
+        Ok(()) => panic!("cross-shard reassign_domain must be refused"),
+    }
     Ok(())
 }

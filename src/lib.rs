@@ -132,8 +132,9 @@ pub mod prelude {
     pub use crate::runtime::instrument::measure_steady;
     pub use crate::runtime::system::RELEASE_PORT;
     pub use crate::runtime::{
-        ComponentRef, Deployment, EngineStats, FaultPolicy, FootprintReport, Mode, ParallelSystem,
-        PortRef, Reconfiguration, ShardRun, System, SystemSpec, TimerHandle, TimerQueue,
+        ComponentRef, Deployment, EngineStats, FaultPolicy, FootprintReport, Mode,
+        ParallelReconfiguration, ParallelSystem, PortRef, Reconfiguration, ShardRun, System,
+        SystemSpec, TimerHandle, TimerQueue,
     };
     pub use crate::{SoleilError, SoleilResult};
     pub use rtsj::time::{AbsoluteTime, RelativeTime};

@@ -516,11 +516,12 @@ fn reassign_domain_transactionally() {
     assert_eq!(arch_now.component(domain_id).unwrap().name, "rt-low");
 }
 
-/// A domain move that would re-home the component's memory area is
-/// refused: the engine allocated its state at bootstrap and cannot migrate
-/// it, so the architectural model must not drift from the live placement.
+/// A domain move that re-homes the component's memory area migrates the
+/// allocation region with it (checkpoint/handoff): the architectural model
+/// and the live placement move together, and a rolled-back transaction
+/// restores both.
 #[test]
-fn reassign_domain_across_memory_areas_is_refused() {
+fn reassign_domain_across_memory_areas_rehomes_the_region() {
     let mut bv = BusinessView::new("cross-area-domains");
     bv.active_periodic("caller", "5ms").unwrap();
     bv.passive("svc-a").unwrap();
@@ -559,14 +560,17 @@ fn reassign_domain_across_memory_areas_is_refused() {
             .parents_of(dep.architecture().id_of("caller").unwrap())
     );
 
-    // rt-heap lives inside the heap area: re-homing caller there would
-    // move its allocation region, which the engine cannot do.
+    // A transaction that moves caller into rt-heap and then fails rolls
+    // the migration back: edges, region and engine all pre-transaction.
     let err = dep
-        .reconfigure(|txn| txn.reassign_domain(caller, "rt-heap"))
+        .reconfigure(|txn| {
+            txn.reassign_domain(caller, "rt-heap")?;
+            Err::<(), _>(FrameworkError::Content(
+                "operator changed their mind".into(),
+            ))
+        })
         .unwrap_err();
-    assert!(matches!(err, FrameworkError::Unsupported(_)), "got {err}");
-
-    // Architectural model untouched; the engine still runs as deployed.
+    assert!(matches!(err, FrameworkError::Content(_)), "got {err}");
     let arch_now = dep.architecture();
     let caller_id = arch_now.id_of("caller").unwrap();
     assert_eq!(format!("{:?}", arch_now.parents_of(caller_id)), arch_before);
@@ -574,6 +578,20 @@ fn reassign_domain_across_memory_areas_is_refused() {
     assert_eq!(arch_now.component(area_id).unwrap().name, "imm");
     dep.run_transaction(caller).unwrap();
     assert_eq!(a.load(Ordering::Relaxed), 1);
+
+    // rt-heap lives inside the heap area: committing the same move
+    // re-homes caller's allocation region along with the domain edge.
+    dep.reconfigure(|txn| txn.reassign_domain(caller, "rt-heap"))
+        .unwrap();
+    let arch_now = dep.architecture();
+    let (domain_id, _) = arch_now.thread_domain_of(caller_id).unwrap();
+    assert_eq!(arch_now.component(domain_id).unwrap().name, "rt-heap");
+    let (area_id, _) = arch_now.memory_area_of(caller_id).unwrap();
+    assert_eq!(arch_now.component(area_id).unwrap().name, "heap");
+
+    // The engine still dispatches through the recompiled plans.
+    dep.run_transaction(caller).unwrap();
+    assert_eq!(a.load(Ordering::Relaxed), 2);
 }
 
 #[test]
@@ -896,4 +914,60 @@ fn steady_state_performs_no_substrate_allocations() {
             "{mode}"
         );
     }
+}
+
+/// Satellite regression: a refused transaction that swapped the fault
+/// policy mid-backoff must not leave a stale restart handle armed. The
+/// policy change disarms the pending supervised restart, and rollback —
+/// which restores the policy through the same path — must not resurrect
+/// it: a restart may only fire under the policy that scheduled it.
+#[test]
+fn refused_policy_swap_mid_backoff_leaves_no_stale_restart_handle() {
+    let Fixture { mut dep, .. } = fixture(Mode::MergeAll);
+    let caller = dep.resolve("caller").unwrap();
+    dep.set_fault_policy(
+        caller,
+        FaultPolicy::Restart {
+            max_restarts: 3,
+            window: RelativeTime::from_millis(3_600_000),
+            backoff: RelativeTime::from_millis(50),
+        },
+    )
+    .unwrap();
+    dep.install_fault_injector(
+        caller,
+        FaultInjector::new("caller", 5, 1).with_menu(FaultInjector::MENU_ERROR),
+    )
+    .unwrap();
+    dep.run_tick().unwrap();
+    assert!(dep.quarantined(caller).unwrap());
+    assert_eq!(dep.armed_timers(), 1, "backoff restart pending");
+
+    // The transaction swaps the policy mid-backoff, then fails.
+    let err = dep
+        .reconfigure(|txn| {
+            txn.set_fault_policy(caller, FaultPolicy::Isolate)?;
+            Err::<(), _>(FrameworkError::Content("refused".into()))
+        })
+        .unwrap_err();
+    assert!(matches!(err, FrameworkError::Content(_)), "got {err}");
+
+    // Rollback restored the Restart policy, but the handle armed before
+    // the transaction is gone for good: cancelled timers cannot be
+    // resurrected, and a ghost restart must never fire across a policy
+    // transition the transaction abandoned.
+    assert!(matches!(
+        dep.fault_policy(caller).unwrap(),
+        FaultPolicy::Restart { .. }
+    ));
+    assert_eq!(dep.armed_timers(), 0, "no stale handle survives rollback");
+
+    // Well past the 50ms backoff (quantum 5ms): still quarantined, zero
+    // supervised restarts.
+    for _ in 0..20 {
+        dep.run_tick().unwrap();
+    }
+    assert!(dep.quarantined(caller).unwrap(), "no ghost restart");
+    let (_, restarts, _) = dep.supervision_counts(caller).unwrap();
+    assert_eq!(restarts, 0);
 }
