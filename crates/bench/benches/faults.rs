@@ -7,7 +7,9 @@
 //! itself is only read after a fault. The `supervised_transaction` group
 //! measures that claim end-to-end — a bare transaction vs. one with a
 //! restart policy attached vs. one with policy *and* an idle (rate-0)
-//! injector compiled into the plan; the three must be indistinguishable.
+//! injector compiled into the plan vs. one whose head additionally sits
+//! in a supervision tree with the Checkpoint capability capturing at
+//! every activation; all four must be indistinguishable.
 //! The `quarantine_drop` function prices the unhealthy path: a
 //! transaction whose downstream consumer is quarantined count-drops the
 //! message at the gate instead of activating it.
@@ -20,10 +22,11 @@ use soleil::scenario::{motivation_validated, registry};
 fn bench_supervised_transaction(c: &mut Criterion) {
     let arch = motivation_validated().expect("fixture validates");
     let mut group = c.benchmark_group("supervised_transaction");
-    for (label, policy, injector) in [
-        ("bare", false, false),
-        ("policy", true, false),
-        ("policy_idle_injector", true, true),
+    for (label, policy, injector, checkpoint) in [
+        ("bare", false, false, false),
+        ("policy", true, false, false),
+        ("policy_idle_injector", true, true, false),
+        ("policy_checkpoint", true, false, true),
     ] {
         let mut sys = deploy(&arch, Mode::MergeAll, &registry()).expect("deploys");
         let head = sys.resolve("ProductionLine").expect("head");
@@ -44,6 +47,16 @@ fn bench_supervised_transaction(c: &mut Criterion) {
         if injector {
             sys.install_fault_injector(head, FaultInjector::new("ProductionLine", 0xC0FFEE, 0))
                 .expect("idle injector installs");
+        }
+        if checkpoint {
+            // Worst case for the healthy path: a supervision tree above
+            // the head plus a cadence-1 checkpoint capturing the head's
+            // warm state into its preallocated image on every activation.
+            let monitor = sys.resolve("MonitoringSystem").expect("monitor");
+            let audit = sys.resolve("AuditLog").expect("audit");
+            sys.set_supervisor(head, Some(monitor)).expect("edge");
+            sys.set_supervisor(monitor, Some(audit)).expect("edge");
+            sys.enable_checkpoint(head, 1).expect("capability enables");
         }
         group.bench_function(label, |b| {
             b.iter(|| sys.run_transaction(head).expect("transaction"));

@@ -23,8 +23,13 @@
 //! post-commit steady state allocation-free, miss no deadline and restore
 //! a refused probe transaction byte-identically, while ULTRA-MERGE refuses
 //! to reconfigure at all; exits non-zero otherwise, never part of `all`),
-//! `all` (default). Raw observation CSVs are written to
-//! `target/experiments/`.
+//! `recovery-gate` (supervision-tree gate: seeded virtual-time fault
+//! campaigns against all three modes must recover every quarantine within
+//! the declared backoff budget, witness warm state across at least one
+//! checkpointed restart, record the declared escalation path as SOL-023
+//! and balance the conservation ledger at quiescence; exits non-zero
+//! otherwise, never part of `all`), `all` (default). Raw observation CSVs
+//! are written to `target/experiments/`.
 //!
 //! `--observations N` overrides the number of measured iterations (the
 //! same count is threaded into the emitted JSON, never hardcoded):
@@ -40,9 +45,10 @@ use soleil::SoleilError;
 
 use soleil_bench::{
     chaos_gate_failures, chaos_gate_table, codegen_table, determinism_table, fig7a_report,
-    fig7b_table, fig7c_table, reconfig_gate_failures, reconfig_gate_table, run_chaos_gate,
-    run_codegen, run_determinism, run_footprint, run_overhead, run_reconfig_gate, run_steady_state,
-    steady_state_json, steady_state_regressions,
+    fig7b_table, fig7c_table, reconfig_gate_failures, reconfig_gate_table, recovery_gate_failures,
+    recovery_gate_table, run_chaos_gate, run_codegen, run_determinism, run_footprint, run_overhead,
+    run_reconfig_gate, run_recovery_gate, run_steady_state, steady_state_json,
+    steady_state_regressions,
 };
 
 // Installs the counting global allocator so the steady artifact can report
@@ -228,7 +234,13 @@ fn main() -> Result<(), SoleilError> {
             "running chaos gate ({} seeds x 3 modes x {STORM_TICKS} ticks)...",
             SEEDS.len()
         );
-        let rows = run_chaos_gate(&SEEDS, STORM_TICKS)?;
+        // Injected panics are caught at the activation boundary; keep the
+        // default hook from spraying backtraces over the artifact.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let rows = run_chaos_gate(&SEEDS, STORM_TICKS);
+        std::panic::set_hook(hook);
+        let rows = rows?;
         let table = chaos_gate_table(&rows);
         println!("{table}");
         fs::write(out_dir.join("chaos_gate.txt"), &table)?;
@@ -282,6 +294,44 @@ fn main() -> Result<(), SoleilError> {
         ran = true;
     }
 
+    // The supervision-tree recovery gate: seeded virtual-time fault
+    // campaigns must recover bounded and warm. Like the other gates, it
+    // fails the process and is never part of `all`.
+    if what == "recovery-gate" {
+        const SEEDS: [u64; 3] = [11, 0xC0FF_EE00, 0x5EED_0042];
+        const STORM_TICKS: u64 = 200;
+        eprintln!(
+            "running recovery gate ({} seeds x 3 modes x {STORM_TICKS} ticks, virtual time)...",
+            SEEDS.len()
+        );
+        // Injected panics are caught at the activation boundary; keep the
+        // default hook from spraying backtraces over the artifact.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let rows = run_recovery_gate(&SEEDS, STORM_TICKS);
+        std::panic::set_hook(hook);
+        let rows = rows?;
+        let table = recovery_gate_table(&rows);
+        println!("{table}");
+        fs::write(out_dir.join("recovery_gate.txt"), &table)?;
+        let failures = recovery_gate_failures(&rows);
+        if failures.is_empty() {
+            eprintln!(
+                "recovery gate passed: every quarantine recovered within the declared \
+                 budget of virtual time, warm state survived every checkpointed \
+                 restart, SOL-023 matches the declared supervision tree and the \
+                 conservation ledger balances at quiescence"
+            );
+        } else {
+            eprintln!("recovery gate FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        ran = true;
+    }
+
     if wants("determinism") {
         let rows = run_determinism(2_000)?;
         let table = determinism_table(&rows);
@@ -292,7 +342,7 @@ fn main() -> Result<(), SoleilError> {
 
     if !ran {
         eprintln!(
-            "unknown artifact '{what}'; expected fig7a | fig7b | fig7c | codegen | determinism | steady | steady-gate | chaos-gate | reconfig-gate | all"
+            "unknown artifact '{what}'; expected fig7a | fig7b | fig7c | codegen | determinism | steady | steady-gate | chaos-gate | reconfig-gate | recovery-gate | all"
         );
         std::process::exit(2);
     }

@@ -849,6 +849,271 @@ pub fn chaos_gate_table(rows: &[ChaosGateRow]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Recovery gate (supervision trees + warm-state handoff in virtual time)
+// ---------------------------------------------------------------------------
+
+/// The declared supervision tree of the recovery gate's scenario, rendered
+/// the way a SOL-023 verdict renders the walked escalation path: every
+/// fault originates at `ProductionLine`, escalates through
+/// `MonitoringSystem` and is contained by `AuditLog`'s restart policy.
+pub const RECOVERY_TREE: &str = "ProductionLine -> MonitoringSystem -> AuditLog";
+
+/// The recovery budget the gate declares: quarantine-to-health in virtual
+/// time. The restart backoff is 1 ms doubling inside a 50 ms window (so at
+/// most ~4 ms before the window rolls), but a restarted head can be
+/// re-faulted by the storm on its first release back, chaining episodes —
+/// the budget grants a dozen 10 ms release quanta to cover such streaks.
+pub fn recovery_budget() -> RelativeTime {
+    RelativeTime::from_millis(120)
+}
+
+/// One seeded recovery campaign against one generation mode: the
+/// virtual-time recovery metrics plus the warm-state and verdict evidence
+/// [`recovery_gate_failures`] judges.
+#[derive(Debug, Clone)]
+pub struct RecoveryGateRow {
+    /// Generation mode the campaign ran against.
+    pub mode: String,
+    /// The storm's seed.
+    pub seed: u64,
+    /// Storm ticks driven (the disarmed settling window comes after).
+    pub ticks: u64,
+    /// Virtual time elapsed across the storm — release quanta plus every
+    /// injected latency spike charged to the engine clock.
+    pub elapsed_virtual: RelativeTime,
+    /// Faults contained by the supervision tree.
+    pub faults_contained: u64,
+    /// Supervised restarts performed through the timer queue.
+    pub restarts: u64,
+    /// Releases suppressed while watched components sat quarantined.
+    pub suppressed_releases: u64,
+    /// Deadline misses recorded while an episode was open.
+    pub deadline_misses_during_recovery: u64,
+    /// Fault episodes observed (quarantine → health transitions).
+    pub episodes: usize,
+    /// The longest quarantine-to-health interval among recovered episodes.
+    pub max_time_to_restart: Option<RelativeTime>,
+    /// Episodes still open when the storm ended (they get the settling
+    /// window to recover; components still down after it fail the gate).
+    pub open_at_storm_end: usize,
+    /// Components still quarantined after the disarmed settling window.
+    pub quarantined_after_settle: Vec<String>,
+    /// Conservation ledger at quiescence (`pushed == delivered + dropped`).
+    pub ledger_balanced: bool,
+    /// The SOL-023 escalation path recorded on the containing supervisor.
+    pub sol023_path: Option<String>,
+    /// Warm-state restores performed into fresh `ProductionLine` instances.
+    pub checkpoint_restores: u64,
+    /// Highest measurement sequence number audited downstream.
+    pub max_seq: u64,
+    /// Times an audited sequence number regressed below the running
+    /// maximum — any cold restart of the line trips this.
+    pub seq_regressions: u64,
+}
+
+/// Runs the recovery gate: for every seed and generation mode, the
+/// motivation scenario is deployed with its declared supervision tree
+/// ([`RECOVERY_TREE`]: the head escalates through monitoring into an
+/// `AuditLog` restart policy), the head's `seq` counter is carried across
+/// restarts by the Checkpoint capability, and a seeded
+/// error+panic+latency storm — virtual-clock latency spikes included —
+/// drives [`run_recovery_campaign`] for `ticks`. The injector is then
+/// disarmed and the deployment settles. Warm state is witnessed end to
+/// end: the audit trail records a sequence regression iff a restart ever
+/// lost the head's counter.
+///
+/// # Errors
+///
+/// Deployment errors, or a fault escaping the declared tree mid-storm.
+pub fn run_recovery_gate(seeds: &[u64], ticks: u64) -> HarnessResult<Vec<RecoveryGateRow>> {
+    const SETTLE_TICKS: u64 = 5;
+    let arch = motivation_validated()?;
+    let mut rows = Vec::with_capacity(seeds.len() * 3);
+    for &seed in seeds {
+        for mode in [Mode::Soleil, Mode::MergeAll, Mode::UltraMerge] {
+            let probe = ScenarioProbe::new();
+            let mut dep = deploy(&arch, mode, &registry_with_probe(&probe))?;
+            let line = dep.resolve("ProductionLine")?;
+            let monitor = dep.resolve("MonitoringSystem")?;
+            let audit = dep.resolve("AuditLog")?;
+
+            // The declared tree: faults walk line → monitor → audit, and
+            // the audit-side policy restarts the failed subtree as a unit.
+            dep.set_supervisor(line, Some(monitor))?;
+            dep.set_supervisor(monitor, Some(audit))?;
+            dep.set_fault_policy(
+                audit,
+                FaultPolicy::Restart {
+                    max_restarts: ticks as u32 + 1,
+                    window: RelativeTime::from_millis(50),
+                    backoff: RelativeTime::from_millis(1),
+                },
+            )?;
+            dep.enable_checkpoint(line, 1)?;
+            dep.install_fault_injector(
+                line,
+                FaultInjector::new("ProductionLine", seed, 4)
+                    .with_menu(
+                        FaultInjector::MENU_ERROR
+                            | FaultInjector::MENU_PANIC
+                            | FaultInjector::MENU_LATENCY,
+                    )
+                    .with_latency_spike_ns(2_000_000)
+                    .with_virtual_clock(),
+            )?;
+
+            let metrics =
+                run_recovery_campaign(&mut dep, &[line, monitor], seed, ticks).map_err(|e| {
+                    SoleilError::Framework(format!(
+                        "{mode}/seed {seed}: fault escaped the supervision tree: {e}"
+                    ))
+                })?;
+
+            // Disarm and settle: episodes still open at storm end get this
+            // window — itself far inside the budget — to restart.
+            dep.remove_fault_injector(line)?;
+            let settle = run_recovery_campaign(&mut dep, &[line, monitor], seed, SETTLE_TICKS)
+                .map_err(|e| {
+                    SoleilError::Framework(format!("{mode}/seed {seed}: settling failed: {e}"))
+                })?;
+            let quarantined_after_settle: Vec<String> = [line, monitor, audit]
+                .into_iter()
+                .filter(|c| dep.quarantined(*c).unwrap_or(false))
+                .map(|c| dep.name_of(c).unwrap_or("?").to_string())
+                .collect();
+
+            let (_, restores) = dep.checkpoint_counts(line)?.unwrap_or((0, 0));
+            rows.push(RecoveryGateRow {
+                mode: mode.to_string(),
+                seed,
+                ticks,
+                elapsed_virtual: metrics.elapsed_virtual,
+                faults_contained: metrics.faults_contained,
+                restarts: metrics.restarts + settle.restarts,
+                suppressed_releases: metrics.suppressed_releases + settle.suppressed_releases,
+                deadline_misses_during_recovery: metrics.deadline_misses_during_recovery,
+                episodes: metrics.episodes.len(),
+                max_time_to_restart: metrics.max_time_to_restart(),
+                open_at_storm_end: metrics.unrecovered(),
+                quarantined_after_settle,
+                ledger_balanced: metrics.ledger_balanced && settle.ledger_balanced,
+                sol023_path: dep.escalation_path(audit)?,
+                checkpoint_restores: restores,
+                max_seq: probe.max_seq(),
+                seq_regressions: probe.seq_regressions(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Judges the recovery-gate rows: a failure line per campaign that was
+/// inert (no fault contained, no restart performed), recovered slower than
+/// the declared budget, left a component quarantined after the settling
+/// window, lost a message off the conservation ledger, recorded an
+/// escalation path other than the declared tree, or failed the warm-state
+/// witness (no checkpoint restore, or an audited sequence regression
+/// betraying a cold restart). An empty result means the gate passes.
+pub fn recovery_gate_failures(rows: &[RecoveryGateRow]) -> Vec<String> {
+    let budget = recovery_budget();
+    let mut failures = Vec::new();
+    for r in rows {
+        let tag = format!("{} seed {}", r.mode, r.seed);
+        if r.faults_contained == 0 {
+            failures.push(format!("{tag}: inert storm — no fault was contained"));
+        }
+        if r.restarts == 0 {
+            failures.push(format!("{tag}: no supervised restart was performed"));
+        }
+        if let Some(worst) = r.max_time_to_restart {
+            if worst > budget {
+                failures.push(format!(
+                    "{tag}: slowest recovery took {worst} of virtual time; the declared \
+                     budget is {budget}"
+                ));
+            }
+        }
+        for q in &r.quarantined_after_settle {
+            failures.push(format!(
+                "{tag}: '{q}' still quarantined after the disarmed settling window"
+            ));
+        }
+        if !r.ledger_balanced {
+            failures.push(format!(
+                "{tag}: conservation ledger leaked (pushed != delivered + dropped)"
+            ));
+        }
+        match r.sol023_path.as_deref() {
+            Some(RECOVERY_TREE) => {}
+            other => failures.push(format!(
+                "{tag}: SOL-023 path {other:?} does not match the declared tree \
+                 '{RECOVERY_TREE}'"
+            )),
+        }
+        if r.checkpoint_restores == 0 {
+            failures.push(format!(
+                "{tag}: warm state never witnessed — no checkpoint restore happened"
+            ));
+        }
+        if r.seq_regressions != 0 {
+            failures.push(format!(
+                "{tag}: {} audited sequence regression(s) — a restart lost the head's \
+                 warm state",
+                r.seq_regressions
+            ));
+        }
+        if r.max_seq == 0 {
+            failures.push(format!(
+                "{tag}: nothing was audited — the pipeline never ran"
+            ));
+        }
+    }
+    failures
+}
+
+/// Renders the recovery-gate rows as an aligned table.
+pub fn recovery_gate_table(rows: &[RecoveryGateRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "recovery gate: tree '{RECOVERY_TREE}', budget {} of virtual time",
+        recovery_budget()
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>9} {:>7} {:>8} {:>10} {:>9} {:>13} {:>8} {:>7}",
+        "mode",
+        "seed",
+        "virtual",
+        "faults",
+        "restarts",
+        "suppressed",
+        "episodes",
+        "worst-restart",
+        "restores",
+        "max-seq"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>9} {:>7} {:>8} {:>10} {:>9} {:>13} {:>8} {:>7}",
+            r.mode,
+            r.seed,
+            r.elapsed_virtual.to_string(),
+            r.faults_contained,
+            r.restarts,
+            r.suppressed_releases,
+            r.episodes,
+            r.max_time_to_restart
+                .map_or_else(|| "-".to_string(), |t| t.to_string()),
+            r.checkpoint_restores,
+            r.max_seq
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Reconfiguration gate (live parallel transactions under traffic)
 // ---------------------------------------------------------------------------
 
@@ -1500,6 +1765,37 @@ mod tests {
         );
         let table = chaos_gate_table(&rows);
         assert!(table.contains("SOL-020") || table.contains('-'));
+    }
+
+    #[test]
+    fn recovery_gate_recovers_warm_within_budget() {
+        let rows = run_recovery_gate(&[11, 0xC0FF_EE00, 42], 120).unwrap();
+        assert_eq!(rows.len(), 9, "three seeds x three modes");
+        let failures = recovery_gate_failures(&rows);
+        assert!(failures.is_empty(), "recovery gate failed: {failures:?}");
+        assert!(
+            rows.iter().all(|r| r.restarts > 0),
+            "every campaign must exercise the restart path"
+        );
+        assert!(
+            rows.iter()
+                .all(|r| r.elapsed_virtual >= RelativeTime::from_millis(10 * 120)),
+            "virtual time must cover the release quanta plus injected spikes"
+        );
+        let table = recovery_gate_table(&rows);
+        assert!(table.contains(RECOVERY_TREE));
+    }
+
+    #[test]
+    fn recovery_gate_failures_catch_cooked_rows() {
+        let mut rows = run_recovery_gate(&[11], 60).unwrap();
+        rows[0].seq_regressions = 3; // simulate a cold restart
+        rows[1].sol023_path = Some("ProductionLine -> AuditLog".into());
+        rows[2].ledger_balanced = false;
+        let failures = recovery_gate_failures(&rows);
+        assert!(failures.iter().any(|f| f.contains("warm state")));
+        assert!(failures.iter().any(|f| f.contains("declared tree")));
+        assert!(failures.iter().any(|f| f.contains("ledger")));
     }
 
     #[test]

@@ -22,6 +22,8 @@ use soleil::scenario::{motivation_validated, registry_with_probe, OoSystem, Scen
 
 const WARMUP: usize = 500;
 const OBSERVATIONS: u64 = 2_000;
+/// Checkpoint cadence for the gates: captures land every 500 activations.
+const CADENCE: u32 = 500;
 
 #[test]
 fn steady_state_transactions_never_touch_the_rust_heap() {
@@ -58,6 +60,18 @@ fn steady_state_transactions_never_touch_the_rust_heap() {
         let monitoring = dep.resolve("MonitoringSystem").expect("monitor exists");
         dep.set_fault_policy(monitoring, FaultPolicy::Isolate)
             .expect("policy attaches");
+
+        // The full robustness apparatus rides along: a supervision tree
+        // above the head and the warm-state Checkpoint capability on it,
+        // capturing into its preallocated image every CADENCE activations.
+        // Neither may cost the healthy path an allocation.
+        let audit = dep.resolve("AuditLog").expect("audit exists");
+        dep.set_supervisor(head, Some(monitoring))
+            .expect("edge attaches in every mode");
+        dep.set_supervisor(monitoring, Some(audit))
+            .expect("edge attaches in every mode");
+        dep.enable_checkpoint(head, CADENCE)
+            .expect("capability enables in every mode");
 
         // Warm every lazily-grown engine structure: the pending-message
         // heap, domain scope stacks, ring slots.
@@ -127,6 +141,16 @@ fn steady_state_transactions_never_touch_the_rust_heap() {
             (0, 0, 0),
             "{mode}: supervision counters must stay untouched on the healthy path"
         );
+        // Captures happened exactly on the cadence (plus the one probing
+        // capture at enable time), and nothing was ever restored.
+        let total = WARMUP as u64 + OBSERVATIONS;
+        assert_eq!(
+            dep.checkpoint_counts(head)
+                .expect("head resolves")
+                .expect("capability enabled"),
+            (1 + total / CADENCE as u64, 0),
+            "{mode}: the checkpoint must capture only on its cadence"
+        );
     }
 }
 
@@ -171,6 +195,21 @@ fn parallel_steady_state_is_allocation_free_on_every_thread() {
     .expect("idle injector installs");
     sys.set_fault_policy("MonitoringSystem", FaultPolicy::Isolate)
         .expect("policy attaches");
+
+    // Supervision trees are shard-local by design — escalation must never
+    // block on another shard's thread — and every active component of the
+    // motivation scenario owns its domain, so the cross-shard edge is
+    // refused (the recorded limit) while the warm-state Checkpoint
+    // capability, being per-component, arms fine on the head's shard.
+    let err = sys
+        .set_supervisor("ProductionLine", Some("MonitoringSystem"))
+        .expect_err("cross-shard supervisor edges are refused");
+    assert!(
+        err.to_string().contains("shard"),
+        "refusal must name the shard boundary: {err}"
+    );
+    sys.enable_checkpoint("ProductionLine", CADENCE)
+        .expect("capability enables on the shard");
 
     // Warm up separately so the dispatch-counter deltas below cover only
     // the measured steady phase (interning pays its name scans here).
@@ -227,6 +266,13 @@ fn parallel_steady_state_is_allocation_free_on_every_thread() {
         sys.supervision_counts("ProductionLine").expect("resolves"),
         (0, 0, 0),
         "supervision counters must stay untouched on the healthy parallel path"
+    );
+    assert_eq!(
+        sys.checkpoint_counts("ProductionLine")
+            .expect("resolves")
+            .expect("capability enabled"),
+        (1 + (WARMUP as u64 + OBSERVATIONS) / CADENCE as u64, 0),
+        "the parallel checkpoint must capture only on its cadence"
     );
 }
 

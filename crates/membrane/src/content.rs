@@ -252,6 +252,138 @@ pub trait Content<P: Payload>: Debug + Send {
     fn state_bytes(&self) -> usize {
         std::mem::size_of_val(self)
     }
+
+    /// Opt-in **Checkpoint capability**: serializes the warm state worth
+    /// carrying across a supervised restart into `image` and returns
+    /// `true`. The default returns `false` — the component has no
+    /// checkpointable state and restarts cold.
+    ///
+    /// The engine hands in a [`StateImage`] preallocated to the
+    /// component's [`state_bytes`](Content::state_bytes) bound (the bytes
+    /// are charged to the component's allocation area when checkpointing
+    /// is enabled), already [cleared](StateImage::clear). Implementations
+    /// write through the `StateImage` writers and must not allocate:
+    /// captures run on the supervised-restart path and, on a configurable
+    /// cadence, at healthy activation boundaries. Writes beyond the bound
+    /// are refused and flag the image [overflowed](StateImage::overflowed)
+    /// rather than growing it.
+    fn checkpoint(&self, image: &mut StateImage) -> bool {
+        let _ = image;
+        false
+    }
+
+    /// The restore half of the Checkpoint capability: installs warm state
+    /// captured by [`checkpoint`](Content::checkpoint) into a freshly
+    /// constructed instance. Called by the engine after a supervised
+    /// restart replaced the faulted instance; the image is either the one
+    /// captured at the restart boundary (healthy faults) or the last
+    /// healthy cadence capture (poisoned membranes, whose final state may
+    /// be half-mutated by the panic's unwind).
+    fn restore(&mut self, image: &StateImage) {
+        let _ = image;
+    }
+}
+
+/// A bounded, reusable byte image of a component's warm state — the wire
+/// format of the [`Content::checkpoint`]/[`Content::restore`] capability.
+///
+/// Storage is allocated **once**, at the declared limit, when
+/// checkpointing is enabled for a component; every later capture reuses
+/// it, so cadence captures and restart-boundary captures are
+/// allocation-free. Writes past the limit are refused and latch the
+/// [`overflowed`](StateImage::overflowed) flag instead of growing the
+/// buffer — a checkpoint must stay inside the state bytes charged to the
+/// component's memory area.
+///
+/// ```
+/// use soleil_membrane::content::StateImage;
+///
+/// let mut img = StateImage::with_limit(16);
+/// assert!(img.write_u64(7));
+/// assert!(img.write_u64(11));
+/// assert!(!img.write_u64(13), "third word exceeds the 16-byte bound");
+/// assert!(img.overflowed());
+/// assert_eq!(img.read_u64(0), Some(7));
+/// assert_eq!(img.read_u64(8), Some(11));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateImage {
+    bytes: Vec<u8>,
+    limit: usize,
+    overflowed: bool,
+}
+
+impl StateImage {
+    /// An empty image whose captures may hold up to `limit` bytes; the
+    /// backing storage is fully preallocated here.
+    pub fn with_limit(limit: usize) -> Self {
+        StateImage {
+            bytes: Vec::with_capacity(limit),
+            limit,
+            overflowed: false,
+        }
+    }
+
+    /// The capture bound, in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Bytes written by the current capture.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// True once a write was refused for exceeding the limit (latched
+    /// until the next [`clear`](StateImage::clear)).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Resets the image for a fresh capture (storage is kept).
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.overflowed = false;
+    }
+
+    /// The captured bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Appends raw bytes; `false` (and the overflow latch) when the write
+    /// would exceed the limit — the image is left unchanged in that case.
+    pub fn write_bytes(&mut self, data: &[u8]) -> bool {
+        if self.bytes.len() + data.len() > self.limit {
+            self.overflowed = true;
+            return false;
+        }
+        self.bytes.extend_from_slice(data);
+        true
+    }
+
+    /// Appends one little-endian `u64`; same refusal contract as
+    /// [`write_bytes`](StateImage::write_bytes).
+    pub fn write_u64(&mut self, v: u64) -> bool {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Reads the little-endian `u64` at byte `offset`, if fully captured.
+    pub fn read_u64(&self, offset: usize) -> Option<u64> {
+        let end = offset.checked_add(8)?;
+        let slice = self.bytes.get(offset..end)?;
+        Some(u64::from_le_bytes(slice.try_into().expect("8-byte slice")))
+    }
+
+    /// Bytes of backing storage (footprint accounting).
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.bytes.capacity()
+    }
 }
 
 /// A shared constructor for one content class.

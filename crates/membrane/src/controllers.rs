@@ -40,6 +40,7 @@ pub enum LifecycleState {
 pub struct LifecycleController {
     state: LifecycleState,
     transitions: u64,
+    recoveries: u64,
 }
 
 impl LifecycleController {
@@ -48,6 +49,7 @@ impl LifecycleController {
         LifecycleController {
             state: LifecycleState::Stopped,
             transitions: 0,
+            recoveries: 0,
         }
     }
 
@@ -82,9 +84,26 @@ impl LifecycleController {
         }
     }
 
+    /// Brings a `Quarantined` component back to `Started` through the
+    /// supervised-restart path, counting the recovery. A plain `start`
+    /// deliberately does not leave quarantine — the membrane may be
+    /// poisoned by a mid-activation panic and must go through the restart
+    /// protocol (fresh content instance, poison cleared) first.
+    pub fn recover(&mut self) {
+        if self.state == LifecycleState::Quarantined {
+            self.recoveries += 1;
+        }
+        self.start();
+    }
+
     /// Number of state transitions (introspection).
     pub fn transitions(&self) -> u64 {
         self.transitions
+    }
+
+    /// Supervised recoveries completed (quarantine → restart transitions).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
     }
 
     /// Errors unless started.

@@ -450,6 +450,13 @@ pub struct FaultInjector {
     /// Bitmask of enabled fault kinds (see the `MENU_*` consts).
     menu: u8,
     latency_spike_ns: u64,
+    /// When set, latency spikes are *recorded* instead of busy-waited:
+    /// the host engine drains them via
+    /// [`take_pending_spike_ns`](FaultInjector::take_pending_spike_ns)
+    /// and advances its virtual clock, so simulated timelines never
+    /// depend on the OS clock.
+    virtual_clock: bool,
+    pending_spike_ns: u64,
     activations: u64,
     injected: u64,
 }
@@ -476,6 +483,8 @@ impl FaultInjector {
             rate,
             menu: Self::MENU_ALL,
             latency_spike_ns: 50_000,
+            virtual_clock: false,
+            pending_spike_ns: 0,
             activations: 0,
             injected: 0,
         }
@@ -493,6 +502,34 @@ impl FaultInjector {
     pub fn with_latency_spike_ns(mut self, ns: u64) -> Self {
         self.latency_spike_ns = ns;
         self
+    }
+
+    /// Routes latency spikes through the host engine's **virtual clock**
+    /// instead of busy-waiting the OS clock: a spike is accumulated in the
+    /// injector and drained by the engine via
+    /// [`take_pending_spike_ns`](FaultInjector::take_pending_spike_ns),
+    /// which advances virtual time by the spike. Use for engine-level
+    /// injectors under simulated deployments — a busy-wait there would
+    /// pollute the simulated timeline with wall-clock noise. (Membrane
+    /// chain injectors have no engine clock in reach; leave those on the
+    /// default wall-clock spike.)
+    #[must_use]
+    pub fn with_virtual_clock(mut self) -> Self {
+        self.virtual_clock = true;
+        self
+    }
+
+    /// True when latency spikes advance virtual time instead of
+    /// busy-waiting.
+    pub fn virtual_clock(&self) -> bool {
+        self.virtual_clock
+    }
+
+    /// Drains the virtual-time spike accumulated since the last drain
+    /// (zero on wall-clock injectors). The host engine calls this after
+    /// every draw and advances its clock by the returned nanoseconds.
+    pub fn take_pending_spike_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_spike_ns)
     }
 
     /// The injector's seed (replay key).
@@ -576,6 +613,13 @@ impl FaultInjector {
                 detail: format!("injected drop (seed {}, activation {n})", self.seed),
             }),
             InjectedFault::LatencySpike => {
+                if self.virtual_clock {
+                    // Recorded, not waited: the engine drains the spike
+                    // and advances its virtual clock by it.
+                    self.pending_spike_ns =
+                        self.pending_spike_ns.saturating_add(self.latency_spike_ns);
+                    return Ok(());
+                }
                 let start = std::time::Instant::now();
                 while (start.elapsed().as_nanos() as u64) < self.latency_spike_ns {
                     std::hint::spin_loop();

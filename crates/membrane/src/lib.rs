@@ -189,12 +189,13 @@ impl Membrane {
 
     /// Supervised restart: clears the poison flag, resets any transient
     /// interceptor state a mid-chain panic left behind (run-to-completion
-    /// guards stuck busy), and starts the lifecycle. The caller is
-    /// responsible for replacing the content instance itself.
+    /// guards stuck busy), and recovers the lifecycle (counting the
+    /// quarantine → started transition). The caller is responsible for
+    /// replacing the content instance itself.
     pub fn restart(&mut self) {
         self.poisoned = false;
         self.chain.reset_transient();
-        self.lifecycle.start();
+        self.lifecycle.recover();
     }
 
     /// Appends an interceptor to the chain (pre runs in insertion order,

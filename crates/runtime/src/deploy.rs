@@ -589,10 +589,135 @@ impl<P: Payload> Deployment<P> {
         Ok(self.system.supervision_counts_at(slot))
     }
 
+    /// Declares (or clears, with `None`) a component's supervisor,
+    /// returning the previous edge. Supervisors form a tree: when a fault
+    /// escalates out of a component whose policy is
+    /// [`FaultPolicy::Escalate`], the engine walks up this tree and the
+    /// first supervisor with a containing policy applies it to the
+    /// **failed subtree** — isolating it with counted drops or restarting
+    /// it as a unit through the timer queue — while the supervisor itself
+    /// and its other branches keep running. Cycle and validity checks run
+    /// eagerly here and again at every transactional commit. Allowed in
+    /// every mode, ULTRA-MERGE included — supervision is engine-level
+    /// recovery machinery, not structural reconfiguration.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs, self-supervision, or
+    /// an edge that would close a cycle.
+    pub fn set_supervisor(
+        &mut self,
+        component: ComponentRef,
+        supervisor: Option<ComponentRef>,
+    ) -> Result<Option<ComponentRef>, FrameworkError> {
+        let slot = self.slot(component)?;
+        let sup_slot = match supervisor {
+            Some(s) => Some(self.slot(s)?),
+            None => None,
+        };
+        let prev = self.system.set_supervisor_at(slot, sup_slot)?;
+        Ok(prev.map(|s| ComponentRef {
+            deployment: self.nonce,
+            slot: s as u32,
+        }))
+    }
+
+    /// A component's declared supervisor, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn supervisor_of(
+        &self,
+        component: ComponentRef,
+    ) -> Result<Option<ComponentRef>, FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.supervisor_of_at(slot).map(|s| ComponentRef {
+            deployment: self.nonce,
+            slot: s as u32,
+        }))
+    }
+
+    /// The rendered escalation path (`origin -> … -> supervisor`) of the
+    /// last fault this component contained as a supervisor; `None` until
+    /// an escalation walked through it. The same path is published as a
+    /// SOL-023 verdict in [`health_report`](Self::health_report).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn escalation_path(
+        &self,
+        component: ComponentRef,
+    ) -> Result<Option<String>, FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.escalation_path_at(slot))
+    }
+
+    /// Opts a component into the warm-state **Checkpoint capability**: its
+    /// content must implement [`Content::checkpoint`]
+    /// (`soleil_membrane::content::Content::checkpoint`), and the engine
+    /// preallocates two bounded state images (healthy + boundary scratch)
+    /// sized by the content's `state_bytes()` bound. Both images are
+    /// charged against the component's allocation area **immediately** —
+    /// monotonic substrate accounting, like build — and a refused charge
+    /// tears the capability back out, leaving the deployment unchanged.
+    ///
+    /// After enabling, the engine captures the live state every `cadence`
+    /// successful activations and at every supervised-restart boundary;
+    /// the fresh instance installed by a supervised restart then restores
+    /// the boundary image (or, after a poisoning panic, the last healthy
+    /// cadence image) before its first release.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs, a zero cadence, or
+    /// content without the capability; substrate budget exhaustion when
+    /// the area cannot hold the images.
+    pub fn enable_checkpoint(
+        &mut self,
+        component: ComponentRef,
+        cadence: u32,
+    ) -> Result<(), FrameworkError> {
+        let slot = self.slot(component)?;
+        let bytes = self.system.enable_checkpoint_at(slot, cadence)?;
+        let area_ix = self.system.area_ix_at(slot);
+        if let Err(e) = self.system.charge_area(area_ix, bytes) {
+            self.system.disable_checkpoint_at(slot);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// True when the Checkpoint capability is enabled for a component.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn checkpoint_enabled(&self, component: ComponentRef) -> Result<bool, FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.checkpoint_enabled_at(slot))
+    }
+
+    /// `(captures, restores)` of a component's checkpoint storage; `None`
+    /// when the capability is not enabled.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs.
+    pub fn checkpoint_counts(
+        &self,
+        component: ComponentRef,
+    ) -> Result<Option<(u64, u64)>, FrameworkError> {
+        let slot = self.slot(component)?;
+        Ok(self.system.checkpoint_counts_at(slot))
+    }
+
     /// The full runtime health report: contract verdicts (SOL-016…019)
     /// plus supervision findings — SOL-020 per quarantined component,
     /// SOL-021 per exhausted restart budget, SOL-022 when messages were
-    /// counted-dropped at quarantine gates.
+    /// counted-dropped at quarantine gates, SOL-023 naming the supervision
+    /// path of each contained escalation.
     pub fn health_report(&self) -> ValidationReport {
         self.system.health_report()
     }
@@ -643,6 +768,15 @@ impl<P: Payload> Deployment<P> {
             Ok(value) => {
                 let report = validate(&txn.dep.arch);
                 if report.is_compliant() {
+                    // Commit-time supervision re-validation: every edge
+                    // names a real slot and the tree stays acyclic. Eager
+                    // checks in `set_supervisor` make a failure here a
+                    // framework bug, but transactional commits re-assert
+                    // the invariant like they re-assert the RTSJ rules.
+                    if let Err(e) = txn.dep.system.check_supervision() {
+                        txn.rollback();
+                        return Err(e);
+                    }
                     // Commit: make the deferred substrate charges (re-homed
                     // state). A failing charge refuses the transaction;
                     // charges already made stand — immortal/scoped
@@ -718,6 +852,11 @@ enum Undo {
     },
     /// Undo of `set_fault_policy`: restore the pre-transaction policy.
     Policy { slot: usize, previous: FaultPolicy },
+    /// Undo of `set_supervisor`: restore the pre-transaction edge.
+    Supervisor {
+        slot: usize,
+        previous: Option<usize>,
+    },
 }
 
 /// The in-flight transaction handle passed to
@@ -1068,6 +1207,31 @@ impl<P: Payload> Reconfiguration<'_, P> {
         Ok(())
     }
 
+    /// Declares (or clears) a component's supervisor edge, journaled:
+    /// rollback restores the pre-transaction edge. Cycle and validity
+    /// checks run eagerly here, and the whole tree is re-validated at
+    /// commit time, so a committed transaction can never leave a broken
+    /// supervision tree behind.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for foreign refs, self-supervision, or
+    /// an edge that would close a cycle.
+    pub fn set_supervisor(
+        &mut self,
+        component: ComponentRef,
+        supervisor: Option<ComponentRef>,
+    ) -> Result<(), FrameworkError> {
+        let slot = self.dep.slot(component)?;
+        let sup_slot = match supervisor {
+            Some(s) => Some(self.dep.slot(s)?),
+            None => None,
+        };
+        let previous = self.dep.system.set_supervisor_at(slot, sup_slot)?;
+        self.journal.push(Undo::Supervisor { slot, previous });
+        Ok(())
+    }
+
     /// Detaches a component's timing contract; `true` when one was
     /// attached. Journaled: rollback restores the exact monitor slot,
     /// recorded histogram included.
@@ -1152,6 +1316,11 @@ impl<P: Payload> Reconfiguration<'_, P> {
                         .system
                         .set_fault_policy_at(slot, previous)
                         .expect("rollback restore of a policy set by this transaction");
+                }
+                Undo::Supervisor { slot, previous } => {
+                    self.dep.system.set_supervisor_at(slot, previous).expect(
+                        "rollback restore of a supervisor edge valid before the transaction",
+                    );
                 }
                 Undo::Domain {
                     slot,

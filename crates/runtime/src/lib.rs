@@ -44,12 +44,22 @@
 //! deterministic seeded fault injector can be compiled into any
 //! component's plan. Quarantined components count-drop their messages
 //! (never silently lost) and surface through `health_report()` as
-//! SOL-020…022 findings.
+//! SOL-020…022 findings. Components additionally form **supervision
+//! trees** (`Deployment::set_supervisor`): a fault escalating out of an
+//! `Escalate` component walks up the tree, and the first supervisor with
+//! a containing policy applies it to the failed *subtree* — isolating it
+//! with counted drops or restarting it as a unit through the timer queue
+//! — while sibling branches keep running; the walked path surfaces as a
+//! SOL-023 verdict. Components opting into the warm-state **Checkpoint
+//! capability** (`Deployment::enable_checkpoint`) carry their counters
+//! across supervised restarts through bounded, preallocated state images
+//! charged to their allocation area.
 //!
 //! Supporting modules: [`instrument`] (steady-state latency measurement for
 //! Fig. 7(a)/(b)), [`footprint`] (Fig. 7(c) accounting) and [`sim`]
 //! (virtual-time deployment onto [`rtsj::sched::Simulator`] for the
-//! determinism experiment).
+//! determinism experiment, plus engine-backed virtual-time recovery
+//! campaigns — [`sim::run_recovery_campaign`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,6 +77,7 @@ pub use deploy::{ComponentRef, Deployment, PortRef, Reconfiguration};
 pub use footprint::FootprintReport;
 pub use instrument::LatencySamples;
 pub use parallel::{ParallelReconfiguration, ParallelSystem, ShardRun};
+pub use sim::{run_recovery_campaign, RecoveryEpisode, RecoveryMetrics};
 pub use spec::{Mode, SystemSpec};
 pub use system::{EngineStats, FaultPolicy, System};
 pub use timer::{TimerHandle, TimerQueue};

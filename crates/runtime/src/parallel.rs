@@ -820,8 +820,109 @@ impl<P: Payload> ParallelSystem<P> {
         Ok(self.shards[shard].system.supervision_counts_at(slot))
     }
 
+    /// Declares (or clears) a component's supervisor on its own shard,
+    /// returning the previous edge's component name. Supervision trees
+    /// are **shard-local**: each shard's engine walks its own tree with no
+    /// cross-thread coordination, so a supervisor edge between components
+    /// planned onto different shards is refused — declare the tree so
+    /// related components share a shard (synchronous neighbourhoods
+    /// already do), or supervise shard-locally.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components, cycles, or
+    /// self-supervision; [`FrameworkError::Unsupported`] for a cross-shard
+    /// edge.
+    pub fn set_supervisor(
+        &mut self,
+        component: &str,
+        supervisor: Option<&str>,
+    ) -> Result<Option<String>, FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        let sup_slot = match supervisor {
+            Some(name) => {
+                let (sup_shard, sup_slot) = self.locate(name)?;
+                if sup_shard != shard {
+                    return Err(FrameworkError::Unsupported(format!(
+                        "supervisor edge '{component}' -> '{name}' crosses shards \
+                         ({shard} -> {sup_shard}); supervision trees are shard-local \
+                         — escalation must never block on another shard's thread"
+                    )));
+                }
+                Some(sup_slot)
+            }
+            None => None,
+        };
+        let prev = self.shards[shard]
+            .system
+            .set_supervisor_at(slot, sup_slot)?;
+        Ok(prev.map(|s| self.shards[shard].components[s].clone()))
+    }
+
+    /// A component's declared supervisor's name, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn supervisor_of(&self, component: &str) -> Result<Option<String>, FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        Ok(self.shards[shard]
+            .system
+            .supervisor_of_at(slot)
+            .map(|s| self.shards[shard].components[s].clone()))
+    }
+
+    /// The rendered escalation path of the last fault this component
+    /// contained as a supervisor on its shard (`None` until an escalation
+    /// walked through it).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn escalation_path(&self, component: &str) -> Result<Option<String>, FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        Ok(self.shards[shard].system.escalation_path_at(slot))
+    }
+
+    /// Opts a component into the warm-state Checkpoint capability on its
+    /// own shard (see `Deployment::enable_checkpoint` for the contract).
+    /// The two preallocated images are charged against the component's
+    /// allocation area immediately; a refused charge tears the capability
+    /// back out.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components, a zero cadence,
+    /// or content without the capability; substrate budget exhaustion.
+    pub fn enable_checkpoint(
+        &mut self,
+        component: &str,
+        cadence: u32,
+    ) -> Result<(), FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        let system = &mut self.shards[shard].system;
+        let bytes = system.enable_checkpoint_at(slot, cadence)?;
+        let area_ix = system.area_ix_at(slot);
+        if let Err(e) = system.charge_area(area_ix, bytes) {
+            system.disable_checkpoint_at(slot);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// `(captures, restores)` of a component's checkpoint storage; `None`
+    /// when the capability is not enabled.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components.
+    pub fn checkpoint_counts(&self, component: &str) -> Result<Option<(u64, u64)>, FrameworkError> {
+        let (shard, slot) = self.locate(component)?;
+        Ok(self.shards[shard].system.checkpoint_counts_at(slot))
+    }
+
     /// The full runtime health report folded across every shard: contract
-    /// verdicts (SOL-016…019) plus supervision findings (SOL-020…022).
+    /// verdicts (SOL-016…019) plus supervision findings (SOL-020…023).
     pub fn health_report(&self) -> ValidationReport {
         let mut report = ValidationReport::default();
         for s in &self.shards {
@@ -1144,6 +1245,12 @@ enum PUndo<P> {
         shard: usize,
         slot: usize,
         previous: FaultPolicy,
+    },
+    /// Undo of `set_supervisor`: restore the pre-transaction edge.
+    Supervisor {
+        shard: usize,
+        slot: usize,
+        previous: Option<usize>,
     },
 }
 
@@ -1790,6 +1897,48 @@ impl<P: Payload> ParallelReconfiguration<'_, P> {
         Ok(())
     }
 
+    /// Declares (or clears) a component's supervisor edge, journaled;
+    /// rollback restores the pre-transaction edge. Supervision trees are
+    /// shard-local (see [`ParallelSystem::set_supervisor`]): a cross-shard
+    /// edge is refused eagerly, and every shard's tree is re-validated at
+    /// commit time.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for unknown components, cycles, or
+    /// self-supervision; [`FrameworkError::Unsupported`] for a cross-shard
+    /// edge.
+    pub fn set_supervisor(
+        &mut self,
+        component: &str,
+        supervisor: Option<&str>,
+    ) -> Result<(), FrameworkError> {
+        let (shard, slot) = self.sys.locate(component)?;
+        let sup_slot = match supervisor {
+            Some(name) => {
+                let (sup_shard, sup_slot) = self.sys.locate(name)?;
+                if sup_shard != shard {
+                    return Err(FrameworkError::Unsupported(format!(
+                        "supervisor edge '{component}' -> '{name}' crosses shards \
+                         ({shard} -> {sup_shard}); supervision trees are shard-local \
+                         — escalation must never block on another shard's thread"
+                    )));
+                }
+                Some(sup_slot)
+            }
+            None => None,
+        };
+        let previous = self.sys.shards[shard]
+            .system
+            .set_supervisor_at(slot, sup_slot)?;
+        self.journal.push(PUndo::Supervisor {
+            shard,
+            slot,
+            previous,
+        });
+        Ok(())
+    }
+
     /// Commit-time validation: the plan's own invariants, the partition
     /// invariants (synchronous bindings co-sharded; every allocation
     /// region materialized on its component's shard), and — for
@@ -1823,6 +1972,12 @@ impl<P: Payload> ParallelReconfiguration<'_, P> {
                     c.name
                 )));
             }
+        }
+        // Every shard's supervision tree stays valid and acyclic. Eager
+        // checks in `set_supervisor` make a failure here a framework bug,
+        // but commits re-assert the invariant like the partition rules.
+        for s in &self.sys.shards {
+            s.system.check_supervision()?;
         }
         if let Some(arch) = &self.sys.arch {
             let report = parallel_reconfiguration_report(arch);
@@ -1992,6 +2147,18 @@ impl<P: Payload> ParallelReconfiguration<'_, P> {
                         .system
                         .set_fault_policy_at(slot, previous)
                         .expect("rollback restore of a policy set by this transaction");
+                }
+                PUndo::Supervisor {
+                    shard,
+                    slot,
+                    previous,
+                } => {
+                    self.sys.shards[shard]
+                        .system
+                        .set_supervisor_at(slot, previous)
+                        .expect(
+                            "rollback restore of a supervisor edge valid before the transaction",
+                        );
                 }
             }
         }

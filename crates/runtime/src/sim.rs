@@ -8,15 +8,29 @@
 //! and priority from its ThreadDomain), one link per asynchronous binding.
 //! The E5 determinism experiment runs the motivation pipeline here twice —
 //! NHRT domains vs. regular threads — under an aggressive collector.
+//!
+//! The module's second half drives **virtual-time fault campaigns**
+//! against the wall-clock engine itself: a seeded fault storm runs on a
+//! live [`Deployment`] whose engine-level injectors advance the *release
+//! clock* instead of busy-waiting (see
+//! [`FaultInjector::with_virtual_clock`](soleil_membrane::interceptors::FaultInjector::with_virtual_clock)),
+//! and [`run_recovery_campaign`] measures recovery in that virtual time:
+//! time-to-restart per fault episode, releases suppressed while
+//! quarantined, deadline misses during recovery, and the conservation
+//! ledger at quiescence. The `reproduce -- recovery-gate` artifact sweeps
+//! these metrics across seeds and modes in CI.
 
 use std::collections::HashMap;
 
 use rtsj::gc::GcConfig;
 use rtsj::sched::Simulator;
 use rtsj::thread::{Priority, ReleaseParameters, RtThread, ThreadKind};
-use rtsj::time::RelativeTime;
+use rtsj::time::{AbsoluteTime, RelativeTime};
 use rtsj::trace::TaskId;
+use soleil_membrane::content::Payload;
+use soleil_membrane::FrameworkError;
 
+use crate::deploy::{ComponentRef, Deployment};
 use crate::spec::{Activation, ProtocolSpec, SystemSpec};
 
 /// Per-component execution costs for the virtual-time deployment.
@@ -168,6 +182,219 @@ fn deadline_for(spec: &SystemSpec, name: &str) -> RelativeTime {
         }
     }
     RelativeTime::from_millis(10)
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time recovery campaigns (engine-backed)
+// ---------------------------------------------------------------------------
+
+/// One fault episode observed by a recovery campaign: a watched component
+/// entered quarantine and (normally) was restarted by its supervision
+/// machinery, all timed on the engine's **virtual** release clock.
+#[derive(Debug, Clone)]
+pub struct RecoveryEpisode {
+    /// The component that was quarantined.
+    pub component: String,
+    /// Virtual instant the quarantine was first observed.
+    pub fault_at: AbsoluteTime,
+    /// Virtual instant the component was observed healthy again; `None`
+    /// when the campaign ended with it still quarantined.
+    pub recovered_at: Option<AbsoluteTime>,
+    /// Releases suppressed (skipped because of the quarantine) during the
+    /// episode.
+    pub suppressed_releases: u64,
+    /// Deadline misses recorded by attached contracts during the episode.
+    pub deadline_misses: u64,
+}
+
+impl RecoveryEpisode {
+    /// Virtual time from quarantine to restart; `None` while unrecovered.
+    pub fn time_to_restart(&self) -> Option<RelativeTime> {
+        self.recovered_at.map(|r| r.since(self.fault_at))
+    }
+}
+
+/// Per-seed recovery metrics of one campaign run (see
+/// [`run_recovery_campaign`]).
+#[derive(Debug, Clone)]
+pub struct RecoveryMetrics {
+    /// The seed driving the deployment's fault injectors (recorded for the
+    /// gate table; the campaign itself is deterministic given the
+    /// deployment).
+    pub seed: u64,
+    /// Ticks driven.
+    pub ticks: u64,
+    /// Virtual time elapsed across the campaign — tick quanta plus every
+    /// latency spike the injectors charged to the clock.
+    pub elapsed_virtual: RelativeTime,
+    /// Faults contained by supervision across the run.
+    pub faults_contained: u64,
+    /// Supervised restarts performed (direct or via escalation).
+    pub restarts: u64,
+    /// Total releases suppressed while watched components sat quarantined.
+    pub suppressed_releases: u64,
+    /// Deadline misses recorded while at least one episode was open.
+    pub deadline_misses_during_recovery: u64,
+    /// Every fault episode, in observation order.
+    pub episodes: Vec<RecoveryEpisode>,
+    /// `async_messages == delivered_messages + quarantine_drops` over the
+    /// campaign — every *accepted* message was delivered or counted-dropped
+    /// at a quarantine gate. Full-ring rejections are counted in
+    /// `dropped_messages` but never entered a queue, so they sit outside
+    /// this identity (the same ledger the chaos suite asserts).
+    pub ledger_balanced: bool,
+}
+
+impl RecoveryMetrics {
+    /// Episodes that never recovered before the campaign ended.
+    pub fn unrecovered(&self) -> usize {
+        self.episodes
+            .iter()
+            .filter(|e| e.recovered_at.is_none())
+            .count()
+    }
+
+    /// The longest observed time-to-restart, if any episode recovered.
+    pub fn max_time_to_restart(&self) -> Option<RelativeTime> {
+        self.episodes
+            .iter()
+            .filter_map(|e| e.time_to_restart())
+            .max()
+    }
+
+    /// True when every episode recovered and none took longer than
+    /// `budget` of virtual time — the recovery-gate acceptance predicate.
+    pub fn recovery_bounded(&self, budget: RelativeTime) -> bool {
+        self.episodes.iter().all(|e| match e.time_to_restart() {
+            Some(t) => t <= budget,
+            None => false,
+        })
+    }
+}
+
+/// Runs a virtual-time fault campaign against a live engine deployment:
+/// `ticks` release ticks, watching `watch` for quarantine/recovery
+/// transitions between transactions. The deployment is expected to carry
+/// seeded engine-level [`FaultInjector`]s built
+/// [`with_virtual_clock`](soleil_membrane::interceptors::FaultInjector::with_virtual_clock)
+/// — their latency spikes then advance the engine's release clock instead
+/// of the OS clock, so a campaign with multi-millisecond spikes still
+/// finishes in microseconds of wall time and every metric below is exact
+/// virtual time.
+///
+/// Episode accounting is quarantine-edge driven: a watched component
+/// transitioning healthy→quarantined opens an episode stamped with the
+/// current virtual clock; quarantined→healthy closes it. Suppressed
+/// releases and deadline misses are charged to the open episodes by delta,
+/// so overlapping episodes on different components never double-count.
+///
+/// # Errors
+///
+/// [`FrameworkError::Content`] for foreign refs; engine errors from ticks
+/// (a fault escaping containment — e.g. an exhausted restart budget under
+/// a root `Escalate` — aborts the campaign, like the chaos harness).
+pub fn run_recovery_campaign<P: Payload>(
+    dep: &mut Deployment<P>,
+    watch: &[ComponentRef],
+    seed: u64,
+    ticks: u64,
+) -> Result<RecoveryMetrics, FrameworkError> {
+    struct Watch {
+        name: String,
+        r: ComponentRef,
+        quarantined: bool,
+        /// Index into `episodes` while an episode is open.
+        open: Option<usize>,
+        /// Suppressed-release counter at episode open.
+        suppressed_at_open: u64,
+    }
+
+    let start_clock = dep.timer_clock();
+    let start_stats = dep.stats();
+    let mut episodes: Vec<RecoveryEpisode> = Vec::new();
+    let mut watches: Vec<Watch> = Vec::with_capacity(watch.len());
+    for &r in watch {
+        watches.push(Watch {
+            name: dep.name_of(r)?.to_string(),
+            r,
+            quarantined: dep.quarantined(r)?,
+            open: None,
+            suppressed_at_open: 0,
+        });
+    }
+
+    let mut misses_before = dep.deadline_misses();
+    for _ in 0..ticks {
+        dep.run_tick()?;
+        let now = dep.timer_clock();
+        // Deadline misses this tick are charged to every open episode —
+        // "misses during recovery" in the gate's sense.
+        let misses_now = dep.deadline_misses();
+        let miss_delta = misses_now - misses_before;
+        misses_before = misses_now;
+        if miss_delta > 0 {
+            for w in &watches {
+                if let Some(ix) = w.open {
+                    episodes[ix].deadline_misses += miss_delta;
+                }
+            }
+        }
+        for w in &mut watches {
+            let q = dep.quarantined(w.r)?;
+            if q && !w.quarantined {
+                // Healthy → quarantined: open an episode.
+                let (_, _, suppressed) = dep.supervision_counts(w.r)?;
+                w.open = Some(episodes.len());
+                w.suppressed_at_open = suppressed;
+                episodes.push(RecoveryEpisode {
+                    component: w.name.clone(),
+                    fault_at: now,
+                    recovered_at: None,
+                    suppressed_releases: 0,
+                    deadline_misses: 0,
+                });
+            } else if !q && w.quarantined {
+                // Quarantined → healthy: close the episode.
+                if let Some(ix) = w.open.take() {
+                    let (_, _, suppressed) = dep.supervision_counts(w.r)?;
+                    episodes[ix].recovered_at = Some(now);
+                    episodes[ix].suppressed_releases = suppressed - w.suppressed_at_open;
+                }
+            }
+            w.quarantined = q;
+        }
+    }
+    // Campaign over: charge still-open episodes their suppression so far.
+    for w in &mut watches {
+        if let Some(ix) = w.open.take() {
+            let (_, _, suppressed) = dep.supervision_counts(w.r)?;
+            episodes[ix].suppressed_releases = suppressed - w.suppressed_at_open;
+        }
+    }
+
+    let stats = dep.stats();
+    let mut faults_contained = 0u64;
+    let mut restarts = 0u64;
+    let mut suppressed_releases = 0u64;
+    for w in &watches {
+        let (f, r, s) = dep.supervision_counts(w.r)?;
+        faults_contained += f;
+        restarts += r;
+        suppressed_releases += s;
+    }
+    Ok(RecoveryMetrics {
+        seed,
+        ticks,
+        elapsed_virtual: dep.timer_clock().since(start_clock),
+        faults_contained,
+        restarts,
+        suppressed_releases,
+        deadline_misses_during_recovery: episodes.iter().map(|e| e.deadline_misses).sum(),
+        episodes,
+        ledger_balanced: (stats.async_messages - start_stats.async_messages)
+            == (stats.delivered_messages - start_stats.delivered_messages)
+                + (stats.quarantine_drops - start_stats.quarantine_drops),
+    })
 }
 
 #[cfg(test)]

@@ -27,7 +27,9 @@ use rtsj::time::{AbsoluteTime, RelativeTime};
 use soleil_core::contract::{ContractObservation, TimingContract};
 use soleil_core::validate::{Diagnostic, Severity};
 use soleil_core::ValidationReport;
-use soleil_membrane::content::{Content, ContentFactory, ContentRegistry, Payload, PortId};
+use soleil_membrane::content::{
+    Content, ContentFactory, ContentRegistry, Payload, PortId, StateImage,
+};
 use soleil_membrane::controllers::{BindingTarget, LifecycleState, MemoryAreaController};
 use soleil_membrane::interceptors::{
     ActiveInterceptor, FastGate, FaultInjector, InterceptStep, Interceptor, MemoryInterceptor,
@@ -114,11 +116,24 @@ pub enum FaultPolicy {
 #[derive(Debug, Clone, Default)]
 struct SupervisorSlot {
     policy: FaultPolicy,
+    /// Engine slot of this component's declared supervisor, if any — the
+    /// upward edge of the supervision tree an `Escalate` walks.
+    supervisor: Option<u32>,
     /// True while the component is quarantined (mirrors the hot-path flag
     /// in the activation plan; this copy carries the cold detail).
     quarantined: bool,
+    /// True when the quarantining fault was a panic. Mode-independent copy
+    /// of the SOLEIL membrane's poison flag: warm-state handoff must know,
+    /// in every mode, that the final instance state may be half-mutated by
+    /// the unwind and only the last *healthy* checkpoint is trustworthy.
+    poisoned: bool,
     /// `"{kind}: {detail}"` of the fault that caused the quarantine.
     fault_detail: Option<String>,
+    /// Rendered escalation path (`"origin -> … -> supervisor"`) of the
+    /// last fault this slot contained *as a supervisor* for a descendant —
+    /// the subject of the SOL-023 health verdict. `None` until an
+    /// escalation actually walked through here.
+    escalation_path: Option<String>,
     /// Restarts consumed in the current budget window.
     restarts_in_window: u32,
     /// Start of the current budget window on the engine clock.
@@ -346,10 +361,44 @@ struct ActivationPlan {
     /// `System::injectors`; `u16::MAX` when none is installed (the same
     /// one-compare sentinel as `monitor_ix`).
     fault_ix: u16,
+    /// Slot of the component's warm-state checkpoint storage in
+    /// `System::checkpoints`; `u16::MAX` when checkpointing is not enabled
+    /// (one integer compare per healthy activation, like `monitor_ix`).
+    checkpoint_ix: u16,
     /// True while the component is quarantined by its fault policy — the
     /// single compare the healthy release/delivery path pays for
     /// supervision.
     quarantined: bool,
+}
+
+/// Warm-state checkpoint storage of one checkpoint-enabled slot: the last
+/// healthy cadence image plus a scratch image for the restart-boundary
+/// capture, both preallocated at the component's `state_bytes` bound when
+/// checkpointing is enabled (and charged to its allocation area), so no
+/// capture ever allocates. Boxed like [`MonitorSlot`] — cold storage, one
+/// pointer per slot until enabled.
+struct CheckpointSlot {
+    /// The last healthy image, captured every `cadence` successful
+    /// activations — what a *poisoned* restart restores from.
+    image: StateImage,
+    /// Scratch for the activation-boundary capture a healthy supervised
+    /// restart takes from the outgoing instance just before the fresh one
+    /// installs.
+    boundary: StateImage,
+    /// Successful activations between cadence captures (≥ 1).
+    cadence: u32,
+    /// Successful activations since the last cadence capture.
+    since_capture: u32,
+    /// True once `image` holds a usable capture.
+    valid: bool,
+    /// Captures performed (cadence + restart-boundary).
+    captures: u64,
+    /// Restores performed into fresh instances after supervised restarts.
+    restores: u64,
+    /// True once any capture overflowed the `state_bytes` bound (the
+    /// truncated image is not used; the health of the capture pipeline is
+    /// inspectable instead of silently wrong).
+    overflowed: bool,
 }
 
 /// An attached runtime timing contract with its live monitor, boxed so the
@@ -499,6 +548,10 @@ pub struct System<P: Payload> {
     /// Per-slot fault policies + supervision bookkeeping (cold: read only
     /// when handling a fault or building a health report).
     supervisors: Vec<SupervisorSlot>,
+    /// Per-slot warm-state checkpoint storage, gated by
+    /// `ActivationPlan::checkpoint_ix`; `None` until checkpointing is
+    /// enabled for the slot.
+    checkpoints: Vec<Option<Box<CheckpointSlot>>>,
     /// Per-slot content constructors, captured at build so a supervised
     /// restart can re-instantiate a faulted component fresh — one `Arc`
     /// clone at build time, none per transaction.
@@ -742,6 +795,7 @@ impl<P: Payload> System<P> {
                     release_ix: n.release_ix.unwrap_or(u16::MAX),
                     monitor_ix: u16::MAX,
                     fault_ix: u16::MAX,
+                    checkpoint_ix: u16::MAX,
                     quarantined: false,
                 }
             })
@@ -943,6 +997,7 @@ impl<P: Payload> System<P> {
             timers: TimerQueue::with_capacity(timer_capacity),
             monitors: (0..node_count).map(|_| None).collect(),
             supervisors: vec![SupervisorSlot::default(); node_count],
+            checkpoints: (0..node_count).map(|_| None).collect(),
             factories,
             injectors: (0..node_count).map(|_| None).collect(),
             membranes,
@@ -1192,6 +1247,11 @@ impl<P: Payload> System<P> {
         let t0 = (plan.monitor_ix != u16::MAX).then(Instant::now);
         let mut msg = P::default();
         self.activate(head, plan.release_ix, &mut msg)?;
+        // Healthy activation of a checkpoint-enabled head: one compare,
+        // and a capture only on the configured cadence.
+        if plan.checkpoint_ix != u16::MAX {
+            self.cadence_checkpoint(head);
+        }
         self.drain()?;
         self.stats.transactions += 1;
         if let Some(t0) = t0 {
@@ -1296,6 +1356,9 @@ impl<P: Payload> System<P> {
         self.stats.delivered_messages += 1;
         let t0 = (plan.monitor_ix != u16::MAX).then(Instant::now);
         let result = self.activate(slot, port_ix, &mut msg).and_then(|()| {
+            if plan.checkpoint_ix != u16::MAX {
+                self.cadence_checkpoint(slot);
+            }
             self.drain()?;
             self.stats.transactions += 1;
             if let Some(t0) = t0 {
@@ -1360,7 +1423,16 @@ impl<P: Payload> System<P> {
             return Ok(());
         };
         let drawn = catch_unwind(AssertUnwindSafe(|| fi.draw()));
+        // A virtual-clock injector records latency spikes instead of
+        // busy-waiting; the engine clock absorbs them here, so simulated
+        // timelines are wall-clock-independent.
+        let spike_ns = fi.take_pending_spike_ns();
         self.injectors[slot] = Some(fi);
+        if spike_ns > 0 {
+            self.clock = self
+                .clock
+                .saturating_add(RelativeTime::from_nanos(spike_ns));
+        }
         match drawn {
             Ok(r) => r,
             Err(payload) => Err(FrameworkError::Faulted {
@@ -1451,6 +1523,9 @@ impl<P: Payload> System<P> {
                     });
                     if let (Some(t0), Ok(())) = (t0, &r) {
                         self.observe_latency(plan.monitor_ix, t0);
+                    }
+                    if r.is_ok() && plan.checkpoint_ix != u16::MAX {
+                        self.cadence_checkpoint(consumer_slot);
                     }
                     r
                 }
@@ -2502,7 +2577,7 @@ impl<P: Payload> System<P> {
             }
         }
         for (i, sup) in self.supervisors.iter().enumerate() {
-            let _ = write!(s, "s{i}:{:?}|", sup.policy);
+            let _ = write!(s, "s{i}:{:?}^{:?}|", sup.policy, sup.supervisor);
         }
         let _ = write!(s, "x:{}|o:{:?}", self.cross_out.len(), self.periodic_order);
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -2794,7 +2869,7 @@ impl<P: Payload> System<P> {
                 self.stats.timer_fires += 1;
                 let slot = (fired.payload & !RESTART_TAG) as usize;
                 self.supervisors[slot].restart_timer = None;
-                self.restart_slot(slot)?;
+                self.restart_subtree(slot)?;
                 continue;
             }
             let slot = fired.payload as usize;
@@ -2942,44 +3017,110 @@ impl<P: Payload> System<P> {
         let Some(slot) = self.nodes.iter().position(|n| n.name == *component) else {
             return Err(e);
         };
-        match self.supervisors[slot].policy {
-            FaultPolicy::Escalate => Err(e),
-            FaultPolicy::Isolate => {
-                self.quarantine_slot(slot, &e);
-                self.stats.faults_contained += 1;
-                Ok(())
+        self.contain_fault(slot, e)
+    }
+
+    /// Applies supervision to a fault attributed to `origin`.
+    ///
+    /// The escalation walks **up the declared supervision tree**: starting
+    /// at the faulting slot, every `Escalate` policy hands the fault to
+    /// the slot's declared supervisor until a slot with a containing
+    /// policy (`Isolate` / `Restart`) is found — the **handler**. The
+    /// handler applies its policy to the **failed subtree**: the subtree
+    /// rooted at its child branch the fault escalated through (`scope`),
+    /// so the handler itself and its other child branches keep running.
+    /// With no tree declared the handler is the origin and the subtree is
+    /// just the origin — exactly the flat pre-tree semantics. When every
+    /// slot on the path escalates past the root, the fault aborts to the
+    /// caller, preserving the original root-escalation semantics.
+    fn contain_fault(&mut self, origin: usize, e: FrameworkError) -> Result<(), FrameworkError> {
+        let (scope, handler) = {
+            let mut scope = origin;
+            let mut hops = 0usize;
+            loop {
+                if self.supervisors[scope].policy != FaultPolicy::Escalate {
+                    // The failed slot (or branch root) contains itself.
+                    break (scope, scope);
+                }
+                let Some(up) = self.supervisors[scope].supervisor else {
+                    return Err(e); // root escalation: today's abort semantics
+                };
+                let up = up as usize;
+                hops += 1;
+                if hops > self.supervisors.len() {
+                    // Cycles are refused at declaration; never spin anyway.
+                    return Err(e);
+                }
+                if self.supervisors[up].policy != FaultPolicy::Escalate {
+                    // `up` supervises the failed branch rooted at `scope`.
+                    break (scope, up);
+                }
+                scope = up;
             }
+        };
+        // Quarantine the failed subtree: the origin records the fault
+        // itself; every other member is taken down *with* it (counted
+        // drops at their gates), un-poisoned — their state is intact, the
+        // handler merely recovers them as one unit.
+        self.quarantine_slot(origin, &e);
+        self.stats.faults_contained += 1;
+        let subtree = self.subtree_slots(scope);
+        if handler != origin {
+            let handler_name = self.nodes[handler].name.clone();
+            let origin_name = self.nodes[origin].name.clone();
+            for &s in &subtree {
+                if s != origin && !self.supervisors[s].quarantined {
+                    self.quarantine_flags(
+                        s,
+                        false,
+                        format!(
+                            "subtree quarantined by supervisor '{handler_name}' \
+                             containing a fault in '{origin_name}'"
+                        ),
+                    );
+                }
+            }
+            self.supervisors[handler].escalation_path =
+                Some(self.supervision_path_string(origin, handler));
+        }
+        match self.supervisors[handler].policy {
+            FaultPolicy::Escalate => unreachable!("walk exits on a containing policy"),
+            FaultPolicy::Isolate => Ok(()),
             FaultPolicy::Restart {
                 max_restarts,
                 window,
                 backoff,
             } => {
-                self.quarantine_slot(slot, &e);
-                self.stats.faults_contained += 1;
-                // Roll the sliding budget window on the engine clock.
-                if self.clock.since(self.supervisors[slot].window_start) >= window {
-                    let sup = &mut self.supervisors[slot];
+                // Budget, backoff and the sliding window belong to the
+                // *handler* — its policy is what is being applied — while
+                // the armed timer is tracked on the subtree root it will
+                // restart, so a stop / manual restart / policy rollback of
+                // that root disarms it exactly like a flat restart.
+                if self.clock.since(self.supervisors[handler].window_start) >= window {
+                    let sup = &mut self.supervisors[handler];
                     sup.window_start = self.clock;
                     sup.restarts_in_window = 0;
                     sup.attempt = 0;
                 }
-                if self.supervisors[slot].restarts_in_window >= max_restarts {
-                    self.supervisors[slot].budget_exhausted = true;
+                if self.supervisors[handler].restarts_in_window >= max_restarts {
+                    self.supervisors[handler].budget_exhausted = true;
                     return Err(e);
                 }
-                let attempt = self.supervisors[slot].attempt;
+                let attempt = self.supervisors[handler].attempt;
                 let delay = backoff * (1u64 << attempt.min(MAX_BACKOFF_SHIFT));
                 let at = self.clock.saturating_add(delay);
-                let priority = self.nodes[slot].priority;
+                let priority = self.nodes[handler].priority;
                 {
-                    let sup = &mut self.supervisors[slot];
+                    let sup = &mut self.supervisors[handler];
                     sup.restarts_in_window += 1;
                     sup.attempt += 1;
                 }
-                let handle = self
-                    .timers
-                    .schedule(at, priority, slot as u32 | RESTART_TAG)?;
-                self.supervisors[slot].restart_timer = Some(handle);
+                if self.supervisors[scope].restart_timer.is_none() {
+                    let handle = self
+                        .timers
+                        .schedule(at, priority, scope as u32 | RESTART_TAG)?;
+                    self.supervisors[scope].restart_timer = Some(handle);
+                }
                 Ok(())
             }
         }
@@ -2990,8 +3131,6 @@ impl<P: Payload> System<P> {
     /// left half-mutated state — and the cold supervisor record keeps the
     /// fault detail for [`health_report`](Self::health_report).
     fn quarantine_slot(&mut self, slot: usize, fault: &FrameworkError) {
-        self.activation_plans[slot].quarantined = true;
-        self.nodes[slot].quarantined = true;
         let poison = matches!(
             fault,
             FrameworkError::Faulted {
@@ -2999,13 +3138,71 @@ impl<P: Payload> System<P> {
                 ..
             }
         );
+        self.quarantine_flags(slot, poison, fault.to_string());
+        self.supervisors[slot].faults += 1;
+    }
+
+    /// The flag half of a quarantine, shared by the faulting slot and the
+    /// rest of its failed subtree: hot-path plan + node flags flip, the
+    /// membrane (SOLEIL) is quarantined — poisoned when `poison` — and the
+    /// cold supervisor record keeps the detail. Fault *counting* is the
+    /// caller's business: subtree members taken down alongside a faulting
+    /// sibling did not themselves fault.
+    fn quarantine_flags(&mut self, slot: usize, poison: bool, detail: String) {
+        self.activation_plans[slot].quarantined = true;
+        self.nodes[slot].quarantined = true;
         if let Some(m) = self.membranes.get_mut(slot).and_then(|m| m.as_mut()) {
             m.quarantine(poison);
         }
         let sup = &mut self.supervisors[slot];
         sup.quarantined = true;
-        sup.faults += 1;
-        sup.fault_detail = Some(fault.to_string());
+        sup.poisoned = poison;
+        sup.fault_detail = Some(detail);
+    }
+
+    /// The slots of the subtree rooted at `root` in the declared
+    /// supervision tree: `root` plus every slot whose supervisor chain
+    /// reaches it. Cold path (fault handling / subtree restart) — the
+    /// healthy steady state never walks the tree.
+    fn subtree_slots(&self, root: usize) -> Vec<usize> {
+        let mut out = vec![root];
+        for s in 0..self.supervisors.len() {
+            if s == root {
+                continue;
+            }
+            let mut cur = self.supervisors[s].supervisor;
+            let mut hops = 0usize;
+            while let Some(up) = cur {
+                if up as usize == root {
+                    out.push(s);
+                    break;
+                }
+                hops += 1;
+                if hops > self.supervisors.len() {
+                    break;
+                }
+                cur = self.supervisors[up as usize].supervisor;
+            }
+        }
+        out
+    }
+
+    /// Renders the escalation path `origin -> … -> handler` through the
+    /// declared supervisor edges (the SOL-023 verdict subject).
+    fn supervision_path_string(&self, origin: usize, handler: usize) -> String {
+        let mut path = self.nodes[origin].name.clone();
+        let mut cur = origin;
+        let mut hops = 0usize;
+        while cur != handler && hops <= self.supervisors.len() {
+            let Some(up) = self.supervisors[cur].supervisor else {
+                break;
+            };
+            cur = up as usize;
+            hops += 1;
+            path.push_str(" -> ");
+            path.push_str(&self.nodes[cur].name);
+        }
+        path
     }
 
     /// Restarts a quarantined `slot` with a **fresh content instance** from
@@ -3023,6 +3220,30 @@ impl<P: Payload> System<P> {
         if !self.supervisors[slot].quarantined {
             return Ok(());
         }
+        // Warm-state handoff, capture half: a checkpoint-enabled slot
+        // checkpoints the *outgoing* instance at the activation boundary —
+        // unless the membrane is poisoned (a panic may have left
+        // half-mutated state), in which case the last healthy cadence
+        // image is the only trustworthy source.
+        let poisoned = self.supervisors[slot].poisoned;
+        if self.activation_plans[slot].checkpoint_ix != u16::MAX && !poisoned {
+            if let (Some(cp), Some(c)) = (
+                self.checkpoints[slot].as_deref_mut(),
+                self.nodes[slot].content.as_deref(),
+            ) {
+                // The boundary capture of a *healthy* fault is by
+                // definition the freshest healthy state: it becomes the
+                // new healthy image (swap, so overflow cannot clobber it).
+                cp.boundary.clear();
+                let ok = c.checkpoint(&mut cp.boundary);
+                cp.overflowed |= cp.boundary.overflowed();
+                if ok && !cp.boundary.overflowed() {
+                    std::mem::swap(&mut cp.image, &mut cp.boundary);
+                    cp.valid = true;
+                    cp.captures += 1;
+                }
+            }
+        }
         // Fresh instance, same class: the original deploy-time state
         // charge stands (same content class, same `state_bytes`), so no
         // re-charge against the area budget.
@@ -3038,8 +3259,28 @@ impl<P: Payload> System<P> {
         if let Some(c) = self.nodes[slot].content.as_mut() {
             c.on_start();
         }
+        // Warm-state handoff, restore half: the fresh instance starts,
+        // then the last healthy image is installed (just captured at the
+        // boundary for healthy faults; the last cadence capture when the
+        // membrane was poisoned).
+        if self.activation_plans[slot].checkpoint_ix != u16::MAX {
+            let System {
+                nodes, checkpoints, ..
+            } = self;
+            if let (Some(cp), Some(c)) = (
+                checkpoints[slot].as_deref_mut(),
+                nodes[slot].content.as_deref_mut(),
+            ) {
+                if cp.valid {
+                    c.restore(&cp.image);
+                    cp.restores += 1;
+                }
+                cp.since_capture = 0;
+            }
+        }
         let sup = &mut self.supervisors[slot];
         sup.quarantined = false;
+        sup.poisoned = false;
         sup.fault_detail = None;
         sup.restarts += 1;
         // A manual restart landing before the backoff expires supersedes
@@ -3047,6 +3288,26 @@ impl<P: Payload> System<P> {
         // fire would double-count `timer_fires` and could revive a slot
         // re-quarantined in between.
         self.cancel_restart_timer(slot);
+        Ok(())
+    }
+
+    /// Restarts the quarantined members of the subtree rooted at `root` as
+    /// **one unit** — the supervised-restart timer's fire path. Healthy
+    /// members (restarted manually in the meantime) are skipped; the
+    /// degenerate flat case (no tree) restarts exactly the one slot.
+    ///
+    /// # Errors
+    ///
+    /// The first failing member restart aborts the sweep.
+    pub(crate) fn restart_subtree(&mut self, root: usize) -> Result<(), FrameworkError> {
+        if root >= self.nodes.len() {
+            return Err(FrameworkError::Content(format!("bad slot {root}")));
+        }
+        for slot in self.subtree_slots(root) {
+            if self.supervisors[slot].quarantined {
+                self.restart_slot(slot)?;
+            }
+        }
         Ok(())
     }
 
@@ -3076,6 +3337,235 @@ impl<P: Payload> System<P> {
         }
         self.supervisors[slot].policy = policy;
         Ok(prev)
+    }
+
+    /// Declares (or clears, with `None`) `slot`'s supervisor in the
+    /// supervision tree, returning the previous edge. Validity and cycle
+    /// checks run eagerly: the supervisor must be a real slot, must not be
+    /// the component itself, and walking up from the proposed supervisor
+    /// must not reach the component — a cycle would turn escalation into
+    /// a spin. Allowed in every mode (engine-level supervision, like fault
+    /// policies).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for bad slots, self-supervision, or a
+    /// supervisor edge that would close a cycle.
+    pub(crate) fn set_supervisor_at(
+        &mut self,
+        slot: usize,
+        supervisor: Option<usize>,
+    ) -> Result<Option<usize>, FrameworkError> {
+        if slot >= self.nodes.len() {
+            return Err(FrameworkError::Content(format!("bad slot {slot}")));
+        }
+        if let Some(sup) = supervisor {
+            if sup >= self.nodes.len() {
+                return Err(FrameworkError::Content(format!(
+                    "bad supervisor slot {sup}"
+                )));
+            }
+            if sup == slot {
+                return Err(FrameworkError::Content(format!(
+                    "component '{}' cannot supervise itself",
+                    self.nodes[slot].name
+                )));
+            }
+            // Walk up from the proposed supervisor: reaching `slot` means
+            // the new edge would close a cycle.
+            let mut cur = Some(sup as u32);
+            let mut hops = 0usize;
+            while let Some(up) = cur {
+                if up as usize == slot {
+                    return Err(FrameworkError::Content(format!(
+                        "supervision cycle: '{}' is (transitively) supervised by '{}'",
+                        self.nodes[sup].name, self.nodes[slot].name
+                    )));
+                }
+                hops += 1;
+                if hops > self.supervisors.len() {
+                    break;
+                }
+                cur = self.supervisors[up as usize].supervisor;
+            }
+        }
+        let prev = self.supervisors[slot].supervisor.map(|s| s as usize);
+        self.supervisors[slot].supervisor = supervisor.map(|s| s as u32);
+        Ok(prev)
+    }
+
+    /// `slot`'s declared supervisor, if any.
+    pub(crate) fn supervisor_of_at(&self, slot: usize) -> Option<usize> {
+        self.supervisors
+            .get(slot)
+            .and_then(|s| s.supervisor)
+            .map(|s| s as usize)
+    }
+
+    /// Commit-time re-validation of the whole supervision tree: every edge
+    /// names a real slot and no cycle exists. Eager checks in
+    /// [`set_supervisor_at`](Self::set_supervisor_at) make this
+    /// unreachable in practice; transactional commits re-assert it anyway,
+    /// like the RTSJ rules.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] naming the first broken edge.
+    pub(crate) fn check_supervision(&self) -> Result<(), FrameworkError> {
+        for slot in 0..self.supervisors.len() {
+            let mut cur = self.supervisors[slot].supervisor;
+            let mut hops = 0usize;
+            while let Some(up) = cur {
+                let up = up as usize;
+                if up >= self.supervisors.len() {
+                    return Err(FrameworkError::Content(format!(
+                        "supervision edge of '{}' names bad slot {up}",
+                        self.nodes[slot].name
+                    )));
+                }
+                if up == slot {
+                    return Err(FrameworkError::Content(format!(
+                        "supervision cycle through '{}'",
+                        self.nodes[slot].name
+                    )));
+                }
+                hops += 1;
+                if hops > self.supervisors.len() {
+                    return Err(FrameworkError::Content(format!(
+                        "supervision cycle reachable from '{}'",
+                        self.nodes[slot].name
+                    )));
+                }
+                cur = self.supervisors[up].supervisor;
+            }
+        }
+        Ok(())
+    }
+
+    /// The rendered escalation path of the last fault `slot` contained as
+    /// a supervisor (`None` until an escalation walked through it).
+    pub(crate) fn escalation_path_at(&self, slot: usize) -> Option<String> {
+        self.supervisors
+            .get(slot)
+            .and_then(|s| s.escalation_path.clone())
+    }
+
+    /// Enables the warm-state **Checkpoint capability** for `slot`: probes
+    /// the live content instance (it must implement
+    /// [`Content::checkpoint`]), preallocates the two state images at the
+    /// instance's `state_bytes` bound, and compiles the checkpoint index
+    /// into the slot's activation plan. The initial probe doubles as the
+    /// first healthy capture. Captures then run every `cadence` successful
+    /// activations and at supervised-restart boundaries, never allocating.
+    ///
+    /// Returns the bytes to charge against the component's allocation
+    /// area (both images) — callers make that charge, deferred or
+    /// immediate, through the usual monotonic accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Content`] for a bad slot, a zero cadence, or
+    /// content that does not implement the capability.
+    pub(crate) fn enable_checkpoint_at(
+        &mut self,
+        slot: usize,
+        cadence: u32,
+    ) -> Result<usize, FrameworkError> {
+        if slot >= self.nodes.len() || slot >= usize::from(u16::MAX) {
+            return Err(FrameworkError::Content(format!("bad slot {slot}")));
+        }
+        if cadence == 0 {
+            return Err(FrameworkError::Content(
+                "checkpoint cadence must be at least 1 activation".into(),
+            ));
+        }
+        let Some(content) = self.nodes[slot].content.as_deref() else {
+            return Err(FrameworkError::Content(format!(
+                "component '{}' has no content instance",
+                self.nodes[slot].name
+            )));
+        };
+        let limit = content.state_bytes().max(1);
+        let mut image = StateImage::with_limit(limit);
+        if !content.checkpoint(&mut image) {
+            return Err(FrameworkError::Content(format!(
+                "content of '{}' does not implement the Checkpoint capability \
+                 (Content::checkpoint returned false)",
+                self.nodes[slot].name
+            )));
+        }
+        let valid = !image.overflowed();
+        let boundary = StateImage::with_limit(limit);
+        self.checkpoints[slot] = Some(Box::new(CheckpointSlot {
+            overflowed: image.overflowed(),
+            image,
+            boundary,
+            cadence,
+            since_capture: 0,
+            valid,
+            captures: u64::from(valid),
+            restores: 0,
+        }));
+        self.activation_plans[slot].checkpoint_ix = slot as u16;
+        Ok(2 * limit)
+    }
+
+    /// True when the Checkpoint capability is enabled for `slot`.
+    pub(crate) fn checkpoint_enabled_at(&self, slot: usize) -> bool {
+        self.checkpoints.get(slot).is_some_and(|c| c.is_some())
+    }
+
+    /// `(captures, restores)` of `slot`'s checkpoint storage, if enabled.
+    pub(crate) fn checkpoint_counts_at(&self, slot: usize) -> Option<(u64, u64)> {
+        self.checkpoints
+            .get(slot)
+            .and_then(|c| c.as_deref())
+            .map(|c| (c.captures, c.restores))
+    }
+
+    /// Tears the Checkpoint capability back out of `slot` — the error path
+    /// of an enable whose substrate charge was refused. The activation
+    /// plan's checkpoint index reverts to the disabled sentinel, so the
+    /// healthy path pays its single compare again.
+    pub(crate) fn disable_checkpoint_at(&mut self, slot: usize) {
+        if slot < self.checkpoints.len() {
+            self.checkpoints[slot] = None;
+            self.activation_plans[slot].checkpoint_ix = u16::MAX;
+        }
+    }
+
+    /// The runtime-area index a slot's allocation region currently lives
+    /// in (checkpoint images are charged against it).
+    pub(crate) fn area_ix_at(&self, slot: usize) -> usize {
+        self.nodes[slot].area_ix
+    }
+
+    /// The cadence gate behind `ActivationPlan::checkpoint_ix`: counts one
+    /// successful activation and, every `cadence` of them, captures the
+    /// live state into the preallocated healthy image. Off-cadence
+    /// activations cost one increment and one compare; on-cadence captures
+    /// reuse the image storage — no allocation either way.
+    fn cadence_checkpoint(&mut self, slot: usize) {
+        let Some(cp) = self.checkpoints[slot].as_deref_mut() else {
+            return;
+        };
+        cp.since_capture += 1;
+        if cp.since_capture < cp.cadence {
+            return;
+        }
+        cp.since_capture = 0;
+        if let Some(c) = self.nodes[slot].content.as_deref() {
+            // Capture into the scratch image and swap on success, so an
+            // overflowing capture never clobbers the last healthy image.
+            cp.boundary.clear();
+            let ok = c.checkpoint(&mut cp.boundary);
+            cp.overflowed |= cp.boundary.overflowed();
+            if ok && !cp.boundary.overflowed() {
+                std::mem::swap(&mut cp.image, &mut cp.boundary);
+                cp.valid = true;
+                cp.captures += 1;
+            }
+        }
     }
 
     /// The fault policy declared for `slot`.
@@ -3147,8 +3637,11 @@ impl<P: Payload> System<P> {
     /// plus the supervision findings — SOL-020 for each quarantined
     /// component (with the contained fault and suppressed-release count),
     /// SOL-021 for each exhausted restart budget, SOL-022 when messages
-    /// were counted-dropped at quarantine gates. A compliant report means
-    /// every contract holds and no component is sick.
+    /// were counted-dropped at quarantine gates, SOL-023 naming the
+    /// supervision path of each fault that escalated through the declared
+    /// tree. A compliant report means every contract holds and no
+    /// component is sick (SOL-022/023 are warnings: history, not
+    /// sickness).
     pub fn health_report(&self) -> ValidationReport {
         let mut report = self.contract_report();
         for (slot, sup) in self.supervisors.iter().enumerate() {
@@ -3165,6 +3658,27 @@ impl<P: Payload> System<P> {
                     suggestion: Some(
                         "restart the component (a supervised restart installs a fresh \
                          content instance and clears membrane poison) or fix the fault"
+                            .into(),
+                    ),
+                });
+            }
+            if let Some(path) = &sup.escalation_path {
+                let policy = match sup.policy {
+                    FaultPolicy::Escalate => "escalate",
+                    FaultPolicy::Isolate => "isolate",
+                    FaultPolicy::Restart { .. } => "restart",
+                };
+                report.append(Diagnostic {
+                    code: "SOL-023",
+                    severity: Severity::Warning,
+                    subject: self.nodes[slot].name.clone(),
+                    message: format!(
+                        "fault escalated along supervision path {path}; \
+                         the failed subtree was handled by this supervisor's {policy} policy"
+                    ),
+                    suggestion: Some(
+                        "escalation through the declared tree is working as configured; \
+                         inspect the origin component's fault if escalations recur"
                             .into(),
                     ),
                 });
@@ -3273,6 +3787,16 @@ impl<P: Payload> System<P> {
                 .iter()
                 .flatten()
                 .map(|fi| fi.footprint_bytes())
+                .sum::<usize>()
+            + self
+                .checkpoints
+                .iter()
+                .flatten()
+                .map(|c| {
+                    std::mem::size_of::<CheckpointSlot>()
+                        + c.image.footprint_bytes()
+                        + c.boundary.footprint_bytes()
+                })
                 .sum::<usize>();
         FootprintReport::collect(
             self.mode.to_string(),
@@ -5047,5 +5571,414 @@ mod tests {
         sys.run_tick().unwrap();
         let (_, _, suppressed) = sys.supervision_counts_at(producer);
         assert_eq!(suppressed, 1, "second tick suppressed the quarantined head");
+    }
+
+    // -----------------------------------------------------------------
+    // Supervision trees, warm-state handoff, virtual-time spikes
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn supervisor_edges_refuse_self_supervision_and_cycles() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let producer = sys.slot_of("producer").unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        let sink = sys.slot_of("sink").unwrap();
+
+        let err = sys.set_supervisor_at(producer, Some(producer)).unwrap_err();
+        assert!(err.to_string().contains("cannot supervise itself"), "{err}");
+
+        sys.set_supervisor_at(producer, Some(middle)).unwrap();
+        sys.set_supervisor_at(middle, Some(sink)).unwrap();
+        // sink → producer would close producer → middle → sink → producer.
+        let err = sys.set_supervisor_at(sink, Some(producer)).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+        sys.check_supervision().unwrap();
+
+        // Clearing an edge returns the previous one.
+        assert_eq!(sys.set_supervisor_at(middle, None).unwrap(), Some(sink));
+        assert_eq!(sys.supervisor_of_at(middle), None);
+    }
+
+    #[test]
+    fn escalation_walks_the_tree_and_restarts_the_failed_subtree_as_a_unit() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let producer = sys.slot_of("producer").unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        let sink = sys.slot_of("sink").unwrap();
+        // Tree: producer → middle → sink; only the root supervisor has a
+        // containing policy.
+        sys.set_supervisor_at(producer, Some(middle)).unwrap();
+        sys.set_supervisor_at(middle, Some(sink)).unwrap();
+        sys.set_fault_policy_at(
+            sink,
+            FaultPolicy::Restart {
+                max_restarts: 5,
+                window: RelativeTime::from_millis(3_600_000),
+                backoff: RelativeTime::from_millis(10),
+            },
+        )
+        .unwrap();
+        sys.install_fault_injector_at(
+            producer,
+            FaultInjector::new("producer", 5, 1).with_menu(FaultInjector::MENU_ERROR),
+        )
+        .unwrap();
+
+        // The fault escalates producer → middle (both Escalate) and sink
+        // contains it: the failed branch rooted at `middle` goes down as a
+        // unit, the handler itself stays healthy.
+        sys.run_tick().unwrap();
+        assert!(sys.quarantined_at(producer));
+        assert!(sys.quarantined_at(middle), "subtree member taken down too");
+        assert!(!sys.quarantined_at(sink), "the handler keeps running");
+        let (pf, _, _) = sys.supervision_counts_at(producer);
+        let (mf, _, _) = sys.supervision_counts_at(middle);
+        assert_eq!(pf, 1, "the origin records the fault");
+        assert_eq!(mf, 0, "co-quarantined members did not themselves fault");
+        assert_eq!(
+            sys.escalation_path_at(sink).as_deref(),
+            Some("producer -> middle -> sink")
+        );
+
+        // SOL-023 names the supervision path on the handler; SOL-020
+        // covers both downed members.
+        let report = sys.health_report();
+        assert!(
+            report
+                .by_code("SOL-023")
+                .any(|d| d.subject == "sink" && d.message.contains("producer -> middle -> sink")),
+            "{report}"
+        );
+        assert!(report.by_code("SOL-020").any(|d| d.subject == "producer"));
+        assert!(report.by_code("SOL-020").any(|d| d.subject == "middle"));
+
+        // Disarm the storm and let the backoff timer fire: the subtree
+        // restarts as one unit through the timer queue.
+        sys.install_fault_injector_at(producer, FaultInjector::new("producer", 5, 0))
+            .unwrap();
+        for _ in 0..5 {
+            sys.run_tick().unwrap();
+        }
+        assert!(!sys.quarantined_at(producer));
+        assert!(!sys.quarantined_at(middle));
+        let (_, pr, _) = sys.supervision_counts_at(producer);
+        let (_, mr, _) = sys.supervision_counts_at(middle);
+        assert_eq!((pr, mr), (1, 1), "one supervised restart each, as a unit");
+        // The pipeline serves again end to end.
+        sys.run_tick().unwrap();
+    }
+
+    #[test]
+    fn isolate_handler_contains_only_the_failed_branch() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let producer = sys.slot_of("producer").unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        let sink = sys.slot_of("sink").unwrap();
+        // Two branches under one Isolate supervisor.
+        sys.set_supervisor_at(producer, Some(sink)).unwrap();
+        sys.set_supervisor_at(middle, Some(sink)).unwrap();
+        sys.set_fault_policy_at(sink, FaultPolicy::Isolate).unwrap();
+        sys.install_fault_injector_at(
+            producer,
+            FaultInjector::new("producer", 5, 1).with_menu(FaultInjector::MENU_ERROR),
+        )
+        .unwrap();
+
+        sys.run_tick().unwrap();
+        assert!(sys.quarantined_at(producer), "the failed branch is down");
+        assert!(
+            !sys.quarantined_at(middle),
+            "the sibling branch keeps running"
+        );
+        assert!(!sys.quarantined_at(sink), "the handler keeps running");
+        assert_eq!(
+            sys.escalation_path_at(sink).as_deref(),
+            Some("producer -> sink")
+        );
+        // The sibling really serves: a direct injection still flows.
+        let middle_in = sys.port_ix_of(middle, "in").unwrap();
+        sys.inject_at(middle, middle_in, Token::default()).unwrap();
+    }
+
+    #[test]
+    fn root_escalation_aborts_exactly_like_the_flat_semantics() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let producer = sys.slot_of("producer").unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        // producer → middle, but middle also escalates and has no
+        // supervisor: the walk runs off the root and the fault aborts.
+        sys.set_supervisor_at(producer, Some(middle)).unwrap();
+        sys.install_fault_injector_at(
+            producer,
+            FaultInjector::new("producer", 5, 1).with_menu(FaultInjector::MENU_ERROR),
+        )
+        .unwrap();
+        let err = sys.run_tick().unwrap_err();
+        assert!(
+            err.to_string().contains("producer"),
+            "the original typed fault surfaces: {err}"
+        );
+        assert!(
+            !sys.quarantined_at(producer) && !sys.quarantined_at(middle),
+            "an uncontained escalation quarantines nothing"
+        );
+    }
+
+    /// A probed counter content: every successful activation increments
+    /// and publishes its state, and the Checkpoint capability carries that
+    /// state across supervised restarts.
+    #[derive(Debug)]
+    struct WarmCounter {
+        count: u64,
+        probe: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+    }
+    impl Content<Token> for WarmCounter {
+        fn on_invoke(
+            &mut self,
+            _port: &str,
+            _msg: &mut Token,
+            _out: &mut dyn Ports<Token>,
+        ) -> InvokeResult {
+            self.count += 1;
+            self.probe.lock().unwrap().push(self.count);
+            Ok(())
+        }
+        fn state_bytes(&self) -> usize {
+            64
+        }
+        fn checkpoint(&self, image: &mut StateImage) -> bool {
+            image.write_u64(self.count)
+        }
+        fn restore(&mut self, image: &StateImage) {
+            if let Some(v) = image.read_u64(0) {
+                self.count = v;
+            }
+        }
+    }
+
+    /// One periodic NHRT counter, no bindings — the smallest deployment
+    /// that can fault, restart and hand state over.
+    fn counter_spec() -> SystemSpec {
+        SystemSpec {
+            name: "warm".into(),
+            areas: vec![AreaSpec {
+                name: "imm".into(),
+                kind: MemoryKind::Immortal,
+                size: Some(64 * 1024),
+                parent: None,
+            }],
+            domains: vec![DomainSpec {
+                name: "nhrt".into(),
+                kind: ThreadKind::NoHeapRealtime,
+                priority: 30,
+            }],
+            components: vec![ComponentSpec {
+                name: "counter".into(),
+                content_class: "WarmCounter".into(),
+                activation: Activation::Periodic {
+                    period: RelativeTime::from_millis(10),
+                },
+                domain: Some(0),
+                area: 0,
+                server_ports: vec![],
+                ceiling: None,
+            }],
+            bindings: vec![],
+        }
+    }
+
+    fn counter_system(
+        cadence: Option<u32>,
+    ) -> (
+        System<Token>,
+        usize,
+        std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+    ) {
+        let probe = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut r: ContentRegistry<Token> = ContentRegistry::new();
+        let p = std::sync::Arc::clone(&probe);
+        r.register("WarmCounter", move || {
+            Box::new(WarmCounter {
+                count: 0,
+                probe: std::sync::Arc::clone(&p),
+            })
+        });
+        let mut sys = System::build(&counter_spec(), Mode::MergeAll, &r).unwrap();
+        let counter = sys.slot_of("counter").unwrap();
+        sys.set_fault_policy_at(
+            counter,
+            FaultPolicy::Restart {
+                max_restarts: 3,
+                window: RelativeTime::from_millis(3_600_000),
+                backoff: RelativeTime::from_millis(10),
+            },
+        )
+        .unwrap();
+        if let Some(cadence) = cadence {
+            let bytes = sys.enable_checkpoint_at(counter, cadence).unwrap();
+            assert_eq!(bytes, 2 * 64, "both images, at the state_bytes bound");
+        }
+        (sys, counter, probe)
+    }
+
+    #[test]
+    fn checkpoint_carries_warm_state_across_a_supervised_restart() {
+        let (mut sys, counter, probe) = counter_system(Some(1));
+        for _ in 0..5 {
+            sys.run_tick().unwrap();
+        }
+        // Fault once (the injector draws before the content runs), then
+        // disarm and let the backoff restart fire.
+        sys.install_fault_injector_at(
+            counter,
+            FaultInjector::new("counter", 5, 1).with_menu(FaultInjector::MENU_ERROR),
+        )
+        .unwrap();
+        sys.run_tick().unwrap();
+        assert!(sys.quarantined_at(counter));
+        sys.install_fault_injector_at(counter, FaultInjector::new("counter", 5, 0))
+            .unwrap();
+        for _ in 0..4 {
+            sys.run_tick().unwrap();
+        }
+        assert!(!sys.quarantined_at(counter), "backoff restart fired");
+
+        // Warm handoff: the fresh instance resumed at the checkpointed
+        // count — the observed sequence is strictly increasing with no
+        // reset to 1.
+        let seen = probe.lock().unwrap().clone();
+        assert!(seen.len() >= 7, "{seen:?}");
+        assert!(
+            seen.windows(2).all(|w| w[1] == w[0] + 1) && seen[0] == 1,
+            "monotonic continuation across the restart: {seen:?}"
+        );
+        let (captures, restores) = sys.checkpoint_counts_at(counter).unwrap();
+        assert_eq!(restores, 1, "one restore into the fresh instance");
+        assert!(captures >= 6, "probe capture + cadence + boundary");
+
+        // Control: the same storm without the capability restarts cold.
+        let (mut sys, counter, probe) = counter_system(None);
+        for _ in 0..5 {
+            sys.run_tick().unwrap();
+        }
+        sys.install_fault_injector_at(
+            counter,
+            FaultInjector::new("counter", 5, 1).with_menu(FaultInjector::MENU_ERROR),
+        )
+        .unwrap();
+        sys.run_tick().unwrap();
+        sys.install_fault_injector_at(counter, FaultInjector::new("counter", 5, 0))
+            .unwrap();
+        for _ in 0..4 {
+            sys.run_tick().unwrap();
+        }
+        let seen = probe.lock().unwrap().clone();
+        assert!(
+            seen.iter().filter(|&&v| v == 1).count() == 2,
+            "a cold restart resets the counter: {seen:?}"
+        );
+        assert_eq!(sys.checkpoint_counts_at(counter), None);
+    }
+
+    #[test]
+    fn poisoned_restart_restores_the_cadence_image_not_the_boundary_capture() {
+        let (mut sys, counter, probe) = counter_system(Some(3));
+        for _ in 0..7 {
+            sys.run_tick().unwrap();
+        }
+        // Counts 1..=7 ran; cadence-3 captures landed at 3 and 6, so the
+        // healthy image holds 6 while the live instance holds 7.
+        sys.install_fault_injector_at(
+            counter,
+            FaultInjector::new("counter", 9, 1).with_menu(FaultInjector::MENU_PANIC),
+        )
+        .unwrap();
+        sys.run_tick().unwrap();
+        assert!(sys.quarantined_at(counter));
+        sys.install_fault_injector_at(counter, FaultInjector::new("counter", 9, 0))
+            .unwrap();
+        for _ in 0..4 {
+            sys.run_tick().unwrap();
+        }
+        assert!(!sys.quarantined_at(counter));
+        // A panic may have left the outgoing instance half-mutated: the
+        // boundary capture is skipped and the last *healthy* cadence image
+        // (count 6) is restored, so the first post-restart activation
+        // publishes 7 again — not 8, which a boundary capture of the
+        // poisoned instance would have produced.
+        let seen = probe.lock().unwrap().clone();
+        let after_restart = seen[7..].to_vec();
+        assert_eq!(after_restart.first(), Some(&7), "{seen:?}");
+    }
+
+    #[test]
+    fn checkpoint_requires_the_capability_and_a_positive_cadence() {
+        // The pipeline's stock contents do not implement `checkpoint`.
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        let err = sys.enable_checkpoint_at(middle, 1).unwrap_err();
+        assert!(err.to_string().contains("Checkpoint capability"), "{err}");
+        assert!(!sys.checkpoint_enabled_at(middle));
+
+        let (mut sys, counter, _) = counter_system(None);
+        let err = sys.enable_checkpoint_at(counter, 0).unwrap_err();
+        assert!(err.to_string().contains("cadence"), "{err}");
+    }
+
+    #[test]
+    fn virtual_clock_spikes_advance_virtual_time_without_wall_waiting() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let producer = sys.slot_of("producer").unwrap();
+        // A full second of injected latency per activation: busy-waiting
+        // this 10 times would stall the test for ~10 s of wall time.
+        sys.install_fault_injector_at(
+            producer,
+            FaultInjector::new("producer", 7, 1)
+                .with_menu(FaultInjector::MENU_LATENCY)
+                .with_latency_spike_ns(1_000_000_000)
+                .with_virtual_clock(),
+        )
+        .unwrap();
+        let clock0 = sys.clock();
+        let wall = Instant::now();
+        for _ in 0..10 {
+            sys.run_tick().unwrap();
+        }
+        let advanced = sys.clock().since(clock0);
+        assert!(
+            advanced >= RelativeTime::from_millis(10_000),
+            "ten 1 s spikes must land on the virtual clock (got {advanced})"
+        );
+        assert!(
+            wall.elapsed() < std::time::Duration::from_secs(5),
+            "virtual spikes must not busy-wait the OS clock"
+        );
+    }
+
+    #[test]
+    fn supervisor_edges_change_the_structural_fingerprint() {
+        let spec = pipeline_spec();
+        let mut sys = System::build(&spec, Mode::MergeAll, &registry()).unwrap();
+        let before = sys.structural_digest();
+        let producer = sys.slot_of("producer").unwrap();
+        let middle = sys.slot_of("middle").unwrap();
+        sys.set_supervisor_at(producer, Some(middle)).unwrap();
+        assert_ne!(
+            before,
+            sys.structural_digest(),
+            "a supervision edge is structure: rollback identity checks must see it"
+        );
+        sys.set_supervisor_at(producer, None).unwrap();
+        assert_eq!(
+            before,
+            sys.structural_digest(),
+            "clearing the edge restores it"
+        );
     }
 }

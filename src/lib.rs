@@ -125,16 +125,16 @@ pub mod scenario;
 pub mod prelude {
     pub use crate::core::prelude::*;
     pub use crate::generator::{compile, deploy, deploy_parallel, emit_source, generate};
-    pub use crate::membrane::content::{Content, ContentRegistry, InvokeResult, Ports};
+    pub use crate::membrane::content::{Content, ContentRegistry, InvokeResult, Ports, StateImage};
     pub use crate::membrane::interceptors::FaultInjector;
     pub use crate::membrane::monitor::{LatencyMonitor, LatencySnapshot};
     pub use crate::membrane::{FaultKind, FrameworkError};
     pub use crate::runtime::instrument::measure_steady;
     pub use crate::runtime::system::RELEASE_PORT;
     pub use crate::runtime::{
-        ComponentRef, Deployment, EngineStats, FaultPolicy, FootprintReport, Mode,
-        ParallelReconfiguration, ParallelSystem, PortRef, Reconfiguration, ShardRun, System,
-        SystemSpec, TimerHandle, TimerQueue,
+        run_recovery_campaign, ComponentRef, Deployment, EngineStats, FaultPolicy, FootprintReport,
+        Mode, ParallelReconfiguration, ParallelSystem, PortRef, Reconfiguration, RecoveryEpisode,
+        RecoveryMetrics, ShardRun, System, SystemSpec, TimerHandle, TimerQueue,
     };
     pub use crate::{SoleilError, SoleilResult};
     pub use rtsj::time::{AbsoluteTime, RelativeTime};

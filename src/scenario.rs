@@ -23,7 +23,9 @@ use rtsj::thread::ThreadKind;
 
 use crate::core::adl::{from_xml, MOTIVATION_EXAMPLE_XML};
 use crate::core::Architecture;
-use crate::membrane::content::{Content, ContentRegistry, InternedPort, InvokeResult, Ports};
+use crate::membrane::content::{
+    Content, ContentRegistry, InternedPort, InvokeResult, Ports, StateImage,
+};
 use crate::patterns::ScopePin;
 use crate::runtime::footprint::FootprintReport;
 
@@ -82,6 +84,8 @@ pub struct ScenarioProbe {
     consoles: Arc<AtomicU64>,
     audits: Arc<AtomicU64>,
     value_bits: Arc<AtomicU64>,
+    max_seq: Arc<AtomicU64>,
+    seq_regressions: Arc<AtomicU64>,
 }
 
 impl ScenarioProbe {
@@ -108,6 +112,28 @@ impl ScenarioProbe {
     /// Records one console notification.
     pub fn record_console(&self) {
         self.consoles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Highest measurement sequence number audited so far.
+    pub fn max_seq(&self) -> u64 {
+        self.max_seq.load(Ordering::Relaxed)
+    }
+
+    /// Times an audited sequence number regressed below the running
+    /// maximum — the cold-restart witness: `ProductionLineImpl` numbers
+    /// its measurements monotonically, so a restart that loses its warm
+    /// `seq` state re-emits low sequence numbers and trips this counter,
+    /// while a checkpointed restart continues the series and never does.
+    pub fn seq_regressions(&self) -> u64 {
+        self.seq_regressions.load(Ordering::Relaxed)
+    }
+
+    /// Records the sequence number of an audited measurement.
+    pub fn record_seq(&self, seq: u64) {
+        let prev = self.max_seq.fetch_max(seq, Ordering::Relaxed);
+        if seq <= prev {
+            self.seq_regressions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records one audit of value `v`.
@@ -165,6 +191,24 @@ impl Content<Measurement> for ProductionLineImpl {
         msg.value = busy_work(work::PRODUCTION, self.seq as f64);
         msg.anomalous = self.seq.is_multiple_of(work::ANOMALY_EVERY);
         self.monitor.send(out, *msg)
+    }
+
+    // The sequence counter is the line's warm state: with the Checkpoint
+    // capability enabled, a supervised restart resumes the measurement
+    // series instead of re-numbering from 1 (the interned port re-interns
+    // lazily and carries no state worth preserving).
+    fn state_bytes(&self) -> usize {
+        64
+    }
+
+    fn checkpoint(&self, image: &mut StateImage) -> bool {
+        image.write_u64(self.seq)
+    }
+
+    fn restore(&mut self, image: &StateImage) {
+        if let Some(seq) = image.read_u64(0) {
+            self.seq = seq;
+        }
     }
 }
 
@@ -235,6 +279,7 @@ impl Content<Measurement> for AuditLogImpl {
     ) -> InvokeResult {
         let v = busy_work(work::AUDIT, msg.value);
         self.probe.record_audit(v);
+        self.probe.record_seq(msg.seq);
         Ok(())
     }
 }

@@ -302,3 +302,291 @@ proptest! {
         prop_assert_eq!(first, second, "replay diverged (plan {:?})", plan);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Warm-state and supervision-tree properties
+// ---------------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A per-worker observation pair: total invocations ever (across every
+/// instance) and the last value of the *instance* counter.
+#[derive(Debug, Clone, Default)]
+struct CkProbe {
+    invocations: Arc<AtomicU64>,
+    last_count: Arc<AtomicU64>,
+}
+
+/// A counter whose state rides the Checkpoint capability. Observational
+/// equivalence modulo counted drops: if every restart restores the warm
+/// image, the instance counter equals the total invocation count at all
+/// times — a cold restart would reset it and leave it lagging forever.
+#[derive(Debug)]
+struct CkCount {
+    count: u64,
+    probe: CkProbe,
+}
+
+impl Content<u64> for CkCount {
+    fn on_invoke(&mut self, _p: &str, _m: &mut u64, _o: &mut dyn Ports<u64>) -> InvokeResult {
+        self.count += 1;
+        self.probe.invocations.fetch_add(1, Ordering::Relaxed);
+        self.probe.last_count.store(self.count, Ordering::Relaxed);
+        Ok(())
+    }
+    fn state_bytes(&self) -> usize {
+        64
+    }
+    fn checkpoint(&self, image: &mut StateImage) -> bool {
+        image.write_u64(self.count)
+    }
+    fn restore(&mut self, image: &StateImage) {
+        if let Some(v) = image.read_u64(0) {
+            self.count = v;
+        }
+    }
+}
+
+/// Like [`build_arch`], but each worker gets its own content class so its
+/// factory can carry a per-worker probe.
+fn build_arch_per_worker(n_workers: usize) -> Architecture {
+    let mut b = BusinessView::new("chaos-warm");
+    b.active_periodic("source", "10ms").unwrap();
+    b.content("source", "Fan").unwrap();
+    for i in 0..n_workers {
+        let w = format!("worker{i}");
+        b.active_sporadic(&w).unwrap();
+        b.content(&w, &format!("CkCount{i}")).unwrap();
+        b.require("source", &format!("out{i}"), "I").unwrap();
+        b.provide(&w, "in", "I").unwrap();
+        b.bind_async("source", &format!("out{i}"), &w, "in", 8)
+            .unwrap();
+    }
+    let mut flow = DesignFlow::new(b);
+    flow.thread_domain("dhead", ThreadKind::NoHeapRealtime, 30, &["source"])
+        .unwrap();
+    flow.memory_area("mhead", MemoryKind::Immortal, Some(128 * 1024), &["dhead"])
+        .unwrap();
+    let worker_names: Vec<String> = (0..n_workers).map(|i| format!("worker{i}")).collect();
+    let refs: Vec<&str> = worker_names.iter().map(String::as_str).collect();
+    flow.thread_domain("dwork", ThreadKind::NoHeapRealtime, 20, &refs)
+        .unwrap();
+    flow.memory_area("mwork", MemoryKind::Immortal, Some(256 * 1024), &["dwork"])
+        .unwrap();
+    flow.merge().unwrap()
+}
+
+fn registry_ck(n_workers: usize, probes: &[CkProbe]) -> ContentRegistry<u64> {
+    let mut r = ContentRegistry::new();
+    r.register("Fan", move || {
+        #[derive(Debug)]
+        struct Fan(usize);
+        impl Content<u64> for Fan {
+            fn on_invoke(
+                &mut self,
+                _p: &str,
+                msg: &mut u64,
+                out: &mut dyn Ports<u64>,
+            ) -> InvokeResult {
+                for i in 0..self.0 {
+                    out.send(&format!("out{i}"), *msg)?;
+                }
+                Ok(())
+            }
+        }
+        Box::new(Fan(n_workers))
+    });
+    for (i, probe) in probes.iter().enumerate() {
+        let p = probe.clone();
+        r.register(format!("CkCount{i}"), move || {
+            Box::new(CkCount {
+                count: 0,
+                probe: p.clone(),
+            })
+        });
+    }
+    r
+}
+
+/// A restart policy whose short window keeps the exponential backoff from
+/// outliving the settling phase no matter how many faults a plan lands.
+fn short_window_restart() -> FaultPolicy {
+    FaultPolicy::Restart {
+        max_restarts: 1_000,
+        window: RelativeTime::from_millis(30),
+        backoff: RelativeTime::from_millis(1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Checkpoint/restore round-trips are observationally equivalent
+    /// modulo counted drops: under an arbitrary error/panic schedule with
+    /// every worker checkpointing at cadence 1 under a restart policy,
+    /// each worker's instance counter always equals its all-instances
+    /// invocation total — warm state is never lost (a panic restores the
+    /// last healthy cadence image; the poisoned activation itself never
+    /// ran the content) — and restores track supervised restarts exactly.
+    #[test]
+    fn checkpointed_restarts_preserve_observational_state(
+        n in 1usize..4,
+        seeds in proptest::collection::vec(0u64..u64::MAX, 3..4),
+        rates in proptest::collection::vec(1u32..4, 3..4),
+        menus in proptest::collection::vec(0u8..3, 3..4),
+        ticks in 6u64..24,
+        mode in 0u8..3,
+    ) {
+        let mode = match mode {
+            0 => Mode::Soleil,
+            1 => Mode::MergeAll,
+            _ => Mode::UltraMerge,
+        };
+        let probes: Vec<CkProbe> = (0..n).map(|_| CkProbe::default()).collect();
+        let arch = build_arch_per_worker(n).into_validated().expect("validates");
+        let mut dep = deploy(&arch, mode, &registry_ck(n, &probes)).expect("deploys");
+        let workers: Vec<ComponentRef> = (0..n)
+            .map(|i| dep.resolve(&format!("worker{i}")).unwrap())
+            .collect();
+        for (i, w) in workers.iter().enumerate() {
+            dep.set_fault_policy(*w, short_window_restart()).unwrap();
+            dep.enable_checkpoint(*w, 1).unwrap();
+            let menu = match menus[i] {
+                0 => FaultInjector::MENU_ERROR,
+                1 => FaultInjector::MENU_PANIC,
+                _ => FaultInjector::MENU_ERROR | FaultInjector::MENU_PANIC,
+            };
+            dep.install_fault_injector(
+                *w,
+                FaultInjector::new(format!("worker{i}"), seeds[i], rates[i]).with_menu(menu),
+            )
+            .unwrap();
+        }
+        for tick in 0..ticks {
+            dep.run_tick()
+                .unwrap_or_else(|e| panic!("tick {tick} escaped containment: {e}"));
+        }
+        for w in &workers {
+            dep.remove_fault_injector(*w).unwrap();
+        }
+        // Settle generously: the short window keeps every pending backoff
+        // under a few ms, so the timers all fire within these ticks.
+        for _ in 0..6 {
+            dep.run_tick().expect("settling ticks are fault-free");
+        }
+
+        // The exact post-quiescence ledger: every *accepted* message was
+        // either delivered or counted-dropped at a quarantine gate.
+        // Full-ring rejections (a backlogged worker mid-backoff) never
+        // entered a queue — they are counted in `dropped_messages` but not
+        // in `async_messages`, per the EngineStats contract.
+        let stats = dep.stats();
+        prop_assert_eq!(
+            stats.async_messages,
+            stats.delivered_messages + stats.quarantine_drops,
+            "ledger leak under checkpointed restarts"
+        );
+        prop_assert!(
+            stats.dropped_messages >= stats.quarantine_drops,
+            "rejections are counted, never negative"
+        );
+        for (i, w) in workers.iter().enumerate() {
+            prop_assert!(!dep.quarantined(*w).unwrap(), "worker{} still down", i);
+            let invocations = probes[i].invocations.load(Ordering::Relaxed);
+            let last = probes[i].last_count.load(Ordering::Relaxed);
+            prop_assert_eq!(
+                last, invocations,
+                "worker{}: instance counter diverged from invocation total — \
+                 a restart lost warm state", i
+            );
+            let (_, restarts, _) = dep.supervision_counts(*w).unwrap();
+            let (_, restores) = dep.checkpoint_counts(*w).unwrap().expect("enabled");
+            prop_assert_eq!(
+                restores, restarts,
+                "worker{}: every supervised restart must restore the image", i
+            );
+        }
+    }
+
+    /// Restarting a subtree touches only that subtree: with the declared
+    /// tree worker0 → worker1 → worker2 and faults injected at worker0
+    /// only, the containment quarantines and restarts workers 0 and 1 as
+    /// a unit while worker2 (the handler) and every sibling keep running
+    /// every single tick.
+    #[test]
+    fn subtree_restart_leaves_siblings_untouched(
+        n in 3usize..6,
+        seed in 0u64..u64::MAX,
+        rate in 1u32..4,
+        menu in 0u8..3,
+        ticks in 6u64..24,
+        mode in 0u8..3,
+    ) {
+        const SETTLE: u64 = 6;
+        let mode = match mode {
+            0 => Mode::Soleil,
+            1 => Mode::MergeAll,
+            _ => Mode::UltraMerge,
+        };
+        let probes: Vec<CkProbe> = (0..n).map(|_| CkProbe::default()).collect();
+        let arch = build_arch_per_worker(n).into_validated().expect("validates");
+        let mut dep = deploy(&arch, mode, &registry_ck(n, &probes)).expect("deploys");
+        let workers: Vec<ComponentRef> = (0..n)
+            .map(|i| dep.resolve(&format!("worker{i}")).unwrap())
+            .collect();
+        // Declared tree: worker0 and worker1 escalate, worker2 contains.
+        dep.set_supervisor(workers[0], Some(workers[1])).unwrap();
+        dep.set_supervisor(workers[1], Some(workers[2])).unwrap();
+        dep.set_fault_policy(workers[2], short_window_restart()).unwrap();
+        let menu = match menu {
+            0 => FaultInjector::MENU_ERROR,
+            1 => FaultInjector::MENU_PANIC,
+            _ => FaultInjector::MENU_ERROR | FaultInjector::MENU_PANIC,
+        };
+        dep.install_fault_injector(
+            workers[0],
+            FaultInjector::new("worker0", seed, rate).with_menu(menu),
+        )
+        .unwrap();
+        for tick in 0..ticks {
+            dep.run_tick()
+                .unwrap_or_else(|e| panic!("tick {tick} escaped the tree: {e}"));
+        }
+        dep.remove_fault_injector(workers[0]).unwrap();
+        for _ in 0..SETTLE {
+            dep.run_tick().expect("settling ticks are fault-free");
+        }
+
+        let (f0, r0, _) = dep.supervision_counts(workers[0]).unwrap();
+        let (f1, r1, _) = dep.supervision_counts(workers[1]).unwrap();
+        prop_assert!(f0 >= 1, "the storm must land at least one fault");
+        prop_assert_eq!(f1, 0, "worker1 is co-quarantined, never the origin");
+        prop_assert_eq!(r0, r1, "the subtree restarts as one unit");
+        prop_assert_eq!(
+            dep.escalation_path(workers[2]).unwrap().as_deref(),
+            Some("worker0 -> worker1 -> worker2"),
+            "the handler records the declared walk"
+        );
+        // The handler and every sibling branch never missed a delivery:
+        // one invocation per tick, storm and settle alike.
+        for (i, w) in workers.iter().enumerate().skip(2) {
+            let (f, r, s) = dep.supervision_counts(*w).unwrap();
+            prop_assert_eq!((f, r, s), (0, 0, 0), "worker{} was touched", i);
+            prop_assert!(!dep.quarantined(*w).unwrap(), "worker{} was downed", i);
+            prop_assert_eq!(
+                probes[i].invocations.load(Ordering::Relaxed),
+                ticks + SETTLE,
+                "worker{}: sibling branches must keep running every tick", i
+            );
+        }
+        // Same exact ledger as above: accepted == delivered + quarantine
+        // drops, with any full-ring rejections counted on the side.
+        let stats = dep.stats();
+        prop_assert_eq!(
+            stats.async_messages,
+            stats.delivered_messages + stats.quarantine_drops,
+            "ledger leak under subtree restarts"
+        );
+    }
+}

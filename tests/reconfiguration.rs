@@ -971,3 +971,74 @@ fn refused_policy_swap_mid_backoff_leaves_no_stale_restart_handle() {
     let (_, restarts, _) = dep.supervision_counts(caller).unwrap();
     assert_eq!(restarts, 0);
 }
+
+/// Supervisor edges are journaled reconfiguration ops: a committed
+/// transaction installs the declared tree, an edge that would close a
+/// cycle is refused eagerly, and a failing transaction rolls the
+/// pre-transaction edges back exactly. ULTRA-MERGE refuses `reconfigure`
+/// wholesale (purely static), but the *direct* `set_supervisor` still
+/// works there — supervision is engine-level recovery machinery, not
+/// structural reconfiguration.
+#[test]
+fn supervisor_edges_reconfigure_transactionally() {
+    // ULTRA-MERGE: no transactions, but the direct edge API is open.
+    {
+        let Fixture { mut dep, .. } = fixture(Mode::UltraMerge);
+        let caller = dep.resolve("caller").unwrap();
+        let svc_a = dep.resolve("svc-a").unwrap();
+        let err = dep
+            .reconfigure(|txn| txn.set_supervisor(caller, Some(svc_a)))
+            .unwrap_err();
+        assert!(matches!(err, FrameworkError::Unsupported(_)), "got {err}");
+        dep.set_supervisor(caller, Some(svc_a)).unwrap();
+        assert_eq!(dep.supervisor_of(caller).unwrap(), Some(svc_a));
+    }
+    for mode in [Mode::Soleil, Mode::MergeAll] {
+        let Fixture { mut dep, .. } = fixture(mode);
+        let caller = dep.resolve("caller").unwrap();
+        let svc_a = dep.resolve("svc-a").unwrap();
+        let svc_b = dep.resolve("svc-b").unwrap();
+
+        // Commit a two-edge tree: caller → svc-a → svc-b.
+        dep.reconfigure(|txn| {
+            txn.set_supervisor(caller, Some(svc_a))?;
+            txn.set_supervisor(svc_a, Some(svc_b))
+        })
+        .unwrap();
+        assert_eq!(dep.supervisor_of(caller).unwrap(), Some(svc_a), "{mode}");
+        assert_eq!(dep.supervisor_of(svc_a).unwrap(), Some(svc_b), "{mode}");
+
+        // Closing the cycle svc-b → caller is refused inside the
+        // transaction, and the rollback must restore BOTH edges touched
+        // after the partial rewiring — not just drop the journal.
+        let err = dep
+            .reconfigure(|txn| {
+                txn.set_supervisor(caller, None)?;
+                txn.set_supervisor(caller, Some(svc_b))?;
+                txn.set_supervisor(svc_b, Some(caller))
+            })
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("cycle"),
+            "{mode}: refusal must name the cycle: {err}"
+        );
+        assert_eq!(
+            dep.supervisor_of(caller).unwrap(),
+            Some(svc_a),
+            "{mode}: rollback restored the pre-transaction edge"
+        );
+        assert_eq!(dep.supervisor_of(svc_a).unwrap(), Some(svc_b), "{mode}");
+        assert_eq!(dep.supervisor_of(svc_b).unwrap(), None, "{mode}");
+
+        // Clearing an edge is journaled too: a failing transaction that
+        // cleared it leaves the committed tree untouched.
+        let err = dep
+            .reconfigure(|txn| {
+                txn.set_supervisor(caller, None)?;
+                Err::<(), _>(FrameworkError::Content("refused".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, FrameworkError::Content(_)), "got {err}");
+        assert_eq!(dep.supervisor_of(caller).unwrap(), Some(svc_a), "{mode}");
+    }
+}
